@@ -1,0 +1,69 @@
+//! Ablation for the §3 claim "Exploiting Small Batches and High Learning
+//! Rates": federated averaging tolerates much higher peak learning rates
+//! than centralized small-batch training, which destabilizes unless the
+//! learning rate shrinks with the batch (Appendix C.1).
+//!
+//! We sweep the peak LR for (a) centralized training at the small batch
+//! B = 8 and (b) a 4-client federation whose clients use the same B_l = 8,
+//! and report the final perplexity of each.
+
+use photon_bench::{FedRun, Report};
+use photon_core::experiments::{build_centralized, run_centralized};
+use photon_optim::LrSchedule;
+
+fn main() {
+    let mut rep = Report::new(
+        "ablation_batch_lr",
+        "Ablation: small batches + high learning rates (paper section 3)",
+    );
+    let lrs = [1.5e-3f32, 3e-3, 6e-3, 1.2e-2, 2.4e-2, 4.8e-2];
+    let (n, tau, b_l, rounds) = (4usize, 16u64, 8usize, 16u64);
+    let steps = rounds * tau;
+
+    rep.line(&format!(
+        "\n{:>9} | {:>22} | {:>22}",
+        "peak LR", "cent B=8 final ppl", "fed 4x B_l=8 final ppl"
+    ));
+    let mut best_cent = (f64::INFINITY, 0.0f32);
+    let mut best_fed = (f64::INFINITY, 0.0f32);
+    for &lr in &lrs {
+        // Centralized at the *small* batch with this LR.
+        let run = FedRun::tiny(n, tau, b_l);
+        let mut cfg = run.config();
+        cfg.schedule = LrSchedule::paper_cosine(lr, 10, steps);
+        let (mut trainer, cval) = build_centralized(&cfg, b_l, cfg.schedule, 60_000, 5);
+        let cent = run_centralized(&mut trainer, &cval, 4, steps / 4, 32, None);
+        let cent_ppl = cent.final_ppl().unwrap_or(f64::INFINITY);
+
+        // Federated with the same local batch and LR.
+        let mut fed_run = FedRun::tiny(n, tau, b_l);
+        fed_run.schedule = LrSchedule::paper_cosine(lr, 10, steps);
+        fed_run.seed = 5;
+        let fed = fed_run.run(rounds, rounds, None);
+        let fed_ppl = fed.final_ppl().unwrap_or(f64::INFINITY);
+
+        let show = |p: f64| {
+            if p.is_finite() && p < 1e5 {
+                format!("{p:>22.2}")
+            } else {
+                format!("{:>22}", "diverged")
+            }
+        };
+        rep.line(&format!("{lr:>9.4} | {} | {}", show(cent_ppl), show(fed_ppl)));
+        if cent_ppl < best_cent.0 {
+            best_cent = (cent_ppl, lr);
+        }
+        if fed_ppl < best_fed.0 {
+            best_fed = (fed_ppl, lr);
+        }
+    }
+    rep.line(&format!(
+        "\nbest centralized: ppl {:.2} at lr {:.4} | best federated: ppl {:.2} at lr {:.4}",
+        best_cent.0, best_cent.1, best_fed.0, best_fed.1
+    ));
+    rep.line("\npaper shape: the federation's optimum sits at an equal or higher");
+    rep.line("peak learning rate, and it degrades gracefully where centralized");
+    rep.line("small-batch training becomes unstable — the averaging step damps");
+    rep.line("the noise that wrecks the centralized run.");
+    rep.save();
+}

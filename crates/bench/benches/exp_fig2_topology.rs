@@ -1,0 +1,75 @@
+//! Fig. 2 / Table 1: the five-region deployment — silo inventory per model
+//! size, inter-region bandwidths, and the RAR/PS bottleneck links the
+//! figure caption calls out.
+
+use photon_bench::Report;
+use photon_cluster::{paper_silos, Region, RegionGraph, SiloSpec};
+
+fn main() {
+    let mut rep = Report::new(
+        "fig2_topology",
+        "Fig. 2 / Table 1: regions, silos and bandwidths",
+    );
+    let graph = RegionGraph::paper();
+
+    rep.line("\nTable 1: computational resources per region");
+    rep.line(&format!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10} {:>13}",
+        "size", "england", "utah", "texas", "quebec", "maharashtra"
+    ));
+    for label in ["7B", "3B", "1B", "125M"] {
+        let silos = paper_silos(label);
+        let count = |r: Region| {
+            let mine: Vec<&SiloSpec> = silos.iter().filter(|s| s.region == r).collect();
+            if mine.is_empty() {
+                "-".to_string()
+            } else {
+                format!("{}x{}", mine.len(), mine[0].total_gpus())
+            }
+        };
+        rep.line(&format!(
+            "{:<8} {:>10} {:>10} {:>10} {:>10} {:>13}",
+            label,
+            count(Region::England),
+            count(Region::Utah),
+            count(Region::Texas),
+            count(Region::Quebec),
+            count(Region::Maharashtra),
+        ));
+    }
+
+    rep.line("\ninter-region bandwidth matrix (Gbps):");
+    let mut header = format!("{:>14}", "");
+    for b in Region::all() {
+        header.push_str(&format!("{:>13}", b.name()));
+    }
+    rep.line(&header);
+    for a in Region::all() {
+        let mut row = format!("{:>14}", a.name());
+        for b in Region::all() {
+            if a == b {
+                row.push_str(&format!("{:>13}", "-"));
+            } else {
+                row.push_str(&format!("{:>13.1}", graph.bandwidth_gbps(a, b)));
+            }
+        }
+        rep.line(&row);
+    }
+
+    let ring = Region::all();
+    rep.line(&format!(
+        "\nRAR bottleneck (slowest ring link):   {:.1} Gbps ({} <-> {})",
+        graph.slowest_ring_link(&ring),
+        Region::Maharashtra.name(),
+        Region::Quebec.name()
+    ));
+    rep.line(&format!(
+        "PS bottleneck (slowest England spoke): {:.1} Gbps ({} <-> {})",
+        graph.slowest_star_link(Region::England, &ring),
+        Region::England.name(),
+        Region::Maharashtra.name()
+    ));
+    rep.line("\npaper: bandwidth between regions varies significantly; the");
+    rep.line("Maharashtra-Quebec link bottlenecks RAR, England's spokes gate PS.");
+    rep.save();
+}

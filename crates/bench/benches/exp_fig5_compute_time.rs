@@ -1,0 +1,80 @@
+//! Fig. 5: the trade-off between wall time and compute resources (global
+//! batch size B_g = N · B_l) for two target perplexities and three
+//! local-step settings.
+//!
+//! Convergence (rounds to target) is measured on the tiny proxy — one
+//! training run per (τ, N) with both targets extracted from the same
+//! trajectory; the time axis converts measured rounds through the paper's
+//! Appendix-B.1 model with the 125M throughput ν = 2 batches/s and the
+//! mapped paper local steps (our τ ∈ {8, 16, 64} stands in for the
+//! paper's {64, 512}; targets 16 / 13 stand in for perplexities 42 / 35).
+//!
+//! This experiment uses B_l = 2: batch-size scaling only pays off in the
+//! gradient-noise-dominated regime (McCandlish et al.), which the paper's
+//! 125M runs occupy at B_l = 32 and our 34k-parameter proxy reaches at
+//! B_l = 2 (see EXPERIMENTS.md).
+
+use photon_bench::{fmt_rounds, FedRun, Report};
+use photon_comms::{Topology, WallTimeModel};
+use photon_nn::ModelConfig;
+use photon_optim::LrSchedule;
+
+fn main() {
+    let mut rep = Report::new("fig5_compute_time", "Fig. 5: compute-time trade-off");
+    let taus: [(u64, u64, u64); 3] = [(8, 64, 130), (16, 128, 100), (64, 512, 30)];
+    let clients = [1usize, 2, 4, 8, 16];
+    let b_l = 2usize;
+    let targets = [("42-equiv", 16.0f64), ("35-equiv", 13.0f64)];
+    let s_mb = ModelConfig::paper_125m().param_bytes(2) as f64 / 1e6;
+
+    // Measure once per (tau, N).
+    let mut measured: Vec<(u64, u64, u64, usize, [Option<u64>; 2])> = Vec::new();
+    for &(tau, tau_paper, cap) in &taus {
+        for &n in &clients {
+            let mut run = FedRun::tiny(n, tau, b_l);
+            run.schedule = LrSchedule::paper_cosine(8e-3, 10, 2000);
+            run.seed = 21;
+            let history = run.run(cap, 1, Some(targets[1].1));
+            measured.push((
+                tau,
+                tau_paper,
+                cap,
+                n,
+                [
+                    history.rounds_to_target(targets[0].1),
+                    history.rounds_to_target(targets[1].1),
+                ],
+            ));
+        }
+    }
+
+    for (ti, (target_name, target)) in targets.iter().enumerate() {
+        rep.line(&format!("\n=== target perplexity {target} ({target_name}) ==="));
+        rep.line(&format!(
+            "{:>10} {:>5} {:>5} | {:>7} {:>14} {:>14}",
+            "tau(paper)", "N", "B_g", "rounds", "wall time [s]", "of which comm"
+        ));
+        for &(tau, tau_paper, cap, n, ref rounds) in &measured {
+            let wall = rounds[ti].map(|r| {
+                WallTimeModel::new(2.0, tau_paper, s_mb, 1250.0, Topology::RingAllReduce)
+                    .total_time(n, r)
+            });
+            rep.line(&format!(
+                "{:>4} ({:>3}) {:>5} {:>5} | {:>7} {:>14} {:>14}",
+                tau,
+                tau_paper,
+                n,
+                n * b_l,
+                fmt_rounds(rounds[ti], cap),
+                wall.map_or("-".into(), |w| format!("{:.0}", w.total())),
+                wall.map_or("-".into(), |w| format!("{:.1}", w.comm_s)),
+            ));
+        }
+    }
+    rep.line("\npaper shape: larger B_g reaches the target in fewer rounds and less");
+    rep.line("wall time; gains diminish at the lower target and with more local");
+    rep.line("work per round (McCandlish et al. critical-batch effect). Single-run");
+    rep.line("rounds-to-target carry seed noise of a few rounds, so read trends");
+    rep.line("(N = 1 -> 2 -> 4 and the tau columns), not individual cells.");
+    rep.save();
+}

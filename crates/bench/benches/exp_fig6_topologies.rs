@@ -1,0 +1,21 @@
+//! Fig. 6: wall time by aggregation topology (PS / AR / RAR) at 512 local
+//! steps per round, N ∈ {2, 4, 8, 16} clients, 125M model, target
+//! perplexity "35-equivalent".
+//!
+//! Rounds-to-target are measured on the tiny proxy at the mapped τ = 64;
+//! local-compute and communication seconds come from the Appendix-B.1
+//! model with the paper's ν = 2 and a 10 Gbps bottleneck.
+
+use photon_bench::{run_comm_breakdown, Report};
+
+fn main() {
+    let mut rep = Report::new(
+        "fig6_topologies",
+        "Fig. 6: wall time by topology (512 local steps)",
+    );
+    run_comm_breakdown(&mut rep, 64, 512, 16);
+    rep.line("\npaper shape: communication cost rises with N (worst under PS),");
+    rep.line("but more clients converge in fewer rounds, and RAR keeps the");
+    rep.line("wall-time benefit of scaling compute.");
+    rep.save();
+}

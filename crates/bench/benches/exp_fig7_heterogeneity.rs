@@ -1,0 +1,108 @@
+//! Fig. 7: robustness to data heterogeneity on Pile-style domains.
+//!
+//! Top panel: partial participation — 16 heterogeneous clients, sampling
+//! 25% / 50% / 100% per round. Bottom panel: full participation with
+//! {4, 8, 16} clients. An IID 4-client run is included for reference.
+
+use photon_bench::Report;
+use photon_core::experiments::{
+    build_heterogeneous_federation, build_iid_federation, run_federation, RunOptions,
+};
+use photon_core::{CohortSpec, FederationConfig, TrainingHistory};
+use photon_nn::ModelConfig;
+use photon_optim::LrSchedule;
+
+fn base_cfg(population: usize) -> FederationConfig {
+    let mut cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), population);
+    cfg.local_steps = 8;
+    cfg.local_batch = 4;
+    cfg.schedule = LrSchedule::paper_cosine(6e-3, 10, 1200);
+    cfg.seed = 77;
+    cfg
+}
+
+fn ppl_series(h: &TrainingHistory) -> Vec<f64> {
+    h.rounds.iter().filter_map(|r| r.eval_ppl).collect()
+}
+
+fn main() {
+    let mut rep = Report::new("fig7_heterogeneity", "Fig. 7: data heterogeneity");
+    let rounds = 14u64;
+    let opts = RunOptions {
+        rounds,
+        eval_every: 1,
+        eval_windows: 32,
+        stop_below: None,
+    };
+
+    // Top: partial participation of 16 heterogeneous clients.
+    let mut partial = Vec::new();
+    for (label, frac) in [("25%", 0.25f64), ("50%", 0.5), ("100%", 1.0)] {
+        let mut cfg = base_cfg(16);
+        if frac < 1.0 {
+            cfg.cohort = CohortSpec::Sample {
+                k: ((16.0 * frac) as usize).max(1),
+            };
+        }
+        let (mut fed, val) = build_heterogeneous_federation(&cfg, 30_000).unwrap();
+        let h = run_federation(&mut fed, &val, &opts).unwrap();
+        partial.push((label, ppl_series(&h)));
+    }
+
+    rep.line("\n(top) partial participation, 16 heterogeneous clients:");
+    rep.line(&format!(
+        "{:>6} {:>10} {:>10} {:>10}",
+        "round", "25%", "50%", "100%"
+    ));
+    for r in 0..rounds as usize {
+        rep.line(&format!(
+            "{:>6} {:>10.2} {:>10.2} {:>10.2}",
+            r,
+            partial[0].1.get(r).copied().unwrap_or(f64::NAN),
+            partial[1].1.get(r).copied().unwrap_or(f64::NAN),
+            partial[2].1.get(r).copied().unwrap_or(f64::NAN),
+        ));
+    }
+    // Fluctuation metric: mean absolute round-to-round change.
+    let roughness = |xs: &[f64]| {
+        xs.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (xs.len() - 1).max(1) as f64
+    };
+    rep.line(&format!(
+        "round-to-round fluctuation: 25% = {:.2}, 50% = {:.2}, 100% = {:.2}",
+        roughness(&partial[0].1),
+        roughness(&partial[1].1),
+        roughness(&partial[2].1)
+    ));
+
+    // Bottom: full participation across cohort sizes, plus IID reference.
+    let mut full = Vec::new();
+    for n in [4usize, 8, 16] {
+        let cfg = base_cfg(n);
+        let (mut fed, val) = build_heterogeneous_federation(&cfg, 30_000).unwrap();
+        let h = run_federation(&mut fed, &val, &opts).unwrap();
+        full.push((format!("{n} het"), ppl_series(&h)));
+    }
+    let iid_cfg = base_cfg(4);
+    let (mut iid_fed, iid_val) = build_iid_federation(&iid_cfg, 30_000).unwrap();
+    let iid = ppl_series(&run_federation(&mut iid_fed, &iid_val, &opts).unwrap());
+
+    rep.line("\n(bottom) full participation:");
+    rep.line(&format!(
+        "{:>6} {:>10} {:>10} {:>10} {:>12}",
+        "round", "4 het", "8 het", "16 het", "4 IID (ref)"
+    ));
+    for r in 0..rounds as usize {
+        rep.line(&format!(
+            "{:>6} {:>10.2} {:>10.2} {:>10.2} {:>12.2}",
+            r,
+            full[0].1.get(r).copied().unwrap_or(f64::NAN),
+            full[1].1.get(r).copied().unwrap_or(f64::NAN),
+            full[2].1.get(r).copied().unwrap_or(f64::NAN),
+            iid.get(r).copied().unwrap_or(f64::NAN),
+        ));
+    }
+    rep.line("\npaper shape: higher sampling ratios converge faster and more");
+    rep.line("smoothly; under full participation, heterogeneous data behaves");
+    rep.line("like the IID reference, with larger cohorts converging faster.");
+    rep.save();
+}

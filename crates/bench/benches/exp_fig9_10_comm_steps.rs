@@ -1,0 +1,19 @@
+//! Figs. 9-10 (appendix): the Fig. 6 topology breakdown repeated at 64 and
+//! 128 local steps per round — halving communication frequency lowers the
+//! communication share, most visibly for the parameter server.
+
+use photon_bench::{run_comm_breakdown, Report};
+
+fn main() {
+    let mut rep = Report::new(
+        "fig9_10_comm_steps",
+        "Figs. 9-10: topology wall-time at 64 and 128 local steps",
+    );
+    // Proxy taus 8 and 16 map to the paper's 64 and 128 local steps.
+    run_comm_breakdown(&mut rep, 8, 64, 90);
+    run_comm_breakdown(&mut rep, 16, 128, 50);
+    rep.line("\npaper shape: with fewer local steps per round the communication");
+    rep.line("share grows (compare Fig. 6's 512-step setting), and PS degrades");
+    rep.line("fastest as N rises while RAR stays nearly flat.");
+    rep.save();
+}

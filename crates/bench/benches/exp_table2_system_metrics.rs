@@ -1,0 +1,141 @@
+//! Table 2: system metrics for the billion-scale models — wall time with
+//! compute/communication breakdowns, GPU utilization and MFU.
+//!
+//! Inputs: the paper's measured local throughputs ν (Appendix B.1) and
+//! compute-time budgets; Ring-AllReduce at a fixed 10 Gbps slowest link;
+//! τ = 500 local steps per federated round (Table 6). Communication times
+//! are produced by our Appendix-B.1 model, so the reproduced rows can be
+//! compared directly against the paper's.
+
+use photon_bench::Report;
+use photon_cluster::{mfu, tokens_per_second, GpuSpec, PaperModel, ThroughputSetting};
+use photon_comms::{comm_time_seconds, Topology};
+
+struct Row {
+    model: PaperModel,
+    k_silos: usize,
+    gpus_total: usize,
+    fed_compute_h: f64,
+    cen_compute_h: f64,
+    paper: PaperRow,
+}
+
+struct PaperRow {
+    fed_wall: f64,
+    cen_wall: f64,
+    fed_comm: f64,
+    cen_comm: f64,
+    cen_util: u32,
+    fed_util: u32,
+    cen_mfu: f64,
+    fed_mfu: f64,
+}
+
+fn main() {
+    let mut rep = Report::new("table2_system_metrics", "Table 2: system metrics (Cen vs Fed)");
+    let rows = [
+        Row {
+            model: PaperModel::B1_3,
+            k_silos: 8,
+            gpus_total: 22,
+            fed_compute_h: 18.0,
+            cen_compute_h: 6.5,
+            paper: PaperRow {
+                fed_wall: 18.02,
+                cen_wall: 26.7,
+                fed_comm: 0.02,
+                cen_comm: 20.2,
+                cen_util: 74,
+                fed_util: 83,
+                cen_mfu: 0.8027,
+                fed_mfu: 1.1245,
+            },
+        },
+        Row {
+            model: PaperModel::B3,
+            k_silos: 4,
+            gpus_total: 16,
+            fed_compute_h: 25.1,
+            cen_compute_h: 16.1,
+            paper: PaperRow {
+                fed_wall: 25.2,
+                cen_wall: 56.6,
+                fed_comm: 0.05,
+                cen_comm: 40.48,
+                cen_util: 81,
+                fed_util: 78,
+                cen_mfu: 0.165,
+                fed_mfu: 0.240,
+            },
+        },
+        Row {
+            model: PaperModel::B7,
+            k_silos: 4,
+            gpus_total: 32,
+            fed_compute_h: 95.5,
+            cen_compute_h: 50.7,
+            paper: PaperRow {
+                fed_wall: 95.6,
+                cen_wall: 147.9,
+                fed_comm: 0.1,
+                cen_comm: 97.2,
+                cen_util: 88,
+                fed_util: 90,
+                cen_mfu: 0.335,
+                fed_mfu: 0.224,
+            },
+        },
+    ];
+
+    let bw_mbps = 1250.0; // 10 Gbps slowest link
+    let tau = 500.0;
+    rep.line(&format!(
+        "\n{:<9} {:>13} {:>13} {:>13} {:>9} {:>9}",
+        "model", "wall [h]", "compute [h]", "comm [h]", "util[%]", "MFU/dev"
+    ));
+
+    for row in rows {
+        let cfg = row.model.config();
+        let s_mb = cfg.param_bytes(2) as f64 / 1e6;
+        let rar = comm_time_seconds(Topology::RingAllReduce, row.k_silos, s_mb, bw_mbps);
+
+        // Centralized: a gradient all-reduce every step.
+        let cen_nu = row.model.nu(ThroughputSetting::Centralized);
+        let cen_steps = row.cen_compute_h * 3600.0 * cen_nu;
+        let cen_comm_h = cen_steps * rar / 3600.0;
+        let cen_wall = row.cen_compute_h + cen_comm_h;
+        let cen_tps = tokens_per_second(&cfg, cen_nu, row.model.batch_size(ThroughputSetting::Centralized));
+        let cen_mfu = mfu(&cfg, cen_tps, row.gpus_total, GpuSpec::h100().peak_tflops_bf16);
+
+        // Federated: one aggregation per tau local steps.
+        let fed_nu = row.model.nu(ThroughputSetting::Federated);
+        let fed_steps = row.fed_compute_h * 3600.0 * fed_nu;
+        let fed_comm_h = (fed_steps / tau) * rar / 3600.0;
+        let fed_wall = row.fed_compute_h + fed_comm_h;
+        let fed_tps = tokens_per_second(&cfg, fed_nu, row.model.batch_size(ThroughputSetting::Federated));
+        let fed_mfu = mfu(&cfg, fed_tps, row.gpus_total / row.k_silos, GpuSpec::h100().peak_tflops_bf16);
+
+        let p = &row.paper;
+        rep.line(&format!(
+            "Cen-{:<5} {:>6.1} ({:>5.1}) {:>6.1} ({:>5.1}) {:>6.2} ({:>5.2}) {:>4} (p) {:>9.3}",
+            row.model.label(), cen_wall, p.cen_wall, row.cen_compute_h, row.cen_compute_h, cen_comm_h, p.cen_comm, p.cen_util, cen_mfu
+        ));
+        rep.line(&format!(
+            "Fed-{:<5} {:>6.1} ({:>5.1}) {:>6.1} ({:>5.1}) {:>6.2} ({:>5.2}) {:>4} (p) {:>9.3}",
+            row.model.label(), fed_wall, p.fed_wall, row.fed_compute_h, row.fed_compute_h, fed_comm_h, p.fed_comm, p.fed_util, fed_mfu
+        ));
+        rep.line(&format!(
+            "          fed/cen wall: {:.2}x (paper {:.2}x) | comm ratio: {:.4}x (paper {:.3}x) | paper MFU cen/fed: {:.3}/{:.3}",
+            fed_wall / cen_wall,
+            p.fed_wall / p.cen_wall,
+            fed_comm_h / cen_comm_h,
+            p.fed_comm / p.cen_comm,
+            p.cen_mfu,
+            p.fed_mfu,
+        ));
+    }
+    rep.line("\nvalues in parentheses are the paper's; compute hours are the paper's");
+    rep.line("measured budgets, communication is reproduced by our Appendix-B.1 model.");
+    rep.line("GPU utilization is reported from the paper (it requires real devices).");
+    rep.save();
+}

@@ -1,0 +1,46 @@
+//! Table 4: architecture details for the paper model family, with exact
+//! parameter counts from our tied-embedding implementation, plus the
+//! CPU-trainable proxy family and its mapping.
+
+use photon_bench::Report;
+use photon_nn::ModelConfig;
+
+fn row(rep: &mut Report, label: &str, cfg: &ModelConfig) {
+    rep.line(&format!(
+        "{:<10} {:>7} {:>6} {:>7} {:>6} {:>8} {:>6} {:>14} {:>12}",
+        label,
+        cfg.n_layers,
+        cfg.d_model,
+        cfg.n_heads,
+        cfg.exp_ratio,
+        cfg.vocab_size,
+        cfg.seq_len,
+        cfg.param_count(),
+        format!("{:.1}", cfg.flops_per_token() / 1e9),
+    ));
+}
+
+fn main() {
+    let mut rep = Report::new("table4_architectures", "Table 4: architecture details");
+    rep.line(&format!(
+        "{:<10} {:>7} {:>6} {:>7} {:>6} {:>8} {:>6} {:>14} {:>12}",
+        "model", "#blocks", "d", "#heads", "ratio", "vocab", "seq", "params", "GF/token"
+    ));
+    rep.line("\npaper family (analytic; Adam betas (0.9, 0.95) throughout):");
+    row(&mut rep, "75M", &ModelConfig::paper_75m());
+    row(&mut rep, "125M", &ModelConfig::paper_125m());
+    row(&mut rep, "350M", &ModelConfig::paper_350m());
+    row(&mut rep, "1.3B", &ModelConfig::paper_1_3b());
+    row(&mut rep, "3B", &ModelConfig::paper_3b());
+    row(&mut rep, "7B", &ModelConfig::paper_7b());
+
+    rep.line("\nCPU-trainable proxy family (convergence experiments):");
+    row(&mut rep, "tiny", &ModelConfig::proxy_tiny());
+    row(&mut rep, "small", &ModelConfig::proxy_small());
+    row(&mut rep, "medium", &ModelConfig::proxy_medium());
+    row(&mut rep, "large", &ModelConfig::proxy_large());
+
+    rep.line("\nproxy -> paper mapping used by the convergence benches:");
+    rep.line("  tiny ~ 125M/1.3B | small ~ 3B | medium ~ 7B (see EXPERIMENTS.md)");
+    rep.save();
+}

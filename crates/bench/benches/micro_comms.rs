@@ -1,0 +1,110 @@
+//! Criterion micro-benchmarks for the communication substrate:
+//! compression, Link framing, aggregation and the threaded ring-allreduce.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use photon_comms::{
+    compress_f32s, decompress_f32s, mask_update, ring_allreduce_group, Message,
+};
+use photon_fedopt::{aggregate_deltas, ClientUpdate};
+use photon_tensor::SeedStream;
+use std::hint::black_box;
+use std::time::Duration;
+
+const PAYLOAD: usize = 65_536; // ~ a tiny-proxy model's parameter count
+
+fn payload() -> Vec<f32> {
+    let mut rng = SeedStream::new(9);
+    (0..PAYLOAD).map(|_| rng.next_normal() * 0.02).collect()
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compression");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let xs = payload();
+    group.throughput(criterion::Throughput::Bytes((PAYLOAD * 4) as u64));
+    group.bench_function("compress_64k_f32", |b| {
+        b.iter(|| compress_f32s(black_box(&xs)));
+    });
+    let compressed = compress_f32s(&xs);
+    group.bench_function("decompress_64k_f32", |b| {
+        b.iter(|| decompress_f32s(black_box(compressed.clone())).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_framing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("framing");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let msg = Message::ModelBroadcast {
+        round: 1,
+        params: payload(),
+    };
+    group.bench_function("encode_frame_64k", |b| {
+        b.iter(|| msg.to_frame(false));
+    });
+    let frame = msg.to_frame(false);
+    group.bench_function("decode_frame_64k", |b| {
+        b.iter(|| Message::from_frame(black_box(frame.clone())).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregation");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for k in [4usize, 16] {
+        let updates: Vec<ClientUpdate> = (0..k)
+            .map(|i| {
+                let mut rng = SeedStream::new(i as u64);
+                ClientUpdate::new(
+                    (0..PAYLOAD).map(|_| rng.next_normal() * 1e-3).collect(),
+                    1.0,
+                )
+            })
+            .collect();
+        group.bench_function(format!("fedavg_{k}x64k"), |b| {
+            b.iter(|| aggregate_deltas(black_box(&updates)));
+        });
+    }
+    let cohort: Vec<u32> = (0..8).collect();
+    group.bench_function("secure_mask_8clients_64k", |b| {
+        let mut update = payload();
+        b.iter(|| mask_update(&mut update, 3, black_box(&cohort), 42).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_ring_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_allreduce");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    for n in [2usize, 4] {
+        group.bench_function(format!("{n}workers_64k"), |b| {
+            b.iter(|| {
+                let workers = ring_allreduce_group(n);
+                let handles: Vec<_> = workers
+                    .into_iter()
+                    .map(|mut w| {
+                        std::thread::spawn(move || {
+                            let mut data = vec![1.0f32; PAYLOAD];
+                            w.allreduce_mean(&mut data);
+                            data[0]
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    black_box(h.join().unwrap());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compression,
+    bench_framing,
+    bench_aggregation,
+    bench_ring_allreduce
+);
+criterion_main!(benches);

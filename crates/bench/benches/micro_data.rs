@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks for the data substrate: domain text
+//! generation, tokenization, sharding and stream batching.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use photon_data::{partition_iid, Batch, DomainKind, ShardStream, SyntheticDomain, TokenCorpus};
+use photon_data::TokenStream;
+use photon_tensor::SeedStream;
+use photon_tokenizer::{BpeTokenizer, BpeTrainConfig, ByteTokenizer, Tokenizer};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_domain_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("domain_generation");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let mut rng = SeedStream::new(1);
+    let domain = SyntheticDomain::preset(DomainKind::Web, &mut rng);
+    group.throughput(Throughput::Bytes(16_384));
+    group.bench_function("web_16kb", |b| {
+        b.iter(|| domain.generate(black_box(16_384), &mut rng));
+    });
+    group.finish();
+}
+
+fn bench_tokenization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tokenization");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let mut rng = SeedStream::new(2);
+    let domain = SyntheticDomain::preset(DomainKind::Wiki, &mut rng);
+    let text = domain.generate(16_384, &mut rng);
+    group.throughput(Throughput::Bytes(text.len() as u64));
+
+    let byte_tok = ByteTokenizer::new();
+    group.bench_function("byte_encode_16kb", |b| {
+        b.iter(|| byte_tok.encode(black_box(&text)));
+    });
+
+    let bpe = BpeTokenizer::train(
+        &text,
+        &BpeTrainConfig {
+            vocab_size: 512,
+            min_pair_freq: 2,
+        },
+    );
+    group.bench_function("bpe_encode_16kb", |b| {
+        b.iter(|| bpe.encode(black_box(&text)));
+    });
+    group.finish();
+}
+
+fn bench_sharding_and_streams(c: &mut Criterion) {
+    let mut group = c.benchmark_group("data_pipeline");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let corpus = TokenCorpus::new("bench", (0..262_144u32).map(|i| i % 257).collect());
+    group.bench_function("partition_iid_256k_into_16", |b| {
+        b.iter(|| {
+            let mut rng = SeedStream::new(3);
+            partition_iid(black_box(&corpus), 16, 64, &mut rng)
+        });
+    });
+
+    let mut rng = SeedStream::new(4);
+    let shards = partition_iid(&corpus, 4, 64, &mut rng);
+    let mut stream = ShardStream::new(shards[0].clone(), SeedStream::new(5));
+    let mut batch = Batch::zeros(8, 64);
+    group.throughput(Throughput::Elements(8 * 64));
+    group.bench_function("shard_stream_batch_8x64", |b| {
+        b.iter(|| stream.next_batch(black_box(&mut batch)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_domain_generation,
+    bench_tokenization,
+    bench_sharding_and_streams
+);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Minimal dependency-free argument parsing for the `photon` CLI.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` / `--flag` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses raw arguments (excluding the program name).
+    ///
+    /// Grammar: `photon <command> [--key value | --flag]...`. An option is
+    /// a `--key` followed by a non-`--` token; a bare `--key` at the end or
+    /// before another `--` token is a boolean flag.
+    ///
+    /// # Errors
+    /// Returns a message if no subcommand is present or a positional
+    /// argument appears after options.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
+        let mut iter = raw.into_iter().peekable();
+        let command = iter.next().ok_or("missing subcommand")?;
+        if command.starts_with("--") && command != "--help" {
+            return Err(format!("expected a subcommand, got option {command}"));
+        }
+        let mut args = Args {
+            command,
+            ..Args::default()
+        };
+        while let Some(tok) = iter.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {tok:?}"));
+            };
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = iter.next().expect("peeked");
+                    args.options.insert(key.to_string(), value);
+                }
+                _ => args.flags.push(key.to_string()),
+            }
+        }
+        Ok(args)
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// String option with default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Parsed numeric/typed option with default.
+    ///
+    /// # Errors
+    /// Returns a message naming the option on parse failure.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {v:?}")),
+        }
+    }
+
+    /// Whether a boolean flag was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, String> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = parse("train --clients 4 --compress --rounds 10").unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.get("clients"), Some("4"));
+        assert_eq!(a.get_parsed("rounds", 0u64).unwrap(), 10);
+        assert!(a.flag("compress"));
+        assert!(!a.flag("secure"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("train").unwrap();
+        assert_eq!(a.get_or("model", "tiny"), "tiny");
+        assert_eq!(a.get_parsed("clients", 4usize).unwrap(), 4);
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let a = parse("train --secure").unwrap();
+        assert!(a.flag("secure"));
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse("").is_err());
+        assert!(parse("train --rounds abc")
+            .unwrap()
+            .get_parsed("rounds", 0u64)
+            .is_err());
+        assert!(parse("train oops").is_err());
+    }
+
+}

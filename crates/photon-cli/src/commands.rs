@@ -1,0 +1,281 @@
+//! Implementations of the `photon` subcommands.
+
+use crate::args::Args;
+use photon_core::experiments::{
+    build_heterogeneous_federation, build_iid_federation, downstream_report, run_federation,
+    RunOptions,
+};
+use photon_core::{load_checkpoint, save_checkpoint, CohortSpec, Federation, FederationConfig};
+use photon_fedopt::ServerOptKind;
+use photon_nn::{generate as sample_tokens, Gpt, ModelConfig, SampleConfig};
+use photon_optim::LrSchedule;
+use photon_tensor::SeedStream;
+use photon_tokenizer::{ByteTokenizer, Tokenizer};
+use std::path::{Path, PathBuf};
+
+const TRAIN_HELP: &str = "photon train / resume — federated pre-training
+
+OPTIONS:
+    --model tiny|small|medium|large   proxy architecture      [tiny]
+    --positions alibi|learned         positional scheme       [alibi]
+    --data web|pile                   IID web or Pile-style    [web]
+    --clients N                       population size          [4]
+    --sample K                        clients per round (partial participation)
+    --rounds N                        federated rounds         [12]
+    --local-steps N                   tau, steps per round     [16]
+    --batch N                         local batch size B_l     [8]
+    --lr X                            peak learning rate       [0.006]
+    --server-opt fedavg|fedmom|fedadam|diloco                  [fedavg]
+    --tokens-per-client N             corpus tokens per client [20000]
+    --seed N                          root seed                [42]
+    --eval-every N                    eval cadence in rounds   [1]
+    --checkpoint-dir DIR              save (and resume) here
+    --compress                        lossless Link compression
+    --secure                          secure aggregation
+    --partial-ok                      tolerate client dropouts";
+
+/// `photon train` / `photon resume`.
+pub fn train(args: &Args, resume: bool) -> Result<(), String> {
+    if args.flag("help") {
+        println!("{TRAIN_HELP}");
+        return Ok(());
+    }
+    let ckpt_dir = args.get("checkpoint-dir").map(PathBuf::from);
+    let rounds: u64 = args.get_parsed("rounds", 12)?;
+    let eval_every: u64 = args.get_parsed("eval-every", 1)?;
+
+    let (mut fed, val, cfg) = if resume {
+        let dir = ckpt_dir
+            .as_deref()
+            .ok_or("resume requires --checkpoint-dir")?;
+        let (manifest, params) =
+            load_checkpoint(dir).map_err(|e| format!("cannot load checkpoint: {e}"))?;
+        let cfg = manifest.config.clone();
+        let (mut fed, val) = build_data(&cfg, args)?;
+        fed.aggregator
+            .restore(manifest.round, params)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "resumed from {} at round {}",
+            dir.display(),
+            manifest.round
+        );
+        (fed, val, cfg)
+    } else {
+        let cfg = config_from_args(args)?;
+        let (fed, val) = build_data(&cfg, args)?;
+        (fed, val, cfg)
+    };
+
+    println!(
+        "training {} | {} clients | tau = {} | B_l = {} | B_g = {} | {}",
+        cfg.model,
+        cfg.population,
+        cfg.local_steps,
+        cfg.local_batch,
+        cfg.global_batch(),
+        match cfg.server_opt {
+            ServerOptKind::FedAvg { .. } => "fedavg",
+            ServerOptKind::FedMom { .. } => "fedmom",
+            ServerOptKind::FedAdam { .. } => "fedadam",
+            ServerOptKind::DiLoCo { .. } => "diloco",
+        }
+    );
+
+    let opts = RunOptions {
+        rounds,
+        eval_every,
+        eval_windows: 48,
+        stop_below: None,
+    };
+    let history = run_federation(&mut fed, &val, &opts).map_err(|e| e.to_string())?;
+    for r in &history.rounds {
+        match r.eval_ppl {
+            Some(p) => println!(
+                "round {:>4} | loss {:.4} | val ppl {:>8.2} | wire {:>7.1} KB",
+                r.round,
+                r.mean_client_loss,
+                p,
+                r.wire_bytes as f64 / 1024.0
+            ),
+            None => println!("round {:>4} | loss {:.4}", r.round, r.mean_client_loss),
+        }
+    }
+    if let Some(best) = history.best_ppl() {
+        println!("best validation perplexity: {best:.2}");
+    }
+    if let Some(dir) = ckpt_dir {
+        save_checkpoint(&dir, &cfg, fed.aggregator.round(), fed.aggregator.params())
+            .map_err(|e| format!("checkpoint failed: {e}"))?;
+        println!("checkpoint saved to {}", dir.display());
+    }
+    Ok(())
+}
+
+fn config_from_args(args: &Args) -> Result<FederationConfig, String> {
+    let model = parse_model(args.get_or("model", "tiny"))?;
+    let clients: usize = args.get_parsed("clients", 4)?;
+    let mut cfg = FederationConfig::quick_demo(model, clients);
+    cfg.positions = match args.get_or("positions", "alibi") {
+        "alibi" => photon_nn::PosEncoding::Alibi,
+        "learned" => photon_nn::PosEncoding::Learned,
+        other => return Err(format!("unknown --positions {other:?} (alibi|learned)")),
+    };
+    cfg.local_steps = args.get_parsed("local-steps", 16)?;
+    cfg.local_batch = args.get_parsed("batch", 8)?;
+    cfg.seed = args.get_parsed("seed", 42)?;
+    cfg.compress_link = args.flag("compress");
+    cfg.secure_agg = args.flag("secure");
+    cfg.allow_partial_results = args.flag("partial-ok");
+    if let Some(k) = args.get("sample") {
+        cfg.cohort = CohortSpec::Sample {
+            k: k.parse().map_err(|_| format!("invalid --sample {k:?}"))?,
+        };
+    }
+    let lr: f32 = args.get_parsed("lr", 6e-3)?;
+    let rounds: u64 = args.get_parsed("rounds", 12)?;
+    cfg.schedule = LrSchedule::paper_cosine(lr, 10, (rounds * cfg.local_steps).max(20));
+    cfg.server_opt = match args.get_or("server-opt", "fedavg") {
+        "fedavg" => ServerOptKind::photon_default(),
+        "fedmom" => ServerOptKind::FedMom {
+            lr: 1.0,
+            momentum: 0.9,
+        },
+        "fedadam" => ServerOptKind::FedAdam { lr: 0.01 },
+        "diloco" => ServerOptKind::diloco_default(),
+        other => return Err(format!("unknown --server-opt {other:?}")),
+    };
+    cfg.validate().map_err(|e| e.to_string())?;
+    Ok(cfg)
+}
+
+fn build_data(
+    cfg: &FederationConfig,
+    args: &Args,
+) -> Result<(Federation, photon_data::TokenCorpus), String> {
+    let tokens: usize = args.get_parsed("tokens-per-client", 20_000)?;
+    match args.get_or("data", "web") {
+        "web" => build_iid_federation(cfg, tokens).map_err(|e| e.to_string()),
+        "pile" => build_heterogeneous_federation(cfg, tokens * 4).map_err(|e| e.to_string()),
+        other => Err(format!("unknown --data {other:?} (web|pile)")),
+    }
+}
+
+fn parse_model(name: &str) -> Result<ModelConfig, String> {
+    Ok(match name {
+        "tiny" => ModelConfig::proxy_tiny(),
+        "small" => ModelConfig::proxy_small(),
+        "medium" => ModelConfig::proxy_medium(),
+        "large" => ModelConfig::proxy_large(),
+        other => return Err(format!("unknown --model {other:?} (tiny|small|medium|large)")),
+    })
+}
+
+/// `photon plan`.
+pub fn plan(args: &Args) -> Result<(), String> {
+    if args.flag("help") {
+        println!("photon plan — hardware planning\n\nOPTIONS:\n    --size 125M|1B|3B|7B   Table 1 deployment row [7B]");
+        return Ok(());
+    }
+    use photon_cluster::{autotune_batch, paper_silos, select_strategy, Region, RegionGraph};
+    use photon_comms::{Topology, WallTimeModel};
+
+    let size = args.get_or("size", "7B");
+    let model = match size {
+        "125M" => ModelConfig::paper_125m(),
+        "1B" => ModelConfig::paper_1_3b(),
+        "3B" => ModelConfig::paper_3b(),
+        "7B" => ModelConfig::paper_7b(),
+        other => return Err(format!("unknown --size {other:?}")),
+    };
+    let silos = paper_silos(size);
+    println!("plan for {size}: {} silos", silos.len());
+    println!(
+        "{:<16} {:>5} {:>18} {:>11} {:>9}",
+        "silo", "gpus", "strategy", "batch/gpu", "act-ckpt"
+    );
+    for silo in &silos {
+        let strategy = select_strategy(&model, silo);
+        let tune = autotune_batch(&model, silo.gpu(), strategy, 64);
+        println!(
+            "{:<16} {:>5} {:>18} {:>11} {:>9}",
+            silo.name,
+            silo.total_gpus(),
+            strategy.to_string(),
+            tune.per_gpu_batch,
+            tune.activation_ckpt
+        );
+    }
+    let graph = RegionGraph::paper();
+    let regions: Vec<Region> = silos.iter().map(|s| s.region).collect();
+    let s_mb = model.param_bytes(2) as f64 / 1e6;
+    println!("\naggregation over the Fig. 2 bandwidths ({:.0} MB payload):", s_mb);
+    for topology in Topology::all() {
+        let gbps = match topology {
+            Topology::ParameterServer => graph.slowest_star_link(Region::England, &regions),
+            _ => graph.slowest_ring_link(&regions),
+        };
+        let wt = WallTimeModel::new(0.1, 500, s_mb, gbps * 125.0, topology);
+        let round = wt.round_time(silos.len());
+        println!(
+            "  {:<4} bottleneck {:>5.1} Gbps -> {:>8.1} s/round ({:.2}% of round)",
+            topology.to_string(),
+            gbps,
+            round.comm_s,
+            100.0 * round.comm_fraction()
+        );
+    }
+    Ok(())
+}
+
+/// `photon generate`.
+pub fn generate(args: &Args) -> Result<(), String> {
+    if args.flag("help") {
+        println!("photon generate — sample text from a checkpoint\n\nOPTIONS:\n    --checkpoint-dir DIR   (required)\n    --prompt TEXT          [\"The \"]\n    --tokens N             [120]\n    --temperature X        [0.8]\n    --top-k N              [20]\n    --seed N               [0]");
+        return Ok(());
+    }
+    let model = load_model(args)?;
+    let tokenizer = ByteTokenizer::new();
+    let prompt = args.get_or("prompt", "The ");
+    let n: usize = args.get_parsed("tokens", 120)?;
+    let cfg = SampleConfig {
+        temperature: args.get_parsed("temperature", 0.8f32)?,
+        top_k: args.get_parsed("top-k", 20usize)?,
+    };
+    let mut rng = SeedStream::new(args.get_parsed("seed", 0u64)?);
+    let ids = tokenizer.encode(prompt);
+    if ids.is_empty() {
+        return Err("--prompt must be non-empty".into());
+    }
+    let out = sample_tokens(&model, &ids, n, &cfg, &mut rng);
+    println!("{prompt}{}", tokenizer.decode(&out));
+    Ok(())
+}
+
+/// `photon downstream`.
+pub fn downstream(args: &Args) -> Result<(), String> {
+    if args.flag("help") {
+        println!("photon downstream — synthetic in-context evaluation\n\nOPTIONS:\n    --checkpoint-dir DIR   (required)\n    --seed N               [7]");
+        return Ok(());
+    }
+    let model = load_model(args)?;
+    let seed: u64 = args.get_parsed("seed", 7)?;
+    println!("{:<16} {:>10} {:>10}", "benchmark", "accuracy", "instances");
+    for score in downstream_report(&model, seed) {
+        println!(
+            "{:<16} {:>10.3} {:>10}",
+            score.benchmark, score.accuracy, score.instances
+        );
+    }
+    Ok(())
+}
+
+fn load_model(args: &Args) -> Result<Gpt, String> {
+    let dir = args
+        .get("checkpoint-dir")
+        .map(Path::new)
+        .ok_or("missing --checkpoint-dir")?;
+    let (manifest, params) =
+        load_checkpoint(dir).map_err(|e| format!("cannot load checkpoint: {e}"))?;
+    Ok(Gpt::from_params(manifest.config.model, params))
+}

@@ -1,0 +1,58 @@
+//! `photon` — the Photon-RS command-line interface.
+//!
+//! Subcommands:
+//! * `train`      — run a federated pre-training job (IID or Pile-style data)
+//! * `resume`     — continue training from a checkpoint directory
+//! * `plan`       — hardware planning for the paper's deployments
+//! * `generate`   — sample text from a checkpointed model
+//! * `downstream` — run the synthetic in-context evaluation suite
+//!
+//! Run `photon --help` or `photon <command> --help` for options.
+
+use photon_cli::args::Args;
+use photon_cli::commands;
+use std::process::ExitCode;
+
+const USAGE: &str = "photon — federated LLM pre-training (Photon-RS)
+
+USAGE:
+    photon <command> [options]
+
+COMMANDS:
+    train       run a federated pre-training job
+    resume      continue training from --checkpoint-dir
+    plan        hardware planning for a paper model size
+    generate    sample text from a checkpointed model
+    downstream  score a checkpointed model on the synthetic eval suite
+
+Run `photon <command> --help` for command options.";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "--help" || raw[0] == "help" {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let args = match Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "train" => commands::train(&args, false),
+        "resume" => commands::train(&args, true),
+        "plan" => commands::plan(&args),
+        "generate" => commands::generate(&args),
+        "downstream" => commands::downstream(&args),
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,132 @@
+use crate::{training_bytes, GpuSpec, TrainingStrategy};
+use photon_nn::ModelConfig;
+
+/// Result of the batch-size autotuning heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AutoTuneResult {
+    /// Micro-batch size per GPU (0 means the model cannot train at all).
+    pub per_gpu_batch: usize,
+    /// Whether activation checkpointing had to be enabled.
+    pub activation_ckpt: bool,
+}
+
+impl AutoTuneResult {
+    /// Whether any viable configuration was found.
+    pub fn is_viable(&self) -> bool {
+        self.per_gpu_batch > 0
+    }
+}
+
+/// DeepSpeed-AutoTuner-style batch-size selection (§5.1): find the largest
+/// power-of-two per-GPU batch that fits in VRAM with ~10% headroom,
+/// preferring no activation checkpointing (it costs ~30% throughput), and
+/// falling back to checkpointing before giving up.
+///
+/// `shard_ways` is the parameter/optimizer sharding degree implied by the
+/// chosen [`TrainingStrategy`] (1 for single-GPU/DDP, the GPU count for
+/// FSDP).
+pub fn autotune_batch(
+    config: &ModelConfig,
+    gpu: &GpuSpec,
+    strategy: TrainingStrategy,
+    max_batch: usize,
+) -> AutoTuneResult {
+    let shard_ways = match strategy {
+        TrainingStrategy::Fsdp { n_gpus } => n_gpus,
+        _ => 1,
+    };
+    let budget = (gpu.vram_bytes() as f64 * 0.9) as usize;
+
+    for ckpt in [false, true] {
+        let mut best = 0usize;
+        let mut b = 1usize;
+        while b <= max_batch {
+            if training_bytes(config, b, shard_ways, ckpt).total() <= budget {
+                best = b;
+                b *= 2;
+            } else {
+                break;
+            }
+        }
+        if best > 0 {
+            return AutoTuneResult {
+                per_gpu_batch: best,
+                activation_ckpt: ckpt,
+            };
+        }
+    }
+    AutoTuneResult {
+        per_gpu_batch: 0,
+        activation_ckpt: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_125m_batch_32() {
+        // §5.1: 125M on one H100 -> B_l = 32, no checkpointing.
+        let r = autotune_batch(
+            &ModelConfig::paper_125m(),
+            &GpuSpec::h100(),
+            TrainingStrategy::SingleGpu,
+            64,
+        );
+        assert_eq!(r.per_gpu_batch, 32);
+        assert!(!r.activation_ckpt);
+        assert!(r.is_viable());
+    }
+
+    #[test]
+    fn seven_b_fsdp_finds_a_batch() {
+        let r = autotune_batch(
+            &ModelConfig::paper_7b(),
+            &GpuSpec::h100(),
+            TrainingStrategy::Fsdp { n_gpus: 8 },
+            64,
+        );
+        assert!(r.is_viable());
+    }
+
+    #[test]
+    fn seven_b_single_gpu_is_not_viable() {
+        let r = autotune_batch(
+            &ModelConfig::paper_7b(),
+            &GpuSpec::h100(),
+            TrainingStrategy::SingleGpu,
+            64,
+        );
+        assert!(!r.is_viable());
+    }
+
+    #[test]
+    fn commodity_gpu_needs_checkpointing_earlier() {
+        // 350M on a 24 GiB consumer card: small batch and/or checkpointing.
+        let big = autotune_batch(
+            &ModelConfig::paper_350m(),
+            &GpuSpec::h100(),
+            TrainingStrategy::SingleGpu,
+            64,
+        );
+        let small = autotune_batch(
+            &ModelConfig::paper_350m(),
+            &GpuSpec::rtx4090(),
+            TrainingStrategy::SingleGpu,
+            64,
+        );
+        assert!(small.per_gpu_batch < big.per_gpu_batch || small.activation_ckpt);
+    }
+
+    #[test]
+    fn max_batch_caps_result() {
+        let r = autotune_batch(
+            &ModelConfig::proxy_tiny(),
+            &GpuSpec::h100(),
+            TrainingStrategy::SingleGpu,
+            16,
+        );
+        assert_eq!(r.per_gpu_batch, 16);
+    }
+}

@@ -1,0 +1,235 @@
+use crate::{GpuSpec, SiloSpec};
+use serde::{Deserialize, Serialize};
+
+/// The five federation regions of the paper's deployment (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// Cambridge, England — hosts the aggregator.
+    England,
+    /// Utah, USA.
+    Utah,
+    /// Texas, USA.
+    Texas,
+    /// Quebec, Canada.
+    Quebec,
+    /// Maharashtra, India.
+    Maharashtra,
+}
+
+impl Region {
+    /// All regions in Table 1 order.
+    pub fn all() -> [Region; 5] {
+        [
+            Region::England,
+            Region::Utah,
+            Region::Texas,
+            Region::Quebec,
+            Region::Maharashtra,
+        ]
+    }
+
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Region::England => "england",
+            Region::Utah => "utah",
+            Region::Texas => "texas",
+            Region::Quebec => "quebec",
+            Region::Maharashtra => "maharashtra",
+        }
+    }
+
+    fn index(&self) -> usize {
+        match self {
+            Region::England => 0,
+            Region::Utah => 1,
+            Region::Texas => 2,
+            Region::Quebec => 3,
+            Region::Maharashtra => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The symmetric inter-region bandwidth matrix of Fig. 2.
+///
+/// The paper reports inter-region bandwidths in the 0.8–10 Gbps band, with
+/// the Maharashtra–Quebec link as the slowest (it bottlenecks the
+/// Ring-AllReduce topology) and the aggregator's England links governing
+/// the parameter-server topology. The exact per-link figures are not
+/// tabulated in the paper, so this matrix encodes those documented ordering
+/// constraints with plausible magnitudes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionGraph {
+    /// `bw[i][j]` in Gbps; diagonal is intra-region (fast).
+    bw: [[f64; 5]; 5],
+}
+
+impl Default for RegionGraph {
+    fn default() -> Self {
+        RegionGraph::paper()
+    }
+}
+
+impl RegionGraph {
+    /// The Fig. 2 deployment bandwidths.
+    pub fn paper() -> Self {
+        // Order: England, Utah, Texas, Quebec, Maharashtra.
+        const G: f64 = 100.0; // intra-region
+        let bw = [
+            [G, 4.0, 4.0, 6.0, 2.0],
+            [4.0, G, 10.0, 8.0, 1.5],
+            [4.0, 10.0, G, 8.0, 1.8],
+            [6.0, 8.0, 8.0, G, 0.8],
+            [2.0, 1.5, 1.8, 0.8, G],
+        ];
+        RegionGraph { bw }
+    }
+
+    /// A uniform matrix (every inter-region link at `gbps`) — used by
+    /// Table 2, which fixes "a 10 Gbps bandwidth for the slowest link".
+    pub fn uniform(gbps: f64) -> Self {
+        let mut bw = [[gbps; 5]; 5];
+        for (i, row) in bw.iter_mut().enumerate() {
+            row[i] = 100.0f64.max(gbps);
+        }
+        RegionGraph { bw }
+    }
+
+    /// Bandwidth between two regions in Gbps.
+    pub fn bandwidth_gbps(&self, a: Region, b: Region) -> f64 {
+        self.bw[a.index()][b.index()]
+    }
+
+    /// The slowest link on a ring visiting `ring` in order (wrapping) —
+    /// the Ring-AllReduce bottleneck (Fig. 2 caption).
+    ///
+    /// # Panics
+    /// Panics if the ring has fewer than 2 members.
+    pub fn slowest_ring_link(&self, ring: &[Region]) -> f64 {
+        assert!(ring.len() >= 2, "ring needs at least two members");
+        (0..ring.len())
+            .map(|i| self.bandwidth_gbps(ring[i], ring[(i + 1) % ring.len()]))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The slowest link from a hub region to any spoke — the
+    /// parameter-server bottleneck.
+    pub fn slowest_star_link(&self, hub: Region, spokes: &[Region]) -> f64 {
+        spokes
+            .iter()
+            .filter(|&&s| s != hub)
+            .map(|&s| self.bandwidth_gbps(hub, s))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// The Table 1 silo inventory for a given model-size row.
+///
+/// Accepts the labels used in Table 1: `"7B"`, `"3B"`, `"1B"`, `"125M"`.
+///
+/// # Panics
+/// Panics on an unknown label.
+pub fn paper_silos(model_size: &str) -> Vec<SiloSpec> {
+    let h = GpuSpec::h100();
+    let silo = |name: &str, n_gpus: usize, region: Region| SiloSpec::single_node(name, n_gpus, h.clone(), region);
+    match model_size {
+        "7B" => vec![
+            silo("utah-0", 8, Region::Utah),
+            silo("texas-0", 8, Region::Texas),
+            silo("quebec-0", 8, Region::Quebec),
+            silo("maharashtra-0", 8, Region::Maharashtra),
+        ],
+        "3B" => vec![
+            silo("utah-0", 4, Region::Utah),
+            silo("texas-0", 4, Region::Texas),
+            silo("quebec-0", 4, Region::Quebec),
+            silo("maharashtra-0", 4, Region::Maharashtra),
+        ],
+        "1B" => vec![
+            silo("england-0", 2, Region::England),
+            silo("utah-0", 2, Region::Utah),
+            silo("utah-1", 2, Region::Utah),
+            silo("texas-0", 2, Region::Texas),
+            silo("texas-1", 2, Region::Texas),
+            silo("quebec-0", 4, Region::Quebec),
+            silo("quebec-1", 4, Region::Quebec),
+            silo("maharashtra-0", 4, Region::Maharashtra),
+        ],
+        "125M" => Region::all()
+            .iter()
+            .flat_map(|&r| {
+                (0..2).map(move |i| {
+                    SiloSpec::single_node(format!("{r}-{i}"), 1, GpuSpec::h100(), r)
+                })
+            })
+            .collect(),
+        other => panic!("unknown Table 1 row: {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_symmetric_and_in_paper_band() {
+        let g = RegionGraph::paper();
+        for a in Region::all() {
+            for b in Region::all() {
+                assert_eq!(g.bandwidth_gbps(a, b), g.bandwidth_gbps(b, a));
+                if a != b {
+                    let bw = g.bandwidth_gbps(a, b);
+                    assert!((0.8..=40.0).contains(&bw), "{a}-{b}: {bw}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn maharashtra_quebec_is_the_ring_bottleneck() {
+        let g = RegionGraph::paper();
+        let ring = Region::all();
+        let slowest = g.slowest_ring_link(&ring);
+        assert_eq!(
+            slowest,
+            g.bandwidth_gbps(Region::Maharashtra, Region::Quebec)
+        );
+    }
+
+    #[test]
+    fn star_bottleneck_from_england() {
+        let g = RegionGraph::paper();
+        let spokes = Region::all();
+        let slowest = g.slowest_star_link(Region::England, &spokes);
+        assert_eq!(slowest, g.bandwidth_gbps(Region::England, Region::Maharashtra));
+    }
+
+    #[test]
+    fn uniform_matrix() {
+        let g = RegionGraph::uniform(10.0);
+        assert_eq!(g.bandwidth_gbps(Region::Utah, Region::Texas), 10.0);
+        assert_eq!(g.slowest_ring_link(&Region::all()), 10.0);
+    }
+
+    #[test]
+    fn table1_inventories() {
+        assert_eq!(paper_silos("7B").iter().map(SiloSpec::total_gpus).sum::<usize>(), 32);
+        assert_eq!(paper_silos("3B").iter().map(SiloSpec::total_gpus).sum::<usize>(), 16);
+        assert_eq!(paper_silos("1B").iter().map(SiloSpec::total_gpus).sum::<usize>(), 22);
+        let small = paper_silos("125M");
+        assert_eq!(small.len(), 10);
+        assert!(small.iter().all(|s| s.total_gpus() == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown Table 1 row")]
+    fn unknown_row_panics() {
+        paper_silos("13B");
+    }
+}

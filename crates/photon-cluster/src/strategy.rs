@@ -1,0 +1,184 @@
+use crate::{training_bytes, SiloSpec};
+use photon_nn::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// The local execution strategy an LLM client selects for its hardware —
+/// the §4 "Optimal Training Strategy Selection" heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrainingStrategy {
+    /// One dedicated GPU trains the whole model.
+    SingleGpu,
+    /// Replicated data parallelism across GPUs (model fits per GPU).
+    Ddp {
+        /// Number of data-parallel workers.
+        n_gpus: usize,
+    },
+    /// Fully sharded data parallelism (model states sharded).
+    Fsdp {
+        /// Number of sharding workers.
+        n_gpus: usize,
+    },
+    /// Inter-node bandwidth too low for collectives: build a
+    /// sub-federation with one partition per node and locally aggregate
+    /// (Algorithm 1, L.19–25).
+    SubFederation {
+        /// Number of independent local partitions.
+        partitions: usize,
+    },
+}
+
+impl TrainingStrategy {
+    /// Number of model replicas or shards running concurrently.
+    pub fn parallel_workers(&self) -> usize {
+        match *self {
+            TrainingStrategy::SingleGpu => 1,
+            TrainingStrategy::Ddp { n_gpus } | TrainingStrategy::Fsdp { n_gpus } => n_gpus,
+            TrainingStrategy::SubFederation { partitions } => partitions,
+        }
+    }
+}
+
+impl std::fmt::Display for TrainingStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            TrainingStrategy::SingleGpu => write!(f, "single-gpu"),
+            TrainingStrategy::Ddp { n_gpus } => write!(f, "ddp({n_gpus})"),
+            TrainingStrategy::Fsdp { n_gpus } => write!(f, "fsdp({n_gpus})"),
+            TrainingStrategy::SubFederation { partitions } => {
+                write!(f, "sub-federation({partitions})")
+            }
+        }
+    }
+}
+
+/// Whether model + optimizer states (unsharded, batch 1, with
+/// checkpointing) fit on one of the silo's GPUs.
+fn fits_single_gpu(config: &ModelConfig, silo: &SiloSpec) -> bool {
+    let budget = (silo.gpu().vram_bytes() as f64 * 0.9) as usize;
+    training_bytes(config, 1, 1, true).total() <= budget
+}
+
+/// The §4 strategy-selection heuristic:
+///
+/// 1. one GPU and the model fits → [`TrainingStrategy::SingleGpu`];
+/// 2. one multi-GPU node → DDP if a replica fits per GPU, else FSDP;
+/// 3. multiple nodes → DDP/FSDP if the inter-node link is RDMA-class,
+///    else a sub-federation with one partition per node.
+///
+/// # Panics
+/// Panics if the silo has no nodes or no GPUs.
+pub fn select_strategy(config: &ModelConfig, silo: &SiloSpec) -> TrainingStrategy {
+    let total = silo.total_gpus();
+    assert!(total > 0, "silo has no GPUs");
+    let fits = fits_single_gpu(config, silo);
+
+    if silo.nodes.len() == 1 {
+        let n_gpus = silo.nodes[0].n_gpus;
+        if n_gpus == 1 {
+            if fits {
+                return TrainingStrategy::SingleGpu;
+            }
+            // A single GPU that cannot hold the model: FSDP degenerates to
+            // offload; report FSDP(1) so the caller can detect the corner.
+            return TrainingStrategy::Fsdp { n_gpus: 1 };
+        }
+        return if fits {
+            TrainingStrategy::Ddp { n_gpus }
+        } else {
+            TrainingStrategy::Fsdp { n_gpus }
+        };
+    }
+
+    if silo.inter_node.has_rdma() {
+        if fits {
+            TrainingStrategy::Ddp { n_gpus: total }
+        } else {
+            TrainingStrategy::Fsdp { n_gpus: total }
+        }
+    } else {
+        TrainingStrategy::SubFederation {
+            partitions: silo.nodes.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GpuSpec, Interconnect, NodeSpec, Region};
+
+    fn multi_node_silo(inter: Interconnect, nodes: usize, gpus_per: usize) -> SiloSpec {
+        SiloSpec {
+            name: "multi".into(),
+            nodes: (0..nodes)
+                .map(|_| NodeSpec::nvlink(GpuSpec::h100(), gpus_per))
+                .collect(),
+            inter_node: inter,
+            region: Region::Texas,
+        }
+    }
+
+    #[test]
+    fn rule1_single_gpu() {
+        let silo = SiloSpec::single_node("s", 1, GpuSpec::h100(), Region::Utah);
+        assert_eq!(
+            select_strategy(&ModelConfig::paper_125m(), &silo),
+            TrainingStrategy::SingleGpu
+        );
+    }
+
+    #[test]
+    fn rule2_ddp_when_replica_fits() {
+        let silo = SiloSpec::single_node("s", 4, GpuSpec::h100(), Region::Utah);
+        assert_eq!(
+            select_strategy(&ModelConfig::paper_1_3b(), &silo),
+            TrainingStrategy::Ddp { n_gpus: 4 }
+        );
+    }
+
+    #[test]
+    fn rule2_fsdp_when_model_too_large() {
+        let silo = SiloSpec::single_node("s", 8, GpuSpec::h100(), Region::Utah);
+        assert_eq!(
+            select_strategy(&ModelConfig::paper_7b(), &silo),
+            TrainingStrategy::Fsdp { n_gpus: 8 }
+        );
+    }
+
+    #[test]
+    fn rule3_rdma_cluster_uses_collectives() {
+        let silo = multi_node_silo(Interconnect::InfiniBand { gbps: 400.0 }, 2, 8);
+        assert_eq!(
+            select_strategy(&ModelConfig::paper_7b(), &silo),
+            TrainingStrategy::Fsdp { n_gpus: 16 }
+        );
+    }
+
+    #[test]
+    fn rule3_slow_cluster_builds_sub_federation() {
+        let silo = multi_node_silo(Interconnect::Ethernet { gbps: 10.0 }, 3, 4);
+        assert_eq!(
+            select_strategy(&ModelConfig::paper_1_3b(), &silo),
+            TrainingStrategy::SubFederation { partitions: 3 }
+        );
+    }
+
+    #[test]
+    fn parallel_workers_counts() {
+        assert_eq!(TrainingStrategy::SingleGpu.parallel_workers(), 1);
+        assert_eq!(TrainingStrategy::Ddp { n_gpus: 4 }.parallel_workers(), 4);
+        assert_eq!(
+            TrainingStrategy::SubFederation { partitions: 3 }.parallel_workers(),
+            3
+        );
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(TrainingStrategy::Ddp { n_gpus: 2 }.to_string(), "ddp(2)");
+        assert_eq!(
+            TrainingStrategy::SubFederation { partitions: 3 }.to_string(),
+            "sub-federation(3)"
+        );
+    }
+}

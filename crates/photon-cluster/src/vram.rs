@@ -1,0 +1,109 @@
+use photon_nn::ModelConfig;
+
+/// A per-GPU training memory estimate, in bytes.
+///
+/// Follows standard mixed-precision accounting (as used by the DeepSpeed
+/// AutoTuner the paper's heuristics are modelled on, §5.1):
+/// * bf16 parameters (2 B) and gradients (2 B);
+/// * fp32 optimizer state: master weights + Adam m/v (12 B), optionally
+///   sharded across GPUs (ZeRO/FSDP);
+/// * activations per micro-batch sample, assuming fused/flash attention
+///   (no materialized `T × T` score matrix): `66 · d · T · L` bytes,
+///   optionally reduced ~8x by activation checkpointing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryBreakdown {
+    /// Parameter bytes on this GPU.
+    pub params: usize,
+    /// Gradient bytes on this GPU.
+    pub grads: usize,
+    /// Optimizer-state bytes on this GPU.
+    pub optimizer: usize,
+    /// Activation bytes for the chosen per-GPU batch size.
+    pub activations: usize,
+}
+
+impl MemoryBreakdown {
+    /// Total bytes.
+    pub fn total(&self) -> usize {
+        self.params + self.grads + self.optimizer + self.activations
+    }
+}
+
+/// Activation bytes for a single sample (sequence) in bf16, assuming fused
+/// attention and no checkpointing.
+pub fn activation_bytes_per_sample(config: &ModelConfig) -> usize {
+    // Per layer-token-channel cost: Korthikanti et al.'s 34 B baseline
+    // (without the attention quadratic term) plus workspace/fragmentation
+    // overhead, calibrated at 66 B so the autotuner reproduces the paper's
+    // hardware-determined B_l = 32 for the 125M model on one H100 (§5.1).
+    66 * config.d_model * config.seq_len * config.n_layers
+}
+
+/// Full training memory for a per-GPU batch size, with parameter/optimizer
+/// sharding across `shard_ways` GPUs (1 = no sharding, i.e. DDP) and
+/// optional activation checkpointing (~8x activation reduction).
+pub fn training_bytes(
+    config: &ModelConfig,
+    per_gpu_batch: usize,
+    shard_ways: usize,
+    activation_ckpt: bool,
+) -> MemoryBreakdown {
+    assert!(shard_ways > 0, "shard_ways must be positive");
+    let n = config.param_count();
+    let act = activation_bytes_per_sample(config) * per_gpu_batch;
+    MemoryBreakdown {
+        params: 2 * n / shard_ways,
+        grads: 2 * n / shard_ways,
+        optimizer: 12 * n / shard_ways,
+        activations: if activation_ckpt { act / 8 } else { act },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_125m_batch32_fits_one_h100() {
+        // §5.1: "clients training a 125M parameter model use 1 Nvidia H100,
+        // processing a hardware-determined local batch size B_l = 32,
+        // without gradient accumulation or activation checkpointing".
+        let cfg = ModelConfig::paper_125m();
+        let mem = training_bytes(&cfg, 32, 1, false);
+        let h100 = crate::GpuSpec::h100().vram_bytes();
+        assert!(mem.total() < h100, "{} >= {}", mem.total(), h100);
+        // And it is genuinely hardware-determined: a much larger batch
+        // should not fit.
+        let too_big = training_bytes(&cfg, 128, 1, false);
+        assert!(too_big.total() > h100);
+    }
+
+    #[test]
+    fn seven_b_needs_sharding() {
+        let cfg = ModelConfig::paper_7b();
+        let h100 = crate::GpuSpec::h100().vram_bytes();
+        // Unsharded states alone exceed one H100 (16 B/param * ~6.5B).
+        let unsharded = training_bytes(&cfg, 1, 1, true);
+        assert!(unsharded.total() > h100);
+        // Sharded 8 ways with checkpointing, batch 1 fits.
+        let sharded = training_bytes(&cfg, 1, 8, true);
+        assert!(sharded.total() < h100, "{}", sharded.total());
+    }
+
+    #[test]
+    fn checkpointing_reduces_only_activations() {
+        let cfg = ModelConfig::paper_350m();
+        let plain = training_bytes(&cfg, 8, 1, false);
+        let ckpt = training_bytes(&cfg, 8, 1, true);
+        assert_eq!(plain.params, ckpt.params);
+        assert_eq!(plain.optimizer, ckpt.optimizer);
+        assert!(ckpt.activations < plain.activations / 4);
+    }
+
+    #[test]
+    fn breakdown_total_is_sum() {
+        let cfg = ModelConfig::proxy_tiny();
+        let m = training_bytes(&cfg, 4, 2, false);
+        assert_eq!(m.total(), m.params + m.grads + m.optimizer + m.activations);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the hardware model: whatever the autotuner
+//! picks must actually fit, and the strategy selector must stay total.
+
+use photon_cluster::{
+    autotune_batch, select_strategy, training_bytes, GpuSpec, Interconnect, NodeSpec, Region,
+    SiloSpec, TrainingStrategy,
+};
+use photon_nn::ModelConfig;
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = ModelConfig> {
+    (1usize..16, 1usize..8, 1usize..5, 1000usize..60_000, 7usize..12).prop_map(
+        |(n_layers, heads, exp_ratio, vocab, seq_pow)| ModelConfig {
+            n_layers,
+            d_model: heads * 64,
+            n_heads: heads,
+            exp_ratio,
+            vocab_size: vocab,
+            seq_len: 1 << seq_pow,
+        },
+    )
+}
+
+fn arb_gpu() -> impl Strategy<Value = GpuSpec> {
+    prop_oneof![
+        Just(GpuSpec::h100()),
+        Just(GpuSpec::a100()),
+        Just(GpuSpec::rtx4090()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any viable autotune result fits the GPU with headroom; a batch one
+    /// doubling larger does not fit (maximality), unless capped.
+    #[test]
+    fn autotune_is_maximal_and_fits(model in arb_model(), gpu in arb_gpu()) {
+        let strategy = TrainingStrategy::SingleGpu;
+        let max_batch = 64usize;
+        let r = autotune_batch(&model, &gpu, strategy, max_batch);
+        if r.is_viable() {
+            let mem = training_bytes(&model, r.per_gpu_batch, 1, r.activation_ckpt);
+            prop_assert!(mem.total() as f64 <= gpu.vram_bytes() as f64 * 0.9);
+            if r.per_gpu_batch < max_batch {
+                let bigger = training_bytes(&model, r.per_gpu_batch * 2, 1, r.activation_ckpt);
+                prop_assert!(bigger.total() as f64 > gpu.vram_bytes() as f64 * 0.9);
+            }
+            // Power of two.
+            prop_assert!(r.per_gpu_batch.is_power_of_two());
+        }
+    }
+
+    /// Strategy selection is total and consistent with silo shape:
+    /// single-node silos never select sub-federation, and multi-node silos
+    /// over slow links always do.
+    #[test]
+    fn strategy_selector_is_consistent(
+        model in arb_model(),
+        n_nodes in 1usize..4,
+        gpus_per in 1usize..8,
+        fast_link in any::<bool>(),
+    ) {
+        let silo = SiloSpec {
+            name: "t".into(),
+            nodes: (0..n_nodes).map(|_| NodeSpec::nvlink(GpuSpec::h100(), gpus_per)).collect(),
+            inter_node: if fast_link {
+                Interconnect::InfiniBand { gbps: 400.0 }
+            } else {
+                Interconnect::Ethernet { gbps: 10.0 }
+            },
+            region: Region::Texas,
+        };
+        let strategy = select_strategy(&model, &silo);
+        match strategy {
+            TrainingStrategy::SubFederation { partitions } => {
+                prop_assert!(n_nodes > 1 && !fast_link);
+                prop_assert_eq!(partitions, n_nodes);
+            }
+            TrainingStrategy::SingleGpu => {
+                prop_assert_eq!(silo.total_gpus(), 1);
+            }
+            TrainingStrategy::Ddp { n_gpus } | TrainingStrategy::Fsdp { n_gpus } => {
+                prop_assert!(n_gpus == silo.total_gpus() || n_gpus == 1);
+                if n_nodes > 1 {
+                    prop_assert!(fast_link);
+                }
+            }
+        }
+    }
+
+    /// Memory accounting is monotone in batch size and sharding always
+    /// reduces the per-GPU state footprint.
+    #[test]
+    fn memory_monotonicity(model in arb_model(), batch in 1usize..32) {
+        let small = training_bytes(&model, batch, 1, false);
+        let bigger = training_bytes(&model, batch + 1, 1, false);
+        prop_assert!(bigger.total() > small.total());
+        let sharded = training_bytes(&model, batch, 4, false);
+        prop_assert!(sharded.params < small.params);
+        prop_assert!(sharded.optimizer < small.optimizer);
+        prop_assert_eq!(sharded.activations, small.activations);
+    }
+}

@@ -1,0 +1,227 @@
+//! Lossless float compression: byte-plane shuffle, per-plane XOR delta,
+//! and escape-coded zero run-length encoding.
+//!
+//! Model parameters and pseudo-gradients are floats whose sign/exponent
+//! bytes cluster around a handful of values. Transposing the buffer into
+//! four byte planes groups those structured bytes together (the classic
+//! HDF5/Blosc "shuffle" filter); XOR-ing each plane with its predecessor
+//! turns repeated bytes into zeros; and an escape-coded RLE then removes
+//! zero runs without ever expanding isolated literals. The codec is exact
+//! (bit-for-bit), matching Photon's default of "lossless compression
+//! techniques without pruning" (§4).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Escape byte for the RLE layer: `ESC 0x00` encodes a literal `ESC`;
+/// `ESC n` (n ≥ 1) encodes a run of `n` zero bytes.
+const ESC: u8 = 0xF7;
+
+/// Compresses a float buffer. The output always starts with the element
+/// count, so an empty input is valid.
+pub fn compress_f32s(xs: &[f32]) -> Bytes {
+    let n = xs.len();
+    let mut planes = vec![0u8; 4 * n];
+    for (i, &x) in xs.iter().enumerate() {
+        let b = x.to_le_bytes();
+        planes[i] = b[0];
+        planes[n + i] = b[1];
+        planes[2 * n + i] = b[2];
+        planes[3 * n + i] = b[3];
+    }
+    // XOR delta within each plane: repeated bytes become zero.
+    for p in 0..4 {
+        let plane = &mut planes[p * n..(p + 1) * n];
+        for i in (1..plane.len()).rev() {
+            plane[i] ^= plane[i - 1];
+        }
+    }
+
+    let mut out = BytesMut::with_capacity(4 * n / 2 + 16);
+    out.put_u64_le(n as u64);
+    let mut i = 0usize;
+    while i < planes.len() {
+        match planes[i] {
+            0 => {
+                let mut run = 1usize;
+                while i + run < planes.len() && planes[i + run] == 0 && run < 254 {
+                    run += 1;
+                }
+                if run == 1 {
+                    // An isolated zero stays a 1-byte literal.
+                    out.put_u8(0);
+                } else {
+                    out.put_u8(ESC);
+                    out.put_u8(run as u8);
+                }
+                i += run;
+            }
+            ESC => {
+                out.put_u8(ESC);
+                out.put_u8(0);
+                i += 1;
+            }
+            b => {
+                out.put_u8(b);
+                i += 1;
+            }
+        }
+    }
+    out.freeze()
+}
+
+/// Decompresses a buffer produced by [`compress_f32s`].
+///
+/// # Errors
+/// Returns a description of the corruption if the stream is truncated or
+/// inconsistent with its declared length.
+pub fn decompress_f32s(mut buf: Bytes) -> Result<Vec<f32>, String> {
+    if buf.remaining() < 8 {
+        return Err("missing element count".into());
+    }
+    let n = buf.get_u64_le() as usize;
+    let total = 4usize
+        .checked_mul(n)
+        .ok_or_else(|| "element count overflow".to_string())?;
+    let mut planes = Vec::with_capacity(total);
+    while planes.len() < total {
+        if buf.remaining() < 1 {
+            return Err(format!(
+                "truncated stream: have {} of {} plane bytes",
+                planes.len(),
+                total
+            ));
+        }
+        match buf.get_u8() {
+            ESC => {
+                if buf.remaining() < 1 {
+                    return Err("truncated escape".into());
+                }
+                match buf.get_u8() {
+                    0 => planes.push(ESC),
+                    run => {
+                        if planes.len() + run as usize > total {
+                            return Err("zero run exceeds declared length".into());
+                        }
+                        planes.resize(planes.len() + run as usize, 0);
+                    }
+                }
+            }
+            b => planes.push(b),
+        }
+    }
+    if buf.has_remaining() {
+        return Err("trailing bytes after stream".into());
+    }
+    // Undo the XOR delta.
+    for p in 0..4 {
+        let plane = &mut planes[p * n..(p + 1) * n];
+        for i in 1..plane.len() {
+            plane[i] ^= plane[i - 1];
+        }
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(f32::from_le_bytes([
+            planes[i],
+            planes[n + i],
+            planes[2 * n + i],
+            planes[3 * n + i],
+        ]));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_tensor::SeedStream;
+
+    #[test]
+    fn roundtrip_random() {
+        let mut rng = SeedStream::new(1);
+        let xs: Vec<f32> = (0..2048).map(|_| rng.next_normal() * 0.02).collect();
+        let c = compress_f32s(&xs);
+        assert_eq!(decompress_f32s(c).unwrap(), xs);
+    }
+
+    #[test]
+    fn roundtrip_edge_values() {
+        let xs = vec![
+            0.0,
+            -0.0,
+            f32::MIN,
+            f32::MAX,
+            f32::MIN_POSITIVE,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            1.0,
+            -1.0,
+        ];
+        let c = compress_f32s(&xs);
+        assert_eq!(decompress_f32s(c).unwrap(), xs);
+    }
+
+    #[test]
+    fn roundtrip_escape_heavy_values() {
+        // Floats whose bytes include the escape byte 0xF7.
+        let xs: Vec<f32> = (0..64)
+            .map(|i| f32::from_le_bytes([0xF7, 0xF7, (i as u8), 0x3C]))
+            .collect();
+        let c = compress_f32s(&xs);
+        assert_eq!(decompress_f32s(c).unwrap(), xs);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let c = compress_f32s(&[]);
+        assert!(decompress_f32s(c).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sparse_buffers_compress_well() {
+        // A pruned/sparse pseudo-gradient: 90% zeros.
+        let mut rng = SeedStream::new(2);
+        let xs: Vec<f32> = (0..10_000)
+            .map(|_| {
+                if rng.next_f32() < 0.9 {
+                    0.0
+                } else {
+                    rng.next_normal()
+                }
+            })
+            .collect();
+        let c = compress_f32s(&xs);
+        let raw = xs.len() * 4;
+        assert!(
+            c.len() < raw / 2,
+            "sparse compression too weak: {} vs {raw}",
+            c.len()
+        );
+    }
+
+    #[test]
+    fn small_init_weights_compress_somewhat() {
+        // Typical init-scale weights share exponent bytes; the shuffled
+        // delta planes must yield a net reduction.
+        let mut rng = SeedStream::new(3);
+        let xs: Vec<f32> = (0..50_000).map(|_| rng.next_normal() * 0.02).collect();
+        let c = compress_f32s(&xs);
+        assert!(
+            c.len() < xs.len() * 4,
+            "no reduction: {} vs {}",
+            c.len(),
+            xs.len() * 4
+        );
+    }
+
+    #[test]
+    fn corrupt_streams_rejected() {
+        let c = compress_f32s(&[1.0, 0.0, 3.0]);
+        for cut in [0, 4, c.len() - 1] {
+            assert!(decompress_f32s(c.slice(..cut)).is_err(), "cut={cut}");
+        }
+        let mut extended = BytesMut::from(&c[..]);
+        extended.put_u8(0xAB);
+        assert!(decompress_f32s(extended.freeze()).is_err());
+    }
+}

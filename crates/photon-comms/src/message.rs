@@ -1,0 +1,230 @@
+use crate::{compress_f32s, decode_frame, decompress_f32s, encode_frame, WireError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Training metadata carried alongside model payloads ("message payloads
+/// carry metadata, including training and evaluation instructions,
+/// metrics", §4).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TrainMetrics {
+    /// Mean training loss over the local steps.
+    pub mean_loss: f32,
+    /// Tokens processed locally.
+    pub tokens: u64,
+    /// Local optimizer steps taken.
+    pub steps: u64,
+}
+
+/// A message on the aggregator <-> client Link.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Server -> client: global parameters for a round.
+    ModelBroadcast {
+        /// Federated round index.
+        round: u64,
+        /// Flat global parameters.
+        params: Vec<f32>,
+    },
+    /// Client -> server: pseudo-gradient plus metrics.
+    ClientResult {
+        /// Federated round index.
+        round: u64,
+        /// Client identifier.
+        client_id: u32,
+        /// Flat pseudo-gradient `θ_global − θ_local`.
+        delta: Vec<f32>,
+        /// Aggregation weight.
+        weight: f64,
+        /// Local training metrics.
+        metrics: TrainMetrics,
+    },
+    /// Server -> client: end of training.
+    Shutdown,
+}
+
+const TAG_BROADCAST: u8 = 1;
+const TAG_RESULT: u8 = 2;
+const TAG_SHUTDOWN: u8 = 3;
+
+impl Message {
+    /// Serializes into a Link frame, optionally compressing float payloads.
+    pub fn to_frame(&self, compress: bool) -> Bytes {
+        let mut body = BytesMut::new();
+        match self {
+            Message::ModelBroadcast { round, params } => {
+                body.put_u8(TAG_BROADCAST);
+                body.put_u64_le(*round);
+                put_floats(&mut body, params, compress);
+            }
+            Message::ClientResult {
+                round,
+                client_id,
+                delta,
+                weight,
+                metrics,
+            } => {
+                body.put_u8(TAG_RESULT);
+                body.put_u64_le(*round);
+                body.put_u32_le(*client_id);
+                body.put_f64_le(*weight);
+                body.put_f32_le(metrics.mean_loss);
+                body.put_u64_le(metrics.tokens);
+                body.put_u64_le(metrics.steps);
+                put_floats(&mut body, delta, compress);
+            }
+            Message::Shutdown => {
+                body.put_u8(TAG_SHUTDOWN);
+            }
+        }
+        encode_frame(&body, compress)
+    }
+
+    /// Parses a Link frame.
+    ///
+    /// # Errors
+    /// Returns a [`WireError`] on framing/corruption errors or an unknown
+    /// message tag.
+    pub fn from_frame(frame: Bytes) -> Result<Message, WireError> {
+        let (mut body, compressed) = decode_frame(frame)?;
+        if body.remaining() < 1 {
+            return Err(WireError::Truncated);
+        }
+        match body.get_u8() {
+            TAG_BROADCAST => {
+                if body.remaining() < 8 {
+                    return Err(WireError::Truncated);
+                }
+                let round = body.get_u64_le();
+                let params = get_floats(&mut body, compressed)?;
+                Ok(Message::ModelBroadcast { round, params })
+            }
+            TAG_RESULT => {
+                if body.remaining() < 8 + 4 + 8 + 4 + 8 + 8 {
+                    return Err(WireError::Truncated);
+                }
+                let round = body.get_u64_le();
+                let client_id = body.get_u32_le();
+                let weight = body.get_f64_le();
+                let metrics = TrainMetrics {
+                    mean_loss: body.get_f32_le(),
+                    tokens: body.get_u64_le(),
+                    steps: body.get_u64_le(),
+                };
+                let delta = get_floats(&mut body, compressed)?;
+                Ok(Message::ClientResult {
+                    round,
+                    client_id,
+                    delta,
+                    weight,
+                    metrics,
+                })
+            }
+            TAG_SHUTDOWN => Ok(Message::Shutdown),
+            tag => Err(WireError::BadCompression(format!("unknown tag {tag}"))),
+        }
+    }
+
+    /// Size of the serialized frame in bytes (the quantity the wall-time
+    /// model charges to the network).
+    pub fn wire_bytes(&self, compress: bool) -> usize {
+        self.to_frame(compress).len()
+    }
+}
+
+fn put_floats(out: &mut BytesMut, xs: &[f32], compress: bool) {
+    if compress {
+        let c = compress_f32s(xs);
+        out.put_u64_le(c.len() as u64);
+        out.put_slice(&c);
+    } else {
+        photon_tensor::write_f32_slice(out, xs);
+    }
+}
+
+fn get_floats(body: &mut Bytes, compressed: bool) -> Result<Vec<f32>, WireError> {
+    if compressed {
+        if body.remaining() < 8 {
+            return Err(WireError::Truncated);
+        }
+        let len = body.get_u64_le() as usize;
+        if body.remaining() < len {
+            return Err(WireError::Truncated);
+        }
+        let c = body.slice(..len);
+        body.advance(len);
+        decompress_f32s(c).map_err(WireError::BadCompression)
+    } else {
+        photon_tensor::read_f32_slice(body)
+            .map_err(|e| WireError::BadCompression(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_tensor::SeedStream;
+
+    fn sample_params(n: usize) -> Vec<f32> {
+        let mut rng = SeedStream::new(3);
+        (0..n).map(|_| rng.next_normal() * 0.02).collect()
+    }
+
+    #[test]
+    fn broadcast_roundtrip_both_modes() {
+        let msg = Message::ModelBroadcast {
+            round: 7,
+            params: sample_params(513),
+        };
+        for compress in [false, true] {
+            let frame = msg.to_frame(compress);
+            assert_eq!(Message::from_frame(frame).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn result_roundtrip() {
+        let msg = Message::ClientResult {
+            round: 3,
+            client_id: 11,
+            delta: sample_params(64),
+            weight: 2.5,
+            metrics: TrainMetrics {
+                mean_loss: 3.25,
+                tokens: 4096,
+                steps: 128,
+            },
+        };
+        let frame = msg.to_frame(true);
+        assert_eq!(Message::from_frame(frame).unwrap(), msg);
+    }
+
+    #[test]
+    fn shutdown_roundtrip() {
+        let frame = Message::Shutdown.to_frame(false);
+        assert_eq!(Message::from_frame(frame).unwrap(), Message::Shutdown);
+    }
+
+    #[test]
+    fn corrupted_frame_rejected() {
+        let msg = Message::ModelBroadcast {
+            round: 1,
+            params: sample_params(32),
+        };
+        let mut raw = msg.to_frame(false).to_vec();
+        raw[40] ^= 0xFF;
+        assert!(Message::from_frame(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn wire_bytes_reflect_payload_size() {
+        let small = Message::ModelBroadcast {
+            round: 0,
+            params: sample_params(16),
+        };
+        let large = Message::ModelBroadcast {
+            round: 0,
+            params: sample_params(1600),
+        };
+        assert!(large.wire_bytes(false) > small.wire_bytes(false) * 50);
+    }
+}

@@ -1,0 +1,131 @@
+//! Block-wise int8 quantization for model updates — the lossy companion to
+//! the default lossless codec, implementing the "quantization" extension
+//! the paper's §6 proposes for cross-device federations.
+//!
+//! Values are grouped into fixed-size blocks; each block stores an `f32`
+//! absolute-maximum scale and one signed byte per value. The worst-case
+//! per-value error is `scale / 127`, i.e. relative error ≤ 1/127 of the
+//! block's largest magnitude — 4x smaller payloads at a quantization noise
+//! well below typical pseudo-gradient noise.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Block size for quantization scales (values per f32 scale).
+pub const QUANT_BLOCK: usize = 256;
+
+/// Quantizes a float buffer into the block-int8 wire format:
+/// `u64 count | per block: f32 scale + i8 values`.
+pub fn quantize_i8(xs: &[f32]) -> Bytes {
+    let mut out = BytesMut::with_capacity(8 + xs.len() + (xs.len() / QUANT_BLOCK + 1) * 4);
+    out.put_u64_le(xs.len() as u64);
+    for block in xs.chunks(QUANT_BLOCK) {
+        let amax = block.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = if amax == 0.0 { 1.0 } else { amax / 127.0 };
+        out.put_f32_le(scale);
+        for &v in block {
+            let q = (v / scale).round().clamp(-127.0, 127.0) as i8;
+            out.put_i8(q);
+        }
+    }
+    out.freeze()
+}
+
+/// Reconstructs floats from [`quantize_i8`] output.
+///
+/// # Errors
+/// Returns a description of the corruption on truncated input.
+pub fn dequantize_i8(mut buf: Bytes) -> Result<Vec<f32>, String> {
+    if buf.remaining() < 8 {
+        return Err("missing element count".into());
+    }
+    let n = buf.get_u64_le() as usize;
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        if buf.remaining() < 4 {
+            return Err("truncated block scale".into());
+        }
+        let scale = buf.get_f32_le();
+        let take = QUANT_BLOCK.min(n - out.len());
+        if buf.remaining() < take {
+            return Err("truncated block values".into());
+        }
+        for _ in 0..take {
+            // f64 intermediate: at extreme scales `127 * (MAX/127)` can
+            // round above f32::MAX in f32 arithmetic.
+            let v = buf.get_i8() as f64 * scale as f64;
+            out.push(v.clamp(-f32::MAX as f64, f32::MAX as f64) as f32);
+        }
+    }
+    if buf.has_remaining() {
+        return Err("trailing bytes after stream".into());
+    }
+    Ok(out)
+}
+
+/// Maximum absolute reconstruction error bound for a buffer: half a
+/// quantization step per block, i.e. `max |block| / 127 / 2` — useful for
+/// asserting quantization noise stays below gradient noise.
+pub fn quantization_error_bound(xs: &[f32]) -> f32 {
+    xs.chunks(QUANT_BLOCK)
+        .map(|b| b.iter().fold(0.0f32, |m, &v| m.max(v.abs())) / 127.0 / 2.0 + f32::EPSILON)
+        .fold(0.0f32, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_tensor::SeedStream;
+
+    #[test]
+    fn roundtrip_error_within_bound() {
+        let mut rng = SeedStream::new(1);
+        let xs: Vec<f32> = (0..2000).map(|_| rng.next_normal() * 0.02).collect();
+        let q = quantize_i8(&xs);
+        let back = dequantize_i8(q).unwrap();
+        assert_eq!(back.len(), xs.len());
+        let bound = quantization_error_bound(&xs) * 2.0; // full step conservatism
+        for (a, b) in xs.iter().zip(&back) {
+            assert!((a - b).abs() <= bound, "{a} vs {b} (bound {bound})");
+        }
+    }
+
+    #[test]
+    fn compresses_4x() {
+        let xs = vec![0.5f32; 10_000];
+        let q = quantize_i8(&xs);
+        assert!(q.len() < xs.len() * 4 / 3, "{} vs {}", q.len(), xs.len() * 4);
+    }
+
+    #[test]
+    fn zeros_and_empty() {
+        assert!(dequantize_i8(quantize_i8(&[])).unwrap().is_empty());
+        let zeros = vec![0.0f32; 300];
+        assert_eq!(dequantize_i8(quantize_i8(&zeros)).unwrap(), zeros);
+    }
+
+    #[test]
+    fn extreme_values_clamp_not_overflow() {
+        let xs = vec![f32::MAX, -f32::MAX, 1.0, -1.0];
+        let back = dequantize_i8(quantize_i8(&xs)).unwrap();
+        assert!(back[0] > 0.0 && back[1] < 0.0);
+        assert!(back.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let q = quantize_i8(&[1.0; 100]);
+        for cut in [0usize, 4, 11, q.len() - 1] {
+            assert!(dequantize_i8(q.slice(..cut)).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn per_block_scaling_preserves_small_blocks() {
+        // A huge value in one block must not destroy precision elsewhere.
+        let mut xs = vec![1e-4f32; QUANT_BLOCK * 2];
+        xs[0] = 1000.0;
+        let back = dequantize_i8(quantize_i8(&xs)).unwrap();
+        // Second block (no outlier) keeps fine precision.
+        assert!((back[QUANT_BLOCK] - 1e-4).abs() < 1e-5);
+    }
+}

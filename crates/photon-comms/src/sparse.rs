@@ -1,0 +1,142 @@
+//! Top-k magnitude sparsification of model updates — the "pruning
+//! techniques" arm of the Link post-processing pipeline (§4; Photon
+//! defaults to lossless compression *without* pruning, but exposes the
+//! hook).
+//!
+//! The wire format stores the dense length, then `(u32 index, f32 value)`
+//! pairs for the surviving entries. At density `d`, payloads shrink to
+//! `~ 2 d` of the dense size, at the cost of dropping `1 − d` of the
+//! update's mass (the smallest-magnitude entries).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Sparsifies `xs`, keeping the `density` fraction of entries with the
+/// largest magnitudes.
+///
+/// # Panics
+/// Panics if `density` is outside `(0, 1]`.
+pub fn sparsify_top_k(xs: &[f32], density: f64) -> Bytes {
+    assert!(
+        density > 0.0 && density <= 1.0,
+        "density must be in (0, 1]"
+    );
+    let keep = ((xs.len() as f64 * density).ceil() as usize).clamp(1, xs.len().max(1));
+    // Threshold via a sorted copy of magnitudes.
+    let mut mags: Vec<f32> = xs.iter().map(|v| v.abs()).collect();
+    mags.sort_unstable_by(|a, b| b.partial_cmp(a).expect("no NaN updates"));
+    let threshold = mags.get(keep.saturating_sub(1)).copied().unwrap_or(0.0);
+
+    let mut out = BytesMut::with_capacity(16 + keep * 8);
+    out.put_u64_le(xs.len() as u64);
+    let mut written = 0usize;
+    for (i, &v) in xs.iter().enumerate() {
+        if written >= keep {
+            break;
+        }
+        if v.abs() >= threshold && v != 0.0 {
+            out.put_u32_le(i as u32);
+            out.put_f32_le(v);
+            written += 1;
+        }
+    }
+    out.freeze()
+}
+
+/// Reconstructs a dense vector (zeros elsewhere) from
+/// [`sparsify_top_k`] output.
+///
+/// # Errors
+/// Returns a description of the corruption on malformed input.
+pub fn densify(mut buf: Bytes) -> Result<Vec<f32>, String> {
+    if buf.remaining() < 8 {
+        return Err("missing dense length".into());
+    }
+    let n = buf.get_u64_le() as usize;
+    let mut out = vec![0.0f32; n];
+    while buf.has_remaining() {
+        if buf.remaining() < 8 {
+            return Err("truncated sparse entry".into());
+        }
+        let idx = buf.get_u32_le() as usize;
+        let val = buf.get_f32_le();
+        if idx >= n {
+            return Err(format!("sparse index {idx} out of bounds {n}"));
+        }
+        out[idx] = val;
+    }
+    Ok(out)
+}
+
+/// Fraction of the update's L2 mass preserved by sparsification at the
+/// given density — the quantity to watch when enabling pruning.
+pub fn retained_mass(xs: &[f32], density: f64) -> f64 {
+    let sparse = densify(sparsify_top_k(xs, density)).expect("own output is valid");
+    let total: f64 = xs.iter().map(|&v| (v as f64) * (v as f64)).sum();
+    if total == 0.0 {
+        return 1.0;
+    }
+    let kept: f64 = sparse.iter().map(|&v| (v as f64) * (v as f64)).sum();
+    kept / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_tensor::SeedStream;
+
+    #[test]
+    fn keeps_the_largest_entries() {
+        let xs = vec![0.1, -5.0, 0.2, 3.0, -0.05, 0.0];
+        let dense = densify(sparsify_top_k(&xs, 0.3)).unwrap();
+        assert_eq!(dense, vec![0.0, -5.0, 0.0, 3.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn full_density_roundtrips_exactly() {
+        let mut rng = SeedStream::new(1);
+        let xs: Vec<f32> = (0..500).map(|_| rng.next_normal()).collect();
+        let dense = densify(sparsify_top_k(&xs, 1.0)).unwrap();
+        assert_eq!(dense, xs);
+    }
+
+    #[test]
+    fn payload_shrinks_with_density() {
+        let mut rng = SeedStream::new(2);
+        let xs: Vec<f32> = (0..10_000).map(|_| rng.next_normal()).collect();
+        let d10 = sparsify_top_k(&xs, 0.1).len();
+        let d50 = sparsify_top_k(&xs, 0.5).len();
+        assert!(d10 < d50);
+        assert!(d10 < xs.len() * 4 / 4); // ~0.2x of dense
+        assert!((d10 as f64) < 0.25 * (xs.len() * 4) as f64);
+    }
+
+    #[test]
+    fn retained_mass_is_monotone_in_density() {
+        let mut rng = SeedStream::new(3);
+        let xs: Vec<f32> = (0..2000).map(|_| rng.next_normal()).collect();
+        let m10 = retained_mass(&xs, 0.1);
+        let m50 = retained_mass(&xs, 0.5);
+        let m100 = retained_mass(&xs, 1.0);
+        assert!(m10 < m50 && m50 < m100);
+        assert!((m100 - 1.0).abs() < 1e-12);
+        // Top-10% of Gaussian entries hold far more than 10% of the mass.
+        assert!(m10 > 0.25, "{m10}");
+    }
+
+    #[test]
+    fn corrupt_streams_rejected() {
+        let s = sparsify_top_k(&[1.0, 2.0, 3.0], 1.0);
+        assert!(densify(s.slice(..s.len() - 3)).is_err());
+        // Out-of-bounds index.
+        let mut bad = BytesMut::new();
+        bad.put_u64_le(2);
+        bad.put_u32_le(9);
+        bad.put_f32_le(1.0);
+        assert!(densify(bad.freeze()).is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(densify(sparsify_top_k(&[], 0.5)).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+use crate::crc32;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+const MAGIC: &[u8; 8] = b"PHTNLNK1";
+const VERSION: u16 = 1;
+const FLAG_COMPRESSED: u16 = 0b1;
+
+/// Errors from frame decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame shorter than the fixed header.
+    Truncated,
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Protocol version not understood.
+    BadVersion(u16),
+    /// Payload CRC mismatch (corruption in transit).
+    BadChecksum {
+        /// CRC computed over the received payload.
+        computed: u32,
+        /// CRC declared in the header.
+        declared: u32,
+    },
+    /// The compressed payload failed to decompress.
+    BadCompression(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadChecksum { computed, declared } => {
+                write!(f, "checksum mismatch: {computed:#x} vs declared {declared:#x}")
+            }
+            WireError::BadCompression(msg) => write!(f, "payload decompression failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes a payload into a Link frame:
+/// `magic(8) | version(2) | flags(2) | crc32(4) | len(8) | payload`.
+///
+/// With `compress`, the payload is run through the byte-shuffle/zero-RLE
+/// codec (treating it as raw bytes is unhelpful, so compression here means
+/// the *caller* already serialized floats via [`crate::compress_f32s`];
+/// this flag simply records that the payload is a compressed-floats stream
+/// so the receiver knows to decode it).
+pub fn encode_frame(payload: &[u8], compressed: bool) -> Bytes {
+    let mut out = BytesMut::with_capacity(payload.len() + 24);
+    out.put_slice(MAGIC);
+    out.put_u16_le(VERSION);
+    out.put_u16_le(if compressed { FLAG_COMPRESSED } else { 0 });
+    out.put_u32_le(crc32(payload));
+    out.put_u64_le(payload.len() as u64);
+    out.put_slice(payload);
+    out.freeze()
+}
+
+/// Decodes a Link frame, returning the payload and whether the compressed
+/// flag was set.
+///
+/// # Errors
+/// Returns a [`WireError`] on truncation, bad magic/version, or checksum
+/// mismatch.
+pub fn decode_frame(mut frame: Bytes) -> Result<(Bytes, bool), WireError> {
+    if frame.remaining() < 24 {
+        return Err(WireError::Truncated);
+    }
+    let mut magic = [0u8; 8];
+    frame.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = frame.get_u16_le();
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let flags = frame.get_u16_le();
+    let declared_crc = frame.get_u32_le();
+    let len = frame.get_u64_le() as usize;
+    if frame.remaining() < len {
+        return Err(WireError::Truncated);
+    }
+    let payload = frame.slice(..len);
+    let computed = crc32(&payload);
+    if computed != declared_crc {
+        return Err(WireError::BadChecksum {
+            computed,
+            declared: declared_crc,
+        });
+    }
+    Ok((payload, flags & FLAG_COMPRESSED != 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let payload = b"hello federation".to_vec();
+        let frame = encode_frame(&payload, false);
+        let (got, compressed) = decode_frame(frame).unwrap();
+        assert_eq!(&got[..], &payload[..]);
+        assert!(!compressed);
+    }
+
+    #[test]
+    fn compressed_flag_roundtrips() {
+        let frame = encode_frame(b"x", true);
+        let (_, compressed) = decode_frame(frame).unwrap();
+        assert!(compressed);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let frame = encode_frame(b"model update bytes", false);
+        let mut raw = frame.to_vec();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01;
+        match decode_frame(Bytes::from(raw)) {
+            Err(WireError::BadChecksum { .. }) => {}
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version() {
+        let frame = encode_frame(b"x", false);
+        let mut raw = frame.to_vec();
+        raw[0] = b'X';
+        assert_eq!(decode_frame(Bytes::from(raw)).unwrap_err(), WireError::BadMagic);
+
+        let mut raw = encode_frame(b"x", false).to_vec();
+        raw[8] = 99;
+        assert!(matches!(
+            decode_frame(Bytes::from(raw)).unwrap_err(),
+            WireError::BadVersion(_)
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let frame = encode_frame(b"0123456789", false);
+        for cut in [0, 10, 23, frame.len() - 1] {
+            assert!(decode_frame(frame.slice(..cut)).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let (p, _) = decode_frame(encode_frame(&[], false)).unwrap();
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the communication substrate.
+
+use bytes::Bytes;
+use photon_comms::{
+    bytes_on_wire, comm_time_seconds, compress_f32s, crc32, decode_frame, decompress_f32s,
+    encode_frame, mask_update, Topology,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Compression round-trips arbitrary f32 bit patterns (compared as
+    /// bits, so NaNs are covered too).
+    #[test]
+    fn compression_roundtrips_arbitrary_bits(bits in proptest::collection::vec(any::<u32>(), 0..512)) {
+        let xs: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+        let back = decompress_f32s(compress_f32s(&xs)).unwrap();
+        let back_bits: Vec<u32> = back.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(back_bits, bits);
+    }
+
+    /// Frames round-trip arbitrary payloads, and any single-byte flip in
+    /// the payload region is detected.
+    #[test]
+    fn frames_roundtrip_and_detect_corruption(
+        payload in proptest::collection::vec(any::<u8>(), 1..256),
+        flip in any::<proptest::sample::Index>(),
+    ) {
+        let frame = encode_frame(&payload, false);
+        let (got, _) = decode_frame(frame.clone()).unwrap();
+        prop_assert_eq!(&got[..], &payload[..]);
+
+        let mut raw = frame.to_vec();
+        let pos = 24 + flip.index(payload.len()); // inside the payload
+        raw[pos] ^= 0x01;
+        prop_assert!(decode_frame(Bytes::from(raw)).is_err());
+    }
+
+    /// CRC distributes differently for different inputs (no trivial
+    /// collisions on single-byte appends).
+    #[test]
+    fn crc_changes_on_append(data in proptest::collection::vec(any::<u8>(), 0..128), extra in any::<u8>()) {
+        let base = crc32(&data);
+        let mut longer = data.clone();
+        longer.push(extra);
+        prop_assert_ne!(base, crc32(&longer));
+    }
+
+    /// Analytic communication times are monotone in model size and
+    /// inversely monotone in bandwidth, for every topology.
+    #[test]
+    fn comm_time_monotonicity(
+        k in 2usize..32,
+        s in 1.0f64..10_000.0,
+        b in 1.0f64..10_000.0,
+    ) {
+        for t in Topology::all() {
+            let base = comm_time_seconds(t, k, s, b);
+            prop_assert!(comm_time_seconds(t, k, s * 2.0, b) > base);
+            prop_assert!(comm_time_seconds(t, k, s, b * 2.0) < base);
+            prop_assert!(base > 0.0);
+        }
+    }
+
+    /// RAR moves the least bytes of all topologies for any cohort.
+    #[test]
+    fn rar_moves_least_data(k in 2usize..64, m in 1usize..1_000_000) {
+        let rar = bytes_on_wire(Topology::RingAllReduce, k, m);
+        let ps = bytes_on_wire(Topology::ParameterServer, k, m);
+        let ar = bytes_on_wire(Topology::AllReduce, k, m);
+        prop_assert!(rar <= ps);
+        prop_assert!(rar <= ar);
+    }
+
+    /// Secure-aggregation masks cancel for arbitrary cohort sizes and
+    /// payload dims.
+    #[test]
+    fn masks_cancel(
+        n_clients in 2usize..6,
+        dim in 1usize..48,
+        round_key in any::<u64>(),
+    ) {
+        let cohort: Vec<u32> = (0..n_clients as u32).collect();
+        let updates: Vec<Vec<f32>> = (0..n_clients)
+            .map(|c| (0..dim).map(|i| ((c + i) as f32) * 1e-3).collect())
+            .collect();
+        let mut masked = updates.clone();
+        for (i, &cid) in cohort.iter().enumerate() {
+            mask_update(&mut masked[i], cid, &cohort, round_key).unwrap();
+        }
+        for j in 0..dim {
+            let plain: f32 = updates.iter().map(|u| u[j]).sum();
+            let sec: f32 = masked.iter().map(|u| u[j]).sum();
+            prop_assert!((plain - sec).abs() < 1e-3, "dim {j}: {plain} vs {sec}");
+        }
+    }
+}

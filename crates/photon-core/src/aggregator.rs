@@ -1,0 +1,416 @@
+use crate::{
+    CohortSpec, CoreError, DataSource, FederationConfig, LlmClient, Result, RoundRecord,
+};
+use crossbeam::channel::unbounded;
+use photon_data::{partition_iid, DomainKind, SyntheticDomain, TokenCorpus};
+use photon_fedopt::{
+    AvailabilitySampler, AvailabilityTraces, ClientSampler, ClientUpdate, FullParticipation,
+    ServerOpt, UniformSampler,
+};
+use photon_nn::Gpt;
+use photon_tensor::SeedStream;
+use photon_tokenizer::ByteTokenizer;
+
+/// The Photon Aggregator (Agg, §3.1): owns the global model, orchestrates
+/// rounds over real Link frames, aggregates pseudo-gradients and applies
+/// the server optimizer (Algorithm 1, L.1–12).
+pub struct Aggregator {
+    cfg: FederationConfig,
+    params: Vec<f32>,
+    server_opt: Box<dyn ServerOpt>,
+    sampler: Box<dyn ClientSampler>,
+    round: u64,
+    telemetry: crate::Telemetry,
+}
+
+impl std::fmt::Debug for Aggregator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Aggregator")
+            .field("round", &self.round)
+            .field("params", &self.params.len())
+            .field("server_opt", &self.server_opt.name())
+            .finish()
+    }
+}
+
+impl Aggregator {
+    /// Initializes the global model (`InitModel`, L.2) and server state.
+    ///
+    /// # Errors
+    /// Returns an error if the configuration is inconsistent.
+    pub fn new(cfg: FederationConfig) -> Result<Self> {
+        cfg.validate()?;
+        let mut rng = SeedStream::new(cfg.seed);
+        let model = Gpt::with_positions(cfg.model, cfg.positions, &mut rng.split("global-init"));
+        let params = model.into_params();
+        let server_opt = cfg.server_opt.build(params.len());
+        // Sporadic availability wraps whichever cohort policy is set: only
+        // currently-up clients are candidates (§2.1 / Appendix A).
+        let sampler: Box<dyn ClientSampler> = match (cfg.availability, cfg.cohort) {
+            (Some(model), cohort) => {
+                const HORIZON: usize = 100_000;
+                let traces = AvailabilityTraces::sample(
+                    model,
+                    cfg.population,
+                    HORIZON,
+                    &mut rng.split("availability"),
+                );
+                let k = match cohort {
+                    CohortSpec::Full => cfg.population,
+                    CohortSpec::Sample { k } => k,
+                };
+                Box::new(AvailabilitySampler::new(traces, k, rng.split("sampler")))
+            }
+            (None, CohortSpec::Full) => Box::new(FullParticipation),
+            (None, CohortSpec::Sample { k }) => {
+                Box::new(UniformSampler::new(k, rng.split("sampler")))
+            }
+        };
+        Ok(Aggregator {
+            cfg,
+            params,
+            server_opt,
+            sampler,
+            round: 0,
+            telemetry: crate::Telemetry::new(),
+        })
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &FederationConfig {
+        &self.cfg
+    }
+
+    /// Current round index (completed rounds).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The current global parameters.
+    pub fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    /// Materializes the global model for evaluation or deployment.
+    pub fn global_model(&self) -> Gpt {
+        Gpt::from_params(self.cfg.model, self.params.clone())
+    }
+
+    /// The federation's metrics hub (`AggMetrics`, Algorithm 1 L.10).
+    pub fn telemetry(&self) -> &crate::Telemetry {
+        &self.telemetry
+    }
+
+    /// Restores aggregator state from a checkpoint.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidConfig`] if the parameter vector does
+    /// not match the configured model.
+    pub fn restore(&mut self, round: u64, params: Vec<f32>) -> Result<()> {
+        if params.len() != self.params.len() {
+            return Err(CoreError::InvalidConfig(format!(
+                "checkpoint has {} parameters, model needs {}",
+                params.len(),
+                self.params.len()
+            )));
+        }
+        self.params = params;
+        self.round = round;
+        Ok(())
+    }
+
+    /// Executes one federated round (Algorithm 1, L.4–11): samples the
+    /// cohort, broadcasts the model as a Link frame, runs each sampled
+    /// client on its own thread, decodes result frames, aggregates and
+    /// applies the server optimizer.
+    ///
+    /// # Errors
+    /// Returns an error if a client thread fails or a frame is corrupt.
+    pub fn run_round(&mut self, clients: &mut [LlmClient]) -> Result<RoundRecord> {
+        let cohort_idx = self.sampler.sample(clients.len(), self.round);
+        if cohort_idx.is_empty() {
+            return Err(CoreError::InvalidConfig("empty cohort".into()));
+        }
+        let cohort_ids: Vec<u32> = cohort_idx
+            .iter()
+            .map(|&i| clients[i].id())
+            .collect();
+
+        // L.5–6: broadcast and train in parallel, over real Link frames.
+        let broadcast = photon_comms::Message::ModelBroadcast {
+            round: self.round,
+            params: self.params.clone(),
+        }
+        .to_frame(self.cfg.compress_link);
+        let broadcast_bytes = broadcast.len() as u64 * cohort_idx.len() as u64;
+
+        let (tx, rx) = unbounded();
+        let round = self.round;
+        let cfg = &self.cfg;
+        let cohort_ids_ref = &cohort_ids;
+        crossbeam::thread::scope(|scope| {
+            for (i, client) in clients.iter_mut().enumerate() {
+                if !cohort_idx.contains(&i) {
+                    continue;
+                }
+                let tx = tx.clone();
+                let frame = broadcast.clone();
+                scope.spawn(move |_| {
+                    let msg = photon_comms::Message::from_frame(frame)
+                        .expect("broadcast frame corrupt");
+                    let photon_comms::Message::ModelBroadcast { round: r, params } = msg else {
+                        panic!("expected a model broadcast");
+                    };
+                    debug_assert_eq!(r, round);
+                    if client.fails_on(round) {
+                        // Simulated mid-round disconnect: no result frame.
+                        return;
+                    }
+                    let outcome = client.run_round(&params, round, cohort_ids_ref, cfg);
+                    let reply = photon_comms::Message::ClientResult {
+                        round,
+                        client_id: client.id(),
+                        delta: outcome.delta,
+                        weight: outcome.weight,
+                        metrics: outcome.metrics,
+                    }
+                    .to_frame(cfg.compress_link);
+                    tx.send(reply).expect("aggregator hung up");
+                });
+            }
+        })
+        .map_err(|_| CoreError::ClientFailure("a client thread panicked".into()))?;
+        drop(tx);
+
+        // L.7–8: collect updates and aggregate. Results arrive in thread
+        // completion order; sort by client id so float accumulation is
+        // bit-reproducible across runs.
+        let mut collected = Vec::with_capacity(cohort_idx.len());
+        let mut result_bytes = 0u64;
+        for frame in rx.iter() {
+            result_bytes += frame.len() as u64;
+            match photon_comms::Message::from_frame(frame)? {
+                photon_comms::Message::ClientResult {
+                    client_id,
+                    delta,
+                    weight,
+                    metrics,
+                    ..
+                } => collected.push((client_id, ClientUpdate::new(delta, weight), metrics)),
+                other => {
+                    return Err(CoreError::ClientFailure(format!(
+                        "unexpected message from client: {other:?}"
+                    )))
+                }
+            }
+        }
+        collected.sort_by_key(|(id, _, _)| *id);
+        let mut updates = Vec::with_capacity(collected.len());
+        let mut losses = Vec::with_capacity(collected.len());
+        let mut survivor_ids = Vec::with_capacity(collected.len());
+        for (id, update, metrics) in collected {
+            self.telemetry.record(id, self.round, &metrics);
+            losses.push(metrics.mean_loss);
+            survivor_ids.push(id);
+            updates.push(update);
+        }
+        let dropouts = cohort_idx.len() - updates.len();
+        if dropouts > 0 && !(self.cfg.allow_partial_results && !updates.is_empty()) {
+            // §4: only the partial-update path may proceed with survivors.
+            return Err(CoreError::ClientFailure(format!(
+                "expected {} results, got {} (enable allow_partial_results \
+                 to aggregate survivors)",
+                cohort_idx.len(),
+                updates.len()
+            )));
+        }
+
+        let avg_delta = self.cfg.aggregation.aggregate(&updates);
+        let pseudo_grad_norm = photon_tensor::ops::l2_norm(&avg_delta);
+        // §6 client-contribution measurement: cosine alignment between each
+        // client's update and the aggregate.
+        if pseudo_grad_norm > 0.0 {
+            for (id, update) in survivor_ids.iter().zip(&updates) {
+                let dot = photon_tensor::ops::dot(&update.delta, &avg_delta);
+                let norm = update.norm();
+                if norm > 0.0 {
+                    self.telemetry
+                        .record_alignment(*id, dot / (norm * pseudo_grad_norm));
+                }
+            }
+        }
+        // L.9: apply the server optimization policy.
+        self.server_opt.apply(&mut self.params, &avg_delta, self.round);
+
+        let record = RoundRecord {
+            round: self.round,
+            cohort: cohort_idx,
+            dropouts,
+            mean_client_loss: losses.iter().sum::<f32>() / losses.len() as f32,
+            pseudo_grad_norm,
+            wire_bytes: broadcast_bytes + result_bytes,
+            eval_ppl: None,
+        };
+        self.round += 1;
+        Ok(record)
+    }
+}
+
+/// A ready-to-run federation: aggregator plus its client population.
+#[derive(Debug)]
+pub struct Federation {
+    /// The central aggregator.
+    pub aggregator: Aggregator,
+    /// The client population (index = client id).
+    pub clients: Vec<LlmClient>,
+}
+
+/// Builds a federation over IID shards of a synthetic web corpus — the
+/// C4-style setup of §5.1 ("randomly partitioning the dataset uniformly
+/// into equally sized shards").
+///
+/// # Errors
+/// Returns an error if the configuration is invalid.
+pub fn build_federation(cfg: &FederationConfig, tokens_per_client: usize) -> Result<Federation> {
+    cfg.validate()?;
+    let mut rng = SeedStream::new(cfg.seed);
+    let tokenizer = ByteTokenizer::new();
+    let mut data_rng = rng.split("data");
+    let domain = SyntheticDomain::preset(DomainKind::Web, &mut data_rng);
+    let corpus = TokenCorpus::from_domain(
+        &domain,
+        &tokenizer,
+        tokens_per_client * cfg.population,
+        &mut data_rng,
+    );
+    let block = (cfg.model.seq_len + 1).max(32);
+    let shards = partition_iid(&corpus, cfg.population, block, &mut data_rng);
+    let clients = shards
+        .into_iter()
+        .enumerate()
+        .map(|(i, shard)| {
+            LlmClient::new(
+                i as u32,
+                DataSource::new(format!("ds-{i}"), shard),
+                None,
+                rng.split(&format!("client-{i}")),
+            )
+        })
+        .collect();
+    Ok(Federation {
+        aggregator: Aggregator::new(cfg.clone())?,
+        clients,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_nn::ModelConfig;
+
+    fn tiny_model() -> ModelConfig {
+        ModelConfig {
+            n_layers: 1,
+            d_model: 16,
+            n_heads: 2,
+            exp_ratio: 2,
+            vocab_size: 257,
+            seq_len: 16,
+        }
+    }
+
+    fn quick_cfg(n: usize) -> FederationConfig {
+        let mut cfg = FederationConfig::quick_demo(tiny_model(), n);
+        cfg.local_steps = 4;
+        cfg.local_batch = 2;
+        cfg
+    }
+
+    #[test]
+    fn one_round_updates_the_global_model() {
+        let cfg = quick_cfg(3);
+        let mut fed = build_federation(&cfg, 2_000).unwrap();
+        let before = fed.aggregator.params().to_vec();
+        let record = fed.aggregator.run_round(&mut fed.clients).unwrap();
+        assert_ne!(fed.aggregator.params(), &before[..]);
+        assert_eq!(record.cohort, vec![0, 1, 2]);
+        assert!(record.mean_client_loss.is_finite());
+        assert!(record.pseudo_grad_norm > 0.0);
+        assert!(record.wire_bytes > 0);
+        assert_eq!(fed.aggregator.round(), 1);
+    }
+
+    #[test]
+    fn training_reduces_client_loss_over_rounds() {
+        let cfg = quick_cfg(2);
+        let mut fed = build_federation(&cfg, 2_000).unwrap();
+        let first = fed.aggregator.run_round(&mut fed.clients).unwrap();
+        let mut last = first.clone();
+        for _ in 0..6 {
+            last = fed.aggregator.run_round(&mut fed.clients).unwrap();
+        }
+        assert!(
+            last.mean_client_loss < first.mean_client_loss,
+            "{} -> {}",
+            first.mean_client_loss,
+            last.mean_client_loss
+        );
+    }
+
+    #[test]
+    fn secure_aggregation_matches_plain_aggregation() {
+        let mut plain_cfg = quick_cfg(3);
+        plain_cfg.seed = 7;
+        let mut secure_cfg = plain_cfg.clone();
+        secure_cfg.secure_agg = true;
+
+        let mut plain = build_federation(&plain_cfg, 2_000).unwrap();
+        let mut secure = build_federation(&secure_cfg, 2_000).unwrap();
+        plain.aggregator.run_round(&mut plain.clients).unwrap();
+        secure.aggregator.run_round(&mut secure.clients).unwrap();
+
+        // The pairwise masks cancel in the aggregate, so the resulting
+        // global models agree to floating-point noise.
+        let diff: f32 = plain
+            .aggregator
+            .params()
+            .iter()
+            .zip(secure.aggregator.params())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max);
+        assert!(diff < 2e-3, "secure aggregation diverged: {diff}");
+    }
+
+    #[test]
+    fn compressed_link_is_lossless() {
+        let mut cfg_a = quick_cfg(2);
+        cfg_a.seed = 13;
+        let mut cfg_b = cfg_a.clone();
+        cfg_b.compress_link = true;
+        let mut fed_a = build_federation(&cfg_a, 2_000).unwrap();
+        let mut fed_b = build_federation(&cfg_b, 2_000).unwrap();
+        fed_a.aggregator.run_round(&mut fed_a.clients).unwrap();
+        fed_b.aggregator.run_round(&mut fed_b.clients).unwrap();
+        assert_eq!(fed_a.aggregator.params(), fed_b.aggregator.params());
+    }
+
+    #[test]
+    fn partial_participation_samples_a_subset() {
+        let mut cfg = quick_cfg(6);
+        cfg.cohort = CohortSpec::Sample { k: 2 };
+        let mut fed = build_federation(&cfg, 2_000).unwrap();
+        let record = fed.aggregator.run_round(&mut fed.clients).unwrap();
+        assert_eq!(record.cohort.len(), 2);
+        assert!(record.cohort.iter().all(|&i| i < 6));
+    }
+
+    #[test]
+    fn restore_validates_length() {
+        let cfg = quick_cfg(2);
+        let mut agg = Aggregator::new(cfg).unwrap();
+        assert!(agg.restore(3, vec![0.0; 5]).is_err());
+        let n = agg.params().len();
+        agg.restore(3, vec![0.0; n]).unwrap();
+        assert_eq!(agg.round(), 3);
+    }
+}

@@ -1,0 +1,168 @@
+//! Global-model checkpointing (Algorithm 1, L.11): a JSON manifest plus a
+//! CRC-protected binary parameter file, written atomically enough for the
+//! paper's failure-recovery story (write to temp, rename).
+
+use crate::{FederationConfig, Result};
+use photon_comms::crc32;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+const PARAMS_MAGIC: &[u8; 8] = b"PHTNCKP1";
+
+/// Checkpoint metadata saved alongside the parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointManifest {
+    /// Completed rounds at save time.
+    pub round: u64,
+    /// The run configuration.
+    pub config: FederationConfig,
+    /// Parameter count (sanity check at load).
+    pub param_count: usize,
+}
+
+/// Saves a checkpoint into `dir` (created if missing): `manifest.json` and
+/// `params.bin`.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn save_checkpoint(
+    dir: &Path,
+    cfg: &FederationConfig,
+    round: u64,
+    params: &[f32],
+) -> Result<()> {
+    fs::create_dir_all(dir)?;
+    let manifest = CheckpointManifest {
+        round,
+        config: cfg.clone(),
+        param_count: params.len(),
+    };
+    let manifest_json =
+        serde_json::to_string_pretty(&manifest).expect("manifest serialization cannot fail");
+
+    let mut bin = Vec::with_capacity(16 + params.len() * 4);
+    bin.extend_from_slice(PARAMS_MAGIC);
+    bin.extend_from_slice(&(params.len() as u64).to_le_bytes());
+    for &p in params {
+        bin.extend_from_slice(&p.to_le_bytes());
+    }
+    let crc = crc32(&bin);
+    bin.extend_from_slice(&crc.to_le_bytes());
+
+    // Write-then-rename so an interrupted save never corrupts the previous
+    // checkpoint.
+    let tmp_params = dir.join("params.bin.tmp");
+    let tmp_manifest = dir.join("manifest.json.tmp");
+    fs::File::create(&tmp_params)?.write_all(&bin)?;
+    fs::File::create(&tmp_manifest)?.write_all(manifest_json.as_bytes())?;
+    fs::rename(&tmp_params, dir.join("params.bin"))?;
+    fs::rename(&tmp_manifest, dir.join("manifest.json"))?;
+    Ok(())
+}
+
+/// Loads a checkpoint saved by [`save_checkpoint`].
+///
+/// # Errors
+/// Returns an error on missing files, bad magic, CRC mismatch, or a
+/// manifest/parameter disagreement.
+pub fn load_checkpoint(dir: &Path) -> Result<(CheckpointManifest, Vec<f32>)> {
+    let manifest_json = fs::read_to_string(dir.join("manifest.json"))?;
+    let manifest: CheckpointManifest = serde_json::from_str(&manifest_json)
+        .map_err(|e| crate::CoreError::InvalidConfig(format!("bad manifest: {e}")))?;
+
+    let bin = fs::read(dir.join("params.bin"))?;
+    if bin.len() < 20 || &bin[..8] != PARAMS_MAGIC {
+        return Err(crate::CoreError::InvalidConfig(
+            "params.bin is not a photon checkpoint".into(),
+        ));
+    }
+    let (body, crc_bytes) = bin.split_at(bin.len() - 4);
+    let declared = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if crc32(body) != declared {
+        return Err(crate::CoreError::InvalidConfig(
+            "params.bin failed its integrity check".into(),
+        ));
+    }
+    let n = u64::from_le_bytes(body[8..16].try_into().expect("8 bytes")) as usize;
+    if n != manifest.param_count || body.len() != 16 + n * 4 {
+        return Err(crate::CoreError::InvalidConfig(
+            "checkpoint length disagrees with manifest".into(),
+        ));
+    }
+    let params = body[16..]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect();
+    Ok((manifest, params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_nn::ModelConfig;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("photon-core-ckpt").join(name);
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cfg() -> FederationConfig {
+        FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 2)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let params: Vec<f32> = (0..100).map(|i| i as f32 * 0.5).collect();
+        save_checkpoint(&dir, &cfg(), 12, &params).unwrap();
+        let (manifest, loaded) = load_checkpoint(&dir).unwrap();
+        assert_eq!(manifest.round, 12);
+        assert_eq!(manifest.param_count, 100);
+        assert_eq!(loaded, params);
+        assert_eq!(manifest.config, cfg());
+    }
+
+    #[test]
+    fn overwrite_replaces_previous() {
+        let dir = tmp_dir("overwrite");
+        save_checkpoint(&dir, &cfg(), 1, &[1.0, 2.0]).unwrap();
+        save_checkpoint(&dir, &cfg(), 2, &[3.0, 4.0, 5.0]).unwrap();
+        let (manifest, params) = load_checkpoint(&dir).unwrap();
+        assert_eq!(manifest.round, 2);
+        assert_eq!(params, vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let dir = tmp_dir("corrupt");
+        save_checkpoint(&dir, &cfg(), 1, &[1.0; 64]).unwrap();
+        let path = dir.join("params.bin");
+        let mut raw = fs::read(&path).unwrap();
+        raw[30] ^= 0xFF;
+        fs::write(&path, &raw).unwrap();
+        assert!(load_checkpoint(&dir).is_err());
+    }
+
+    #[test]
+    fn missing_checkpoint_errors() {
+        assert!(load_checkpoint(Path::new("/nonexistent/ckpt")).is_err());
+    }
+
+    #[test]
+    fn aggregator_resumes_from_checkpoint() {
+        let dir = tmp_dir("resume");
+        let cfg = cfg();
+        let mut fed = crate::build_federation(&cfg, 2_000).unwrap();
+        fed.aggregator.run_round(&mut fed.clients).unwrap();
+        save_checkpoint(&dir, &cfg, fed.aggregator.round(), fed.aggregator.params()).unwrap();
+
+        let (manifest, params) = load_checkpoint(&dir).unwrap();
+        let mut fresh = crate::Aggregator::new(manifest.config.clone()).unwrap();
+        fresh.restore(manifest.round, params).unwrap();
+        assert_eq!(fresh.round(), fed.aggregator.round());
+        assert_eq!(fresh.params(), fed.aggregator.params());
+    }
+}

@@ -1,0 +1,209 @@
+use photon_fedopt::{AggregationKind, AvailabilityModel, ServerOptKind};
+use photon_nn::{ModelConfig, PosEncoding};
+use photon_optim::{AdamWConfig, LrSchedule};
+use serde::{Deserialize, Serialize};
+
+/// Cohort selection policy (Algorithm 1, L.4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CohortSpec {
+    /// All clients every round.
+    Full,
+    /// `k` clients sampled uniformly without replacement.
+    Sample {
+        /// Clients per round.
+        k: usize,
+    },
+}
+
+/// Client-side post-processing applied before returning an update
+/// (Algorithm 1, L.28: clipping, compression, DP noise).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PostProcessConfig {
+    /// Clip the pseudo-gradient to this L2 norm.
+    pub clip_update_norm: Option<f32>,
+    /// Add Gaussian noise of this std to the update (differential privacy).
+    pub dp_noise_std: Option<f32>,
+}
+
+/// Full specification of a federated pre-training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FederationConfig {
+    /// Model architecture.
+    pub model: ModelConfig,
+    /// Positional scheme (ALiBi by default, matching the paper's MPT
+    /// models; learned absolute embeddings demonstrate §5.1's "our system
+    /// could train any LLM architecture").
+    #[serde(default)]
+    pub positions: PosEncoding,
+    /// Total client population `P`.
+    pub population: usize,
+    /// Cohort policy.
+    pub cohort: CohortSpec,
+    /// Local steps per round τ.
+    pub local_steps: u64,
+    /// Local (per-client) batch size `B_l`.
+    pub local_batch: usize,
+    /// Server optimizer.
+    pub server_opt: ServerOptKind,
+    /// Pseudo-gradient aggregation rule (Algorithm 1, L.8).
+    #[serde(default)]
+    pub aggregation: AggregationKind,
+    /// Client optimizer hyperparameters (AdamW).
+    pub adamw: AdamWConfig,
+    /// Client learning-rate schedule over *sequential* local steps
+    /// (Table 5: `S_C` synchronized across rounds).
+    pub schedule: LrSchedule,
+    /// Reset client optimizer state each round (Photon's
+    /// stateless-local-optimization mode, Appendix A). Keeps federated
+    /// pre-training compute-bound and supports intermittent availability.
+    pub stateless_local: bool,
+    /// Global-norm gradient clipping during local training.
+    pub grad_clip: Option<f32>,
+    /// FedProx proximal coefficient μ (Li et al.; §6 "reducing local model
+    /// divergence from the global model"): adds `μ (w − w_global)` to every
+    /// local gradient. `None` disables the proximal term.
+    #[serde(default)]
+    pub fedprox_mu: Option<f32>,
+    /// Update post-processing.
+    pub post: PostProcessConfig,
+    /// Compress Link payloads (Photon default: lossless, §4).
+    pub compress_link: bool,
+    /// Mask updates with cancelling pairwise masks (secure aggregation).
+    /// Requires uniform aggregation weights.
+    pub secure_agg: bool,
+    /// Sporadic client availability (§2.1, Appendix A): when set, each
+    /// client follows an independent two-state Markov up/down process and
+    /// only currently-up clients can be sampled.
+    #[serde(default)]
+    pub availability: Option<AvailabilityModel>,
+    /// Tolerate client dropouts mid-round: aggregate the surviving
+    /// cohort's updates instead of failing the round (§4's
+    /// parameter-server dropout semantics). Incompatible with the
+    /// simplified secure aggregation (masks would not cancel).
+    #[serde(default)]
+    pub allow_partial_results: bool,
+    /// Root seed for the whole run.
+    pub seed: u64,
+}
+
+impl FederationConfig {
+    /// A fast-converging configuration for demos and tests: `n_clients`
+    /// with full participation, 16 local steps, batch 8.
+    pub fn quick_demo(model: ModelConfig, n_clients: usize) -> Self {
+        FederationConfig {
+            model,
+            positions: PosEncoding::Alibi,
+            population: n_clients,
+            cohort: CohortSpec::Full,
+            local_steps: 16,
+            local_batch: 8,
+            server_opt: ServerOptKind::photon_default(),
+            aggregation: AggregationKind::Mean,
+            adamw: AdamWConfig::default(),
+            schedule: LrSchedule::paper_cosine(3e-3, 20, 4000),
+            stateless_local: true,
+            grad_clip: Some(1.0),
+            fedprox_mu: None,
+            post: PostProcessConfig::default(),
+            compress_link: false,
+            secure_agg: false,
+            availability: None,
+            allow_partial_results: false,
+            seed: 42,
+        }
+    }
+
+    /// Number of clients participating each round.
+    pub fn cohort_size(&self) -> usize {
+        match self.cohort {
+            CohortSpec::Full => self.population,
+            CohortSpec::Sample { k } => k.min(self.population),
+        }
+    }
+
+    /// Effective global batch size `B_g = N · B_l` (§5.3).
+    pub fn global_batch(&self) -> usize {
+        self.cohort_size() * self.local_batch
+    }
+
+    /// Validates cross-field consistency.
+    ///
+    /// # Errors
+    /// Returns [`crate::CoreError::InvalidConfig`] describing the problem.
+    pub fn validate(&self) -> crate::Result<()> {
+        self.model.validate();
+        if self.population == 0 {
+            return Err(crate::CoreError::InvalidConfig("population is zero".into()));
+        }
+        if let CohortSpec::Sample { k } = self.cohort {
+            if k == 0 {
+                return Err(crate::CoreError::InvalidConfig("cohort k is zero".into()));
+            }
+        }
+        if self.local_steps == 0 {
+            return Err(crate::CoreError::InvalidConfig("local_steps is zero".into()));
+        }
+        if self.local_batch == 0 {
+            return Err(crate::CoreError::InvalidConfig("local_batch is zero".into()));
+        }
+        if self.secure_agg && self.allow_partial_results {
+            return Err(crate::CoreError::InvalidConfig(
+                "secure aggregation cannot tolerate dropouts (masks would not cancel)".into(),
+            ));
+        }
+        if self.secure_agg && matches!(self.cohort, CohortSpec::Sample { .. }) {
+            // Simplified secure aggregation has no dropout recovery; the
+            // full Bonawitz protocol would be needed for partial cohorts.
+            return Err(crate::CoreError::InvalidConfig(
+                "secure aggregation requires full participation".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_demo_is_valid() {
+        let cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 4);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.cohort_size(), 4);
+        assert_eq!(cfg.global_batch(), 32);
+    }
+
+    #[test]
+    fn sampled_cohort_sizes() {
+        let mut cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 16);
+        cfg.cohort = CohortSpec::Sample { k: 4 };
+        assert_eq!(cfg.cohort_size(), 4);
+        cfg.cohort = CohortSpec::Sample { k: 99 };
+        assert_eq!(cfg.cohort_size(), 16);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 4);
+        cfg.population = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 4);
+        cfg.local_steps = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 4);
+        cfg.secure_agg = true;
+        cfg.cohort = CohortSpec::Sample { k: 2 };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = FederationConfig::quick_demo(ModelConfig::proxy_small(), 8);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: FederationConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

@@ -1,0 +1,76 @@
+use std::fmt;
+
+/// Errors surfaced by the Photon federation engine.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A configuration value is inconsistent.
+    InvalidConfig(String),
+    /// A Link frame failed to decode.
+    Wire(photon_comms::WireError),
+    /// Secure aggregation failed.
+    SecureAgg(photon_comms::SecureAggError),
+    /// A client thread panicked or disconnected mid-round.
+    ClientFailure(String),
+    /// Checkpoint I/O failed.
+    Checkpoint(std::io::Error),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::Wire(e) => write!(f, "link protocol error: {e}"),
+            CoreError::SecureAgg(e) => write!(f, "secure aggregation error: {e}"),
+            CoreError::ClientFailure(msg) => write!(f, "client failure: {msg}"),
+            CoreError::Checkpoint(e) => write!(f, "checkpoint i/o failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Wire(e) => Some(e),
+            CoreError::SecureAgg(e) => Some(e),
+            CoreError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<photon_comms::WireError> for CoreError {
+    fn from(e: photon_comms::WireError) -> Self {
+        CoreError::Wire(e)
+    }
+}
+
+impl From<photon_comms::SecureAggError> for CoreError {
+    fn from(e: photon_comms::SecureAggError) -> Self {
+        CoreError::SecureAgg(e)
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = CoreError::InvalidConfig("population is zero".into());
+        assert!(e.to_string().contains("population"));
+        let e: CoreError = photon_comms::WireError::BadMagic.into();
+        assert!(e.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

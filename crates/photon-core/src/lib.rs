@@ -1,0 +1,57 @@
+//! # photon-core
+//!
+//! The Photon system itself: the paper's Aggregator / LLM-Client / Data
+//! Source architecture (§3), Algorithm 1's execution pipeline, and the
+//! centralized + DDP baselines it is evaluated against (Algorithm 2).
+//!
+//! A federated run wires together every substrate crate:
+//!
+//! * clients train a [`photon_nn::Gpt`] with [`photon_optim`] on streams
+//!   from their private [`DataSource`]s (`photon-data`);
+//! * each sampled client runs on its own OS thread and talks to the
+//!   aggregator through real `Link` frames (`photon-comms` wire format,
+//!   optional compression and secure aggregation);
+//! * the aggregator averages pseudo-gradients and applies a
+//!   [`photon_fedopt::ServerOpt`] (FedAvg by default, DiLoCo as baseline);
+//! * hardware-aware strategy selection (`photon-cluster`) decides between
+//!   single-GPU, DDP (real threaded ring-allreduce) and sub-federation
+//!   local pipelines.
+//!
+//! ```no_run
+//! use photon_core::{Aggregator, FederationConfig};
+//! use photon_nn::ModelConfig;
+//!
+//! let cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 4);
+//! let mut fed = photon_core::build_federation(&cfg, 5_000).unwrap();
+//! let record = fed.aggregator.run_round(&mut fed.clients).unwrap();
+//! println!("round 0 mean client loss: {}", record.mean_client_loss);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod aggregator;
+mod centralized;
+mod checkpoint;
+mod client;
+mod config;
+mod datasource;
+mod ddp;
+mod error;
+pub mod experiments;
+mod metrics;
+mod telemetry;
+
+pub use aggregator::{build_federation, Aggregator, Federation};
+pub use centralized::CentralizedTrainer;
+pub use checkpoint::{load_checkpoint, save_checkpoint, CheckpointManifest};
+pub use client::{ClientOutcome, LlmClient};
+pub use config::{CohortSpec, FederationConfig, PostProcessConfig};
+pub use datasource::DataSource;
+pub use ddp::{ddp_train, DdpConfig, DdpReport};
+pub use error::CoreError;
+pub use metrics::{RoundRecord, TrainingHistory};
+pub use telemetry::{ClientStats, Telemetry};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

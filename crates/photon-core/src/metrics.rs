@@ -1,0 +1,134 @@
+use serde::{Deserialize, Serialize};
+
+/// Summary of one federated round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index.
+    pub round: u64,
+    /// Client ids that participated.
+    pub cohort: Vec<usize>,
+    /// Sampled clients that dropped out before returning a result.
+    #[serde(default)]
+    pub dropouts: usize,
+    /// Mean local training loss across the cohort.
+    pub mean_client_loss: f32,
+    /// L2 norm of the aggregated pseudo-gradient.
+    pub pseudo_grad_norm: f32,
+    /// Total Link bytes this round (broadcasts + results).
+    pub wire_bytes: u64,
+    /// Global-model validation perplexity, when evaluated this round.
+    pub eval_ppl: Option<f64>,
+}
+
+/// The full record of a training run, with helpers used by the
+/// time-to-target-perplexity experiments (Figs. 5–6, Table 3).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainingHistory {
+    /// Per-round records, in order.
+    pub rounds: Vec<RoundRecord>,
+}
+
+impl TrainingHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        TrainingHistory::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: RoundRecord) {
+        self.rounds.push(record);
+    }
+
+    /// Number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Whether any rounds were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// First round (1-based count of completed rounds) whose evaluation
+    /// perplexity reached `target`, if any — the quantity Figs. 5–6 and
+    /// Table 3 convert into wall time.
+    pub fn rounds_to_target(&self, target: f64) -> Option<u64> {
+        self.rounds
+            .iter()
+            .find(|r| r.eval_ppl.is_some_and(|p| p <= target))
+            .map(|r| r.round + 1)
+    }
+
+    /// Best (lowest) evaluated perplexity seen.
+    pub fn best_ppl(&self) -> Option<f64> {
+        self.rounds
+            .iter()
+            .filter_map(|r| r.eval_ppl)
+            .min_by(|a, b| a.partial_cmp(b).expect("no NaN perplexities"))
+    }
+
+    /// Final evaluated perplexity (the last round that ran an eval).
+    pub fn final_ppl(&self) -> Option<f64> {
+        self.rounds.iter().rev().find_map(|r| r.eval_ppl)
+    }
+
+    /// Total Link traffic over the run.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.wire_bytes).sum()
+    }
+
+    /// Serializes to pretty JSON for experiment reports.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("history serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(round: u64, ppl: Option<f64>) -> RoundRecord {
+        RoundRecord {
+            round,
+            cohort: vec![0, 1],
+            dropouts: 0,
+            mean_client_loss: 2.0,
+            pseudo_grad_norm: 0.5,
+            wire_bytes: 100,
+            eval_ppl: ppl,
+        }
+    }
+
+    #[test]
+    fn rounds_to_target_finds_first_crossing() {
+        let mut h = TrainingHistory::new();
+        h.push(record(0, Some(50.0)));
+        h.push(record(1, None));
+        h.push(record(2, Some(34.0)));
+        h.push(record(3, Some(30.0)));
+        assert_eq!(h.rounds_to_target(35.0), Some(3));
+        assert_eq!(h.rounds_to_target(60.0), Some(1));
+        assert_eq!(h.rounds_to_target(10.0), None);
+    }
+
+    #[test]
+    fn best_and_final() {
+        let mut h = TrainingHistory::new();
+        assert!(h.best_ppl().is_none());
+        h.push(record(0, Some(40.0)));
+        h.push(record(1, Some(33.0)));
+        h.push(record(2, None));
+        assert_eq!(h.best_ppl(), Some(33.0));
+        assert_eq!(h.final_ppl(), Some(33.0));
+        assert_eq!(h.total_wire_bytes(), 300);
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut h = TrainingHistory::new();
+        h.push(record(0, Some(40.0)));
+        let back: TrainingHistory = serde_json::from_str(&h.to_json()).unwrap();
+        assert_eq!(back, h);
+    }
+}

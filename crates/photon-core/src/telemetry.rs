@@ -1,0 +1,212 @@
+//! Federation telemetry: the `AggMetrics` side of Algorithm 1 (L.10).
+//!
+//! The aggregator records every client's per-round metrics into a
+//! thread-safe hub; operators (and the experiment harnesses) read
+//! aggregated summaries — per-client token counts, participation, loss
+//! trajectories — without touching the training loop.
+
+use parking_lot::RwLock;
+use photon_comms::TrainMetrics;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Per-client aggregate statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClientStats {
+    /// Rounds this client participated in.
+    pub rounds_participated: u64,
+    /// Total tokens this client has trained on.
+    pub tokens: u64,
+    /// Total local optimizer steps.
+    pub steps: u64,
+    /// Mean of the client's reported per-round losses.
+    pub mean_loss: f32,
+    /// Most recent reported loss.
+    pub last_loss: f32,
+    /// Mean cosine alignment between this client's pseudo-gradients and
+    /// the aggregated round update — the §6 "client contribution" measure
+    /// (near 1: pulls with the federation; near 0: orthogonal noise;
+    /// negative: conflicts).
+    pub mean_alignment: f32,
+}
+
+/// A cheaply clonable, thread-safe telemetry hub shared between the
+/// aggregator and observers.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Arc<RwLock<Inner>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    clients: BTreeMap<u32, ClientAccum>,
+    rounds_seen: u64,
+}
+
+#[derive(Debug, Default)]
+struct ClientAccum {
+    rounds: u64,
+    tokens: u64,
+    steps: u64,
+    loss_sum: f64,
+    last_loss: f32,
+    alignment_sum: f64,
+    alignment_count: u64,
+}
+
+impl Telemetry {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// Records one client's round metrics (called by the aggregator as
+    /// results arrive).
+    pub fn record(&self, client_id: u32, round: u64, metrics: &TrainMetrics) {
+        let mut inner = self.inner.write();
+        inner.rounds_seen = inner.rounds_seen.max(round + 1);
+        let acc = inner.clients.entry(client_id).or_default();
+        acc.rounds += 1;
+        acc.tokens += metrics.tokens;
+        acc.steps += metrics.steps;
+        acc.loss_sum += metrics.mean_loss as f64;
+        acc.last_loss = metrics.mean_loss;
+    }
+
+    /// Records the cosine alignment of one client's update with the
+    /// aggregated round delta.
+    pub fn record_alignment(&self, client_id: u32, cosine: f32) {
+        let mut inner = self.inner.write();
+        let acc = inner.clients.entry(client_id).or_default();
+        acc.alignment_sum += cosine as f64;
+        acc.alignment_count += 1;
+    }
+
+    /// Number of rounds observed so far.
+    pub fn rounds_seen(&self) -> u64 {
+        self.inner.read().rounds_seen
+    }
+
+    /// Total tokens consumed across the federation.
+    pub fn total_tokens(&self) -> u64 {
+        self.inner.read().clients.values().map(|c| c.tokens).sum()
+    }
+
+    /// Per-client summaries, ordered by client id.
+    pub fn client_stats(&self) -> Vec<(u32, ClientStats)> {
+        self.inner
+            .read()
+            .clients
+            .iter()
+            .map(|(&id, acc)| {
+                (
+                    id,
+                    ClientStats {
+                        rounds_participated: acc.rounds,
+                        tokens: acc.tokens,
+                        steps: acc.steps,
+                        mean_loss: if acc.rounds == 0 {
+                            0.0
+                        } else {
+                            (acc.loss_sum / acc.rounds as f64) as f32
+                        },
+                        last_loss: acc.last_loss,
+                        mean_alignment: if acc.alignment_count == 0 {
+                            0.0
+                        } else {
+                            (acc.alignment_sum / acc.alignment_count as f64) as f32
+                        },
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// The spread between the most and least trained client's token
+    /// counts — a fairness/straggler indicator under partial
+    /// participation.
+    pub fn participation_skew(&self) -> f64 {
+        let inner = self.inner.read();
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for acc in inner.clients.values() {
+            lo = lo.min(acc.tokens);
+            hi = hi.max(acc.tokens);
+        }
+        if lo == u64::MAX || lo == 0 {
+            if hi == 0 {
+                return 1.0;
+            }
+            return f64::INFINITY;
+        }
+        hi as f64 / lo as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(loss: f32, tokens: u64) -> TrainMetrics {
+        TrainMetrics {
+            mean_loss: loss,
+            tokens,
+            steps: tokens / 8,
+        }
+    }
+
+    #[test]
+    fn records_and_summarizes() {
+        let t = Telemetry::new();
+        t.record(0, 0, &metrics(3.0, 800));
+        t.record(1, 0, &metrics(2.0, 800));
+        t.record(0, 1, &metrics(1.0, 800));
+        assert_eq!(t.rounds_seen(), 2);
+        assert_eq!(t.total_tokens(), 2400);
+        let stats = t.client_stats();
+        assert_eq!(stats.len(), 2);
+        let (id0, s0) = &stats[0];
+        assert_eq!(*id0, 0);
+        assert_eq!(s0.rounds_participated, 2);
+        assert_eq!(s0.mean_loss, 2.0);
+        assert_eq!(s0.last_loss, 1.0);
+        assert_eq!(s0.tokens, 1600);
+    }
+
+    #[test]
+    fn alignment_averages() {
+        let t = Telemetry::new();
+        t.record(0, 0, &metrics(1.0, 8));
+        t.record_alignment(0, 0.8);
+        t.record_alignment(0, 0.4);
+        let stats = t.client_stats();
+        assert!((stats[0].1.mean_alignment - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn skew_detects_unequal_participation() {
+        let t = Telemetry::new();
+        t.record(0, 0, &metrics(1.0, 1000));
+        t.record(1, 0, &metrics(1.0, 250));
+        assert_eq!(t.participation_skew(), 4.0);
+        let empty = Telemetry::new();
+        assert_eq!(empty.participation_skew(), 1.0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let t = Telemetry::new();
+        std::thread::scope(|s| {
+            for c in 0..4u32 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for r in 0..50 {
+                        t.record(c, r, &metrics(1.0, 10));
+                    }
+                });
+            }
+        });
+        assert_eq!(t.total_tokens(), 4 * 50 * 10);
+        assert_eq!(t.rounds_seen(), 50);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the federation engine's configuration and
+//! round bookkeeping.
+
+use photon_core::{CohortSpec, FederationConfig, RoundRecord, TrainingHistory};
+use photon_fedopt::{AggregationKind, ServerOptKind};
+use photon_nn::ModelConfig;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = FederationConfig> {
+    (
+        1usize..12,
+        1u64..64,
+        1usize..16,
+        any::<u64>(),
+        0usize..4,
+        any::<bool>(),
+    )
+        .prop_map(|(population, local_steps, local_batch, seed, opt_pick, partial)| {
+            let mut cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), population);
+            cfg.local_steps = local_steps;
+            cfg.local_batch = local_batch;
+            cfg.seed = seed;
+            cfg.allow_partial_results = partial;
+            cfg.server_opt = [
+                ServerOptKind::photon_default(),
+                ServerOptKind::FedMom { lr: 1.0, momentum: 0.9 },
+                ServerOptKind::FedAdam { lr: 0.01 },
+                ServerOptKind::diloco_default(),
+            ][opt_pick];
+            cfg
+        })
+}
+
+proptest! {
+    /// Any generated configuration validates, round-trips through JSON,
+    /// and keeps its derived quantities consistent.
+    #[test]
+    fn configs_roundtrip_and_stay_consistent(cfg in arb_config()) {
+        cfg.validate().unwrap();
+        prop_assert_eq!(cfg.global_batch(), cfg.cohort_size() * cfg.local_batch);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: FederationConfig = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, cfg);
+    }
+
+    /// Sampled cohorts never exceed the population.
+    #[test]
+    fn cohort_size_is_bounded(population in 1usize..64, k in 1usize..128) {
+        let mut cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), population);
+        cfg.cohort = CohortSpec::Sample { k };
+        prop_assert!(cfg.cohort_size() <= population);
+        prop_assert!(cfg.cohort_size() >= 1);
+    }
+
+    /// TIES aggregation config serializes inside the federation config.
+    #[test]
+    fn aggregation_kind_roundtrips(density in 0.01f64..1.0) {
+        let mut cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 2);
+        cfg.aggregation = AggregationKind::Ties { density };
+        let back: FederationConfig =
+            serde_json::from_str(&serde_json::to_string(&cfg).unwrap()).unwrap();
+        prop_assert_eq!(back.aggregation, cfg.aggregation);
+    }
+
+    /// History target-finding agrees with a straightforward scan, for any
+    /// perplexity trajectory.
+    #[test]
+    fn rounds_to_target_matches_linear_scan(
+        ppls in proptest::collection::vec(proptest::option::of(1.0f64..100.0), 1..30),
+        target in 1.0f64..100.0,
+    ) {
+        let mut history = TrainingHistory::new();
+        for (i, ppl) in ppls.iter().enumerate() {
+            history.push(RoundRecord {
+                round: i as u64,
+                cohort: vec![0],
+                dropouts: 0,
+                mean_client_loss: 1.0,
+                pseudo_grad_norm: 1.0,
+                wire_bytes: 1,
+                eval_ppl: *ppl,
+            });
+        }
+        let expected = ppls
+            .iter()
+            .position(|p| p.is_some_and(|p| p <= target))
+            .map(|i| i as u64 + 1);
+        prop_assert_eq!(history.rounds_to_target(target), expected);
+        // best <= every evaluated value
+        if let Some(best) = history.best_ppl() {
+            for p in ppls.iter().flatten() {
+                prop_assert!(best <= *p + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Pre-tokenization cache: the on-disk format Photon Data Sources use to
+//! avoid re-tokenizing text on every training run (§2.3, §4).
+
+use photon_tokenizer::TokenId;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"PHTNTOK1";
+
+/// Reader/writer for cached pre-tokenized corpora.
+///
+/// Format: 8-byte magic, u64 LE token count, then little-endian `u32`
+/// tokens. The magic guards against feeding arbitrary files into training.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TokenCache;
+
+impl TokenCache {
+    /// Writes tokens to `path`, overwriting any existing file.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn store(path: &Path, tokens: &[TokenId]) -> io::Result<()> {
+        let mut buf = Vec::with_capacity(16 + tokens.len() * 4);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&(tokens.len() as u64).to_le_bytes());
+        for &t in tokens {
+            buf.extend_from_slice(&t.to_le_bytes());
+        }
+        let mut f = fs::File::create(path)?;
+        f.write_all(&buf)?;
+        Ok(())
+    }
+
+    /// Loads tokens previously written by [`TokenCache::store`].
+    ///
+    /// # Errors
+    /// Returns `InvalidData` if the magic or length is wrong, and propagates
+    /// filesystem errors.
+    pub fn load(path: &Path) -> io::Result<Vec<TokenId>> {
+        let mut f = fs::File::open(path)?;
+        let mut raw = Vec::new();
+        f.read_to_end(&mut raw)?;
+        if raw.len() < 16 || &raw[..8] != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a photon token cache",
+            ));
+        }
+        let n = u64::from_le_bytes(raw[8..16].try_into().expect("8 bytes")) as usize;
+        if raw.len() != 16 + n * 4 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("token cache truncated: expected {n} tokens"),
+            ));
+        }
+        let mut tokens = Vec::with_capacity(n);
+        for chunk in raw[16..].chunks_exact(4) {
+            tokens.push(TokenId::from_le_bytes(chunk.try_into().expect("4 bytes")));
+        }
+        Ok(tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("photon-data-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = tmp("roundtrip.tok");
+        let tokens: Vec<TokenId> = (0..1000).map(|i| i * 7 % 50_368).collect();
+        TokenCache::store(&path, &tokens).unwrap();
+        assert_eq!(TokenCache::load(&path).unwrap(), tokens);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let path = tmp("empty.tok");
+        TokenCache::store(&path, &[]).unwrap();
+        assert!(TokenCache::load(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = tmp("bad.tok");
+        fs::write(&path, b"NOTATOKENCACHEFILE").unwrap();
+        let err = TokenCache::load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let path = tmp("trunc.tok");
+        TokenCache::store(&path, &[1, 2, 3, 4]).unwrap();
+        let mut raw = fs::read(&path).unwrap();
+        raw.truncate(raw.len() - 3);
+        fs::write(&path, &raw).unwrap();
+        assert!(TokenCache::load(&path).is_err());
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(TokenCache::load(Path::new("/nonexistent/x.tok")).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+use crate::{DomainKind, SyntheticDomain};
+use photon_tensor::SeedStream;
+use photon_tokenizer::{TokenId, Tokenizer};
+use serde::{Deserialize, Serialize};
+
+/// A pre-tokenized corpus with provenance metadata.
+///
+/// Photon's Data Sources "leverage low-hanging fruit local storage
+/// optimizations, such as data pre-tokenization" (§2.3): `TokenCorpus` is
+/// that pre-tokenized representation, produced once and then streamed to
+/// clients without re-tokenizing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenCorpus {
+    name: String,
+    tokens: Vec<TokenId>,
+}
+
+impl TokenCorpus {
+    /// Creates a corpus from raw tokens.
+    pub fn new(name: impl Into<String>, tokens: Vec<TokenId>) -> Self {
+        TokenCorpus {
+            name: name.into(),
+            tokens,
+        }
+    }
+
+    /// Generates and tokenizes `min_tokens` of text from a synthetic domain.
+    ///
+    /// Oversamples text as needed until the token target is met, then
+    /// truncates, so the returned corpus has exactly `min_tokens` tokens.
+    pub fn from_domain(
+        domain: &SyntheticDomain,
+        tokenizer: &dyn Tokenizer,
+        min_tokens: usize,
+        rng: &mut SeedStream,
+    ) -> Self {
+        let mut tokens = Vec::with_capacity(min_tokens + 1024);
+        while tokens.len() < min_tokens {
+            // Byte-level tokenizers yield ~1 token/char; BPE fewer. Generate
+            // in chunks and keep going until we have enough.
+            let remaining = min_tokens - tokens.len();
+            let text = domain.generate(remaining.max(512), rng);
+            tokens.extend(tokenizer.encode(&text));
+            tokens.push(tokenizer.eot_id());
+        }
+        tokens.truncate(min_tokens);
+        TokenCorpus {
+            name: domain.kind().name().to_string(),
+            tokens,
+        }
+    }
+
+    /// Corpus name (domain name or dataset label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The token buffer.
+    pub fn tokens(&self) -> &[TokenId] {
+        &self.tokens
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the corpus holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Splits off the final `n` tokens as a held-out validation corpus.
+    ///
+    /// # Panics
+    /// Panics if `n >= len()`.
+    pub fn split_validation(&mut self, n: usize) -> TokenCorpus {
+        assert!(n < self.tokens.len(), "validation split larger than corpus");
+        let split = self.tokens.len() - n;
+        let val = self.tokens.split_off(split);
+        TokenCorpus {
+            name: format!("{}-val", self.name),
+            tokens: val,
+        }
+    }
+
+    /// Concatenates several corpora into one (used to form the union
+    /// validation set across domains).
+    pub fn concat(name: impl Into<String>, parts: &[&TokenCorpus]) -> Self {
+        let mut tokens = Vec::with_capacity(parts.iter().map(|c| c.len()).sum());
+        for part in parts {
+            tokens.extend_from_slice(&part.tokens);
+        }
+        TokenCorpus {
+            name: name.into(),
+            tokens,
+        }
+    }
+}
+
+/// Builds one corpus per Pile-style domain, each with `tokens_per_domain`
+/// tokens, using independent child seeds per domain.
+pub fn build_domain_corpora(
+    tokenizer: &dyn Tokenizer,
+    tokens_per_domain: usize,
+    rng: &mut SeedStream,
+) -> Vec<TokenCorpus> {
+    DomainKind::all()
+        .iter()
+        .map(|&kind| {
+            let mut drng = rng.split(kind.name());
+            let domain = SyntheticDomain::preset(kind, &mut drng);
+            TokenCorpus::from_domain(&domain, tokenizer, tokens_per_domain, &mut drng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_tokenizer::ByteTokenizer;
+
+    #[test]
+    fn from_domain_hits_exact_token_count() {
+        let mut rng = SeedStream::new(1);
+        let tok = ByteTokenizer::new();
+        let domain = SyntheticDomain::preset(DomainKind::Web, &mut rng);
+        let corpus = TokenCorpus::from_domain(&domain, &tok, 10_000, &mut rng);
+        assert_eq!(corpus.len(), 10_000);
+        assert_eq!(corpus.name(), "web");
+        assert!(!corpus.is_empty());
+    }
+
+    #[test]
+    fn validation_split() {
+        let mut c = TokenCorpus::new("x", (0..100).collect());
+        let val = c.split_validation(20);
+        assert_eq!(c.len(), 80);
+        assert_eq!(val.len(), 20);
+        assert_eq!(val.tokens()[0], 80);
+        assert_eq!(val.name(), "x-val");
+    }
+
+    #[test]
+    #[should_panic(expected = "validation split larger")]
+    fn oversized_split_panics() {
+        let mut c = TokenCorpus::new("x", vec![1, 2, 3]);
+        c.split_validation(3);
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = TokenCorpus::new("a", vec![1, 2]);
+        let b = TokenCorpus::new("b", vec![3]);
+        let c = TokenCorpus::concat("ab", &[&a, &b]);
+        assert_eq!(c.tokens(), &[1, 2, 3]);
+        assert_eq!(c.name(), "ab");
+    }
+
+    #[test]
+    fn build_domain_corpora_covers_all_domains() {
+        let mut rng = SeedStream::new(2);
+        let tok = ByteTokenizer::new();
+        let corpora = build_domain_corpora(&tok, 2000, &mut rng);
+        assert_eq!(corpora.len(), 4);
+        let names: Vec<&str> = corpora.iter().map(|c| c.name()).collect();
+        assert_eq!(names, vec!["arxiv", "web", "wiki", "prose"]);
+        assert!(corpora.iter().all(|c| c.len() == 2000));
+        // Domain corpora must differ.
+        assert_ne!(corpora[0].tokens(), corpora[1].tokens());
+    }
+}

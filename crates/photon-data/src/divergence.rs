@@ -1,0 +1,126 @@
+//! Distributional divergence between client shards — the quantitative side
+//! of the paper's data-heterogeneity experiments (§5.5). The federated
+//! literature characterizes non-IID-ness by the divergence between client
+//! data distributions; these helpers measure it on token unigram
+//! statistics so experiments can report *how* heterogeneous a split is.
+
+use crate::Shard;
+
+/// Unigram token distribution over a shard (add-one smoothed over the
+/// given vocabulary size).
+pub fn unigram_distribution(shard: &Shard, vocab_size: usize) -> Vec<f64> {
+    let mut counts = vec![1.0f64; vocab_size]; // Laplace smoothing
+    for i in 0..shard.len() {
+        let t = shard.token_at(i) as usize;
+        if t < vocab_size {
+            counts[t] += 1.0;
+        }
+    }
+    let total: f64 = counts.iter().sum();
+    counts.iter_mut().for_each(|c| *c /= total);
+    counts
+}
+
+/// Kullback-Leibler divergence `KL(p || q)` in nats.
+///
+/// # Panics
+/// Panics if the distributions have different lengths.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    p.iter()
+        .zip(q)
+        .filter(|&(&pi, _)| pi > 0.0)
+        .map(|(&pi, &qi)| pi * (pi / qi.max(1e-300)).ln())
+        .sum()
+}
+
+/// Jensen-Shannon divergence (symmetric, bounded by ln 2).
+///
+/// # Panics
+/// Panics if the distributions have different lengths.
+pub fn js_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    let m: Vec<f64> = p.iter().zip(q).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    0.5 * kl_divergence(p, &m) + 0.5 * kl_divergence(q, &m)
+}
+
+/// Mean pairwise Jensen-Shannon divergence across a set of shards — a
+/// single scalar heterogeneity index for a federation (0 for IID splits,
+/// approaching ln 2 for fully disjoint vocabularies).
+pub fn heterogeneity_index(shards: &[Shard], vocab_size: usize) -> f64 {
+    if shards.len() < 2 {
+        return 0.0;
+    }
+    let dists: Vec<Vec<f64>> = shards
+        .iter()
+        .map(|s| unigram_distribution(s, vocab_size))
+        .collect();
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..dists.len() {
+        for j in (i + 1)..dists.len() {
+            total += js_divergence(&dists[i], &dists[j]);
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn shard_of(tokens: Vec<u32>) -> Shard {
+        let len = tokens.len();
+        Shard::from_range("t", Arc::new(tokens), 0, len)
+    }
+
+    #[test]
+    fn identical_shards_have_zero_divergence() {
+        let a = shard_of(vec![0, 1, 2, 3, 0, 1]);
+        let b = shard_of(vec![0, 1, 2, 3, 0, 1]);
+        let p = unigram_distribution(&a, 8);
+        let q = unigram_distribution(&b, 8);
+        assert!(kl_divergence(&p, &q).abs() < 1e-12);
+        assert!(js_divergence(&p, &q).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_shards_approach_ln2() {
+        let a = shard_of(vec![0; 5000]);
+        let b = shard_of(vec![1; 5000]);
+        let p = unigram_distribution(&a, 2);
+        let q = unigram_distribution(&b, 2);
+        let js = js_divergence(&p, &q);
+        assert!(js > 0.6 && js <= std::f64::consts::LN_2 + 1e-9, "{js}");
+    }
+
+    #[test]
+    fn js_is_symmetric_kl_is_not() {
+        // Deliberately non-permutation-related distributions (swapping two
+        // masses produces a symmetric KL pair, which would be a weak test).
+        let p = vec![0.7, 0.2, 0.1];
+        let q = vec![0.5, 0.3, 0.2];
+        assert!((js_divergence(&p, &q) - js_divergence(&q, &p)).abs() < 1e-12);
+        assert!((kl_divergence(&p, &q) - kl_divergence(&q, &p)).abs() > 1e-4);
+    }
+
+    #[test]
+    fn heterogeneity_index_orders_splits() {
+        // IID-ish split vs fully domain-separated split.
+        let iid = vec![
+            shard_of((0..400).map(|i| i % 7).collect()),
+            shard_of((0..400).map(|i| (i + 3) % 7).collect()),
+        ];
+        let separated = vec![
+            shard_of(vec![0; 400]),
+            shard_of(vec![6; 400]),
+        ];
+        let h_iid = heterogeneity_index(&iid, 7);
+        let h_sep = heterogeneity_index(&separated, 7);
+        assert!(h_iid < 0.05, "iid index {h_iid}");
+        assert!(h_sep > 0.4, "separated index {h_sep}");
+        assert_eq!(heterogeneity_index(&iid[..1], 7), 0.0);
+    }
+}

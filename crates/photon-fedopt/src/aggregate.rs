@@ -1,0 +1,169 @@
+use serde::{Deserialize, Serialize};
+
+/// The aggregation rule applied to the cohort's pseudo-gradients before
+/// the server optimizer (Algorithm 1, L.8). `Mean` is the paper's default;
+/// `Ties` is the heterogeneity-robust alternative its §5.5 points to.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AggregationKind {
+    /// Weighted arithmetic mean (FedAvg-style).
+    Mean,
+    /// TIES-merging: trim to the top-density entries, elect per-coordinate
+    /// signs by magnitude, average the sign-consistent survivors.
+    Ties {
+        /// Fraction of each client's largest-magnitude entries to keep.
+        density: f64,
+    },
+}
+
+impl Default for AggregationKind {
+    fn default() -> Self {
+        AggregationKind::Mean
+    }
+}
+
+impl AggregationKind {
+    /// Applies the rule to a cohort's updates.
+    ///
+    /// # Panics
+    /// Panics if `updates` is empty or delta lengths differ.
+    pub fn aggregate(&self, updates: &[ClientUpdate]) -> Vec<f32> {
+        match *self {
+            AggregationKind::Mean => aggregate_deltas(updates),
+            AggregationKind::Ties { density } => {
+                crate::ties_aggregate(updates, &crate::TiesConfig { density })
+            }
+        }
+    }
+}
+
+/// One client's contribution to a round: a pseudo-gradient
+/// `Δ_k = θ_global − θ_k` (Algorithm 1, L.7) plus an aggregation weight
+/// (uniform 1.0 in the paper; sample counts for weighted FedAvg).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientUpdate {
+    /// Flat pseudo-gradient, same layout as the model parameters.
+    pub delta: Vec<f32>,
+    /// Aggregation weight (must be positive).
+    pub weight: f64,
+}
+
+impl ClientUpdate {
+    /// Creates an update.
+    ///
+    /// # Panics
+    /// Panics if `weight` is not positive and finite.
+    pub fn new(delta: Vec<f32>, weight: f64) -> Self {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "weight must be positive"
+        );
+        ClientUpdate { delta, weight }
+    }
+
+    /// L2 norm of the pseudo-gradient (a useful training-health metric:
+    /// the paper notes client updates are near-orthogonal with small
+    /// pseudo-gradient norms, Appendix C.1).
+    pub fn norm(&self) -> f32 {
+        photon_tensor::ops::l2_norm(&self.delta)
+    }
+}
+
+/// Computes a client's pseudo-gradient from the global and locally trained
+/// parameters: `Δ = global − local`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn delta_from(global: &[f32], local: &[f32]) -> Vec<f32> {
+    assert_eq!(global.len(), local.len(), "parameter length mismatch");
+    global.iter().zip(local).map(|(g, l)| g - l).collect()
+}
+
+/// Weighted average of client pseudo-gradients (Algorithm 1, L.8).
+///
+/// # Panics
+/// Panics if `updates` is empty or the deltas have differing lengths.
+pub fn aggregate_deltas(updates: &[ClientUpdate]) -> Vec<f32> {
+    assert!(!updates.is_empty(), "cannot aggregate zero updates");
+    let n = updates[0].delta.len();
+    let total_w: f64 = updates.iter().map(|u| u.weight).sum();
+    let mut out = vec![0.0f64; n];
+    for u in updates {
+        assert_eq!(u.delta.len(), n, "delta length mismatch");
+        let w = u.weight / total_w;
+        for (o, &d) in out.iter_mut().zip(&u.delta) {
+            *o += w * d as f64;
+        }
+    }
+    out.into_iter().map(|v| v as f32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_is_global_minus_local() {
+        let d = delta_from(&[1.0, 2.0], &[0.5, 3.0]);
+        assert_eq!(d, vec![0.5, -1.0]);
+    }
+
+    #[test]
+    fn uniform_aggregation_is_mean() {
+        let updates = vec![
+            ClientUpdate::new(vec![2.0, 0.0], 1.0),
+            ClientUpdate::new(vec![0.0, 2.0], 1.0),
+            ClientUpdate::new(vec![1.0, 1.0], 1.0),
+        ];
+        assert_eq!(aggregate_deltas(&updates), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn weighted_aggregation() {
+        let updates = vec![
+            ClientUpdate::new(vec![0.0], 3.0),
+            ClientUpdate::new(vec![4.0], 1.0),
+        ];
+        assert_eq!(aggregate_deltas(&updates), vec![1.0]);
+    }
+
+    #[test]
+    fn single_update_passes_through() {
+        let updates = vec![ClientUpdate::new(vec![0.25, -0.5], 7.0)];
+        assert_eq!(aggregate_deltas(&updates), vec![0.25, -0.5]);
+    }
+
+    #[test]
+    fn norm_metric() {
+        assert_eq!(ClientUpdate::new(vec![3.0, 4.0], 1.0).norm(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot aggregate zero updates")]
+    fn empty_aggregation_panics() {
+        aggregate_deltas(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn negative_weight_rejected() {
+        ClientUpdate::new(vec![1.0], -1.0);
+    }
+}
+
+#[cfg(test)]
+mod kind_tests {
+    use super::*;
+
+    #[test]
+    fn kind_dispatches_to_both_rules() {
+        let updates = vec![
+            ClientUpdate::new(vec![1.0, 0.2], 1.0),
+            ClientUpdate::new(vec![3.0, -0.2], 1.0),
+        ];
+        assert_eq!(AggregationKind::Mean.aggregate(&updates), vec![2.0, 0.0]);
+        let ties = AggregationKind::Ties { density: 1.0 }.aggregate(&updates);
+        assert_eq!(ties[0], 2.0);
+        assert!(ties[1] > 0.0); // sign election keeps the positive entry
+        assert_eq!(AggregationKind::default(), AggregationKind::Mean);
+    }
+}

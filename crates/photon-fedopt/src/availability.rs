@@ -1,0 +1,233 @@
+//! Client availability modelling: the paper's cross-silo setting assumes
+//! accelerators "can be sporadically available throughout a full training
+//! cycle" (§2.1), and the billion-scale runs assume "intermittent client
+//! availability" (Appendix A). This module provides a two-state Markov
+//! availability trace per client and a sampler that only selects clients
+//! that are currently up.
+
+use crate::ClientSampler;
+use photon_tensor::SeedStream;
+use serde::{Deserialize, Serialize};
+
+/// A two-state (up/down) Markov availability model, identical and
+/// independent across clients.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityModel {
+    /// Probability an *up* client goes down at the next round.
+    pub p_down: f64,
+    /// Probability a *down* client comes back up at the next round.
+    pub p_up: f64,
+}
+
+impl AvailabilityModel {
+    /// A model where clients are always available.
+    pub fn always_on() -> Self {
+        AvailabilityModel {
+            p_down: 0.0,
+            p_up: 1.0,
+        }
+    }
+
+    /// Steady-state fraction of time a client is available.
+    pub fn steady_state_up(&self) -> f64 {
+        if self.p_down + self.p_up == 0.0 {
+            return 1.0;
+        }
+        self.p_up / (self.p_down + self.p_up)
+    }
+
+    /// Validates probabilities.
+    ///
+    /// # Panics
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.p_down) && (0.0..=1.0).contains(&self.p_up),
+            "availability probabilities must be in [0, 1]"
+        );
+    }
+}
+
+/// Pre-sampled availability traces for a population.
+#[derive(Debug, Clone)]
+pub struct AvailabilityTraces {
+    /// `up[client][round]`.
+    up: Vec<Vec<bool>>,
+}
+
+impl AvailabilityTraces {
+    /// Samples `rounds` rounds of availability for `population` clients.
+    /// Every client starts up.
+    pub fn sample(
+        model: AvailabilityModel,
+        population: usize,
+        rounds: usize,
+        rng: &mut SeedStream,
+    ) -> Self {
+        model.validate();
+        let up = (0..population)
+            .map(|c| {
+                let mut crng = rng.split(&format!("avail-{c}"));
+                let mut state = true;
+                (0..rounds)
+                    .map(|_| {
+                        let u = crng.next_f64();
+                        state = if state { u >= model.p_down } else { u < model.p_up };
+                        state
+                    })
+                    .collect()
+            })
+            .collect();
+        AvailabilityTraces { up }
+    }
+
+    /// Whether `client` is up at `round` (clients past the sampled horizon
+    /// stay in their final state).
+    pub fn is_up(&self, client: usize, round: u64) -> bool {
+        let trace = &self.up[client];
+        let idx = (round as usize).min(trace.len().saturating_sub(1));
+        trace.get(idx).copied().unwrap_or(true)
+    }
+
+    /// Clients up at `round`.
+    pub fn available_at(&self, round: u64) -> Vec<usize> {
+        (0..self.up.len()).filter(|&c| self.is_up(c, round)).collect()
+    }
+}
+
+/// A sampler that draws uniformly from the *currently available* clients,
+/// falling back to the full population when everyone is down (the
+/// aggregator would otherwise stall forever).
+#[derive(Debug, Clone)]
+pub struct AvailabilitySampler {
+    traces: AvailabilityTraces,
+    k: usize,
+    rng: SeedStream,
+}
+
+impl AvailabilitySampler {
+    /// Samples up to `k` clients per round from the available subset.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(traces: AvailabilityTraces, k: usize, rng: SeedStream) -> Self {
+        assert!(k > 0, "cohort size must be positive");
+        AvailabilitySampler { traces, k, rng }
+    }
+}
+
+impl ClientSampler for AvailabilitySampler {
+    fn sample(&mut self, population: usize, round: u64) -> Vec<usize> {
+        let mut candidates: Vec<usize> = self
+            .traces
+            .available_at(round)
+            .into_iter()
+            .filter(|&c| c < population)
+            .collect();
+        if candidates.is_empty() {
+            candidates = (0..population).collect();
+        }
+        let k = self.k.min(candidates.len());
+        let picked = self.rng.sample_indices(candidates.len(), k);
+        let mut cohort: Vec<usize> = picked.into_iter().map(|i| candidates[i]).collect();
+        cohort.sort_unstable();
+        cohort
+    }
+
+    fn cohort_size(&self, population: usize) -> usize {
+        self.k.min(population)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_math() {
+        let m = AvailabilityModel {
+            p_down: 0.1,
+            p_up: 0.3,
+        };
+        assert!((m.steady_state_up() - 0.75).abs() < 1e-12);
+        assert_eq!(AvailabilityModel::always_on().steady_state_up(), 1.0);
+    }
+
+    #[test]
+    fn traces_match_steady_state_statistically() {
+        let m = AvailabilityModel {
+            p_down: 0.2,
+            p_up: 0.6,
+        };
+        let mut rng = SeedStream::new(1);
+        let traces = AvailabilityTraces::sample(m, 20, 500, &mut rng);
+        let mut up = 0usize;
+        let total = 20 * 500;
+        for c in 0..20 {
+            for r in 0..500 {
+                if traces.is_up(c, r) {
+                    up += 1;
+                }
+            }
+        }
+        let frac = up as f64 / total as f64;
+        assert!(
+            (frac - m.steady_state_up()).abs() < 0.05,
+            "observed {frac}, expected {}",
+            m.steady_state_up()
+        );
+    }
+
+    #[test]
+    fn always_on_traces_never_drop() {
+        let mut rng = SeedStream::new(2);
+        let traces = AvailabilityTraces::sample(AvailabilityModel::always_on(), 5, 50, &mut rng);
+        assert_eq!(traces.available_at(25).len(), 5);
+    }
+
+    #[test]
+    fn sampler_only_picks_available_clients() {
+        let m = AvailabilityModel {
+            p_down: 0.5,
+            p_up: 0.5,
+        };
+        let mut rng = SeedStream::new(3);
+        let traces = AvailabilityTraces::sample(m, 10, 40, &mut rng);
+        let mut sampler = AvailabilitySampler::new(traces.clone(), 4, SeedStream::new(4));
+        for round in 0..40 {
+            let cohort = sampler.sample(10, round);
+            assert!(!cohort.is_empty());
+            assert!(cohort.windows(2).all(|w| w[0] < w[1]));
+            let avail = traces.available_at(round);
+            if !avail.is_empty() {
+                for c in &cohort {
+                    assert!(avail.contains(c), "round {round}: {c} was down");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_down_falls_back_to_population() {
+        let m = AvailabilityModel {
+            p_down: 1.0,
+            p_up: 0.0,
+        };
+        let mut rng = SeedStream::new(5);
+        let traces = AvailabilityTraces::sample(m, 4, 10, &mut rng);
+        assert!(traces.available_at(5).is_empty());
+        let mut sampler = AvailabilitySampler::new(traces, 2, SeedStream::new(6));
+        let cohort = sampler.sample(4, 5);
+        assert_eq!(cohort.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn invalid_probabilities_panic() {
+        AvailabilityModel {
+            p_down: 1.5,
+            p_up: 0.0,
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,39 @@
+//! # photon-fedopt
+//!
+//! Federated optimization for Photon-RS: pseudo-gradient aggregation and
+//! the server-side optimizer family used in the paper —
+//!
+//! * **FedAvg** (server lr 1.0, no momentum): Photon's default (Appendix A);
+//! * **FedMom / FedAvgM**: server momentum on the pseudo-gradient;
+//! * **FedAdam**: adaptive server optimizer (Reddi et al.), an extension
+//!   hook the paper's §6 suggests;
+//! * **DiLoCo**: the baseline — SGD with Nesterov momentum as the outer
+//!   optimizer (η_s tuned per Fig. 8, momentum 0.9).
+//!
+//! It also provides the client samplers of Algorithm 1 (full participation
+//! and uniform `K`-of-`P` sampling).
+//!
+//! ```
+//! use photon_fedopt::{aggregate_deltas, ClientUpdate};
+//! let updates = vec![
+//!     ClientUpdate::new(vec![1.0, 0.0], 1.0),
+//!     ClientUpdate::new(vec![0.0, 1.0], 1.0),
+//! ];
+//! let avg = aggregate_deltas(&updates);
+//! assert_eq!(avg, vec![0.5, 0.5]);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod aggregate;
+mod availability;
+mod sampler;
+mod server;
+mod ties;
+
+pub use aggregate::{aggregate_deltas, delta_from, AggregationKind, ClientUpdate};
+pub use availability::{AvailabilityModel, AvailabilitySampler, AvailabilityTraces};
+pub use sampler::{ClientSampler, FullParticipation, UniformSampler};
+pub use server::{DiLoCo, FedAdam, FedAvg, FedMom, ServerOpt, ServerOptKind};
+pub use ties::{ties_aggregate, TiesConfig};

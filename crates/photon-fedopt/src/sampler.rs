@@ -1,0 +1,133 @@
+use photon_tensor::SeedStream;
+
+/// Selects which clients participate in a round (Algorithm 1, L.4:
+/// `C ~ U(P, K)` — sample `K` clients uniformly from the population).
+pub trait ClientSampler: Send {
+    /// Returns the sorted indices of the clients sampled for `round`.
+    fn sample(&mut self, population: usize, round: u64) -> Vec<usize>;
+
+    /// Expected number of clients per round for a given population.
+    fn cohort_size(&self, population: usize) -> usize;
+}
+
+/// Every client participates every round (the paper's billion-scale runs,
+/// §5.2: "full participation every round").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullParticipation;
+
+impl ClientSampler for FullParticipation {
+    fn sample(&mut self, population: usize, _round: u64) -> Vec<usize> {
+        (0..population).collect()
+    }
+
+    fn cohort_size(&self, population: usize) -> usize {
+        population
+    }
+}
+
+/// Uniform sampling of `k` clients without replacement — partial
+/// participation (paper §5.5 samples 25%, 50%, 100% of sixteen clients).
+#[derive(Debug, Clone)]
+pub struct UniformSampler {
+    k: usize,
+    rng: SeedStream,
+}
+
+impl UniformSampler {
+    /// Samples exactly `k` clients per round.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, rng: SeedStream) -> Self {
+        assert!(k > 0, "cohort size must be positive");
+        UniformSampler { k, rng }
+    }
+
+    /// Samples a fixed fraction of the population (rounded, minimum 1).
+    ///
+    /// # Panics
+    /// Panics if `fraction` is not in `(0, 1]`.
+    pub fn from_fraction(fraction: f64, population: usize, rng: SeedStream) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
+        let k = ((population as f64 * fraction).round() as usize).max(1);
+        UniformSampler::new(k, rng)
+    }
+}
+
+impl ClientSampler for UniformSampler {
+    fn sample(&mut self, population: usize, _round: u64) -> Vec<usize> {
+        let k = self.k.min(population);
+        self.rng.sample_indices(population, k)
+    }
+
+    fn cohort_size(&self, population: usize) -> usize {
+        self.k.min(population)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_participation_returns_everyone() {
+        let mut s = FullParticipation;
+        assert_eq!(s.sample(4, 0), vec![0, 1, 2, 3]);
+        assert_eq!(s.cohort_size(16), 16);
+    }
+
+    #[test]
+    fn uniform_sampler_size_and_range() {
+        let mut s = UniformSampler::new(4, SeedStream::new(1));
+        for round in 0..50 {
+            let c = s.sample(16, round);
+            assert_eq!(c.len(), 4);
+            assert!(c.iter().all(|&i| i < 16));
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn uniform_sampler_eventually_covers_population() {
+        let mut s = UniformSampler::new(4, SeedStream::new(2));
+        let mut seen = vec![false; 16];
+        for round in 0..100 {
+            for i in s.sample(16, round) {
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "some client never sampled");
+    }
+
+    #[test]
+    fn fraction_constructor_matches_paper_ratios() {
+        // 25%, 50%, 100% of 16 clients (paper §5.5).
+        for (frac, expect) in [(0.25, 4), (0.5, 8), (1.0, 16)] {
+            let s = UniformSampler::from_fraction(frac, 16, SeedStream::new(3));
+            assert_eq!(s.cohort_size(16), expect);
+        }
+    }
+
+    #[test]
+    fn oversized_k_clamps_to_population() {
+        let mut s = UniformSampler::new(10, SeedStream::new(4));
+        assert_eq!(s.sample(3, 0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = UniformSampler::new(2, SeedStream::new(7));
+        let mut b = UniformSampler::new(2, SeedStream::new(7));
+        assert_eq!(a.sample(10, 0), b.sample(10, 0));
+        assert_eq!(a.sample(10, 1), b.sample(10, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in")]
+    fn invalid_fraction_panics() {
+        UniformSampler::from_fraction(0.0, 16, SeedStream::new(1));
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for federated aggregation and server optimizers.
+
+use photon_fedopt::{
+    aggregate_deltas, delta_from, ClientSampler, ClientUpdate, FullParticipation, ServerOptKind,
+    UniformSampler,
+};
+use photon_tensor::SeedStream;
+use proptest::prelude::*;
+
+proptest! {
+    /// Aggregation is a convex combination: each coordinate of the result
+    /// lies within the [min, max] of the client values.
+    #[test]
+    fn aggregation_is_convex(
+        n_clients in 1usize..6,
+        dim in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SeedStream::new(seed);
+        let updates: Vec<ClientUpdate> = (0..n_clients)
+            .map(|_| {
+                ClientUpdate::new(
+                    (0..dim).map(|_| rng.next_normal()).collect(),
+                    rng.next_f64() + 0.1,
+                )
+            })
+            .collect();
+        let avg = aggregate_deltas(&updates);
+        for j in 0..dim {
+            let lo = updates.iter().map(|u| u.delta[j]).fold(f32::INFINITY, f32::min);
+            let hi = updates.iter().map(|u| u.delta[j]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(avg[j] >= lo - 1e-4 && avg[j] <= hi + 1e-4);
+        }
+    }
+
+    /// Identical client updates aggregate to themselves regardless of
+    /// weights.
+    #[test]
+    fn identical_updates_are_a_fixed_point(
+        dim in 1usize..16,
+        n in 1usize..5,
+        w in proptest::collection::vec(0.1f64..10.0, 5),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SeedStream::new(seed);
+        let delta: Vec<f32> = (0..dim).map(|_| rng.next_normal()).collect();
+        let updates: Vec<ClientUpdate> = (0..n)
+            .map(|i| ClientUpdate::new(delta.clone(), w[i]))
+            .collect();
+        let avg = aggregate_deltas(&updates);
+        for (a, d) in avg.iter().zip(&delta) {
+            prop_assert!((a - d).abs() < 1e-5);
+        }
+    }
+
+    /// FedAvg with server lr 1.0 moves the global model to the weighted
+    /// client mean: global - avg_delta == mean(local).
+    #[test]
+    fn fedavg_recovers_parameter_mean(
+        dim in 1usize..12,
+        n in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SeedStream::new(seed);
+        let global: Vec<f32> = (0..dim).map(|_| rng.next_normal()).collect();
+        let locals: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.next_normal()).collect())
+            .collect();
+        let updates: Vec<ClientUpdate> = locals
+            .iter()
+            .map(|l| ClientUpdate::new(delta_from(&global, l), 1.0))
+            .collect();
+        let avg_delta = aggregate_deltas(&updates);
+        let mut new_global = global.clone();
+        ServerOptKind::FedAvg { lr: 1.0 }
+            .build(dim)
+            .apply(&mut new_global, &avg_delta, 0);
+        for j in 0..dim {
+            let mean: f32 = locals.iter().map(|l| l[j]).sum::<f32>() / n as f32;
+            prop_assert!((new_global[j] - mean).abs() < 1e-4);
+        }
+    }
+
+    /// All server optimizers leave the model unchanged on a zero delta
+    /// from a fresh state.
+    #[test]
+    fn zero_delta_is_a_fixed_point(dim in 1usize..16, seed in any::<u64>()) {
+        let mut rng = SeedStream::new(seed);
+        let global: Vec<f32> = (0..dim).map(|_| rng.next_normal()).collect();
+        let zero = vec![0.0f32; dim];
+        for kind in [
+            ServerOptKind::FedAvg { lr: 1.0 },
+            ServerOptKind::FedMom { lr: 1.0, momentum: 0.9 },
+            ServerOptKind::FedAdam { lr: 0.01 },
+            ServerOptKind::diloco_default(),
+        ] {
+            let mut opt = kind.build(dim);
+            let mut g = global.clone();
+            opt.apply(&mut g, &zero, 0);
+            prop_assert_eq!(&g, &global, "{} moved on zero delta", opt.name());
+        }
+    }
+
+    /// Samplers always return sorted, distinct, in-range cohorts of the
+    /// advertised size.
+    #[test]
+    fn sampler_invariants(
+        population in 1usize..40,
+        k in 1usize..40,
+        rounds in 1u64..20,
+        seed in any::<u64>(),
+    ) {
+        let mut full = FullParticipation;
+        let mut uniform = UniformSampler::new(k, SeedStream::new(seed));
+        for round in 0..rounds {
+            let f = full.sample(population, round);
+            prop_assert_eq!(f.len(), population);
+            let u = uniform.sample(population, round);
+            prop_assert_eq!(u.len(), k.min(population));
+            prop_assert!(u.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(u.iter().all(|&i| i < population));
+        }
+    }
+}

@@ -1,0 +1,172 @@
+use crate::{Activations, Gpt};
+use photon_data::EvalStream;
+
+/// Result of a validation-set evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalReport {
+    /// Mean token-level cross-entropy (nats).
+    pub cross_entropy: f64,
+    /// Perplexity, `exp(cross_entropy)`.
+    pub perplexity: f64,
+    /// Number of tokens scored.
+    pub tokens: usize,
+}
+
+impl std::fmt::Display for EvalReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ce={:.4} ppl={:.2} over {} tokens",
+            self.cross_entropy, self.perplexity, self.tokens
+        )
+    }
+}
+
+/// Evaluates perplexity on a validation stream using sequential
+/// non-overlapping windows, exactly as the paper evaluates on "the full C4
+/// validation set" (§5.1). `max_windows` caps work for quick evaluations
+/// (`usize::MAX` scores everything).
+pub fn evaluate_perplexity(model: &Gpt, stream: &mut EvalStream, max_windows: usize) -> EvalReport {
+    let seq = model.config().seq_len.min(64).max(8);
+    let mut acts = Activations::new(model.config(), 1, seq);
+    stream.reset();
+    let mut total_ce = 0.0f64;
+    let mut total_tokens = 0usize;
+    let mut windows = 0usize;
+    // The eval stream's window length must match our activation geometry;
+    // EvalStream is constructed with the same `seq` by callers. When it is
+    // not, fall back to scoring with the stream's own geometry.
+    while windows < max_windows {
+        let Some((inputs, targets)) = stream.next_window() else {
+            break;
+        };
+        if inputs.len() != seq {
+            // Geometry mismatch: rebuild activations once to match.
+            acts = Activations::new(model.config(), 1, inputs.len());
+        }
+        let loss = model
+            .forward(inputs, Some(targets), &mut acts)
+            .expect("targets provided");
+        total_ce += loss as f64 * inputs.len() as f64;
+        total_tokens += inputs.len();
+        windows += 1;
+    }
+    let ce = if total_tokens == 0 {
+        f64::INFINITY
+    } else {
+        total_ce / total_tokens as f64
+    };
+    EvalReport {
+        cross_entropy: ce,
+        perplexity: ce.exp(),
+        tokens: total_tokens,
+    }
+}
+
+/// Log-probability of `continuation` given `prompt` under the model —
+/// the scoring primitive behind the synthetic in-context-learning
+/// evaluations (paper Tables 7–8 substitute).
+///
+/// # Panics
+/// Panics if the combined length exceeds the model's sequence length or the
+/// continuation is empty.
+pub fn score_continuation(model: &Gpt, prompt: &[u32], continuation: &[u32]) -> f64 {
+    assert!(!continuation.is_empty(), "continuation must be non-empty");
+    let total = prompt.len() + continuation.len();
+    assert!(
+        total <= model.config().seq_len + 1,
+        "sequence too long for model"
+    );
+    // Score positions prompt.len()-1 .. total-2 predicting the continuation.
+    let ctx_len = total - 1;
+    let mut acts = Activations::new(model.config(), 1, ctx_len);
+    let mut tokens = Vec::with_capacity(ctx_len);
+    tokens.extend_from_slice(prompt);
+    tokens.extend_from_slice(&continuation[..continuation.len() - 1]);
+    model.forward(&tokens, None, &mut acts);
+
+    let v = model.config().vocab_size;
+    let logits = acts.logits();
+    let mut logprob = 0.0f64;
+    for (i, &target) in continuation.iter().enumerate() {
+        let pos = prompt.len() - 1 + i;
+        let row = &logits[pos * v..(pos + 1) * v];
+        // log-softmax of the target entry.
+        let maxv = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        let logsum: f64 = row
+            .iter()
+            .map(|&x| ((x - maxv) as f64).exp())
+            .sum::<f64>()
+            .ln()
+            + maxv as f64;
+        logprob += row[target as usize] as f64 - logsum;
+    }
+    logprob
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelConfig;
+    use photon_data::TokenCorpus;
+    use photon_tensor::SeedStream;
+
+    fn tiny_model() -> Gpt {
+        let cfg = ModelConfig {
+            n_layers: 1,
+            d_model: 16,
+            n_heads: 2,
+            exp_ratio: 2,
+            vocab_size: 17,
+            seq_len: 16,
+        };
+        Gpt::new(cfg, &mut SeedStream::new(0))
+    }
+
+    #[test]
+    fn random_model_scores_near_uniform() {
+        let model = tiny_model();
+        let corpus = TokenCorpus::new("v", (0..200u32).map(|i| i % 17).collect());
+        let mut stream = EvalStream::new(&corpus, 16);
+        let report = evaluate_perplexity(&model, &mut stream, usize::MAX);
+        let uniform = 17.0f64;
+        assert!(report.perplexity > uniform * 0.5 && report.perplexity < uniform * 2.0);
+        assert!(report.tokens > 0);
+        assert!(report.to_string().contains("ppl="));
+    }
+
+    #[test]
+    fn max_windows_caps_work() {
+        let model = tiny_model();
+        let corpus = TokenCorpus::new("v", (0..200u32).map(|i| i % 17).collect());
+        let mut stream = EvalStream::new(&corpus, 16);
+        let r = evaluate_perplexity(&model, &mut stream, 2);
+        assert_eq!(r.tokens, 32);
+    }
+
+    #[test]
+    fn continuation_scores_are_valid_logprobs() {
+        let model = tiny_model();
+        let lp = score_continuation(&model, &[1, 2, 3], &[4, 5]);
+        assert!(lp < 0.0);
+        // Roughly 2 * -ln(17) for a random model.
+        assert!(lp > 4.0 * -(17.0f64.ln()));
+    }
+
+    #[test]
+    fn continuation_score_sums_per_token() {
+        let model = tiny_model();
+        let both = score_continuation(&model, &[1, 2], &[3, 4]);
+        let first = score_continuation(&model, &[1, 2], &[3]);
+        let second = score_continuation(&model, &[1, 2, 3], &[4]);
+        assert!((both - (first + second)).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence too long")]
+    fn oversized_scoring_panics() {
+        let model = tiny_model();
+        let prompt: Vec<u32> = (0..16).collect();
+        score_continuation(&model, &prompt, &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,640 @@
+//! Hand-written forward and backward kernels for every transformer layer.
+//!
+//! Conventions (llm.c style):
+//! * batch `B`, sequence `T`, channels `C`, heads `NH`, vocab `V`;
+//! * all buffers are dense row-major `f32` slices;
+//! * backward kernels **accumulate** (`+=`) into gradient buffers, so a
+//!   single zeroing at the start of a step supports gradient accumulation.
+
+use photon_tensor::ops::{gemm, Gemm};
+
+/// Embedding lookup: `out[b,t,:] = wte[token[b,t],:]`.
+///
+/// # Panics
+/// Panics if a token id is out of vocabulary range or buffers are too short.
+pub fn encoder_forward(out: &mut [f32], tokens: &[u32], wte: &[f32], bt: usize, c: usize, v: usize) {
+    assert!(tokens.len() >= bt && out.len() >= bt * c && wte.len() >= v * c);
+    for (i, &tok) in tokens[..bt].iter().enumerate() {
+        let tok = tok as usize;
+        assert!(tok < v, "token {tok} out of vocab {v}");
+        out[i * c..(i + 1) * c].copy_from_slice(&wte[tok * c..(tok + 1) * c]);
+    }
+}
+
+/// Backward of [`encoder_forward`]: `dwte[token,:] += dout[b,t,:]`.
+pub fn encoder_backward(dwte: &mut [f32], dout: &[f32], tokens: &[u32], bt: usize, c: usize) {
+    for (i, &tok) in tokens[..bt].iter().enumerate() {
+        let tok = tok as usize;
+        let grad = &dout[i * c..(i + 1) * c];
+        let dst = &mut dwte[tok * c..(tok + 1) * c];
+        for (d, g) in dst.iter_mut().zip(grad) {
+            *d += g;
+        }
+    }
+}
+
+/// LayerNorm forward over the last dimension.
+///
+/// Caches per-position `mean` and reciprocal std `rstd` for the backward
+/// pass. `eps = 1e-5`.
+pub fn layernorm_forward(
+    out: &mut [f32],
+    mean: &mut [f32],
+    rstd: &mut [f32],
+    inp: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+    bt: usize,
+    c: usize,
+) {
+    const EPS: f32 = 1e-5;
+    for i in 0..bt {
+        let x = &inp[i * c..(i + 1) * c];
+        let m = x.iter().sum::<f32>() / c as f32;
+        let var = x.iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / c as f32;
+        let rs = 1.0 / (var + EPS).sqrt();
+        mean[i] = m;
+        rstd[i] = rs;
+        let o = &mut out[i * c..(i + 1) * c];
+        for j in 0..c {
+            o[j] = (x[j] - m) * rs * weight[j] + bias[j];
+        }
+    }
+}
+
+/// Backward of [`layernorm_forward`]. Accumulates into `dinp`, `dweight`,
+/// `dbias`.
+#[allow(clippy::too_many_arguments)]
+pub fn layernorm_backward(
+    dinp: &mut [f32],
+    dweight: &mut [f32],
+    dbias: &mut [f32],
+    dout: &[f32],
+    inp: &[f32],
+    weight: &[f32],
+    mean: &[f32],
+    rstd: &[f32],
+    bt: usize,
+    c: usize,
+) {
+    for i in 0..bt {
+        let x = &inp[i * c..(i + 1) * c];
+        let dy = &dout[i * c..(i + 1) * c];
+        let m = mean[i];
+        let rs = rstd[i];
+
+        // Two reductions over the row.
+        let mut dnorm_mean = 0.0f32;
+        let mut dnorm_norm_mean = 0.0f32;
+        for j in 0..c {
+            let norm = (x[j] - m) * rs;
+            let dnorm = weight[j] * dy[j];
+            dnorm_mean += dnorm;
+            dnorm_norm_mean += dnorm * norm;
+        }
+        dnorm_mean /= c as f32;
+        dnorm_norm_mean /= c as f32;
+
+        let di = &mut dinp[i * c..(i + 1) * c];
+        for j in 0..c {
+            let norm = (x[j] - m) * rs;
+            let dnorm = weight[j] * dy[j];
+            dbias[j] += dy[j];
+            dweight[j] += norm * dy[j];
+            di[j] += (dnorm - dnorm_mean - norm * dnorm_norm_mean) * rs;
+        }
+    }
+}
+
+/// Linear layer forward: `out[bt, oc] = inp[bt, ic] @ weight[oc, ic]^T + bias`.
+///
+/// `weight` is out-features-major (PyTorch convention), and `bias` may be
+/// empty for bias-free layers.
+pub fn matmul_forward(
+    out: &mut [f32],
+    inp: &[f32],
+    weight: &[f32],
+    bias: &[f32],
+    bt: usize,
+    ic: usize,
+    oc: usize,
+) {
+    gemm(Gemm::new(bt, ic, oc).transpose_b(), inp, weight, out);
+    if !bias.is_empty() {
+        photon_tensor::ops::add_bias_rows(&mut out[..bt * oc], bias, bt, oc);
+    }
+}
+
+/// Backward of [`matmul_forward`]. Accumulates into `dinp`, `dweight`,
+/// `dbias` (pass an empty `dbias` for bias-free layers).
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_backward(
+    dinp: &mut [f32],
+    dweight: &mut [f32],
+    dbias: &mut [f32],
+    dout: &[f32],
+    inp: &[f32],
+    weight: &[f32],
+    bt: usize,
+    ic: usize,
+    oc: usize,
+) {
+    // dinp[bt, ic] += dout[bt, oc] @ weight[oc, ic]
+    gemm(Gemm::new(bt, oc, ic).beta(1.0), dout, weight, dinp);
+    // dweight[oc, ic] += dout^T[oc, bt] @ inp[bt, ic]
+    gemm(
+        Gemm::new(oc, bt, ic).transpose_a().beta(1.0),
+        dout,
+        inp,
+        dweight,
+    );
+    if !dbias.is_empty() {
+        for i in 0..bt {
+            let row = &dout[i * oc..(i + 1) * oc];
+            for (db, &d) in dbias.iter_mut().zip(row) {
+                *db += d;
+            }
+        }
+    }
+}
+
+/// ALiBi slope for head `h` of `nh` (MPT/ALiBi convention:
+/// `2^(-8 (h+1) / nh)`).
+pub fn alibi_slope(h: usize, nh: usize) -> f32 {
+    (2.0f32).powf(-8.0 * (h as f32 + 1.0) / nh as f32)
+}
+
+/// Causal multi-head self-attention, optionally with ALiBi positional bias
+/// (`alibi = false` for learned-position models).
+///
+/// * `inp`: fused QKV activations, `(B, T, 3C)` with Q at channel offset 0,
+///   K at `C`, V at `2C`;
+/// * `preatt`, `att`: `(B, NH, T, T)` scratch (masked logits / softmax);
+/// * `out`: `(B, T, C)` attention output (pre-projection).
+#[allow(clippy::too_many_arguments)]
+pub fn attention_forward(
+    out: &mut [f32],
+    preatt: &mut [f32],
+    att: &mut [f32],
+    inp: &[f32],
+    b: usize,
+    t: usize,
+    c: usize,
+    nh: usize,
+    alibi: bool,
+) {
+    let hs = c / nh;
+    let scale = 1.0 / (hs as f32).sqrt();
+    let c3 = 3 * c;
+
+    for bi in 0..b {
+        for h in 0..nh {
+            let slope = if alibi { alibi_slope(h, nh) } else { 0.0 };
+            for ti in 0..t {
+                let q = &inp[bi * t * c3 + ti * c3 + h * hs..][..hs];
+                let att_row_off = bi * nh * t * t + h * t * t + ti * t;
+
+                // Logits with causal mask + ALiBi, tracking the max for
+                // a numerically stable softmax.
+                let mut maxv = f32::NEG_INFINITY;
+                for t2 in 0..=ti {
+                    let k = &inp[bi * t * c3 + t2 * c3 + c + h * hs..][..hs];
+                    let mut dotv = 0.0f32;
+                    for i in 0..hs {
+                        dotv += q[i] * k[i];
+                    }
+                    let val = dotv * scale - slope * (ti - t2) as f32;
+                    preatt[att_row_off + t2] = val;
+                    if val > maxv {
+                        maxv = val;
+                    }
+                }
+
+                let mut expsum = 0.0f32;
+                for t2 in 0..=ti {
+                    let e = (preatt[att_row_off + t2] - maxv).exp();
+                    att[att_row_off + t2] = e;
+                    expsum += e;
+                }
+                let inv = if expsum == 0.0 { 0.0 } else { 1.0 / expsum };
+                for t2 in 0..t {
+                    if t2 <= ti {
+                        att[att_row_off + t2] *= inv;
+                    } else {
+                        att[att_row_off + t2] = 0.0; // masked
+                        preatt[att_row_off + t2] = 0.0;
+                    }
+                }
+
+                // out = att @ V
+                let o = &mut out[bi * t * c + ti * c + h * hs..][..hs];
+                o.iter_mut().for_each(|v| *v = 0.0);
+                for t2 in 0..=ti {
+                    let v = &inp[bi * t * c3 + t2 * c3 + 2 * c + h * hs..][..hs];
+                    let a = att[att_row_off + t2];
+                    for i in 0..hs {
+                        o[i] += a * v[i];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Backward of [`attention_forward`]. Accumulates into `dinp` (fused QKV
+/// gradient); `dpreatt`/`datt` are scratch with the same shape as
+/// `preatt`/`att` and are overwritten.
+#[allow(clippy::too_many_arguments)]
+pub fn attention_backward(
+    dinp: &mut [f32],
+    dpreatt: &mut [f32],
+    datt: &mut [f32],
+    dout: &[f32],
+    inp: &[f32],
+    att: &[f32],
+    b: usize,
+    t: usize,
+    c: usize,
+    nh: usize,
+) {
+    let hs = c / nh;
+    let scale = 1.0 / (hs as f32).sqrt();
+    let c3 = 3 * c;
+    dpreatt.iter_mut().for_each(|v| *v = 0.0);
+    datt.iter_mut().for_each(|v| *v = 0.0);
+
+    for bi in 0..b {
+        for h in 0..nh {
+            for ti in 0..t {
+                let att_row_off = bi * nh * t * t + h * t * t + ti * t;
+                let d_out_h = &dout[bi * t * c + ti * c + h * hs..][..hs];
+
+                // Backward through out = att @ V.
+                for t2 in 0..=ti {
+                    let v = &inp[bi * t * c3 + t2 * c3 + 2 * c + h * hs..][..hs];
+                    let a = att[att_row_off + t2];
+                    let dv = &mut dinp[bi * t * c3 + t2 * c3 + 2 * c + h * hs..][..hs];
+                    let mut da = 0.0f32;
+                    for i in 0..hs {
+                        da += v[i] * d_out_h[i];
+                        dv[i] += a * d_out_h[i];
+                    }
+                    datt[att_row_off + t2] += da;
+                }
+
+                // Backward through softmax.
+                let mut dot = 0.0f32;
+                for t2 in 0..=ti {
+                    dot += att[att_row_off + t2] * datt[att_row_off + t2];
+                }
+                for t2 in 0..=ti {
+                    dpreatt[att_row_off + t2] =
+                        att[att_row_off + t2] * (datt[att_row_off + t2] - dot);
+                }
+
+                // Backward through q·k scaling (ALiBi bias has no params).
+                let q = &inp[bi * t * c3 + ti * c3 + h * hs..][..hs];
+                for t2 in 0..=ti {
+                    let k = &inp[bi * t * c3 + t2 * c3 + c + h * hs..][..hs];
+                    let dp = dpreatt[att_row_off + t2] * scale;
+                    for i in 0..hs {
+                        // dq and dk live in disjoint channel slices of dinp.
+                        dinp[bi * t * c3 + ti * c3 + h * hs + i] += dp * k[i];
+                        dinp[bi * t * c3 + t2 * c3 + c + h * hs + i] += dp * q[i];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// GELU forward (tanh approximation, as in GPT-2/MPT).
+pub fn gelu_forward(out: &mut [f32], inp: &[f32]) {
+    const S: f32 = 0.797_884_6; // sqrt(2/pi)
+    for (o, &x) in out.iter_mut().zip(inp) {
+        let cube = 0.044715 * x * x * x;
+        *o = 0.5 * x * (1.0 + (S * (x + cube)).tanh());
+    }
+}
+
+/// Backward of [`gelu_forward`]. Accumulates into `dinp`.
+pub fn gelu_backward(dinp: &mut [f32], inp: &[f32], dout: &[f32]) {
+    const S: f32 = 0.797_884_6;
+    for i in 0..inp.len() {
+        let x = inp[i];
+        let cube = 0.044715 * x * x * x;
+        let tanh_arg = S * (x + cube);
+        let tanh_out = tanh_arg.tanh();
+        let sech2 = 1.0 - tanh_out * tanh_out;
+        let local = 0.5 * (1.0 + tanh_out) + x * 0.5 * sech2 * S * (1.0 + 3.0 * 0.044715 * x * x);
+        dinp[i] += local * dout[i];
+    }
+}
+
+/// Residual connection: `out = a + b`.
+pub fn residual_forward(out: &mut [f32], a: &[f32], b: &[f32]) {
+    for i in 0..out.len() {
+        out[i] = a[i] + b[i];
+    }
+}
+
+/// Backward of the residual: both inputs receive the output gradient.
+pub fn residual_backward(da: &mut [f32], db: &mut [f32], dout: &[f32]) {
+    for i in 0..dout.len() {
+        da[i] += dout[i];
+        db[i] += dout[i];
+    }
+}
+
+/// Softmax + cross-entropy forward.
+///
+/// Fills `probs` `(BT, V)` and per-position `losses` `(BT,)`; returns the
+/// mean loss. Targets index into the vocabulary.
+pub fn cross_entropy_forward(
+    probs: &mut [f32],
+    losses: &mut [f32],
+    logits: &[f32],
+    targets: &[u32],
+    bt: usize,
+    v: usize,
+) -> f32 {
+    let mut total = 0.0f64;
+    for i in 0..bt {
+        let row = &logits[i * v..(i + 1) * v];
+        let p = &mut probs[i * v..(i + 1) * v];
+        let maxv = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        let mut sum = 0.0f32;
+        for j in 0..v {
+            let e = (row[j] - maxv).exp();
+            p[j] = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        p.iter_mut().for_each(|x| *x *= inv);
+        let target = targets[i] as usize;
+        let loss = -(p[target].max(1e-30)).ln();
+        losses[i] = loss;
+        total += loss as f64;
+    }
+    (total / bt as f64) as f32
+}
+
+/// Fused backward of softmax + cross-entropy for a *mean* loss:
+/// `dlogits[i, j] += (probs[i, j] - 1[j == target_i]) / BT`.
+pub fn cross_entropy_backward(
+    dlogits: &mut [f32],
+    probs: &[f32],
+    targets: &[u32],
+    bt: usize,
+    v: usize,
+) {
+    let inv_bt = 1.0 / bt as f32;
+    for i in 0..bt {
+        let p = &probs[i * v..(i + 1) * v];
+        let d = &mut dlogits[i * v..(i + 1) * v];
+        let target = targets[i] as usize;
+        for j in 0..v {
+            let indicator = if j == target { 1.0 } else { 0.0 };
+            d[j] += (p[j] - indicator) * inv_bt;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_tensor::SeedStream;
+
+    fn randv(n: usize, rng: &mut SeedStream) -> Vec<f32> {
+        (0..n).map(|_| rng.next_normal() * 0.5).collect()
+    }
+
+    /// Central finite difference of a scalar function of one input slot.
+    fn fd<F: FnMut(&[f32]) -> f32>(x: &mut [f32], i: usize, mut f: F) -> f32 {
+        let h = 1e-3;
+        let orig = x[i];
+        x[i] = orig + h;
+        let up = f(x);
+        x[i] = orig - h;
+        let down = f(x);
+        x[i] = orig;
+        (up - down) / (2.0 * h)
+    }
+
+    #[test]
+    fn layernorm_grad_check() {
+        let (bt, c) = (3, 8);
+        let mut rng = SeedStream::new(1);
+        let inp = randv(bt * c, &mut rng);
+        let weight = randv(c, &mut rng);
+        let bias = randv(c, &mut rng);
+        let dout = randv(bt * c, &mut rng);
+
+        let loss = |inp: &[f32], weight: &[f32], bias: &[f32]| -> f32 {
+            let mut out = vec![0.0; bt * c];
+            let mut mean = vec![0.0; bt];
+            let mut rstd = vec![0.0; bt];
+            layernorm_forward(&mut out, &mut mean, &mut rstd, inp, weight, bias, bt, c);
+            out.iter().zip(&dout).map(|(o, d)| o * d).sum()
+        };
+
+        let mut out = vec![0.0; bt * c];
+        let mut mean = vec![0.0; bt];
+        let mut rstd = vec![0.0; bt];
+        layernorm_forward(&mut out, &mut mean, &mut rstd, &inp, &weight, &bias, bt, c);
+        let mut dinp = vec![0.0; bt * c];
+        let mut dw = vec![0.0; c];
+        let mut db = vec![0.0; c];
+        layernorm_backward(&mut dinp, &mut dw, &mut db, &dout, &inp, &weight, &mean, &rstd, bt, c);
+
+        let mut x = inp.clone();
+        for i in [0, 5, bt * c - 1] {
+            let g = fd(&mut x, i, |x| loss(x, &weight, &bias));
+            assert!((g - dinp[i]).abs() < 2e-2, "dinp[{i}]: fd={g} an={}", dinp[i]);
+        }
+        let mut w = weight.clone();
+        for i in [0, c - 1] {
+            let g = fd(&mut w, i, |w| loss(&inp, w, &bias));
+            assert!((g - dw[i]).abs() < 2e-2, "dw[{i}]: fd={g} an={}", dw[i]);
+        }
+    }
+
+    #[test]
+    fn matmul_grad_check() {
+        let (bt, ic, oc) = (4, 5, 3);
+        let mut rng = SeedStream::new(2);
+        let inp = randv(bt * ic, &mut rng);
+        let weight = randv(oc * ic, &mut rng);
+        let bias = randv(oc, &mut rng);
+        let dout = randv(bt * oc, &mut rng);
+
+        let loss = |inp: &[f32], weight: &[f32], bias: &[f32]| -> f32 {
+            let mut out = vec![0.0; bt * oc];
+            matmul_forward(&mut out, inp, weight, bias, bt, ic, oc);
+            out.iter().zip(&dout).map(|(o, d)| o * d).sum()
+        };
+
+        let mut dinp = vec![0.0; bt * ic];
+        let mut dw = vec![0.0; oc * ic];
+        let mut db = vec![0.0; oc];
+        matmul_backward(&mut dinp, &mut dw, &mut db, &dout, &inp, &weight, bt, ic, oc);
+
+        let mut x = inp.clone();
+        for i in [0, 7, bt * ic - 1] {
+            let g = fd(&mut x, i, |x| loss(x, &weight, &bias));
+            assert!((g - dinp[i]).abs() < 2e-2, "dinp[{i}]");
+        }
+        let mut w = weight.clone();
+        for i in [0, oc * ic - 1] {
+            let g = fd(&mut w, i, |w| loss(&inp, w, &bias));
+            assert!((g - dw[i]).abs() < 2e-2, "dw[{i}]");
+        }
+        let mut bb = bias.clone();
+        for i in [0, oc - 1] {
+            let g = fd(&mut bb, i, |b| loss(&inp, &weight, b));
+            assert!((g - db[i]).abs() < 2e-2, "db[{i}]");
+        }
+    }
+
+    #[test]
+    fn attention_grad_check() {
+        let (b, t, c, nh) = (1, 4, 6, 2);
+        let mut rng = SeedStream::new(3);
+        let inp = randv(b * t * 3 * c, &mut rng);
+        let dout = randv(b * t * c, &mut rng);
+
+        let loss = |inp: &[f32]| -> f32 {
+            let mut out = vec![0.0; b * t * c];
+            let mut preatt = vec![0.0; b * nh * t * t];
+            let mut att = vec![0.0; b * nh * t * t];
+            attention_forward(&mut out, &mut preatt, &mut att, inp, b, t, c, nh, true);
+            out.iter().zip(&dout).map(|(o, d)| o * d).sum()
+        };
+
+        let mut out = vec![0.0; b * t * c];
+        let mut preatt = vec![0.0; b * nh * t * t];
+        let mut att = vec![0.0; b * nh * t * t];
+        attention_forward(&mut out, &mut preatt, &mut att, &inp, b, t, c, nh, true);
+        let mut dinp = vec![0.0; b * t * 3 * c];
+        let mut dpreatt = vec![0.0; b * nh * t * t];
+        let mut datt = vec![0.0; b * nh * t * t];
+        attention_backward(&mut dinp, &mut dpreatt, &mut datt, &dout, &inp, &att, b, t, c, nh);
+
+        let mut x = inp.clone();
+        for i in 0..x.len() {
+            let g = fd(&mut x, i, &loss);
+            assert!(
+                (g - dinp[i]).abs() < 3e-2,
+                "dinp[{i}]: fd={g} an={}",
+                dinp[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gelu_grad_check() {
+        let mut rng = SeedStream::new(4);
+        let inp = randv(16, &mut rng);
+        let dout = randv(16, &mut rng);
+        let loss = |inp: &[f32]| -> f32 {
+            let mut out = vec![0.0; 16];
+            gelu_forward(&mut out, inp);
+            out.iter().zip(&dout).map(|(o, d)| o * d).sum()
+        };
+        let mut dinp = vec![0.0; 16];
+        gelu_backward(&mut dinp, &inp, &dout);
+        let mut x = inp.clone();
+        for i in 0..16 {
+            let g = fd(&mut x, i, &loss);
+            assert!((g - dinp[i]).abs() < 1e-2, "dinp[{i}]: fd={g} an={}", dinp[i]);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_grad_check() {
+        let (bt, v) = (3, 7);
+        let mut rng = SeedStream::new(5);
+        let logits = randv(bt * v, &mut rng);
+        let targets: Vec<u32> = vec![2, 0, 6];
+
+        let loss = |logits: &[f32]| -> f32 {
+            let mut probs = vec![0.0; bt * v];
+            let mut losses = vec![0.0; bt];
+            cross_entropy_forward(&mut probs, &mut losses, logits, &targets, bt, v)
+        };
+
+        let mut probs = vec![0.0; bt * v];
+        let mut losses = vec![0.0; bt];
+        cross_entropy_forward(&mut probs, &mut losses, &logits, &targets, bt, v);
+        let mut dlogits = vec![0.0; bt * v];
+        cross_entropy_backward(&mut dlogits, &probs, &targets, bt, v);
+
+        let mut x = logits.clone();
+        for i in 0..bt * v {
+            let g = fd(&mut x, i, &loss);
+            assert!((g - dlogits[i]).abs() < 1e-2, "dlogits[{i}]");
+        }
+    }
+
+    #[test]
+    fn attention_is_causal() {
+        // Changing a *future* token's K/V must not change earlier outputs.
+        let (b, t, c, nh) = (1, 5, 4, 2);
+        let mut rng = SeedStream::new(6);
+        let mut inp = randv(b * t * 3 * c, &mut rng);
+        let run = |inp: &[f32]| -> Vec<f32> {
+            let mut out = vec![0.0; b * t * c];
+            let mut preatt = vec![0.0; b * nh * t * t];
+            let mut att = vec![0.0; b * nh * t * t];
+            attention_forward(&mut out, &mut preatt, &mut att, inp, b, t, c, nh, true);
+            out
+        };
+        let base = run(&inp);
+        // Perturb the last position's entire QKV.
+        for x in inp[(t - 1) * 3 * c..t * 3 * c].iter_mut() {
+            *x += 10.0;
+        }
+        let pert = run(&inp);
+        assert_eq!(&base[..(t - 1) * c], &pert[..(t - 1) * c]);
+        assert_ne!(&base[(t - 1) * c..], &pert[(t - 1) * c..]);
+    }
+
+    #[test]
+    fn alibi_biases_recency() {
+        // With identical K for all positions, ALiBi should make attention
+        // prefer recent tokens.
+        let (b, t, c, nh) = (1, 8, 4, 1);
+        let inp = vec![0.5; b * t * 3 * c]; // uniform q, k, v
+        let mut out = vec![0.0; b * t * c];
+        let mut preatt = vec![0.0; nh * t * t];
+        let mut att = vec![0.0; nh * t * t];
+        attention_forward(&mut out, &mut preatt, &mut att, &inp, b, t, c, nh, true);
+        let last_row = &att[(t - 1) * t..t * t];
+        assert!(
+            last_row.windows(2).all(|w| w[0] <= w[1] + 1e-6),
+            "attention not recency-biased: {last_row:?}"
+        );
+    }
+
+    #[test]
+    fn alibi_slopes_decrease_with_head() {
+        let s: Vec<f32> = (0..4).map(|h| alibi_slope(h, 4)).collect();
+        assert!(s.windows(2).all(|w| w[0] > w[1]));
+        assert!((alibi_slope(3, 4) - 2.0f32.powi(-8)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let (bt, v) = (4, 9);
+        let mut rng = SeedStream::new(7);
+        let logits = randv(bt * v, &mut rng);
+        let mut probs = vec![0.0; bt * v];
+        let mut losses = vec![0.0; bt];
+        cross_entropy_forward(&mut probs, &mut losses, &logits, &[0, 1, 2, 3], bt, v);
+        for i in 0..bt {
+            let s: f32 = probs[i * v..(i + 1) * v].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        assert!(losses.iter().all(|&l| l > 0.0));
+    }
+}

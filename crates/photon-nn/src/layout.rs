@@ -1,0 +1,196 @@
+use crate::{ModelConfig, PosEncoding};
+
+/// The byte-free view of one named parameter tensor within the flat buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamRange {
+    /// Offset of the first element.
+    pub start: usize,
+    /// Number of elements.
+    pub len: usize,
+}
+
+impl ParamRange {
+    /// End offset (exclusive).
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+}
+
+/// Offsets of every parameter tensor inside the model's single flat buffer.
+///
+/// Layout order (llm.c convention, embeddings first):
+/// `wte`, then per block `[ln1w, ln1b, qkvw, qkvb, attprojw, attprojb,
+/// ln2w, ln2b, fcw, fcb, fcprojw, fcprojb]`, then `lnfw, lnfb`.
+/// The LM head is tied to `wte`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamLayout {
+    config: ModelConfig,
+    /// wte: `(vocab, d)`.
+    pub wte: ParamRange,
+    blocks: Vec<BlockLayout>,
+    /// Final layernorm weight `(d,)`.
+    pub lnfw: ParamRange,
+    /// Final layernorm bias `(d,)`.
+    pub lnfb: ParamRange,
+    /// Learned position embeddings `(seq, d)`, present only for
+    /// [`PosEncoding::Learned`]. Placed after every other tensor so the
+    /// ALiBi layout's offsets are a strict prefix.
+    pub wpe: Option<ParamRange>,
+    total: usize,
+}
+
+/// Per-block parameter ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockLayout {
+    /// Pre-attention layernorm weight `(d,)`.
+    pub ln1w: ParamRange,
+    /// Pre-attention layernorm bias `(d,)`.
+    pub ln1b: ParamRange,
+    /// Fused QKV projection weight `(3d, d)` (out-features major).
+    pub qkvw: ParamRange,
+    /// Fused QKV projection bias `(3d,)`.
+    pub qkvb: ParamRange,
+    /// Attention output projection weight `(d, d)`.
+    pub attprojw: ParamRange,
+    /// Attention output projection bias `(d,)`.
+    pub attprojb: ParamRange,
+    /// Pre-MLP layernorm weight `(d,)`.
+    pub ln2w: ParamRange,
+    /// Pre-MLP layernorm bias `(d,)`.
+    pub ln2b: ParamRange,
+    /// MLP up-projection weight `(rd, d)`.
+    pub fcw: ParamRange,
+    /// MLP up-projection bias `(rd,)`.
+    pub fcb: ParamRange,
+    /// MLP down-projection weight `(d, rd)`.
+    pub fcprojw: ParamRange,
+    /// MLP down-projection bias `(d,)`.
+    pub fcprojb: ParamRange,
+}
+
+impl ParamLayout {
+    /// Computes the ALiBi layout for a configuration.
+    pub fn new(config: ModelConfig) -> Self {
+        ParamLayout::with_positions(config, PosEncoding::Alibi)
+    }
+
+    /// Computes the layout for a configuration and positional scheme.
+    pub fn with_positions(config: ModelConfig, pos: PosEncoding) -> Self {
+        config.validate();
+        let c = config.d_model;
+        let rc = config.mlp_dim();
+        let v = config.vocab_size;
+        let mut cursor = 0usize;
+        let mut range = |len: usize| {
+            let r = ParamRange { start: cursor, len };
+            cursor += len;
+            r
+        };
+
+        let wte = range(v * c);
+        let blocks = (0..config.n_layers)
+            .map(|_| BlockLayout {
+                ln1w: range(c),
+                ln1b: range(c),
+                qkvw: range(3 * c * c),
+                qkvb: range(3 * c),
+                attprojw: range(c * c),
+                attprojb: range(c),
+                ln2w: range(c),
+                ln2b: range(c),
+                fcw: range(rc * c),
+                fcb: range(rc),
+                fcprojw: range(c * rc),
+                fcprojb: range(c),
+            })
+            .collect();
+        let lnfw = range(c);
+        let lnfb = range(c);
+        let wpe = match pos {
+            PosEncoding::Alibi => None,
+            PosEncoding::Learned => Some(range(config.seq_len * c)),
+        };
+        ParamLayout {
+            config,
+            wte,
+            blocks,
+            lnfw,
+            lnfb,
+            wpe,
+            total: cursor,
+        }
+    }
+
+    /// Total number of parameters.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Ranges for block `l`.
+    ///
+    /// # Panics
+    /// Panics if `l >= n_layers`.
+    pub fn block(&self, l: usize) -> &BlockLayout {
+        &self.blocks[l]
+    }
+
+    /// The configuration this layout was derived from.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_total_matches_config_count() {
+        for cfg in [
+            ModelConfig::proxy_tiny(),
+            ModelConfig::proxy_small(),
+            ModelConfig::paper_125m(),
+            ModelConfig::paper_7b(),
+        ] {
+            let layout = ParamLayout::new(cfg);
+            assert_eq!(layout.total(), cfg.param_count(), "{cfg}");
+        }
+    }
+
+    #[test]
+    fn ranges_are_contiguous_and_disjoint() {
+        let cfg = ModelConfig::proxy_tiny();
+        let layout = ParamLayout::new(cfg);
+        let mut cursor = 0usize;
+        let mut check = |r: ParamRange| {
+            assert_eq!(r.start, cursor, "gap before range");
+            cursor = r.end();
+        };
+        check(layout.wte);
+        for l in 0..cfg.n_layers {
+            let b = *layout.block(l);
+            for r in [
+                b.ln1w, b.ln1b, b.qkvw, b.qkvb, b.attprojw, b.attprojb, b.ln2w, b.ln2b, b.fcw,
+                b.fcb, b.fcprojw, b.fcprojb,
+            ] {
+                check(r);
+            }
+        }
+        check(layout.lnfw);
+        check(layout.lnfb);
+        assert_eq!(cursor, layout.total());
+    }
+
+    #[test]
+    fn learned_positions_extend_the_layout() {
+        let cfg = ModelConfig::proxy_tiny();
+        let alibi = ParamLayout::new(cfg);
+        let learned = ParamLayout::with_positions(cfg, PosEncoding::Learned);
+        assert!(alibi.wpe.is_none());
+        let wpe = learned.wpe.expect("learned layout has wpe");
+        assert_eq!(wpe.len, cfg.seq_len * cfg.d_model);
+        assert_eq!(learned.total(), alibi.total() + wpe.len);
+        // The ALiBi layout is a strict prefix.
+        assert_eq!(wpe.start, alibi.total());
+    }
+}

@@ -1,0 +1,45 @@
+//! # photon-nn
+//!
+//! A from-scratch decoder-only transformer for Photon-RS, in the spirit of
+//! the MPT family the paper trains (ALiBi attention, LayerNorm, GELU MLP,
+//! tied embeddings).
+//!
+//! Like llm.c, every layer has an explicit, hand-written forward and
+//! backward pass over pre-allocated activation buffers — no autograd tape,
+//! no per-step allocation. All parameters (and gradients) live in a single
+//! flat `f32` buffer with a typed offset table ([`ParamLayout`]), which makes
+//! federated aggregation, serialization and optimizer updates trivially
+//! vectorizable.
+//!
+//! Model configurations come in two families:
+//! * **paper presets** ([`ModelConfig::paper_125m`] … [`ModelConfig::paper_7b`]):
+//!   the exact Table 4 architectures, used analytically (parameter counts,
+//!   FLOPs, VRAM, wall-time modelling);
+//! * **proxy presets** ([`ModelConfig::proxy_tiny`] …): CPU-trainable
+//!   scaled-down models used to reproduce the paper's convergence
+//!   experiments in seconds.
+//!
+//! ```
+//! use photon_nn::{Gpt, ModelConfig};
+//! use photon_tensor::SeedStream;
+//!
+//! let config = ModelConfig::proxy_tiny();
+//! let model = Gpt::new(config, &mut SeedStream::new(0));
+//! assert!(model.param_count() > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod config;
+mod eval;
+mod generate;
+pub mod kernels;
+mod layout;
+mod model;
+
+pub use config::{ModelConfig, PosEncoding};
+pub use eval::{evaluate_perplexity, score_continuation, EvalReport};
+pub use generate::{generate, SampleConfig};
+pub use layout::{ParamLayout, ParamRange};
+pub use model::{Activations, Gpt};

@@ -1,0 +1,116 @@
+//! Property-based tests for the transformer: structural invariants that
+//! must hold for arbitrary (small) architectures and inputs.
+
+use photon_nn::{Activations, Gpt, ModelConfig};
+use photon_tensor::SeedStream;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = ModelConfig> {
+    (1usize..3, 1usize..3, 1usize..3, 4usize..20, 2usize..8).prop_map(
+        |(n_layers, heads_pow, exp_ratio, vocab, seq)| {
+            let n_heads = heads_pow; // 1 or 2
+            ModelConfig {
+                n_layers,
+                d_model: n_heads * 8,
+                n_heads,
+                exp_ratio,
+                vocab_size: vocab,
+                seq_len: seq,
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The loss is finite and near ln(V) at init for any architecture.
+    #[test]
+    fn init_loss_is_finite_and_near_uniform(cfg in arb_config(), seed in any::<u64>()) {
+        let mut rng = SeedStream::new(seed);
+        let model = Gpt::new(cfg, &mut rng);
+        let (b, t) = (2usize, cfg.seq_len);
+        let mut acts = Activations::new(&cfg, b, t);
+        let tokens: Vec<u32> = (0..b * t).map(|i| (i % cfg.vocab_size) as u32).collect();
+        let targets: Vec<u32> = (0..b * t).map(|i| ((i + 1) % cfg.vocab_size) as u32).collect();
+        let loss = model.forward(&tokens, Some(&targets), &mut acts).unwrap();
+        prop_assert!(loss.is_finite());
+        let uniform = (cfg.vocab_size as f32).ln();
+        prop_assert!((loss - uniform).abs() < 2.0, "loss {loss} vs ln(V) {uniform}");
+    }
+
+    /// Causality: logits at position p depend only on tokens <= p.
+    #[test]
+    fn causal_masking_holds(cfg in arb_config(), seed in any::<u64>()) {
+        prop_assume!(cfg.seq_len >= 3);
+        let mut rng = SeedStream::new(seed);
+        let model = Gpt::new(cfg, &mut rng);
+        let t = cfg.seq_len;
+        let mut acts = Activations::new(&cfg, 1, t);
+        let mut tokens: Vec<u32> = (0..t).map(|i| (i % cfg.vocab_size) as u32).collect();
+        model.forward(&tokens, None, &mut acts);
+        let cut = t / 2;
+        let before = acts.logits()[..(cut + 1) * cfg.vocab_size].to_vec();
+        // Change every token after `cut`.
+        for x in tokens.iter_mut().skip(cut + 1) {
+            *x = (*x + 1) % cfg.vocab_size as u32;
+        }
+        model.forward(&tokens, None, &mut acts);
+        let after = &acts.logits()[..(cut + 1) * cfg.vocab_size];
+        prop_assert_eq!(&before[..], after);
+    }
+
+    /// Gradients are linear in the loss: two backward passes accumulate to
+    /// exactly twice one pass.
+    #[test]
+    fn backward_is_additive(cfg in arb_config(), seed in any::<u64>()) {
+        let mut rng = SeedStream::new(seed);
+        let model = Gpt::new(cfg, &mut rng);
+        let (b, t) = (1usize, cfg.seq_len);
+        let mut acts = Activations::new(&cfg, b, t);
+        let tokens: Vec<u32> = (0..t).map(|i| ((i * 3) % cfg.vocab_size) as u32).collect();
+        let targets: Vec<u32> = (0..t).map(|i| ((i * 3 + 1) % cfg.vocab_size) as u32).collect();
+        let mut g1 = model.grad_buffer();
+        model.forward(&tokens, Some(&targets), &mut acts);
+        model.backward(&tokens, &targets, &mut acts, &mut g1);
+        let mut g2 = g1.clone();
+        model.forward(&tokens, Some(&targets), &mut acts);
+        model.backward(&tokens, &targets, &mut acts, &mut g2);
+        for (a, b) in g1.iter().zip(&g2) {
+            prop_assert!((2.0 * a - b).abs() < 1e-4 + 1e-3 * a.abs());
+        }
+    }
+
+    /// Probabilities from the loss head are a valid distribution per row.
+    #[test]
+    fn probabilities_are_normalized(cfg in arb_config(), seed in any::<u64>()) {
+        let mut rng = SeedStream::new(seed);
+        let model = Gpt::new(cfg, &mut rng);
+        let t = cfg.seq_len;
+        let mut acts = Activations::new(&cfg, 1, t);
+        let tokens: Vec<u32> = (0..t).map(|i| (i % cfg.vocab_size) as u32).collect();
+        let targets = tokens.clone();
+        model.forward(&tokens, Some(&targets), &mut acts);
+        for row in acts.probs().chunks(cfg.vocab_size) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row sums to {sum}");
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        }
+    }
+
+    /// Parameter round trip through `into_params`/`from_params` preserves
+    /// behaviour exactly.
+    #[test]
+    fn param_roundtrip_preserves_logits(cfg in arb_config(), seed in any::<u64>()) {
+        let mut rng = SeedStream::new(seed);
+        let model = Gpt::new(cfg, &mut rng);
+        let t = cfg.seq_len;
+        let mut acts = Activations::new(&cfg, 1, t);
+        let tokens: Vec<u32> = (0..t).map(|i| (i % cfg.vocab_size) as u32).collect();
+        model.forward(&tokens, None, &mut acts);
+        let want = acts.logits().to_vec();
+        let rebuilt = Gpt::from_params(cfg, model.params().to_vec());
+        rebuilt.forward(&tokens, None, &mut acts);
+        prop_assert_eq!(acts.logits(), &want[..]);
+    }
+}

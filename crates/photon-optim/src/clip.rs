@@ -1,0 +1,51 @@
+/// Global L2 norm of a flat gradient buffer.
+pub fn global_norm(grads: &[f32]) -> f32 {
+    photon_tensor::ops::l2_norm(grads)
+}
+
+/// Clips gradients to a maximum global L2 norm (in place), returning the
+/// pre-clip norm. This is the paper's client-side post-processing step
+/// (Algorithm 1, L.28: "gradient clipping, compression, or differential
+/// privacy noise injection").
+///
+/// # Panics
+/// Panics if `max_norm` is not positive.
+pub fn clip_global_norm(grads: &mut [f32], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let norm = global_norm(grads);
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        photon_tensor::ops::scale(scale, grads);
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_gradients_untouched() {
+        let mut g = vec![0.1f32, 0.2];
+        let before = g.clone();
+        let norm = clip_global_norm(&mut g, 1.0);
+        assert_eq!(g, before);
+        assert!((norm - (0.05f32).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn large_gradients_scaled_to_max_norm() {
+        let mut g = vec![3.0f32, 4.0]; // norm 5
+        let norm = clip_global_norm(&mut g, 1.0);
+        assert_eq!(norm, 5.0);
+        assert!((global_norm(&g) - 1.0).abs() < 1e-6);
+        // Direction preserved.
+        assert!((g[1] / g[0] - 4.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_norm must be positive")]
+    fn zero_max_norm_panics() {
+        clip_global_norm(&mut [1.0], 0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Learning-rate-vs-batch-size scaling rules.
+//!
+//! Appendix C.1 reports that "neither square root nor linear learning rate
+//! scaling sufficiently stabilize centralized training across varying
+//! batch sizes" — which motivates Photon's alternative of keeping the
+//! small-batch learning rate and stretching the schedule instead. This
+//! module provides those classic rules so the ablation benches can test
+//! the claim.
+
+use serde::{Deserialize, Serialize};
+
+/// How to adapt a learning rate when the batch size changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LrScalingRule {
+    /// Keep the reference learning rate unchanged.
+    None,
+    /// Linear scaling (Goyal et al.): `lr ∝ batch`.
+    Linear,
+    /// Square-root scaling (Krizhevsky / random-matrix analyses):
+    /// `lr ∝ sqrt(batch)`.
+    Sqrt,
+}
+
+impl LrScalingRule {
+    /// All rules, for sweeps.
+    pub fn all() -> [LrScalingRule; 3] {
+        [LrScalingRule::None, LrScalingRule::Linear, LrScalingRule::Sqrt]
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LrScalingRule::None => "none",
+            LrScalingRule::Linear => "linear",
+            LrScalingRule::Sqrt => "sqrt",
+        }
+    }
+
+    /// Learning rate for `batch`, given a reference `(base_lr, base_batch)`.
+    ///
+    /// # Panics
+    /// Panics if either batch size is zero or `base_lr` is not positive.
+    pub fn lr_for_batch(&self, base_lr: f32, base_batch: usize, batch: usize) -> f32 {
+        assert!(base_batch > 0 && batch > 0, "batch sizes must be positive");
+        assert!(base_lr > 0.0, "base_lr must be positive");
+        let ratio = batch as f64 / base_batch as f64;
+        match self {
+            LrScalingRule::None => base_lr,
+            LrScalingRule::Linear => (base_lr as f64 * ratio) as f32,
+            LrScalingRule::Sqrt => (base_lr as f64 * ratio.sqrt()) as f32,
+        }
+    }
+}
+
+impl std::fmt::Display for LrScalingRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rules_at_reference_batch_are_identity() {
+        for rule in LrScalingRule::all() {
+            assert_eq!(rule.lr_for_batch(1e-3, 32, 32), 1e-3);
+        }
+    }
+
+    #[test]
+    fn linear_and_sqrt_scale_as_named() {
+        assert!((LrScalingRule::Linear.lr_for_batch(1e-3, 32, 128) - 4e-3).abs() < 1e-9);
+        assert!((LrScalingRule::Sqrt.lr_for_batch(1e-3, 32, 128) - 2e-3).abs() < 1e-9);
+        assert_eq!(LrScalingRule::None.lr_for_batch(1e-3, 32, 128), 1e-3);
+    }
+
+    #[test]
+    fn downscaling_shrinks_lr() {
+        // The Appendix C.1 observation: small centralized batches need
+        // linearly reduced learning rates to avoid divergence.
+        let lr = LrScalingRule::Linear.lr_for_batch(6e-4, 256, 32);
+        assert!((lr - 7.5e-5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(LrScalingRule::Sqrt.to_string(), "sqrt");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch sizes must be positive")]
+    fn zero_batch_panics() {
+        LrScalingRule::None.lr_for_batch(1e-3, 0, 8);
+    }
+}

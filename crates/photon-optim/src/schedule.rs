@@ -1,0 +1,183 @@
+use serde::{Deserialize, Serialize};
+
+/// The shape of a learning-rate schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScheduleKind {
+    /// Constant at `max_lr` after warm-up.
+    Constant,
+    /// Cosine decay from `max_lr` to `min_lr` over the decay period —
+    /// the paper's schedule (Appendix A).
+    Cosine,
+    /// Linear decay from `max_lr` to `min_lr`.
+    Linear,
+}
+
+/// A learning-rate schedule with linear warm-up.
+///
+/// The paper's key federated recipe (§3, Appendix C.1) extends the cosine
+/// decay period when small client batch sizes are used: if centralized
+/// training uses period `T` at batch `B`, federated clients use
+/// `T * B / B_small`. [`LrSchedule::stretch_for_batch`] implements exactly
+/// that transformation.
+///
+/// ```
+/// use photon_optim::{LrSchedule, ScheduleKind};
+/// let s = LrSchedule::new(ScheduleKind::Cosine, 6e-4, 6e-5, 100, 1000);
+/// assert!(s.lr_at(0) < s.lr_at(100));        // warm-up
+/// assert_eq!(s.lr_at(100), 6e-4);            // peak
+/// assert!((s.lr_at(1000) - 6e-5).abs() < 1e-9); // floor
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LrSchedule {
+    kind: ScheduleKind,
+    max_lr: f32,
+    min_lr: f32,
+    warmup_steps: u64,
+    decay_steps: u64,
+}
+
+impl LrSchedule {
+    /// Creates a schedule.
+    ///
+    /// # Panics
+    /// Panics if `max_lr < min_lr`, either is negative, or
+    /// `decay_steps <= warmup_steps`.
+    pub fn new(
+        kind: ScheduleKind,
+        max_lr: f32,
+        min_lr: f32,
+        warmup_steps: u64,
+        decay_steps: u64,
+    ) -> Self {
+        assert!(max_lr >= min_lr && min_lr >= 0.0, "invalid lr bounds");
+        assert!(
+            decay_steps > warmup_steps,
+            "decay_steps must exceed warmup_steps"
+        );
+        LrSchedule {
+            kind,
+            max_lr,
+            min_lr,
+            warmup_steps,
+            decay_steps,
+        }
+    }
+
+    /// The paper's cosine recipe: warm-up to `max_lr`, decay to
+    /// `max_lr / 10` (α = 0.1 in Table 5).
+    pub fn paper_cosine(max_lr: f32, warmup_steps: u64, decay_steps: u64) -> Self {
+        LrSchedule::new(
+            ScheduleKind::Cosine,
+            max_lr,
+            max_lr * 0.1,
+            warmup_steps,
+            decay_steps,
+        )
+    }
+
+    /// Learning rate at a global step.
+    pub fn lr_at(&self, step: u64) -> f32 {
+        if step < self.warmup_steps {
+            return self.max_lr * (step as f32 + 1.0) / (self.warmup_steps as f32);
+        }
+        let progress = ((step - self.warmup_steps) as f64
+            / (self.decay_steps - self.warmup_steps) as f64)
+            .min(1.0);
+        match self.kind {
+            ScheduleKind::Constant => self.max_lr,
+            ScheduleKind::Cosine => {
+                let cos = 0.5 * (1.0 + (std::f64::consts::PI * progress).cos());
+                (self.min_lr as f64 + (self.max_lr - self.min_lr) as f64 * cos) as f32
+            }
+            ScheduleKind::Linear => {
+                (self.max_lr as f64 - (self.max_lr - self.min_lr) as f64 * progress) as f32
+            }
+        }
+    }
+
+    /// Stretches the decay period for a smaller batch size:
+    /// `T' = T * cent_batch / local_batch` (§3, "Exploiting Small Batches
+    /// and High Learning Rates"). Warm-up stretches proportionally.
+    ///
+    /// # Panics
+    /// Panics if either batch size is zero.
+    pub fn stretch_for_batch(&self, cent_batch: usize, local_batch: usize) -> Self {
+        assert!(cent_batch > 0 && local_batch > 0, "batch sizes must be positive");
+        let factor = cent_batch as f64 / local_batch as f64;
+        let decay = ((self.decay_steps as f64) * factor).round() as u64;
+        let warmup = ((self.warmup_steps as f64) * factor).round() as u64;
+        LrSchedule {
+            kind: self.kind,
+            max_lr: self.max_lr,
+            min_lr: self.min_lr,
+            warmup_steps: warmup,
+            decay_steps: decay.max(warmup + 1),
+        }
+    }
+
+    /// Peak learning rate.
+    pub fn max_lr(&self) -> f32 {
+        self.max_lr
+    }
+
+    /// Total decay period in steps.
+    pub fn decay_steps(&self) -> u64 {
+        self.decay_steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_is_linear_and_reaches_peak() {
+        let s = LrSchedule::new(ScheduleKind::Cosine, 1.0, 0.1, 10, 100);
+        assert!((s.lr_at(4) - 0.5).abs() < 1e-6);
+        assert!((s.lr_at(9) - 1.0).abs() < 1e-6);
+        assert_eq!(s.lr_at(10), 1.0);
+    }
+
+    #[test]
+    fn cosine_is_monotone_decreasing_after_warmup() {
+        let s = LrSchedule::paper_cosine(6e-4, 10, 200);
+        let mut prev = s.lr_at(10);
+        for step in 11..=200 {
+            let lr = s.lr_at(step);
+            assert!(lr <= prev + 1e-9);
+            prev = lr;
+        }
+        assert!((s.lr_at(200) - 6e-5).abs() < 1e-8);
+        assert_eq!(s.lr_at(1000), s.lr_at(200)); // clamps at floor
+    }
+
+    #[test]
+    fn linear_midpoint() {
+        let s = LrSchedule::new(ScheduleKind::Linear, 1.0, 0.0, 0, 100);
+        // Progress is computed over decay steps; at step 50, halfway.
+        assert!((s.lr_at(50) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_stays_at_peak() {
+        let s = LrSchedule::new(ScheduleKind::Constant, 0.3, 0.0, 5, 50);
+        assert_eq!(s.lr_at(20), 0.3);
+        assert_eq!(s.lr_at(5000), 0.3);
+    }
+
+    #[test]
+    fn stretch_matches_paper_formula() {
+        // Centralized: T = 5120 at B = 256. Local batch 32 => T = 40960
+        // (exactly the paper's 125M row in Table 5).
+        let cent = LrSchedule::paper_cosine(6e-4, 0, 5120);
+        let fed = cent.stretch_for_batch(256, 32);
+        assert_eq!(fed.decay_steps(), 40_960);
+        assert_eq!(fed.max_lr(), cent.max_lr());
+    }
+
+    #[test]
+    #[should_panic(expected = "decay_steps must exceed")]
+    fn invalid_periods_panic() {
+        LrSchedule::new(ScheduleKind::Cosine, 1.0, 0.1, 100, 100);
+    }
+}

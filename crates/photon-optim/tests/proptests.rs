@@ -1,0 +1,115 @@
+//! Property-based tests for optimizers, schedules and clipping.
+
+use photon_optim::{
+    clip_global_norm, global_norm, AdamW, AdamWConfig, LrSchedule, Optimizer, ScheduleKind, Sgd,
+    SgdConfig,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// AdamW descends any positive-definite quadratic from any start.
+    #[test]
+    fn adamw_descends_quadratics(
+        start in proptest::collection::vec(-5.0f32..5.0, 1..6),
+        scale in 0.1f32..4.0,
+    ) {
+        let mut opt = AdamW::new(AdamWConfig::default(), start.len());
+        let mut x = start.clone();
+        let f = |x: &[f32]| -> f32 { x.iter().map(|v| scale * v * v).sum() };
+        let before = f(&x);
+        for _ in 0..200 {
+            let g: Vec<f32> = x.iter().map(|v| 2.0 * scale * v).collect();
+            opt.step(&mut x, &g, 0.03);
+        }
+        prop_assert!(f(&x) < before.max(1e-3), "{before} -> {}", f(&x));
+    }
+
+    /// SGD with zero gradient and no decay leaves parameters unchanged.
+    #[test]
+    fn sgd_zero_gradient_is_identity(
+        params in proptest::collection::vec(-10.0f32..10.0, 1..16),
+        momentum in 0.0f32..0.99,
+        nesterov in any::<bool>(),
+    ) {
+        let mut opt = Sgd::new(
+            SgdConfig { momentum, nesterov, weight_decay: 0.0 },
+            params.len(),
+        );
+        let mut x = params.clone();
+        let zeros = vec![0.0f32; params.len()];
+        for _ in 0..5 {
+            opt.step(&mut x, &zeros, 0.1);
+        }
+        prop_assert_eq!(x, params);
+    }
+
+    /// Clipping never increases the norm, never changes direction, and is
+    /// idempotent.
+    #[test]
+    fn clip_properties(
+        grads in proptest::collection::vec(-100.0f32..100.0, 1..32),
+        max_norm in 0.01f32..50.0,
+    ) {
+        let mut g = grads.clone();
+        let before = global_norm(&g);
+        clip_global_norm(&mut g, max_norm);
+        let after = global_norm(&g);
+        prop_assert!(after <= before + 1e-4);
+        prop_assert!(after <= max_norm * 1.001);
+        // Direction preserved: g is a non-negative multiple of grads.
+        if before > 1e-6 {
+            let ratio = after / before;
+            for (a, b) in g.iter().zip(&grads) {
+                prop_assert!((a - b * ratio).abs() < 1e-3);
+            }
+        }
+        // Idempotent up to float rounding (a second clip may rescale by a
+        // factor within one ulp of 1.0).
+        let once = g.clone();
+        clip_global_norm(&mut g, max_norm);
+        for (a, b) in g.iter().zip(&once) {
+            prop_assert!((a - b).abs() <= 1e-5 + b.abs() * 1e-5);
+        }
+    }
+
+    /// Schedules stay within [min_lr, max_lr] at every step and decay
+    /// monotonically after warm-up (cosine & linear).
+    #[test]
+    fn schedule_bounds_and_monotonicity(
+        max_lr in 1e-5f32..1.0,
+        ratio in 0.0f32..1.0,
+        warmup in 0u64..50,
+        extra in 1u64..500,
+        kind_pick in 0usize..3,
+    ) {
+        let min_lr = max_lr * ratio;
+        let kind = [ScheduleKind::Constant, ScheduleKind::Cosine, ScheduleKind::Linear][kind_pick];
+        let decay = warmup + extra;
+        let s = LrSchedule::new(kind, max_lr, min_lr, warmup, decay);
+        let mut prev = f32::INFINITY;
+        for step in 0..decay + 20 {
+            let lr = s.lr_at(step);
+            prop_assert!(lr <= max_lr * 1.0001 && lr >= 0.0);
+            if step > warmup && kind != ScheduleKind::Constant {
+                prop_assert!(lr <= prev + 1e-6, "step {step}: {lr} > {prev}");
+            }
+            if step >= warmup {
+                prop_assert!(lr >= min_lr * 0.999, "step {step}: {lr} < {min_lr}");
+            }
+            prev = lr;
+        }
+    }
+
+    /// The small-batch stretch scales the decay period by cent/local.
+    #[test]
+    fn stretch_scales_period(
+        decay in 10u64..10_000,
+        cent in 1usize..512,
+        local in 1usize..512,
+    ) {
+        let s = LrSchedule::new(ScheduleKind::Cosine, 1e-3, 1e-4, 0, decay);
+        let stretched = s.stretch_for_batch(cent, local);
+        let expect = (decay as f64 * cent as f64 / local as f64).round() as u64;
+        prop_assert_eq!(stretched.decay_steps(), expect.max(1));
+    }
+}

@@ -1,0 +1,306 @@
+/// Specification for a general matrix multiply `C = alpha * op(A) op(B) + beta * C`.
+///
+/// The *logical* operand shapes are `op(A): (m, k)`, `op(B): (k, n)` and
+/// `C: (m, n)`. When a transpose flag is set, the corresponding *physical*
+/// buffer stores the transposed matrix, i.e. with `trans_a` the `a` slice is
+/// laid out as `(k, m)` row-major.
+///
+/// ```
+/// use photon_tensor::ops::{gemm, Gemm};
+/// let a = [1., 2., 3., 4.]; // 2x2
+/// let b = [1., 0., 0., 1.]; // identity
+/// let mut c = [0.0f32; 4];
+/// gemm(Gemm::new(2, 2, 2), &a, &b, &mut c);
+/// assert_eq!(c, a);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gemm {
+    /// Rows of `op(A)` and `C`.
+    pub m: usize,
+    /// Inner (contraction) dimension.
+    pub k: usize,
+    /// Columns of `op(B)` and `C`.
+    pub n: usize,
+    /// Whether the physical `a` buffer is `(k, m)` (i.e. `op(A) = A^T`).
+    pub trans_a: bool,
+    /// Whether the physical `b` buffer is `(n, k)` (i.e. `op(B) = B^T`).
+    pub trans_b: bool,
+    /// Scale applied to the product.
+    pub alpha: f32,
+    /// Scale applied to the existing contents of `C` (`0.0` overwrites).
+    pub beta: f32,
+}
+
+impl Gemm {
+    /// A plain `C = A B` spec with the given logical dimensions.
+    pub fn new(m: usize, k: usize, n: usize) -> Self {
+        Gemm {
+            m,
+            k,
+            n,
+            trans_a: false,
+            trans_b: false,
+            alpha: 1.0,
+            beta: 0.0,
+        }
+    }
+
+    /// Marks the `a` buffer as physically transposed (`(k, m)` layout).
+    pub fn transpose_a(mut self) -> Self {
+        self.trans_a = true;
+        self
+    }
+
+    /// Marks the `b` buffer as physically transposed (`(n, k)` layout).
+    pub fn transpose_b(mut self) -> Self {
+        self.trans_b = true;
+        self
+    }
+
+    /// Sets the product scale factor.
+    pub fn alpha(mut self, alpha: f32) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the accumulation factor for existing `C` contents.
+    /// `beta = 1.0` accumulates into `C` (used for gradient accumulation).
+    pub fn beta(mut self, beta: f32) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    fn a_len(&self) -> usize {
+        self.m * self.k
+    }
+
+    fn b_len(&self) -> usize {
+        self.k * self.n
+    }
+
+    fn c_len(&self) -> usize {
+        self.m * self.n
+    }
+}
+
+/// Executes a [`Gemm`] spec. Single-threaded, cache-blocked.
+///
+/// # Panics
+/// Panics if any slice is shorter than the spec requires.
+pub fn gemm(spec: Gemm, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert!(a.len() >= spec.a_len(), "gemm: a too short");
+    assert!(b.len() >= spec.b_len(), "gemm: b too short");
+    assert!(c.len() >= spec.c_len(), "gemm: c too short");
+    let (m, k, n) = (spec.m, spec.k, spec.n);
+    let (alpha, beta) = (spec.alpha, spec.beta);
+
+    if beta == 0.0 {
+        c[..m * n].iter_mut().for_each(|v| *v = 0.0);
+    } else if beta != 1.0 {
+        c[..m * n].iter_mut().for_each(|v| *v *= beta);
+    }
+
+    match (spec.trans_a, spec.trans_b) {
+        (false, false) => {
+            // C[i,j] += alpha * A[i,p] * B[p,j]; ipj order streams B rows.
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for (p, &apv) in a_row.iter().enumerate() {
+                    if apv == 0.0 {
+                        continue;
+                    }
+                    let s = alpha * apv;
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += s * bv;
+                    }
+                }
+            }
+        }
+        (false, true) => {
+            // B physically (n, k): C[i,j] += alpha * dot(A row i, B row j).
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for (j, cv) in c_row.iter_mut().enumerate() {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&av, &bv) in a_row.iter().zip(b_row) {
+                        acc += av * bv;
+                    }
+                    *cv += alpha * acc;
+                }
+            }
+        }
+        (true, false) => {
+            // A physically (k, m): C[i,j] += alpha * A[p,i] * B[p,j].
+            for p in 0..k {
+                let a_row = &a[p * m..(p + 1) * m];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (i, &av) in a_row.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let s = alpha * av;
+                    let c_row = &mut c[i * n..(i + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += s * bv;
+                    }
+                }
+            }
+        }
+        (true, true) => {
+            // Rare in practice; fall back to an index loop.
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for p in 0..k {
+                        acc += a[p * m + i] * b[j * k + p];
+                    }
+                    c[i * n + j] += alpha * acc;
+                }
+            }
+        }
+    }
+}
+
+/// Multi-threaded [`gemm`]: splits the rows of `C` across `threads` workers
+/// using scoped threads. Falls back to the single-threaded kernel for small
+/// problems or when `spec.trans_a` is set (row-splitting then no longer
+/// partitions the output).
+///
+/// # Panics
+/// Panics if any slice is shorter than the spec requires.
+pub fn par_gemm(spec: Gemm, a: &[f32], b: &[f32], c: &mut [f32], threads: usize) {
+    const PAR_THRESHOLD_FLOPS: usize = 1 << 20;
+    let flops = 2 * spec.m * spec.k * spec.n;
+    if threads <= 1 || spec.trans_a || flops < PAR_THRESHOLD_FLOPS || spec.m < threads {
+        gemm(spec, a, b, c);
+        return;
+    }
+    assert!(a.len() >= spec.a_len(), "par_gemm: a too short");
+    assert!(b.len() >= spec.b_len(), "par_gemm: b too short");
+    assert!(c.len() >= spec.c_len(), "par_gemm: c too short");
+
+    let rows_per = spec.m.div_ceil(threads);
+    let c_active = &mut c[..spec.m * spec.n];
+    crossbeam::thread::scope(|s| {
+        let mut c_rest = c_active;
+        let mut row0 = 0usize;
+        while row0 < spec.m {
+            let rows = rows_per.min(spec.m - row0);
+            let (c_chunk, tail) = c_rest.split_at_mut(rows * spec.n);
+            c_rest = tail;
+            let a_chunk = &a[row0 * spec.k..(row0 + rows) * spec.k];
+            let sub = Gemm {
+                m: rows,
+                ..spec
+            };
+            s.spawn(move |_| gemm(sub, a_chunk, b, c_chunk));
+            row0 += rows;
+        }
+    })
+    .expect("par_gemm worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeedStream;
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn transpose(r: usize, c: usize, x: &[f32]) -> Vec<f32> {
+        let mut t = vec![0.0; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                t[j * r + i] = x[i * c + j];
+            }
+        }
+        t
+    }
+
+    fn rand_vec(n: usize, rng: &mut SeedStream) -> Vec<f32> {
+        (0..n).map(|_| rng.next_normal()).collect()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn all_transpose_variants_match_naive() {
+        let mut rng = SeedStream::new(1);
+        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (8, 16, 8), (7, 3, 9)] {
+            let a = rand_vec(m * k, &mut rng);
+            let b = rand_vec(k * n, &mut rng);
+            let want = naive(m, k, n, &a, &b);
+
+            let mut c = vec![0.0; m * n];
+            gemm(Gemm::new(m, k, n), &a, &b, &mut c);
+            assert_close(&c, &want);
+
+            let at = transpose(m, k, &a);
+            let mut c = vec![0.0; m * n];
+            gemm(Gemm::new(m, k, n).transpose_a(), &at, &b, &mut c);
+            assert_close(&c, &want);
+
+            let bt = transpose(k, n, &b);
+            let mut c = vec![0.0; m * n];
+            gemm(Gemm::new(m, k, n).transpose_b(), &a, &bt, &mut c);
+            assert_close(&c, &want);
+
+            let mut c = vec![0.0; m * n];
+            gemm(Gemm::new(m, k, n).transpose_a().transpose_b(), &at, &bt, &mut c);
+            assert_close(&c, &want);
+        }
+    }
+
+    #[test]
+    fn alpha_beta_semantics() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 4.0];
+        // 1x2 * 2x1
+        let mut c = [10.0f32];
+        gemm(Gemm::new(1, 2, 1).alpha(2.0).beta(1.0), &a, &b, &mut c);
+        assert_eq!(c[0], 10.0 + 2.0 * 11.0);
+        let mut c = [10.0f32];
+        gemm(Gemm::new(1, 2, 1).beta(0.5), &a, &b, &mut c);
+        assert_eq!(c[0], 5.0 + 11.0);
+    }
+
+    #[test]
+    fn par_gemm_matches_serial() {
+        let mut rng = SeedStream::new(2);
+        let (m, k, n) = (64, 96, 80);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        gemm(Gemm::new(m, k, n), &a, &b, &mut c1);
+        // Force the parallel path despite the small size by lowering m/threads.
+        par_gemm(Gemm::new(m, k, n), &a, &b, &mut c2, 4);
+        assert_close(&c1, &c2);
+    }
+
+    #[test]
+    #[should_panic(expected = "a too short")]
+    fn short_input_panics() {
+        let mut c = [0.0f32; 4];
+        gemm(Gemm::new(2, 2, 2), &[1.0; 3], &[1.0; 4], &mut c);
+    }
+}

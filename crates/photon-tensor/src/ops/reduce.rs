@@ -1,0 +1,104 @@
+/// Sum of all elements (f64 accumulator for stability).
+pub fn sum(xs: &[f32]) -> f32 {
+    xs.iter().map(|&v| v as f64).sum::<f64>() as f32
+}
+
+/// Arithmetic mean. Returns `0.0` for an empty slice.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        sum(xs) / xs.len() as f32
+    }
+}
+
+/// Dot product (f64 accumulator for stability).
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| x as f64 * y as f64)
+        .sum::<f64>() as f32
+}
+
+/// Euclidean (L2) norm.
+pub fn l2_norm(xs: &[f32]) -> f32 {
+    xs.iter()
+        .map(|&v| (v as f64) * (v as f64))
+        .sum::<f64>()
+        .sqrt() as f32
+}
+
+/// Largest absolute value. Returns `0.0` for an empty slice.
+pub fn max_abs(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+}
+
+/// Index of the maximum element (first wins on ties).
+///
+/// # Panics
+/// Panics if the slice is empty.
+pub fn argmax(xs: &[f32]) -> usize {
+    assert!(!xs.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate().skip(1) {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Maximum element-wise absolute difference between two slices.
+/// Useful for numerical comparisons in tests.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff length mismatch");
+    a.iter()
+        .zip(b)
+        .fold(0.0f32, |m, (&x, &y)| m.max((x - y).abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reductions() {
+        let xs = [1.0, -2.0, 3.0];
+        assert_eq!(sum(&xs), 2.0);
+        assert!((mean(&xs) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(max_abs(&xs), 3.0);
+        assert_eq!(argmax(&xs), 2);
+        assert!((l2_norm(&xs) - 14.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_and_diff() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert_eq!(sum(&[]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(max_abs(&[]), 0.0);
+    }
+
+    #[test]
+    fn argmax_first_wins_on_tie() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "argmax of empty")]
+    fn argmax_empty_panics() {
+        argmax(&[]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Compact little-endian binary (de)serialization for float buffers and
+//! tensors. This is the payload format used by the Photon `Link` wire
+//! protocol (`photon-comms`) and by checkpoint files (`photon-core`).
+
+use crate::{Result, Tensor, TensorError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Appends a length-prefixed `f32` slice to `out` (u64 count + LE floats).
+pub fn write_f32_slice(out: &mut BytesMut, xs: &[f32]) {
+    out.put_u64_le(xs.len() as u64);
+    for &v in xs {
+        out.put_f32_le(v);
+    }
+}
+
+/// Reads a length-prefixed `f32` slice written by [`write_f32_slice`].
+///
+/// # Errors
+/// Returns [`TensorError::Deserialize`] if the buffer is truncated or the
+/// declared length is implausibly large for the remaining bytes.
+pub fn read_f32_slice(buf: &mut Bytes) -> Result<Vec<f32>> {
+    if buf.remaining() < 8 {
+        return Err(TensorError::Deserialize("missing f32 slice length".into()));
+    }
+    let n = buf.get_u64_le() as usize;
+    if buf.remaining() < n.saturating_mul(4) {
+        return Err(TensorError::Deserialize(format!(
+            "f32 slice declares {n} elements but only {} bytes remain",
+            buf.remaining()
+        )));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(buf.get_f32_le());
+    }
+    Ok(out)
+}
+
+/// Appends a tensor (rank, dims, then data) to `out`.
+pub fn write_tensor(out: &mut BytesMut, t: &Tensor) {
+    out.put_u32_le(t.shape().rank() as u32);
+    for &d in t.shape().dims() {
+        out.put_u64_le(d as u64);
+    }
+    write_f32_slice(out, t.data());
+}
+
+/// Reads a tensor written by [`write_tensor`].
+///
+/// # Errors
+/// Returns [`TensorError::Deserialize`] on truncation, or
+/// [`TensorError::ShapeDataMismatch`] if the payload length disagrees with
+/// the declared shape.
+pub fn read_tensor(buf: &mut Bytes) -> Result<Tensor> {
+    if buf.remaining() < 4 {
+        return Err(TensorError::Deserialize("missing tensor rank".into()));
+    }
+    let rank = buf.get_u32_le() as usize;
+    if rank > 8 {
+        return Err(TensorError::Deserialize(format!(
+            "implausible tensor rank {rank}"
+        )));
+    }
+    if buf.remaining() < rank * 8 {
+        return Err(TensorError::Deserialize("missing tensor dims".into()));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(buf.get_u64_le() as usize);
+    }
+    let data = read_f32_slice(buf)?;
+    Tensor::from_vec(dims, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeedStream;
+
+    #[test]
+    fn slice_roundtrip() {
+        let xs = vec![1.0f32, -2.5, 3.25, f32::MIN, f32::MAX];
+        let mut out = BytesMut::new();
+        write_f32_slice(&mut out, &xs);
+        let mut buf = out.freeze();
+        assert_eq!(read_f32_slice(&mut buf).unwrap(), xs);
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn tensor_roundtrip() {
+        let mut rng = SeedStream::new(7);
+        let t = Tensor::randn(vec![3, 5, 2], 0.5, &mut rng);
+        let mut out = BytesMut::new();
+        write_tensor(&mut out, &t);
+        let mut buf = out.freeze();
+        let back = read_tensor(&mut buf).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn truncated_buffers_error() {
+        let mut out = BytesMut::new();
+        write_f32_slice(&mut out, &[1.0, 2.0, 3.0]);
+        let full = out.freeze();
+        for cut in [0, 4, 11, full.len() - 1] {
+            let mut buf = full.slice(..cut);
+            assert!(read_f32_slice(&mut buf).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn implausible_rank_rejected() {
+        let mut out = BytesMut::new();
+        out.put_u32_le(1000);
+        let mut buf = out.freeze();
+        assert!(read_tensor(&mut buf).is_err());
+    }
+
+    #[test]
+    fn empty_slice_roundtrip() {
+        let mut out = BytesMut::new();
+        write_f32_slice(&mut out, &[]);
+        let mut buf = out.freeze();
+        assert!(read_f32_slice(&mut buf).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the tensor substrate.
+
+use bytes::BytesMut;
+use photon_tensor::{ops, read_tensor, write_tensor, SeedStream, Tensor};
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    (-1.0e3f32..1.0e3f32).prop_filter("finite", |v| v.is_finite())
+}
+
+proptest! {
+    /// Serialization is lossless for any finite tensor.
+    #[test]
+    fn tensor_serde_roundtrip(
+        dims in proptest::collection::vec(1usize..6, 1..4),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SeedStream::new(seed);
+        let t = Tensor::randn(dims, 1.0, &mut rng);
+        let mut out = BytesMut::new();
+        write_tensor(&mut out, &t);
+        let back = read_tensor(&mut out.freeze()).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    /// GEMM is linear in its left operand: (A1 + A2) B == A1 B + A2 B.
+    #[test]
+    fn gemm_left_linearity(
+        m in 1usize..6, k in 1usize..6, n in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SeedStream::new(seed);
+        let a1: Vec<f32> = (0..m * k).map(|_| rng.next_normal()).collect();
+        let a2: Vec<f32> = (0..m * k).map(|_| rng.next_normal()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.next_normal()).collect();
+        let a_sum: Vec<f32> = a1.iter().zip(&a2).map(|(x, y)| x + y).collect();
+
+        let mut c_sum = vec![0.0; m * n];
+        ops::gemm(ops::Gemm::new(m, k, n), &a_sum, &b, &mut c_sum);
+
+        let mut c1 = vec![0.0; m * n];
+        ops::gemm(ops::Gemm::new(m, k, n), &a1, &b, &mut c1);
+        let mut c2 = vec![0.0; m * n];
+        ops::gemm(ops::Gemm::new(m, k, n), &a2, &b, &mut c2);
+        ops::add_inplace(&mut c1, &c2);
+
+        prop_assert!(ops::max_abs_diff(&c_sum, &c1) < 1e-3);
+    }
+
+    /// Transposed-operand GEMM agrees with plain GEMM on transposed buffers.
+    #[test]
+    fn gemm_transpose_consistency(
+        m in 1usize..5, k in 1usize..5, n in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SeedStream::new(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.next_normal()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.next_normal()).collect();
+        // Physically transpose b into (n, k).
+        let mut bt = vec![0.0; k * n];
+        for i in 0..k {
+            for j in 0..n {
+                bt[j * k + i] = b[i * n + j];
+            }
+        }
+        let mut c_plain = vec![0.0; m * n];
+        ops::gemm(ops::Gemm::new(m, k, n), &a, &b, &mut c_plain);
+        let mut c_t = vec![0.0; m * n];
+        ops::gemm(ops::Gemm::new(m, k, n).transpose_b(), &a, &bt, &mut c_t);
+        prop_assert!(ops::max_abs_diff(&c_plain, &c_t) < 1e-3);
+    }
+
+    /// axpy(a, x, y) then axpy(-a, x, y) restores y.
+    #[test]
+    fn axpy_inverse(
+        xs in proptest::collection::vec(finite_f32(), 1..64),
+        alpha in -10.0f32..10.0,
+    ) {
+        let ys: Vec<f32> = xs.iter().map(|v| v * 0.5 + 1.0).collect();
+        let mut out = ys.clone();
+        ops::axpy(alpha, &xs, &mut out);
+        ops::axpy(-alpha, &xs, &mut out);
+        for (o, y) in out.iter().zip(&ys) {
+            prop_assert!((o - y).abs() <= 1e-2 + y.abs() * 1e-4);
+        }
+    }
+
+    /// The L2 norm is absolutely homogeneous: ||c x|| == |c| ||x||.
+    #[test]
+    fn l2_norm_homogeneous(
+        xs in proptest::collection::vec(finite_f32(), 1..64),
+        c in -5.0f32..5.0,
+    ) {
+        let scaled: Vec<f32> = xs.iter().map(|v| c * v).collect();
+        let lhs = ops::l2_norm(&scaled);
+        let rhs = c.abs() * ops::l2_norm(&xs);
+        prop_assert!((lhs - rhs).abs() <= 1e-2 + rhs.abs() * 1e-4);
+    }
+
+    /// sample_indices always returns k sorted distinct indices below n.
+    #[test]
+    fn sample_indices_invariants(n in 1usize..100, seed in any::<u64>()) {
+        let mut rng = SeedStream::new(seed);
+        let k = rng.next_below(n) + 1;
+        let s = rng.sample_indices(n, k);
+        prop_assert_eq!(s.len(), k);
+        prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(s.iter().all(|&i| i < n));
+    }
+}

@@ -1,0 +1,86 @@
+use crate::{TokenId, Tokenizer, Vocab};
+
+/// A byte-level tokenizer: every UTF-8 byte is one token.
+///
+/// Vocabulary size is 257 (256 bytes plus `<|eot|>`). This is the default
+/// tokenizer for fast CPU-trainable experiment presets: the tiny vocabulary
+/// keeps the embedding and LM-head matrices small so convergence experiments
+/// finish quickly, while the token stream still exhibits realistic n-gram
+/// structure from the synthetic corpora.
+#[derive(Debug, Clone)]
+pub struct ByteTokenizer {
+    vocab: Vocab,
+}
+
+impl ByteTokenizer {
+    /// Creates the byte-level tokenizer.
+    pub fn new() -> Self {
+        ByteTokenizer {
+            vocab: Vocab::base_bytes(),
+        }
+    }
+
+    /// Read-only access to the vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+}
+
+impl Default for ByteTokenizer {
+    fn default() -> Self {
+        ByteTokenizer::new()
+    }
+}
+
+impl Tokenizer for ByteTokenizer {
+    fn encode(&self, text: &str) -> Vec<TokenId> {
+        text.bytes().map(|b| b as TokenId).collect()
+    }
+
+    fn decode(&self, ids: &[TokenId]) -> String {
+        let mut bytes = Vec::with_capacity(ids.len());
+        for &id in ids {
+            match self.vocab.bytes_of(id) {
+                Some(b) if id < 256 => bytes.extend_from_slice(b),
+                Some(b) => bytes.extend_from_slice(b), // eot marker
+                None => bytes.extend_from_slice("\u{FFFD}".as_bytes()),
+            }
+        }
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    fn eot_id(&self) -> TokenId {
+        self.vocab.eot_id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_ascii_and_unicode() {
+        let tok = ByteTokenizer::new();
+        for s in ["hello world", "héllo ωorld", "日本語テキスト", ""] {
+            assert_eq!(tok.decode(&tok.encode(s)), s);
+        }
+    }
+
+    #[test]
+    fn unknown_id_becomes_replacement() {
+        let tok = ByteTokenizer::new();
+        assert_eq!(tok.decode(&[9999]), "\u{FFFD}");
+    }
+
+    #[test]
+    fn vocab_size_and_eot() {
+        let tok = ByteTokenizer::new();
+        assert_eq!(tok.vocab_size(), 257);
+        assert_eq!(tok.eot_id(), 256);
+        assert!(tok.decode(&[tok.eot_id()]).contains("eot"));
+    }
+}

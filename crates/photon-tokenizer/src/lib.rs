@@ -1,0 +1,59 @@
+//! # photon-tokenizer
+//!
+//! Tokenization substrate for Photon-RS: a zero-configuration byte-level
+//! tokenizer and a from-scratch trainable byte-pair-encoding (BPE)
+//! tokenizer, mirroring the role of the GPT-NeoX tokenizer (vocab 50 368)
+//! used by the Photon paper. Trainable experiment presets use small
+//! vocabularies (256–1024) so CPU models converge quickly; the analytic
+//! model configurations retain the paper's 50 368 vocabulary.
+//!
+//! ```
+//! use photon_tokenizer::{ByteTokenizer, Tokenizer};
+//! let tok = ByteTokenizer::new();
+//! let ids = tok.encode("hi");
+//! assert_eq!(tok.decode(&ids), "hi");
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod bpe;
+mod byte;
+mod vocab;
+
+pub use bpe::{BpeTokenizer, BpeTrainConfig};
+pub use byte::ByteTokenizer;
+pub use vocab::Vocab;
+
+/// A token id. Kept at 32 bits: the largest paper vocabulary is 50 368.
+pub type TokenId = u32;
+
+/// Common interface for all tokenizers.
+///
+/// Implementations guarantee `decode(encode(s)) == s` for valid UTF-8 input
+/// (lossless round-trip), which the property tests enforce.
+pub trait Tokenizer: Send + Sync {
+    /// Encodes text into token ids (no special tokens appended).
+    fn encode(&self, text: &str) -> Vec<TokenId>;
+
+    /// Decodes token ids back into text. Unknown ids and invalid UTF-8
+    /// byte sequences are replaced with U+FFFD.
+    fn decode(&self, ids: &[TokenId]) -> String;
+
+    /// Total vocabulary size, including special tokens.
+    fn vocab_size(&self) -> usize;
+
+    /// The end-of-text token id.
+    fn eot_id(&self) -> TokenId;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_object_safe() {
+        let tok: Box<dyn Tokenizer> = Box::new(ByteTokenizer::new());
+        assert_eq!(tok.decode(&tok.encode("abc")), "abc");
+    }
+}

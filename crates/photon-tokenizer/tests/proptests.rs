@@ -1,0 +1,50 @@
+//! Property-based tests: tokenizers must round-trip arbitrary text.
+
+use photon_tokenizer::{BpeTokenizer, BpeTrainConfig, ByteTokenizer, Tokenizer};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn byte_tokenizer_roundtrips_any_string(s in "\\PC*") {
+        let tok = ByteTokenizer::new();
+        prop_assert_eq!(tok.decode(&tok.encode(&s)), s);
+    }
+
+    #[test]
+    fn byte_tokenizer_length_equals_utf8_len(s in "\\PC*") {
+        let tok = ByteTokenizer::new();
+        prop_assert_eq!(tok.encode(&s).len(), s.len());
+    }
+
+    #[test]
+    fn bpe_roundtrips_any_ascii(s in "[ -~\\t\\n]{0,200}") {
+        let corpus = "the quick brown fox jumps over the lazy dog. ".repeat(12);
+        let tok = BpeTokenizer::train(&corpus, &BpeTrainConfig {
+            vocab_size: 300,
+            min_pair_freq: 2,
+        });
+        prop_assert_eq!(tok.decode(&tok.encode(&s)), s);
+    }
+
+    #[test]
+    fn bpe_never_expands_token_count(s in "[a-z ]{1,120}") {
+        let corpus = "aa bb cc abc abc abc the the the ".repeat(10);
+        let tok = BpeTokenizer::train(&corpus, &BpeTrainConfig {
+            vocab_size: 280,
+            min_pair_freq: 2,
+        });
+        prop_assert!(tok.encode(&s).len() <= s.len());
+    }
+
+    #[test]
+    fn bpe_ids_always_in_vocab(s in "\\PC{0,100}") {
+        let corpus = "hello world hello world ".repeat(10);
+        let tok = BpeTokenizer::train(&corpus, &BpeTrainConfig {
+            vocab_size: 270,
+            min_pair_freq: 2,
+        });
+        for id in tok.encode(&s) {
+            prop_assert!((id as usize) < tok.vocab_size());
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Heterogeneous cross-silo federation (paper §5.5 / Fig. 7).
+//!
+//! Sixteen clients hold Pile-style heterogeneous data (four synthetic
+//! domains: arxiv, web, wiki, prose — four clients each). We train once
+//! with full participation and once sampling 25% of clients per round, and
+//! compare convergence on the union validation set.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p photon-examples --example heterogeneous_silos
+//! ```
+
+use photon_core::experiments::{build_heterogeneous_federation, run_federation, RunOptions};
+use photon_core::{CohortSpec, FederationConfig};
+use photon_nn::ModelConfig;
+
+fn run(sample_frac: Option<f64>) -> Result<Vec<Option<f64>>, Box<dyn std::error::Error>> {
+    let mut cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 16);
+    cfg.local_steps = 8;
+    cfg.local_batch = 4;
+    cfg.seed = 1234;
+    if let Some(frac) = sample_frac {
+        let k = ((16.0 * frac).round() as usize).max(1);
+        cfg.cohort = CohortSpec::Sample { k };
+    }
+    let (mut fed, val) = build_heterogeneous_federation(&cfg, 40_000)?;
+    println!(
+        "  cohort: {} of 16 clients/round | domains: {:?}",
+        cfg.cohort_size(),
+        fed.clients
+            .iter()
+            .take(4)
+            .map(|c| c.data_source().name().to_string())
+            .collect::<Vec<_>>()
+    );
+    let opts = RunOptions {
+        rounds: 10,
+        eval_every: 1,
+        eval_windows: 32,
+        stop_below: None,
+    };
+    let history = run_federation(&mut fed, &val, &opts)?;
+    Ok(history.rounds.iter().map(|r| r.eval_ppl).collect())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("photon heterogeneous-silos example (Pile-style domains)\n");
+    println!("full participation (100%):");
+    let full = run(None)?;
+    println!("partial participation (25%):");
+    let partial = run(Some(0.25))?;
+
+    println!("\n round | full-part ppl | 25%-part ppl");
+    println!(" ------+---------------+-------------");
+    for (i, (f, p)) in full.iter().zip(&partial).enumerate() {
+        println!(
+            " {:>5} | {:>13.3} | {:>11.3}",
+            i,
+            f.unwrap_or(f64::NAN),
+            p.unwrap_or(f64::NAN)
+        );
+    }
+    println!(
+        "\nAs in the paper (Fig. 7), partial participation fluctuates more\n\
+         across rounds because the global model only intermittently sees\n\
+         each domain, while full participation tracks the IID behaviour."
+    );
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Support library for the Photon-RS examples.
+//!
+//! The runnable binaries live as `[[example]]` targets in this package:
+//! `quickstart`, `heterogeneous_silos`, `cross_datacenter`,
+//! `diloco_comparison` and `secure_link`. Run any of them with
+//! `cargo run --release -p photon-examples --example <name>`.

@@ -1,0 +1,63 @@
+//! Text generation from a federated-trained model.
+//!
+//! Trains a tiny model across four heterogeneous silos, then samples
+//! continuations in each domain's style — the qualitative counterpart of
+//! the paper's downstream-utility evaluation (Appendix D.1). Since the
+//! tokenizer is byte-level, the model's output is directly readable text.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p photon-examples --example text_generation
+//! ```
+
+use photon_core::experiments::{build_heterogeneous_federation, run_federation, RunOptions};
+use photon_core::FederationConfig;
+use photon_nn::{generate, ModelConfig, SampleConfig};
+use photon_optim::LrSchedule;
+use photon_tensor::SeedStream;
+use photon_tokenizer::{ByteTokenizer, Tokenizer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 4);
+    cfg.local_steps = 16;
+    cfg.local_batch = 8;
+    cfg.schedule = LrSchedule::paper_cosine(6e-3, 10, 800);
+    cfg.seed = 606;
+
+    println!("training a tiny model across 4 heterogeneous silos (~50 rounds)...");
+    let (mut fed, val) = build_heterogeneous_federation(&cfg, 40_000)?;
+    let opts = RunOptions {
+        rounds: 50,
+        eval_every: 10,
+        eval_windows: 32,
+        stop_below: None,
+    };
+    let history = run_federation(&mut fed, &val, &opts)?;
+    println!(
+        "validation perplexity: {:.1} (vocab = 257, so random ≈ 257)\n",
+        history.final_ppl().unwrap()
+    );
+
+    let model = fed.aggregator.global_model();
+    let tokenizer = ByteTokenizer::new();
+    let mut rng = SeedStream::new(9);
+    let sample_cfg = SampleConfig {
+        temperature: 0.7,
+        top_k: 12,
+    };
+
+    for prompt in ["The ", "We ", "In the "] {
+        let prompt_ids = tokenizer.encode(prompt);
+        let continuation = generate(&model, &prompt_ids, 160, &sample_cfg, &mut rng);
+        let text = tokenizer.decode(&continuation);
+        println!("prompt {prompt:?}:");
+        println!("  {prompt}{text}\n");
+    }
+    println!(
+        "The model has learned the domains' letter statistics and word\n\
+         shapes from federated training alone (the synthetic inventories\n\
+         are letter-sampled words like 'gtal' or 'lhla'); longer training\n\
+         at this scale recovers whole words and sentence punctuation."
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Whole-system reproducibility: identical seeds produce identical runs,
+//! different seeds do not — across threads, Link framing and aggregation.
+
+use photon_core::experiments::{build_iid_federation, run_federation, RunOptions};
+use photon_tests::tiny_federation;
+
+fn run(seed: u64, rounds: u64) -> (Vec<f32>, Vec<f32>) {
+    let mut cfg = tiny_federation(4);
+    cfg.seed = seed;
+    let (mut fed, val) = build_iid_federation(&cfg, 3_000).unwrap();
+    let opts = RunOptions {
+        rounds,
+        eval_every: 0,
+        eval_windows: 0,
+        stop_below: None,
+    };
+    let history = run_federation(&mut fed, &val, &opts).unwrap();
+    let losses = history
+        .rounds
+        .iter()
+        .map(|r| r.mean_client_loss)
+        .collect();
+    (fed.aggregator.params().to_vec(), losses)
+}
+
+#[test]
+fn same_seed_is_bit_identical_despite_threading() {
+    let (params_a, losses_a) = run(777, 3);
+    let (params_b, losses_b) = run(777, 3);
+    assert_eq!(losses_a, losses_b);
+    assert_eq!(params_a, params_b, "multi-threaded run not reproducible");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let (params_a, _) = run(1, 2);
+    let (params_b, _) = run(2, 2);
+    assert_ne!(params_a, params_b);
+}
+
+#[test]
+fn partial_participation_is_also_reproducible() {
+    use photon_core::CohortSpec;
+    let run = |seed: u64| {
+        let mut cfg = tiny_federation(6);
+        cfg.seed = seed;
+        cfg.cohort = CohortSpec::Sample { k: 2 };
+        let (mut fed, val) = build_iid_federation(&cfg, 3_000).unwrap();
+        let opts = RunOptions {
+            rounds: 4,
+            eval_every: 0,
+            eval_windows: 0,
+            stop_below: None,
+        };
+        let history = run_federation(&mut fed, &val, &opts).unwrap();
+        let cohorts: Vec<Vec<usize>> =
+            history.rounds.iter().map(|r| r.cohort.clone()).collect();
+        (fed.aggregator.params().to_vec(), cohorts)
+    };
+    let (pa, ca) = run(42);
+    let (pb, cb) = run(42);
+    assert_eq!(ca, cb, "client sampling not reproducible");
+    assert_eq!(pa, pb);
+}

@@ -1,0 +1,24 @@
+//! Shared helpers for the Photon-RS cross-crate integration tests.
+
+use photon_core::FederationConfig;
+use photon_nn::ModelConfig;
+
+/// A one-layer model small enough for sub-second integration tests.
+pub fn tiny_model() -> ModelConfig {
+    ModelConfig {
+        n_layers: 1,
+        d_model: 16,
+        n_heads: 2,
+        exp_ratio: 2,
+        vocab_size: 257,
+        seq_len: 16,
+    }
+}
+
+/// A fast federation configuration over [`tiny_model`].
+pub fn tiny_federation(n_clients: usize) -> FederationConfig {
+    let mut cfg = FederationConfig::quick_demo(tiny_model(), n_clients);
+    cfg.local_steps = 4;
+    cfg.local_batch = 2;
+    cfg
+}

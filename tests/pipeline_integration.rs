@@ -1,0 +1,164 @@
+//! Integration across the data / tokenizer / model / comms substrates.
+
+use photon_comms::{compress_f32s, decompress_f32s, Message};
+use photon_data::{partition_iid, EvalStream, ShardStream, SyntheticDomain, TokenCorpus};
+use photon_data::{Batch, DomainKind};
+use photon_nn::{evaluate_perplexity, Activations, Gpt, ModelConfig};
+use photon_optim::{AdamW, AdamWConfig, LrSchedule, Optimizer, ScheduleKind};
+use photon_tensor::SeedStream;
+use photon_tokenizer::{BpeTokenizer, BpeTrainConfig, Tokenizer};
+
+/// A BPE-tokenized synthetic corpus trains a model end to end — the full
+/// Data-Source pipeline of §4 (generate text, train tokenizer,
+/// pre-tokenize, shard, stream, train, evaluate).
+#[test]
+fn bpe_corpus_trains_model() {
+    let mut rng = SeedStream::new(11);
+    let domain = SyntheticDomain::preset(DomainKind::Wiki, &mut rng);
+    let train_text = domain.generate(60_000, &mut rng);
+    let tokenizer = BpeTokenizer::train(
+        &train_text,
+        &BpeTrainConfig {
+            vocab_size: 320,
+            min_pair_freq: 4,
+        },
+    );
+    assert!(tokenizer.merge_count() > 0);
+
+    let mut corpus = TokenCorpus::from_domain(&domain, &tokenizer, 30_000, &mut rng);
+    let val = corpus.split_validation(3_000);
+    let shards = partition_iid(&corpus, 2, 33, &mut rng);
+
+    let model_cfg = ModelConfig {
+        n_layers: 2,
+        d_model: 32,
+        n_heads: 2,
+        exp_ratio: 2,
+        vocab_size: tokenizer.vocab_size(),
+        seq_len: 32,
+    };
+    let mut model = Gpt::new(model_cfg, &mut rng);
+    let mut opt = AdamW::new(AdamWConfig::default(), model.param_count());
+    let schedule = LrSchedule::new(ScheduleKind::Cosine, 3e-3, 3e-4, 10, 400);
+    let mut stream = ShardStream::new(shards[0].clone(), rng.split("train"));
+    let mut acts = Activations::new(&model_cfg, 8, 32);
+    let mut grads = model.grad_buffer();
+    let mut batch = Batch::zeros(8, 32);
+
+    use photon_data::TokenStream;
+    let mut eval_stream = EvalStream::new(&val, 32);
+    let before = evaluate_perplexity(&model, &mut eval_stream, 16).perplexity;
+    for step in 0..120u64 {
+        stream.next_batch(&mut batch);
+        grads.iter_mut().for_each(|g| *g = 0.0);
+        model.forward(&batch.inputs, Some(&batch.targets), &mut acts);
+        model.backward(&batch.inputs, &batch.targets, &mut acts, &mut grads);
+        photon_optim::clip_global_norm(&mut grads, 1.0);
+        opt.step(model.params_mut(), &grads, schedule.lr_at(step));
+    }
+    let after = evaluate_perplexity(&model, &mut eval_stream, 16).perplexity;
+    assert!(
+        after < before * 0.5,
+        "BPE pipeline failed to learn: {before} -> {after}"
+    );
+}
+
+/// Real model parameters survive the complete Link round trip:
+/// compress -> frame -> decode -> decompress, bit for bit.
+#[test]
+fn model_params_roundtrip_the_wire() {
+    let mut rng = SeedStream::new(3);
+    let model = Gpt::new(ModelConfig::proxy_tiny(), &mut rng);
+    let params = model.params().to_vec();
+
+    // Raw compression round trip.
+    let compressed = compress_f32s(&params);
+    assert_eq!(decompress_f32s(compressed.clone()).unwrap(), params);
+
+    // Full message round trip, both compressed and plain.
+    for compress in [false, true] {
+        let msg = Message::ModelBroadcast {
+            round: 9,
+            params: params.clone(),
+        };
+        let frame = msg.to_frame(compress);
+        match Message::from_frame(frame).unwrap() {
+            Message::ModelBroadcast { round, params: got } => {
+                assert_eq!(round, 9);
+                assert_eq!(got, params);
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+}
+
+/// Trained-model payloads and their pseudo-gradients frame correctly at
+/// federation scale, and corruption anywhere in the frame is caught.
+#[test]
+fn corruption_is_caught_across_the_frame() {
+    let mut rng = SeedStream::new(5);
+    let model = Gpt::new(ModelConfig::proxy_tiny(), &mut rng);
+    let msg = Message::ClientResult {
+        round: 1,
+        client_id: 3,
+        delta: model.params().iter().map(|p| p * 1e-2).collect(),
+        weight: 1.0,
+        metrics: Default::default(),
+    };
+    let frame = msg.to_frame(true).to_vec();
+    let mut corrupted_detected = 0;
+    let step = (frame.len() / 23).max(1);
+    let mut positions = Vec::new();
+    let mut i = 24; // skip the header magic/version (tested elsewhere)
+    while i < frame.len() {
+        positions.push(i);
+        i += step;
+    }
+    for &pos in &positions {
+        let mut bad = frame.clone();
+        bad[pos] ^= 0x10;
+        if Message::from_frame(bytes::Bytes::from(bad)).is_err() {
+            corrupted_detected += 1;
+        }
+    }
+    assert_eq!(
+        corrupted_detected,
+        positions.len(),
+        "some corruptions slipped through"
+    );
+}
+
+/// The cluster heuristics agree with the nn crate's memory accounting for
+/// every paper model on the paper's actual hardware inventory.
+#[test]
+fn strategy_selection_is_consistent_with_memory_model() {
+    use photon_cluster::{autotune_batch, paper_silos, select_strategy, training_bytes};
+    for (label, cfg) in [
+        ("125M", ModelConfig::paper_125m()),
+        ("1B", ModelConfig::paper_1_3b()),
+        ("3B", ModelConfig::paper_3b()),
+        ("7B", ModelConfig::paper_7b()),
+    ] {
+        for silo in paper_silos(label) {
+            let strategy = select_strategy(&cfg, &silo);
+            let tune = autotune_batch(&cfg, silo.gpu(), strategy, 64);
+            assert!(
+                tune.is_viable(),
+                "{label} on {} has no viable batch",
+                silo.name
+            );
+            // The tuned configuration must actually fit.
+            let shard_ways = match strategy {
+                photon_cluster::TrainingStrategy::Fsdp { n_gpus } => n_gpus,
+                _ => 1,
+            };
+            let mem = training_bytes(&cfg, tune.per_gpu_batch, shard_ways, tune.activation_ckpt);
+            assert!(
+                mem.total() <= silo.gpu().vram_bytes(),
+                "{label} on {}: {} bytes over budget",
+                silo.name,
+                mem.total()
+            );
+        }
+    }
+}

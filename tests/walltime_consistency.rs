@@ -1,0 +1,107 @@
+//! Consistency between the analytic Appendix-B.1 wall-time model, the real
+//! threaded collectives, and the Table 2 reproduction inputs.
+
+use photon_cluster::{PaperModel, Region, RegionGraph, ThroughputSetting};
+use photon_comms::{
+    bytes_on_wire, comm_time_seconds, ring_allreduce_group, Topology, WallTimeModel,
+};
+
+/// The threaded ring-allreduce moves exactly the bytes the analytic model
+/// charges, for several group sizes.
+#[test]
+fn threaded_rar_matches_analytic_volume() {
+    for n in [2usize, 4, 8] {
+        let len = 4096usize; // divisible by all group sizes
+        let workers = ring_allreduce_group(n);
+        let handles: Vec<_> = workers
+            .into_iter()
+            .map(|mut w| {
+                std::thread::spawn(move || {
+                    let mut data = vec![1.0f32; len];
+                    w.allreduce_sum(&mut data);
+                    w.bytes_sent()
+                })
+            })
+            .collect();
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, bytes_on_wire(Topology::RingAllReduce, n, len * 4));
+    }
+}
+
+/// Table 2 reproduction: with the paper's measured throughputs and compute
+/// budgets, the analytic model reproduces the paper's communication hours
+/// and speedups for every billion-scale row.
+#[test]
+fn table2_comm_times_reproduce() {
+    // (model, K silos, fed compute h, cen compute h, paper fed comm h,
+    //  paper cen comm h)
+    let rows = [
+        (PaperModel::B1_3, 8usize, 18.0, 6.5, 0.02, 20.2),
+        (PaperModel::B3, 4, 25.1, 16.1, 0.05, 40.48),
+        (PaperModel::B7, 4, 95.5, 50.7, 0.1, 97.2),
+    ];
+    let bw_mbps = 1250.0; // 10 Gbps
+    for (model, k, fed_h, cen_h, paper_fed_comm, paper_cen_comm) in rows {
+        let s_mb = model.config().param_bytes(2) as f64 / 1e6;
+        let rar = comm_time_seconds(Topology::RingAllReduce, k, s_mb, bw_mbps);
+
+        // Federated: one aggregation per tau = 500 steps.
+        let fed_steps = fed_h * 3600.0 * model.nu(ThroughputSetting::Federated);
+        let fed_rounds = fed_steps / 500.0;
+        let fed_comm_h = fed_rounds * rar / 3600.0;
+        assert!(
+            (fed_comm_h - paper_fed_comm).abs() < paper_fed_comm * 0.5 + 0.01,
+            "{model}: fed comm {fed_comm_h:.3}h vs paper {paper_fed_comm}h"
+        );
+
+        // Centralized: one gradient aggregation per step.
+        let cen_steps = cen_h * 3600.0 * model.nu(ThroughputSetting::Centralized);
+        let cen_comm_h = cen_steps * rar / 3600.0;
+        assert!(
+            (cen_comm_h - paper_cen_comm).abs() < paper_cen_comm * 0.25,
+            "{model}: cen comm {cen_comm_h:.1}h vs paper {paper_cen_comm}h"
+        );
+
+        // The headline claim: federated total wall time beats centralized.
+        let fed_wall = fed_h + fed_comm_h;
+        let cen_wall = cen_h + cen_comm_h;
+        assert!(
+            fed_wall < cen_wall,
+            "{model}: fed {fed_wall:.1}h !< cen {cen_wall:.1}h"
+        );
+    }
+}
+
+/// Fig. 2 semantics: the ring topology is gated by Maharashtra–Quebec, the
+/// parameter server by England's slowest spoke, and under those real
+/// bandwidths RAR still ends up fastest for billion-scale payloads.
+#[test]
+fn region_bottlenecks_drive_topology_choice() {
+    let graph = RegionGraph::paper();
+    let ring = Region::all();
+    let k = ring.len();
+    let s_mb = PaperModel::B7.config().param_bytes(2) as f64 / 1e6;
+
+    let rar_bw = graph.slowest_ring_link(&ring) * 125.0; // Gbps -> MB/s
+    let ps_bw = graph.slowest_star_link(Region::England, &ring) * 125.0;
+
+    let rar = comm_time_seconds(Topology::RingAllReduce, k, s_mb, rar_bw);
+    let ps = comm_time_seconds(Topology::ParameterServer, k, s_mb, ps_bw);
+    assert!(rar < ps, "rar {rar:.0}s !< ps {ps:.0}s");
+}
+
+/// Communication percentage falls as local work grows — the Figs. 9–10
+/// relationship, via the model.
+#[test]
+fn more_local_steps_reduce_comm_fraction() {
+    let s_mb = PaperModel::M125.config().param_bytes(2) as f64 / 1e6;
+    let fractions: Vec<f64> = [64u64, 128, 512]
+        .iter()
+        .map(|&tau| {
+            WallTimeModel::new(2.0, tau, s_mb, 1250.0, Topology::ParameterServer)
+                .round_time(16)
+                .comm_fraction()
+        })
+        .collect();
+    assert!(fractions[0] > fractions[1] && fractions[1] > fractions[2]);
+}
