@@ -49,7 +49,11 @@ fn main() {
                 format!("{:>22}", "diverged")
             }
         };
-        rep.line(&format!("{lr:>9.4} | {} | {}", show(cent_ppl), show(fed_ppl)));
+        rep.line(&format!(
+            "{lr:>9.4} | {} | {}",
+            show(cent_ppl),
+            show(fed_ppl)
+        ));
         if cent_ppl < best_cent.0 {
             best_cent = (cent_ppl, lr);
         }

@@ -19,6 +19,10 @@ use photon_comms::{Topology, WallTimeModel};
 use photon_nn::ModelConfig;
 use photon_optim::LrSchedule;
 
+/// One measurement row: (tau, paper tau, round cap, clients, rounds-to-target
+/// for each of the two perplexity targets).
+type Measurement = (u64, u64, u64, usize, [Option<u64>; 2]);
+
 fn main() {
     let mut rep = Report::new("fig5_compute_time", "Fig. 5: compute-time trade-off");
     let taus: [(u64, u64, u64); 3] = [(8, 64, 130), (16, 128, 100), (64, 512, 30)];
@@ -28,7 +32,7 @@ fn main() {
     let s_mb = ModelConfig::paper_125m().param_bytes(2) as f64 / 1e6;
 
     // Measure once per (tau, N).
-    let mut measured: Vec<(u64, u64, u64, usize, [Option<u64>; 2])> = Vec::new();
+    let mut measured: Vec<Measurement> = Vec::new();
     for &(tau, tau_paper, cap) in &taus {
         for &n in &clients {
             let mut run = FedRun::tiny(n, tau, b_l);
@@ -49,7 +53,9 @@ fn main() {
     }
 
     for (ti, (target_name, target)) in targets.iter().enumerate() {
-        rep.line(&format!("\n=== target perplexity {target} ({target_name}) ==="));
+        rep.line(&format!(
+            "\n=== target perplexity {target} ({target_name}) ==="
+        ));
         rep.line(&format!(
             "{:>10} {:>5} {:>5} | {:>7} {:>14} {:>14}",
             "tau(paper)", "N", "B_g", "rounds", "wall time [s]", "of which comm"

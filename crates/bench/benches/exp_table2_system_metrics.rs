@@ -32,7 +32,10 @@ struct PaperRow {
 }
 
 fn main() {
-    let mut rep = Report::new("table2_system_metrics", "Table 2: system metrics (Cen vs Fed)");
+    let mut rep = Report::new(
+        "table2_system_metrics",
+        "Table 2: system metrics (Cen vs Fed)",
+    );
     let rows = [
         Row {
             model: PaperModel::B1_3,
@@ -104,25 +107,59 @@ fn main() {
         let cen_steps = row.cen_compute_h * 3600.0 * cen_nu;
         let cen_comm_h = cen_steps * rar / 3600.0;
         let cen_wall = row.cen_compute_h + cen_comm_h;
-        let cen_tps = tokens_per_second(&cfg, cen_nu, row.model.batch_size(ThroughputSetting::Centralized));
-        let cen_mfu = mfu(&cfg, cen_tps, row.gpus_total, GpuSpec::h100().peak_tflops_bf16);
+        let cen_tps = tokens_per_second(
+            &cfg,
+            cen_nu,
+            row.model.batch_size(ThroughputSetting::Centralized),
+        );
+        let cen_mfu = mfu(
+            &cfg,
+            cen_tps,
+            row.gpus_total,
+            GpuSpec::h100().peak_tflops_bf16,
+        );
 
         // Federated: one aggregation per tau local steps.
         let fed_nu = row.model.nu(ThroughputSetting::Federated);
         let fed_steps = row.fed_compute_h * 3600.0 * fed_nu;
         let fed_comm_h = (fed_steps / tau) * rar / 3600.0;
         let fed_wall = row.fed_compute_h + fed_comm_h;
-        let fed_tps = tokens_per_second(&cfg, fed_nu, row.model.batch_size(ThroughputSetting::Federated));
-        let fed_mfu = mfu(&cfg, fed_tps, row.gpus_total / row.k_silos, GpuSpec::h100().peak_tflops_bf16);
+        let fed_tps = tokens_per_second(
+            &cfg,
+            fed_nu,
+            row.model.batch_size(ThroughputSetting::Federated),
+        );
+        let fed_mfu = mfu(
+            &cfg,
+            fed_tps,
+            row.gpus_total / row.k_silos,
+            GpuSpec::h100().peak_tflops_bf16,
+        );
 
         let p = &row.paper;
         rep.line(&format!(
             "Cen-{:<5} {:>6.1} ({:>5.1}) {:>6.1} ({:>5.1}) {:>6.2} ({:>5.2}) {:>4} (p) {:>9.3}",
-            row.model.label(), cen_wall, p.cen_wall, row.cen_compute_h, row.cen_compute_h, cen_comm_h, p.cen_comm, p.cen_util, cen_mfu
+            row.model.label(),
+            cen_wall,
+            p.cen_wall,
+            row.cen_compute_h,
+            row.cen_compute_h,
+            cen_comm_h,
+            p.cen_comm,
+            p.cen_util,
+            cen_mfu
         ));
         rep.line(&format!(
             "Fed-{:<5} {:>6.1} ({:>5.1}) {:>6.1} ({:>5.1}) {:>6.2} ({:>5.2}) {:>4} (p) {:>9.3}",
-            row.model.label(), fed_wall, p.fed_wall, row.fed_compute_h, row.fed_compute_h, fed_comm_h, p.fed_comm, p.fed_util, fed_mfu
+            row.model.label(),
+            fed_wall,
+            p.fed_wall,
+            row.fed_compute_h,
+            row.fed_compute_h,
+            fed_comm_h,
+            p.fed_comm,
+            p.fed_util,
+            fed_mfu
         ));
         rep.line(&format!(
             "          fed/cen wall: {:.2}x (paper {:.2}x) | comm ratio: {:.4}x (paper {:.3}x) | paper MFU cen/fed: {:.3}/{:.3}",

@@ -103,7 +103,11 @@ fn main() {
     }
     rep.line("");
     for (i, (label, _)) in all_scores.iter().enumerate() {
-        rep.line(&format!("{label:<18} wins {:>2} of {}", wins[i], benchmarks.len()));
+        rep.line(&format!(
+            "{label:<18} wins {:>2} of {}",
+            wins[i],
+            benchmarks.len()
+        ));
     }
     rep.line("\npaper shape: downstream accuracy scales with model size; the");
     rep.line("largest model wins most benchmark comparisons (paper: 10 of 14).");

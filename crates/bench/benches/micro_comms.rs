@@ -2,9 +2,7 @@
 //! compression, Link framing, aggregation and the threaded ring-allreduce.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use photon_comms::{
-    compress_f32s, decompress_f32s, mask_update, ring_allreduce_group, Message,
-};
+use photon_comms::{compress_f32s, decompress_f32s, mask_update, ring_allreduce_group, Message};
 use photon_fedopt::{aggregate_deltas, ClientUpdate};
 use photon_tensor::SeedStream;
 use std::hint::black_box;
@@ -19,7 +17,9 @@ fn payload() -> Vec<f32> {
 
 fn bench_compression(c: &mut Criterion) {
     let mut group = c.benchmark_group("compression");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     let xs = payload();
     group.throughput(criterion::Throughput::Bytes((PAYLOAD * 4) as u64));
     group.bench_function("compress_64k_f32", |b| {
@@ -34,7 +34,9 @@ fn bench_compression(c: &mut Criterion) {
 
 fn bench_framing(c: &mut Criterion) {
     let mut group = c.benchmark_group("framing");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     let msg = Message::ModelBroadcast {
         round: 1,
         params: payload(),
@@ -51,7 +53,9 @@ fn bench_framing(c: &mut Criterion) {
 
 fn bench_aggregation(c: &mut Criterion) {
     let mut group = c.benchmark_group("aggregation");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for k in [4usize, 16] {
         let updates: Vec<ClientUpdate> = (0..k)
             .map(|i| {
@@ -76,7 +80,9 @@ fn bench_aggregation(c: &mut Criterion) {
 
 fn bench_ring_allreduce(c: &mut Criterion) {
     let mut group = c.benchmark_group("ring_allreduce");
-    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
     for n in [2usize, 4] {
         group.bench_function(format!("{n}workers_64k"), |b| {
             b.iter(|| {

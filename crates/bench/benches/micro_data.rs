@@ -2,8 +2,8 @@
 //! generation, tokenization, sharding and stream batching.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use photon_data::{partition_iid, Batch, DomainKind, ShardStream, SyntheticDomain, TokenCorpus};
 use photon_data::TokenStream;
+use photon_data::{partition_iid, Batch, DomainKind, ShardStream, SyntheticDomain, TokenCorpus};
 use photon_tensor::SeedStream;
 use photon_tokenizer::{BpeTokenizer, BpeTrainConfig, ByteTokenizer, Tokenizer};
 use std::hint::black_box;
@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench_domain_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("domain_generation");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     let mut rng = SeedStream::new(1);
     let domain = SyntheticDomain::preset(DomainKind::Web, &mut rng);
     group.throughput(Throughput::Bytes(16_384));
@@ -23,7 +25,9 @@ fn bench_domain_generation(c: &mut Criterion) {
 
 fn bench_tokenization(c: &mut Criterion) {
     let mut group = c.benchmark_group("tokenization");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     let mut rng = SeedStream::new(2);
     let domain = SyntheticDomain::preset(DomainKind::Wiki, &mut rng);
     let text = domain.generate(16_384, &mut rng);
@@ -49,7 +53,9 @@ fn bench_tokenization(c: &mut Criterion) {
 
 fn bench_sharding_and_streams(c: &mut Criterion) {
     let mut group = c.benchmark_group("data_pipeline");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     let corpus = TokenCorpus::new("bench", (0..262_144u32).map(|i| i % 257).collect());
     group.bench_function("partition_iid_256k_into_16", |b| {
         b.iter(|| {

@@ -8,40 +8,163 @@ use photon_tensor::{ops, SeedStream};
 use std::hint::black_box;
 use std::time::Duration;
 
+/// The pre-pool seed GEMM (ipj loop with value-dependent zero skips), kept
+/// here verbatim as the `baseline-*` reference so BENCH_kernels.json records
+/// baseline-vs-after from a single run on the same machine.
+fn seed_gemm(spec: ops::Gemm, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let (m, k, n) = (spec.m, spec.k, spec.n);
+    let alpha = spec.alpha;
+    c[..m * n].iter_mut().for_each(|v| *v = 0.0);
+    if !spec.trans_a && !spec.trans_b {
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (p, &apv) in a_row.iter().enumerate() {
+                if apv == 0.0 {
+                    continue;
+                }
+                let s = alpha * apv;
+                let b_row = &b[p * n..(p + 1) * n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += s * bv;
+                }
+            }
+        }
+    } else if spec.trans_a && !spec.trans_b {
+        for p in 0..k {
+            let a_row = &a[p * m..(p + 1) * m];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (i, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let s = alpha * av;
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += s * bv;
+                }
+            }
+        }
+    } else if !spec.trans_a && spec.trans_b {
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (j, cv) in c_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                *cv += alpha * acc;
+            }
+        }
+    } else {
+        unreachable!("baseline bench only covers nn/ta/tb variants");
+    }
+}
+
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     let mut rng = SeedStream::new(1);
     for &(m, k, n) in &[(64usize, 64usize, 64usize), (256, 256, 256)] {
         let a: Vec<f32> = (0..m * k).map(|_| rng.next_normal()).collect();
         let b: Vec<f32> = (0..k * n).map(|_| rng.next_normal()).collect();
         let mut out = vec![0.0f32; m * n];
+        for (tag, spec) in [
+            ("", ops::Gemm::new(m, k, n)),
+            ("-ta", ops::Gemm::new(m, k, n).transpose_a()),
+            ("-tb", ops::Gemm::new(m, k, n).transpose_b()),
+        ] {
+            group.bench_function(format!("{m}x{k}x{n}{tag}-baseline"), |bch| {
+                bch.iter(|| seed_gemm(spec, black_box(&a), black_box(&b), &mut out));
+            });
+        }
         group.bench_function(format!("{m}x{k}x{n}"), |bch| {
             bch.iter(|| {
-                ops::gemm(ops::Gemm::new(m, k, n), black_box(&a), black_box(&b), &mut out)
+                ops::gemm(
+                    ops::Gemm::new(m, k, n),
+                    black_box(&a),
+                    black_box(&b),
+                    &mut out,
+                )
             });
         });
         group.bench_function(format!("{m}x{k}x{n}-par4"), |bch| {
             bch.iter(|| {
-                ops::par_gemm(ops::Gemm::new(m, k, n), black_box(&a), black_box(&b), &mut out, 4)
+                ops::par_gemm(
+                    ops::Gemm::new(m, k, n),
+                    black_box(&a),
+                    black_box(&b),
+                    &mut out,
+                    4,
+                )
             });
         });
+        // Transposed variants as the training kernels use them: trans_b is
+        // the matmul forward layout, trans_a is the dweight (split-k) path.
+        for (tag, spec) in [
+            ("ta", ops::Gemm::new(m, k, n).transpose_a()),
+            ("tb", ops::Gemm::new(m, k, n).transpose_b()),
+        ] {
+            group.bench_function(format!("{m}x{k}x{n}-{tag}"), |bch| {
+                bch.iter(|| ops::gemm(spec, black_box(&a), black_box(&b), &mut out));
+            });
+            group.bench_function(format!("{m}x{k}x{n}-{tag}-par4"), |bch| {
+                bch.iter(|| ops::par_gemm(spec, black_box(&a), black_box(&b), &mut out, 4));
+            });
+        }
     }
     group.finish();
 }
 
 fn bench_attention(c: &mut Criterion) {
     let mut group = c.benchmark_group("attention");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     let (b, t, ch, nh) = (4usize, 64usize, 64usize, 4usize);
     let mut rng = SeedStream::new(2);
-    let inp: Vec<f32> = (0..b * t * 3 * ch).map(|_| rng.next_normal() * 0.1).collect();
+    let inp: Vec<f32> = (0..b * t * 3 * ch)
+        .map(|_| rng.next_normal() * 0.1)
+        .collect();
     let mut out = vec![0.0f32; b * t * ch];
     let mut preatt = vec![0.0f32; b * nh * t * t];
     let mut att = vec![0.0f32; b * nh * t * t];
     group.bench_function("forward_b4_t64_c64", |bch| {
         bch.iter(|| {
-            kernels::attention_forward(&mut out, &mut preatt, &mut att, black_box(&inp), b, t, ch, nh, true)
+            ops::pool::with_parallelism(1, || {
+                kernels::attention_forward(
+                    &mut out,
+                    &mut preatt,
+                    &mut att,
+                    black_box(&inp),
+                    b,
+                    t,
+                    ch,
+                    nh,
+                    true,
+                )
+            })
+        });
+    });
+    group.bench_function("forward_b4_t64_c64-par4", |bch| {
+        bch.iter(|| {
+            ops::pool::with_parallelism(4, || {
+                kernels::attention_forward(
+                    &mut out,
+                    &mut preatt,
+                    &mut att,
+                    black_box(&inp),
+                    b,
+                    t,
+                    ch,
+                    nh,
+                    true,
+                )
+            })
         });
     });
     kernels::attention_forward(&mut out, &mut preatt, &mut att, &inp, b, t, ch, nh, true);
@@ -51,9 +174,38 @@ fn bench_attention(c: &mut Criterion) {
     let mut datt = vec![0.0f32; att.len()];
     group.bench_function("backward_b4_t64_c64", |bch| {
         bch.iter(|| {
-            kernels::attention_backward(
-                &mut dinp, &mut dpre, &mut datt, black_box(&dout), &inp, &att, b, t, ch, nh,
-            )
+            ops::pool::with_parallelism(1, || {
+                kernels::attention_backward(
+                    &mut dinp,
+                    &mut dpre,
+                    &mut datt,
+                    black_box(&dout),
+                    &inp,
+                    &att,
+                    b,
+                    t,
+                    ch,
+                    nh,
+                )
+            })
+        });
+    });
+    group.bench_function("backward_b4_t64_c64-par4", |bch| {
+        bch.iter(|| {
+            ops::pool::with_parallelism(4, || {
+                kernels::attention_backward(
+                    &mut dinp,
+                    &mut dpre,
+                    &mut datt,
+                    black_box(&dout),
+                    &inp,
+                    &att,
+                    b,
+                    t,
+                    ch,
+                    nh,
+                )
+            })
         });
     });
     group.finish();
@@ -61,7 +213,9 @@ fn bench_attention(c: &mut Criterion) {
 
 fn bench_train_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("train_step");
-    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
     for (name, cfg) in [
         ("proxy_tiny", ModelConfig::proxy_tiny()),
         ("proxy_small", ModelConfig::proxy_small()),

@@ -21,7 +21,7 @@ use std::path::PathBuf;
 
 /// Whether the suite runs at the enlarged `PHOTON_FULL=1` scale.
 pub fn full_scale() -> bool {
-    std::env::var("PHOTON_FULL").map_or(false, |v| v == "1")
+    std::env::var("PHOTON_FULL").is_ok_and(|v| v == "1")
 }
 
 /// A printed-and-saved experiment report.

@@ -69,11 +69,25 @@ impl Args {
         }
     }
 
+    /// Parsed optional option: `Ok(None)` when the option is absent, so
+    /// callers can distinguish "not given" from an explicit value.
+    ///
+    /// # Errors
+    /// Returns a message naming the option on parse failure.
+    pub fn get_opt_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value for --{key}: {v:?}")),
+        }
+    }
+
     /// Whether a boolean flag was passed.
     pub fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
     }
-
 }
 
 #[cfg(test)]
@@ -102,6 +116,15 @@ mod tests {
     }
 
     #[test]
+    fn optional_parsed_distinguishes_absent() {
+        let a = parse("train --threads 0").unwrap();
+        assert_eq!(a.get_opt_parsed::<usize>("threads").unwrap(), Some(0));
+        assert_eq!(a.get_opt_parsed::<usize>("rounds").unwrap(), None);
+        let bad = parse("train --threads many").unwrap();
+        assert!(bad.get_opt_parsed::<usize>("threads").is_err());
+    }
+
+    #[test]
     fn trailing_flag() {
         let a = parse("train --secure").unwrap();
         assert!(a.flag("secure"));
@@ -116,5 +139,4 @@ mod tests {
             .is_err());
         assert!(parse("train oops").is_err());
     }
-
 }

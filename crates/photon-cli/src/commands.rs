@@ -29,6 +29,7 @@ OPTIONS:
     --tokens-per-client N             corpus tokens per client [20000]
     --seed N                          root seed                [42]
     --eval-every N                    eval cadence in rounds   [1]
+    --threads N                       kernel worker threads (0 = serial) [auto]
     --checkpoint-dir DIR              save (and resume) here
     --compress                        lossless Link compression
     --secure                          secure aggregation
@@ -40,6 +41,14 @@ pub fn train(args: &Args, resume: bool) -> Result<(), String> {
         println!("{TRAIN_HELP}");
         return Ok(());
     }
+    // Resolve the kernel worker budget before any compute runs. Absent
+    // means auto (PHOTON_THREADS env, else the machine's parallelism);
+    // an explicit 0 forces the serial paths.
+    if let Some(t) = args.get_opt_parsed::<usize>("threads")? {
+        photon_tensor::ops::pool::set_max_threads(if t == 0 { 1 } else { t });
+    }
+    let threads = photon_tensor::ops::pool::max_threads();
+
     let ckpt_dir = args.get("checkpoint-dir").map(PathBuf::from);
     let rounds: u64 = args.get_parsed("rounds", 12)?;
     let eval_every: u64 = args.get_parsed("eval-every", 1)?;
@@ -55,11 +64,7 @@ pub fn train(args: &Args, resume: bool) -> Result<(), String> {
         fed.aggregator
             .restore(manifest.round, params)
             .map_err(|e| e.to_string())?;
-        println!(
-            "resumed from {} at round {}",
-            dir.display(),
-            manifest.round
-        );
+        println!("resumed from {} at round {}", dir.display(), manifest.round);
         (fed, val, cfg)
     } else {
         let cfg = config_from_args(args)?;
@@ -67,8 +72,9 @@ pub fn train(args: &Args, resume: bool) -> Result<(), String> {
         (fed, val, cfg)
     };
 
+    fed.aggregator.telemetry().record_compute_threads(threads);
     println!(
-        "training {} | {} clients | tau = {} | B_l = {} | B_g = {} | {}",
+        "training {} | {} clients | tau = {} | B_l = {} | B_g = {} | {} | {} worker thread(s)",
         cfg.model,
         cfg.population,
         cfg.local_steps,
@@ -79,7 +85,8 @@ pub fn train(args: &Args, resume: bool) -> Result<(), String> {
             ServerOptKind::FedMom { .. } => "fedmom",
             ServerOptKind::FedAdam { .. } => "fedadam",
             ServerOptKind::DiLoCo { .. } => "diloco",
-        }
+        },
+        threads
     );
 
     let opts = RunOptions {
@@ -167,7 +174,11 @@ fn parse_model(name: &str) -> Result<ModelConfig, String> {
         "small" => ModelConfig::proxy_small(),
         "medium" => ModelConfig::proxy_medium(),
         "large" => ModelConfig::proxy_large(),
-        other => return Err(format!("unknown --model {other:?} (tiny|small|medium|large)")),
+        other => {
+            return Err(format!(
+                "unknown --model {other:?} (tiny|small|medium|large)"
+            ))
+        }
     })
 }
 
@@ -209,7 +220,10 @@ pub fn plan(args: &Args) -> Result<(), String> {
     let graph = RegionGraph::paper();
     let regions: Vec<Region> = silos.iter().map(|s| s.region).collect();
     let s_mb = model.param_bytes(2) as f64 / 1e6;
-    println!("\naggregation over the Fig. 2 bandwidths ({:.0} MB payload):", s_mb);
+    println!(
+        "\naggregation over the Fig. 2 bandwidths ({:.0} MB payload):",
+        s_mb
+    );
     for topology in Topology::all() {
         let gbps = match topology {
             Topology::ParameterServer => graph.slowest_star_link(Region::England, &regions),

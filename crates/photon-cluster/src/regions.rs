@@ -137,7 +137,9 @@ impl RegionGraph {
 /// Panics on an unknown label.
 pub fn paper_silos(model_size: &str) -> Vec<SiloSpec> {
     let h = GpuSpec::h100();
-    let silo = |name: &str, n_gpus: usize, region: Region| SiloSpec::single_node(name, n_gpus, h.clone(), region);
+    let silo = |name: &str, n_gpus: usize, region: Region| {
+        SiloSpec::single_node(name, n_gpus, h.clone(), region)
+    };
     match model_size {
         "7B" => vec![
             silo("utah-0", 8, Region::Utah),
@@ -164,9 +166,8 @@ pub fn paper_silos(model_size: &str) -> Vec<SiloSpec> {
         "125M" => Region::all()
             .iter()
             .flat_map(|&r| {
-                (0..2).map(move |i| {
-                    SiloSpec::single_node(format!("{r}-{i}"), 1, GpuSpec::h100(), r)
-                })
+                (0..2)
+                    .map(move |i| SiloSpec::single_node(format!("{r}-{i}"), 1, GpuSpec::h100(), r))
             })
             .collect(),
         other => panic!("unknown Table 1 row: {other}"),
@@ -207,7 +208,10 @@ mod tests {
         let g = RegionGraph::paper();
         let spokes = Region::all();
         let slowest = g.slowest_star_link(Region::England, &spokes);
-        assert_eq!(slowest, g.bandwidth_gbps(Region::England, Region::Maharashtra));
+        assert_eq!(
+            slowest,
+            g.bandwidth_gbps(Region::England, Region::Maharashtra)
+        );
     }
 
     #[test]
@@ -219,9 +223,27 @@ mod tests {
 
     #[test]
     fn table1_inventories() {
-        assert_eq!(paper_silos("7B").iter().map(SiloSpec::total_gpus).sum::<usize>(), 32);
-        assert_eq!(paper_silos("3B").iter().map(SiloSpec::total_gpus).sum::<usize>(), 16);
-        assert_eq!(paper_silos("1B").iter().map(SiloSpec::total_gpus).sum::<usize>(), 22);
+        assert_eq!(
+            paper_silos("7B")
+                .iter()
+                .map(SiloSpec::total_gpus)
+                .sum::<usize>(),
+            32
+        );
+        assert_eq!(
+            paper_silos("3B")
+                .iter()
+                .map(SiloSpec::total_gpus)
+                .sum::<usize>(),
+            16
+        );
+        assert_eq!(
+            paper_silos("1B")
+                .iter()
+                .map(SiloSpec::total_gpus)
+                .sum::<usize>(),
+            22
+        );
         let small = paper_silos("125M");
         assert_eq!(small.len(), 10);
         assert!(small.iter().all(|s| s.total_gpus() == 1));

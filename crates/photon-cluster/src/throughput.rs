@@ -28,7 +28,12 @@ pub enum ThroughputSetting {
 impl PaperModel {
     /// All evaluated sizes.
     pub fn all() -> [PaperModel; 4] {
-        [PaperModel::M125, PaperModel::B1_3, PaperModel::B3, PaperModel::B7]
+        [
+            PaperModel::M125,
+            PaperModel::B1_3,
+            PaperModel::B3,
+            PaperModel::B7,
+        ]
     }
 
     /// Table 1 / Table 2 label.

@@ -9,16 +9,21 @@ use photon_nn::ModelConfig;
 use proptest::prelude::*;
 
 fn arb_model() -> impl Strategy<Value = ModelConfig> {
-    (1usize..16, 1usize..8, 1usize..5, 1000usize..60_000, 7usize..12).prop_map(
-        |(n_layers, heads, exp_ratio, vocab, seq_pow)| ModelConfig {
+    (
+        1usize..16,
+        1usize..8,
+        1usize..5,
+        1000usize..60_000,
+        7usize..12,
+    )
+        .prop_map(|(n_layers, heads, exp_ratio, vocab, seq_pow)| ModelConfig {
             n_layers,
             d_model: heads * 64,
             n_heads: heads,
             exp_ratio,
             vocab_size: vocab,
             seq_len: 1 << seq_pow,
-        },
-    )
+        })
 }
 
 fn arb_gpu() -> impl Strategy<Value = GpuSpec> {

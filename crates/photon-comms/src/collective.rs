@@ -54,8 +54,7 @@ pub fn ring_allreduce_group(n: usize) -> Vec<RingWorker> {
     // the receiver fed by worker (k-1+n)%n, i.e. receiver (k-1+n)%n.
     // Rotate the receivers by one position.
     if n > 1 {
-        let mut rxs: Vec<Receiver<Vec<f32>>> =
-            workers.iter().map(|w| w.rx_prev.clone()).collect();
+        let mut rxs: Vec<Receiver<Vec<f32>>> = workers.iter().map(|w| w.rx_prev.clone()).collect();
         rxs.rotate_right(1);
         for (w, rx) in workers.iter_mut().zip(rxs) {
             w.rx_prev = rx;
@@ -186,8 +185,8 @@ mod tests {
             let (outs, _) = run_group(n, len, false);
             let mut expect = vec![0.0f32; len];
             for r in 0..n {
-                for i in 0..len {
-                    expect[i] += (r * len + i) as f32 * 0.25;
+                for (i, e) in expect.iter_mut().enumerate() {
+                    *e += (r * len + i) as f32 * 0.25;
                 }
             }
             for (r, out) in outs.iter().enumerate() {
@@ -203,8 +202,8 @@ mod tests {
         let (outs, _) = run_group(4, 8, true);
         let mut expect = vec![0.0f32; 8];
         for r in 0..4 {
-            for i in 0..8 {
-                expect[i] += (r * 8 + i) as f32 * 0.25;
+            for (i, e) in expect.iter_mut().enumerate() {
+                *e += (r * 8 + i) as f32 * 0.25;
             }
         }
         for e in expect.iter_mut() {

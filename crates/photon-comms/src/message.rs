@@ -154,8 +154,7 @@ fn get_floats(body: &mut Bytes, compressed: bool) -> Result<Vec<f32>, WireError>
         body.advance(len);
         decompress_f32s(c).map_err(WireError::BadCompression)
     } else {
-        photon_tensor::read_f32_slice(body)
-            .map_err(|e| WireError::BadCompression(e.to_string()))
+        photon_tensor::read_f32_slice(body).map_err(|e| WireError::BadCompression(e.to_string()))
     }
 }
 

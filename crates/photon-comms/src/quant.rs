@@ -93,7 +93,12 @@ mod tests {
     fn compresses_4x() {
         let xs = vec![0.5f32; 10_000];
         let q = quantize_i8(&xs);
-        assert!(q.len() < xs.len() * 4 / 3, "{} vs {}", q.len(), xs.len() * 4);
+        assert!(
+            q.len() < xs.len() * 4 / 3,
+            "{} vs {}",
+            q.len(),
+            xs.len() * 4
+        );
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub fn pairwise_seed(round_key: u64, a: u32, b: u32) -> u64 {
     let (lo, hi) = if a < b { (a, b) } else { (b, a) };
     let mut h = round_key ^ 0x9E37_79B9_7F4A_7C15;
     for v in [lo as u64, hi as u64] {
-        h ^= v.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= v
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
         h = h.rotate_left(31).wrapping_mul(0x94D0_49BB_1331_11EB);
     }
     h

@@ -16,10 +16,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 /// # Panics
 /// Panics if `density` is outside `(0, 1]`.
 pub fn sparsify_top_k(xs: &[f32], density: f64) -> Bytes {
-    assert!(
-        density > 0.0 && density <= 1.0,
-        "density must be in (0, 1]"
-    );
+    assert!(density > 0.0 && density <= 1.0, "density must be in (0, 1]");
     let keep = ((xs.len() as f64 * density).ceil() as usize).clamp(1, xs.len().max(1));
     // Threshold via a sorted copy of magnitudes.
     let mut mags: Vec<f32> = xs.iter().map(|v| v.abs()).collect();

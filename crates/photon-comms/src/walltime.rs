@@ -126,12 +126,7 @@ impl WallTimeModel {
         let slowest = nus.iter().cloned().fold(f64::INFINITY, f64::min);
         RoundTime {
             compute_s: self.tau as f64 / slowest,
-            comm_s: comm_time_seconds(
-                self.topology,
-                nus.len(),
-                self.model_mb,
-                self.bandwidth_mbps,
-            ),
+            comm_s: comm_time_seconds(self.topology, nus.len(), self.model_mb, self.bandwidth_mbps),
         }
     }
 

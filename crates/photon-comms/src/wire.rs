@@ -33,7 +33,10 @@ impl fmt::Display for WireError {
             WireError::BadMagic => write!(f, "bad frame magic"),
             WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
             WireError::BadChecksum { computed, declared } => {
-                write!(f, "checksum mismatch: {computed:#x} vs declared {declared:#x}")
+                write!(
+                    f,
+                    "checksum mismatch: {computed:#x} vs declared {declared:#x}"
+                )
             }
             WireError::BadCompression(msg) => write!(f, "payload decompression failed: {msg}"),
         }
@@ -134,7 +137,10 @@ mod tests {
         let frame = encode_frame(b"x", false);
         let mut raw = frame.to_vec();
         raw[0] = b'X';
-        assert_eq!(decode_frame(Bytes::from(raw)).unwrap_err(), WireError::BadMagic);
+        assert_eq!(
+            decode_frame(Bytes::from(raw)).unwrap_err(),
+            WireError::BadMagic
+        );
 
         let mut raw = encode_frame(b"x", false).to_vec();
         raw[8] = 99;

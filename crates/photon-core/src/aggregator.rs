@@ -1,6 +1,4 @@
-use crate::{
-    CohortSpec, CoreError, DataSource, FederationConfig, LlmClient, Result, RoundRecord,
-};
+use crate::{CohortSpec, CoreError, DataSource, FederationConfig, LlmClient, Result, RoundRecord};
 use crossbeam::channel::unbounded;
 use photon_data::{partition_iid, DomainKind, SyntheticDomain, TokenCorpus};
 use photon_fedopt::{
@@ -131,10 +129,7 @@ impl Aggregator {
         if cohort_idx.is_empty() {
             return Err(CoreError::InvalidConfig("empty cohort".into()));
         }
-        let cohort_ids: Vec<u32> = cohort_idx
-            .iter()
-            .map(|&i| clients[i].id())
-            .collect();
+        let cohort_ids: Vec<u32> = cohort_idx.iter().map(|&i| clients[i].id()).collect();
 
         // L.5–6: broadcast and train in parallel, over real Link frames.
         let broadcast = photon_comms::Message::ModelBroadcast {
@@ -156,8 +151,8 @@ impl Aggregator {
                 let tx = tx.clone();
                 let frame = broadcast.clone();
                 scope.spawn(move |_| {
-                    let msg = photon_comms::Message::from_frame(frame)
-                        .expect("broadcast frame corrupt");
+                    let msg =
+                        photon_comms::Message::from_frame(frame).expect("broadcast frame corrupt");
                     let photon_comms::Message::ModelBroadcast { round: r, params } = msg else {
                         panic!("expected a model broadcast");
                     };
@@ -215,7 +210,7 @@ impl Aggregator {
             updates.push(update);
         }
         let dropouts = cohort_idx.len() - updates.len();
-        if dropouts > 0 && !(self.cfg.allow_partial_results && !updates.is_empty()) {
+        if dropouts > 0 && (!self.cfg.allow_partial_results || updates.is_empty()) {
             // §4: only the partial-update path may proceed with survivors.
             return Err(CoreError::ClientFailure(format!(
                 "expected {} results, got {} (enable allow_partial_results \
@@ -240,7 +235,8 @@ impl Aggregator {
             }
         }
         // L.9: apply the server optimization policy.
-        self.server_opt.apply(&mut self.params, &avg_delta, self.round);
+        self.server_opt
+            .apply(&mut self.params, &avg_delta, self.round);
 
         let record = RoundRecord {
             round: self.round,

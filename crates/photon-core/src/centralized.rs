@@ -83,11 +83,19 @@ impl CentralizedTrainer {
             self.stream.next_batch(&mut self.batch);
             let loss = self
                 .model
-                .forward(&self.batch.inputs, Some(&self.batch.targets), &mut self.acts)
+                .forward(
+                    &self.batch.inputs,
+                    Some(&self.batch.targets),
+                    &mut self.acts,
+                )
                 .expect("targets provided");
             loss_sum += loss as f64;
-            self.model
-                .backward(&self.batch.inputs, &self.batch.targets, &mut self.acts, &mut self.grads);
+            self.model.backward(
+                &self.batch.inputs,
+                &self.batch.targets,
+                &mut self.acts,
+                &mut self.grads,
+            );
         }
         if self.accum_steps > 1 {
             photon_tensor::ops::scale(1.0 / self.accum_steps as f32, &mut self.grads);
@@ -146,12 +154,7 @@ mod tests {
             vocab_size: 17,
             seq_len: 8,
         };
-        let shard = Shard::from_range(
-            "t",
-            Arc::new((0..500u32).map(|i| i % 17).collect()),
-            0,
-            500,
-        );
+        let shard = Shard::from_range("t", Arc::new((0..500u32).map(|i| i % 17).collect()), 0, 500);
         CentralizedTrainer::new(
             model,
             batch,

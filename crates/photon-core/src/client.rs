@@ -164,12 +164,20 @@ impl LlmClient {
     ) -> (Vec<f32>, TrainMetrics) {
         let ddp_cfg = self.ddp_config(round, 1, cfg);
         let streams = self.ds.partition_streams(partitions, &mut self.rng);
+        // Like DDP replicas, concurrent sub-federation nodes split the
+        // caller's kernel-thread budget rather than oversubscribing it.
+        let kernel_threads =
+            (photon_tensor::ops::pool::effective_parallelism() / partitions.max(1)).max(1);
         let handles: Vec<_> = streams
             .into_iter()
             .map(|stream| {
                 let ddp_cfg = ddp_cfg.clone();
                 let global = global.to_vec();
-                std::thread::spawn(move || crate::ddp_train(&global, &ddp_cfg, vec![stream]))
+                std::thread::spawn(move || {
+                    photon_tensor::ops::pool::with_parallelism(kernel_threads, move || {
+                        crate::ddp_train(&global, &ddp_cfg, vec![stream])
+                    })
+                })
             })
             .collect();
         let results: Vec<_> = handles
@@ -247,7 +255,13 @@ impl LlmClient {
     }
 
     /// Algorithm 1, L.28: `PostProcess` — clip, add DP noise, mask.
-    fn post_process(&mut self, delta: &mut [f32], round: u64, cohort: &[u32], cfg: &FederationConfig) {
+    fn post_process(
+        &mut self,
+        delta: &mut [f32],
+        round: u64,
+        cohort: &[u32],
+        cfg: &FederationConfig,
+    ) {
         if let Some(max_norm) = cfg.post.clip_update_norm {
             clip_global_norm(delta, max_norm);
         }
@@ -294,7 +308,12 @@ mod tests {
             0,
             tokens,
         );
-        LlmClient::new(id, DataSource::new("ds", shard), None, SeedStream::new(id as u64))
+        LlmClient::new(
+            id,
+            DataSource::new("ds", shard),
+            None,
+            SeedStream::new(id as u64),
+        )
     }
 
     fn global_params(cfg: &FederationConfig) -> Vec<f32> {
@@ -369,12 +388,7 @@ mod tests {
             inter_node: Interconnect::Ethernet { gbps: 1.0 },
             region: Region::Quebec,
         };
-        let shard = Shard::from_range(
-            "c",
-            Arc::new((0..600u32).map(|i| i % 17).collect()),
-            0,
-            600,
-        );
+        let shard = Shard::from_range("c", Arc::new((0..600u32).map(|i| i % 17).collect()), 0, 600);
         let mut c = LlmClient::new(
             0,
             DataSource::new("ds", shard),

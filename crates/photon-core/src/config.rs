@@ -141,10 +141,14 @@ impl FederationConfig {
             }
         }
         if self.local_steps == 0 {
-            return Err(crate::CoreError::InvalidConfig("local_steps is zero".into()));
+            return Err(crate::CoreError::InvalidConfig(
+                "local_steps is zero".into(),
+            ));
         }
         if self.local_batch == 0 {
-            return Err(crate::CoreError::InvalidConfig("local_batch is zero".into()));
+            return Err(crate::CoreError::InvalidConfig(
+                "local_batch is zero".into(),
+            ));
         }
         if self.secure_agg && self.allow_partial_results {
             return Err(crate::CoreError::InvalidConfig(

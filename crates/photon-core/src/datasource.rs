@@ -61,10 +61,8 @@ impl DataSource {
         match &self.public {
             None => Box::new(ShardStream::new(self.shard.clone(), rng)),
             Some((public, weight)) => {
-                let private = Box::new(ShardStream::new(
-                    self.shard.clone(),
-                    rng.split("private"),
-                )) as Box<dyn TokenStream>;
+                let private = Box::new(ShardStream::new(self.shard.clone(), rng.split("private")))
+                    as Box<dyn TokenStream>;
                 let shared = Box::new(ShardStream::new(public.clone(), rng.split("public")))
                     as Box<dyn TokenStream>;
                 Box::new(StreamMixer::new(

@@ -63,6 +63,12 @@ pub fn ddp_train(
     assert!(!streams.is_empty(), "ddp needs at least one worker");
     let n = streams.len();
     let ring = ring_allreduce_group(n);
+    // Replica threads are themselves a layer of parallelism: divide the
+    // caller's kernel-thread budget between them instead of letting every
+    // replica fan out to the full pool (n replicas × full pool would
+    // oversubscribe the machine n-fold). Using the *effective* budget keeps
+    // nested drivers (sub-federation nodes running DDP) composable.
+    let kernel_threads = (photon_tensor::ops::pool::effective_parallelism() / n).max(1);
 
     let handles: Vec<_> = streams
         .into_iter()
@@ -71,36 +77,38 @@ pub fn ddp_train(
             let cfg = cfg.clone();
             let params = params.to_vec();
             std::thread::spawn(move || {
-                let anchor = cfg.fedprox_mu.map(|_| params.clone());
-                let mut model = Gpt::from_params(cfg.model, params);
-                let mut opt = AdamW::new(cfg.adamw, model.param_count());
-                let mut acts = Activations::new(&cfg.model, cfg.per_worker_batch, cfg.seq_len);
-                let mut grads = model.grad_buffer();
-                let mut batch = Batch::zeros(cfg.per_worker_batch, cfg.seq_len);
-                let mut loss_sum = 0.0f64;
-                for i in 0..cfg.steps {
-                    stream.next_batch(&mut batch);
-                    grads.iter_mut().for_each(|g| *g = 0.0);
-                    let loss = model
-                        .forward(&batch.inputs, Some(&batch.targets), &mut acts)
-                        .expect("targets provided");
-                    loss_sum += loss as f64;
-                    model.backward(&batch.inputs, &batch.targets, &mut acts, &mut grads);
-                    if let (Some(mu), Some(anchor)) = (cfg.fedprox_mu, anchor.as_ref()) {
-                        let w = model.params();
-                        for ((g, &wi), &ai) in grads.iter_mut().zip(w).zip(anchor) {
-                            *g += mu * (wi - ai);
+                photon_tensor::ops::pool::with_parallelism(kernel_threads, move || {
+                    let anchor = cfg.fedprox_mu.map(|_| params.clone());
+                    let mut model = Gpt::from_params(cfg.model, params);
+                    let mut opt = AdamW::new(cfg.adamw, model.param_count());
+                    let mut acts = Activations::new(&cfg.model, cfg.per_worker_batch, cfg.seq_len);
+                    let mut grads = model.grad_buffer();
+                    let mut batch = Batch::zeros(cfg.per_worker_batch, cfg.seq_len);
+                    let mut loss_sum = 0.0f64;
+                    for i in 0..cfg.steps {
+                        stream.next_batch(&mut batch);
+                        grads.iter_mut().for_each(|g| *g = 0.0);
+                        let loss = model
+                            .forward(&batch.inputs, Some(&batch.targets), &mut acts)
+                            .expect("targets provided");
+                        loss_sum += loss as f64;
+                        model.backward(&batch.inputs, &batch.targets, &mut acts, &mut grads);
+                        if let (Some(mu), Some(anchor)) = (cfg.fedprox_mu, anchor.as_ref()) {
+                            let w = model.params();
+                            for ((g, &wi), &ai) in grads.iter_mut().zip(w).zip(anchor) {
+                                *g += mu * (wi - ai);
+                            }
                         }
+                        ring.allreduce_mean(&mut grads);
+                        if let Some(max_norm) = cfg.grad_clip {
+                            clip_global_norm(&mut grads, max_norm);
+                        }
+                        let lr = cfg.schedule.lr_at(cfg.start_step + i);
+                        opt.step(model.params_mut(), &grads, lr);
                     }
-                    ring.allreduce_mean(&mut grads);
-                    if let Some(max_norm) = cfg.grad_clip {
-                        clip_global_norm(&mut grads, max_norm);
-                    }
-                    let lr = cfg.schedule.lr_at(cfg.start_step + i);
-                    opt.step(model.params_mut(), &grads, lr);
-                }
-                let mean = (loss_sum / cfg.steps.max(1) as f64) as f32;
-                (model.into_params(), mean)
+                    let mean = (loss_sum / cfg.steps.max(1) as f64) as f32;
+                    (model.into_params(), mean)
+                })
             })
         })
         .collect();

@@ -173,7 +173,9 @@ mod tests {
         let tokenizer = ByteTokenizer::new();
         let mut rng = SeedStream::new(2);
         let tasks = downstream_suite(&tokenizer, 16, &mut rng);
-        assert!(tasks.iter().all(|t| t.prompt.len() + t.positive.len() <= 16));
+        assert!(tasks
+            .iter()
+            .all(|t| t.prompt.len() + t.positive.len() <= 16));
     }
 
     #[test]
@@ -192,8 +194,7 @@ mod tests {
         let tasks = downstream_suite(&tokenizer, 32, &mut rng);
         let scores = evaluate_downstream(&model, &tasks);
         assert_eq!(scores.len(), BENCHMARKS.len());
-        let mean: f64 =
-            scores.iter().map(|s| s.accuracy).sum::<f64>() / scores.len() as f64;
+        let mean: f64 = scores.iter().map(|s| s.accuracy).sum::<f64>() / scores.len() as f64;
         assert!(
             (0.2..=0.8).contains(&mean),
             "untrained model should be near chance, got {mean}"

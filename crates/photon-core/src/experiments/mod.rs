@@ -109,7 +109,7 @@ pub fn build_heterogeneous_federation(
     tokens_per_domain: usize,
 ) -> Result<(Federation, TokenCorpus)> {
     cfg.validate()?;
-    if cfg.population % 4 != 0 {
+    if !cfg.population.is_multiple_of(4) {
         return Err(crate::CoreError::InvalidConfig(
             "heterogeneous federations need a multiple of 4 clients".into(),
         ));
@@ -230,8 +230,12 @@ pub fn build_centralized(
     let mut data_rng = rng.split("data");
     let domain = SyntheticDomain::preset(DomainKind::Web, &mut data_rng);
     let val_tokens = (total_tokens / 8).max(2048);
-    let mut corpus =
-        TokenCorpus::from_domain(&domain, &tokenizer, total_tokens + val_tokens, &mut data_rng);
+    let mut corpus = TokenCorpus::from_domain(
+        &domain,
+        &tokenizer,
+        total_tokens + val_tokens,
+        &mut data_rng,
+    );
     let val = corpus.split_validation(val_tokens);
     let shard = {
         let tokens = std::sync::Arc::new(corpus.tokens().to_vec());
@@ -315,11 +319,7 @@ mod tests {
         let cfg = tiny_cfg(4);
         let (fed, val) = build_heterogeneous_federation(&cfg, 3_000).unwrap();
         assert_eq!(fed.clients.len(), 4);
-        let names: Vec<&str> = fed
-            .clients
-            .iter()
-            .map(|c| c.data_source().name())
-            .collect();
+        let names: Vec<&str> = fed.clients.iter().map(|c| c.data_source().name()).collect();
         assert!(names.iter().any(|n| n.contains("arxiv")));
         assert!(names.iter().any(|n| n.contains("prose")));
         assert!(val.len() > 1000);
@@ -331,13 +331,8 @@ mod tests {
     #[test]
     fn centralized_driver_produces_comparable_history() {
         let cfg = tiny_cfg(1);
-        let (mut trainer, val) = build_centralized(
-            &cfg,
-            4,
-            LrSchedule::paper_cosine(3e-3, 5, 500),
-            5_000,
-            3,
-        );
+        let (mut trainer, val) =
+            build_centralized(&cfg, 4, LrSchedule::paper_cosine(3e-3, 5, 500), 5_000, 3);
         let history = run_centralized(&mut trainer, &val, 3, 5, 4, None);
         assert_eq!(history.len(), 3);
         assert!(history.final_ppl().is_some());

@@ -42,6 +42,7 @@ pub struct Telemetry {
 struct Inner {
     clients: BTreeMap<u32, ClientAccum>,
     rounds_seen: u64,
+    compute_threads: usize,
 }
 
 #[derive(Debug, Default)]
@@ -81,6 +82,18 @@ impl Telemetry {
         let acc = inner.clients.entry(client_id).or_default();
         acc.alignment_sum += cosine as f64;
         acc.alignment_count += 1;
+    }
+
+    /// Records the resolved compute-thread budget for this run (the
+    /// worker-pool size the kernels fan out to). Logged once at startup
+    /// by drivers so operators can correlate throughput with parallelism.
+    pub fn record_compute_threads(&self, threads: usize) {
+        self.inner.write().compute_threads = threads;
+    }
+
+    /// The recorded compute-thread budget (0 if never recorded).
+    pub fn compute_threads(&self) -> usize {
+        self.inner.read().compute_threads
     }
 
     /// Number of rounds observed so far.
@@ -181,6 +194,14 @@ mod tests {
         t.record_alignment(0, 0.4);
         let stats = t.client_stats();
         assert!((stats[0].1.mean_alignment - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn compute_threads_round_trips() {
+        let t = Telemetry::new();
+        assert_eq!(t.compute_threads(), 0);
+        t.record_compute_threads(8);
+        assert_eq!(t.compute_threads(), 8);
     }
 
     #[test]

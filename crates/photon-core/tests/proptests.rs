@@ -15,20 +15,25 @@ fn arb_config() -> impl Strategy<Value = FederationConfig> {
         0usize..4,
         any::<bool>(),
     )
-        .prop_map(|(population, local_steps, local_batch, seed, opt_pick, partial)| {
-            let mut cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), population);
-            cfg.local_steps = local_steps;
-            cfg.local_batch = local_batch;
-            cfg.seed = seed;
-            cfg.allow_partial_results = partial;
-            cfg.server_opt = [
-                ServerOptKind::photon_default(),
-                ServerOptKind::FedMom { lr: 1.0, momentum: 0.9 },
-                ServerOptKind::FedAdam { lr: 0.01 },
-                ServerOptKind::diloco_default(),
-            ][opt_pick];
-            cfg
-        })
+        .prop_map(
+            |(population, local_steps, local_batch, seed, opt_pick, partial)| {
+                let mut cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), population);
+                cfg.local_steps = local_steps;
+                cfg.local_batch = local_batch;
+                cfg.seed = seed;
+                cfg.allow_partial_results = partial;
+                cfg.server_opt = [
+                    ServerOptKind::photon_default(),
+                    ServerOptKind::FedMom {
+                        lr: 1.0,
+                        momentum: 0.9,
+                    },
+                    ServerOptKind::FedAdam { lr: 0.01 },
+                    ServerOptKind::diloco_default(),
+                ][opt_pick];
+                cfg
+            },
+        )
 }
 
 proptest! {

@@ -113,10 +113,7 @@ mod tests {
             shard_of((0..400).map(|i| i % 7).collect()),
             shard_of((0..400).map(|i| (i + 3) % 7).collect()),
         ];
-        let separated = vec![
-            shard_of(vec![0; 400]),
-            shard_of(vec![6; 400]),
-        ];
+        let separated = vec![shard_of(vec![0; 400]), shard_of(vec![6; 400])];
         let h_iid = heterogeneity_index(&iid, 7);
         let h_sep = heterogeneity_index(&separated, 7);
         assert!(h_iid < 0.05, "iid index {h_iid}");

@@ -142,9 +142,11 @@ impl SyntheticDomain {
         let letter_probs = letter_distribution(params.letter_temp, params.letter_rotation);
         let mut words = Vec::with_capacity(params.n_words);
         while words.len() < params.n_words {
-            let len = params.word_len_min
-                + rng.next_below(params.word_len_max - params.word_len_min + 1);
-            let w: String = (0..len).map(|_| sample_letter(&letter_probs, rng)).collect();
+            let len =
+                params.word_len_min + rng.next_below(params.word_len_max - params.word_len_min + 1);
+            let w: String = (0..len)
+                .map(|_| sample_letter(&letter_probs, rng))
+                .collect();
             if !words.contains(&w) {
                 words.push(w);
             }

@@ -44,7 +44,12 @@ impl Shard {
     ///
     /// # Panics
     /// Panics if the range is out of bounds or empty.
-    pub fn from_range(name: impl Into<String>, tokens: Arc<Vec<TokenId>>, start: usize, end: usize) -> Self {
+    pub fn from_range(
+        name: impl Into<String>,
+        tokens: Arc<Vec<TokenId>>,
+        start: usize,
+        end: usize,
+    ) -> Self {
         assert!(start < end && end <= tokens.len(), "invalid shard range");
         Shard {
             name: name.into(),

@@ -96,7 +96,11 @@ impl TokenStream for ShardStream {
     }
 
     fn describe(&self) -> String {
-        format!("shard-stream({}, {} tokens)", self.shard.name, self.shard.len())
+        format!(
+            "shard-stream({}, {} tokens)",
+            self.shard.name,
+            self.shard.len()
+        )
     }
 }
 

@@ -1,6 +1,8 @@
 //! Property-based tests for sharding and streaming invariants.
 
-use photon_data::{partition_by_domain, partition_iid, Batch, ShardStream, TokenCorpus, TokenStream};
+use photon_data::{
+    partition_by_domain, partition_iid, Batch, ShardStream, TokenCorpus, TokenStream,
+};
 use photon_tensor::SeedStream;
 use proptest::prelude::*;
 use std::sync::Arc;

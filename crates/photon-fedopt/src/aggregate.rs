@@ -3,9 +3,10 @@ use serde::{Deserialize, Serialize};
 /// The aggregation rule applied to the cohort's pseudo-gradients before
 /// the server optimizer (Algorithm 1, L.8). `Mean` is the paper's default;
 /// `Ties` is the heterogeneity-robust alternative its §5.5 points to.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum AggregationKind {
     /// Weighted arithmetic mean (FedAvg-style).
+    #[default]
     Mean,
     /// TIES-merging: trim to the top-density entries, elect per-coordinate
     /// signs by magnitude, average the sign-consistent survivors.
@@ -13,12 +14,6 @@ pub enum AggregationKind {
         /// Fraction of each client's largest-magnitude entries to keep.
         density: f64,
     },
-}
-
-impl Default for AggregationKind {
-    fn default() -> Self {
-        AggregationKind::Mean
-    }
 }
 
 impl AggregationKind {

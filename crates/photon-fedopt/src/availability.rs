@@ -72,7 +72,11 @@ impl AvailabilityTraces {
                 (0..rounds)
                     .map(|_| {
                         let u = crng.next_f64();
-                        state = if state { u >= model.p_down } else { u < model.p_up };
+                        state = if state {
+                            u >= model.p_down
+                        } else {
+                            u < model.p_up
+                        };
                         state
                     })
                     .collect()
@@ -91,7 +95,9 @@ impl AvailabilityTraces {
 
     /// Clients up at `round`.
     pub fn available_at(&self, round: u64) -> Vec<usize> {
-        (0..self.up.len()).filter(|&c| self.is_up(c, round)).collect()
+        (0..self.up.len())
+            .filter(|&c| self.is_up(c, round))
+            .collect()
     }
 }
 

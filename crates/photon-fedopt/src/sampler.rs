@@ -93,7 +93,7 @@ mod tests {
     #[test]
     fn uniform_sampler_eventually_covers_population() {
         let mut s = UniformSampler::new(4, SeedStream::new(2));
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for round in 0..100 {
             for i in s.sample(16, round) {
                 seen[i] = true;

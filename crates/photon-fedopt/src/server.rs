@@ -68,7 +68,9 @@ impl ServerOptKind {
     pub fn build(&self, param_len: usize) -> Box<dyn ServerOpt> {
         match *self {
             ServerOptKind::FedAvg { lr } => Box::new(FedAvg::new(lr)),
-            ServerOptKind::FedMom { lr, momentum } => Box::new(FedMom::new(lr, momentum, param_len)),
+            ServerOptKind::FedMom { lr, momentum } => {
+                Box::new(FedMom::new(lr, momentum, param_len))
+            }
             ServerOptKind::FedAdam { lr } => Box::new(FedAdam::new(lr, param_len)),
             ServerOptKind::DiLoCo { lr, momentum } => {
                 Box::new(DiLoCo::new(lr, momentum, param_len))
@@ -309,7 +311,13 @@ mod tests {
     fn kind_builds_matching_names() {
         let kinds = [
             (ServerOptKind::photon_default(), "fedavg"),
-            (ServerOptKind::FedMom { lr: 1.0, momentum: 0.9 }, "fedmom"),
+            (
+                ServerOptKind::FedMom {
+                    lr: 1.0,
+                    momentum: 0.9,
+                },
+                "fedmom",
+            ),
             (ServerOptKind::FedAdam { lr: 0.01 }, "fedadam"),
             (ServerOptKind::diloco_default(), "diloco"),
         ];
@@ -320,7 +328,10 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let kind = ServerOptKind::DiLoCo { lr: 0.3, momentum: 0.9 };
+        let kind = ServerOptKind::DiLoCo {
+            lr: 0.3,
+            momentum: 0.9,
+        };
         let json = serde_json::to_string(&kind).unwrap();
         let back: ServerOptKind = serde_json::from_str(&json).unwrap();
         assert_eq!(kind, back);

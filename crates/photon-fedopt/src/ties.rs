@@ -134,11 +134,7 @@ mod tests {
     fn sign_conflicts_resolved_by_majority_mass() {
         // Coordinate 0: +10 and +8 vs -1 -> positive side wins, the -1 is
         // excluded from the mean.
-        let updates = vec![
-            u(vec![10.0, 1.0]),
-            u(vec![8.0, 1.0]),
-            u(vec![-1.0, 1.0]),
-        ];
+        let updates = vec![u(vec![10.0, 1.0]), u(vec![8.0, 1.0]), u(vec![-1.0, 1.0])];
         let agg = ties_aggregate(&updates, &TiesConfig { density: 1.0 });
         assert_eq!(agg, vec![9.0, 1.0]);
     }

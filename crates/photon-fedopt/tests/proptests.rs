@@ -26,10 +26,10 @@ proptest! {
             })
             .collect();
         let avg = aggregate_deltas(&updates);
-        for j in 0..dim {
+        for (j, &av) in avg.iter().enumerate().take(dim) {
             let lo = updates.iter().map(|u| u.delta[j]).fold(f32::INFINITY, f32::min);
             let hi = updates.iter().map(|u| u.delta[j]).fold(f32::NEG_INFINITY, f32::max);
-            prop_assert!(avg[j] >= lo - 1e-4 && avg[j] <= hi + 1e-4);
+            prop_assert!(av >= lo - 1e-4 && av <= hi + 1e-4);
         }
     }
 

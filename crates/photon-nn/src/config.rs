@@ -47,7 +47,7 @@ impl ModelConfig {
         assert!(self.n_layers > 0, "n_layers must be positive");
         assert!(self.n_heads > 0, "n_heads must be positive");
         assert!(
-            self.d_model % self.n_heads == 0,
+            self.d_model.is_multiple_of(self.n_heads),
             "d_model {} not divisible by n_heads {}",
             self.d_model,
             self.n_heads
@@ -74,7 +74,7 @@ impl ModelConfig {
             + (3 * c) * c + 3 * c                         // qkv
             + c * c + c                                   // attention projection
             + self.mlp_dim() * c + self.mlp_dim()         // fc
-            + c * self.mlp_dim() + c;                     // fc projection
+            + c * self.mlp_dim() + c; // fc projection
         self.vocab_size * c                               // tied wte / lm head
             + self.n_layers * per_block
             + 2 * c // final layernorm
@@ -228,7 +228,12 @@ impl std::fmt::Display for ModelConfig {
         write!(
             f,
             "gpt(L={}, d={}, H={}, R={}, V={}, T={})",
-            self.n_layers, self.d_model, self.n_heads, self.exp_ratio, self.vocab_size, self.seq_len
+            self.n_layers,
+            self.d_model,
+            self.n_heads,
+            self.exp_ratio,
+            self.vocab_size,
+            self.seq_len
         )
     }
 }

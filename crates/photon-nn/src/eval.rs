@@ -27,7 +27,7 @@ impl std::fmt::Display for EvalReport {
 /// validation set" (§5.1). `max_windows` caps work for quick evaluations
 /// (`usize::MAX` scores everything).
 pub fn evaluate_perplexity(model: &Gpt, stream: &mut EvalStream, max_windows: usize) -> EvalReport {
-    let seq = model.config().seq_len.min(64).max(8);
+    let seq = model.config().seq_len.clamp(8, 64);
     let mut acts = Activations::new(model.config(), 1, seq);
     stream.reset();
     let mut total_ce = 0.0f64;

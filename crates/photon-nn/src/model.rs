@@ -716,7 +716,10 @@ mod tests {
         assert!(loss.is_finite());
         // Random init => loss near ln(V).
         let uniform = (model.config().vocab_size as f32).ln();
-        assert!((loss - uniform).abs() < 1.0, "loss={loss} uniform={uniform}");
+        assert!(
+            (loss - uniform).abs() < 1.0,
+            "loss={loss} uniform={uniform}"
+        );
     }
 
     #[test]

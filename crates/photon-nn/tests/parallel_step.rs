@@ -1,0 +1,82 @@
+//! End-to-end determinism of the pooled kernels: a full training step
+//! (forward, backward, SGD update) must produce the same loss and weights
+//! whether the kernels run serially or fan out across the worker pool.
+//!
+//! The kernels are designed so that the serial and parallel paths either
+//! match bitwise (row-partitioned loops, two-phase attention) or reduce
+//! partial sums in deterministic chunk order (split-k GEMM, layernorm and
+//! bias gradients), so the tolerance here is far tighter than fp32 noise.
+
+use photon_nn::{Activations, Gpt, ModelConfig};
+use photon_tensor::ops::pool;
+use photon_tensor::SeedStream;
+
+fn cfg() -> ModelConfig {
+    ModelConfig {
+        n_layers: 2,
+        d_model: 32,
+        n_heads: 4,
+        exp_ratio: 2,
+        vocab_size: 31,
+        seq_len: 16,
+    }
+}
+
+/// Runs `steps` full training steps under the given thread budget and
+/// returns the per-step losses plus the final parameters.
+fn train(threads: usize, steps: usize) -> (Vec<f32>, Vec<f32>) {
+    pool::with_parallelism(threads, || {
+        let cfg = cfg();
+        let (b, t) = (2usize, cfg.seq_len);
+        let mut rng = SeedStream::new(42);
+        let mut model = Gpt::new(cfg, &mut rng);
+        let mut acts = Activations::new(&cfg, b, t);
+        let mut grads = model.grad_buffer();
+        let mut losses = Vec::with_capacity(steps);
+        for step in 0..steps {
+            let tokens: Vec<u32> = (0..b * t)
+                .map(|i| ((i * 7 + step * 13) % cfg.vocab_size) as u32)
+                .collect();
+            let targets: Vec<u32> = (0..b * t)
+                .map(|i| ((i * 7 + step * 13 + 1) % cfg.vocab_size) as u32)
+                .collect();
+            grads.iter_mut().for_each(|g| *g = 0.0);
+            let loss = model
+                .forward(&tokens, Some(&targets), &mut acts)
+                .expect("targets provided");
+            losses.push(loss);
+            model.backward(&tokens, &targets, &mut acts, &mut grads);
+            for (p, g) in model.params_mut().iter_mut().zip(&grads) {
+                *p -= 1e-2 * g;
+            }
+        }
+        (losses, model.into_params())
+    })
+}
+
+#[test]
+fn train_step_matches_across_thread_budgets() {
+    let steps = 4;
+    let (loss_serial, params_serial) = train(1, steps);
+    let (loss_par, params_par) = train(4, steps);
+
+    for (s, p) in loss_serial.iter().zip(&loss_par) {
+        assert!(
+            (s - p).abs() < 1e-5,
+            "loss diverged across thread budgets: {s} vs {p}"
+        );
+    }
+    assert!(
+        loss_serial.last().unwrap() < loss_serial.first().unwrap(),
+        "training failed to reduce loss: {loss_serial:?}"
+    );
+    let max_diff = params_serial
+        .iter()
+        .zip(&params_par)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(
+        max_diff < 1e-5,
+        "weights diverged across thread budgets: max |d| = {max_diff}"
+    );
+}

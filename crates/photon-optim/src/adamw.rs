@@ -157,6 +157,9 @@ mod tests {
 
     #[test]
     fn state_bytes() {
-        assert_eq!(AdamW::new(AdamWConfig::default(), 1).state_bytes_per_param(), 8);
+        assert_eq!(
+            AdamW::new(AdamWConfig::default(), 1).state_bytes_per_param(),
+            8
+        );
     }
 }

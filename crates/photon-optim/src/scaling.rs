@@ -24,7 +24,11 @@ pub enum LrScalingRule {
 impl LrScalingRule {
     /// All rules, for sweeps.
     pub fn all() -> [LrScalingRule; 3] {
-        [LrScalingRule::None, LrScalingRule::Linear, LrScalingRule::Sqrt]
+        [
+            LrScalingRule::None,
+            LrScalingRule::Linear,
+            LrScalingRule::Sqrt,
+        ]
     }
 
     /// Display label.

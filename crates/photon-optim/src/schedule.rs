@@ -102,7 +102,10 @@ impl LrSchedule {
     /// # Panics
     /// Panics if either batch size is zero.
     pub fn stretch_for_batch(&self, cent_batch: usize, local_batch: usize) -> Self {
-        assert!(cent_batch > 0 && local_batch > 0, "batch sizes must be positive");
+        assert!(
+            cent_batch > 0 && local_batch > 0,
+            "batch sizes must be positive"
+        );
         let factor = cent_batch as f64 / local_batch as f64;
         let decay = ((self.decay_steps as f64) * factor).round() as u64;
         let warmup = ((self.warmup_steps as f64) * factor).round() as u64;

@@ -173,6 +173,9 @@ mod tests {
     #[test]
     fn state_bytes_depend_on_momentum() {
         assert_eq!(Sgd::new(SgdConfig::default(), 1).state_bytes_per_param(), 0);
-        assert_eq!(Sgd::new(SgdConfig::diloco_outer(), 1).state_bytes_per_param(), 4);
+        assert_eq!(
+            Sgd::new(SgdConfig::diloco_outer(), 1).state_bytes_per_param(),
+            4
+        );
     }
 }

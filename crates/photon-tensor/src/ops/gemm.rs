@@ -1,3 +1,5 @@
+use super::pool;
+
 /// Specification for a general matrix multiply `C = alpha * op(A) op(B) + beta * C`.
 ///
 /// The *logical* operand shapes are `op(A): (m, k)`, `op(B): (k, n)` and
@@ -83,7 +85,164 @@ impl Gemm {
     }
 }
 
-/// Executes a [`Gemm`] spec. Single-threaded, cache-blocked.
+/// k-dimension block size: one block of B rows (`KC * n` floats) stays hot
+/// in L2 while a row tile of C streams over it.
+const KC: usize = 256;
+/// Register tile height: rows of C updated together so each loaded B value
+/// feeds `MR` fused multiply-adds.
+const MR: usize = 4;
+
+/// Scales `c` by `beta` with the overwrite special case (`beta == 0` stores
+/// zeros even over NaN/Inf garbage, matching BLAS semantics).
+fn scale_beta(c: &mut [f32], beta: f32) {
+    if beta == 0.0 {
+        c.iter_mut().for_each(|v| *v = 0.0);
+    } else if beta != 1.0 {
+        c.iter_mut().for_each(|v| *v *= beta);
+    }
+}
+
+/// `C += alpha * A B` with `A: (m, k)`, `B: (k, n)`, both row-major.
+///
+/// k-blocked so each `(KC, n)` panel of B is reused across every row tile,
+/// with an `MR`-row register tile on the `ipj` path. No value-dependent
+/// skips: a zero in A must still propagate NaN/Inf from B.
+fn kernel_nn(m: usize, k: usize, n: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let mut p0 = 0;
+    while p0 < k {
+        let pe = (p0 + KC).min(k);
+        let mut rows = &mut c[..m * n];
+        let mut i = 0usize;
+        while i + MR <= m {
+            let (tile, rest) = rows.split_at_mut(MR * n);
+            rows = rest;
+            let (r0, tail) = tile.split_at_mut(n);
+            let (r1, tail) = tail.split_at_mut(n);
+            let (r2, r3) = tail.split_at_mut(n);
+            for p in p0..pe {
+                let s0 = alpha * a[i * k + p];
+                let s1 = alpha * a[(i + 1) * k + p];
+                let s2 = alpha * a[(i + 2) * k + p];
+                let s3 = alpha * a[(i + 3) * k + p];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (j, &bv) in b_row.iter().enumerate() {
+                    r0[j] += s0 * bv;
+                    r1[j] += s1 * bv;
+                    r2[j] += s2 * bv;
+                    r3[j] += s3 * bv;
+                }
+            }
+            i += MR;
+        }
+        while i < m {
+            let (row, rest) = rows.split_at_mut(n);
+            rows = rest;
+            for p in p0..pe {
+                let s = alpha * a[i * k + p];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (cv, &bv) in row.iter_mut().zip(b_row) {
+                    *cv += s * bv;
+                }
+            }
+            i += 1;
+        }
+        p0 = pe;
+    }
+}
+
+/// Four-accumulator dot product; the split accumulators expose instruction-
+/// level parallelism the single-chain version cannot.
+fn dot4(x: &[f32], y: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let mut xs = x.chunks_exact(4);
+    let mut ys = y.chunks_exact(4);
+    for (xc, yc) in xs.by_ref().zip(ys.by_ref()) {
+        acc[0] += xc[0] * yc[0];
+        acc[1] += xc[1] * yc[1];
+        acc[2] += xc[2] * yc[2];
+        acc[3] += xc[3] * yc[3];
+    }
+    let mut tail = 0.0f32;
+    for (&xv, &yv) in xs.remainder().iter().zip(ys.remainder()) {
+        tail += xv * yv;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// `C += alpha * A B^T` with `A: (m, k)`, physical `B: (n, k)`: every output
+/// is a dot of two contiguous rows.
+fn kernel_nt(m: usize, k: usize, n: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            *cv += alpha * dot4(a_row, b_row);
+        }
+    }
+}
+
+/// `C += alpha * A^T B` with physical `A: (k, m)`, `B: (k, n)`: an `MR`-row
+/// tile of C accumulates across the whole contraction so each streamed row
+/// of B is reused `MR` times.
+fn kernel_tn(m: usize, k: usize, n: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let mut rows = &mut c[..m * n];
+    let mut i = 0usize;
+    while i + MR <= m {
+        let (tile, rest) = rows.split_at_mut(MR * n);
+        rows = rest;
+        let (r0, tail) = tile.split_at_mut(n);
+        let (r1, tail) = tail.split_at_mut(n);
+        let (r2, r3) = tail.split_at_mut(n);
+        for p in 0..k {
+            let s0 = alpha * a[p * m + i];
+            let s1 = alpha * a[p * m + i + 1];
+            let s2 = alpha * a[p * m + i + 2];
+            let s3 = alpha * a[p * m + i + 3];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (j, &bv) in b_row.iter().enumerate() {
+                r0[j] += s0 * bv;
+                r1[j] += s1 * bv;
+                r2[j] += s2 * bv;
+                r3[j] += s3 * bv;
+            }
+        }
+        i += MR;
+    }
+    while i < m {
+        let (row, rest) = rows.split_at_mut(n);
+        rows = rest;
+        for p in 0..k {
+            let s = alpha * a[p * m + i];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in row.iter_mut().zip(b_row) {
+                *cv += s * bv;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// `C += alpha * A^T B^T` for logical rows `i0..i0 + rows`, with physical
+/// `A: (k, m)` and `B: (n, k)` indexed absolutely (the row window cannot be
+/// expressed as a sub-slice of `a`). Rare outside tests.
+fn kernel_tt_rows(spec: Gemm, i0: usize, rows: usize, a: &[f32], b: &[f32], c_rows: &mut [f32]) {
+    let (m, k, n, alpha) = (spec.m, spec.k, spec.n, spec.alpha);
+    for (di, c_row) in c_rows.chunks_exact_mut(n).take(rows).enumerate() {
+        let i = i0 + di;
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[p * m + i] * b[j * k + p];
+            }
+            *cv += alpha * acc;
+        }
+    }
+}
+
+/// Executes a [`Gemm`] spec on the calling thread with cache-blocked,
+/// register-tiled kernels (see [`kernel_nn`]'s blocking scheme). For the
+/// pool-parallel entry points use [`par_gemm`] or [`gemm_auto`].
 ///
 /// # Panics
 /// Panics if any slice is shorter than the spec requires.
@@ -92,116 +251,126 @@ pub fn gemm(spec: Gemm, a: &[f32], b: &[f32], c: &mut [f32]) {
     assert!(b.len() >= spec.b_len(), "gemm: b too short");
     assert!(c.len() >= spec.c_len(), "gemm: c too short");
     let (m, k, n) = (spec.m, spec.k, spec.n);
-    let (alpha, beta) = (spec.alpha, spec.beta);
-
-    if beta == 0.0 {
-        c[..m * n].iter_mut().for_each(|v| *v = 0.0);
-    } else if beta != 1.0 {
-        c[..m * n].iter_mut().for_each(|v| *v *= beta);
-    }
-
+    scale_beta(&mut c[..m * n], spec.beta);
     match (spec.trans_a, spec.trans_b) {
-        (false, false) => {
-            // C[i,j] += alpha * A[i,p] * B[p,j]; ipj order streams B rows.
-            for i in 0..m {
-                let a_row = &a[i * k..(i + 1) * k];
-                let c_row = &mut c[i * n..(i + 1) * n];
-                for (p, &apv) in a_row.iter().enumerate() {
-                    if apv == 0.0 {
-                        continue;
-                    }
-                    let s = alpha * apv;
-                    let b_row = &b[p * n..(p + 1) * n];
-                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                        *cv += s * bv;
-                    }
-                }
-            }
-        }
-        (false, true) => {
-            // B physically (n, k): C[i,j] += alpha * dot(A row i, B row j).
-            for i in 0..m {
-                let a_row = &a[i * k..(i + 1) * k];
-                let c_row = &mut c[i * n..(i + 1) * n];
-                for (j, cv) in c_row.iter_mut().enumerate() {
-                    let b_row = &b[j * k..(j + 1) * k];
-                    let mut acc = 0.0f32;
-                    for (&av, &bv) in a_row.iter().zip(b_row) {
-                        acc += av * bv;
-                    }
-                    *cv += alpha * acc;
-                }
-            }
-        }
-        (true, false) => {
-            // A physically (k, m): C[i,j] += alpha * A[p,i] * B[p,j].
-            for p in 0..k {
-                let a_row = &a[p * m..(p + 1) * m];
-                let b_row = &b[p * n..(p + 1) * n];
-                for (i, &av) in a_row.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let s = alpha * av;
-                    let c_row = &mut c[i * n..(i + 1) * n];
-                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                        *cv += s * bv;
-                    }
-                }
-            }
-        }
-        (true, true) => {
-            // Rare in practice; fall back to an index loop.
-            for i in 0..m {
-                for j in 0..n {
-                    let mut acc = 0.0f32;
-                    for p in 0..k {
-                        acc += a[p * m + i] * b[j * k + p];
-                    }
-                    c[i * n + j] += alpha * acc;
-                }
-            }
-        }
+        (false, false) => kernel_nn(m, k, n, spec.alpha, a, b, c),
+        (false, true) => kernel_nt(m, k, n, spec.alpha, a, b, c),
+        (true, false) => kernel_tn(m, k, n, spec.alpha, a, b, c),
+        (true, true) => kernel_tt_rows(spec, 0, m, a, b, c),
     }
 }
 
-/// Multi-threaded [`gemm`]: splits the rows of `C` across `threads` workers
-/// using scoped threads. Falls back to the single-threaded kernel for small
-/// problems or when `spec.trans_a` is set (row-splitting then no longer
-/// partitions the output).
+/// Problems below this many flops (`2 m k n`) are not worth a trip through
+/// the pool barrier.
+const PAR_THRESHOLD_FLOPS: usize = 1 << 18;
+
+/// Pool-parallel [`gemm`] with an explicit thread budget.
+///
+/// Row-splits `C` across the persistent worker pool for the `nn`/`nt`/`tt`
+/// layouts. The `trans_a` layout (`tn`, the weight-gradient shape where `m`
+/// and `n` are small but `k = B*T` is large) instead splits the
+/// *contraction* dimension: each worker accumulates into a private
+/// `(m, n)` partial buffer and the partials are reduced into `C` in
+/// deterministic chunk order after the barrier. Small problems run serially.
 ///
 /// # Panics
 /// Panics if any slice is shorter than the spec requires.
 pub fn par_gemm(spec: Gemm, a: &[f32], b: &[f32], c: &mut [f32], threads: usize) {
-    const PAR_THRESHOLD_FLOPS: usize = 1 << 20;
-    let flops = 2 * spec.m * spec.k * spec.n;
-    if threads <= 1 || spec.trans_a || flops < PAR_THRESHOLD_FLOPS || spec.m < threads {
-        gemm(spec, a, b, c);
-        return;
-    }
     assert!(a.len() >= spec.a_len(), "par_gemm: a too short");
     assert!(b.len() >= spec.b_len(), "par_gemm: b too short");
     assert!(c.len() >= spec.c_len(), "par_gemm: c too short");
+    let threads = threads.max(1);
+    let flops = 2 * spec.m * spec.k * spec.n;
+    if threads == 1 || flops < PAR_THRESHOLD_FLOPS {
+        gemm(spec, a, b, c);
+        return;
+    }
+    if spec.trans_a && !spec.trans_b {
+        par_gemm_split_k(spec, a, b, c, threads);
+        return;
+    }
 
-    let rows_per = spec.m.div_ceil(threads);
-    let c_active = &mut c[..spec.m * spec.n];
-    crossbeam::thread::scope(|s| {
-        let mut c_rest = c_active;
-        let mut row0 = 0usize;
-        while row0 < spec.m {
-            let rows = rows_per.min(spec.m - row0);
-            let (c_chunk, tail) = c_rest.split_at_mut(rows * spec.n);
-            c_rest = tail;
-            let a_chunk = &a[row0 * spec.k..(row0 + rows) * spec.k];
-            let sub = Gemm {
-                m: rows,
-                ..spec
-            };
-            s.spawn(move |_| gemm(sub, a_chunk, b, c_chunk));
-            row0 += rows;
+    let (m, k, n) = (spec.m, spec.k, spec.n);
+    let parts = threads.min(m);
+    if parts <= 1 {
+        gemm(spec, a, b, c);
+        return;
+    }
+    let ranges = pool::chunk_ranges(m, parts);
+    let chunks = pool::split_rows(&mut c[..m * n], n, &ranges);
+    let tasks: Vec<pool::Task> = chunks
+        .into_iter()
+        .zip(&ranges)
+        .map(|(c_chunk, r)| {
+            let r = r.clone();
+            Box::new(move || {
+                let sub = Gemm { m: r.len(), ..spec };
+                if spec.trans_a {
+                    // tt: the row window of A^T is column-strided, so the
+                    // kernel indexes the full buffers absolutely.
+                    scale_beta(c_chunk, spec.beta);
+                    kernel_tt_rows(spec, r.start, r.len(), a, b, c_chunk);
+                } else {
+                    gemm(sub, &a[r.start * k..r.end * k], b, c_chunk);
+                }
+            }) as pool::Task
+        })
+        .collect();
+    pool::run_tasks(tasks);
+}
+
+/// Split-k path for `trans_a` (physical `A: (k, m)`, `B: (k, n)`): each task
+/// owns a disjoint `p`-range of the contraction and a private zeroed
+/// `(m, n)` accumulator, so the hot loops are write-disjoint without locks.
+/// The reduce runs on the caller in ascending chunk order — results depend
+/// only on the chunk count, never on scheduling.
+fn par_gemm_split_k(spec: Gemm, a: &[f32], b: &[f32], c: &mut [f32], threads: usize) {
+    let (m, k, n) = (spec.m, spec.k, spec.n);
+    let parts = threads.min(k);
+    if parts <= 1 {
+        gemm(spec, a, b, c);
+        return;
+    }
+    let ranges = pool::chunk_ranges(k, parts);
+    let mut partials: Vec<Vec<f32>> = ranges.iter().map(|_| vec![0.0f32; m * n]).collect();
+    let tasks: Vec<pool::Task> = partials
+        .iter_mut()
+        .zip(&ranges)
+        .map(|(buf, r)| {
+            let r = r.clone();
+            Box::new(move || {
+                let sub = Gemm {
+                    k: r.len(),
+                    beta: 0.0,
+                    ..spec
+                };
+                gemm(
+                    sub,
+                    &a[r.start * m..r.end * m],
+                    &b[r.start * n..r.end * n],
+                    buf,
+                );
+            }) as pool::Task
+        })
+        .collect();
+    pool::run_tasks(tasks);
+
+    let c = &mut c[..m * n];
+    scale_beta(c, spec.beta);
+    for buf in &partials {
+        for (cv, &pv) in c.iter_mut().zip(buf) {
+            *cv += pv;
         }
-    })
-    .expect("par_gemm worker panicked");
+    }
+}
+
+/// [`par_gemm`] sized by the ambient thread budget
+/// ([`pool::effective_parallelism`]): the global `--threads` /
+/// `PHOTON_THREADS` / autodetected limit, scoped down inside
+/// [`pool::with_parallelism`] regions and on pool workers. This is the entry
+/// point the `photon-nn` training kernels call.
+pub fn gemm_auto(spec: Gemm, a: &[f32], b: &[f32], c: &mut [f32]) {
+    par_gemm(spec, a, b, c, pool::effective_parallelism());
 }
 
 #[cfg(test)]
@@ -245,7 +414,7 @@ mod tests {
     #[test]
     fn all_transpose_variants_match_naive() {
         let mut rng = SeedStream::new(1);
-        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (8, 16, 8), (7, 3, 9)] {
+        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (8, 16, 8), (7, 3, 9), (5, 300, 2)] {
             let a = rand_vec(m * k, &mut rng);
             let b = rand_vec(k * n, &mut rng);
             let want = naive(m, k, n, &a, &b);
@@ -265,7 +434,12 @@ mod tests {
             assert_close(&c, &want);
 
             let mut c = vec![0.0; m * n];
-            gemm(Gemm::new(m, k, n).transpose_a().transpose_b(), &at, &bt, &mut c);
+            gemm(
+                Gemm::new(m, k, n).transpose_a().transpose_b(),
+                &at,
+                &bt,
+                &mut c,
+            );
             assert_close(&c, &want);
         }
     }
@@ -292,8 +466,58 @@ mod tests {
         let mut c1 = vec![0.0; m * n];
         let mut c2 = vec![0.0; m * n];
         gemm(Gemm::new(m, k, n), &a, &b, &mut c1);
-        // Force the parallel path despite the small size by lowering m/threads.
         par_gemm(Gemm::new(m, k, n), &a, &b, &mut c2, 4);
+        assert_close(&c1, &c2);
+    }
+
+    #[test]
+    fn par_gemm_split_k_matches_serial() {
+        let mut rng = SeedStream::new(3);
+        // Weight-gradient shape: small (m, n), long contraction, beta = 1.
+        let (m, k, n) = (24, 512, 40);
+        let at = rand_vec(k * m, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let seed = rand_vec(m * n, &mut rng);
+        let mut c1 = seed.clone();
+        let mut c2 = seed.clone();
+        let spec = Gemm::new(m, k, n).transpose_a().beta(1.0).alpha(0.5);
+        gemm(spec, &at, &b, &mut c1);
+        par_gemm(spec, &at, &b, &mut c2, 4);
+        assert_close(&c1, &c2);
+    }
+
+    #[test]
+    fn zeros_in_a_still_propagate_nan_from_b() {
+        // Regression: the old kernels skipped `a == 0.0` entries, silently
+        // dropping NaN/Inf contributions from B (0 * NaN must be NaN).
+        let a = [0.0f32, 0.0];
+        let b = [f32::NAN, 1.0, f32::INFINITY, 2.0];
+        let mut c = [0.0f32; 2];
+        gemm(Gemm::new(1, 2, 2), &a, &b, &mut c);
+        // Column 0 sums 0*NaN + 0*inf = NaN; column 1 sees only finite values.
+        assert!(c[0].is_nan(), "0 * NaN must propagate, got {}", c[0]);
+        assert_eq!(c[1], 0.0);
+
+        let at = [0.0f32, 0.0];
+        let mut c = [0.0f32; 2];
+        gemm(Gemm::new(1, 2, 2).transpose_a(), &at, &b, &mut c);
+        assert!(c[0].is_nan(), "trans_a path must propagate NaN");
+    }
+
+    #[test]
+    fn gemm_auto_respects_thread_budget() {
+        let mut rng = SeedStream::new(4);
+        let (m, k, n) = (48, 64, 52);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        crate::ops::pool::with_parallelism(1, || {
+            gemm_auto(Gemm::new(m, k, n), &a, &b, &mut c1);
+        });
+        crate::ops::pool::with_parallelism(4, || {
+            gemm_auto(Gemm::new(m, k, n), &a, &b, &mut c2);
+        });
         assert_close(&c1, &c2);
     }
 

@@ -7,11 +7,12 @@
 
 mod elementwise;
 mod gemm;
+pub mod pool;
 mod reduce;
 
 pub use elementwise::{
     add_bias_rows, add_inplace, axpy, clip_inplace, copy_from, lerp_inplace, mul_inplace, scale,
     sub_inplace,
 };
-pub use gemm::{gemm, par_gemm, Gemm};
+pub use gemm::{gemm, gemm_auto, par_gemm, Gemm};
 pub use reduce::{argmax, dot, l2_norm, max_abs, max_abs_diff, mean, sum};

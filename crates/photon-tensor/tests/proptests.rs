@@ -107,4 +107,48 @@ proptest! {
         prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
         prop_assert!(s.iter().all(|&i| i < n));
     }
+
+    /// The pooled GEMM agrees with the serial reference for every transpose
+    /// variant, arbitrary alpha/beta, ragged shapes, and 1..=8 threads. The
+    /// split-k path (trans_a without trans_b) reduces partial products in
+    /// deterministic chunk order, so only rounding-level drift is allowed.
+    #[test]
+    fn par_gemm_matches_serial_all_variants(
+        m in 1usize..24, k in 1usize..24, n in 1usize..24,
+        trans_a in any::<bool>(),
+        trans_b in any::<bool>(),
+        alpha in -2.0f32..2.0,
+        beta in -2.0f32..2.0,
+        threads in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SeedStream::new(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.next_normal()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.next_normal()).collect();
+        let c0: Vec<f32> = (0..m * n).map(|_| rng.next_normal()).collect();
+
+        let mut spec = ops::Gemm::new(m, k, n).alpha(alpha).beta(beta);
+        if trans_a {
+            spec = spec.transpose_a();
+        }
+        if trans_b {
+            spec = spec.transpose_b();
+        }
+
+        let mut serial = c0.clone();
+        ops::gemm(spec, &a, &b, &mut serial);
+        let mut par = c0.clone();
+        ops::par_gemm(spec, &a, &b, &mut par, threads);
+        prop_assert!(
+            ops::max_abs_diff(&serial, &par) < 1e-3,
+            "variant (ta={}, tb={}) diverged at {} threads", trans_a, trans_b, threads
+        );
+
+        // gemm_auto under an explicit budget must take the same path.
+        let mut auto = c0.clone();
+        ops::pool::with_parallelism(threads, || {
+            ops::gemm_auto(spec, &a, &b, &mut auto);
+        });
+        prop_assert!(ops::max_abs_diff(&serial, &auto) < 1e-3);
+    }
 }

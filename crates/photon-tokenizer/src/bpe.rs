@@ -140,7 +140,7 @@ impl BpeTokenizer {
             let mut best: Option<(usize, usize, TokenId)> = None; // (rank, pos, merged)
             for (i, w) in toks.windows(2).enumerate() {
                 if let Some(&(rank, merged)) = self.merge_rank.get(&(w[0], w[1])) {
-                    if best.map_or(true, |(r, _, _)| rank < r) {
+                    if best.is_none_or(|(r, _, _)| rank < r) {
                         best = Some((rank, i, merged));
                     }
                 }
@@ -209,6 +209,18 @@ fn split_chunks(text: &str) -> impl Iterator<Item = &str> {
         bounds.push((last, bytes.len()));
     }
     bounds.into_iter().map(move |(a, b)| &text[a..b])
+}
+
+fn apply_merge(toks: &mut Vec<TokenId>, l: TokenId, r: TokenId, merged: TokenId) {
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i] == l && toks[i + 1] == r {
+            toks[i] = merged;
+            toks.remove(i + 1);
+        } else {
+            i += 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -305,21 +317,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "vocab_size must exceed")]
     fn too_small_vocab_panics() {
-        BpeTokenizer::train("x", &BpeTrainConfig {
-            vocab_size: 100,
-            min_pair_freq: 1,
-        });
-    }
-}
-
-fn apply_merge(toks: &mut Vec<TokenId>, l: TokenId, r: TokenId, merged: TokenId) {
-    let mut i = 0;
-    while i + 1 < toks.len() {
-        if toks[i] == l && toks[i + 1] == r {
-            toks[i] = merged;
-            toks.remove(i + 1);
-        } else {
-            i += 1;
-        }
+        BpeTokenizer::train(
+            "x",
+            &BpeTrainConfig {
+                vocab_size: 100,
+                min_pair_freq: 1,
+            },
+        );
     }
 }

@@ -53,7 +53,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .flatten()
         .copied()
         .fold(f64::INFINITY, f64::min)
-        .max(diloco.iter().flatten().copied().fold(f64::INFINITY, f64::min))
+        .max(
+            diloco
+                .iter()
+                .flatten()
+                .copied()
+                .fold(f64::INFINITY, f64::min),
+        )
         * 1.15;
     let first_below = |xs: &[Option<f64>]| {
         xs.iter()

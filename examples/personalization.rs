@@ -56,7 +56,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut stream = ds.bind_stream(SeedStream::new(999));
             let mut batch = photon_data::Batch::zeros(1, 32);
             let mut v = Vec::new();
-            use photon_data::TokenStream;
             for _ in 0..40 {
                 stream.next_batch(&mut batch);
                 v.extend_from_slice(&batch.inputs);

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 4);
     cfg.local_steps = 16; // tau: local steps per round
     cfg.local_batch = 8; // B_l: hardware-determined local batch size
-    println!("photon quickstart: {} | {} clients", cfg.model, cfg.population);
+    println!(
+        "photon quickstart: {} | {} clients",
+        cfg.model, cfg.population
+    );
     println!(
         "global batch B_g = N x B_l = {} | server opt: FedAvg",
         cfg.global_batch()
@@ -51,6 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         history.best_ppl().unwrap(),
         cfg.model.vocab_size as f64
     );
-    println!("total Link traffic: {:.1} KB", history.total_wire_bytes() as f64 / 1024.0);
+    println!(
+        "total Link traffic: {:.1} KB",
+        history.total_wire_bytes() as f64 / 1024.0
+    );
     Ok(())
 }

@@ -16,10 +16,7 @@ use photon_core::FederationConfig;
 use photon_nn::ModelConfig;
 use photon_tensor::SeedStream;
 
-fn train(
-    compress: bool,
-    secure: bool,
-) -> Result<(Vec<f32>, u64), Box<dyn std::error::Error>> {
+fn train(compress: bool, secure: bool) -> Result<(Vec<f32>, u64), Box<dyn std::error::Error>> {
     let mut cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 4);
     cfg.local_steps = 8;
     cfg.local_batch = 4;
@@ -34,10 +31,7 @@ fn train(
         stop_below: None,
     };
     let history = run_federation(&mut fed, &val, &opts)?;
-    Ok((
-        fed.aggregator.params().to_vec(),
-        history.total_wire_bytes(),
-    ))
+    Ok((fed.aggregator.params().to_vec(), history.total_wire_bytes()))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

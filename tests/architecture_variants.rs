@@ -18,10 +18,7 @@ fn run(positions: PosEncoding) -> (f64, usize) {
         stop_below: None,
     };
     let history = run_federation(&mut fed, &val, &opts).unwrap();
-    (
-        history.final_ppl().unwrap(),
-        fed.aggregator.params().len(),
-    )
+    (history.final_ppl().unwrap(), fed.aggregator.params().len())
 }
 
 #[test]

@@ -15,11 +15,7 @@ fn run(seed: u64, rounds: u64) -> (Vec<f32>, Vec<f32>) {
         stop_below: None,
     };
     let history = run_federation(&mut fed, &val, &opts).unwrap();
-    let losses = history
-        .rounds
-        .iter()
-        .map(|r| r.mean_client_loss)
-        .collect();
+    let losses = history.rounds.iter().map(|r| r.mean_client_loss).collect();
     (fed.aggregator.params().to_vec(), losses)
 }
 
@@ -53,8 +49,7 @@ fn partial_participation_is_also_reproducible() {
             stop_below: None,
         };
         let history = run_federation(&mut fed, &val, &opts).unwrap();
-        let cohorts: Vec<Vec<usize>> =
-            history.rounds.iter().map(|r| r.cohort.clone()).collect();
+        let cohorts: Vec<Vec<usize>> = history.rounds.iter().map(|r| r.cohort.clone()).collect();
         (fed.aggregator.params().to_vec(), cohorts)
     };
     let (pa, ca) = run(42);

@@ -75,8 +75,7 @@ fn telemetry_tracks_every_round() {
     let stats = telemetry.client_stats();
     assert_eq!(stats.len(), fed.clients.len());
     let cfg = fed.aggregator.config();
-    let expect_tokens =
-        5 * cfg.local_steps * (cfg.local_batch * cfg.model.seq_len) as u64;
+    let expect_tokens = 5 * cfg.local_steps * (cfg.local_batch * cfg.model.seq_len) as u64;
     for (_, s) in &stats {
         assert_eq!(s.rounds_participated, 5);
         assert_eq!(s.tokens, expect_tokens);
@@ -94,22 +93,12 @@ fn quantized_updates_preserve_aggregation_quality() {
     use photon_tensor::SeedStream;
     let mut rng = SeedStream::new(4);
     let updates: Vec<ClientUpdate> = (0..4)
-        .map(|_| {
-            ClientUpdate::new(
-                (0..5_000).map(|_| rng.next_normal() * 1e-2).collect(),
-                1.0,
-            )
-        })
+        .map(|_| ClientUpdate::new((0..5_000).map(|_| rng.next_normal() * 1e-2).collect(), 1.0))
         .collect();
     let exact = aggregate_deltas(&updates);
     let quantized: Vec<ClientUpdate> = updates
         .iter()
-        .map(|u| {
-            ClientUpdate::new(
-                dequantize_i8(quantize_i8(&u.delta)).unwrap(),
-                u.weight,
-            )
-        })
+        .map(|u| ClientUpdate::new(dequantize_i8(quantize_i8(&u.delta)).unwrap(), u.weight))
         .collect();
     let approx = aggregate_deltas(&quantized);
 

@@ -52,10 +52,7 @@ fn full_feature_stack_trains_together() {
     let history = run_federation(&mut fed, &val, &opts).unwrap();
     let evals: Vec<f64> = history.rounds.iter().filter_map(|r| r.eval_ppl).collect();
     assert!(evals.len() >= 2);
-    assert!(
-        evals.last().unwrap() < evals.first().unwrap(),
-        "{evals:?}"
-    );
+    assert!(evals.last().unwrap() < evals.first().unwrap(), "{evals:?}");
 }
 
 #[test]

@@ -1,0 +1,306 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Measures mean wall-clock time per iteration with a short warm-up, prints
+//! one line per benchmark, and (unlike upstream) can dump every measurement
+//! to a JSON file: set `CRITERION_JSON=/path/report.json` before running
+//! the bench binary. Statistical machinery (outlier analysis, HTML
+//! reports, comparisons) is intentionally absent.
+
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurements recorded by every `bench_function` call in this process.
+fn registry() -> &'static Mutex<Vec<(String, f64)>> {
+    static REGISTRY: OnceLock<Mutex<Vec<(String, f64)>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Debug, Clone)]
+struct GroupConfig {
+    measurement_time: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            measurement_time: Duration::from_millis(500),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            config: GroupConfig::default(),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(id.into(), &GroupConfig::default(), f);
+        self
+    }
+
+    /// Called by `criterion_main!` after all groups: writes the JSON report
+    /// if `CRITERION_JSON` is set.
+    pub fn finalize() {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        let results = registry().lock().unwrap_or_else(|p| p.into_inner());
+        let mut out = String::from("{\n");
+        for (i, (name, ns)) in results.iter().enumerate() {
+            out.push_str(&format!(
+                "  \"{}\": {{ \"mean_ns\": {:.1} }}{}\n",
+                name.replace('"', "'"),
+                ns,
+                if i + 1 < results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("}\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("criterion stub: failed to write {path}: {e}");
+        } else {
+            eprintln!("criterion stub: wrote report to {path}");
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    config: GroupConfig,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.config.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(format!("{}/{}", self.name, id.into()), &self.config, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: String, config: &GroupConfig, mut f: F) {
+    let mut bencher = Bencher {
+        budget: config.measurement_time,
+        min_samples: config.sample_size,
+        mean_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut bencher);
+    let mean = bencher.mean_ns;
+    registry()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .push((id.clone(), mean));
+    let throughput = match config.throughput {
+        Some(Throughput::Bytes(b)) if mean > 0.0 => {
+            format!(
+                "  thrpt: {:>10}/s",
+                format_bytes(b as f64 / (mean * 1e-9))
+            )
+        }
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            format!("  thrpt: {:.3e} elem/s", n as f64 / (mean * 1e-9))
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{id:<50} time: [{}]  ({} iters){throughput}",
+        format_time(mean),
+        bencher.iters
+    );
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn format_bytes(bytes_per_s: f64) -> String {
+    if bytes_per_s < 1e3 {
+        format!("{bytes_per_s:.1} B")
+    } else if bytes_per_s < 1e6 {
+        format!("{:.1} KiB", bytes_per_s / 1024.0)
+    } else if bytes_per_s < 1e9 {
+        format!("{:.1} MiB", bytes_per_s / (1024.0 * 1024.0))
+    } else {
+        format!("{:.2} GiB", bytes_per_s / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
+pub struct Bencher {
+    budget: Duration,
+    min_samples: usize,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, recording mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + per-iteration estimate.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let first = warm_start.elapsed();
+        let mut total = Duration::ZERO;
+        let mut count: u64 = 0;
+        let budget = self.budget;
+        // Aim for at least `min_samples` iterations even if slow, but stop
+        // early once the time budget is spent.
+        let floor = self.min_samples as u64;
+        let start = Instant::now();
+        while count < floor || start.elapsed() < budget {
+            let t0 = Instant::now();
+            black_box(routine());
+            total += t0.elapsed();
+            count += 1;
+            if count >= floor && start.elapsed() >= budget {
+                break;
+            }
+            // Hard cap so ultra-fast routines do not spin forever.
+            if count >= 1_000_000 {
+                break;
+            }
+        }
+        let _ = first;
+        self.mean_ns = total.as_secs_f64() * 1e9 / count as f64;
+        self.iters = count;
+    }
+
+    /// Criterion's batched form: `setup` output feeds each `routine` call;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        let mut count: u64 = 0;
+        let floor = self.min_samples as u64;
+        let budget = self.budget;
+        let start = Instant::now();
+        while count < floor || start.elapsed() < budget {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            total += t0.elapsed();
+            count += 1;
+            if count >= floor && start.elapsed() >= budget {
+                break;
+            }
+            if count >= 1_000_000 {
+                break;
+            }
+        }
+        self.mean_ns = total.as_secs_f64() * 1e9 / count as f64;
+        self.iters = count;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(5);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        let reg = registry().lock().unwrap();
+        assert!(reg.iter().any(|(n, _)| n == "stub/noop"));
+        assert!(reg.iter().any(|(n, _)| n == "stub/batched"));
+    }
+}

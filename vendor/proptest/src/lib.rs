@@ -1,0 +1,849 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Implements the strategy combinators and macros this workspace uses with
+//! deterministic pseudo-random sampling (seeded from the test's module
+//! path + name, so runs are reproducible). Failing cases are reported with
+//! the assertion message but are **not shrunk** — if a property fails, the
+//! printed inputs are the raw sampled ones.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    /// Mirror of `proptest::test_runner::Config` (a.k.a. `ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Config {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config {
+                // Lighter than upstream's 256: the stub runs without
+                // shrinking or forking, and CI machines here are small.
+                cases: 64,
+                max_global_rejects: 4096,
+            }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assert*` failure: the property is violated.
+        Fail(String),
+        /// `prop_assume` rejection: inputs outside the property's domain.
+        Reject(String),
+    }
+
+    /// Deterministic SplitMix64 stream used for all sampling.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> TestRng {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Seeds from a test name so each test gets an independent,
+        /// stable stream.
+        pub fn from_name(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for &b in name.as_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng::new(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below(0)");
+            self.next_u64() % n
+        }
+
+        /// Uniform in [0, 1) with 53-bit precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A source of sampled values. Unlike upstream proptest there is no
+    /// value tree / shrinking: `sample` directly yields a value.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: impl Into<String>,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                reason: reason.into(),
+                f,
+            }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: std::rc::Rc::new(self),
+            }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Regex-shaped string strategies (`s in "[a-z ]{1,120}"`), as in
+    /// upstream proptest. Supports the subset of syntax this workspace's
+    /// tests use: literal chars, `\t`/`\n`/`\r`/`\\` escapes, the category
+    /// escape `\PC` (any non-control scalar), char classes with ranges, and
+    /// the quantifiers `*` `+` `?` `{n}` `{n,m}`. Unbounded repeats are
+    /// capped at 64 chars.
+    impl Strategy for str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            sample_regex(self, rng)
+        }
+    }
+
+    enum RegexAtom {
+        Literal(char),
+        /// `\PC`: any Unicode scalar outside general category C (controls).
+        AnyNonControl,
+        /// Inclusive ranges; single chars are degenerate ranges.
+        Class(Vec<(char, char)>),
+    }
+
+    impl RegexAtom {
+        fn sample(&self, rng: &mut TestRng) -> char {
+            match self {
+                RegexAtom::Literal(c) => *c,
+                RegexAtom::AnyNonControl => loop {
+                    // Bias toward ASCII so generated strings stay readable,
+                    // but keep a real tail of higher scalars.
+                    if rng.below(5) < 4 {
+                        return char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap();
+                    }
+                    if let Some(c) = char::from_u32(rng.below(0x11_0000) as u32) {
+                        if !c.is_control() {
+                            return c;
+                        }
+                    }
+                },
+                RegexAtom::Class(ranges) => {
+                    let total: u64 = ranges
+                        .iter()
+                        .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+                        .sum();
+                    let mut pick = rng.below(total);
+                    for &(lo, hi) in ranges {
+                        let span = hi as u64 - lo as u64 + 1;
+                        if pick < span {
+                            return char::from_u32(lo as u32 + pick as u32)
+                                .expect("class range crosses surrogates");
+                        }
+                        pick -= span;
+                    }
+                    unreachable!()
+                }
+            }
+        }
+    }
+
+    fn parse_class_char(chars: &[char], i: &mut usize) -> char {
+        let c = chars[*i];
+        *i += 1;
+        if c != '\\' {
+            return c;
+        }
+        let esc = chars[*i];
+        *i += 1;
+        match esc {
+            't' => '\t',
+            'n' => '\n',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut out = String::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while chars[i] != ']' {
+                        let lo = parse_class_char(&chars, &mut i);
+                        if chars[i] == '-' && chars[i + 1] != ']' {
+                            i += 1;
+                            let hi = parse_class_char(&chars, &mut i);
+                            assert!(lo <= hi, "bad class range in {pattern:?}");
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    i += 1;
+                    RegexAtom::Class(ranges)
+                }
+                '\\' => {
+                    i += 1;
+                    let esc = chars[i];
+                    i += 1;
+                    match esc {
+                        'P' => {
+                            assert_eq!(
+                                chars[i], 'C',
+                                "only the \\PC category escape is supported ({pattern:?})"
+                            );
+                            i += 1;
+                            RegexAtom::AnyNonControl
+                        }
+                        't' => RegexAtom::Literal('\t'),
+                        'n' => RegexAtom::Literal('\n'),
+                        'r' => RegexAtom::Literal('\r'),
+                        other => RegexAtom::Literal(other),
+                    }
+                }
+                c => {
+                    assert!(
+                        !matches!(c, '(' | ')' | '|' | '.' | '^' | '$'),
+                        "unsupported regex syntax {c:?} in {pattern:?}"
+                    );
+                    i += 1;
+                    RegexAtom::Literal(c)
+                }
+            };
+            let (lo, hi) = if i < chars.len() {
+                match chars[i] {
+                    '*' => {
+                        i += 1;
+                        (0usize, 64usize)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 64)
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    '{' => {
+                        i += 1;
+                        let mut lo = 0usize;
+                        while chars[i].is_ascii_digit() {
+                            lo = lo * 10 + chars[i] as usize - '0' as usize;
+                            i += 1;
+                        }
+                        let hi = if chars[i] == ',' {
+                            i += 1;
+                            let mut hi = 0usize;
+                            while chars[i].is_ascii_digit() {
+                                hi = hi * 10 + chars[i] as usize - '0' as usize;
+                                i += 1;
+                            }
+                            hi
+                        } else {
+                            lo
+                        };
+                        assert_eq!(chars[i], '}', "unterminated repeat in {pattern:?}");
+                        i += 1;
+                        (lo, hi)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(atom.sample(rng));
+            }
+        }
+        out
+    }
+
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) reason: String,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.sample(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter `{}` rejected 10000 samples in a row", self.reason);
+        }
+    }
+
+    /// Type-erased strategy (upstream's `BoxedStrategy`).
+    pub struct BoxedStrategy<T> {
+        inner: std::rc::Rc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: std::rc::Rc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.inner.sample(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among same-typed strategies (`prop_oneof!`).
+    pub struct Union<S> {
+        arms: Vec<S>,
+    }
+
+    impl<S: Strategy> Union<S> {
+        pub fn new(arms: Vec<S>) -> Union<S> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<S: Strategy> Strategy for Union<S> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            let pick = rng.below(self.arms.len() as u64) as usize;
+            self.arms[pick].sample(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+}
+
+use strategy::Strategy;
+use test_runner::TestRng;
+
+macro_rules! impl_uint_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_uint_range_strategy!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(i32 => u32, i64 => u64, isize => usize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+/// Types with a canonical "anything" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (upstream `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed size or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Yields `None` about a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+pub mod sample {
+    use super::test_runner::TestRng;
+    use super::Arbitrary;
+
+    /// An index into a collection of as-yet-unknown size.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index {
+        raw: u64,
+    }
+
+    impl Index {
+        /// Projects this abstract index into `0..len`.
+        ///
+        /// # Panics
+        /// Panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index(0)");
+            (self.raw % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index { raw: rng.next_u64() }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::sample;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{any, Any, Arbitrary};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!(
+                            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            l,
+                            r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!(
+                            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}\n  {}",
+                            stringify!($left),
+                            stringify!($right),
+                            l,
+                            r,
+                            format!($($fmt)+)
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!(
+                            "assertion failed: `{}` != `{}`\n  both: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            l
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!(
+                            "assertion failed: `{}` != `{}`\n  both: {:?}\n  {}",
+                            stringify!($left),
+                            stringify!($right),
+                            l,
+                            format!($($fmt)+)
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($strat),+])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { @cfg($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (@cfg($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($pat:pat in $strat:expr),* $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut passed: u32 = 0;
+                let mut rejected: u32 = 0;
+                while passed < config.cases {
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> = {
+                        $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                        let __proptest_case = move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        };
+                        __proptest_case()
+                    };
+                    match outcome {
+                        ::std::result::Result::Ok(()) => passed += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {
+                            rejected += 1;
+                            if rejected > config.max_global_rejects {
+                                panic!(
+                                    "proptest {}: too many prop_assume rejections ({})",
+                                    stringify!($name),
+                                    rejected
+                                );
+                            }
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => {
+                            panic!(
+                                "proptest {} failed after {} passing case(s):\n{}",
+                                stringify!($name),
+                                passed,
+                                msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..500 {
+            let v = Strategy::sample(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let f = Strategy::sample(&(-2.0f32..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::new(2);
+        let strat = (1usize..5, 1usize..5)
+            .prop_map(|(a, b)| a * 10 + b)
+            .prop_filter("odd", |v| v % 2 == 1);
+        for _ in 0..200 {
+            let v = Strategy::sample(&strat, &mut rng);
+            assert!(v % 2 == 1 && v >= 11 && v <= 44);
+        }
+        let lens = collection::vec(0u8..10, 2..5);
+        for _ in 0..100 {
+            let v = Strategy::sample(&lens, &mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_form_works(a in 0usize..10, b in any::<bool>()) {
+            prop_assume!(a > 0);
+            prop_assert!(a < 10);
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(a + 1, a);
+            let _ = b;
+        }
+    }
+}

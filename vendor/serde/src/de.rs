@@ -1,0 +1,39 @@
+//! Deserialization error plumbing.
+
+use std::fmt;
+
+/// Mirror of `serde::de::Error`: formats backing every deserializer error
+/// can be built from a display message.
+pub trait Error: Sized {
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// The concrete error type used by [`crate::Deserialize::from_value`] and
+/// the [`crate::value`] backends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Builds an error from a message (convenience for generated code).
+    pub fn msg(msg: impl Into<String>) -> DeError {
+        DeError { msg: msg.into() }
+    }
+}
+
+impl Error for DeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        DeError {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}

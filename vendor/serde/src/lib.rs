@@ -1,0 +1,89 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! Instead of serde's visitor-based streaming data model, this stub routes
+//! everything through an owned [`Value`] tree: `Serialize` renders a value
+//! into a [`Value`], `Deserialize` rebuilds it from one, and formats
+//! (`serde_json`) convert between `Value` and text. The public trait
+//! surface (`Serialize`, `Deserialize`, `Serializer`, `Deserializer`, the
+//! derive macros, `#[serde(...)]` attributes used in this workspace) keeps
+//! serde's shapes so crate code is source-compatible with the real thing.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+mod impls;
+
+pub use de::DeError;
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type renderable into the [`Value`] data model.
+pub trait Serialize {
+    /// Renders `self` as an owned [`Value`] tree.
+    fn to_value(&self) -> Value;
+
+    /// Serde-compatible entry point: hands the rendered [`Value`] to the
+    /// serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        Self: Sized,
+    {
+        serializer.collect_value(self.to_value())
+    }
+}
+
+/// A format backend that consumes one [`Value`] tree.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error;
+
+    fn collect_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type rebuildable from the [`Value`] data model.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+
+    /// Serde-compatible entry point: pulls a [`Value`] out of the
+    /// deserializer and rebuilds `Self` from it.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.take_value()?;
+        Self::from_value(&value).map_err(<D::Error as de::Error>::custom)
+    }
+}
+
+/// A format backend that produces one [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Support for `#[derive(Serialize, Deserialize)]`-generated code. Not a
+/// stable API.
+pub mod __private {
+    use super::{DeError, Value};
+
+    pub use super::value::{ValueDeserializer, ValueSerializer};
+
+    /// Looks up a string key in a [`Value::Map`] entry list.
+    pub fn map_get<'a>(entries: &'a [(Value, Value)], key: &str) -> Option<&'a Value> {
+        entries.iter().find_map(|(k, v)| match k {
+            Value::Str(s) if s == key => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Unwraps the result of a `#[serde(with = ...)]` serialize call made
+    /// against [`ValueSerializer`] (which cannot fail in practice).
+    pub fn expect_with_value(result: Result<Value, DeError>) -> Value {
+        match result {
+            Ok(v) => v,
+            Err(e) => panic!("with-module serialization failed: {e}"),
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Serialization error plumbing.
+
+use std::fmt;
+
+/// Mirror of `serde::ser::Error`.
+pub trait Error: Sized {
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+impl Error for crate::DeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        <crate::DeError as crate::de::Error>::custom(msg)
+    }
+}

@@ -1,0 +1,467 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates implementations of the stub `serde`'s `Serialize` /
+//! `Deserialize` traits (which route through `serde::Value`) for the item
+//! shapes this workspace uses:
+//!
+//! - structs with named fields (attrs: `#[serde(default)]`,
+//!   `#[serde(skip)]`, `#[serde(with = "module")]`)
+//! - single-field tuple ("newtype") structs — transparent representation
+//! - enums with unit and struct variants — externally tagged, matching
+//!   serde's default (`"Variant"` / `{"Variant": {...}}`)
+//!
+//! The parser walks raw token trees (no `syn`/`quote` available offline)
+//! and the generated code is built as a string and re-parsed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+    skip: bool,
+    with: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field list for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+enum Body {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("serde stub derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("serde stub derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut is_struct = true;
+    let mut name = String::new();
+
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // attribute
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    is_struct = s == "struct";
+                    name = match &tokens[i + 1] {
+                        TokenTree::Ident(n) => n.to_string(),
+                        t => panic!("serde stub derive: expected type name, got {t}"),
+                    };
+                    i += 2;
+                    break;
+                }
+                i += 1; // visibility or other modifier
+            }
+            _ => i += 1, // e.g. the (crate) part of pub(crate)
+        }
+    }
+    assert!(!name.is_empty(), "serde stub derive: no struct/enum found");
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generic types are not supported");
+        }
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_struct {
+                Body::Struct(parse_fields(g.stream()))
+            } else {
+                Body::Enum(parse_variants(g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            match count_top_level_fields(g.stream()) {
+                1 => Body::Newtype,
+                n => panic!("serde stub derive: tuple struct with {n} fields unsupported"),
+            }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+        other => panic!("serde stub derive: unexpected item body {other:?}"),
+    };
+
+    Input { name, body }
+}
+
+/// Number of comma-separated items at angle-bracket depth zero.
+fn count_top_level_fields(ts: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_any = false;
+    let mut last_was_comma = false;
+    for t in ts {
+        saw_any = true;
+        last_was_comma = false;
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    fields += 1;
+                    last_was_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if saw_any && !last_was_comma {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_fields(ts: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+
+    while i < tokens.len() {
+        let mut field = Field {
+            name: String::new(),
+            default: false,
+            skip: false,
+            with: None,
+        };
+
+        // Attributes (including doc comments).
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                apply_serde_attr(g.stream(), &mut field);
+            }
+            i += 2;
+        }
+
+        // Visibility.
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(
+                tokens.get(i),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                i += 1;
+            }
+        }
+
+        field.name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("serde stub derive: expected field name, got {t}"),
+        };
+        i += 2; // name + ':'
+
+        // Skip the type: consume to the next comma at angle depth zero.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+
+        out.push(field);
+    }
+    out
+}
+
+/// If the attribute token stream is `serde(...)`, records the options this
+/// stub understands onto `field`.
+fn apply_serde_attr(ts: TokenStream, field: &mut Field) {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let inner = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return,
+    };
+
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut segments: Vec<Vec<TokenTree>> = Vec::new();
+    for t in inner {
+        if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+            segments.push(std::mem::take(&mut current));
+        } else {
+            current.push(t);
+        }
+    }
+    if !current.is_empty() {
+        segments.push(current);
+    }
+
+    for seg in segments {
+        let key = match seg.first() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => continue,
+        };
+        match key.as_str() {
+            "default" => field.default = true,
+            "skip" | "skip_serializing" | "skip_deserializing" => field.skip = true,
+            "with" => {
+                for t in &seg {
+                    if let TokenTree::Literal(lit) = t {
+                        let s = lit.to_string();
+                        field.with = Some(s.trim_matches('"').to_string());
+                    }
+                }
+            }
+            other => panic!("serde stub derive: unsupported attribute `{other}`"),
+        }
+    }
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+
+    while i < tokens.len() {
+        // Attributes / doc comments.
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("serde stub derive: expected variant name, got {t}"),
+        };
+        i += 1;
+
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde stub derive: tuple enum variants unsupported ({name})");
+            }
+            _ => None,
+        };
+
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        out.push(Variant { name, fields });
+    }
+    out
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn field_to_value_expr(receiver: &str, field: &Field) -> String {
+    match &field.with {
+        Some(path) => format!(
+            "::serde::__private::expect_with_value({path}::serialize(&{receiver}, \
+             ::serde::__private::ValueSerializer))"
+        ),
+        None => format!("::serde::Serialize::to_value(&{receiver})"),
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Newtype => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Struct(fields) => {
+            let mut s = String::from(
+                "let mut entries: ::std::vec::Vec<(::serde::Value, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                let value = field_to_value_expr(&format!("self.{}", f.name), f);
+                s.push_str(&format!(
+                    "entries.push((::serde::Value::Str(::std::string::String::from(\"{n}\")), \
+                     {value}));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::serde::Value::Map(entries)");
+            s
+        }
+        Body::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                match &v.fields {
+                    None => s.push_str(&format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n",
+                        v = v.name
+                    )),
+                    Some(fields) => {
+                        let bindings: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut arm = format!(
+                            "{name}::{v} {{ {pat} }} => {{\n\
+                             let mut entries: ::std::vec::Vec<(::serde::Value, ::serde::Value)> \
+                             = ::std::vec::Vec::new();\n",
+                            v = v.name,
+                            pat = bindings.join(", ")
+                        );
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            let value = field_to_value_expr(f.name.as_str(), f);
+                            arm.push_str(&format!(
+                                "entries.push((::serde::Value::Str(\
+                                 ::std::string::String::from(\"{n}\")), {value}));\n",
+                                n = f.name
+                            ));
+                        }
+                        arm.push_str(&format!(
+                            "let mut outer: ::std::vec::Vec<(::serde::Value, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\n\
+                             outer.push((::serde::Value::Str(::std::string::String::from(\
+                             \"{v}\")), ::serde::Value::Map(entries)));\n\
+                             ::serde::Value::Map(outer)\n}},\n",
+                            v = v.name
+                        ));
+                        s.push_str(&arm);
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn field_from_value_expr(ty_name: &str, field: &Field) -> String {
+    if field.skip {
+        return "::std::default::Default::default()".to_string();
+    }
+    let fetch = format!("::serde::__private::map_get(entries, \"{}\")", field.name);
+    let decode = match &field.with {
+        Some(path) => format!(
+            "{path}::deserialize(::serde::__private::ValueDeserializer::new(\
+             ::std::clone::Clone::clone(fv)))?"
+        ),
+        None => "::serde::Deserialize::from_value(fv)?".to_string(),
+    };
+    let missing = if field.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::DeError::msg(\
+             \"{ty_name}: missing field `{n}`\"))",
+            n = field.name
+        )
+    };
+    format!(
+        "match {fetch} {{\n\
+         ::std::option::Option::Some(fv) => {decode},\n\
+         ::std::option::Option::None => {missing},\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let (param, body) = match &input.body {
+        Body::Unit => (
+            "_value",
+            format!("::std::result::Result::Ok({name})"),
+        ),
+        Body::Newtype => (
+            "value",
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"),
+        ),
+        Body::Struct(fields) => {
+            let mut s = format!(
+                "let entries = value.as_map().ok_or_else(|| \
+                 ::serde::DeError::msg(\"{name}: expected map\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&format!("{n}: {expr},\n", n = f.name, expr = field_from_value_expr(name, f)));
+            }
+            s.push_str("})");
+            ("value", s)
+        }
+        Body::Enum(variants) => {
+            let mut s = String::new();
+            let units: Vec<&Variant> = variants.iter().filter(|v| v.fields.is_none()).collect();
+            let structs: Vec<&Variant> = variants.iter().filter(|v| v.fields.is_some()).collect();
+            if !units.is_empty() {
+                s.push_str("if let ::std::option::Option::Some(tag) = value.as_str() {\n");
+                for v in &units {
+                    s.push_str(&format!(
+                        "if tag == \"{v}\" {{ return ::std::result::Result::Ok({name}::{v}); }}\n",
+                        v = v.name
+                    ));
+                }
+                s.push_str("}\n");
+            }
+            if !structs.is_empty() {
+                s.push_str(
+                    "if let ::std::option::Option::Some((tag, payload)) = \
+                     value.as_single_entry() {\n",
+                );
+                for v in &structs {
+                    let fields = v.fields.as_ref().unwrap();
+                    s.push_str(&format!(
+                        "if tag == \"{v}\" {{\n\
+                         let entries = payload.as_map().ok_or_else(|| \
+                         ::serde::DeError::msg(\"{name}::{v}: expected map\"))?;\n\
+                         return ::std::result::Result::Ok({name}::{v} {{\n",
+                        v = v.name
+                    ));
+                    for f in fields {
+                        s.push_str(&format!(
+                            "{n}: {expr},\n",
+                            n = f.name,
+                            expr = field_from_value_expr(name, f)
+                        ));
+                    }
+                    s.push_str("});\n}\n");
+                }
+                s.push_str("}\n");
+            }
+            s.push_str(&format!(
+                "::std::result::Result::Err(::serde::DeError::msg(\
+                 \"{name}: unknown or malformed variant\"))"
+            ));
+            ("value", s)
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn from_value({param}: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
