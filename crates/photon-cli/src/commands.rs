@@ -2,10 +2,12 @@
 
 use crate::args::Args;
 use photon_core::experiments::{
-    build_heterogeneous_federation, build_iid_federation, downstream_report, run_federation,
-    RunOptions,
+    build_heterogeneous_federation, build_iid_federation, downstream_report, RunOptions,
 };
-use photon_core::{load_checkpoint, save_checkpoint, CohortSpec, Federation, FederationConfig};
+use photon_core::{
+    load_checkpoint, run_training, CohortSpec, CoreError, FaultInjector, FaultSpec, Federation,
+    FederationConfig, TrainingOptions,
+};
 use photon_fedopt::ServerOptKind;
 use photon_nn::{generate as sample_tokens, Gpt, ModelConfig, SampleConfig};
 use photon_optim::LrSchedule;
@@ -31,6 +33,15 @@ OPTIONS:
     --eval-every N                    eval cadence in rounds   [1]
     --threads N                       kernel worker threads (0 = serial) [auto]
     --checkpoint-dir DIR              save (and resume) here
+    --checkpoint-every N              checkpoint cadence in rounds [5]
+    --recovery-budget N               max crash recoveries     [3]
+    --deadline-ms N                   round deadline; late results dropped
+                                      into the partial-update path
+    --retransmit-budget N             link retries for corrupt frames [3]
+    --faults SPEC                     seeded fault injection, e.g.
+                                      crash=0.05,straggle=0.1,straggle-ms=500,
+                                      corrupt=0.05,agg=0.02,seed=9
+                                      (pair with --partial-ok)
     --compress                        lossless Link compression
     --secure                          secure aggregation
     --partial-ok                      tolerate client dropouts";
@@ -53,26 +64,30 @@ pub fn train(args: &Args, resume: bool) -> Result<(), String> {
     let rounds: u64 = args.get_parsed("rounds", 12)?;
     let eval_every: u64 = args.get_parsed("eval-every", 1)?;
 
-    let (mut fed, val, cfg) = if resume {
+    let cfg = if resume {
         let dir = ckpt_dir
             .as_deref()
             .ok_or("resume requires --checkpoint-dir")?;
-        let (manifest, params) =
+        let (manifest, _) =
             load_checkpoint(dir).map_err(|e| format!("cannot load checkpoint: {e}"))?;
-        let cfg = manifest.config.clone();
-        let (mut fed, val) = build_data(&cfg, args)?;
-        fed.aggregator
-            .restore(manifest.round, params)
-            .map_err(|e| e.to_string())?;
-        println!("resumed from {} at round {}", dir.display(), manifest.round);
-        (fed, val, cfg)
+        println!(
+            "resuming from {} at round {}",
+            dir.display(),
+            manifest.round
+        );
+        manifest.config
     } else {
-        let cfg = config_from_args(args)?;
-        let (fed, val) = build_data(&cfg, args)?;
-        (fed, val, cfg)
+        config_from_args(args)?
     };
 
-    fed.aggregator.telemetry().record_compute_threads(threads);
+    let injector = match args.get("faults") {
+        Some(spec) => {
+            let spec = FaultSpec::parse(spec).map_err(|e| format!("--faults: {e}"))?;
+            Some(FaultInjector::from_spec(&spec, cfg.population, rounds))
+        }
+        None => None,
+    };
+
     println!(
         "training {} | {} clients | tau = {} | B_l = {} | B_g = {} | {} | {} worker thread(s)",
         cfg.model,
@@ -88,32 +103,76 @@ pub fn train(args: &Args, resume: bool) -> Result<(), String> {
         },
         threads
     );
+    if let Some(inj) = &injector {
+        println!(
+            "fault plan: {} client fault(s), {} aggregator crash(es) over {rounds} round(s)",
+            inj.plan().client_fault_count(),
+            inj.plan().agg_crash_count()
+        );
+    }
 
-    let opts = RunOptions {
-        rounds,
-        eval_every,
-        eval_windows: 48,
-        stop_below: None,
+    let opts = TrainingOptions {
+        run: RunOptions {
+            rounds,
+            eval_every,
+            eval_windows: 48,
+            stop_below: None,
+        },
+        checkpoint_dir: ckpt_dir.clone(),
+        checkpoint_every: args.get_parsed("checkpoint-every", 5)?,
+        recovery_budget: args.get_parsed("recovery-budget", 3)?,
+        resume,
     };
-    let history = run_federation(&mut fed, &val, &opts).map_err(|e| e.to_string())?;
-    for r in &history.rounds {
+    let outcome = run_training(
+        || {
+            let (fed, val) = build_data(&cfg, args).map_err(CoreError::InvalidConfig)?;
+            fed.aggregator.telemetry().record_compute_threads(threads);
+            Ok((fed, val))
+        },
+        &opts,
+        injector.as_ref(),
+    )
+    .map_err(|e| e.to_string())?;
+
+    for r in &outcome.history.rounds {
+        let turbulence = if r.dropouts + r.stragglers > 0 || r.retransmits > 0 {
+            format!(
+                " | drop {} strag {} rtx {}",
+                r.dropouts, r.stragglers, r.retransmits
+            )
+        } else {
+            String::new()
+        };
         match r.eval_ppl {
             Some(p) => println!(
-                "round {:>4} | loss {:.4} | val ppl {:>8.2} | wire {:>7.1} KB",
+                "round {:>4} | loss {:.4} | val ppl {:>8.2} | wire {:>7.1} KB{turbulence}",
                 r.round,
                 r.mean_client_loss,
                 p,
                 r.wire_bytes as f64 / 1024.0
             ),
-            None => println!("round {:>4} | loss {:.4}", r.round, r.mean_client_loss),
+            None => println!(
+                "round {:>4} | loss {:.4}{turbulence}",
+                r.round, r.mean_client_loss
+            ),
         }
     }
-    if let Some(best) = history.best_ppl() {
+    if let Some(best) = outcome.history.best_ppl() {
         println!("best validation perplexity: {best:.2}");
     }
+    let faults = outcome.federation.aggregator.telemetry().fault_counters();
+    if outcome.recoveries > 0 || faults != photon_core::FaultCounters::default() {
+        println!(
+            "faults absorbed: {} crash(es), {} straggler(s), {} retransmit(s), \
+             {} link dropout(s), {} recovery(ies)",
+            faults.crashes,
+            faults.stragglers,
+            faults.retransmits,
+            faults.link_dropouts,
+            outcome.recoveries
+        );
+    }
     if let Some(dir) = ckpt_dir {
-        save_checkpoint(&dir, &cfg, fed.aggregator.round(), fed.aggregator.params())
-            .map_err(|e| format!("checkpoint failed: {e}"))?;
         println!("checkpoint saved to {}", dir.display());
     }
     Ok(())
@@ -134,6 +193,10 @@ fn config_from_args(args: &Args) -> Result<FederationConfig, String> {
     cfg.compress_link = args.flag("compress");
     cfg.secure_agg = args.flag("secure");
     cfg.allow_partial_results = args.flag("partial-ok");
+    cfg.round_deadline_ms = args.get_opt_parsed::<u64>("deadline-ms")?;
+    if let Some(retries) = args.get_opt_parsed::<u32>("retransmit-budget")? {
+        cfg.retransmit.max_retries = retries;
+    }
     if let Some(k) = args.get("sample") {
         cfg.cohort = CohortSpec::Sample {
             k: k.parse().map_err(|_| format!("invalid --sample {k:?}"))?,

@@ -31,6 +31,7 @@
 mod collective;
 mod compress;
 mod crc;
+mod link;
 mod message;
 mod quant;
 mod secure;
@@ -42,6 +43,7 @@ mod wire;
 pub use collective::{ring_allreduce_group, RingWorker};
 pub use compress::{compress_f32s, decompress_f32s};
 pub use crc::crc32;
+pub use link::{corrupt_frame, deliver, DeliveryReport, LinkExhausted, RetransmitPolicy};
 pub use message::{Message, TrainMetrics};
 pub use quant::{dequantize_i8, quantization_error_bound, quantize_i8, QUANT_BLOCK};
 pub use secure::{mask_update, pairwise_seed, SecureAggError};

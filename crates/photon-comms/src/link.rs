@@ -1,0 +1,222 @@
+//! Bounded retransmit with deterministic backoff for the Link layer.
+//!
+//! Photon's Link (§4) must absorb transient corruption: a result frame
+//! whose CRC check fails is re-requested instead of failing the round.
+//! This module simulates that delivery loop deterministically — corruption
+//! is injected by a caller-supplied schedule (normally a seeded fault-plan
+//! entry from the federation engine), every corrupted attempt is
+//! *actually* decoded so the CRC path is exercised, and the retry budget
+//! and exponential backoff are fixed policy, so a chaos run replays
+//! bit-identically.
+
+use crate::{decode_frame, WireError};
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Retransmission policy for a Link endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetransmitPolicy {
+    /// Retransmissions allowed after the first attempt (so a frame is
+    /// transmitted at most `1 + max_retries` times).
+    pub max_retries: u32,
+    /// Backoff before retry `n` (1-based) is `backoff_base_ms << (n - 1)`,
+    /// simulated wall-clock only — nothing sleeps.
+    pub backoff_base_ms: u64,
+}
+
+impl Default for RetransmitPolicy {
+    fn default() -> Self {
+        RetransmitPolicy {
+            max_retries: 3,
+            backoff_base_ms: 10,
+        }
+    }
+}
+
+impl RetransmitPolicy {
+    /// Simulated backoff before the `n`-th retry (1-based, deterministic
+    /// exponential, saturating).
+    pub fn backoff_ms(&self, retry: u32) -> u64 {
+        self.backoff_base_ms.saturating_mul(
+            1u64.checked_shl(retry.saturating_sub(1))
+                .unwrap_or(u64::MAX),
+        )
+    }
+}
+
+/// Delivery failed even after exhausting the retransmit budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkExhausted {
+    /// Total transmission attempts made.
+    pub attempts: u32,
+    /// The decode error from the final attempt.
+    pub last_error: WireError,
+}
+
+impl fmt::Display for LinkExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "link delivery failed after {} attempt(s): {}",
+            self.attempts, self.last_error
+        )
+    }
+}
+
+impl std::error::Error for LinkExhausted {}
+
+/// What one delivery cost: attempts, total bytes pushed on the wire
+/// (every attempt re-sends the whole frame) and accumulated simulated
+/// backoff.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryReport {
+    /// Transmission attempts (1 = clean first try).
+    pub attempts: u32,
+    /// Bytes transmitted across all attempts.
+    pub wire_bytes: u64,
+    /// Simulated milliseconds spent backing off between attempts.
+    pub backoff_ms: u64,
+}
+
+/// Flips one payload bit of `frame`, position derived deterministically
+/// from `seed` — the corruption the CRC is designed to catch. Frames too
+/// short to carry a payload get their last header byte flipped instead.
+pub fn corrupt_frame(frame: &Bytes, seed: u64) -> Bytes {
+    let mut raw = frame.to_vec();
+    // Header is 24 bytes; corrupt within the payload when there is one.
+    let (lo, span) = if raw.len() > 24 {
+        (24, raw.len() - 24)
+    } else {
+        (raw.len() - 1, 1)
+    };
+    let pos = lo + (seed as usize) % span;
+    let bit = (seed >> 32) % 8;
+    raw[pos] ^= 1 << bit;
+    Bytes::from(raw)
+}
+
+/// Delivers `frame` across a lossy link: attempt `a` (0-based) transmits a
+/// corrupted copy whenever `a < corrupt_first`, the receiver decodes (CRC
+/// check) and requests a retransmission on failure, up to
+/// `policy.max_retries` times.
+///
+/// `seed` keys the injected bit flips so a replay corrupts the same bits.
+/// Returns the first frame that decoded cleanly plus the delivery cost.
+///
+/// # Errors
+/// Returns [`LinkExhausted`] when every allowed attempt was corrupted.
+pub fn deliver(
+    frame: &Bytes,
+    corrupt_first: u32,
+    seed: u64,
+    policy: &RetransmitPolicy,
+) -> (Result<Bytes, LinkExhausted>, DeliveryReport) {
+    let mut report = DeliveryReport::default();
+    let mut last_error = WireError::Truncated;
+    for attempt in 0..=policy.max_retries {
+        if attempt > 0 {
+            report.backoff_ms += policy.backoff_ms(attempt);
+        }
+        report.attempts += 1;
+        report.wire_bytes += frame.len() as u64;
+        let sent = if attempt < corrupt_first {
+            corrupt_frame(frame, seed.wrapping_add(attempt as u64))
+        } else {
+            frame.clone()
+        };
+        // Receiver-side integrity check: a corrupted frame MUST fail here;
+        // anything that decodes is delivered as-is.
+        match decode_frame(sent.clone()) {
+            Ok(_) => return (Ok(sent), report),
+            Err(e) => last_error = e,
+        }
+    }
+    (
+        Err(LinkExhausted {
+            attempts: report.attempts,
+            last_error,
+        }),
+        report,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode_frame;
+
+    fn frame() -> Bytes {
+        encode_frame(b"pseudo-gradient payload bytes", false)
+    }
+
+    #[test]
+    fn clean_delivery_is_one_attempt() {
+        let f = frame();
+        let (out, report) = deliver(&f, 0, 7, &RetransmitPolicy::default());
+        assert_eq!(out.unwrap(), f);
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.wire_bytes, f.len() as u64);
+        assert_eq!(report.backoff_ms, 0);
+    }
+
+    #[test]
+    fn corruption_within_budget_recovers() {
+        let f = frame();
+        let policy = RetransmitPolicy::default(); // 3 retries
+        let (out, report) = deliver(&f, 2, 7, &policy);
+        assert_eq!(out.unwrap(), f);
+        assert_eq!(report.attempts, 3);
+        assert_eq!(report.wire_bytes, 3 * f.len() as u64);
+        // Backoff 10ms then 20ms.
+        assert_eq!(report.backoff_ms, 10 + 20);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_the_crc_error() {
+        let f = frame();
+        let policy = RetransmitPolicy {
+            max_retries: 2,
+            backoff_base_ms: 5,
+        };
+        let (out, report) = deliver(&f, 99, 7, &policy);
+        let err = out.unwrap_err();
+        assert_eq!(err.attempts, 3);
+        assert!(matches!(err.last_error, WireError::BadChecksum { .. }));
+        assert_eq!(report.attempts, 3);
+        assert_eq!(report.backoff_ms, 5 + 10);
+        assert!(err.to_string().contains("3 attempt(s)"));
+    }
+
+    #[test]
+    fn delivery_is_deterministic() {
+        let f = frame();
+        let policy = RetransmitPolicy::default();
+        let a = deliver(&f, 2, 99, &policy);
+        let b = deliver(&f, 2, 99, &policy);
+        assert_eq!(a.0.is_ok(), b.0.is_ok());
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn corrupt_frame_always_fails_decode() {
+        let f = frame();
+        for seed in 0..64u64 {
+            let bad = corrupt_frame(&f, seed);
+            assert_ne!(bad, f);
+            assert!(decode_frame(bad).is_err(), "seed {seed} slipped through");
+        }
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_saturating() {
+        let p = RetransmitPolicy {
+            max_retries: 80,
+            backoff_base_ms: 10,
+        };
+        assert_eq!(p.backoff_ms(1), 10);
+        assert_eq!(p.backoff_ms(2), 20);
+        assert_eq!(p.backoff_ms(5), 160);
+        assert_eq!(p.backoff_ms(70), u64::MAX); // shift overflow saturates
+    }
+}

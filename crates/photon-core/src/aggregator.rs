@@ -1,3 +1,4 @@
+use crate::faults::{ClientFault, FaultInjector};
 use crate::{CohortSpec, CoreError, DataSource, FederationConfig, LlmClient, Result, RoundRecord};
 use crossbeam::channel::unbounded;
 use photon_data::{partition_iid, DomainKind, SyntheticDomain, TokenCorpus};
@@ -46,13 +47,11 @@ impl Aggregator {
         // currently-up clients are candidates (§2.1 / Appendix A).
         let sampler: Box<dyn ClientSampler> = match (cfg.availability, cfg.cohort) {
             (Some(model), cohort) => {
-                const HORIZON: usize = 100_000;
-                let traces = AvailabilityTraces::sample(
-                    model,
-                    cfg.population,
-                    HORIZON,
-                    &mut rng.split("availability"),
-                );
+                // Lazily materialized: chains extend on demand, so short
+                // runs never pay for a long horizon and long runs never
+                // fall off one.
+                let traces =
+                    AvailabilityTraces::lazy(model, cfg.population, &mut rng.split("availability"));
                 let k = match cohort {
                     CohortSpec::Full => cfg.population,
                     CohortSpec::Sample { k } => k,
@@ -99,18 +98,62 @@ impl Aggregator {
         &self.telemetry
     }
 
-    /// Restores aggregator state from a checkpoint.
+    /// The server optimizer's exportable state (for checkpointing).
+    pub fn server_opt_state(&self) -> photon_fedopt::ServerOptState {
+        self.server_opt.export_state()
+    }
+
+    /// Restores aggregator state from a checkpoint *without* server
+    /// optimizer state: stateful optimizers (FedMom, FedAdam, DiLoCo) are
+    /// reinitialized with a logged warning. Prefer
+    /// [`Aggregator::restore_with_opt`] with the state saved by
+    /// [`crate::save_checkpoint_with_opt`].
     ///
     /// # Errors
     /// Returns [`CoreError::InvalidConfig`] if the parameter vector does
     /// not match the configured model.
     pub fn restore(&mut self, round: u64, params: Vec<f32>) -> Result<()> {
+        self.restore_with_opt(round, params, None)
+    }
+
+    /// Restores aggregator state from a checkpoint, including the server
+    /// optimizer's state when the checkpoint carries one. Passing `None`
+    /// (legacy v1 checkpoints) reinitializes the optimizer; if it is
+    /// stateful, a warning is logged because its momentum is lost.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidConfig`] if the parameter vector does
+    /// not match the configured model or the optimizer state belongs to a
+    /// different optimizer or shape.
+    pub fn restore_with_opt(
+        &mut self,
+        round: u64,
+        params: Vec<f32>,
+        server_opt: Option<&photon_fedopt::ServerOptState>,
+    ) -> Result<()> {
         if params.len() != self.params.len() {
             return Err(CoreError::InvalidConfig(format!(
                 "checkpoint has {} parameters, model needs {}",
                 params.len(),
                 self.params.len()
             )));
+        }
+        match server_opt {
+            Some(state) => self
+                .server_opt
+                .import_state(state)
+                .map_err(|e| CoreError::InvalidConfig(format!("server optimizer state: {e}")))?,
+            None => {
+                let is_stateful = !self.server_opt.export_state().slots.is_empty();
+                if is_stateful {
+                    eprintln!(
+                        "warning: checkpoint carries no server-optimizer state; \
+                         {} momentum reinitialized",
+                        self.server_opt.name()
+                    );
+                }
+                self.server_opt = self.cfg.server_opt.build(self.params.len());
+            }
         }
         self.params = params;
         self.round = round;
@@ -125,6 +168,22 @@ impl Aggregator {
     /// # Errors
     /// Returns an error if a client thread fails or a frame is corrupt.
     pub fn run_round(&mut self, clients: &mut [LlmClient]) -> Result<RoundRecord> {
+        self.run_round_with(clients, None)
+    }
+
+    /// [`Aggregator::run_round`] with an optional seeded fault schedule:
+    /// scheduled crashes drop the client's result, stragglers are measured
+    /// against `round_deadline_ms`, and corrupted result frames go through
+    /// the Link retransmit budget before counting as dropouts.
+    ///
+    /// # Errors
+    /// Returns an error if a client thread fails, a frame is corrupt past
+    /// recovery, or dropouts exceed what the configuration tolerates.
+    pub fn run_round_with(
+        &mut self,
+        clients: &mut [LlmClient],
+        injector: Option<&FaultInjector>,
+    ) -> Result<RoundRecord> {
         let cohort_idx = self.sampler.sample(clients.len(), self.round);
         if cohort_idx.is_empty() {
             return Err(CoreError::InvalidConfig("empty cohort".into()));
@@ -139,7 +198,7 @@ impl Aggregator {
         .to_frame(self.cfg.compress_link);
         let broadcast_bytes = broadcast.len() as u64 * cohort_idx.len() as u64;
 
-        let (tx, rx) = unbounded();
+        let (tx, rx) = unbounded::<ClientReply>();
         let round = self.round;
         let cfg = &self.cfg;
         let cohort_ids_ref = &cohort_ids;
@@ -151,26 +210,12 @@ impl Aggregator {
                 let tx = tx.clone();
                 let frame = broadcast.clone();
                 scope.spawn(move |_| {
-                    let msg =
-                        photon_comms::Message::from_frame(frame).expect("broadcast frame corrupt");
-                    let photon_comms::Message::ModelBroadcast { round: r, params } = msg else {
-                        panic!("expected a model broadcast");
-                    };
-                    debug_assert_eq!(r, round);
-                    if client.fails_on(round) {
-                        // Simulated mid-round disconnect: no result frame.
-                        return;
-                    }
-                    let outcome = client.run_round(&params, round, cohort_ids_ref, cfg);
-                    let reply = photon_comms::Message::ClientResult {
-                        round,
-                        client_id: client.id(),
-                        delta: outcome.delta,
-                        weight: outcome.weight,
-                        metrics: outcome.metrics,
-                    }
-                    .to_frame(cfg.compress_link);
-                    tx.send(reply).expect("aggregator hung up");
+                    let id = client.id();
+                    // Send failures mean the aggregator stopped listening;
+                    // the thread just winds down (no panic either way).
+                    let _ = tx.send(client_round(client, frame, round, cohort_ids_ref, cfg, {
+                        injector.and_then(|inj| inj.client_fault(round, id))
+                    }));
                 });
             }
         })
@@ -182,8 +227,51 @@ impl Aggregator {
         // bit-reproducible across runs.
         let mut collected = Vec::with_capacity(cohort_idx.len());
         let mut result_bytes = 0u64;
-        for frame in rx.iter() {
-            result_bytes += frame.len() as u64;
+        let mut crashes = 0usize;
+        let mut stragglers = 0usize;
+        let mut link_dropouts = 0usize;
+        let mut retransmits = 0u64;
+        for reply in rx.iter() {
+            let (client_id, frame, delay_ms, corrupt_attempts) = match reply {
+                ClientReply::Crash { .. } => {
+                    crashes += 1;
+                    continue;
+                }
+                ClientReply::Error { client_id, message } => {
+                    return Err(CoreError::ClientFailure(format!(
+                        "client {client_id}: {message}"
+                    )));
+                }
+                ClientReply::Frame {
+                    client_id,
+                    frame,
+                    delay_ms,
+                    corrupt_attempts,
+                } => (client_id, frame, delay_ms, corrupt_attempts),
+            };
+            // The result frame crosses the lossy Link: CRC-failed attempts
+            // are retransmitted (deterministically) up to the budget.
+            let link_seed = mix_link_seed(self.cfg.seed, self.round, client_id);
+            let (delivered, report) =
+                photon_comms::deliver(&frame, corrupt_attempts, link_seed, &self.cfg.retransmit);
+            result_bytes += report.wire_bytes;
+            retransmits += u64::from(report.attempts.saturating_sub(1));
+            let frame = match delivered {
+                Ok(f) => f,
+                Err(_) => {
+                    // Budget exhausted: the client counts as dropped out.
+                    link_dropouts += 1;
+                    continue;
+                }
+            };
+            // Straggler policy: simulated lateness is the injected delay
+            // plus whatever backoff the link retries added.
+            if let Some(deadline) = self.cfg.round_deadline_ms {
+                if delay_ms + report.backoff_ms > deadline {
+                    stragglers += 1;
+                    continue;
+                }
+            }
             match photon_comms::Message::from_frame(frame)? {
                 photon_comms::Message::ClientResult {
                     client_id,
@@ -209,8 +297,9 @@ impl Aggregator {
             survivor_ids.push(id);
             updates.push(update);
         }
-        let dropouts = cohort_idx.len() - updates.len();
-        if dropouts > 0 && (!self.cfg.allow_partial_results || updates.is_empty()) {
+        let dropouts = crashes + link_dropouts;
+        let missing = cohort_idx.len() - updates.len();
+        if missing > 0 && (!self.cfg.allow_partial_results || updates.is_empty()) {
             // §4: only the partial-update path may proceed with survivors.
             return Err(CoreError::ClientFailure(format!(
                 "expected {} results, got {} (enable allow_partial_results \
@@ -219,6 +308,12 @@ impl Aggregator {
                 updates.len()
             )));
         }
+        self.telemetry.record_round_faults(
+            crashes as u64,
+            stragglers as u64,
+            retransmits,
+            link_dropouts as u64,
+        );
 
         let avg_delta = self.cfg.aggregation.aggregate(&updates);
         let pseudo_grad_norm = photon_tensor::ops::l2_norm(&avg_delta);
@@ -242,6 +337,8 @@ impl Aggregator {
             round: self.round,
             cohort: cohort_idx,
             dropouts,
+            stragglers,
+            retransmits,
             mean_client_loss: losses.iter().sum::<f32>() / losses.len() as f32,
             pseudo_grad_norm,
             wire_bytes: broadcast_bytes + result_bytes,
@@ -250,6 +347,96 @@ impl Aggregator {
         self.round += 1;
         Ok(record)
     }
+}
+
+/// What one client thread reports back to the aggregator's collect loop.
+/// Every outcome — including failures that used to panic the thread — is a
+/// message, so the round loop can translate them into round accounting or
+/// a typed [`CoreError`].
+enum ClientReply {
+    /// A result frame, plus the simulated turbulence to apply to it on the
+    /// aggregator side of the Link.
+    Frame {
+        client_id: u32,
+        frame: bytes::Bytes,
+        /// Injected straggler delay (simulated ms).
+        delay_ms: u64,
+        /// How many leading transmissions arrive corrupted.
+        corrupt_attempts: u32,
+    },
+    /// Mid-round disconnect: no result frame will come.
+    Crash {
+        #[allow(dead_code)]
+        client_id: u32,
+    },
+    /// The client could not run the round (e.g. the broadcast frame failed
+    /// to decode); surfaced as [`CoreError::ClientFailure`].
+    Error { client_id: u32, message: String },
+}
+
+/// One client's side of a round: decode the broadcast, honour any
+/// scheduled fault, train, and frame the result. Runs on the client's
+/// thread; never panics.
+fn client_round(
+    client: &mut LlmClient,
+    broadcast: bytes::Bytes,
+    round: u64,
+    cohort_ids: &[u32],
+    cfg: &FederationConfig,
+    fault: Option<ClientFault>,
+) -> ClientReply {
+    let client_id = client.id();
+    let params = match photon_comms::Message::from_frame(broadcast) {
+        Ok(photon_comms::Message::ModelBroadcast { round: r, params }) => {
+            debug_assert_eq!(r, round);
+            params
+        }
+        Ok(other) => {
+            return ClientReply::Error {
+                client_id,
+                message: format!("expected a model broadcast, got {other:?}"),
+            }
+        }
+        Err(e) => {
+            return ClientReply::Error {
+                client_id,
+                message: format!("broadcast frame corrupt: {e}"),
+            }
+        }
+    };
+    if client.fails_on(round) || fault == Some(ClientFault::Crash) {
+        // Simulated mid-round disconnect: no result frame.
+        return ClientReply::Crash { client_id };
+    }
+    let outcome = client.run_round(&params, round, cohort_ids, cfg);
+    let frame = photon_comms::Message::ClientResult {
+        round,
+        client_id,
+        delta: outcome.delta,
+        weight: outcome.weight,
+        metrics: outcome.metrics,
+    }
+    .to_frame(cfg.compress_link);
+    let (delay_ms, corrupt_attempts) = match fault {
+        Some(ClientFault::Straggle { delay_ms }) => (delay_ms, 0),
+        Some(ClientFault::Corrupt { attempts }) => (0, attempts),
+        _ => (0, 0),
+    };
+    ClientReply::Frame {
+        client_id,
+        frame,
+        delay_ms,
+        corrupt_attempts,
+    }
+}
+
+/// Seed for the Link-layer bit flips of one client's result this round:
+/// pure in `(seed, round, client)` so replays corrupt the same bits.
+fn mix_link_seed(seed: u64, round: u64, client: u32) -> u64 {
+    seed ^ round
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((client as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+        .rotate_left(23)
 }
 
 /// A ready-to-run federation: aggregator plus its client population.

@@ -1,15 +1,27 @@
 //! Global-model checkpointing (Algorithm 1, L.11): a JSON manifest plus a
 //! CRC-protected binary parameter file, written atomically enough for the
 //! paper's failure-recovery story (write to temp, rename).
+//!
+//! Format version 2 adds an optional `server_opt.bin` carrying the server
+//! optimizer's state (momentum / Adam moments), so restoring a FedMom,
+//! FedAdam or DiLoCo run no longer silently resets its momentum. Version-1
+//! checkpoints (no `format_version` field) still load; the optimizer state
+//! is reinitialized with a logged warning.
 
 use crate::{FederationConfig, Result};
 use photon_comms::crc32;
+use photon_fedopt::ServerOptState;
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io::Write;
 use std::path::Path;
 
 const PARAMS_MAGIC: &[u8; 8] = b"PHTNCKP1";
+const OPT_MAGIC: &[u8; 8] = b"PHTNOPT2";
+
+/// Current checkpoint format version. Version-1 manifests predate the
+/// field and deserialize as 0.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 2;
 
 /// Checkpoint metadata saved alongside the parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -20,10 +32,18 @@ pub struct CheckpointManifest {
     pub config: FederationConfig,
     /// Parameter count (sanity check at load).
     pub param_count: usize,
+    /// Checkpoint format version (0 = legacy v1 manifest without the
+    /// field).
+    #[serde(default)]
+    pub format_version: u32,
+    /// Whether `server_opt.bin` was saved alongside the parameters.
+    #[serde(default)]
+    pub has_server_opt: bool,
 }
 
 /// Saves a checkpoint into `dir` (created if missing): `manifest.json` and
-/// `params.bin`.
+/// `params.bin`. Equivalent to [`save_checkpoint_with_opt`] without server
+/// optimizer state.
 ///
 /// # Errors
 /// Propagates filesystem errors.
@@ -33,11 +53,28 @@ pub fn save_checkpoint(
     round: u64,
     params: &[f32],
 ) -> Result<()> {
+    save_checkpoint_with_opt(dir, cfg, round, params, None)
+}
+
+/// Saves a checkpoint including the server optimizer's state, so a restore
+/// resumes with its momentum intact.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn save_checkpoint_with_opt(
+    dir: &Path,
+    cfg: &FederationConfig,
+    round: u64,
+    params: &[f32],
+    server_opt: Option<&ServerOptState>,
+) -> Result<()> {
     fs::create_dir_all(dir)?;
     let manifest = CheckpointManifest {
         round,
         config: cfg.clone(),
         param_count: params.len(),
+        format_version: CHECKPOINT_FORMAT_VERSION,
+        has_server_opt: server_opt.is_some(),
     };
     let manifest_json =
         serde_json::to_string_pretty(&manifest).expect("manifest serialization cannot fail");
@@ -52,14 +89,101 @@ pub fn save_checkpoint(
     bin.extend_from_slice(&crc.to_le_bytes());
 
     // Write-then-rename so an interrupted save never corrupts the previous
-    // checkpoint.
+    // checkpoint. The manifest goes last: it is the commit point that
+    // declares which side files are valid.
     let tmp_params = dir.join("params.bin.tmp");
-    let tmp_manifest = dir.join("manifest.json.tmp");
     fs::File::create(&tmp_params)?.write_all(&bin)?;
-    fs::File::create(&tmp_manifest)?.write_all(manifest_json.as_bytes())?;
     fs::rename(&tmp_params, dir.join("params.bin"))?;
+    if let Some(state) = server_opt {
+        let tmp_opt = dir.join("server_opt.bin.tmp");
+        fs::File::create(&tmp_opt)?.write_all(&encode_opt_state(state))?;
+        fs::rename(&tmp_opt, dir.join("server_opt.bin"))?;
+    }
+    let tmp_manifest = dir.join("manifest.json.tmp");
+    fs::File::create(&tmp_manifest)?.write_all(manifest_json.as_bytes())?;
     fs::rename(&tmp_manifest, dir.join("manifest.json"))?;
     Ok(())
+}
+
+fn encode_opt_state(state: &ServerOptState) -> Vec<u8> {
+    let mut bin = Vec::new();
+    bin.extend_from_slice(OPT_MAGIC);
+    bin.extend_from_slice(&(state.kind.len() as u32).to_le_bytes());
+    bin.extend_from_slice(state.kind.as_bytes());
+    bin.extend_from_slice(&state.step.to_le_bytes());
+    bin.extend_from_slice(&(state.slots.len() as u32).to_le_bytes());
+    for slot in &state.slots {
+        bin.extend_from_slice(&(slot.len() as u64).to_le_bytes());
+        for &v in slot {
+            bin.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let crc = crc32(&bin);
+    bin.extend_from_slice(&crc.to_le_bytes());
+    bin
+}
+
+fn decode_opt_state(bin: &[u8]) -> std::result::Result<ServerOptState, String> {
+    if bin.len() < 12 || &bin[..8] != OPT_MAGIC {
+        return Err("server_opt.bin is not a photon optimizer state".into());
+    }
+    let (body, crc_bytes) = bin.split_at(bin.len() - 4);
+    let declared = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if crc32(body) != declared {
+        return Err("server_opt.bin failed its integrity check".into());
+    }
+    let mut cursor = 8usize;
+    let take = |cursor: &mut usize, n: usize| -> std::result::Result<&[u8], String> {
+        let end = cursor
+            .checked_add(n)
+            .filter(|&e| e <= body.len())
+            .ok_or("server_opt.bin truncated")?;
+        let slice = &body[*cursor..end];
+        *cursor = end;
+        Ok(slice)
+    };
+    let kind_len = u32::from_le_bytes(take(&mut cursor, 4)?.try_into().expect("4 bytes")) as usize;
+    let kind = String::from_utf8(take(&mut cursor, kind_len)?.to_vec())
+        .map_err(|_| "server_opt.bin kind is not utf-8".to_string())?;
+    let step = u64::from_le_bytes(take(&mut cursor, 8)?.try_into().expect("8 bytes"));
+    let n_slots = u32::from_le_bytes(take(&mut cursor, 4)?.try_into().expect("4 bytes")) as usize;
+    let mut slots = Vec::with_capacity(n_slots);
+    for _ in 0..n_slots {
+        let len = u64::from_le_bytes(take(&mut cursor, 8)?.try_into().expect("8 bytes")) as usize;
+        let raw = take(
+            &mut cursor,
+            len.checked_mul(4).ok_or("slot length overflow")?,
+        )?;
+        slots.push(
+            raw.chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                .collect(),
+        );
+    }
+    if cursor != body.len() {
+        return Err("server_opt.bin has trailing bytes".into());
+    }
+    Ok(ServerOptState { kind, step, slots })
+}
+
+/// Loads the server optimizer state saved with a checkpoint, if the
+/// checkpoint's manifest declares one (`None` for legacy v1 checkpoints
+/// and runs saved without optimizer state).
+///
+/// # Errors
+/// Returns an error if the manifest is unreadable or a declared
+/// `server_opt.bin` is missing or corrupt.
+pub fn load_server_opt_state(dir: &Path) -> Result<Option<ServerOptState>> {
+    let manifest_json = fs::read_to_string(dir.join("manifest.json"))?;
+    let manifest: CheckpointManifest = serde_json::from_str(&manifest_json)
+        .map_err(|e| crate::CoreError::InvalidConfig(format!("bad manifest: {e}")))?;
+    if !manifest.has_server_opt {
+        return Ok(None);
+    }
+    let bin = fs::read(dir.join("server_opt.bin"))?;
+    decode_opt_state(&bin)
+        .map(Some)
+        .map_err(crate::CoreError::InvalidConfig)
 }
 
 /// Loads a checkpoint saved by [`save_checkpoint`].
@@ -123,6 +247,65 @@ mod tests {
         assert_eq!(manifest.param_count, 100);
         assert_eq!(loaded, params);
         assert_eq!(manifest.config, cfg());
+        assert_eq!(manifest.format_version, CHECKPOINT_FORMAT_VERSION);
+        assert!(!manifest.has_server_opt);
+        assert_eq!(load_server_opt_state(&dir).unwrap(), None);
+    }
+
+    #[test]
+    fn server_opt_state_roundtrips() {
+        let dir = tmp_dir("opt-state");
+        let state = ServerOptState {
+            kind: "fedadam".into(),
+            step: 17,
+            slots: vec![vec![0.5, -1.25, 3.0], vec![0.0, 2.5, -0.125]],
+        };
+        save_checkpoint_with_opt(&dir, &cfg(), 4, &[1.0, 2.0], Some(&state)).unwrap();
+        let (manifest, _) = load_checkpoint(&dir).unwrap();
+        assert!(manifest.has_server_opt);
+        assert_eq!(load_server_opt_state(&dir).unwrap(), Some(state));
+    }
+
+    #[test]
+    fn legacy_v1_manifest_loads_without_opt_state() {
+        let dir = tmp_dir("legacy-v1");
+        save_checkpoint(&dir, &cfg(), 3, &[1.0; 8]).unwrap();
+        // Rewrite the manifest as a v1 manifest (no format_version /
+        // has_server_opt fields).
+        let path = dir.join("manifest.json");
+        let mut lines: Vec<String> = fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .filter(|l| !l.contains("format_version") && !l.contains("has_server_opt"))
+            .map(String::from)
+            .collect();
+        // The removed fields were last; un-comma the new final field so the
+        // manifest stays valid JSON.
+        let last_field = lines.len() - 2;
+        lines[last_field] = lines[last_field].trim_end_matches(',').to_string();
+        fs::write(&path, lines.join("\n")).unwrap();
+        let (manifest, params) = load_checkpoint(&dir).unwrap();
+        assert_eq!(manifest.format_version, 0);
+        assert!(!manifest.has_server_opt);
+        assert_eq!(params, vec![1.0; 8]);
+        assert_eq!(load_server_opt_state(&dir).unwrap(), None);
+    }
+
+    #[test]
+    fn opt_state_corruption_detected() {
+        let dir = tmp_dir("opt-corrupt");
+        let state = ServerOptState {
+            kind: "fedmom".into(),
+            step: 1,
+            slots: vec![vec![1.0; 16]],
+        };
+        save_checkpoint_with_opt(&dir, &cfg(), 1, &[1.0, 2.0], Some(&state)).unwrap();
+        let path = dir.join("server_opt.bin");
+        let mut raw = fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        fs::write(&path, &raw).unwrap();
+        assert!(load_server_opt_state(&dir).is_err());
     }
 
     #[test]

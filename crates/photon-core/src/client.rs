@@ -104,18 +104,23 @@ impl LlmClient {
         }
         .clamp(1, 8);
 
+        // All in-round randomness forks off a round-keyed stream (never
+        // advancing the client's base stream), so a client rebuilt from
+        // scratch after a crash replays any round bit-identically.
+        let mut round_rng = self.rng.fork(&format!("round-{round}"));
+
         let (local_params, metrics) = if let TrainingStrategy::SubFederation { .. } = strategy {
-            self.run_sub_federation(global, round, workers, cfg)
+            self.run_sub_federation(global, round, workers, cfg, &mut round_rng)
         } else if workers == 1 && !cfg.stateless_local {
-            self.run_single_stateful(global, round, cfg)
+            self.run_single_stateful(global, round, cfg, &mut round_rng)
         } else {
             // Standard distributed training across the silo's GPUs
             // (Algorithm 1, L.16–18). Stateless: fresh optimizer per round.
             let ddp_cfg = self.ddp_config(round, workers, cfg);
             let streams = if workers == 1 {
-                vec![self.ds.bind_stream(self.rng.split("round-stream"))]
+                vec![self.ds.bind_stream(round_rng.split("round-stream"))]
             } else {
-                self.ds.partition_streams(workers, &mut self.rng)
+                self.ds.partition_streams(workers, &mut round_rng)
             };
             let (params, report) = crate::ddp_train(global, &ddp_cfg, streams);
             (
@@ -129,7 +134,7 @@ impl LlmClient {
         };
 
         let mut delta = photon_fedopt::delta_from(global, &local_params);
-        self.post_process(&mut delta, round, cohort, cfg);
+        self.post_process(&mut delta, round, cohort, cfg, &mut round_rng);
         ClientOutcome {
             delta,
             weight: 1.0,
@@ -161,9 +166,10 @@ impl LlmClient {
         round: u64,
         partitions: usize,
         cfg: &FederationConfig,
+        rng: &mut SeedStream,
     ) -> (Vec<f32>, TrainMetrics) {
         let ddp_cfg = self.ddp_config(round, 1, cfg);
-        let streams = self.ds.partition_streams(partitions, &mut self.rng);
+        let streams = self.ds.partition_streams(partitions, rng);
         // Like DDP replicas, concurrent sub-federation nodes split the
         // caller's kernel-thread budget rather than oversubscribing it.
         let kernel_threads =
@@ -213,12 +219,13 @@ impl LlmClient {
         global: &[f32],
         round: u64,
         cfg: &FederationConfig,
+        rng: &mut SeedStream,
     ) -> (Vec<f32>, TrainMetrics) {
         let mut model = Gpt::from_params(cfg.model, global.to_vec());
         let opt = self
             .opt_state
             .get_or_insert_with(|| AdamW::new(cfg.adamw, global.len()));
-        let mut stream = self.ds.bind_stream(self.rng.split("round-stream"));
+        let mut stream = self.ds.bind_stream(rng.split("round-stream"));
         let mut acts = Activations::new(&cfg.model, cfg.local_batch, cfg.model.seq_len);
         let mut grads = model.grad_buffer();
         let mut batch = Batch::zeros(cfg.local_batch, cfg.model.seq_len);
@@ -261,12 +268,13 @@ impl LlmClient {
         round: u64,
         cohort: &[u32],
         cfg: &FederationConfig,
+        rng: &mut SeedStream,
     ) {
         if let Some(max_norm) = cfg.post.clip_update_norm {
             clip_global_norm(delta, max_norm);
         }
         if let Some(std) = cfg.post.dp_noise_std {
-            let mut noise_rng = self.rng.split("dp-noise");
+            let mut noise_rng = rng.split("dp-noise");
             for d in delta.iter_mut() {
                 *d += std * noise_rng.next_normal();
             }
@@ -345,6 +353,23 @@ mod tests {
         // With warm momenta the second round's update differs from a cold
         // restart producing the identical first-round update.
         assert_ne!(first.delta, second.delta);
+    }
+
+    #[test]
+    fn round_replay_is_rebuild_stable() {
+        // A client rebuilt from scratch (same seed) must reproduce any
+        // round bit-identically without replaying the earlier rounds —
+        // the property crash recovery depends on.
+        let mut cfg = test_cfg();
+        cfg.post.dp_noise_std = Some(0.01); // exercise in-round randomness
+        let global = global_params(&cfg);
+        let mut walked = client(0, 300);
+        walked.run_round(&global, 0, &[0], &cfg);
+        walked.run_round(&global, 1, &[0], &cfg);
+        let third = walked.run_round(&global, 2, &[0], &cfg);
+        let mut fresh = client(0, 300);
+        let replayed = fresh.run_round(&global, 2, &[0], &cfg);
+        assert_eq!(third.delta, replayed.delta);
     }
 
     #[test]

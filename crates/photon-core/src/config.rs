@@ -1,3 +1,4 @@
+use photon_comms::RetransmitPolicy;
 use photon_fedopt::{AggregationKind, AvailabilityModel, ServerOptKind};
 use photon_nn::{ModelConfig, PosEncoding};
 use photon_optim::{AdamWConfig, LrSchedule};
@@ -82,6 +83,15 @@ pub struct FederationConfig {
     /// simplified secure aggregation (masks would not cancel).
     #[serde(default)]
     pub allow_partial_results: bool,
+    /// Round deadline in simulated milliseconds: a client whose result
+    /// arrives later (straggle delay plus link backoff) is dropped into the
+    /// §4 partial-update path instead of stalling the round. `None`
+    /// disables the straggler policy (every result waits).
+    #[serde(default)]
+    pub round_deadline_ms: Option<u64>,
+    /// Link retransmission budget for CRC-failed result frames.
+    #[serde(default)]
+    pub retransmit: RetransmitPolicy,
     /// Root seed for the whole run.
     pub seed: u64,
 }
@@ -109,6 +119,8 @@ impl FederationConfig {
             secure_agg: false,
             availability: None,
             allow_partial_results: false,
+            round_deadline_ms: None,
+            retransmit: RetransmitPolicy::default(),
             seed: 42,
         }
     }
@@ -153,6 +165,13 @@ impl FederationConfig {
         if self.secure_agg && self.allow_partial_results {
             return Err(crate::CoreError::InvalidConfig(
                 "secure aggregation cannot tolerate dropouts (masks would not cancel)".into(),
+            ));
+        }
+        if self.secure_agg && self.round_deadline_ms.is_some() {
+            // Dropping stragglers removes their masks from the sum, which
+            // would leave the aggregate garbled.
+            return Err(crate::CoreError::InvalidConfig(
+                "secure aggregation cannot drop stragglers (round_deadline_ms must be None)".into(),
             ));
         }
         if self.secure_agg && matches!(self.cohort, CohortSpec::Sample { .. }) {
@@ -201,6 +220,29 @@ mod tests {
         cfg.secure_agg = true;
         cfg.cohort = CohortSpec::Sample { k: 2 };
         assert!(cfg.validate().is_err());
+
+        let mut cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 4);
+        cfg.secure_agg = true;
+        cfg.round_deadline_ms = Some(500);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn deadline_and_retransmit_default_off() {
+        let cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 4);
+        assert_eq!(cfg.round_deadline_ms, None);
+        assert_eq!(cfg.retransmit, RetransmitPolicy::default());
+        // Configs serialized before these fields existed still load.
+        let json = serde_json::to_string(&cfg)
+            .unwrap()
+            .replace("\"round_deadline_ms\":null,", "")
+            .replace(
+                "\"retransmit\":{\"max_retries\":3,\"backoff_base_ms\":10},",
+                "",
+            );
+        assert!(!json.contains("retransmit"), "field not stripped: {json}");
+        let back: FederationConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
     }
 
     #[test]

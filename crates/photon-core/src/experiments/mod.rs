@@ -47,7 +47,7 @@ impl Default for RunOptions {
 }
 
 /// Evaluation sequence length used throughout the experiment drivers.
-fn eval_seq(cfg: &FederationConfig) -> usize {
+pub(crate) fn eval_seq(cfg: &FederationConfig) -> usize {
     cfg.model.seq_len.clamp(8, 64)
 }
 
@@ -204,6 +204,8 @@ pub fn run_centralized(
             round: chunk,
             cohort: vec![0],
             dropouts: 0,
+            stragglers: 0,
+            retransmits: 0,
             mean_client_loss: mean_loss,
             pseudo_grad_norm: 0.0,
             wire_bytes: 0,

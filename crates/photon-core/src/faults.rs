@@ -1,0 +1,365 @@
+//! Deterministic fault injection for the federation engine.
+//!
+//! The paper's setting assumes accelerators "can be sporadically available
+//! throughout a full training cycle" (§2.1) and that billion-scale runs
+//! survive intermittent participation and aggregator restarts. This module
+//! turns that assumption into a testable contract: a [`FaultSpec`]
+//! describes *rates* of client crashes, stragglers, corrupted result
+//! frames and aggregator crashes; [`FaultSpec::plan`] expands it into a
+//! concrete, seeded [`FaultPlan`] — a pure function of `(spec, population,
+//! rounds)` that is independent of thread budgets and query order, so
+//! every chaos run replays bit-identically.
+
+use photon_tensor::SeedStream;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A fault injected into one client for one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClientFault {
+    /// The client disconnects mid-round and never sends a result frame.
+    Crash,
+    /// The client finishes, but `delay_ms` of simulated wall-time late —
+    /// past the round deadline it is dropped into the partial-update path.
+    Straggle {
+        /// Simulated lateness in milliseconds.
+        delay_ms: u64,
+    },
+    /// The client's first `attempts` result-frame transmissions arrive
+    /// corrupted (caught by the Link CRC and retransmitted).
+    Corrupt {
+        /// Number of leading transmissions that arrive corrupted.
+        attempts: u32,
+    },
+}
+
+/// Per-run fault rates, expanded into a [`FaultPlan`] by [`FaultSpec::plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Per-(round, client) probability of a mid-round crash.
+    pub p_crash: f64,
+    /// Per-(round, client) probability of straggling.
+    pub p_straggle: f64,
+    /// Straggler delays are uniform in `[1, straggle_ms_max]`.
+    pub straggle_ms_max: u64,
+    /// Per-(round, client) probability of result-frame corruption.
+    pub p_corrupt: f64,
+    /// Corrupted transmission counts are uniform in `[1, corrupt_attempts_max]`.
+    pub corrupt_attempts_max: u32,
+    /// Per-round probability the aggregator crashes after the round.
+    pub p_agg_crash: f64,
+    /// Seed for the fault schedule (independent of the training seed).
+    pub seed: u64,
+}
+
+impl FaultSpec {
+    /// A spec that injects nothing (useful as a CLI default).
+    pub fn none(seed: u64) -> Self {
+        FaultSpec {
+            p_crash: 0.0,
+            p_straggle: 0.0,
+            straggle_ms_max: 1_000,
+            p_corrupt: 0.0,
+            corrupt_attempts_max: 2,
+            p_agg_crash: 0.0,
+            seed,
+        }
+    }
+
+    /// Parses a compact CLI spec: comma-separated `key=value` pairs with
+    /// keys `crash`, `straggle`, `straggle-ms`, `corrupt`,
+    /// `corrupt-attempts`, `agg`, `seed` — e.g.
+    /// `crash=0.05,straggle=0.1,corrupt=0.05,agg=0.02,seed=9`.
+    ///
+    /// # Errors
+    /// Returns a message naming the offending key or value.
+    pub fn parse(s: &str) -> Result<FaultSpec, String> {
+        let mut spec = FaultSpec::none(0);
+        for pair in s.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec entry {pair:?} is not key=value"))?;
+            let bad = || format!("invalid fault value for {key}: {value:?}");
+            match key.trim() {
+                "crash" => spec.p_crash = value.parse().map_err(|_| bad())?,
+                "straggle" => spec.p_straggle = value.parse().map_err(|_| bad())?,
+                "straggle-ms" => spec.straggle_ms_max = value.parse().map_err(|_| bad())?,
+                "corrupt" => spec.p_corrupt = value.parse().map_err(|_| bad())?,
+                "corrupt-attempts" => {
+                    spec.corrupt_attempts_max = value.parse().map_err(|_| bad())?
+                }
+                "agg" => spec.p_agg_crash = value.parse().map_err(|_| bad())?,
+                "seed" => spec.seed = value.parse().map_err(|_| bad())?,
+                other => return Err(format!("unknown fault spec key {other:?}")),
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Checks probabilities and ranges.
+    ///
+    /// # Errors
+    /// Returns a description of the inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        let probs = [
+            ("crash", self.p_crash),
+            ("straggle", self.p_straggle),
+            ("corrupt", self.p_corrupt),
+            ("agg", self.p_agg_crash),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("fault probability {name}={p} outside [0, 1]"));
+            }
+        }
+        if self.p_crash + self.p_straggle + self.p_corrupt > 1.0 {
+            return Err("client fault probabilities sum past 1.0".into());
+        }
+        if self.straggle_ms_max == 0 || self.corrupt_attempts_max == 0 {
+            return Err("fault magnitudes must be at least 1".into());
+        }
+        Ok(())
+    }
+
+    /// Expands the rates into a concrete schedule over `population`
+    /// clients and `rounds` rounds. Every (round, client) cell draws from
+    /// its own stream keyed by `(seed, round, client)`, so the plan is
+    /// identical whatever order (or thread budget) it is built or queried
+    /// under.
+    ///
+    /// # Panics
+    /// Panics if the spec fails [`FaultSpec::validate`].
+    pub fn plan(&self, population: usize, rounds: u64) -> FaultPlan {
+        self.validate().expect("invalid fault spec");
+        let mut client_faults = BTreeMap::new();
+        for round in 0..rounds {
+            for client in 0..population as u32 {
+                let mut rng = cell_stream(self.seed, round, client);
+                let u = rng.next_f64();
+                let fault = if u < self.p_crash {
+                    Some(ClientFault::Crash)
+                } else if u < self.p_crash + self.p_straggle {
+                    Some(ClientFault::Straggle {
+                        delay_ms: 1 + rng.next_below(self.straggle_ms_max as usize) as u64,
+                    })
+                } else if u < self.p_crash + self.p_straggle + self.p_corrupt {
+                    Some(ClientFault::Corrupt {
+                        attempts: 1 + rng.next_below(self.corrupt_attempts_max as usize) as u32,
+                    })
+                } else {
+                    None
+                };
+                if let Some(f) = fault {
+                    client_faults.insert((round, client), f);
+                }
+            }
+        }
+        let agg_crashes = (0..rounds)
+            .filter(|&round| cell_stream(self.seed, round, u32::MAX).next_f64() < self.p_agg_crash)
+            .collect();
+        FaultPlan {
+            client_faults,
+            agg_crashes,
+            rounds,
+        }
+    }
+}
+
+/// Derives the independent stream for one (round, client) cell.
+fn cell_stream(seed: u64, round: u64, client: u32) -> SeedStream {
+    // FNV-style mix over the cell coordinates: pure, order-free.
+    let mut h = 0xcbf29ce484222325u64 ^ seed;
+    for byte in round.to_le_bytes().into_iter().chain(client.to_le_bytes()) {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    SeedStream::new(h)
+}
+
+/// A concrete, replayable fault schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    client_faults: BTreeMap<(u64, u32), ClientFault>,
+    agg_crashes: BTreeSet<u64>,
+    rounds: u64,
+}
+
+impl FaultPlan {
+    /// The fault (if any) scheduled for `client` at `round`.
+    pub fn client_fault(&self, round: u64, client: u32) -> Option<ClientFault> {
+        self.client_faults.get(&(round, client)).copied()
+    }
+
+    /// Whether the aggregator is scheduled to crash right after `round`
+    /// completes (before the next checkpoint).
+    pub fn aggregator_crashes_after(&self, round: u64) -> bool {
+        self.agg_crashes.contains(&round)
+    }
+
+    /// Number of scheduled client faults.
+    pub fn client_fault_count(&self) -> usize {
+        self.client_faults.len()
+    }
+
+    /// Number of scheduled aggregator crashes.
+    pub fn agg_crash_count(&self) -> usize {
+        self.agg_crashes.len()
+    }
+
+    /// The planning horizon in rounds.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+}
+
+/// Read-only fault oracle handed to the aggregator's round loop. Queries
+/// are pure, so the injector can be shared across client threads.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+}
+
+impl FaultInjector {
+    /// Wraps a prepared plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector { plan }
+    }
+
+    /// Builds the plan for `spec` over a run shape.
+    pub fn from_spec(spec: &FaultSpec, population: usize, rounds: u64) -> Self {
+        FaultInjector::new(spec.plan(population, rounds))
+    }
+
+    /// The fault (if any) scheduled for `client` at `round`.
+    pub fn client_fault(&self, round: u64, client: u32) -> Option<ClientFault> {
+        self.plan.client_fault(round, client)
+    }
+
+    /// Whether the aggregator crashes after `round`.
+    pub fn aggregator_crashes_after(&self, round: u64) -> bool {
+        self.plan.aggregator_crashes_after(round)
+    }
+
+    /// The underlying schedule.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chaos_spec(seed: u64) -> FaultSpec {
+        FaultSpec {
+            p_crash: 0.1,
+            p_straggle: 0.2,
+            straggle_ms_max: 500,
+            p_corrupt: 0.15,
+            corrupt_attempts_max: 3,
+            p_agg_crash: 0.1,
+            seed,
+        }
+    }
+
+    #[test]
+    fn plans_replay_bit_identically() {
+        let a = chaos_spec(7).plan(16, 50);
+        let b = chaos_spec(7).plan(16, 50);
+        assert_eq!(a, b);
+        assert!(a.client_fault_count() > 0, "chaos spec injected nothing");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = chaos_spec(7).plan(16, 50);
+        let b = chaos_spec(8).plan(16, 50);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let plan = chaos_spec(3).plan(32, 200);
+        let cells = 32.0 * 200.0;
+        let frac = plan.client_fault_count() as f64 / cells;
+        // p_crash + p_straggle + p_corrupt = 0.45.
+        assert!((frac - 0.45).abs() < 0.05, "fault rate {frac}");
+        let agg_frac = plan.agg_crash_count() as f64 / 200.0;
+        assert!((agg_frac - 0.1).abs() < 0.08, "agg crash rate {agg_frac}");
+    }
+
+    #[test]
+    fn zero_spec_injects_nothing() {
+        let plan = FaultSpec::none(9).plan(8, 100);
+        assert_eq!(plan.client_fault_count(), 0);
+        assert_eq!(plan.agg_crash_count(), 0);
+    }
+
+    #[test]
+    fn all_crash_spec_crashes_everyone() {
+        let mut spec = FaultSpec::none(1);
+        spec.p_crash = 1.0;
+        let plan = spec.plan(4, 5);
+        for round in 0..5 {
+            for client in 0..4 {
+                assert_eq!(plan.client_fault(round, client), Some(ClientFault::Crash));
+            }
+        }
+    }
+
+    #[test]
+    fn fault_magnitudes_in_range() {
+        let plan = chaos_spec(11).plan(16, 100);
+        for round in 0..100 {
+            for client in 0..16 {
+                match plan.client_fault(round, client) {
+                    Some(ClientFault::Straggle { delay_ms }) => {
+                        assert!((1..=500).contains(&delay_ms))
+                    }
+                    Some(ClientFault::Corrupt { attempts }) => {
+                        assert!((1..=3).contains(&attempts))
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_roundtrips_the_cli_grammar() {
+        let spec = FaultSpec::parse(
+            "crash=0.05,straggle=0.1,straggle-ms=200,corrupt=0.02,agg=0.01,seed=4",
+        )
+        .unwrap();
+        assert_eq!(spec.p_crash, 0.05);
+        assert_eq!(spec.p_straggle, 0.1);
+        assert_eq!(spec.straggle_ms_max, 200);
+        assert_eq!(spec.p_corrupt, 0.02);
+        assert_eq!(spec.p_agg_crash, 0.01);
+        assert_eq!(spec.seed, 4);
+        assert!(FaultSpec::parse("crash=2.0").is_err());
+        assert!(FaultSpec::parse("bogus=1").is_err());
+        assert!(FaultSpec::parse("crash").is_err());
+        assert!(FaultSpec::parse("crash=0.5,straggle=0.4,corrupt=0.3").is_err());
+    }
+
+    #[test]
+    fn injector_delegates_to_plan() {
+        let spec = chaos_spec(2);
+        let injector = FaultInjector::from_spec(&spec, 8, 20);
+        let plan = spec.plan(8, 20);
+        for round in 0..20 {
+            assert_eq!(
+                injector.aggregator_crashes_after(round),
+                plan.aggregator_crashes_after(round)
+            );
+            for client in 0..8 {
+                assert_eq!(
+                    injector.client_fault(round, client),
+                    plan.client_fault(round, client)
+                );
+            }
+        }
+    }
+}

@@ -39,19 +39,26 @@ mod datasource;
 mod ddp;
 mod error;
 pub mod experiments;
+mod faults;
 mod metrics;
+mod recovery;
 mod telemetry;
 
 pub use aggregator::{build_federation, Aggregator, Federation};
 pub use centralized::CentralizedTrainer;
-pub use checkpoint::{load_checkpoint, save_checkpoint, CheckpointManifest};
+pub use checkpoint::{
+    load_checkpoint, load_server_opt_state, save_checkpoint, save_checkpoint_with_opt,
+    CheckpointManifest, CHECKPOINT_FORMAT_VERSION,
+};
 pub use client::{ClientOutcome, LlmClient};
 pub use config::{CohortSpec, FederationConfig, PostProcessConfig};
 pub use datasource::DataSource;
 pub use ddp::{ddp_train, DdpConfig, DdpReport};
 pub use error::CoreError;
+pub use faults::{ClientFault, FaultInjector, FaultPlan, FaultSpec};
 pub use metrics::{RoundRecord, TrainingHistory};
-pub use telemetry::{ClientStats, Telemetry};
+pub use recovery::{run_training, TrainingOptions, TrainingOutcome};
+pub use telemetry::{ClientStats, FaultCounters, Telemetry};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -7,9 +7,17 @@ pub struct RoundRecord {
     pub round: u64,
     /// Client ids that participated.
     pub cohort: Vec<usize>,
-    /// Sampled clients that dropped out before returning a result.
+    /// Sampled clients that dropped out before returning a result
+    /// (crashes plus retransmit-budget exhaustion).
     #[serde(default)]
     pub dropouts: usize,
+    /// Clients whose results missed the round deadline and were dropped
+    /// into the partial-update path (§4).
+    #[serde(default)]
+    pub stragglers: usize,
+    /// Result-frame retransmissions triggered by CRC failures this round.
+    #[serde(default)]
+    pub retransmits: u64,
     /// Mean local training loss across the cohort.
     pub mean_client_loss: f32,
     /// L2 norm of the aggregated pseudo-gradient.
@@ -92,6 +100,8 @@ mod tests {
             round,
             cohort: vec![0, 1],
             dropouts: 0,
+            stragglers: 0,
+            retransmits: 0,
             mean_client_loss: 2.0,
             pseudo_grad_norm: 0.5,
             wire_bytes: 100,

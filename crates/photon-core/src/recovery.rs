@@ -1,0 +1,203 @@
+//! Crash-tolerant training driver: checkpoint every K rounds, restore from
+//! the latest checkpoint on any round failure (or an injected aggregator
+//! crash) within a bounded recovery budget.
+//!
+//! Recovery is exact, not approximate: cohort sampling, client data order
+//! and DP noise are all round-keyed (see [`photon_tensor::SeedStream::fork`]),
+//! and checkpoints carry the server optimizer's state, so the rounds
+//! replayed after a restore are bit-identical to the rounds the crash
+//! destroyed — a run that crashes and recovers ends with exactly the
+//! parameters of one that never crashed.
+
+use crate::experiments::{eval_seq, RunOptions};
+use crate::faults::FaultInjector;
+use crate::{
+    load_checkpoint, load_server_opt_state, save_checkpoint_with_opt, CoreError, Federation,
+    Result, TrainingHistory,
+};
+use photon_data::{EvalStream, TokenCorpus};
+use photon_nn::evaluate_perplexity;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+/// Options for a crash-tolerant [`run_training`] loop.
+#[derive(Debug, Clone)]
+pub struct TrainingOptions {
+    /// Round schedule and evaluation cadence.
+    pub run: RunOptions,
+    /// Where checkpoints live. `None` disables checkpointing — recovery
+    /// then restarts from round 0.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint every this many rounds (0 = only on completion).
+    pub checkpoint_every: u64,
+    /// Maximum restores before a failure is surfaced to the caller.
+    pub recovery_budget: u32,
+    /// Start by restoring the latest checkpoint in `checkpoint_dir`, when
+    /// one exists (resuming an interrupted run).
+    pub resume: bool,
+}
+
+impl Default for TrainingOptions {
+    fn default() -> Self {
+        TrainingOptions {
+            run: RunOptions::default(),
+            checkpoint_dir: None,
+            checkpoint_every: 5,
+            recovery_budget: 3,
+            resume: false,
+        }
+    }
+}
+
+/// What a [`run_training`] call produced.
+#[derive(Debug)]
+pub struct TrainingOutcome {
+    /// Per-round records for the rounds that stand (replayed rounds
+    /// overwrite the records the crash destroyed).
+    pub history: TrainingHistory,
+    /// Checkpoint restores performed (crashes survived).
+    pub recoveries: u32,
+    /// The final federation (global model, telemetry).
+    pub federation: Federation,
+}
+
+/// Drives federated training to completion through crashes: rounds are
+/// checkpointed every `opts.checkpoint_every` rounds (with server-optimizer
+/// state), and any round error — or an aggregator crash scheduled in
+/// `injector` — triggers a rebuild-and-restore from the latest checkpoint,
+/// up to `opts.recovery_budget` times.
+///
+/// `build` must deterministically construct the same federation and
+/// validation corpus every call (all the builders in
+/// [`crate::experiments`] qualify): recovery rebuilds the world from
+/// scratch and replays from the last checkpoint.
+///
+/// # Errors
+/// Surfaces the underlying round error once the recovery budget is
+/// exhausted, and propagates checkpoint I/O failures.
+pub fn run_training<F>(
+    mut build: F,
+    opts: &TrainingOptions,
+    injector: Option<&FaultInjector>,
+) -> Result<TrainingOutcome>
+where
+    F: FnMut() -> Result<(Federation, TokenCorpus)>,
+{
+    let (mut fed, val) = build()?;
+    let mut history = TrainingHistory::new();
+    let mut recoveries = 0u32;
+    // An injected aggregator crash fires once; after recovery the process
+    // is a different incarnation and the schedule entry is spent.
+    let mut fired_agg_crashes: BTreeSet<u64> = BTreeSet::new();
+
+    if opts.resume {
+        if let Some(dir) = &opts.checkpoint_dir {
+            if dir.join("manifest.json").exists() {
+                restore_from(&mut fed, dir)?;
+            }
+        }
+    }
+
+    let seq = eval_seq(fed.aggregator.config());
+    while fed.aggregator.round() < opts.run.rounds {
+        let round = fed.aggregator.round();
+        match fed.aggregator.run_round_with(&mut fed.clients, injector) {
+            Ok(mut record) => {
+                if opts.run.eval_every > 0 && (round + 1) % opts.run.eval_every == 0 {
+                    // A fresh stream per eval keeps evaluation a pure
+                    // function of the round, so replayed rounds reproduce
+                    // their records exactly.
+                    let mut stream = EvalStream::new(&val, seq);
+                    let model = fed.aggregator.global_model();
+                    let report = evaluate_perplexity(&model, &mut stream, opts.run.eval_windows);
+                    record.eval_ppl = Some(report.perplexity);
+                }
+                let reached = record
+                    .eval_ppl
+                    .zip(opts.run.stop_below)
+                    .is_some_and(|(p, t)| p <= t);
+                // Replayed rounds overwrite the records destroyed by the
+                // crash they recover from.
+                history.rounds.truncate(round as usize);
+                history.push(record);
+
+                let due =
+                    opts.checkpoint_every > 0 && (round + 1).is_multiple_of(opts.checkpoint_every);
+                if let Some(dir) = &opts.checkpoint_dir {
+                    if due || reached || round + 1 == opts.run.rounds {
+                        save_checkpoint_with_opt(
+                            dir,
+                            fed.aggregator.config(),
+                            fed.aggregator.round(),
+                            fed.aggregator.params(),
+                            Some(&fed.aggregator.server_opt_state()),
+                        )?;
+                    }
+                }
+                if reached {
+                    break;
+                }
+                let agg_crashes = injector.is_some_and(|inj| inj.aggregator_crashes_after(round))
+                    && fired_agg_crashes.insert(round);
+                if agg_crashes {
+                    if recoveries >= opts.recovery_budget {
+                        return Err(CoreError::ClientFailure(format!(
+                            "aggregator crashed after round {round} with the \
+                             recovery budget exhausted"
+                        )));
+                    }
+                    recoveries += 1;
+                    fed = recover(&mut build, opts, &mut history)?;
+                }
+            }
+            Err(e) => {
+                if recoveries >= opts.recovery_budget {
+                    return Err(e);
+                }
+                recoveries += 1;
+                eprintln!(
+                    "round {round} failed ({e}); restoring from checkpoint \
+                     (recovery {recoveries}/{})",
+                    opts.recovery_budget
+                );
+                fed = recover(&mut build, opts, &mut history)?;
+            }
+        }
+    }
+    for _ in 0..recoveries {
+        fed.aggregator.telemetry().record_recovery();
+    }
+    Ok(TrainingOutcome {
+        history,
+        recoveries,
+        federation: fed,
+    })
+}
+
+/// Rebuilds the federation from scratch and restores the latest
+/// checkpoint (or leaves it at round 0 when there is none), truncating the
+/// history to the restored round.
+fn recover<F>(
+    build: &mut F,
+    opts: &TrainingOptions,
+    history: &mut TrainingHistory,
+) -> Result<Federation>
+where
+    F: FnMut() -> Result<(Federation, TokenCorpus)>,
+{
+    let (mut fed, _) = build()?;
+    if let Some(dir) = &opts.checkpoint_dir {
+        if dir.join("manifest.json").exists() {
+            restore_from(&mut fed, dir)?;
+        }
+    }
+    history.rounds.truncate(fed.aggregator.round() as usize);
+    Ok(fed)
+}
+
+fn restore_from(fed: &mut Federation, dir: &std::path::Path) -> Result<()> {
+    let (manifest, params) = load_checkpoint(dir)?;
+    let opt = load_server_opt_state(dir)?;
+    fed.aggregator
+        .restore_with_opt(manifest.round, params, opt.as_ref())
+}

@@ -31,6 +31,23 @@ pub struct ClientStats {
     pub mean_alignment: f32,
 }
 
+/// Run-level fault and recovery counters — the operator's view of how much
+/// turbulence the federation absorbed (§4's dropout tolerance plus the
+/// recovery driver's checkpoint restores).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Clients that crashed mid-round (no result frame).
+    pub crashes: u64,
+    /// Clients dropped for missing the round deadline.
+    pub stragglers: u64,
+    /// Result-frame retransmissions triggered by CRC failures.
+    pub retransmits: u64,
+    /// Clients dropped after exhausting the retransmit budget.
+    pub link_dropouts: u64,
+    /// Checkpoint restores performed by the recovery driver.
+    pub recoveries: u64,
+}
+
 /// A cheaply clonable, thread-safe telemetry hub shared between the
 /// aggregator and observers.
 #[derive(Debug, Clone, Default)]
@@ -43,6 +60,7 @@ struct Inner {
     clients: BTreeMap<u32, ClientAccum>,
     rounds_seen: u64,
     compute_threads: usize,
+    faults: FaultCounters,
 }
 
 #[derive(Debug, Default)]
@@ -94,6 +112,32 @@ impl Telemetry {
     /// The recorded compute-thread budget (0 if never recorded).
     pub fn compute_threads(&self) -> usize {
         self.inner.read().compute_threads
+    }
+
+    /// Accumulates one round's fault counts (crashes, stragglers,
+    /// retransmissions, link-budget dropouts).
+    pub fn record_round_faults(
+        &self,
+        crashes: u64,
+        stragglers: u64,
+        retransmits: u64,
+        link_dropouts: u64,
+    ) {
+        let mut inner = self.inner.write();
+        inner.faults.crashes += crashes;
+        inner.faults.stragglers += stragglers;
+        inner.faults.retransmits += retransmits;
+        inner.faults.link_dropouts += link_dropouts;
+    }
+
+    /// Records one checkpoint restore by the recovery driver.
+    pub fn record_recovery(&self) {
+        self.inner.write().faults.recoveries += 1;
+    }
+
+    /// The run's accumulated fault counters.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.inner.read().faults
     }
 
     /// Number of rounds observed so far.
@@ -202,6 +246,21 @@ mod tests {
         assert_eq!(t.compute_threads(), 0);
         t.record_compute_threads(8);
         assert_eq!(t.compute_threads(), 8);
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        let t = Telemetry::new();
+        assert_eq!(t.fault_counters(), FaultCounters::default());
+        t.record_round_faults(1, 2, 5, 0);
+        t.record_round_faults(0, 1, 3, 1);
+        t.record_recovery();
+        let f = t.fault_counters();
+        assert_eq!(f.crashes, 1);
+        assert_eq!(f.stragglers, 3);
+        assert_eq!(f.retransmits, 8);
+        assert_eq!(f.link_dropouts, 1);
+        assert_eq!(f.recoveries, 1);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests for the federation engine's configuration and
 //! round bookkeeping.
 
-use photon_core::{CohortSpec, FederationConfig, RoundRecord, TrainingHistory};
+use photon_core::{CohortSpec, FaultSpec, FederationConfig, RoundRecord, TrainingHistory};
 use photon_fedopt::{AggregationKind, ServerOptKind};
 use photon_nn::ModelConfig;
 use proptest::prelude::*;
@@ -67,6 +67,51 @@ proptest! {
         prop_assert_eq!(back.aggregation, cfg.aggregation);
     }
 
+    /// Fault plans are a pure function of the spec: regenerating one —
+    /// under any compute-thread budget, queried in any order — yields the
+    /// identical schedule. This is what makes chaos runs replayable.
+    #[test]
+    fn fault_plans_replay_identically(
+        p_crash in 0.0f64..0.3,
+        p_straggle in 0.0f64..0.3,
+        p_corrupt in 0.0f64..0.3,
+        p_agg in 0.0f64..0.5,
+        seed in any::<u64>(),
+        population in 1usize..32,
+        rounds in 1u64..24,
+        threads in 1usize..5,
+    ) {
+        let spec = FaultSpec {
+            p_crash,
+            p_straggle,
+            straggle_ms_max: 100,
+            p_corrupt,
+            corrupt_attempts_max: 3,
+            p_agg_crash: p_agg,
+            seed,
+        };
+        let baseline = spec.plan(population, rounds);
+        let replay =
+            photon_tensor::ops::pool::with_parallelism(threads, || spec.plan(population, rounds));
+        prop_assert_eq!(&baseline, &replay);
+        // Point queries in reverse order agree with the plan's map.
+        for round in (0..rounds).rev() {
+            for client in (0..population as u32).rev() {
+                prop_assert_eq!(
+                    baseline.client_fault(round, client),
+                    replay.client_fault(round, client)
+                );
+            }
+            prop_assert_eq!(
+                baseline.aggregator_crashes_after(round),
+                replay.aggregator_crashes_after(round)
+            );
+        }
+        // A fault never lands outside the scheduled horizon.
+        prop_assert!(baseline.client_fault(rounds, 0).is_none());
+        prop_assert!(baseline.client_fault(0, population as u32).is_none());
+    }
+
     /// History target-finding agrees with a straightforward scan, for any
     /// perplexity trajectory.
     #[test]
@@ -80,6 +125,8 @@ proptest! {
                 round: i as u64,
                 cohort: vec![0],
                 dropouts: 0,
+                stragglers: 0,
+                retransmits: 0,
                 mean_client_loss: 1.0,
                 pseudo_grad_norm: 1.0,
                 wire_bytes: 1,

@@ -4,8 +4,14 @@
 //! availability" (Appendix A). This module provides a two-state Markov
 //! availability trace per client and a sampler that only selects clients
 //! that are currently up.
+//!
+//! Traces are generated **lazily**: each client's Markov chain is walked on
+//! demand and the materialized prefix cached, so a 10-round demo run never
+//! pays for a 100k-round horizon. The chain for a given client and seed is
+//! identical however far (or in how many steps) it is materialized.
 
 use crate::ClientSampler;
+use parking_lot::RwLock;
 use photon_tensor::SeedStream;
 use serde::{Deserialize, Serialize};
 
@@ -48,54 +54,109 @@ impl AvailabilityModel {
     }
 }
 
-/// Pre-sampled availability traces for a population.
+/// One client's Markov chain: the stream driving it, the state after the
+/// last materialized round, and the cached prefix.
 #[derive(Debug, Clone)]
+struct Chain {
+    rng: SeedStream,
+    state: bool,
+    trace: Vec<bool>,
+}
+
+impl Chain {
+    fn extend_to(&mut self, model: &AvailabilityModel, round: usize) {
+        while self.trace.len() <= round {
+            let u = self.rng.next_f64();
+            self.state = if self.state {
+                u >= model.p_down
+            } else {
+                u < model.p_up
+            };
+            self.trace.push(self.state);
+        }
+    }
+}
+
+/// Lazily materialized availability traces for a population. Every client
+/// starts up; each chain is extended on demand and cached, so queries at
+/// any round are cheap and seed-stable regardless of query order.
+#[derive(Debug)]
 pub struct AvailabilityTraces {
-    /// `up[client][round]`.
-    up: Vec<Vec<bool>>,
+    model: AvailabilityModel,
+    chains: RwLock<Vec<Chain>>,
+}
+
+impl Clone for AvailabilityTraces {
+    fn clone(&self) -> Self {
+        AvailabilityTraces {
+            model: self.model,
+            chains: RwLock::new(self.chains.read().clone()),
+        }
+    }
 }
 
 impl AvailabilityTraces {
-    /// Samples `rounds` rounds of availability for `population` clients.
-    /// Every client starts up.
+    /// Creates lazy traces for `population` clients; no rounds are sampled
+    /// until queried.
+    pub fn lazy(model: AvailabilityModel, population: usize, rng: &mut SeedStream) -> Self {
+        model.validate();
+        let chains = (0..population)
+            .map(|c| Chain {
+                rng: rng.split(&format!("avail-{c}")),
+                state: true,
+                trace: Vec::new(),
+            })
+            .collect();
+        AvailabilityTraces {
+            model,
+            chains: RwLock::new(chains),
+        }
+    }
+
+    /// Creates traces with the first `rounds` rounds materialized up front
+    /// (the chains still extend on demand past that horizon). Equivalent to
+    /// [`AvailabilityTraces::lazy`] for every query — this constructor only
+    /// changes *when* the sampling work happens.
     pub fn sample(
         model: AvailabilityModel,
         population: usize,
         rounds: usize,
         rng: &mut SeedStream,
     ) -> Self {
-        model.validate();
-        let up = (0..population)
-            .map(|c| {
-                let mut crng = rng.split(&format!("avail-{c}"));
-                let mut state = true;
-                (0..rounds)
-                    .map(|_| {
-                        let u = crng.next_f64();
-                        state = if state {
-                            u >= model.p_down
-                        } else {
-                            u < model.p_up
-                        };
-                        state
-                    })
-                    .collect()
-            })
-            .collect();
-        AvailabilityTraces { up }
+        let traces = AvailabilityTraces::lazy(model, population, rng);
+        if rounds > 0 {
+            let mut chains = traces.chains.write();
+            for chain in chains.iter_mut() {
+                chain.extend_to(&model, rounds - 1);
+            }
+        }
+        traces
     }
 
-    /// Whether `client` is up at `round` (clients past the sampled horizon
-    /// stay in their final state).
+    /// Number of clients covered by these traces.
+    pub fn population(&self) -> usize {
+        self.chains.read().len()
+    }
+
+    /// Whether `client` is up at `round`, extending the chain on demand.
     pub fn is_up(&self, client: usize, round: u64) -> bool {
-        let trace = &self.up[client];
-        let idx = (round as usize).min(trace.len().saturating_sub(1));
-        trace.get(idx).copied().unwrap_or(true)
+        let idx = round as usize;
+        {
+            let chains = self.chains.read();
+            let trace = &chains[client].trace;
+            if idx < trace.len() {
+                return trace[idx];
+            }
+        }
+        let mut chains = self.chains.write();
+        let chain = &mut chains[client];
+        chain.extend_to(&self.model, idx);
+        chain.trace[idx]
     }
 
     /// Clients up at `round`.
     pub fn available_at(&self, round: u64) -> Vec<usize> {
-        (0..self.up.len())
+        (0..self.population())
             .filter(|&c| self.is_up(c, round))
             .collect()
     }
@@ -134,7 +195,11 @@ impl ClientSampler for AvailabilitySampler {
             candidates = (0..population).collect();
         }
         let k = self.k.min(candidates.len());
-        let picked = self.rng.sample_indices(candidates.len(), k);
+        // Round-keyed draw: restored runs sample the same cohorts.
+        let picked = self
+            .rng
+            .fork(&format!("round-{round}"))
+            .sample_indices(candidates.len(), k);
         let mut cohort: Vec<usize> = picked.into_iter().map(|i| candidates[i]).collect();
         cohort.sort_unstable();
         cohort
@@ -185,10 +250,33 @@ mod tests {
     }
 
     #[test]
+    fn lazy_matches_eager_and_query_order_is_irrelevant() {
+        let m = AvailabilityModel {
+            p_down: 0.3,
+            p_up: 0.4,
+        };
+        let eager = AvailabilityTraces::sample(m, 6, 64, &mut SeedStream::new(11));
+        let lazy = AvailabilityTraces::lazy(m, 6, &mut SeedStream::new(11));
+        // Query the lazy traces backwards and scattered; every answer must
+        // match the eagerly materialized chain.
+        for &r in &[63u64, 0, 40, 7, 40, 12] {
+            for c in 0..6 {
+                assert_eq!(lazy.is_up(c, r), eager.is_up(c, r), "client {c} round {r}");
+            }
+        }
+        // And past the eager horizon both keep extending identically.
+        for c in 0..6 {
+            assert_eq!(lazy.is_up(c, 200), eager.is_up(c, 200));
+        }
+    }
+
+    #[test]
     fn always_on_traces_never_drop() {
         let mut rng = SeedStream::new(2);
         let traces = AvailabilityTraces::sample(AvailabilityModel::always_on(), 5, 50, &mut rng);
         assert_eq!(traces.available_at(25).len(), 5);
+        // Lazy extension keeps everyone up too.
+        assert_eq!(traces.available_at(5_000).len(), 5);
     }
 
     #[test]
@@ -211,6 +299,21 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn sampler_is_round_keyed() {
+        let m = AvailabilityModel {
+            p_down: 0.2,
+            p_up: 0.7,
+        };
+        let traces = AvailabilityTraces::lazy(m, 8, &mut SeedStream::new(21));
+        let mut walked = AvailabilitySampler::new(traces.clone(), 3, SeedStream::new(22));
+        for round in 0..6 {
+            walked.sample(8, round);
+        }
+        let mut jumped = AvailabilitySampler::new(traces, 3, SeedStream::new(22));
+        assert_eq!(walked.sample(8, 6), jumped.sample(8, 6));
     }
 
     #[test]

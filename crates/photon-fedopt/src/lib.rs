@@ -35,5 +35,5 @@ mod ties;
 pub use aggregate::{aggregate_deltas, delta_from, AggregationKind, ClientUpdate};
 pub use availability::{AvailabilityModel, AvailabilitySampler, AvailabilityTraces};
 pub use sampler::{ClientSampler, FullParticipation, UniformSampler};
-pub use server::{DiLoCo, FedAdam, FedAvg, FedMom, ServerOpt, ServerOptKind};
+pub use server::{DiLoCo, FedAdam, FedAvg, FedMom, ServerOpt, ServerOptKind, ServerOptState};
 pub use ties::{ties_aggregate, TiesConfig};

@@ -1,5 +1,59 @@
 use serde::{Deserialize, Serialize};
 
+/// Portable snapshot of a server optimizer's internal state, carried by
+/// checkpoint format v2 so an aggregator restart does not silently lose
+/// outer momenta (the DiLoCo Nesterov buffer, FedAdam's moments, ...).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerOptState {
+    /// Optimizer name this state belongs to (mismatches are rejected).
+    pub kind: String,
+    /// Step counter (FedAdam's `t`; zero for counterless optimizers).
+    pub step: u64,
+    /// Momentum/moment buffers, in an optimizer-defined order.
+    pub slots: Vec<Vec<f32>>,
+}
+
+impl ServerOptState {
+    /// State of an optimizer with no internal buffers (e.g. FedAvg).
+    pub fn stateless(kind: &str) -> Self {
+        ServerOptState {
+            kind: kind.to_string(),
+            step: 0,
+            slots: Vec::new(),
+        }
+    }
+
+    /// Checks this state matches `kind` and carries buffers of exactly
+    /// `slot_lens` lengths.
+    ///
+    /// # Errors
+    /// Returns a description of the mismatch.
+    pub fn check(&self, kind: &str, slot_lens: &[usize]) -> Result<(), String> {
+        if self.kind != kind {
+            return Err(format!(
+                "server-optimizer state is for {:?}, current optimizer is {kind:?}",
+                self.kind
+            ));
+        }
+        if self.slots.len() != slot_lens.len() {
+            return Err(format!(
+                "{kind} expects {} state buffer(s), checkpoint has {}",
+                slot_lens.len(),
+                self.slots.len()
+            ));
+        }
+        for (i, (slot, &want)) in self.slots.iter().zip(slot_lens).enumerate() {
+            if slot.len() != want {
+                return Err(format!(
+                    "{kind} state buffer {i} has {} values, expected {want}",
+                    slot.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A server-side optimizer consuming the aggregated pseudo-gradient
 /// (Algorithm 1, L.9: `θ^{t+1} ← ServerOpt(θ^t, −Δ^t, t)`).
 ///
@@ -18,6 +72,17 @@ pub trait ServerOpt: Send {
 
     /// Resets internal momenta.
     fn reset_state(&mut self);
+
+    /// Exports internal momenta for checkpointing (format v2).
+    fn export_state(&self) -> ServerOptState;
+
+    /// Restores momenta previously produced by
+    /// [`export_state`](ServerOpt::export_state).
+    ///
+    /// # Errors
+    /// Returns a description if the state belongs to a different optimizer
+    /// or has mismatched buffer shapes; the optimizer is left unchanged.
+    fn import_state(&mut self, state: &ServerOptState) -> Result<(), String>;
 }
 
 /// Declarative description of a server optimizer, used in experiment
@@ -103,6 +168,14 @@ impl ServerOpt for FedAvg {
     }
 
     fn reset_state(&mut self) {}
+
+    fn export_state(&self) -> ServerOptState {
+        ServerOptState::stateless(self.name())
+    }
+
+    fn import_state(&mut self, state: &ServerOptState) -> Result<(), String> {
+        state.check(self.name(), &[])
+    }
 }
 
 /// FedMom / FedAvgM: heavy-ball momentum on the pseudo-gradient.
@@ -140,6 +213,20 @@ impl ServerOpt for FedMom {
 
     fn reset_state(&mut self) {
         self.velocity.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    fn export_state(&self) -> ServerOptState {
+        ServerOptState {
+            kind: self.name().to_string(),
+            step: 0,
+            slots: vec![self.velocity.clone()],
+        }
+    }
+
+    fn import_state(&mut self, state: &ServerOptState) -> Result<(), String> {
+        state.check(self.name(), &[self.velocity.len()])?;
+        self.velocity.copy_from_slice(&state.slots[0]);
+        Ok(())
     }
 }
 
@@ -191,6 +278,22 @@ impl ServerOpt for FedAdam {
         self.v.iter_mut().for_each(|v| *v = 0.0);
         self.t = 0;
     }
+
+    fn export_state(&self) -> ServerOptState {
+        ServerOptState {
+            kind: self.name().to_string(),
+            step: self.t,
+            slots: vec![self.m.clone(), self.v.clone()],
+        }
+    }
+
+    fn import_state(&mut self, state: &ServerOptState) -> Result<(), String> {
+        state.check(self.name(), &[self.m.len(), self.v.len()])?;
+        self.m.copy_from_slice(&state.slots[0]);
+        self.v.copy_from_slice(&state.slots[1]);
+        self.t = state.step;
+        Ok(())
+    }
 }
 
 /// DiLoCo's outer optimizer: SGD with Nesterov momentum over the
@@ -236,6 +339,20 @@ impl ServerOpt for DiLoCo {
 
     fn reset_state(&mut self) {
         self.velocity.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    fn export_state(&self) -> ServerOptState {
+        ServerOptState {
+            kind: self.name().to_string(),
+            step: 0,
+            slots: vec![self.velocity.clone()],
+        }
+    }
+
+    fn import_state(&mut self, state: &ServerOptState) -> Result<(), String> {
+        state.check(self.name(), &[self.velocity.len()])?;
+        self.velocity.copy_from_slice(&state.slots[0]);
+        Ok(())
     }
 }
 
@@ -324,6 +441,62 @@ mod tests {
         for (kind, name) in kinds {
             assert_eq!(kind.build(4).name(), name);
         }
+    }
+
+    #[test]
+    fn state_export_import_roundtrip() {
+        // Warm up each stateful optimizer, export, import into a fresh
+        // instance, and check the next step matches bit-for-bit.
+        let kinds = [
+            ServerOptKind::photon_default(),
+            ServerOptKind::FedMom {
+                lr: 1.0,
+                momentum: 0.9,
+            },
+            ServerOptKind::FedAdam { lr: 0.01 },
+            ServerOptKind::diloco_default(),
+        ];
+        for kind in kinds {
+            let mut warm = kind.build(3);
+            let mut g = vec![1.0f32, 2.0, 3.0];
+            for r in 0..4 {
+                warm.apply(&mut g, &[0.1, -0.2, 0.3], r);
+            }
+            let state = warm.export_state();
+            let mut restored = kind.build(3);
+            restored.import_state(&state).unwrap();
+            let mut g_warm = g.clone();
+            let mut g_restored = g.clone();
+            warm.apply(&mut g_warm, &[0.05, 0.05, 0.05], 4);
+            restored.apply(&mut g_restored, &[0.05, 0.05, 0.05], 4);
+            assert_eq!(g_warm, g_restored, "{} state roundtrip", warm.name());
+        }
+    }
+
+    #[test]
+    fn state_mismatches_rejected() {
+        let diloco = ServerOptKind::diloco_default().build(4);
+        let state = diloco.export_state();
+        // Wrong optimizer kind.
+        let mut fedavg = ServerOptKind::photon_default().build(4);
+        assert!(fedavg.import_state(&state).is_err());
+        // Wrong buffer length.
+        let mut small = ServerOptKind::diloco_default().build(3);
+        assert!(small.import_state(&state).is_err());
+        // Wrong slot count.
+        let mut adam = ServerOptKind::FedAdam { lr: 0.01 }.build(4);
+        assert!(adam.import_state(&state).is_err());
+    }
+
+    #[test]
+    fn state_serde_roundtrip() {
+        let mut opt = ServerOptKind::FedAdam { lr: 0.01 }.build(2);
+        let mut g = vec![0.5f32, -0.5];
+        opt.apply(&mut g, &[0.1, 0.2], 0);
+        let state = opt.export_state();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: ServerOptState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, state);
     }
 
     #[test]
