@@ -64,6 +64,7 @@ fn bench_aggregation(c: &mut Criterion) {
                     (0..PAYLOAD).map(|_| rng.next_normal() * 1e-3).collect(),
                     1.0,
                 )
+                .unwrap()
             })
             .collect();
         group.bench_function(format!("fedavg_{k}x64k"), |b| {

@@ -8,7 +8,7 @@ use photon_core::{
     load_checkpoint, run_training, CohortSpec, CoreError, FaultInjector, FaultSpec, Federation,
     FederationConfig, TrainingOptions,
 };
-use photon_fedopt::ServerOptKind;
+use photon_fedopt::{AggregationKind, GuardConfig, ServerOptKind};
 use photon_nn::{generate as sample_tokens, Gpt, ModelConfig, SampleConfig};
 use photon_optim::LrSchedule;
 use photon_tensor::SeedStream;
@@ -41,7 +41,17 @@ OPTIONS:
     --faults SPEC                     seeded fault injection, e.g.
                                       crash=0.05,straggle=0.1,straggle-ms=500,
                                       corrupt=0.05,agg=0.02,seed=9
-                                      (pair with --partial-ok)
+                                      (pair with --partial-ok); Byzantine
+                                      rates nan=,sign-flip=,scale=,
+                                      scale-factor=; targeted entries
+                                      kind@rNcM, e.g. sign-flip@r3c1
+    --aggregation RULE                mean|ties[:density]|trimmed-mean[:r]|
+                                      median|norm-clipped[:mult]   [mean]
+    --guard                           screen updates before merging
+                                      (finiteness, norm clip, outlier
+                                      rejection, quarantine)
+    --loss-spike-mult X               roll back when mean loss exceeds
+                                      X * its EMA (watchdog; X > 1)
     --compress                        lossless Link compression
     --secure                          secure aggregation
     --partial-ok                      tolerate client dropouts";
@@ -172,6 +182,21 @@ pub fn train(args: &Args, resume: bool) -> Result<(), String> {
             outcome.recoveries
         );
     }
+    let guarded = faults.rejected_nonfinite
+        + faults.rejected_outliers
+        + faults.norm_clipped
+        + faults.quarantine_skips;
+    if guarded > 0 || outcome.rollbacks > 0 {
+        println!(
+            "guard: {} non-finite rejection(s), {} outlier rejection(s), \
+             {} norm clip(s), {} quarantine skip(s), {} rollback(s)",
+            faults.rejected_nonfinite,
+            faults.rejected_outliers,
+            faults.norm_clipped,
+            faults.quarantine_skips,
+            outcome.rollbacks
+        );
+    }
     if let Some(dir) = ckpt_dir {
         println!("checkpoint saved to {}", dir.display());
     }
@@ -193,6 +218,16 @@ fn config_from_args(args: &Args) -> Result<FederationConfig, String> {
     cfg.compress_link = args.flag("compress");
     cfg.secure_agg = args.flag("secure");
     cfg.allow_partial_results = args.flag("partial-ok");
+    if let Some(rule) = args.get("aggregation") {
+        cfg.aggregation =
+            AggregationKind::parse(rule).map_err(|e| format!("--aggregation: {e}"))?;
+    }
+    if args.flag("guard") {
+        cfg.guard = GuardConfig::on();
+    }
+    if let Some(mult) = args.get_opt_parsed::<f64>("loss-spike-mult")? {
+        cfg.loss_spike_mult = Some(mult);
+    }
     cfg.round_deadline_ms = args.get_opt_parsed::<u64>("deadline-ms")?;
     if let Some(retries) = args.get_opt_parsed::<u32>("retransmit-budget")? {
         cfg.retransmit.max_retries = retries;

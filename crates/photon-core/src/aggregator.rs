@@ -4,11 +4,17 @@ use crossbeam::channel::unbounded;
 use photon_data::{partition_iid, DomainKind, SyntheticDomain, TokenCorpus};
 use photon_fedopt::{
     AvailabilitySampler, AvailabilityTraces, ClientSampler, ClientUpdate, FullParticipation,
-    ServerOpt, UniformSampler,
+    ServerOpt, UniformSampler, UpdateGuard,
 };
 use photon_nn::Gpt;
 use photon_tensor::SeedStream;
 use photon_tokenizer::ByteTokenizer;
+use std::collections::BTreeSet;
+
+/// EMA blend for the watchdog's loss/norm trackers: history-weighted
+/// enough to ignore single-round noise, fresh enough to track the loss
+/// curve's natural decay.
+const WATCHDOG_EMA_BETA: f64 = 0.7;
 
 /// The Photon Aggregator (Agg, §3.1): owns the global model, orchestrates
 /// rounds over real Link frames, aggregates pseudo-gradients and applies
@@ -20,6 +26,15 @@ pub struct Aggregator {
     sampler: Box<dyn ClientSampler>,
     round: u64,
     telemetry: crate::Telemetry,
+    /// Admission guard, present when `cfg.guard.enabled`.
+    guard: Option<UpdateGuard>,
+    /// Loss-spike watchdog trackers (None until the first healthy round).
+    loss_ema: Option<f64>,
+    norm_ema: Option<f64>,
+    /// Rounds neutralized after a watchdog rollback: they run (keeping
+    /// client state deterministic) but skip the update application, so a
+    /// replay of the divergent round terminates instead of re-diverging.
+    neutralized: BTreeSet<u64>,
 }
 
 impl std::fmt::Debug for Aggregator {
@@ -63,6 +78,10 @@ impl Aggregator {
                 Box::new(UniformSampler::new(k, rng.split("sampler")))
             }
         };
+        let guard = cfg
+            .guard
+            .enabled
+            .then(|| UpdateGuard::new(cfg.guard, cfg.seed));
         Ok(Aggregator {
             cfg,
             params,
@@ -70,6 +89,10 @@ impl Aggregator {
             sampler,
             round: 0,
             telemetry: crate::Telemetry::new(),
+            guard,
+            loss_ema: None,
+            norm_ema: None,
+            neutralized: BTreeSet::new(),
         })
     }
 
@@ -157,7 +180,25 @@ impl Aggregator {
         }
         self.params = params;
         self.round = round;
+        // Guard and watchdog state is not checkpointed: it re-warms
+        // deterministically from the replayed rounds.
+        self.guard = self
+            .cfg
+            .guard
+            .enabled
+            .then(|| UpdateGuard::new(self.cfg.guard, self.cfg.seed));
+        self.loss_ema = None;
+        self.norm_ema = None;
         Ok(())
+    }
+
+    /// Marks `round` as neutralized: it will execute (keeping client-side
+    /// state deterministic) but skip the update application and watchdog.
+    /// The recovery driver calls this for the round a watchdog rollback
+    /// fired in, so the post-restore replay terminates instead of
+    /// re-diverging on the same poisoned aggregate.
+    pub fn neutralize_round(&mut self, round: u64) {
+        self.neutralized.insert(round);
     }
 
     /// Executes one federated round (Algorithm 1, L.4–11): samples the
@@ -279,7 +320,7 @@ impl Aggregator {
                     weight,
                     metrics,
                     ..
-                } => collected.push((client_id, ClientUpdate::new(delta, weight), metrics)),
+                } => collected.push((client_id, delta, weight, metrics)),
                 other => {
                     return Err(CoreError::ClientFailure(format!(
                         "unexpected message from client: {other:?}"
@@ -287,26 +328,77 @@ impl Aggregator {
                 }
             }
         }
-        collected.sort_by_key(|(id, _, _)| *id);
-        let mut updates = Vec::with_capacity(collected.len());
-        let mut losses = Vec::with_capacity(collected.len());
-        let mut survivor_ids = Vec::with_capacity(collected.len());
-        for (id, update, metrics) in collected {
-            self.telemetry.record(id, self.round, &metrics);
-            losses.push(metrics.mean_loss);
-            survivor_ids.push(id);
-            updates.push(update);
+        collected.sort_by_key(|(id, _, _, _)| *id);
+        let received = collected.len();
+
+        // Construct updates; a malformed aggregation weight surfaces as a
+        // recoverable failure (guarded runs quarantine the sender instead
+        // of failing the round).
+        let mut survivor_ids = Vec::with_capacity(received);
+        let mut updates = Vec::with_capacity(received);
+        let mut survivor_metrics = Vec::with_capacity(received);
+        let mut guard_rejected = 0usize;
+        for (id, delta, weight, metrics) in collected {
+            match ClientUpdate::new(delta, weight) {
+                Ok(update) => {
+                    survivor_ids.push(id);
+                    updates.push(update);
+                    survivor_metrics.push(metrics);
+                }
+                Err(e) => {
+                    let Some(guard) = self.guard.as_mut() else {
+                        return Err(CoreError::ClientFailure(format!("client {id}: {e}")));
+                    };
+                    guard.quarantine(self.round, id);
+                    guard_rejected += 1;
+                    self.telemetry.record_guard(1, 0, 0, 0);
+                }
+            }
         }
+
+        // Admission checks: quarantine skips, finiteness, norm clipping,
+        // cohort outlier rejection. Rejected updates (and their loss
+        // metrics — a poisoned loss must not steer the watchdog) are
+        // dropped before aggregation.
+        let mut guard_clipped = 0usize;
+        let mut quarantined = 0usize;
+        if let Some(guard) = self.guard.as_mut() {
+            let report = guard.screen_round(self.round, &survivor_ids, &mut updates);
+            self.telemetry.record_guard(
+                report.rejected_nonfinite,
+                report.rejected_outliers,
+                report.clipped,
+                report.quarantine_skips,
+            );
+            guard_rejected += (report.rejected_nonfinite + report.rejected_outliers) as usize;
+            guard_clipped = report.clipped as usize;
+            quarantined = report.quarantine_skips as usize;
+            let mut keep = report.decisions.iter().map(|d| d.admitted());
+            let mut keep2 = report.decisions.iter().map(|d| d.admitted());
+            let mut keep3 = report.decisions.iter().map(|d| d.admitted());
+            survivor_ids.retain(|_| keep.next().unwrap());
+            updates.retain(|_| keep2.next().unwrap());
+            survivor_metrics.retain(|_| keep3.next().unwrap());
+        }
+
         let dropouts = crashes + link_dropouts;
-        let missing = cohort_idx.len() - updates.len();
-        if missing > 0 && (!self.cfg.allow_partial_results || updates.is_empty()) {
+        // Guard rejections are deliberate exclusions, not transport
+        // failures: the partial-results gate only counts clients that never
+        // delivered a usable frame.
+        let missing = cohort_idx.len() - received;
+        if missing > 0 && (!self.cfg.allow_partial_results || received == 0) {
             // §4: only the partial-update path may proceed with survivors.
             return Err(CoreError::ClientFailure(format!(
                 "expected {} results, got {} (enable allow_partial_results \
                  to aggregate survivors)",
                 cohort_idx.len(),
-                updates.len()
+                received
             )));
+        }
+        if updates.is_empty() {
+            return Err(CoreError::ClientFailure(
+                "the guard rejected the entire cohort".into(),
+            ));
         }
         self.telemetry.record_round_faults(
             crashes as u64,
@@ -314,24 +406,45 @@ impl Aggregator {
             retransmits,
             link_dropouts as u64,
         );
+        let mut losses = Vec::with_capacity(updates.len());
+        for (id, metrics) in survivor_ids.iter().zip(&survivor_metrics) {
+            self.telemetry.record(*id, self.round, metrics);
+            losses.push(metrics.mean_loss);
+        }
 
+        let neutralized = self.neutralized.contains(&self.round);
         let avg_delta = self.cfg.aggregation.aggregate(&updates);
         let pseudo_grad_norm = photon_tensor::ops::l2_norm(&avg_delta);
-        // §6 client-contribution measurement: cosine alignment between each
-        // client's update and the aggregate.
-        if pseudo_grad_norm > 0.0 {
-            for (id, update) in survivor_ids.iter().zip(&updates) {
-                let dot = photon_tensor::ops::dot(&update.delta, &avg_delta);
-                let norm = update.norm();
-                if norm > 0.0 {
-                    self.telemetry
-                        .record_alignment(*id, dot / (norm * pseudo_grad_norm));
+        let mean_client_loss = losses.iter().sum::<f32>() / losses.len() as f32;
+
+        if !neutralized {
+            // Loss-spike watchdog, BEFORE the server optimizer touches the
+            // parameters: a divergent round leaves the model untouched and
+            // the recovery driver rolls back to the last-good checkpoint.
+            self.check_watchdog(mean_client_loss, pseudo_grad_norm)?;
+
+            // §6 client-contribution measurement: cosine alignment between
+            // each client's update and the aggregate.
+            if pseudo_grad_norm > 0.0 {
+                for (id, update) in survivor_ids.iter().zip(&updates) {
+                    let dot = photon_tensor::ops::dot(&update.delta, &avg_delta);
+                    let norm = update.norm();
+                    if norm > 0.0 {
+                        self.telemetry
+                            .record_alignment(*id, dot / (norm * pseudo_grad_norm));
+                    }
                 }
             }
+            // L.9: apply the server optimization policy.
+            self.server_opt
+                .apply(&mut self.params, &avg_delta, self.round);
+            let blend = |ema: Option<f64>, v: f64| match ema {
+                Some(e) => WATCHDOG_EMA_BETA * e + (1.0 - WATCHDOG_EMA_BETA) * v,
+                None => v,
+            };
+            self.loss_ema = Some(blend(self.loss_ema, mean_client_loss as f64));
+            self.norm_ema = Some(blend(self.norm_ema, pseudo_grad_norm as f64));
         }
-        // L.9: apply the server optimization policy.
-        self.server_opt
-            .apply(&mut self.params, &avg_delta, self.round);
 
         let record = RoundRecord {
             round: self.round,
@@ -339,13 +452,52 @@ impl Aggregator {
             dropouts,
             stragglers,
             retransmits,
-            mean_client_loss: losses.iter().sum::<f32>() / losses.len() as f32,
+            mean_client_loss,
             pseudo_grad_norm,
             wire_bytes: broadcast_bytes + result_bytes,
             eval_ppl: None,
+            guard_rejected,
+            guard_clipped,
+            quarantined,
+            neutralized,
         };
         self.round += 1;
         Ok(record)
+    }
+
+    /// The divergence checks run before every (non-neutralized) update
+    /// application. Non-finite aggregates always fail; the EMA multiplier
+    /// checks require `cfg.loss_spike_mult`.
+    fn check_watchdog(&self, mean_loss: f32, pseudo_grad_norm: f32) -> Result<()> {
+        let diverged = |reason: String| {
+            Err(CoreError::Divergence {
+                round: self.round,
+                reason,
+            })
+        };
+        if !pseudo_grad_norm.is_finite() {
+            return diverged(format!("aggregate norm {pseudo_grad_norm} is not finite"));
+        }
+        if !mean_loss.is_finite() {
+            return diverged(format!("mean client loss {mean_loss} is not finite"));
+        }
+        if let Some(mult) = self.cfg.loss_spike_mult {
+            if let Some(ema) = self.loss_ema {
+                if mean_loss as f64 > mult * ema {
+                    return diverged(format!(
+                        "mean client loss {mean_loss} > {mult}x EMA {ema:.4}"
+                    ));
+                }
+            }
+            if let Some(ema) = self.norm_ema {
+                if pseudo_grad_norm as f64 > mult * ema {
+                    return diverged(format!(
+                        "pseudo-gradient norm {pseudo_grad_norm} > {mult}x EMA {ema:.4}"
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -408,7 +560,24 @@ fn client_round(
         // Simulated mid-round disconnect: no result frame.
         return ClientReply::Crash { client_id };
     }
-    let outcome = client.run_round(&params, round, cohort_ids, cfg);
+    let mut outcome = client.run_round(&params, round, cohort_ids, cfg);
+    // Byzantine faults poison the result AFTER honest local training, so
+    // the client's own state stays on the deterministic trajectory and
+    // only the reported delta is adversarial.
+    match fault {
+        Some(ClientFault::NanUpdate) => outcome.delta.fill(f32::NAN),
+        Some(ClientFault::SignFlip) => {
+            for v in &mut outcome.delta {
+                *v = -*v;
+            }
+        }
+        Some(ClientFault::Scale { factor }) => {
+            for v in &mut outcome.delta {
+                *v = (*v as f64 * factor) as f32;
+            }
+        }
+        _ => {}
+    }
     let frame = photon_comms::Message::ClientResult {
         round,
         client_id,

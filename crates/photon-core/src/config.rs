@@ -1,5 +1,5 @@
 use photon_comms::RetransmitPolicy;
-use photon_fedopt::{AggregationKind, AvailabilityModel, ServerOptKind};
+use photon_fedopt::{AggregationKind, AvailabilityModel, GuardConfig, ServerOptKind};
 use photon_nn::{ModelConfig, PosEncoding};
 use photon_optim::{AdamWConfig, LrSchedule};
 use serde::{Deserialize, Serialize};
@@ -49,6 +49,17 @@ pub struct FederationConfig {
     /// Pseudo-gradient aggregation rule (Algorithm 1, L.8).
     #[serde(default)]
     pub aggregation: AggregationKind,
+    /// Per-update admission checks (finiteness, norm clip, cohort outlier
+    /// rejection) with client quarantine. Disabled by default; incompatible
+    /// with secure aggregation (the server cannot inspect masked updates).
+    #[serde(default)]
+    pub guard: GuardConfig,
+    /// Loss-spike watchdog threshold: declare divergence when a round's
+    /// mean client loss (or pseudo-gradient norm) exceeds this multiple of
+    /// its EMA. Non-finite aggregates always trip the watchdog. `None`
+    /// disables the EMA checks.
+    #[serde(default)]
+    pub loss_spike_mult: Option<f64>,
     /// Client optimizer hyperparameters (AdamW).
     pub adamw: AdamWConfig,
     /// Client learning-rate schedule over *sequential* local steps
@@ -109,6 +120,8 @@ impl FederationConfig {
             local_batch: 8,
             server_opt: ServerOptKind::photon_default(),
             aggregation: AggregationKind::Mean,
+            guard: GuardConfig::default(),
+            loss_spike_mult: None,
             adamw: AdamWConfig::default(),
             schedule: LrSchedule::paper_cosine(3e-3, 20, 4000),
             stateless_local: true,
@@ -181,6 +194,32 @@ impl FederationConfig {
                 "secure aggregation requires full participation".into(),
             ));
         }
+        self.aggregation
+            .validate()
+            .map_err(crate::CoreError::InvalidConfig)?;
+        self.guard
+            .validate()
+            .map_err(crate::CoreError::InvalidConfig)?;
+        if self.secure_agg && self.guard.enabled {
+            return Err(crate::CoreError::InvalidConfig(
+                "the update guard cannot inspect masked updates (disable secure_agg or guard)"
+                    .into(),
+            ));
+        }
+        if self.secure_agg && self.aggregation != AggregationKind::Mean {
+            // Masked updates only cancel under plain summation; order
+            // statistics over masked coordinates are meaningless.
+            return Err(crate::CoreError::InvalidConfig(
+                "secure aggregation requires mean aggregation".into(),
+            ));
+        }
+        if let Some(mult) = self.loss_spike_mult {
+            if !(mult.is_finite() && mult > 1.0) {
+                return Err(crate::CoreError::InvalidConfig(format!(
+                    "loss_spike_mult {mult} must be finite and > 1"
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -225,6 +264,38 @@ mod tests {
         cfg.secure_agg = true;
         cfg.round_deadline_ms = Some(500);
         assert!(cfg.validate().is_err());
+
+        let mut cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 4);
+        cfg.secure_agg = true;
+        cfg.guard = GuardConfig::on();
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 4);
+        cfg.secure_agg = true;
+        cfg.aggregation = AggregationKind::Median;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 4);
+        cfg.loss_spike_mult = Some(1.0);
+        assert!(cfg.validate().is_err());
+        cfg.loss_spike_mult = Some(3.0);
+        cfg.validate().unwrap();
+
+        let mut cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 4);
+        cfg.guard = GuardConfig {
+            clip_norm_mult: 0.5,
+            ..GuardConfig::on()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn guarded_robust_config_is_valid() {
+        let mut cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 4);
+        cfg.guard = GuardConfig::on();
+        cfg.aggregation = AggregationKind::TrimmedMean { trim_ratio: 0.25 };
+        cfg.loss_spike_mult = Some(4.0);
+        cfg.validate().unwrap();
     }
 
     #[test]

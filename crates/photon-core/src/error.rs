@@ -13,6 +13,15 @@ pub enum CoreError {
     ClientFailure(String),
     /// Checkpoint I/O failed.
     Checkpoint(std::io::Error),
+    /// The loss-spike watchdog detected divergence before applying the
+    /// round's aggregate; the recovery driver rolls back to the last-good
+    /// checkpoint.
+    Divergence {
+        /// Round the watchdog fired in (the round was not applied).
+        round: u64,
+        /// Human-readable description of the tripped check.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -23,6 +32,9 @@ impl fmt::Display for CoreError {
             CoreError::SecureAgg(e) => write!(f, "secure aggregation error: {e}"),
             CoreError::ClientFailure(msg) => write!(f, "client failure: {msg}"),
             CoreError::Checkpoint(e) => write!(f, "checkpoint i/o failed: {e}"),
+            CoreError::Divergence { round, reason } => {
+                write!(f, "divergence detected at round {round}: {reason}")
+            }
         }
     }
 }
@@ -66,6 +78,12 @@ mod tests {
         assert!(e.to_string().contains("population"));
         let e: CoreError = photon_comms::WireError::BadMagic.into();
         assert!(e.to_string().contains("magic"));
+        let e = CoreError::Divergence {
+            round: 4,
+            reason: "mean client loss 9.7 > 3x EMA 2.1".into(),
+        };
+        assert!(e.to_string().contains("round 4"));
+        assert!(e.to_string().contains("EMA"));
     }
 
     #[test]

@@ -210,6 +210,10 @@ pub fn run_centralized(
             pseudo_grad_norm: 0.0,
             wire_bytes: 0,
             eval_ppl: Some(report.perplexity),
+            guard_rejected: 0,
+            guard_clipped: 0,
+            quarantined: 0,
+            neutralized: false,
         });
         if stop_below.is_some_and(|t| report.perplexity <= t) {
             break;

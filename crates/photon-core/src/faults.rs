@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A fault injected into one client for one round.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ClientFault {
     /// The client disconnects mid-round and never sends a result frame.
     Crash,
@@ -31,10 +31,101 @@ pub enum ClientFault {
         /// Number of leading transmissions that arrive corrupted.
         attempts: u32,
     },
+    /// Byzantine: the client reports an all-NaN pseudo-gradient.
+    NanUpdate,
+    /// Byzantine: the client negates its pseudo-gradient (gradient-ascent
+    /// poisoning — numerically healthy, directionally adversarial).
+    SignFlip,
+    /// Byzantine: the client rescales its pseudo-gradient by `factor`.
+    Scale {
+        /// Multiplier applied to every delta coordinate.
+        factor: f64,
+    },
+}
+
+impl ClientFault {
+    /// Parses the targeted-fault kind grammar: `crash`, `nan-update`,
+    /// `sign-flip`, `scale:<x>`, `straggle:<ms>`, `corrupt:<n>`.
+    ///
+    /// # Errors
+    /// Returns a message naming the offending kind or parameter.
+    pub fn parse_kind(s: &str) -> Result<ClientFault, String> {
+        let (name, param) = match s.split_once(':') {
+            Some((n, p)) => (n, Some(p)),
+            None => (s, None),
+        };
+        let bad = |what: &str| format!("invalid {what} in fault kind {s:?}");
+        match (name, param) {
+            ("crash", None) => Ok(ClientFault::Crash),
+            ("nan-update", None) => Ok(ClientFault::NanUpdate),
+            ("sign-flip", None) => Ok(ClientFault::SignFlip),
+            ("scale", Some(p)) => {
+                let factor: f64 = p.parse().map_err(|_| bad("factor"))?;
+                if !factor.is_finite() {
+                    return Err(bad("factor"));
+                }
+                Ok(ClientFault::Scale { factor })
+            }
+            ("straggle", Some(p)) => Ok(ClientFault::Straggle {
+                delay_ms: p.parse().map_err(|_| bad("delay"))?,
+            }),
+            ("corrupt", Some(p)) => Ok(ClientFault::Corrupt {
+                attempts: p.parse().map_err(|_| bad("attempts"))?,
+            }),
+            _ => Err(format!(
+                "unknown fault kind {s:?} \
+                 (crash|nan-update|sign-flip|scale:<x>|straggle:<ms>|corrupt:<n>)"
+            )),
+        }
+    }
+}
+
+/// A fault pinned to one specific `(round, client)` cell, bypassing the
+/// probabilistic draw — `sign-flip@r3c1` injects a sign flip into client 1
+/// at round 3 regardless of the seeded rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TargetedFault {
+    /// Round the fault fires in.
+    pub round: u64,
+    /// Client hit by the fault.
+    pub client: u32,
+    /// What happens to the client.
+    pub fault: ClientFault,
+}
+
+impl TargetedFault {
+    /// Parses a `kind@rNcM` entry, e.g. `sign-flip@r3c1` or
+    /// `scale:50@r2c0`.
+    ///
+    /// # Errors
+    /// Returns a message naming the malformed part.
+    pub fn parse(s: &str) -> Result<TargetedFault, String> {
+        let (kind, cell) = s
+            .split_once('@')
+            .ok_or_else(|| format!("targeted fault {s:?} is not kind@rNcM"))?;
+        let fault = ClientFault::parse_kind(kind)?;
+        let rest = cell
+            .strip_prefix('r')
+            .ok_or_else(|| format!("targeted fault cell {cell:?} is not rNcM"))?;
+        let (round, client) = rest
+            .split_once('c')
+            .ok_or_else(|| format!("targeted fault cell {cell:?} is not rNcM"))?;
+        let round = round
+            .parse()
+            .map_err(|_| format!("invalid round in {cell:?}"))?;
+        let client = client
+            .parse()
+            .map_err(|_| format!("invalid client in {cell:?}"))?;
+        Ok(TargetedFault {
+            round,
+            client,
+            fault,
+        })
+    }
 }
 
 /// Per-run fault rates, expanded into a [`FaultPlan`] by [`FaultSpec::plan`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultSpec {
     /// Per-(round, client) probability of a mid-round crash.
     pub p_crash: f64,
@@ -48,8 +139,28 @@ pub struct FaultSpec {
     pub corrupt_attempts_max: u32,
     /// Per-round probability the aggregator crashes after the round.
     pub p_agg_crash: f64,
+    /// Per-(round, client) probability of an all-NaN Byzantine update.
+    #[serde(default)]
+    pub p_nan: f64,
+    /// Per-(round, client) probability of a sign-flipped Byzantine update.
+    #[serde(default)]
+    pub p_sign_flip: f64,
+    /// Per-(round, client) probability of a rescaled Byzantine update.
+    #[serde(default)]
+    pub p_scale: f64,
+    /// Multiplier used by `p_scale` draws.
+    #[serde(default = "default_scale_factor")]
+    pub scale_factor: f64,
+    /// Faults pinned to specific `(round, client)` cells, applied on top
+    /// of (and overriding) the probabilistic draws.
+    #[serde(default)]
+    pub targeted: Vec<TargetedFault>,
     /// Seed for the fault schedule (independent of the training seed).
     pub seed: u64,
+}
+
+fn default_scale_factor() -> f64 {
+    100.0
 }
 
 impl FaultSpec {
@@ -62,20 +173,31 @@ impl FaultSpec {
             p_corrupt: 0.0,
             corrupt_attempts_max: 2,
             p_agg_crash: 0.0,
+            p_nan: 0.0,
+            p_sign_flip: 0.0,
+            p_scale: 0.0,
+            scale_factor: default_scale_factor(),
+            targeted: Vec::new(),
             seed,
         }
     }
 
-    /// Parses a compact CLI spec: comma-separated `key=value` pairs with
-    /// keys `crash`, `straggle`, `straggle-ms`, `corrupt`,
-    /// `corrupt-attempts`, `agg`, `seed` — e.g.
-    /// `crash=0.05,straggle=0.1,corrupt=0.05,agg=0.02,seed=9`.
+    /// Parses a compact CLI spec: comma-separated entries that are either
+    /// `key=value` rate pairs — keys `crash`, `straggle`, `straggle-ms`,
+    /// `corrupt`, `corrupt-attempts`, `agg`, `nan`, `sign-flip`, `scale`,
+    /// `scale-factor`, `seed` — or targeted `kind@rNcM` entries, e.g.
+    /// `crash=0.05,sign-flip@r3c1,scale:50@r2c0,seed=9`.
     ///
     /// # Errors
-    /// Returns a message naming the offending key or value.
+    /// Returns a message naming the offending entry or value.
     pub fn parse(s: &str) -> Result<FaultSpec, String> {
         let mut spec = FaultSpec::none(0);
         for pair in s.split(',').filter(|p| !p.trim().is_empty()) {
+            let pair = pair.trim();
+            if pair.contains('@') {
+                spec.targeted.push(TargetedFault::parse(pair)?);
+                continue;
+            }
             let (key, value) = pair
                 .split_once('=')
                 .ok_or_else(|| format!("fault spec entry {pair:?} is not key=value"))?;
@@ -89,6 +211,10 @@ impl FaultSpec {
                     spec.corrupt_attempts_max = value.parse().map_err(|_| bad())?
                 }
                 "agg" => spec.p_agg_crash = value.parse().map_err(|_| bad())?,
+                "nan" => spec.p_nan = value.parse().map_err(|_| bad())?,
+                "sign-flip" => spec.p_sign_flip = value.parse().map_err(|_| bad())?,
+                "scale" => spec.p_scale = value.parse().map_err(|_| bad())?,
+                "scale-factor" => spec.scale_factor = value.parse().map_err(|_| bad())?,
                 "seed" => spec.seed = value.parse().map_err(|_| bad())?,
                 other => return Err(format!("unknown fault spec key {other:?}")),
             }
@@ -107,17 +233,29 @@ impl FaultSpec {
             ("straggle", self.p_straggle),
             ("corrupt", self.p_corrupt),
             ("agg", self.p_agg_crash),
+            ("nan", self.p_nan),
+            ("sign-flip", self.p_sign_flip),
+            ("scale", self.p_scale),
         ];
         for (name, p) in probs {
             if !(0.0..=1.0).contains(&p) {
                 return Err(format!("fault probability {name}={p} outside [0, 1]"));
             }
         }
-        if self.p_crash + self.p_straggle + self.p_corrupt > 1.0 {
+        let client_sum = self.p_crash
+            + self.p_straggle
+            + self.p_corrupt
+            + self.p_nan
+            + self.p_sign_flip
+            + self.p_scale;
+        if client_sum > 1.0 {
             return Err("client fault probabilities sum past 1.0".into());
         }
         if self.straggle_ms_max == 0 || self.corrupt_attempts_max == 0 {
             return Err("fault magnitudes must be at least 1".into());
+        }
+        if !self.scale_factor.is_finite() {
+            return Err(format!("scale factor {} must be finite", self.scale_factor));
         }
         Ok(())
     }
@@ -137,15 +275,32 @@ impl FaultSpec {
             for client in 0..population as u32 {
                 let mut rng = cell_stream(self.seed, round, client);
                 let u = rng.next_f64();
-                let fault = if u < self.p_crash {
+                // The Byzantine thresholds extend the chain AFTER the
+                // legacy kinds, so a spec with zero Byzantine rates
+                // expands to the exact plan older versions produced.
+                let t_crash = self.p_crash;
+                let t_straggle = t_crash + self.p_straggle;
+                let t_corrupt = t_straggle + self.p_corrupt;
+                let t_nan = t_corrupt + self.p_nan;
+                let t_flip = t_nan + self.p_sign_flip;
+                let t_scale = t_flip + self.p_scale;
+                let fault = if u < t_crash {
                     Some(ClientFault::Crash)
-                } else if u < self.p_crash + self.p_straggle {
+                } else if u < t_straggle {
                     Some(ClientFault::Straggle {
                         delay_ms: 1 + rng.next_below(self.straggle_ms_max as usize) as u64,
                     })
-                } else if u < self.p_crash + self.p_straggle + self.p_corrupt {
+                } else if u < t_corrupt {
                     Some(ClientFault::Corrupt {
                         attempts: 1 + rng.next_below(self.corrupt_attempts_max as usize) as u32,
+                    })
+                } else if u < t_nan {
+                    Some(ClientFault::NanUpdate)
+                } else if u < t_flip {
+                    Some(ClientFault::SignFlip)
+                } else if u < t_scale {
+                    Some(ClientFault::Scale {
+                        factor: self.scale_factor,
                     })
                 } else {
                     None
@@ -153,6 +308,13 @@ impl FaultSpec {
                 if let Some(f) = fault {
                     client_faults.insert((round, client), f);
                 }
+            }
+        }
+        // Targeted faults override whatever the probabilistic draw chose
+        // for their cell; out-of-horizon targets are ignored.
+        for t in &self.targeted {
+            if t.round < rounds && (t.client as usize) < population {
+                client_faults.insert((t.round, t.client), t.fault);
             }
         }
         let agg_crashes = (0..rounds)
@@ -178,7 +340,7 @@ fn cell_stream(seed: u64, round: u64, client: u32) -> SeedStream {
 }
 
 /// A concrete, replayable fault schedule.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultPlan {
     client_faults: BTreeMap<(u64, u32), ClientFault>,
     agg_crashes: BTreeSet<u64>,
@@ -259,7 +421,7 @@ mod tests {
             p_corrupt: 0.15,
             corrupt_attempts_max: 3,
             p_agg_crash: 0.1,
-            seed,
+            ..FaultSpec::none(seed)
         }
     }
 
@@ -342,6 +504,103 @@ mod tests {
         assert!(FaultSpec::parse("bogus=1").is_err());
         assert!(FaultSpec::parse("crash").is_err());
         assert!(FaultSpec::parse("crash=0.5,straggle=0.4,corrupt=0.3").is_err());
+    }
+
+    #[test]
+    fn byzantine_rates_expand_into_byzantine_faults() {
+        let spec = FaultSpec {
+            p_nan: 0.1,
+            p_sign_flip: 0.1,
+            p_scale: 0.1,
+            scale_factor: 40.0,
+            ..FaultSpec::none(13)
+        };
+        let plan = spec.plan(16, 100);
+        let mut nans = 0;
+        let mut flips = 0;
+        let mut scales = 0;
+        for round in 0..100 {
+            for client in 0..16 {
+                match plan.client_fault(round, client) {
+                    Some(ClientFault::NanUpdate) => nans += 1,
+                    Some(ClientFault::SignFlip) => flips += 1,
+                    Some(ClientFault::Scale { factor }) => {
+                        assert_eq!(factor, 40.0);
+                        scales += 1;
+                    }
+                    Some(_) => panic!("unexpected legacy fault"),
+                    None => {}
+                }
+            }
+        }
+        assert!(nans > 0 && flips > 0 && scales > 0);
+    }
+
+    #[test]
+    fn zero_byzantine_rates_leave_legacy_plans_unchanged() {
+        // The threshold chain appends the new kinds after the old ones, so
+        // a spec without Byzantine rates expands to the exact legacy plan.
+        let legacy = chaos_spec(7).plan(16, 50);
+        let extended = FaultSpec {
+            scale_factor: 999.0, // irrelevant while p_scale == 0
+            ..chaos_spec(7)
+        }
+        .plan(16, 50);
+        assert_eq!(legacy, extended);
+    }
+
+    #[test]
+    fn targeted_faults_override_the_draw() {
+        let spec = FaultSpec {
+            targeted: vec![
+                TargetedFault::parse("sign-flip@r3c1").unwrap(),
+                TargetedFault::parse("scale:50@r2c0").unwrap(),
+                TargetedFault::parse("nan-update@r99c0").unwrap(), // out of horizon
+            ],
+            ..FaultSpec::none(5)
+        };
+        let plan = spec.plan(4, 6);
+        assert_eq!(plan.client_fault(3, 1), Some(ClientFault::SignFlip));
+        assert_eq!(
+            plan.client_fault(2, 0),
+            Some(ClientFault::Scale { factor: 50.0 })
+        );
+        assert_eq!(plan.client_fault_count(), 2, "out-of-horizon target kept");
+    }
+
+    #[test]
+    fn targeted_grammar_roundtrips() {
+        let spec = FaultSpec::parse("sign-flip@r3c1,crash=0.05,scale:2.5@r0c2,seed=8").unwrap();
+        assert_eq!(spec.seed, 8);
+        assert_eq!(spec.p_crash, 0.05);
+        assert_eq!(
+            spec.targeted,
+            vec![
+                TargetedFault {
+                    round: 3,
+                    client: 1,
+                    fault: ClientFault::SignFlip
+                },
+                TargetedFault {
+                    round: 0,
+                    client: 2,
+                    fault: ClientFault::Scale { factor: 2.5 }
+                },
+            ]
+        );
+        assert_eq!(
+            ClientFault::parse_kind("straggle:75").unwrap(),
+            ClientFault::Straggle { delay_ms: 75 }
+        );
+        assert_eq!(
+            ClientFault::parse_kind("corrupt:2").unwrap(),
+            ClientFault::Corrupt { attempts: 2 }
+        );
+        assert!(TargetedFault::parse("sign-flip@x3c1").is_err());
+        assert!(TargetedFault::parse("sign-flip@r3").is_err());
+        assert!(TargetedFault::parse("warp@r1c1").is_err());
+        assert!(ClientFault::parse_kind("scale:inf").is_err());
+        assert!(FaultSpec::parse("nan=0.5,sign-flip=0.4,scale=0.3").is_err());
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub use config::{CohortSpec, FederationConfig, PostProcessConfig};
 pub use datasource::DataSource;
 pub use ddp::{ddp_train, DdpConfig, DdpReport};
 pub use error::CoreError;
-pub use faults::{ClientFault, FaultInjector, FaultPlan, FaultSpec};
+pub use faults::{ClientFault, FaultInjector, FaultPlan, FaultSpec, TargetedFault};
 pub use metrics::{RoundRecord, TrainingHistory};
 pub use recovery::{run_training, TrainingOptions, TrainingOutcome};
 pub use telemetry::{ClientStats, FaultCounters, Telemetry};

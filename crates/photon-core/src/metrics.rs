@@ -26,6 +26,20 @@ pub struct RoundRecord {
     pub wire_bytes: u64,
     /// Global-model validation perplexity, when evaluated this round.
     pub eval_ppl: Option<f64>,
+    /// Updates the admission guard rejected this round (non-finite plus
+    /// cohort outliers).
+    #[serde(default)]
+    pub guard_rejected: usize,
+    /// Updates admitted after guard norm clipping.
+    #[serde(default)]
+    pub guard_clipped: usize,
+    /// Cohort members skipped because they were quarantined.
+    #[serde(default)]
+    pub quarantined: usize,
+    /// Whether this round was neutralized after a watchdog rollback (its
+    /// update is skipped on replay so recovery terminates).
+    #[serde(default)]
+    pub neutralized: bool,
 }
 
 /// The full record of a training run, with helpers used by the
@@ -67,12 +81,15 @@ impl TrainingHistory {
             .map(|r| r.round + 1)
     }
 
-    /// Best (lowest) evaluated perplexity seen.
+    /// Best (lowest) finite evaluated perplexity seen. Non-finite
+    /// evaluations (a diverged or poisoned round) are skipped rather than
+    /// panicking, so degenerate runs still report their best healthy eval.
     pub fn best_ppl(&self) -> Option<f64> {
         self.rounds
             .iter()
             .filter_map(|r| r.eval_ppl)
-            .min_by(|a, b| a.partial_cmp(b).expect("no NaN perplexities"))
+            .filter(|p| p.is_finite())
+            .min_by(f64::total_cmp)
     }
 
     /// Final evaluated perplexity (the last round that ran an eval).
@@ -106,6 +123,10 @@ mod tests {
             pseudo_grad_norm: 0.5,
             wire_bytes: 100,
             eval_ppl: ppl,
+            guard_rejected: 0,
+            guard_clipped: 0,
+            quarantined: 0,
+            neutralized: false,
         }
     }
 
@@ -132,6 +153,18 @@ mod tests {
         assert_eq!(h.final_ppl(), Some(33.0));
         assert_eq!(h.total_wire_bytes(), 300);
         assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn best_ppl_skips_non_finite_evals() {
+        let mut h = TrainingHistory::new();
+        h.push(record(0, Some(f64::NAN)));
+        h.push(record(1, Some(44.0)));
+        h.push(record(2, Some(f64::INFINITY)));
+        assert_eq!(h.best_ppl(), Some(44.0));
+        let mut all_bad = TrainingHistory::new();
+        all_bad.push(record(0, Some(f64::NAN)));
+        assert_eq!(all_bad.best_ppl(), None);
     }
 
     #[test]

@@ -57,6 +57,9 @@ pub struct TrainingOutcome {
     pub history: TrainingHistory,
     /// Checkpoint restores performed (crashes survived).
     pub recoveries: u32,
+    /// Watchdog-triggered rollbacks to the last-good checkpoint (divergent
+    /// rounds neutralized). Shares the recovery budget with `recoveries`.
+    pub rollbacks: u32,
     /// The final federation (global model, telemetry).
     pub federation: Federation,
 }
@@ -86,9 +89,14 @@ where
     let (mut fed, val) = build()?;
     let mut history = TrainingHistory::new();
     let mut recoveries = 0u32;
+    let mut rollbacks = 0u32;
     // An injected aggregator crash fires once; after recovery the process
     // is a different incarnation and the schedule entry is spent.
     let mut fired_agg_crashes: BTreeSet<u64> = BTreeSet::new();
+    // Rounds the watchdog declared divergent: neutralized on every rebuilt
+    // aggregator so the deterministic replay skips the poisoned update
+    // instead of re-diverging forever.
+    let mut neutralized: BTreeSet<u64> = BTreeSet::new();
 
     if opts.resume {
         if let Some(dir) = &opts.checkpoint_dir {
@@ -147,11 +155,24 @@ where
                         )));
                     }
                     recoveries += 1;
-                    fed = recover(&mut build, opts, &mut history)?;
+                    fed = recover(&mut build, opts, &mut history, &neutralized)?;
                 }
             }
+            Err(CoreError::Divergence { round, reason }) => {
+                if recoveries + rollbacks >= opts.recovery_budget {
+                    return Err(CoreError::Divergence { round, reason });
+                }
+                rollbacks += 1;
+                neutralized.insert(round);
+                eprintln!(
+                    "round {round} diverged ({reason}); rolling back to the \
+                     last-good checkpoint and neutralizing the round \
+                     (rollback {rollbacks})"
+                );
+                fed = recover(&mut build, opts, &mut history, &neutralized)?;
+            }
             Err(e) => {
-                if recoveries >= opts.recovery_budget {
+                if recoveries + rollbacks >= opts.recovery_budget {
                     return Err(e);
                 }
                 recoveries += 1;
@@ -160,16 +181,20 @@ where
                      (recovery {recoveries}/{})",
                     opts.recovery_budget
                 );
-                fed = recover(&mut build, opts, &mut history)?;
+                fed = recover(&mut build, opts, &mut history, &neutralized)?;
             }
         }
     }
     for _ in 0..recoveries {
         fed.aggregator.telemetry().record_recovery();
     }
+    for _ in 0..rollbacks {
+        fed.aggregator.telemetry().record_rollback();
+    }
     Ok(TrainingOutcome {
         history,
         recoveries,
+        rollbacks,
         federation: fed,
     })
 }
@@ -181,6 +206,7 @@ fn recover<F>(
     build: &mut F,
     opts: &TrainingOptions,
     history: &mut TrainingHistory,
+    neutralized: &BTreeSet<u64>,
 ) -> Result<Federation>
 where
     F: FnMut() -> Result<(Federation, TokenCorpus)>,
@@ -190,6 +216,12 @@ where
         if dir.join("manifest.json").exists() {
             restore_from(&mut fed, dir)?;
         }
+    }
+    // The rebuilt aggregator starts with a clean slate; re-arm the
+    // neutralized rounds so the replay skips every previously-diverged
+    // update application.
+    for &round in neutralized {
+        fed.aggregator.neutralize_round(round);
     }
     history.rounds.truncate(fed.aggregator.round() as usize);
     Ok(fed)

@@ -46,6 +46,21 @@ pub struct FaultCounters {
     pub link_dropouts: u64,
     /// Checkpoint restores performed by the recovery driver.
     pub recoveries: u64,
+    /// Updates the guard rejected for non-finite coordinates.
+    #[serde(default)]
+    pub rejected_nonfinite: u64,
+    /// Updates the guard rejected as cohort outliers (z-score or cosine).
+    #[serde(default)]
+    pub rejected_outliers: u64,
+    /// Updates the guard admitted after norm clipping.
+    #[serde(default)]
+    pub norm_clipped: u64,
+    /// Updates skipped because their client was quarantined.
+    #[serde(default)]
+    pub quarantine_skips: u64,
+    /// Watchdog-triggered rollbacks to the last-good checkpoint.
+    #[serde(default)]
+    pub rollbacks: u64,
 }
 
 /// A cheaply clonable, thread-safe telemetry hub shared between the
@@ -133,6 +148,28 @@ impl Telemetry {
     /// Records one checkpoint restore by the recovery driver.
     pub fn record_recovery(&self) {
         self.inner.write().faults.recoveries += 1;
+    }
+
+    /// Accumulates one round's guard decisions (non-finite rejections,
+    /// outlier rejections, norm clips, quarantine skips).
+    pub fn record_guard(
+        &self,
+        rejected_nonfinite: u64,
+        rejected_outliers: u64,
+        norm_clipped: u64,
+        quarantine_skips: u64,
+    ) {
+        let mut inner = self.inner.write();
+        inner.faults.rejected_nonfinite += rejected_nonfinite;
+        inner.faults.rejected_outliers += rejected_outliers;
+        inner.faults.norm_clipped += norm_clipped;
+        inner.faults.quarantine_skips += quarantine_skips;
+    }
+
+    /// Records one watchdog-triggered rollback to the last-good
+    /// checkpoint.
+    pub fn record_rollback(&self) {
+        self.inner.write().faults.rollbacks += 1;
     }
 
     /// The run's accumulated fault counters.
@@ -261,6 +298,20 @@ mod tests {
         assert_eq!(f.retransmits, 8);
         assert_eq!(f.link_dropouts, 1);
         assert_eq!(f.recoveries, 1);
+    }
+
+    #[test]
+    fn guard_counters_accumulate() {
+        let t = Telemetry::new();
+        t.record_guard(1, 2, 3, 4);
+        t.record_guard(1, 0, 0, 1);
+        t.record_rollback();
+        let f = t.fault_counters();
+        assert_eq!(f.rejected_nonfinite, 2);
+        assert_eq!(f.rejected_outliers, 2);
+        assert_eq!(f.norm_clipped, 3);
+        assert_eq!(f.quarantine_skips, 5);
+        assert_eq!(f.rollbacks, 1);
     }
 
     #[test]

@@ -88,7 +88,7 @@ proptest! {
             p_corrupt,
             corrupt_attempts_max: 3,
             p_agg_crash: p_agg,
-            seed,
+            ..FaultSpec::none(seed)
         };
         let baseline = spec.plan(population, rounds);
         let replay =
@@ -131,6 +131,10 @@ proptest! {
                 pseudo_grad_norm: 1.0,
                 wire_bytes: 1,
                 eval_ppl: *ppl,
+                guard_rejected: 0,
+                guard_clipped: 0,
+                quarantined: 0,
+                neutralized: false,
             });
         }
         let expected = ppls

@@ -2,7 +2,13 @@ use serde::{Deserialize, Serialize};
 
 /// The aggregation rule applied to the cohort's pseudo-gradients before
 /// the server optimizer (Algorithm 1, L.8). `Mean` is the paper's default;
-/// `Ties` is the heterogeneity-robust alternative its §5.5 points to.
+/// `Ties` is the heterogeneity-robust alternative its §5.5 points to; the
+/// remaining rules are Byzantine-robust order statistics for cohorts that
+/// cannot be assumed well-behaved (the open-internet setting of "The
+/// Future of LLM Pre-training is Federated").
+///
+/// Every rule is permutation-invariant in the update order and
+/// bit-deterministic for a fixed input set.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum AggregationKind {
     /// Weighted arithmetic mean (FedAvg-style).
@@ -14,9 +20,95 @@ pub enum AggregationKind {
         /// Fraction of each client's largest-magnitude entries to keep.
         density: f64,
     },
+    /// Coordinate-wise trimmed mean: drop the `trim_ratio` fraction of
+    /// extreme values on each side before averaging. Tolerates up to
+    /// `floor(trim_ratio * n)` adversarial updates per coordinate side.
+    TrimmedMean {
+        /// Fraction trimmed from each end, in `[0, 0.5)`.
+        trim_ratio: f64,
+    },
+    /// Coordinate-wise median — maximally robust: the output stays within
+    /// the inlier range under up to `floor((n - 1) / 2)` adversaries.
+    Median,
+    /// Weighted mean after clipping every update's L2 norm to
+    /// `max_norm_mult ×` the cohort's median norm (defangs scaled
+    /// updates while keeping the mean's variance reduction).
+    NormClipped {
+        /// Norm ceiling as a multiple of the cohort median norm.
+        max_norm_mult: f64,
+    },
 }
 
 impl AggregationKind {
+    /// Parses the CLI grammar: `mean`, `ties[:density]`,
+    /// `trimmed-mean[:ratio]`, `median`, `norm-clipped[:mult]`.
+    ///
+    /// # Errors
+    /// Returns a message naming the offending mode or parameter.
+    pub fn parse(s: &str) -> Result<AggregationKind, String> {
+        let (name, param) = match s.split_once(':') {
+            Some((n, p)) => (n, Some(p)),
+            None => (s, None),
+        };
+        let number = |default: f64| -> Result<f64, String> {
+            match param {
+                None => Ok(default),
+                Some(p) => p
+                    .parse()
+                    .map_err(|_| format!("invalid aggregation parameter {p:?}")),
+            }
+        };
+        let kind = match name {
+            "mean" => AggregationKind::Mean,
+            "ties" => AggregationKind::Ties {
+                density: number(0.2)?,
+            },
+            "trimmed-mean" => AggregationKind::TrimmedMean {
+                trim_ratio: number(0.2)?,
+            },
+            "median" => AggregationKind::Median,
+            "norm-clipped" => AggregationKind::NormClipped {
+                max_norm_mult: number(3.0)?,
+            },
+            other => {
+                return Err(format!(
+                    "unknown aggregation {other:?} \
+                     (mean|ties|trimmed-mean|median|norm-clipped)"
+                ))
+            }
+        };
+        kind.validate()?;
+        Ok(kind)
+    }
+
+    /// Checks the rule's parameters.
+    ///
+    /// # Errors
+    /// Returns a description of the out-of-range parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            AggregationKind::Ties { density } => {
+                if !(density > 0.0 && density <= 1.0) {
+                    return Err(format!("ties density {density} outside (0, 1]"));
+                }
+            }
+            AggregationKind::TrimmedMean { trim_ratio } => {
+                if !(0.0..0.5).contains(&trim_ratio) {
+                    return Err(format!("trim ratio {trim_ratio} outside [0, 0.5)"));
+                }
+            }
+            AggregationKind::NormClipped { max_norm_mult } => {
+                if !(max_norm_mult.is_finite() && max_norm_mult > 0.0) {
+                    return Err(format!(
+                        "norm-clip multiple {max_norm_mult} must be positive"
+                    ));
+                }
+            }
+            AggregationKind::Mean | AggregationKind::Median => {}
+        }
+        Ok(())
+    }
+
     /// Applies the rule to a cohort's updates.
     ///
     /// # Panics
@@ -26,6 +118,13 @@ impl AggregationKind {
             AggregationKind::Mean => aggregate_deltas(updates),
             AggregationKind::Ties { density } => {
                 crate::ties_aggregate(updates, &crate::TiesConfig { density })
+            }
+            AggregationKind::TrimmedMean { trim_ratio } => {
+                crate::trimmed_mean_aggregate(updates, trim_ratio)
+            }
+            AggregationKind::Median => crate::median_aggregate(updates),
+            AggregationKind::NormClipped { max_norm_mult } => {
+                crate::norm_clipped_aggregate(updates, max_norm_mult)
             }
         }
     }
@@ -43,16 +142,19 @@ pub struct ClientUpdate {
 }
 
 impl ClientUpdate {
-    /// Creates an update.
+    /// Creates an update, rejecting non-positive or non-finite weights so
+    /// a malformed client result surfaces as a recoverable error instead
+    /// of aborting the aggregation thread.
     ///
-    /// # Panics
-    /// Panics if `weight` is not positive and finite.
-    pub fn new(delta: Vec<f32>, weight: f64) -> Self {
-        assert!(
-            weight.is_finite() && weight > 0.0,
-            "weight must be positive"
-        );
-        ClientUpdate { delta, weight }
+    /// # Errors
+    /// Returns a message describing the bad weight.
+    pub fn new(delta: Vec<f32>, weight: f64) -> Result<Self, String> {
+        if !(weight.is_finite() && weight > 0.0) {
+            return Err(format!(
+                "aggregation weight {weight} must be positive and finite"
+            ));
+        }
+        Ok(ClientUpdate { delta, weight })
     }
 
     /// L2 norm of the pseudo-gradient (a useful training-health metric:
@@ -60,6 +162,11 @@ impl ClientUpdate {
     /// pseudo-gradient norms, Appendix C.1).
     pub fn norm(&self) -> f32 {
         photon_tensor::ops::l2_norm(&self.delta)
+    }
+
+    /// Whether every entry of the pseudo-gradient is finite.
+    pub fn is_finite(&self) -> bool {
+        self.delta.iter().all(|v| v.is_finite())
     }
 }
 
@@ -96,6 +203,10 @@ pub fn aggregate_deltas(updates: &[ClientUpdate]) -> Vec<f32> {
 mod tests {
     use super::*;
 
+    fn u(delta: Vec<f32>, weight: f64) -> ClientUpdate {
+        ClientUpdate::new(delta, weight).unwrap()
+    }
+
     #[test]
     fn delta_is_global_minus_local() {
         let d = delta_from(&[1.0, 2.0], &[0.5, 3.0]);
@@ -105,31 +216,35 @@ mod tests {
     #[test]
     fn uniform_aggregation_is_mean() {
         let updates = vec![
-            ClientUpdate::new(vec![2.0, 0.0], 1.0),
-            ClientUpdate::new(vec![0.0, 2.0], 1.0),
-            ClientUpdate::new(vec![1.0, 1.0], 1.0),
+            u(vec![2.0, 0.0], 1.0),
+            u(vec![0.0, 2.0], 1.0),
+            u(vec![1.0, 1.0], 1.0),
         ];
         assert_eq!(aggregate_deltas(&updates), vec![1.0, 1.0]);
     }
 
     #[test]
     fn weighted_aggregation() {
-        let updates = vec![
-            ClientUpdate::new(vec![0.0], 3.0),
-            ClientUpdate::new(vec![4.0], 1.0),
-        ];
+        let updates = vec![u(vec![0.0], 3.0), u(vec![4.0], 1.0)];
         assert_eq!(aggregate_deltas(&updates), vec![1.0]);
     }
 
     #[test]
     fn single_update_passes_through() {
-        let updates = vec![ClientUpdate::new(vec![0.25, -0.5], 7.0)];
+        let updates = vec![u(vec![0.25, -0.5], 7.0)];
         assert_eq!(aggregate_deltas(&updates), vec![0.25, -0.5]);
     }
 
     #[test]
     fn norm_metric() {
-        assert_eq!(ClientUpdate::new(vec![3.0, 4.0], 1.0).norm(), 5.0);
+        assert_eq!(u(vec![3.0, 4.0], 1.0).norm(), 5.0);
+    }
+
+    #[test]
+    fn finiteness_scan() {
+        assert!(u(vec![1.0, -2.0], 1.0).is_finite());
+        assert!(!u(vec![1.0, f32::NAN], 1.0).is_finite());
+        assert!(!u(vec![f32::INFINITY], 1.0).is_finite());
     }
 
     #[test]
@@ -139,9 +254,45 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "weight must be positive")]
-    fn negative_weight_rejected() {
-        ClientUpdate::new(vec![1.0], -1.0);
+    fn bad_weights_are_errors_not_panics() {
+        assert!(ClientUpdate::new(vec![1.0], -1.0).is_err());
+        assert!(ClientUpdate::new(vec![1.0], 0.0).is_err());
+        assert!(ClientUpdate::new(vec![1.0], f64::NAN).is_err());
+        assert!(ClientUpdate::new(vec![1.0], f64::INFINITY).is_err());
+        assert!(ClientUpdate::new(vec![1.0], 2.0).is_ok());
+    }
+
+    #[test]
+    fn parse_covers_the_cli_grammar() {
+        assert_eq!(
+            AggregationKind::parse("mean").unwrap(),
+            AggregationKind::Mean
+        );
+        assert_eq!(
+            AggregationKind::parse("ties:0.5").unwrap(),
+            AggregationKind::Ties { density: 0.5 }
+        );
+        assert_eq!(
+            AggregationKind::parse("trimmed-mean").unwrap(),
+            AggregationKind::TrimmedMean { trim_ratio: 0.2 }
+        );
+        assert_eq!(
+            AggregationKind::parse("trimmed-mean:0.3").unwrap(),
+            AggregationKind::TrimmedMean { trim_ratio: 0.3 }
+        );
+        assert_eq!(
+            AggregationKind::parse("median").unwrap(),
+            AggregationKind::Median
+        );
+        assert_eq!(
+            AggregationKind::parse("norm-clipped:5").unwrap(),
+            AggregationKind::NormClipped { max_norm_mult: 5.0 }
+        );
+        assert!(AggregationKind::parse("krum").is_err());
+        assert!(AggregationKind::parse("trimmed-mean:0.5").is_err());
+        assert!(AggregationKind::parse("trimmed-mean:x").is_err());
+        assert!(AggregationKind::parse("ties:0").is_err());
+        assert!(AggregationKind::parse("norm-clipped:-1").is_err());
     }
 }
 
@@ -150,15 +301,21 @@ mod kind_tests {
     use super::*;
 
     #[test]
-    fn kind_dispatches_to_both_rules() {
+    fn kind_dispatches_to_every_rule() {
         let updates = vec![
-            ClientUpdate::new(vec![1.0, 0.2], 1.0),
-            ClientUpdate::new(vec![3.0, -0.2], 1.0),
+            ClientUpdate::new(vec![1.0, 0.2], 1.0).unwrap(),
+            ClientUpdate::new(vec![3.0, -0.2], 1.0).unwrap(),
         ];
         assert_eq!(AggregationKind::Mean.aggregate(&updates), vec![2.0, 0.0]);
         let ties = AggregationKind::Ties { density: 1.0 }.aggregate(&updates);
         assert_eq!(ties[0], 2.0);
         assert!(ties[1] > 0.0); // sign election keeps the positive entry
+        let med = AggregationKind::Median.aggregate(&updates);
+        assert_eq!(med, vec![2.0, 0.0]);
+        let tm = AggregationKind::TrimmedMean { trim_ratio: 0.2 }.aggregate(&updates);
+        assert_eq!(tm, vec![2.0, 0.0]);
+        let nc = AggregationKind::NormClipped { max_norm_mult: 3.0 }.aggregate(&updates);
+        assert_eq!(nc.len(), 2);
         assert_eq!(AggregationKind::default(), AggregationKind::Mean);
     }
 }

@@ -16,8 +16,8 @@
 //! ```
 //! use photon_fedopt::{aggregate_deltas, ClientUpdate};
 //! let updates = vec![
-//!     ClientUpdate::new(vec![1.0, 0.0], 1.0),
-//!     ClientUpdate::new(vec![0.0, 1.0], 1.0),
+//!     ClientUpdate::new(vec![1.0, 0.0], 1.0).unwrap(),
+//!     ClientUpdate::new(vec![0.0, 1.0], 1.0).unwrap(),
 //! ];
 //! let avg = aggregate_deltas(&updates);
 //! assert_eq!(avg, vec![0.5, 0.5]);
@@ -28,12 +28,16 @@
 
 mod aggregate;
 mod availability;
+mod guard;
+mod robust;
 mod sampler;
 mod server;
 mod ties;
 
 pub use aggregate::{aggregate_deltas, delta_from, AggregationKind, ClientUpdate};
 pub use availability::{AvailabilityModel, AvailabilitySampler, AvailabilityTraces};
+pub use guard::{GuardConfig, GuardDecision, GuardReport, UpdateGuard};
+pub use robust::{median_aggregate, norm_clipped_aggregate, trimmed_mean_aggregate};
 pub use sampler::{ClientSampler, FullParticipation, UniformSampler};
 pub use server::{DiLoCo, FedAdam, FedAvg, FedMom, ServerOpt, ServerOptKind, ServerOptState};
 pub use ties::{ties_aggregate, TiesConfig};

@@ -90,9 +90,11 @@ fn trim_to_density(delta: &[f32], density: f64) -> Vec<f32> {
     if keep == delta.len() {
         return delta.to_vec();
     }
-    // Find the magnitude threshold via a partial sort of magnitudes.
+    // Find the magnitude threshold via a descending total_cmp sort: NaN
+    // magnitudes order to the front instead of panicking, so TIES stays
+    // panic-free on poisoned deltas (the guard rejects them upstream).
     let mut mags: Vec<f32> = delta.iter().map(|v| v.abs()).collect();
-    mags.sort_unstable_by(|a, b| b.partial_cmp(a).expect("no NaN gradients"));
+    mags.sort_unstable_by(|a, b| b.total_cmp(a));
     let threshold = mags[keep - 1];
     let mut kept = 0usize;
     delta
@@ -115,7 +117,16 @@ mod tests {
     use super::*;
 
     fn u(delta: Vec<f32>) -> ClientUpdate {
-        ClientUpdate::new(delta, 1.0)
+        ClientUpdate::new(delta, 1.0).unwrap()
+    }
+
+    #[test]
+    fn nan_gradients_do_not_panic() {
+        let t = trim_to_density(&[0.1, f32::NAN, 0.2, 3.0], 0.5);
+        assert_eq!(t.len(), 4);
+        let updates = vec![u(vec![f32::NAN, 1.0]), u(vec![2.0, 1.0])];
+        let agg = ties_aggregate(&updates, &TiesConfig { density: 0.5 });
+        assert_eq!(agg.len(), 2);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Property-based tests for federated aggregation and server optimizers.
 
 use photon_fedopt::{
-    aggregate_deltas, delta_from, ClientSampler, ClientUpdate, FullParticipation, ServerOptKind,
-    UniformSampler,
+    aggregate_deltas, delta_from, median_aggregate, trimmed_mean_aggregate, ClientSampler,
+    ClientUpdate, FullParticipation, ServerOptKind, UniformSampler,
 };
 use photon_tensor::SeedStream;
 use proptest::prelude::*;
@@ -23,6 +23,7 @@ proptest! {
                     (0..dim).map(|_| rng.next_normal()).collect(),
                     rng.next_f64() + 0.1,
                 )
+                .unwrap()
             })
             .collect();
         let avg = aggregate_deltas(&updates);
@@ -45,7 +46,7 @@ proptest! {
         let mut rng = SeedStream::new(seed);
         let delta: Vec<f32> = (0..dim).map(|_| rng.next_normal()).collect();
         let updates: Vec<ClientUpdate> = (0..n)
-            .map(|i| ClientUpdate::new(delta.clone(), w[i]))
+            .map(|i| ClientUpdate::new(delta.clone(), w[i]).unwrap())
             .collect();
         let avg = aggregate_deltas(&updates);
         for (a, d) in avg.iter().zip(&delta) {
@@ -68,7 +69,7 @@ proptest! {
             .collect();
         let updates: Vec<ClientUpdate> = locals
             .iter()
-            .map(|l| ClientUpdate::new(delta_from(&global, l), 1.0))
+            .map(|l| ClientUpdate::new(delta_from(&global, l), 1.0).unwrap())
             .collect();
         let avg_delta = aggregate_deltas(&updates);
         let mut new_global = global.clone();
@@ -119,6 +120,99 @@ proptest! {
             prop_assert_eq!(u.len(), k.min(population));
             prop_assert!(u.windows(2).all(|w| w[0] < w[1]));
             prop_assert!(u.iter().all(|&i| i < population));
+        }
+    }
+
+    /// Trimmed mean and median are permutation-invariant: any shuffle of
+    /// the cohort produces a bit-identical aggregate.
+    #[test]
+    fn robust_rules_are_permutation_invariant(
+        n in 2usize..8,
+        dim in 1usize..12,
+        trim in 0.0f64..0.49,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SeedStream::new(seed);
+        let mut updates: Vec<ClientUpdate> = (0..n)
+            .map(|_| {
+                ClientUpdate::new((0..dim).map(|_| rng.next_normal()).collect(), 1.0).unwrap()
+            })
+            .collect();
+        let tm = trimmed_mean_aggregate(&updates, trim);
+        let med = median_aggregate(&updates);
+        // A seeded shuffle (reverse + rotate) exercises arbitrary orders.
+        updates.reverse();
+        let rot = rng.next_below(n);
+        updates.rotate_left(rot);
+        prop_assert_eq!(tm, trimmed_mean_aggregate(&updates, trim));
+        prop_assert_eq!(med, median_aggregate(&updates));
+    }
+
+    /// With no outliers — identical client updates — every robust rule
+    /// agrees with the plain mean exactly.
+    #[test]
+    fn robust_rules_agree_with_mean_on_homogeneous_cohorts(
+        n in 1usize..7,
+        dim in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SeedStream::new(seed);
+        let delta: Vec<f32> = (0..dim).map(|_| rng.next_normal()).collect();
+        let updates: Vec<ClientUpdate> = (0..n)
+            .map(|_| ClientUpdate::new(delta.clone(), 1.0).unwrap())
+            .collect();
+        let mean = aggregate_deltas(&updates);
+        let tm = trimmed_mean_aggregate(&updates, 0.2);
+        let med = median_aggregate(&updates);
+        for j in 0..dim {
+            prop_assert!((tm[j] - mean[j]).abs() < 1e-6);
+            prop_assert!((med[j] - mean[j]).abs() < 1e-6);
+        }
+    }
+
+    /// Under up to floor((n-1)/2) adversarial updates, every coordinate of
+    /// the median stays within the inlier range; the trimmed mean does too
+    /// when trimming covers the adversary count.
+    #[test]
+    fn robust_rules_bound_output_within_the_inlier_range(
+        honest in 3usize..8,
+        adversaries in 1usize..4,
+        dim in 1usize..10,
+        scale in 10.0f32..1e6,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(adversaries <= (honest + adversaries - 1) / 2);
+        let mut rng = SeedStream::new(seed);
+        let inliers: Vec<Vec<f32>> = (0..honest)
+            .map(|_| (0..dim).map(|_| rng.next_normal()).collect())
+            .collect();
+        let mut updates: Vec<ClientUpdate> = inliers
+            .iter()
+            .map(|d| ClientUpdate::new(d.clone(), 1.0).unwrap())
+            .collect();
+        for a in 0..adversaries {
+            let sign = if a % 2 == 0 { 1.0 } else { -1.0 };
+            updates.push(
+                ClientUpdate::new(vec![sign * scale; dim], 1.0).unwrap(),
+            );
+        }
+        let n = updates.len();
+        let med = median_aggregate(&updates);
+        let trim = adversaries as f64 / n as f64 + 1e-9;
+        let tm = if trim < 0.5 { Some(trimmed_mean_aggregate(&updates, trim)) } else { None };
+        for j in 0..dim {
+            let lo = inliers.iter().map(|d| d[j]).fold(f32::INFINITY, f32::min);
+            let hi = inliers.iter().map(|d| d[j]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(
+                med[j] >= lo - 1e-4 && med[j] <= hi + 1e-4,
+                "median coord {} = {} escaped inliers [{}, {}]", j, med[j], lo, hi
+            );
+            if let Some(ref tm) = tm {
+                prop_assert!(
+                    tm[j] >= lo - 1e-4 && tm[j] <= hi + 1e-4,
+                    "trimmed coord {} = {} escaped inliers [{}, {}]", j, tm[j], lo, hi
+                );
+            }
         }
     }
 }

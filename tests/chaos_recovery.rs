@@ -28,7 +28,7 @@ fn chaos_spec() -> FaultSpec {
         p_corrupt: 0.1,
         corrupt_attempts_max: 2,
         p_agg_crash: 0.0,
-        seed: 9,
+        ..FaultSpec::none(9)
     }
 }
 
@@ -179,7 +179,7 @@ fn corruption_within_retransmit_budget_is_transparent() {
         p_corrupt: 0.5,
         corrupt_attempts_max: 2,
         p_agg_crash: 0.0,
-        seed: 4,
+        ..FaultSpec::none(4)
     };
     let injector = FaultInjector::from_spec(&spec, cfg.population, 4);
     assert!(injector.plan().client_fault_count() > 0);
@@ -217,7 +217,7 @@ fn retransmit_budget_exhaustion_becomes_dropout() {
         // More corrupted transmissions than the budget allows.
         corrupt_attempts_max: 5,
         p_agg_crash: 0.0,
-        seed: 11,
+        ..FaultSpec::none(11)
     };
     let injector = FaultInjector::from_spec(&spec, cfg.population, 6);
     let (mut fed, _) = build_iid_federation(&cfg, 3_000).unwrap();
@@ -247,7 +247,7 @@ fn aggregator_crash_recovery_matches_uninterrupted_run() {
     // control schedule shares every client fault but never crashes.
     let mut crashing = chaos_spec();
     crashing.p_agg_crash = 1.0;
-    let mut control = crashing;
+    let mut control = crashing.clone();
     control.p_agg_crash = 0.0;
     let crash_inj = FaultInjector::from_spec(&crashing, cfg.population, rounds);
     let control_inj = FaultInjector::from_spec(&control, cfg.population, rounds);

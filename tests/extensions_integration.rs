@@ -93,12 +93,16 @@ fn quantized_updates_preserve_aggregation_quality() {
     use photon_tensor::SeedStream;
     let mut rng = SeedStream::new(4);
     let updates: Vec<ClientUpdate> = (0..4)
-        .map(|_| ClientUpdate::new((0..5_000).map(|_| rng.next_normal() * 1e-2).collect(), 1.0))
+        .map(|_| {
+            ClientUpdate::new((0..5_000).map(|_| rng.next_normal() * 1e-2).collect(), 1.0).unwrap()
+        })
         .collect();
     let exact = aggregate_deltas(&updates);
     let quantized: Vec<ClientUpdate> = updates
         .iter()
-        .map(|u| ClientUpdate::new(dequantize_i8(quantize_i8(&u.delta)).unwrap(), u.weight))
+        .map(|u| {
+            ClientUpdate::new(dequantize_i8(quantize_i8(&u.delta)).unwrap(), u.weight).unwrap()
+        })
         .collect();
     let approx = aggregate_deltas(&quantized);
 
