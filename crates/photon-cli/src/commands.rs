@@ -6,9 +6,9 @@ use photon_core::experiments::{
 };
 use photon_core::{
     load_checkpoint, run_training, CohortSpec, CoreError, FaultInjector, FaultSpec, Federation,
-    FederationConfig, TrainingOptions,
+    FederationConfig, MembershipConfig, TrainingOptions,
 };
-use photon_fedopt::{AggregationKind, GuardConfig, ServerOptKind};
+use photon_fedopt::{AggregationKind, BufferConfig, GuardConfig, ServerOptKind};
 use photon_nn::{generate as sample_tokens, Gpt, ModelConfig, SampleConfig};
 use photon_optim::LrSchedule;
 use photon_tensor::SeedStream;
@@ -43,8 +43,10 @@ OPTIONS:
                                       corrupt=0.05,agg=0.02,seed=9
                                       (pair with --partial-ok); Byzantine
                                       rates nan=,sign-flip=,scale=,
-                                      scale-factor=; targeted entries
-                                      kind@rNcM, e.g. sign-flip@r3c1
+                                      scale-factor=; churn rates join=,leave=;
+                                      targeted entries kind@rNcM, e.g.
+                                      sign-flip@r3c1, plus join@rN and
+                                      leave@rNcM
     --aggregation RULE                mean|ties[:density]|trimmed-mean[:r]|
                                       median|norm-clipped[:mult]   [mean]
     --guard                           screen updates before merging
@@ -54,7 +56,19 @@ OPTIONS:
                                       X * its EMA (watchdog; X > 1)
     --compress                        lossless Link compression
     --secure                          secure aggregation
-    --partial-ok                      tolerate client dropouts";
+    --partial-ok                      tolerate client dropouts
+    --membership                      elastic membership: lease-based
+                                      liveness, warm joins, permanent leaves
+    --lease-ms N                      liveness lease duration [3000]
+                                      (implies --membership)
+    --round-ms N                      simulated round duration  [1000]
+    --buffer-quorum M                 buffered semi-sync aggregation:
+                                      commit once M updates are pending
+                                      (implies --membership)
+    --staleness-decay X               down-weight an update s rounds stale
+                                      by (1+s)^-X          [0.5]
+    --metrics-json PATH               write per-round history plus fault
+                                      and churn counters as JSON";
 
 /// `photon train` / `photon resume`.
 pub fn train(args: &Args, resume: bool) -> Result<(), String> {
@@ -115,9 +129,25 @@ pub fn train(args: &Args, resume: bool) -> Result<(), String> {
     );
     if let Some(inj) = &injector {
         println!(
-            "fault plan: {} client fault(s), {} aggregator crash(es) over {rounds} round(s)",
+            "fault plan: {} client fault(s), {} aggregator crash(es), {} join(s), \
+             {} leave(s) over {rounds} round(s)",
             inj.plan().client_fault_count(),
-            inj.plan().agg_crash_count()
+            inj.plan().agg_crash_count(),
+            inj.plan().join_count(),
+            inj.plan().leave_count()
+        );
+    }
+    if let Some(membership) = cfg.membership {
+        let buffered = match cfg.buffer {
+            Some(b) => format!(
+                " | buffered commit: quorum {}, staleness decay {}",
+                b.quorum, b.staleness_decay
+            ),
+            None => String::new(),
+        };
+        println!(
+            "elastic membership: lease {} ms, round {} ms{buffered}",
+            membership.lease_ms, membership.round_ms
         );
     }
 
@@ -145,7 +175,7 @@ pub fn train(args: &Args, resume: bool) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
 
     for r in &outcome.history.rounds {
-        let turbulence = if r.dropouts + r.stragglers > 0 || r.retransmits > 0 {
+        let mut turbulence = if r.dropouts + r.stragglers > 0 || r.retransmits > 0 {
             format!(
                 " | drop {} strag {} rtx {}",
                 r.dropouts, r.stragglers, r.retransmits
@@ -153,6 +183,17 @@ pub fn train(args: &Args, resume: bool) -> Result<(), String> {
         } else {
             String::new()
         };
+        if r.joined + r.departed + r.lease_expired + r.rejoined > 0 {
+            turbulence.push_str(&format!(
+                " | join {} leave {} expire {} rejoin {}",
+                r.joined, r.departed, r.lease_expired, r.rejoined
+            ));
+        }
+        if r.commit_deferred {
+            turbulence.push_str(&format!(" | buffering ({} pending)", r.buffered));
+        } else if r.buffered > 0 {
+            turbulence.push_str(&format!(" | buffer {}", r.buffered));
+        }
         match r.eval_ppl {
             Some(p) => println!(
                 "round {:>4} | loss {:.4} | val ppl {:>8.2} | wire {:>7.1} KB{turbulence}",
@@ -197,6 +238,28 @@ pub fn train(args: &Args, resume: bool) -> Result<(), String> {
             outcome.rollbacks
         );
     }
+    if faults.joins + faults.leaves + faults.lease_expiries + faults.rejoins > 0 {
+        println!(
+            "churn: {} join(s), {} leave(s), {} lease expiry(ies), {} rejoin(s)",
+            faults.joins, faults.leaves, faults.lease_expiries, faults.rejoins
+        );
+    }
+    if faults.buffered_commits > 0 {
+        println!(
+            "buffered aggregation: {} commit(s), {} stale update(s) down-weighted",
+            faults.buffered_commits, faults.stale_commits
+        );
+    }
+    if let Some(path) = args.get("metrics-json") {
+        let counters = serde_json::to_string_pretty(&faults)
+            .map_err(|e| format!("cannot serialize fault counters: {e}"))?;
+        let json = format!(
+            "{{\n\"fault_counters\": {counters},\n\"history\": {}\n}}\n",
+            outcome.history.to_json()
+        );
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("metrics written to {path}");
+    }
     if let Some(dir) = ckpt_dir {
         println!("checkpoint saved to {}", dir.display());
     }
@@ -231,6 +294,31 @@ fn config_from_args(args: &Args) -> Result<FederationConfig, String> {
     cfg.round_deadline_ms = args.get_opt_parsed::<u64>("deadline-ms")?;
     if let Some(retries) = args.get_opt_parsed::<u32>("retransmit-budget")? {
         cfg.retransmit.max_retries = retries;
+    }
+    // Elastic membership: --lease-ms and --buffer-quorum imply it, since
+    // both are meaningless without the lease state machine.
+    let lease_ms = args.get_opt_parsed::<u64>("lease-ms")?;
+    let round_ms = args.get_opt_parsed::<u64>("round-ms")?;
+    let quorum = args.get_opt_parsed::<usize>("buffer-quorum")?;
+    if args.flag("membership") || lease_ms.is_some() || quorum.is_some() {
+        let mut membership = MembershipConfig::default();
+        if let Some(ms) = lease_ms {
+            membership.lease_ms = ms;
+        }
+        if let Some(ms) = round_ms {
+            membership.round_ms = ms;
+        }
+        cfg.membership = Some(membership);
+    }
+    if let Some(quorum) = quorum {
+        let mut buffer = BufferConfig {
+            quorum,
+            ..BufferConfig::default()
+        };
+        if let Some(decay) = args.get_opt_parsed::<f64>("staleness-decay")? {
+            buffer.staleness_decay = decay;
+        }
+        cfg.buffer = Some(buffer);
     }
     if let Some(k) = args.get("sample") {
         cfg.cohort = CohortSpec::Sample {

@@ -49,5 +49,5 @@ pub use quant::{dequantize_i8, quantization_error_bound, quantize_i8, QUANT_BLOC
 pub use secure::{mask_update, pairwise_seed, SecureAggError};
 pub use sparse::{densify, retained_mass, sparsify_top_k};
 pub use topology::{aggregation_time_seconds, bytes_on_wire, comm_time_seconds, Topology};
-pub use walltime::{RoundTime, WallTimeModel};
+pub use walltime::{RoundTime, SimClock, WallTimeModel};
 pub use wire::{decode_frame, encode_frame, WireError};

@@ -40,11 +40,32 @@ pub enum Message {
     },
     /// Server -> client: end of training.
     Shutdown,
+    /// Client -> server: membership handshake — a (re)joining client
+    /// announces itself and asks for a lease. `birth_round` is the round
+    /// the client first joined (0 for founding members), which the warm
+    /// join path uses to sanity-check the roster.
+    Hello {
+        /// Client identifier (assigned by the aggregator on first join).
+        client_id: u32,
+        /// Round the client first joined the federation.
+        birth_round: u64,
+    },
+    /// Server -> client: membership handshake reply — the aggregator
+    /// grants (or renews) a liveness lease. The client must renew before
+    /// `expires_ms` (simulated walltime) or be expired from the roster.
+    LeaseGrant {
+        /// Client the lease is granted to.
+        client_id: u32,
+        /// Absolute simulated-walltime expiry of the lease.
+        expires_ms: u64,
+    },
 }
 
 const TAG_BROADCAST: u8 = 1;
 const TAG_RESULT: u8 = 2;
 const TAG_SHUTDOWN: u8 = 3;
+const TAG_HELLO: u8 = 4;
+const TAG_LEASE_GRANT: u8 = 5;
 
 impl Message {
     /// Serializes into a Link frame, optionally compressing float payloads.
@@ -74,6 +95,22 @@ impl Message {
             }
             Message::Shutdown => {
                 body.put_u8(TAG_SHUTDOWN);
+            }
+            Message::Hello {
+                client_id,
+                birth_round,
+            } => {
+                body.put_u8(TAG_HELLO);
+                body.put_u32_le(*client_id);
+                body.put_u64_le(*birth_round);
+            }
+            Message::LeaseGrant {
+                client_id,
+                expires_ms,
+            } => {
+                body.put_u8(TAG_LEASE_GRANT);
+                body.put_u32_le(*client_id);
+                body.put_u64_le(*expires_ms);
             }
         }
         encode_frame(&body, compress)
@@ -120,6 +157,24 @@ impl Message {
                 })
             }
             TAG_SHUTDOWN => Ok(Message::Shutdown),
+            TAG_HELLO => {
+                if body.remaining() < 4 + 8 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(Message::Hello {
+                    client_id: body.get_u32_le(),
+                    birth_round: body.get_u64_le(),
+                })
+            }
+            TAG_LEASE_GRANT => {
+                if body.remaining() < 4 + 8 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(Message::LeaseGrant {
+                    client_id: body.get_u32_le(),
+                    expires_ms: body.get_u64_le(),
+                })
+            }
             tag => Err(WireError::BadCompression(format!("unknown tag {tag}"))),
         }
     }
@@ -201,6 +256,30 @@ mod tests {
     fn shutdown_roundtrip() {
         let frame = Message::Shutdown.to_frame(false);
         assert_eq!(Message::from_frame(frame).unwrap(), Message::Shutdown);
+    }
+
+    #[test]
+    fn membership_handshake_roundtrips() {
+        let hello = Message::Hello {
+            client_id: 9,
+            birth_round: 17,
+        };
+        let grant = Message::LeaseGrant {
+            client_id: 9,
+            expires_ms: 42_000,
+        };
+        for compress in [false, true] {
+            assert_eq!(
+                Message::from_frame(hello.to_frame(compress)).unwrap(),
+                hello
+            );
+            assert_eq!(
+                Message::from_frame(grant.to_frame(compress)).unwrap(),
+                grant
+            );
+        }
+        // Handshake frames are control-plane small: no float payload.
+        assert!(hello.wire_bytes(false) < 64);
     }
 
     #[test]

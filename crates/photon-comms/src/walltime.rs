@@ -1,6 +1,48 @@
 use crate::{comm_time_seconds, Topology};
 use serde::{Deserialize, Serialize};
 
+/// A simulated walltime clock for the federation's control plane: time is
+/// a pure function of the round index (`now = round × round_ms`), so lease
+/// expiry and membership decisions replay bit-identically and survive a
+/// checkpoint restore without persisting any clock state.
+///
+/// This deliberately reuses the paper's round-synchronous time model
+/// (Appendix B.1): one federated round advances the clock by one nominal
+/// round duration, matching how `round_deadline_ms` already measures
+/// straggler lateness in simulated milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimClock {
+    /// Nominal duration of one federated round in simulated milliseconds.
+    pub round_ms: u64,
+}
+
+impl SimClock {
+    /// Creates a clock that advances `round_ms` per round.
+    ///
+    /// # Panics
+    /// Panics if `round_ms` is zero (time would stand still).
+    pub fn new(round_ms: u64) -> Self {
+        assert!(round_ms > 0, "round duration must be positive");
+        SimClock { round_ms }
+    }
+
+    /// Simulated milliseconds at the *start* of `round`.
+    pub fn now_ms(&self, round: u64) -> u64 {
+        round.saturating_mul(self.round_ms)
+    }
+
+    /// How many whole rounds a lease of `lease_ms` spans from its grant.
+    pub fn rounds_per_lease(&self, lease_ms: u64) -> u64 {
+        lease_ms / self.round_ms
+    }
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        SimClock { round_ms: 1_000 }
+    }
+}
+
 /// One federated round's time breakdown.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RoundTime {
@@ -141,6 +183,24 @@ impl WallTimeModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sim_clock_is_a_pure_function_of_the_round() {
+        let clock = SimClock::new(250);
+        assert_eq!(clock.now_ms(0), 0);
+        assert_eq!(clock.now_ms(4), 1_000);
+        // Restoring at round 4 sees exactly the time the uninterrupted run
+        // saw — there is no hidden clock state.
+        assert_eq!(SimClock::new(250).now_ms(4), clock.now_ms(4));
+        assert_eq!(clock.rounds_per_lease(1_000), 4);
+        assert_eq!(SimClock::default().round_ms, 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "round duration must be positive")]
+    fn zero_round_duration_panics() {
+        SimClock::new(0);
+    }
 
     #[test]
     fn eq1_local_time() {

@@ -1,10 +1,12 @@
+use crate::checkpoint::ElasticState;
 use crate::faults::{ClientFault, FaultInjector};
+use crate::membership::MembershipRegistry;
 use crate::{CohortSpec, CoreError, DataSource, FederationConfig, LlmClient, Result, RoundRecord};
 use crossbeam::channel::unbounded;
 use photon_data::{partition_iid, DomainKind, SyntheticDomain, TokenCorpus};
 use photon_fedopt::{
-    AvailabilitySampler, AvailabilityTraces, ClientSampler, ClientUpdate, FullParticipation,
-    ServerOpt, UniformSampler, UpdateGuard,
+    sample_live, AvailabilitySampler, AvailabilityTraces, BufferedUpdate, ClientSampler,
+    ClientUpdate, FullParticipation, ServerOpt, UniformSampler, UpdateBuffer, UpdateGuard,
 };
 use photon_nn::Gpt;
 use photon_tensor::SeedStream;
@@ -35,6 +37,14 @@ pub struct Aggregator {
     /// client state deterministic) but skip the update application, so a
     /// replay of the divergent round terminates instead of re-diverging.
     neutralized: BTreeSet<u64>,
+    /// Elastic membership registry, present when `cfg.membership` is set.
+    membership: Option<MembershipRegistry>,
+    /// Staleness-aware update buffer, present when `cfg.buffer` is set.
+    buffer: Option<UpdateBuffer>,
+    /// Cohort-sampling stream for membership mode. Its state is frozen at
+    /// construction; [`sample_live`] forks a round-keyed child per round,
+    /// so warm joiners and restores replay identical cohorts.
+    member_rng: Option<SeedStream>,
 }
 
 impl std::fmt::Debug for Aggregator {
@@ -82,6 +92,11 @@ impl Aggregator {
             .guard
             .enabled
             .then(|| UpdateGuard::new(cfg.guard, cfg.seed));
+        let membership = cfg
+            .membership
+            .map(|m| MembershipRegistry::new(m, cfg.population));
+        let member_rng = membership.is_some().then(|| rng.split("member-sampler"));
+        let buffer = cfg.buffer.map(|_| UpdateBuffer::new());
         Ok(Aggregator {
             cfg,
             params,
@@ -93,6 +108,9 @@ impl Aggregator {
             loss_ema: None,
             norm_ema: None,
             neutralized: BTreeSet::new(),
+            membership,
+            buffer,
+            member_rng,
         })
     }
 
@@ -189,7 +207,63 @@ impl Aggregator {
             .then(|| UpdateGuard::new(self.cfg.guard, self.cfg.seed));
         self.loss_ema = None;
         self.norm_ema = None;
+        // Roster and buffer reset to the founding state; a v3 checkpoint's
+        // [`Aggregator::restore_elastic`] overwrites them with the exact
+        // image the crashed run had.
+        self.membership = self
+            .cfg
+            .membership
+            .map(|m| MembershipRegistry::new(m, self.cfg.population));
+        self.buffer = self.cfg.buffer.map(|_| UpdateBuffer::new());
         Ok(())
+    }
+
+    /// The elastic-membership image to carry in a v3 checkpoint: the
+    /// roster snapshot plus any in-flight buffered updates. `None` when
+    /// the run has no membership config.
+    pub fn elastic_state(&self) -> Option<ElasticState> {
+        self.membership.as_ref().map(|reg| ElasticState {
+            membership: reg.snapshot(),
+            buffer: self.buffer.as_ref().map(|b| b.entries().to_vec()),
+        })
+    }
+
+    /// Restores the membership registry and update buffer from a v3
+    /// checkpoint, so the resumed run continues with the exact roster —
+    /// including mid-run joiners and departures — the crashed run had.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidConfig`] if the run has no membership
+    /// config, the snapshot is malformed, or the checkpoint carries
+    /// buffered updates while buffering is disabled.
+    pub fn restore_elastic(&mut self, state: &ElasticState) -> Result<()> {
+        if self.cfg.membership.is_none() {
+            return Err(CoreError::InvalidConfig(
+                "checkpoint carries membership state but the run has no membership config".into(),
+            ));
+        }
+        let reg = MembershipRegistry::from_snapshot(&state.membership)
+            .map_err(|e| CoreError::InvalidConfig(format!("membership snapshot: {e}")))?;
+        self.membership = Some(reg);
+        match (&state.buffer, self.cfg.buffer.is_some()) {
+            (Some(entries), true) => {
+                self.buffer = Some(UpdateBuffer::from_entries(entries.clone()))
+            }
+            (None, true) => self.buffer = Some(UpdateBuffer::new()),
+            (Some(entries), false) if !entries.is_empty() => {
+                return Err(CoreError::InvalidConfig(
+                    "checkpoint carries buffered updates but buffering is disabled".into(),
+                ));
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// How many clients the roster requires (founding members plus every
+    /// join so far). `None` when the run has no membership config.
+    pub fn roster_len(&self) -> Option<usize> {
+        self.membership.as_ref().map(|r| r.roster_len())
     }
 
     /// Marks `round` as neutralized: it will execute (keeping client-side
@@ -225,9 +299,80 @@ impl Aggregator {
         clients: &mut [LlmClient],
         injector: Option<&FaultInjector>,
     ) -> Result<RoundRecord> {
-        let cohort_idx = self.sampler.sample(clients.len(), self.round);
+        // Elastic membership: apply this round's churn (joins, leaves,
+        // lease renewals and expiries) before sampling, then draw the
+        // cohort from the live roster instead of the static population.
+        let mut churn = crate::membership::ChurnEvents::default();
+        let mut handshake_bytes = 0u64;
+        let cohort_idx: Vec<usize> = if let Some(reg) = self.membership.as_mut() {
+            churn = reg.begin_round(self.round, injector);
+            self.telemetry.record_churn(
+                churn.joined.len() as u64,
+                churn.departed.len() as u64,
+                churn.expired.len() as u64,
+                churn.rejoined.len() as u64,
+            );
+            // Every (re)join runs the Hello/LeaseGrant handshake over the
+            // Link; the frames count toward the round's wire traffic.
+            let mcfg = reg.config();
+            let expires_ms = mcfg.clock().now_ms(self.round) + mcfg.lease_ms;
+            for &id in churn.joined.iter().chain(&churn.rejoined) {
+                let hello = photon_comms::Message::Hello {
+                    client_id: id,
+                    birth_round: reg.birth_round(id).unwrap_or(self.round),
+                }
+                .to_frame(self.cfg.compress_link);
+                let grant = photon_comms::Message::LeaseGrant {
+                    client_id: id,
+                    expires_ms,
+                }
+                .to_frame(self.cfg.compress_link);
+                handshake_bytes += hello.len() as u64 + grant.len() as u64;
+            }
+            let live = reg.live_members();
+            let mut universe = if live.is_empty() {
+                // Every lease lapsed at once: fall back to all reachable
+                // members rather than stalling the run.
+                reg.reachable_members()
+            } else {
+                live
+            };
+            // A client admitted this round spends it on the
+            // Hello/LeaseGrant handshake and model transfer; it becomes
+            // sampleable from the next round (which also gives the driver
+            // a chance to provision its client-side state).
+            universe.retain(|id| !churn.joined.contains(id));
+            if universe.is_empty() {
+                return Err(CoreError::ClientFailure(
+                    "no trained member is available to sample this round".into(),
+                ));
+            }
+            let k = match self.cfg.cohort {
+                CohortSpec::Full => universe.len(),
+                CohortSpec::Sample { k } => k,
+            };
+            let rng = self
+                .member_rng
+                .as_ref()
+                .expect("membership mode always has a sampling stream");
+            sample_live(&universe, k, rng, self.round)
+                .into_iter()
+                .map(|id| id as usize)
+                .collect()
+        } else {
+            self.sampler.sample(clients.len(), self.round)
+        };
         if cohort_idx.is_empty() {
             return Err(CoreError::InvalidConfig("empty cohort".into()));
+        }
+        if let Some(&max) = cohort_idx.iter().max() {
+            if max >= clients.len() {
+                return Err(CoreError::InvalidConfig(format!(
+                    "cohort references client {max} but only {} are provisioned \
+                     (call Federation::sync_roster after membership churn)",
+                    clients.len()
+                )));
+            }
         }
         let cohort_ids: Vec<u32> = cohort_idx.iter().map(|&i| clients[i].id()).collect();
 
@@ -266,6 +411,8 @@ impl Aggregator {
         // L.7–8: collect updates and aggregate. Results arrive in thread
         // completion order; sort by client id so float accumulation is
         // bit-reproducible across runs.
+        let buffered_mode = self.buffer.is_some();
+        let round_ms = self.cfg.membership.map_or(1_000, |m| m.round_ms);
         let mut collected = Vec::with_capacity(cohort_idx.len());
         let mut result_bytes = 0u64;
         let mut crashes = 0usize;
@@ -306,11 +453,20 @@ impl Aggregator {
                 }
             };
             // Straggler policy: simulated lateness is the injected delay
-            // plus whatever backoff the link retries added.
+            // plus whatever backoff the link retries added. Synchronous
+            // rounds drop late results; buffered rounds defer them to the
+            // simulated round their lateness lands them in, where they
+            // commit with a staleness discount instead.
+            let mut arrival_round = self.round;
             if let Some(deadline) = self.cfg.round_deadline_ms {
-                if delay_ms + report.backoff_ms > deadline {
+                let lateness = delay_ms + report.backoff_ms;
+                if lateness > deadline {
                     stragglers += 1;
-                    continue;
+                    if buffered_mode {
+                        arrival_round = self.round + 1 + (lateness - deadline) / round_ms;
+                    } else {
+                        continue;
+                    }
                 }
             }
             match photon_comms::Message::from_frame(frame)? {
@@ -320,7 +476,7 @@ impl Aggregator {
                     weight,
                     metrics,
                     ..
-                } => collected.push((client_id, delta, weight, metrics)),
+                } => collected.push((client_id, delta, weight, metrics, arrival_round)),
                 other => {
                     return Err(CoreError::ClientFailure(format!(
                         "unexpected message from client: {other:?}"
@@ -328,8 +484,23 @@ impl Aggregator {
                 }
             }
         }
-        collected.sort_by_key(|(id, _, _, _)| *id);
+        collected.sort_by_key(|(id, _, _, _, _)| *id);
         let received = collected.len();
+
+        if buffered_mode {
+            let acct = RoundAccounting {
+                crashes,
+                stragglers,
+                link_dropouts,
+                retransmits,
+                wire_bytes: broadcast_bytes + result_bytes + handshake_bytes,
+                joined: churn.joined.len(),
+                departed: churn.departed.len(),
+                lease_expired: churn.expired.len(),
+                rejoined: churn.rejoined.len(),
+            };
+            return self.finish_buffered_round(collected, cohort_idx, acct);
+        }
 
         // Construct updates; a malformed aggregation weight surfaces as a
         // recoverable failure (guarded runs quarantine the sender instead
@@ -338,7 +509,7 @@ impl Aggregator {
         let mut updates = Vec::with_capacity(received);
         let mut survivor_metrics = Vec::with_capacity(received);
         let mut guard_rejected = 0usize;
-        for (id, delta, weight, metrics) in collected {
+        for (id, delta, weight, metrics, _) in collected {
             match ClientUpdate::new(delta, weight) {
                 Ok(update) => {
                     survivor_ids.push(id);
@@ -454,12 +625,174 @@ impl Aggregator {
             retransmits,
             mean_client_loss,
             pseudo_grad_norm,
-            wire_bytes: broadcast_bytes + result_bytes,
+            wire_bytes: broadcast_bytes + result_bytes + handshake_bytes,
             eval_ppl: None,
             guard_rejected,
             guard_clipped,
             quarantined,
             neutralized,
+            joined: churn.joined.len(),
+            departed: churn.departed.len(),
+            lease_expired: churn.expired.len(),
+            rejoined: churn.rejoined.len(),
+            buffered: 0,
+            commit_deferred: false,
+        };
+        self.round += 1;
+        Ok(record)
+    }
+
+    /// The buffered (semi-synchronous) tail of a round: every arrived
+    /// result is enqueued in the [`UpdateBuffer`]; a merge commits only
+    /// when the pending set reaches the quorum — or when a pending update
+    /// has waited longer than one lease duration, the deadline path that
+    /// keeps sub-quorum runs making progress. Committed updates are
+    /// staleness-discounted, guard-screened, and applied exactly like a
+    /// synchronous merge.
+    fn finish_buffered_round(
+        &mut self,
+        collected: Vec<(u32, Vec<f32>, f64, photon_comms::TrainMetrics, u64)>,
+        cohort_idx: Vec<usize>,
+        acct: RoundAccounting,
+    ) -> Result<RoundRecord> {
+        let bcfg = self
+            .cfg
+            .buffer
+            .expect("buffered mode implies buffer config");
+        let mcfg = self.cfg.membership.expect("buffering requires membership");
+        let mut guard_rejected = 0usize;
+        let mut arrival_losses = Vec::new();
+        for (id, delta, weight, metrics, arrival_round) in collected {
+            // Weight validity is enforced at arrival (mirroring the
+            // synchronous path) so a later commit cannot fail on it.
+            if !(weight.is_finite() && weight > 0.0) {
+                let Some(guard) = self.guard.as_mut() else {
+                    return Err(CoreError::ClientFailure(format!(
+                        "client {id}: aggregation weight {weight} must be positive and finite"
+                    )));
+                };
+                guard.quarantine(self.round, id);
+                guard_rejected += 1;
+                self.telemetry.record_guard(1, 0, 0, 0);
+                continue;
+            }
+            self.telemetry.record(id, self.round, &metrics);
+            arrival_losses.push(metrics.mean_loss);
+            self.buffer
+                .as_mut()
+                .expect("buffered mode implies a buffer")
+                .push(BufferedUpdate {
+                    client_id: id,
+                    origin_round: self.round,
+                    arrival_round,
+                    base_weight: weight,
+                    mean_loss: metrics.mean_loss,
+                    delta,
+                });
+        }
+        self.telemetry.record_round_faults(
+            acct.crashes as u64,
+            acct.stragglers as u64,
+            acct.retransmits,
+            acct.link_dropouts as u64,
+        );
+
+        let buffer = self.buffer.as_mut().expect("buffered mode has a buffer");
+        let overdue = buffer.entries().iter().any(|e| {
+            e.arrival_round <= self.round
+                && e.staleness_at(self.round).saturating_mul(mcfg.round_ms) >= mcfg.lease_ms
+        });
+        let batch = if buffer.quorum_reached(self.round, bcfg.quorum) || overdue {
+            buffer.commit(self.round, bcfg.staleness_decay)
+        } else {
+            None
+        };
+
+        let neutralized = self.neutralized.contains(&self.round);
+        let mut guard_clipped = 0usize;
+        let mut quarantined = 0usize;
+        let mut mean_client_loss = if arrival_losses.is_empty() {
+            0.0
+        } else {
+            arrival_losses.iter().sum::<f32>() / arrival_losses.len() as f32
+        };
+        let mut pseudo_grad_norm = 0.0f32;
+        let committed = batch.is_some();
+        if let Some(batch) = batch {
+            let mut survivor_ids = batch.client_ids;
+            let mut updates = batch.updates;
+            let mut losses = batch.losses;
+            if let Some(guard) = self.guard.as_mut() {
+                let report = guard.screen_round(self.round, &survivor_ids, &mut updates);
+                self.telemetry.record_guard(
+                    report.rejected_nonfinite,
+                    report.rejected_outliers,
+                    report.clipped,
+                    report.quarantine_skips,
+                );
+                guard_rejected += (report.rejected_nonfinite + report.rejected_outliers) as usize;
+                guard_clipped = report.clipped as usize;
+                quarantined = report.quarantine_skips as usize;
+                let mut keep = report.decisions.iter().map(|d| d.admitted());
+                let mut keep2 = report.decisions.iter().map(|d| d.admitted());
+                let mut keep3 = report.decisions.iter().map(|d| d.admitted());
+                survivor_ids.retain(|_| keep.next().unwrap());
+                updates.retain(|_| keep2.next().unwrap());
+                losses.retain(|_| keep3.next().unwrap());
+            }
+            if updates.is_empty() {
+                return Err(CoreError::ClientFailure(
+                    "the guard rejected the entire buffered commit".into(),
+                ));
+            }
+            self.telemetry.record_commit(batch.stale as u64);
+            let avg_delta = self.cfg.aggregation.aggregate(&updates);
+            pseudo_grad_norm = photon_tensor::ops::l2_norm(&avg_delta);
+            mean_client_loss = losses.iter().sum::<f32>() / losses.len() as f32;
+            if !neutralized {
+                self.check_watchdog(mean_client_loss, pseudo_grad_norm)?;
+                if pseudo_grad_norm > 0.0 {
+                    for (id, update) in survivor_ids.iter().zip(&updates) {
+                        let dot = photon_tensor::ops::dot(&update.delta, &avg_delta);
+                        let norm = update.norm();
+                        if norm > 0.0 {
+                            self.telemetry
+                                .record_alignment(*id, dot / (norm * pseudo_grad_norm));
+                        }
+                    }
+                }
+                self.server_opt
+                    .apply(&mut self.params, &avg_delta, self.round);
+                let blend = |ema: Option<f64>, v: f64| match ema {
+                    Some(e) => WATCHDOG_EMA_BETA * e + (1.0 - WATCHDOG_EMA_BETA) * v,
+                    None => v,
+                };
+                self.loss_ema = Some(blend(self.loss_ema, mean_client_loss as f64));
+                self.norm_ema = Some(blend(self.norm_ema, pseudo_grad_norm as f64));
+            }
+        }
+
+        let buffered = self.buffer.as_ref().map_or(0, |b| b.len());
+        let record = RoundRecord {
+            round: self.round,
+            cohort: cohort_idx,
+            dropouts: acct.crashes + acct.link_dropouts,
+            stragglers: acct.stragglers,
+            retransmits: acct.retransmits,
+            mean_client_loss,
+            pseudo_grad_norm,
+            wire_bytes: acct.wire_bytes,
+            eval_ppl: None,
+            guard_rejected,
+            guard_clipped,
+            quarantined,
+            neutralized,
+            joined: acct.joined,
+            departed: acct.departed,
+            lease_expired: acct.lease_expired,
+            rejoined: acct.rejoined,
+            buffered,
+            commit_deferred: !committed,
         };
         self.round += 1;
         Ok(record)
@@ -499,6 +832,19 @@ impl Aggregator {
         }
         Ok(())
     }
+}
+
+/// Per-round fault and churn counters threaded into the buffered tail.
+struct RoundAccounting {
+    crashes: usize,
+    stragglers: usize,
+    link_dropouts: usize,
+    retransmits: u64,
+    wire_bytes: u64,
+    joined: usize,
+    departed: usize,
+    lease_expired: usize,
+    rejoined: usize,
 }
 
 /// What one client thread reports back to the aggregator's collect loop.
@@ -615,6 +961,83 @@ pub struct Federation {
     pub aggregator: Aggregator,
     /// The client population (index = client id).
     pub clients: Vec<LlmClient>,
+    /// Tokens of private data a warm-joining client is provisioned with.
+    pub joiner_tokens: usize,
+}
+
+impl Federation {
+    /// Provisions clients for every roster id the membership registry has
+    /// assigned but the client vector does not cover yet — the client-side
+    /// half of a warm join. Each joiner's data and RNG derive from pure
+    /// forks of the run seed keyed only by its id, so a joiner admitted at
+    /// round `r` is bit-identical whether it is built mid-run, on replay,
+    /// or after a checkpoint restore with a roster that grew since.
+    ///
+    /// # Errors
+    /// Returns an error if corpus construction fails.
+    pub fn sync_roster(&mut self) -> Result<()> {
+        let Some(target) = self.aggregator.roster_len() else {
+            return Ok(());
+        };
+        while self.clients.len() < target {
+            let id = self.clients.len() as u32;
+            self.clients.push(provision_joiner(
+                self.aggregator.config(),
+                id,
+                self.joiner_tokens,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Runs one round, provisioning any newly joined clients first.
+    ///
+    /// # Errors
+    /// Propagates aggregator round failures.
+    pub fn run_round(&mut self) -> Result<RoundRecord> {
+        self.run_round_with(None)
+    }
+
+    /// [`Federation::run_round`] with a seeded fault schedule. A client
+    /// admitted this round spends it on the warm-join handshake and is
+    /// first sampled next round, so syncing the roster after the round
+    /// provisions it in time.
+    ///
+    /// # Errors
+    /// Propagates aggregator round failures.
+    pub fn run_round_with(&mut self, injector: Option<&FaultInjector>) -> Result<RoundRecord> {
+        self.sync_roster()?;
+        let record = self
+            .aggregator
+            .run_round_with(&mut self.clients, injector)?;
+        // Joins applied inside the round extend the roster; provision the
+        // new clients now so the next round can sample them.
+        self.sync_roster()?;
+        Ok(record)
+    }
+}
+
+/// Builds the client-side state of a warm joiner: an IID web-domain shard
+/// and a training RNG, both pure forks of the run seed keyed by the
+/// joiner's id (independent of the founding population's build order).
+fn provision_joiner(cfg: &FederationConfig, id: u32, tokens: usize) -> LlmClient {
+    let base = SeedStream::new(cfg.seed);
+    let tokenizer = ByteTokenizer::new();
+    let mut data_rng = base.fork(&format!("join-data-{id}"));
+    let domain = SyntheticDomain::preset(DomainKind::Web, &mut data_rng);
+    let block = (cfg.model.seq_len + 1).max(32);
+    let corpus =
+        TokenCorpus::from_domain(&domain, &tokenizer, tokens.max(block * 2), &mut data_rng);
+    let shard = partition_iid(&corpus, 1, block, &mut data_rng)
+        .into_iter()
+        .next()
+        .expect("partition_iid returns one shard per requested partition");
+    LlmClient::new(
+        id,
+        DataSource::new(format!("ds-{id}"), shard),
+        None,
+        base.fork(&format!("join-client-{id}")),
+    )
 }
 
 /// Builds a federation over IID shards of a synthetic web corpus — the
@@ -652,6 +1075,7 @@ pub fn build_federation(cfg: &FederationConfig, tokens_per_client: usize) -> Res
     Ok(Federation {
         aggregator: Aggregator::new(cfg.clone())?,
         clients,
+        joiner_tokens: tokens_per_client,
     })
 }
 

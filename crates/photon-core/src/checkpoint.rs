@@ -7,10 +7,17 @@
 //! FedAdam or DiLoCo run no longer silently resets its momentum. Version-1
 //! checkpoints (no `format_version` field) still load; the optimizer state
 //! is reinitialized with a logged warning.
+//!
+//! Format version 3 adds an optional `membership.bin` carrying the elastic
+//! roster (the membership registry snapshot) and any in-flight buffered
+//! updates, so a restore resumes with the exact roster and buffer the
+//! crashed run had. Version-2 (and version-1) checkpoints still load;
+//! elastic state is simply absent.
 
+use crate::membership::MembershipSnapshot;
 use crate::{FederationConfig, Result};
 use photon_comms::crc32;
-use photon_fedopt::ServerOptState;
+use photon_fedopt::{BufferedUpdate, ServerOptState};
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io::Write;
@@ -18,10 +25,21 @@ use std::path::Path;
 
 const PARAMS_MAGIC: &[u8; 8] = b"PHTNCKP1";
 const OPT_MAGIC: &[u8; 8] = b"PHTNOPT2";
+const MEM_MAGIC: &[u8; 8] = b"PHTNMEM3";
 
 /// Current checkpoint format version. Version-1 manifests predate the
 /// field and deserialize as 0.
-pub const CHECKPOINT_FORMAT_VERSION: u32 = 2;
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 3;
+
+/// The elastic-membership side state carried by checkpoint v3: the roster
+/// at save time plus any updates still waiting in the aggregation buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticState {
+    /// The membership registry snapshot.
+    pub membership: MembershipSnapshot,
+    /// In-flight buffered updates (buffered mode only).
+    pub buffer: Option<Vec<BufferedUpdate>>,
+}
 
 /// Checkpoint metadata saved alongside the parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,6 +57,9 @@ pub struct CheckpointManifest {
     /// Whether `server_opt.bin` was saved alongside the parameters.
     #[serde(default)]
     pub has_server_opt: bool,
+    /// Whether `membership.bin` (elastic roster + buffer) was saved.
+    #[serde(default)]
+    pub has_membership: bool,
 }
 
 /// Saves a checkpoint into `dir` (created if missing): `manifest.json` and
@@ -57,7 +78,8 @@ pub fn save_checkpoint(
 }
 
 /// Saves a checkpoint including the server optimizer's state, so a restore
-/// resumes with its momentum intact.
+/// resumes with its momentum intact. Equivalent to
+/// [`save_checkpoint_full`] without elastic-membership state.
 ///
 /// # Errors
 /// Propagates filesystem errors.
@@ -68,6 +90,23 @@ pub fn save_checkpoint_with_opt(
     params: &[f32],
     server_opt: Option<&ServerOptState>,
 ) -> Result<()> {
+    save_checkpoint_full(dir, cfg, round, params, server_opt, None)
+}
+
+/// Saves a full checkpoint: parameters, server optimizer state, and (when
+/// the run is elastic) the membership roster plus any in-flight buffered
+/// updates.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn save_checkpoint_full(
+    dir: &Path,
+    cfg: &FederationConfig,
+    round: u64,
+    params: &[f32],
+    server_opt: Option<&ServerOptState>,
+    elastic: Option<&ElasticState>,
+) -> Result<()> {
     fs::create_dir_all(dir)?;
     let manifest = CheckpointManifest {
         round,
@@ -75,6 +114,7 @@ pub fn save_checkpoint_with_opt(
         param_count: params.len(),
         format_version: CHECKPOINT_FORMAT_VERSION,
         has_server_opt: server_opt.is_some(),
+        has_membership: elastic.is_some(),
     };
     let manifest_json =
         serde_json::to_string_pretty(&manifest).expect("manifest serialization cannot fail");
@@ -99,10 +139,161 @@ pub fn save_checkpoint_with_opt(
         fs::File::create(&tmp_opt)?.write_all(&encode_opt_state(state))?;
         fs::rename(&tmp_opt, dir.join("server_opt.bin"))?;
     }
+    if let Some(state) = elastic {
+        let tmp_mem = dir.join("membership.bin.tmp");
+        fs::File::create(&tmp_mem)?.write_all(&encode_elastic_state(state))?;
+        fs::rename(&tmp_mem, dir.join("membership.bin"))?;
+    }
     let tmp_manifest = dir.join("manifest.json.tmp");
     fs::File::create(&tmp_manifest)?.write_all(manifest_json.as_bytes())?;
     fs::rename(&tmp_manifest, dir.join("manifest.json"))?;
     Ok(())
+}
+
+fn encode_elastic_state(state: &ElasticState) -> Vec<u8> {
+    let mem = &state.membership;
+    let mut bin = Vec::new();
+    bin.extend_from_slice(MEM_MAGIC);
+    bin.extend_from_slice(&mem.config.lease_ms.to_le_bytes());
+    bin.extend_from_slice(&mem.config.round_ms.to_le_bytes());
+    bin.extend_from_slice(&mem.next_id.to_le_bytes());
+    bin.extend_from_slice(&(mem.members.len() as u32).to_le_bytes());
+    for &(id, birth, lease, phase) in &mem.members {
+        bin.extend_from_slice(&id.to_le_bytes());
+        bin.extend_from_slice(&birth.to_le_bytes());
+        bin.extend_from_slice(&lease.to_le_bytes());
+        bin.push(phase);
+    }
+    match &state.buffer {
+        None => bin.push(0),
+        Some(entries) => {
+            bin.push(1);
+            bin.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for e in entries {
+                bin.extend_from_slice(&e.client_id.to_le_bytes());
+                bin.extend_from_slice(&e.origin_round.to_le_bytes());
+                bin.extend_from_slice(&e.arrival_round.to_le_bytes());
+                bin.extend_from_slice(&e.base_weight.to_le_bytes());
+                bin.extend_from_slice(&e.mean_loss.to_le_bytes());
+                bin.extend_from_slice(&(e.delta.len() as u64).to_le_bytes());
+                for &v in &e.delta {
+                    bin.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+    }
+    let crc = crc32(&bin);
+    bin.extend_from_slice(&crc.to_le_bytes());
+    bin
+}
+
+fn decode_elastic_state(bin: &[u8]) -> std::result::Result<ElasticState, String> {
+    if bin.len() < 12 || &bin[..8] != MEM_MAGIC {
+        return Err("membership.bin is not a photon membership state".into());
+    }
+    let (body, crc_bytes) = bin.split_at(bin.len() - 4);
+    let declared = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if crc32(body) != declared {
+        return Err("membership.bin failed its integrity check".into());
+    }
+    let mut cursor = 8usize;
+    let take = |cursor: &mut usize, n: usize| -> std::result::Result<&[u8], String> {
+        let end = cursor
+            .checked_add(n)
+            .filter(|&e| e <= body.len())
+            .ok_or("membership.bin truncated")?;
+        let slice = &body[*cursor..end];
+        *cursor = end;
+        Ok(slice)
+    };
+    let u64_at = |cursor: &mut usize| -> std::result::Result<u64, String> {
+        Ok(u64::from_le_bytes(
+            take(cursor, 8)?.try_into().expect("8 bytes"),
+        ))
+    };
+    let u32_at = |cursor: &mut usize| -> std::result::Result<u32, String> {
+        Ok(u32::from_le_bytes(
+            take(cursor, 4)?.try_into().expect("4 bytes"),
+        ))
+    };
+    let lease_ms = u64_at(&mut cursor)?;
+    let round_ms = u64_at(&mut cursor)?;
+    let next_id = u32_at(&mut cursor)?;
+    let n_members = u32_at(&mut cursor)? as usize;
+    let mut members = Vec::with_capacity(n_members);
+    for _ in 0..n_members {
+        let id = u32_at(&mut cursor)?;
+        let birth = u64_at(&mut cursor)?;
+        let lease = u64_at(&mut cursor)?;
+        let phase = take(&mut cursor, 1)?[0];
+        members.push((id, birth, lease, phase));
+    }
+    let buffer = match take(&mut cursor, 1)?[0] {
+        0 => None,
+        1 => {
+            let n_entries = u32_at(&mut cursor)? as usize;
+            let mut entries = Vec::with_capacity(n_entries);
+            for _ in 0..n_entries {
+                let client_id = u32_at(&mut cursor)?;
+                let origin_round = u64_at(&mut cursor)?;
+                let arrival_round = u64_at(&mut cursor)?;
+                let base_weight =
+                    f64::from_le_bytes(take(&mut cursor, 8)?.try_into().expect("8 bytes"));
+                let mean_loss =
+                    f32::from_le_bytes(take(&mut cursor, 4)?.try_into().expect("4 bytes"));
+                let len = u64_at(&mut cursor)? as usize;
+                let raw = take(
+                    &mut cursor,
+                    len.checked_mul(4).ok_or("delta length overflow")?,
+                )?;
+                let delta = raw
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                    .collect();
+                entries.push(BufferedUpdate {
+                    client_id,
+                    origin_round,
+                    arrival_round,
+                    base_weight,
+                    mean_loss,
+                    delta,
+                });
+            }
+            Some(entries)
+        }
+        other => return Err(format!("unknown membership buffer tag {other}")),
+    };
+    if cursor != body.len() {
+        return Err("membership.bin has trailing bytes".into());
+    }
+    Ok(ElasticState {
+        membership: MembershipSnapshot {
+            config: crate::membership::MembershipConfig { lease_ms, round_ms },
+            next_id,
+            members,
+        },
+        buffer,
+    })
+}
+
+/// Loads the elastic-membership state saved with a checkpoint, if the
+/// manifest declares one (`None` for v1/v2 checkpoints and non-elastic
+/// runs).
+///
+/// # Errors
+/// Returns an error if the manifest is unreadable or a declared
+/// `membership.bin` is missing or corrupt.
+pub fn load_elastic_state(dir: &Path) -> Result<Option<ElasticState>> {
+    let manifest_json = fs::read_to_string(dir.join("manifest.json"))?;
+    let manifest: CheckpointManifest = serde_json::from_str(&manifest_json)
+        .map_err(|e| crate::CoreError::InvalidConfig(format!("bad manifest: {e}")))?;
+    if !manifest.has_membership {
+        return Ok(None);
+    }
+    let bin = fs::read(dir.join("membership.bin"))?;
+    decode_elastic_state(&bin)
+        .map(Some)
+        .map_err(crate::CoreError::InvalidConfig)
 }
 
 fn encode_opt_state(state: &ServerOptState) -> Vec<u8> {
@@ -276,7 +467,11 @@ mod tests {
         let mut lines: Vec<String> = fs::read_to_string(&path)
             .unwrap()
             .lines()
-            .filter(|l| !l.contains("format_version") && !l.contains("has_server_opt"))
+            .filter(|l| {
+                !l.contains("format_version")
+                    && !l.contains("has_server_opt")
+                    && !l.contains("has_membership")
+            })
             .map(String::from)
             .collect();
         // The removed fields were last; un-comma the new final field so the
@@ -289,6 +484,99 @@ mod tests {
         assert!(!manifest.has_server_opt);
         assert_eq!(params, vec![1.0; 8]);
         assert_eq!(load_server_opt_state(&dir).unwrap(), None);
+    }
+
+    #[test]
+    fn elastic_state_roundtrips() {
+        use crate::membership::{MembershipConfig, MembershipRegistry};
+        let dir = tmp_dir("elastic");
+        let mut reg = MembershipRegistry::new(MembershipConfig::default(), 3);
+        reg.begin_round(0, None);
+        let elastic = ElasticState {
+            membership: reg.snapshot(),
+            buffer: Some(vec![BufferedUpdate {
+                client_id: 2,
+                origin_round: 4,
+                arrival_round: 6,
+                base_weight: 1.5,
+                mean_loss: 2.25,
+                delta: vec![0.5, -1.0, f32::NAN], // NaN must survive byte-exact
+            }]),
+        };
+        save_checkpoint_full(&dir, &cfg(), 5, &[1.0, 2.0], None, Some(&elastic)).unwrap();
+        let (manifest, _) = load_checkpoint(&dir).unwrap();
+        assert!(manifest.has_membership);
+        assert_eq!(manifest.format_version, 3);
+        let loaded = load_elastic_state(&dir).unwrap().unwrap();
+        assert_eq!(loaded.membership, elastic.membership);
+        let (a, b) = (
+            &loaded.buffer.as_ref().unwrap()[0],
+            &elastic.buffer.as_ref().unwrap()[0],
+        );
+        assert_eq!(a.client_id, b.client_id);
+        assert_eq!(a.base_weight, b.base_weight);
+        assert_eq!(a.delta[..2], b.delta[..2]);
+        assert!(a.delta[2].is_nan(), "NaN coordinate lost in roundtrip");
+        // The registry reconstructs exactly.
+        assert_eq!(
+            MembershipRegistry::from_snapshot(&loaded.membership).unwrap(),
+            reg
+        );
+    }
+
+    #[test]
+    fn v2_checkpoints_without_membership_still_load() {
+        let dir = tmp_dir("legacy-v2");
+        let state = ServerOptState {
+            kind: "fedmom".into(),
+            step: 2,
+            slots: vec![vec![0.5; 4]],
+        };
+        save_checkpoint_with_opt(&dir, &cfg(), 7, &[2.0; 4], Some(&state)).unwrap();
+        // Rewrite the manifest as a v2 manifest: no has_membership field,
+        // format_version 2.
+        let path = dir.join("manifest.json");
+        let json = fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"format_version\": 3", "\"format_version\": 2")
+            .lines()
+            .filter(|l| !l.contains("has_membership"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let json = {
+            // Un-comma the new final field so the manifest stays valid.
+            let mut lines: Vec<String> = json.lines().map(String::from).collect();
+            let last_field = lines.len() - 2;
+            lines[last_field] = lines[last_field].trim_end_matches(',').to_string();
+            lines.join("\n")
+        };
+        fs::write(&path, json).unwrap();
+        let (manifest, params) = load_checkpoint(&dir).unwrap();
+        assert_eq!(manifest.format_version, 2);
+        assert!(!manifest.has_membership);
+        assert_eq!(params, vec![2.0; 4]);
+        assert_eq!(load_server_opt_state(&dir).unwrap(), Some(state));
+        assert!(load_elastic_state(&dir).unwrap().is_none());
+    }
+
+    #[test]
+    fn elastic_state_corruption_detected() {
+        let dir = tmp_dir("elastic-corrupt");
+        let reg = crate::membership::MembershipRegistry::new(
+            crate::membership::MembershipConfig::default(),
+            2,
+        );
+        let elastic = ElasticState {
+            membership: reg.snapshot(),
+            buffer: None,
+        };
+        save_checkpoint_full(&dir, &cfg(), 1, &[1.0], None, Some(&elastic)).unwrap();
+        let path = dir.join("membership.bin");
+        let mut raw = fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        fs::write(&path, &raw).unwrap();
+        assert!(load_elastic_state(&dir).is_err());
     }
 
     #[test]

@@ -1,5 +1,6 @@
+use crate::membership::MembershipConfig;
 use photon_comms::RetransmitPolicy;
-use photon_fedopt::{AggregationKind, AvailabilityModel, GuardConfig, ServerOptKind};
+use photon_fedopt::{AggregationKind, AvailabilityModel, BufferConfig, GuardConfig, ServerOptKind};
 use photon_nn::{ModelConfig, PosEncoding};
 use photon_optim::{AdamWConfig, LrSchedule};
 use serde::{Deserialize, Serialize};
@@ -103,6 +104,17 @@ pub struct FederationConfig {
     /// Link retransmission budget for CRC-failed result frames.
     #[serde(default)]
     pub retransmit: RetransmitPolicy,
+    /// Elastic membership: when set, the fixed population becomes a
+    /// *founding* roster managed by a lease-based membership registry —
+    /// clients join, leave and expire mid-run, driven by the fault plan.
+    /// Subsumes (and is incompatible with) `availability`.
+    #[serde(default)]
+    pub membership: Option<MembershipConfig>,
+    /// FedBuff-style buffered semi-synchronous aggregation: commit a merge
+    /// once a quorum of updates is buffered, down-weighting stale arrivals.
+    /// Requires `membership`.
+    #[serde(default)]
+    pub buffer: Option<BufferConfig>,
     /// Root seed for the whole run.
     pub seed: u64,
 }
@@ -134,6 +146,8 @@ impl FederationConfig {
             allow_partial_results: false,
             round_deadline_ms: None,
             retransmit: RetransmitPolicy::default(),
+            membership: None,
+            buffer: None,
             seed: 42,
         }
     }
@@ -218,6 +232,33 @@ impl FederationConfig {
                 return Err(crate::CoreError::InvalidConfig(format!(
                     "loss_spike_mult {mult} must be finite and > 1"
                 )));
+            }
+        }
+        if let Some(membership) = &self.membership {
+            membership
+                .validate()
+                .map_err(crate::CoreError::InvalidConfig)?;
+            if self.availability.is_some() {
+                // The registry's lease machinery subsumes the Markov
+                // up/down traces; running both would double-model liveness.
+                return Err(crate::CoreError::InvalidConfig(
+                    "membership subsumes availability (set only one)".into(),
+                ));
+            }
+            if self.secure_agg {
+                // Pairwise masks assume a roster fixed at key agreement;
+                // mid-run joins/leaves would leave masks uncancelled.
+                return Err(crate::CoreError::InvalidConfig(
+                    "secure aggregation requires a fixed roster (disable membership)".into(),
+                ));
+            }
+        }
+        if let Some(buffer) = &self.buffer {
+            buffer.validate().map_err(crate::CoreError::InvalidConfig)?;
+            if self.membership.is_none() {
+                return Err(crate::CoreError::InvalidConfig(
+                    "buffered aggregation requires membership (set membership)".into(),
+                ));
             }
         }
         Ok(())
@@ -314,6 +355,58 @@ mod tests {
         assert!(!json.contains("retransmit"), "field not stripped: {json}");
         let back: FederationConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn membership_validation_rules() {
+        let mut cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 4);
+        cfg.membership = Some(MembershipConfig::default());
+        cfg.allow_partial_results = true;
+        cfg.validate().unwrap();
+
+        cfg.buffer = Some(BufferConfig::default());
+        cfg.validate().unwrap();
+
+        // Buffer without membership is meaningless.
+        let mut no_mem = cfg.clone();
+        no_mem.membership = None;
+        assert!(no_mem.validate().is_err());
+
+        // Membership subsumes availability.
+        let mut both = cfg.clone();
+        both.availability = Some(AvailabilityModel::always_on());
+        assert!(both.validate().is_err());
+
+        // Secure aggregation needs a fixed roster.
+        let mut secure = cfg.clone();
+        secure.buffer = None;
+        secure.allow_partial_results = false;
+        secure.secure_agg = true;
+        assert!(secure.validate().is_err());
+
+        // Bad knobs are caught.
+        let mut bad = cfg.clone();
+        bad.membership = Some(MembershipConfig {
+            lease_ms: 10,
+            round_ms: 1_000,
+        });
+        assert!(bad.validate().is_err());
+        let mut bad = cfg.clone();
+        bad.buffer = Some(BufferConfig {
+            quorum: 0,
+            staleness_decay: 0.5,
+        });
+        assert!(bad.validate().is_err());
+
+        // Configs serialized before elastic membership existed still load.
+        let plain = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 4);
+        let json = serde_json::to_string(&plain)
+            .unwrap()
+            .replace("\"membership\":null,", "")
+            .replace("\"buffer\":null,", "");
+        assert!(!json.contains("membership"), "field not stripped: {json}");
+        let back: FederationConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plain);
     }
 
     #[test]

@@ -91,6 +91,7 @@ pub fn build_iid_federation(
         Federation {
             aggregator: Aggregator::new(cfg.clone())?,
             clients,
+            joiner_tokens: tokens_per_client,
         },
         val,
     ))
@@ -146,6 +147,7 @@ pub fn build_heterogeneous_federation(
         Federation {
             aggregator: Aggregator::new(cfg.clone())?,
             clients,
+            joiner_tokens: tokens_per_domain / clients_per_domain.max(1),
         },
         val,
     ))
@@ -214,6 +216,12 @@ pub fn run_centralized(
             guard_clipped: 0,
             quarantined: 0,
             neutralized: false,
+            joined: 0,
+            departed: 0,
+            lease_expired: 0,
+            rejoined: 0,
+            buffered: 0,
+            commit_deferred: false,
         });
         if stop_below.is_some_and(|t| report.perplexity <= t) {
             break;

@@ -151,6 +151,22 @@ pub struct FaultSpec {
     /// Multiplier used by `p_scale` draws.
     #[serde(default = "default_scale_factor")]
     pub scale_factor: f64,
+    /// Per-round probability a brand-new client joins the federation
+    /// (elastic membership; each firing admits exactly one client).
+    #[serde(default)]
+    pub p_join: f64,
+    /// Per-(round, client) probability a founding member *permanently*
+    /// departs (unlike a crash, a departed client never returns).
+    #[serde(default)]
+    pub p_leave: f64,
+    /// Rounds with a pinned join (`join@rN` grammar), on top of `p_join`.
+    #[serde(default)]
+    pub targeted_joins: Vec<u64>,
+    /// Pinned departures (`leave@rNcM` grammar). Unlike the probabilistic
+    /// draw these may target clients beyond the founding population —
+    /// a client that joined mid-run can be told to leave again.
+    #[serde(default)]
+    pub targeted_leaves: Vec<(u64, u32)>,
     /// Faults pinned to specific `(round, client)` cells, applied on top
     /// of (and overriding) the probabilistic draws.
     #[serde(default)]
@@ -177,6 +193,10 @@ impl FaultSpec {
             p_sign_flip: 0.0,
             p_scale: 0.0,
             scale_factor: default_scale_factor(),
+            p_join: 0.0,
+            p_leave: 0.0,
+            targeted_joins: Vec::new(),
+            targeted_leaves: Vec::new(),
             targeted: Vec::new(),
             seed,
         }
@@ -185,8 +205,9 @@ impl FaultSpec {
     /// Parses a compact CLI spec: comma-separated entries that are either
     /// `key=value` rate pairs — keys `crash`, `straggle`, `straggle-ms`,
     /// `corrupt`, `corrupt-attempts`, `agg`, `nan`, `sign-flip`, `scale`,
-    /// `scale-factor`, `seed` — or targeted `kind@rNcM` entries, e.g.
-    /// `crash=0.05,sign-flip@r3c1,scale:50@r2c0,seed=9`.
+    /// `scale-factor`, `join`, `leave`, `seed` — or targeted entries:
+    /// `kind@rNcM` faults, `join@rN` admissions, `leave@rNcM` departures,
+    /// e.g. `crash=0.05,sign-flip@r3c1,join@r4,leave=0.01,seed=9`.
     ///
     /// # Errors
     /// Returns a message naming the offending entry or value.
@@ -194,6 +215,24 @@ impl FaultSpec {
         let mut spec = FaultSpec::none(0);
         for pair in s.split(',').filter(|p| !p.trim().is_empty()) {
             let pair = pair.trim();
+            if let Some(cell) = pair.strip_prefix("join@") {
+                let round = cell
+                    .strip_prefix('r')
+                    .and_then(|r| r.parse().ok())
+                    .ok_or_else(|| format!("targeted join {pair:?} is not join@rN"))?;
+                spec.targeted_joins.push(round);
+                continue;
+            }
+            if let Some(cell) = pair.strip_prefix("leave@") {
+                let parsed = cell
+                    .strip_prefix('r')
+                    .and_then(|rest| rest.split_once('c'))
+                    .and_then(|(r, c)| Some((r.parse().ok()?, c.parse().ok()?)));
+                let (round, client) =
+                    parsed.ok_or_else(|| format!("targeted leave {pair:?} is not leave@rNcM"))?;
+                spec.targeted_leaves.push((round, client));
+                continue;
+            }
             if pair.contains('@') {
                 spec.targeted.push(TargetedFault::parse(pair)?);
                 continue;
@@ -215,6 +254,8 @@ impl FaultSpec {
                 "sign-flip" => spec.p_sign_flip = value.parse().map_err(|_| bad())?,
                 "scale" => spec.p_scale = value.parse().map_err(|_| bad())?,
                 "scale-factor" => spec.scale_factor = value.parse().map_err(|_| bad())?,
+                "join" => spec.p_join = value.parse().map_err(|_| bad())?,
+                "leave" => spec.p_leave = value.parse().map_err(|_| bad())?,
                 "seed" => spec.seed = value.parse().map_err(|_| bad())?,
                 other => return Err(format!("unknown fault spec key {other:?}")),
             }
@@ -236,6 +277,8 @@ impl FaultSpec {
             ("nan", self.p_nan),
             ("sign-flip", self.p_sign_flip),
             ("scale", self.p_scale),
+            ("join", self.p_join),
+            ("leave", self.p_leave),
         ];
         for (name, p) in probs {
             if !(0.0..=1.0).contains(&p) {
@@ -247,7 +290,8 @@ impl FaultSpec {
             + self.p_corrupt
             + self.p_nan
             + self.p_sign_flip
-            + self.p_scale;
+            + self.p_scale
+            + self.p_leave;
         if client_sum > 1.0 {
             return Err("client fault probabilities sum past 1.0".into());
         }
@@ -271,19 +315,22 @@ impl FaultSpec {
     pub fn plan(&self, population: usize, rounds: u64) -> FaultPlan {
         self.validate().expect("invalid fault spec");
         let mut client_faults = BTreeMap::new();
+        let mut leaves = BTreeSet::new();
         for round in 0..rounds {
             for client in 0..population as u32 {
                 let mut rng = cell_stream(self.seed, round, client);
                 let u = rng.next_f64();
-                // The Byzantine thresholds extend the chain AFTER the
-                // legacy kinds, so a spec with zero Byzantine rates
-                // expands to the exact plan older versions produced.
+                // New thresholds extend the chain AFTER the legacy kinds
+                // (Byzantine after the PR-2 set, churn after Byzantine), so
+                // a spec with the new rates at zero expands to the exact
+                // plan older versions produced.
                 let t_crash = self.p_crash;
                 let t_straggle = t_crash + self.p_straggle;
                 let t_corrupt = t_straggle + self.p_corrupt;
                 let t_nan = t_corrupt + self.p_nan;
                 let t_flip = t_nan + self.p_sign_flip;
                 let t_scale = t_flip + self.p_scale;
+                let t_leave = t_scale + self.p_leave;
                 let fault = if u < t_crash {
                     Some(ClientFault::Crash)
                 } else if u < t_straggle {
@@ -302,6 +349,11 @@ impl FaultSpec {
                     Some(ClientFault::Scale {
                         factor: self.scale_factor,
                     })
+                } else if u < t_leave {
+                    // A departure is a membership event, not a round fault:
+                    // the registry retires the client permanently.
+                    leaves.insert((round, client));
+                    None
                 } else {
                     None
                 };
@@ -320,9 +372,30 @@ impl FaultSpec {
         let agg_crashes = (0..rounds)
             .filter(|&round| cell_stream(self.seed, round, u32::MAX).next_f64() < self.p_agg_crash)
             .collect();
+        // Joins draw from their own reserved cell column (client id
+        // u32::MAX - 1, disjoint from the agg-crash column): at most one
+        // admission per round from the rate, plus any pinned join@rN.
+        let mut joins: BTreeMap<u64, u32> = (0..rounds)
+            .filter(|&round| cell_stream(self.seed, round, u32::MAX - 1).next_f64() < self.p_join)
+            .map(|round| (round, 1))
+            .collect();
+        for &round in &self.targeted_joins {
+            if round < rounds {
+                *joins.entry(round).or_insert(0) += 1;
+            }
+        }
+        // Targeted leaves may name any client id — including one only
+        // admitted mid-run — so they are not bounded by `population`.
+        for &(round, client) in &self.targeted_leaves {
+            if round < rounds {
+                leaves.insert((round, client));
+            }
+        }
         FaultPlan {
             client_faults,
             agg_crashes,
+            joins,
+            leaves,
             rounds,
         }
     }
@@ -344,6 +417,8 @@ fn cell_stream(seed: u64, round: u64, client: u32) -> SeedStream {
 pub struct FaultPlan {
     client_faults: BTreeMap<(u64, u32), ClientFault>,
     agg_crashes: BTreeSet<u64>,
+    joins: BTreeMap<u64, u32>,
+    leaves: BTreeSet<(u64, u32)>,
     rounds: u64,
 }
 
@@ -359,6 +434,19 @@ impl FaultPlan {
         self.agg_crashes.contains(&round)
     }
 
+    /// How many new clients join the federation at `round`.
+    pub fn joins_at(&self, round: u64) -> u32 {
+        self.joins.get(&round).copied().unwrap_or(0)
+    }
+
+    /// The clients scheduled to permanently depart at `round`, ascending.
+    pub fn leaves_at(&self, round: u64) -> Vec<u32> {
+        self.leaves
+            .range((round, 0)..=(round, u32::MAX))
+            .map(|&(_, c)| c)
+            .collect()
+    }
+
     /// Number of scheduled client faults.
     pub fn client_fault_count(&self) -> usize {
         self.client_faults.len()
@@ -367,6 +455,16 @@ impl FaultPlan {
     /// Number of scheduled aggregator crashes.
     pub fn agg_crash_count(&self) -> usize {
         self.agg_crashes.len()
+    }
+
+    /// Number of scheduled joins across the horizon.
+    pub fn join_count(&self) -> usize {
+        self.joins.values().map(|&n| n as usize).sum()
+    }
+
+    /// Number of scheduled permanent departures.
+    pub fn leave_count(&self) -> usize {
+        self.leaves.len()
     }
 
     /// The planning horizon in rounds.
@@ -401,6 +499,16 @@ impl FaultInjector {
     /// Whether the aggregator crashes after `round`.
     pub fn aggregator_crashes_after(&self, round: u64) -> bool {
         self.plan.aggregator_crashes_after(round)
+    }
+
+    /// How many clients join at `round`.
+    pub fn joins_at(&self, round: u64) -> u32 {
+        self.plan.joins_at(round)
+    }
+
+    /// The clients permanently departing at `round`.
+    pub fn leaves_at(&self, round: u64) -> Vec<u32> {
+        self.plan.leaves_at(round)
     }
 
     /// The underlying schedule.
@@ -601,6 +709,71 @@ mod tests {
         assert!(TargetedFault::parse("warp@r1c1").is_err());
         assert!(ClientFault::parse_kind("scale:inf").is_err());
         assert!(FaultSpec::parse("nan=0.5,sign-flip=0.4,scale=0.3").is_err());
+    }
+
+    #[test]
+    fn zero_churn_rates_leave_legacy_plans_unchanged() {
+        // Churn thresholds extend the chain after every older kind, so a
+        // churn-free spec expands to the exact legacy plan.
+        let legacy = chaos_spec(7).plan(16, 50);
+        let extended = FaultSpec {
+            targeted_joins: Vec::new(),
+            targeted_leaves: Vec::new(),
+            ..chaos_spec(7)
+        }
+        .plan(16, 50);
+        assert_eq!(legacy, extended);
+        assert_eq!(legacy.join_count(), 0);
+        assert_eq!(legacy.leave_count(), 0);
+    }
+
+    #[test]
+    fn churn_rates_expand_into_joins_and_leaves() {
+        let spec = FaultSpec {
+            p_join: 0.3,
+            p_leave: 0.02,
+            ..FaultSpec::none(17)
+        };
+        let plan = spec.plan(16, 100);
+        let joins = plan.join_count() as f64 / 100.0;
+        assert!((joins - 0.3).abs() < 0.12, "join rate {joins}");
+        let leaves = plan.leave_count() as f64 / (16.0 * 100.0);
+        assert!((leaves - 0.02).abs() < 0.015, "leave rate {leaves}");
+        // A leave is a membership event, never also a round fault.
+        for round in 0..100 {
+            for client in plan.leaves_at(round) {
+                assert_eq!(plan.client_fault(round, client), None);
+            }
+        }
+        // Plans replay bit-identically with churn enabled.
+        assert_eq!(plan, spec.plan(16, 100));
+    }
+
+    #[test]
+    fn churn_grammar_parses_and_targets_fire() {
+        let spec =
+            FaultSpec::parse("join=0.1,leave=0.01,join@r4,join@r4,leave@r6c20,seed=3").unwrap();
+        assert_eq!(spec.p_join, 0.1);
+        assert_eq!(spec.p_leave, 0.01);
+        assert_eq!(spec.targeted_joins, vec![4, 4]);
+        assert_eq!(spec.targeted_leaves, vec![(6, 20)]);
+        let plan = FaultSpec {
+            targeted_joins: vec![4, 4, 99],
+            targeted_leaves: vec![(6, 20), (99, 0)],
+            ..FaultSpec::none(3)
+        }
+        .plan(8, 10);
+        assert_eq!(plan.joins_at(4), 2, "both pinned joins fire");
+        assert_eq!(plan.joins_at(5), 0);
+        // Targeted leaves are not bounded by the founding population:
+        // client 20 joined mid-run and can still be told to depart.
+        assert_eq!(plan.leaves_at(6), vec![20]);
+        assert_eq!(plan.join_count(), 2, "out-of-horizon join dropped");
+        assert_eq!(plan.leave_count(), 1, "out-of-horizon leave dropped");
+        assert!(FaultSpec::parse("join@x4").is_err());
+        assert!(FaultSpec::parse("leave@r6").is_err());
+        assert!(FaultSpec::parse("join=1.5").is_err());
+        assert!(FaultSpec::parse("crash=0.6,leave=0.5").is_err(), "sum cap");
     }
 
     #[test]

@@ -1,0 +1,492 @@
+//! Deterministic elastic membership: the roster of clients the aggregator
+//! believes exist, with lease-based liveness.
+//!
+//! Photon's cross-silo setting assumes clients "can be sporadically
+//! available throughout a full training cycle" (§2.1) — not merely
+//! crashing, but permanently leaving and *newly arriving* mid-run. The
+//! [`MembershipRegistry`] replaces the fixed, enumerated population with a
+//! lease state machine driven entirely by the seeded fault plan and the
+//! simulated walltime clock ([`photon_comms::SimClock`]), so every
+//! membership decision is a pure function of `(config, fault seed, round)`
+//! and replays bit-identically — including across a checkpoint restore.
+//!
+//! The lease state machine per member:
+//!
+//! ```text
+//!            join / founding                 leave (permanent)
+//!   ──────────────► Active ──────────────────► Departed
+//!                   ▲    │ lease lapses (missed
+//!     warm rejoin   │    │  heartbeats past lease_ms)
+//!     (crash-free   │    ▼
+//!      round)       └─ Expired ────────────────► Departed
+//!                                 leave
+//! ```
+//!
+//! Heartbeats are implicit: a client that is not scheduled to crash this
+//! round renews its lease to `now + lease_ms`. A client crashing for
+//! enough consecutive rounds that simulated time passes its lease expiry
+//! is *expired* — dropped from the live roster until a crash-free round
+//! lets it re-handshake (`Hello`/`LeaseGrant`) and warm-rejoin.
+
+use crate::faults::FaultInjector;
+use photon_comms::SimClock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Knobs for the elastic membership runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MembershipConfig {
+    /// Liveness lease duration in simulated milliseconds: a member that
+    /// misses heartbeats for longer than this is expired from the roster.
+    pub lease_ms: u64,
+    /// Simulated duration of one federated round (drives the
+    /// [`SimClock`]).
+    pub round_ms: u64,
+}
+
+impl Default for MembershipConfig {
+    fn default() -> Self {
+        MembershipConfig {
+            lease_ms: 3_000,
+            round_ms: 1_000,
+        }
+    }
+}
+
+impl MembershipConfig {
+    /// Checks parameter consistency.
+    ///
+    /// # Errors
+    /// Returns a description of the inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.round_ms == 0 {
+            return Err("membership round_ms must be positive".into());
+        }
+        if self.lease_ms < self.round_ms {
+            return Err(format!(
+                "lease_ms {} shorter than one round ({} ms): every member \
+                 would expire before it could renew",
+                self.lease_ms, self.round_ms
+            ));
+        }
+        Ok(())
+    }
+
+    /// The clock this membership configuration runs on.
+    pub fn clock(&self) -> SimClock {
+        SimClock::new(self.round_ms)
+    }
+}
+
+/// Where a member is in the lease state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemberPhase {
+    /// Holding a valid lease; eligible for cohort sampling.
+    Active,
+    /// Lease lapsed (missed heartbeats); sits out until a warm rejoin.
+    Expired,
+    /// Permanently left the federation; never returns.
+    Departed,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Member {
+    birth_round: u64,
+    lease_expires_ms: u64,
+    phase: MemberPhase,
+}
+
+/// The membership changes one round produced, in the order they were
+/// applied (joins → leaves → rejoins → expiries).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChurnEvents {
+    /// Brand-new clients admitted this round (warm join).
+    pub joined: Vec<u32>,
+    /// Members that permanently departed this round.
+    pub departed: Vec<u32>,
+    /// Members whose lease lapsed this round.
+    pub expired: Vec<u32>,
+    /// Previously-expired members that warm-rejoined this round.
+    pub rejoined: Vec<u32>,
+}
+
+impl ChurnEvents {
+    /// Whether the round changed the roster at all.
+    pub fn is_empty(&self) -> bool {
+        self.joined.is_empty()
+            && self.departed.is_empty()
+            && self.expired.is_empty()
+            && self.rejoined.is_empty()
+    }
+}
+
+/// A serializable image of the registry, carried by checkpoint v3 so a
+/// restore resumes with the exact roster the crashed run had.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MembershipSnapshot {
+    /// The membership configuration the registry ran under.
+    pub config: MembershipConfig,
+    /// Next id to assign to a joining client.
+    pub next_id: u32,
+    /// Every member ever admitted: `(id, birth_round, lease_expires_ms,
+    /// phase as u8: 0 = Active, 1 = Expired, 2 = Departed)`.
+    pub members: Vec<(u32, u64, u64, u8)>,
+}
+
+/// The aggregator's membership registry: who exists, who is live, and who
+/// may be sampled this round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MembershipRegistry {
+    cfg: MembershipConfig,
+    clock: SimClock,
+    members: BTreeMap<u32, Member>,
+    next_id: u32,
+}
+
+impl MembershipRegistry {
+    /// Founds a registry with `population` members, all active with leases
+    /// granted at round 0.
+    ///
+    /// # Panics
+    /// Panics if the config fails [`MembershipConfig::validate`] or the
+    /// population is empty.
+    pub fn new(cfg: MembershipConfig, population: usize) -> Self {
+        cfg.validate().expect("invalid membership config");
+        assert!(population > 0, "cannot found an empty federation");
+        let clock = cfg.clock();
+        let lease = clock.now_ms(0) + cfg.lease_ms;
+        let members = (0..population as u32)
+            .map(|id| {
+                (
+                    id,
+                    Member {
+                        birth_round: 0,
+                        lease_expires_ms: lease,
+                        phase: MemberPhase::Active,
+                    },
+                )
+            })
+            .collect();
+        MembershipRegistry {
+            cfg,
+            clock,
+            members,
+            next_id: population as u32,
+        }
+    }
+
+    /// The registry's configuration.
+    pub fn config(&self) -> MembershipConfig {
+        self.cfg
+    }
+
+    /// Total ids ever assigned (founding members plus every join). Client
+    /// id and roster index coincide, so this is also the size the client
+    /// vector must be provisioned to.
+    pub fn roster_len(&self) -> usize {
+        self.next_id as usize
+    }
+
+    /// Applies one round of membership churn, in deterministic order:
+    /// scheduled joins, then permanent leaves, then warm rejoins of
+    /// expired members (a crash-free round re-handshakes), then heartbeat
+    /// lease renewals (a member scheduled to crash misses its heartbeat),
+    /// then lease-expiry checks against the simulated clock.
+    pub fn begin_round(&mut self, round: u64, injector: Option<&FaultInjector>) -> ChurnEvents {
+        let now = self.clock.now_ms(round);
+        let lease = now + self.cfg.lease_ms;
+        let mut events = ChurnEvents::default();
+
+        if let Some(inj) = injector {
+            for _ in 0..inj.joins_at(round) {
+                let id = self.next_id;
+                self.next_id += 1;
+                self.members.insert(
+                    id,
+                    Member {
+                        birth_round: round,
+                        lease_expires_ms: lease,
+                        phase: MemberPhase::Active,
+                    },
+                );
+                events.joined.push(id);
+            }
+            for id in inj.leaves_at(round) {
+                if let Some(m) = self.members.get_mut(&id) {
+                    if m.phase != MemberPhase::Departed {
+                        m.phase = MemberPhase::Departed;
+                        events.departed.push(id);
+                    }
+                }
+            }
+        }
+
+        let crashed = |id: u32| {
+            injector
+                .and_then(|inj| inj.client_fault(round, id))
+                .map(|f| f == crate::faults::ClientFault::Crash)
+                .unwrap_or(false)
+        };
+        for (&id, m) in self.members.iter_mut() {
+            match m.phase {
+                MemberPhase::Expired if !crashed(id) => {
+                    // Warm rejoin: the client is reachable again; it
+                    // re-handshakes and resumes with a fresh lease.
+                    m.phase = MemberPhase::Active;
+                    m.lease_expires_ms = lease;
+                    events.rejoined.push(id);
+                }
+                MemberPhase::Active if !crashed(id) => {
+                    m.lease_expires_ms = lease;
+                }
+                _ => {}
+            }
+        }
+        for (&id, m) in self.members.iter_mut() {
+            if m.phase == MemberPhase::Active && now > m.lease_expires_ms {
+                m.phase = MemberPhase::Expired;
+                events.expired.push(id);
+            }
+        }
+        events
+    }
+
+    /// Active members, ascending — the universe the cohort sampler draws
+    /// from this round.
+    pub fn live_members(&self) -> Vec<u32> {
+        self.members
+            .iter()
+            .filter(|(_, m)| m.phase == MemberPhase::Active)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Every non-departed member, ascending — the fallback universe when
+    /// every live member happens to be expired at once.
+    pub fn reachable_members(&self) -> Vec<u32> {
+        self.members
+            .iter()
+            .filter(|(_, m)| m.phase != MemberPhase::Departed)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// The member's phase, if it was ever admitted.
+    pub fn phase(&self, id: u32) -> Option<MemberPhase> {
+        self.members.get(&id).map(|m| m.phase)
+    }
+
+    /// The round the member first joined, if it was ever admitted.
+    pub fn birth_round(&self, id: u32) -> Option<u64> {
+        self.members.get(&id).map(|m| m.birth_round)
+    }
+
+    /// Exports the registry for checkpointing.
+    pub fn snapshot(&self) -> MembershipSnapshot {
+        MembershipSnapshot {
+            config: self.cfg,
+            next_id: self.next_id,
+            members: self
+                .members
+                .iter()
+                .map(|(&id, m)| {
+                    let phase = match m.phase {
+                        MemberPhase::Active => 0u8,
+                        MemberPhase::Expired => 1,
+                        MemberPhase::Departed => 2,
+                    };
+                    (id, m.birth_round, m.lease_expires_ms, phase)
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a registry from a checkpoint snapshot.
+    ///
+    /// # Errors
+    /// Returns a description of an invalid snapshot (bad config, unknown
+    /// phase tag, or an id at or past `next_id`).
+    pub fn from_snapshot(snap: &MembershipSnapshot) -> Result<Self, String> {
+        snap.config.validate()?;
+        let mut members = BTreeMap::new();
+        for &(id, birth_round, lease_expires_ms, phase) in &snap.members {
+            if id >= snap.next_id {
+                return Err(format!("member id {id} beyond next_id {}", snap.next_id));
+            }
+            let phase = match phase {
+                0 => MemberPhase::Active,
+                1 => MemberPhase::Expired,
+                2 => MemberPhase::Departed,
+                other => return Err(format!("unknown member phase tag {other}")),
+            };
+            members.insert(
+                id,
+                Member {
+                    birth_round,
+                    lease_expires_ms,
+                    phase,
+                },
+            );
+        }
+        Ok(MembershipRegistry {
+            cfg: snap.config,
+            clock: snap.config.clock(),
+            members,
+            next_id: snap.next_id,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultSpec;
+
+    fn cfg() -> MembershipConfig {
+        MembershipConfig::default() // 3 s lease, 1 s rounds
+    }
+
+    #[test]
+    fn founding_members_are_all_live() {
+        let reg = MembershipRegistry::new(cfg(), 4);
+        assert_eq!(reg.live_members(), vec![0, 1, 2, 3]);
+        assert_eq!(reg.roster_len(), 4);
+        assert_eq!(reg.phase(0), Some(MemberPhase::Active));
+        assert_eq!(reg.birth_round(0), Some(0));
+        assert_eq!(reg.phase(9), None);
+    }
+
+    #[test]
+    fn joins_assign_fresh_ids_and_leaves_are_permanent() {
+        let spec = FaultSpec {
+            targeted_joins: vec![2, 2],
+            targeted_leaves: vec![(3, 1), (5, 4)],
+            ..FaultSpec::none(1)
+        };
+        let inj = FaultInjector::from_spec(&spec, 3, 10);
+        let mut reg = MembershipRegistry::new(cfg(), 3);
+        assert!(reg.begin_round(0, Some(&inj)).is_empty());
+        let ev = reg.begin_round(2, Some(&inj));
+        assert_eq!(ev.joined, vec![3, 4]);
+        assert_eq!(reg.live_members(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(reg.birth_round(3), Some(2));
+        let ev = reg.begin_round(3, Some(&inj));
+        assert_eq!(ev.departed, vec![1]);
+        assert_eq!(reg.live_members(), vec![0, 2, 3, 4]);
+        // A mid-run joiner can be told to leave too.
+        let ev = reg.begin_round(5, Some(&inj));
+        assert_eq!(ev.departed, vec![4]);
+        assert_eq!(reg.phase(4), Some(MemberPhase::Departed));
+        // Departed members never rejoin.
+        for round in 6..10 {
+            assert!(reg.begin_round(round, Some(&inj)).is_empty());
+        }
+        assert_eq!(reg.live_members(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn sustained_crashes_expire_the_lease_and_a_quiet_round_rejoins() {
+        // Client 1 crashes rounds 1..=4: lease granted at round 0 expires
+        // at 1000 + 3000 = 4000 ms, so round 5 (now = 5000) expires it...
+        // except the crash at round 4 means the last renewal was round 0.
+        let spec = FaultSpec {
+            targeted: vec![
+                crate::faults::TargetedFault::parse("crash@r1c1").unwrap(),
+                crate::faults::TargetedFault::parse("crash@r2c1").unwrap(),
+                crate::faults::TargetedFault::parse("crash@r3c1").unwrap(),
+                crate::faults::TargetedFault::parse("crash@r4c1").unwrap(),
+            ],
+            ..FaultSpec::none(1)
+        };
+        let inj = FaultInjector::from_spec(&spec, 3, 10);
+        let mut reg = MembershipRegistry::new(cfg(), 3);
+        reg.begin_round(0, Some(&inj));
+        let mut expired_at = None;
+        for round in 1..=4 {
+            let ev = reg.begin_round(round, Some(&inj));
+            if !ev.expired.is_empty() {
+                assert_eq!(ev.expired, vec![1]);
+                expired_at = Some(round);
+            }
+        }
+        // Lease from round 0 (granted to 3000 ms) lapses at round 4
+        // (now = 4000 > 3000): three consecutive missed heartbeats.
+        assert_eq!(expired_at, Some(4));
+        assert_eq!(reg.live_members(), vec![0, 2]);
+        assert_eq!(reg.phase(1), Some(MemberPhase::Expired));
+        // Round 5 is crash-free: warm rejoin with a fresh lease.
+        let ev = reg.begin_round(5, Some(&inj));
+        assert_eq!(ev.rejoined, vec![1]);
+        assert_eq!(reg.live_members(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn healthy_members_never_expire() {
+        let mut reg = MembershipRegistry::new(cfg(), 5);
+        for round in 0..50 {
+            assert!(reg.begin_round(round, None).is_empty());
+        }
+        assert_eq!(reg.live_members().len(), 5);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_exactly() {
+        let spec = FaultSpec {
+            targeted_joins: vec![1],
+            targeted_leaves: vec![(2, 0)],
+            targeted: vec![
+                crate::faults::TargetedFault::parse("crash@r1c2").unwrap(),
+                crate::faults::TargetedFault::parse("crash@r2c2").unwrap(),
+                crate::faults::TargetedFault::parse("crash@r3c2").unwrap(),
+                crate::faults::TargetedFault::parse("crash@r4c2").unwrap(),
+            ],
+            ..FaultSpec::none(1)
+        };
+        let inj = FaultInjector::from_spec(&spec, 3, 10);
+        let mut reg = MembershipRegistry::new(cfg(), 3);
+        for round in 0..5 {
+            reg.begin_round(round, Some(&inj));
+        }
+        let snap = reg.snapshot();
+        let restored = MembershipRegistry::from_snapshot(&snap).unwrap();
+        assert_eq!(restored, reg);
+        // And the restored registry continues identically.
+        let mut a = reg.clone();
+        let mut b = restored;
+        for round in 5..10 {
+            assert_eq!(
+                a.begin_round(round, Some(&inj)),
+                b.begin_round(round, Some(&inj))
+            );
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_snapshots_are_rejected() {
+        let reg = MembershipRegistry::new(cfg(), 2);
+        let mut snap = reg.snapshot();
+        snap.members[0].3 = 9;
+        assert!(MembershipRegistry::from_snapshot(&snap).is_err());
+        let mut snap = reg.snapshot();
+        snap.next_id = 1;
+        assert!(MembershipRegistry::from_snapshot(&snap).is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(MembershipConfig::default().validate().is_ok());
+        assert!(MembershipConfig {
+            lease_ms: 500,
+            round_ms: 1_000,
+        }
+        .validate()
+        .is_err());
+        assert!(MembershipConfig {
+            lease_ms: 1_000,
+            round_ms: 0,
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -40,6 +40,27 @@ pub struct RoundRecord {
     /// update is skipped on replay so recovery terminates).
     #[serde(default)]
     pub neutralized: bool,
+    /// New clients admitted this round (elastic membership).
+    #[serde(default)]
+    pub joined: usize,
+    /// Members that permanently departed this round.
+    #[serde(default)]
+    pub departed: usize,
+    /// Members whose liveness lease lapsed this round.
+    #[serde(default)]
+    pub lease_expired: usize,
+    /// Expired members that warm-rejoined this round.
+    #[serde(default)]
+    pub rejoined: usize,
+    /// Updates waiting in the aggregation buffer after this round
+    /// (buffered mode only).
+    #[serde(default)]
+    pub buffered: usize,
+    /// Whether a buffered round ended *below* quorum and deferred its
+    /// commit (inverted so the serde default — `false`, i.e. committed —
+    /// is right for synchronous rounds and legacy records).
+    #[serde(default)]
+    pub commit_deferred: bool,
 }
 
 /// The full record of a training run, with helpers used by the
@@ -127,7 +148,29 @@ mod tests {
             guard_clipped: 0,
             quarantined: 0,
             neutralized: false,
+            joined: 0,
+            departed: 0,
+            lease_expired: 0,
+            rejoined: 0,
+            buffered: 0,
+            commit_deferred: false,
         }
+    }
+
+    #[test]
+    fn legacy_records_without_churn_fields_load() {
+        let mut h = TrainingHistory::new();
+        h.push(record(0, Some(40.0)));
+        let json = h
+            .to_json()
+            .replace("\"joined\": 0,", "")
+            .replace("\"departed\": 0,", "")
+            .replace("\"lease_expired\": 0,", "")
+            .replace("\"rejoined\": 0,", "")
+            .replace("\"buffered\": 0,", "")
+            .replace("\"commit_deferred\": false", "\"neutralized\": false");
+        let back: TrainingHistory = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h, "serde defaults must reconstruct the record");
     }
 
     #[test]

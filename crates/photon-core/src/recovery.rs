@@ -12,8 +12,8 @@
 use crate::experiments::{eval_seq, RunOptions};
 use crate::faults::FaultInjector;
 use crate::{
-    load_checkpoint, load_server_opt_state, save_checkpoint_with_opt, CoreError, Federation,
-    Result, TrainingHistory,
+    load_checkpoint, load_elastic_state, load_server_opt_state, save_checkpoint_full, CoreError,
+    Federation, Result, TrainingHistory,
 };
 use photon_data::{EvalStream, TokenCorpus};
 use photon_nn::evaluate_perplexity;
@@ -109,7 +109,7 @@ where
     let seq = eval_seq(fed.aggregator.config());
     while fed.aggregator.round() < opts.run.rounds {
         let round = fed.aggregator.round();
-        match fed.aggregator.run_round_with(&mut fed.clients, injector) {
+        match fed.run_round_with(injector) {
             Ok(mut record) => {
                 if opts.run.eval_every > 0 && (round + 1) % opts.run.eval_every == 0 {
                     // A fresh stream per eval keeps evaluation a pure
@@ -133,12 +133,13 @@ where
                     opts.checkpoint_every > 0 && (round + 1).is_multiple_of(opts.checkpoint_every);
                 if let Some(dir) = &opts.checkpoint_dir {
                     if due || reached || round + 1 == opts.run.rounds {
-                        save_checkpoint_with_opt(
+                        save_checkpoint_full(
                             dir,
                             fed.aggregator.config(),
                             fed.aggregator.round(),
                             fed.aggregator.params(),
                             Some(&fed.aggregator.server_opt_state()),
+                            fed.aggregator.elastic_state().as_ref(),
                         )?;
                     }
                 }
@@ -231,5 +232,13 @@ fn restore_from(fed: &mut Federation, dir: &std::path::Path) -> Result<()> {
     let (manifest, params) = load_checkpoint(dir)?;
     let opt = load_server_opt_state(dir)?;
     fed.aggregator
-        .restore_with_opt(manifest.round, params, opt.as_ref())
+        .restore_with_opt(manifest.round, params, opt.as_ref())?;
+    // v3 checkpoints carry the membership roster and any in-flight
+    // buffered updates; the resumed run continues with the exact roster
+    // the crashed run had (including mid-run joiners, which sync_roster
+    // re-provisions deterministically from the run seed).
+    if let Some(elastic) = load_elastic_state(dir)? {
+        fed.aggregator.restore_elastic(&elastic)?;
+    }
+    fed.sync_roster()
 }

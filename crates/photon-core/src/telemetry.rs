@@ -61,6 +61,24 @@ pub struct FaultCounters {
     /// Watchdog-triggered rollbacks to the last-good checkpoint.
     #[serde(default)]
     pub rollbacks: u64,
+    /// New clients admitted mid-run (elastic membership warm joins).
+    #[serde(default)]
+    pub joins: u64,
+    /// Members that permanently departed the federation.
+    #[serde(default)]
+    pub leaves: u64,
+    /// Liveness leases that lapsed (members expired off the roster).
+    #[serde(default)]
+    pub lease_expiries: u64,
+    /// Expired members that warm-rejoined after a crash-free round.
+    #[serde(default)]
+    pub rejoins: u64,
+    /// Buffered-aggregation merges committed.
+    #[serde(default)]
+    pub buffered_commits: u64,
+    /// Committed updates that were stale (down-weighted by staleness).
+    #[serde(default)]
+    pub stale_commits: u64,
 }
 
 /// A cheaply clonable, thread-safe telemetry hub shared between the
@@ -170,6 +188,24 @@ impl Telemetry {
     /// checkpoint.
     pub fn record_rollback(&self) {
         self.inner.write().faults.rollbacks += 1;
+    }
+
+    /// Accumulates one round's membership churn (joins, permanent leaves,
+    /// lease expiries, warm rejoins).
+    pub fn record_churn(&self, joins: u64, leaves: u64, lease_expiries: u64, rejoins: u64) {
+        let mut inner = self.inner.write();
+        inner.faults.joins += joins;
+        inner.faults.leaves += leaves;
+        inner.faults.lease_expiries += lease_expiries;
+        inner.faults.rejoins += rejoins;
+    }
+
+    /// Records one buffered-aggregation commit, of which `stale` committed
+    /// updates carried a staleness discount.
+    pub fn record_commit(&self, stale: u64) {
+        let mut inner = self.inner.write();
+        inner.faults.buffered_commits += 1;
+        inner.faults.stale_commits += stale;
     }
 
     /// The run's accumulated fault counters.
@@ -312,6 +348,22 @@ mod tests {
         assert_eq!(f.norm_clipped, 3);
         assert_eq!(f.quarantine_skips, 5);
         assert_eq!(f.rollbacks, 1);
+    }
+
+    #[test]
+    fn churn_and_commit_counters_accumulate() {
+        let t = Telemetry::new();
+        t.record_churn(1, 0, 2, 1);
+        t.record_churn(0, 1, 0, 0);
+        t.record_commit(0);
+        t.record_commit(3);
+        let f = t.fault_counters();
+        assert_eq!(f.joins, 1);
+        assert_eq!(f.leaves, 1);
+        assert_eq!(f.lease_expiries, 2);
+        assert_eq!(f.rejoins, 1);
+        assert_eq!(f.buffered_commits, 2);
+        assert_eq!(f.stale_commits, 3);
     }
 
     #[test]

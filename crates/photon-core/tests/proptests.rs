@@ -135,6 +135,12 @@ proptest! {
                 guard_clipped: 0,
                 quarantined: 0,
                 neutralized: false,
+                joined: 0,
+                departed: 0,
+                lease_expired: 0,
+                rejoined: 0,
+                buffered: 0,
+                commit_deferred: false,
             });
         }
         let expected = ppls

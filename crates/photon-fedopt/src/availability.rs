@@ -155,10 +155,33 @@ impl AvailabilityTraces {
     }
 
     /// Clients up at `round`.
+    ///
+    /// Fast path: when every chain already covers `round`, the answer is
+    /// collected under a single read lock. Otherwise all chains are
+    /// extended and queried under **one** write lock, instead of the up to
+    /// N per-client write-lock round-trips `is_up` in a loop would take.
     pub fn available_at(&self, round: u64) -> Vec<usize> {
-        (0..self.population())
-            .filter(|&c| self.is_up(c, round))
-            .collect()
+        let idx = round as usize;
+        {
+            let chains = self.chains.read();
+            if chains.iter().all(|c| idx < c.trace.len()) {
+                return chains
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.trace[idx])
+                    .map(|(i, _)| i)
+                    .collect();
+            }
+        }
+        let mut chains = self.chains.write();
+        let mut up = Vec::new();
+        for (i, chain) in chains.iter_mut().enumerate() {
+            chain.extend_to(&self.model, idx);
+            if chain.trace[idx] {
+                up.push(i);
+            }
+        }
+        up
     }
 }
 
@@ -328,6 +351,67 @@ mod tests {
         let mut sampler = AvailabilitySampler::new(traces, 2, SeedStream::new(6));
         let cohort = sampler.sample(4, 5);
         assert_eq!(cohort.len(), 2);
+    }
+
+    #[test]
+    fn available_at_agrees_with_per_client_queries() {
+        let m = AvailabilityModel {
+            p_down: 0.4,
+            p_up: 0.4,
+        };
+        // Query a fresh lazy trace (write-lock batch-extension path) and a
+        // pre-materialized one (read-lock fast path); both must agree with
+        // per-client is_up answers.
+        let lazy = AvailabilityTraces::lazy(m, 7, &mut SeedStream::new(31));
+        let eager = AvailabilityTraces::sample(m, 7, 30, &mut SeedStream::new(31));
+        for round in [17u64, 3, 29, 3] {
+            let batch = lazy.available_at(round);
+            let single: Vec<usize> = (0..7).filter(|&c| eager.is_up(c, round)).collect();
+            assert_eq!(batch, single, "round {round}");
+            assert_eq!(
+                eager.available_at(round),
+                single,
+                "fast path, round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_down_fallback_draws_from_full_population() {
+        let m = AvailabilityModel {
+            p_down: 1.0,
+            p_up: 0.0,
+        };
+        let mut rng = SeedStream::new(51);
+        let traces = AvailabilityTraces::sample(m, 6, 12, &mut rng);
+        let mut sampler = AvailabilitySampler::new(traces, 3, SeedStream::new(52));
+        for round in 1..12 {
+            let cohort = sampler.sample(6, round);
+            // Everyone is down from round 1 on, yet the sampler still
+            // returns a full-size cohort drawn from the whole population.
+            assert_eq!(cohort.len(), 3, "round {round}");
+            assert!(cohort.iter().all(|&c| c < 6));
+            assert!(cohort.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn sampler_replays_identical_cohorts_after_restore() {
+        let m = AvailabilityModel {
+            p_down: 0.3,
+            p_up: 0.5,
+        };
+        let traces = AvailabilityTraces::lazy(m, 9, &mut SeedStream::new(61));
+        let mut original = AvailabilitySampler::new(traces.clone(), 4, SeedStream::new(62));
+        let cohorts: Vec<_> = (0..10).map(|r| original.sample(9, r)).collect();
+        // A "restored" sampler rebuilt from the same seeds jumps straight
+        // to round 6 and must see exactly the cohorts the uninterrupted
+        // run saw — the round-keyed fork makes the draw history-free.
+        let fresh = AvailabilityTraces::lazy(m, 9, &mut SeedStream::new(61));
+        let mut restored = AvailabilitySampler::new(fresh, 4, SeedStream::new(62));
+        for r in 6..10 {
+            assert_eq!(restored.sample(9, r), cohorts[r as usize], "round {r}");
+        }
     }
 
     #[test]

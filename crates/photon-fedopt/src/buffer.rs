@@ -1,0 +1,366 @@
+//! Staleness-aware buffered semi-synchronous aggregation (FedBuff-style;
+//! Nguyen et al., and the staleness-tolerant merging FusionLLM argues
+//! geo-distributed training needs).
+//!
+//! Instead of the barrier-synchronous round of Algorithm 1 — every sampled
+//! client must report before anything merges — the aggregator accumulates
+//! updates in an [`UpdateBuffer`] and **commits** a merge only once a
+//! quorum of `m` updates is buffered. Updates that arrive after the round
+//! they trained against are *stale*; the commit down-weights them by
+//! [`staleness_factor`], a polynomial decay in the number of rounds the
+//! update sat on the wire.
+//!
+//! Determinism: commits drain the buffer in `(origin_round, client_id)`
+//! order and the staleness weights are pure functions of the entry's
+//! rounds, so buffered runs replay bit-identically and the buffer state
+//! can be checkpointed and restored exactly.
+//!
+//! With zero staleness (every buffered update originated this round) and a
+//! full quorum, the committed merge is **bitwise identical** to the
+//! synchronous weighted mean: `staleness_factor(0, d) == 1.0` exactly, so
+//! the [`crate::ClientUpdate`] weights handed to the aggregation rule are
+//! the same `f64`s the synchronous path would use.
+
+use crate::ClientUpdate;
+use serde::{Deserialize, Serialize};
+
+/// Knobs for buffered semi-synchronous aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BufferConfig {
+    /// Commit a merge once this many updates are buffered (FedBuff's `m`).
+    pub quorum: usize,
+    /// Staleness decay exponent `d`: an update `s` rounds stale is
+    /// down-weighted by `(1 + s)^-d`. `0` disables staleness weighting.
+    pub staleness_decay: f64,
+}
+
+impl Default for BufferConfig {
+    fn default() -> Self {
+        BufferConfig {
+            quorum: 2,
+            staleness_decay: 0.5,
+        }
+    }
+}
+
+impl BufferConfig {
+    /// Checks parameter ranges.
+    ///
+    /// # Errors
+    /// Returns a description of the out-of-range field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.quorum == 0 {
+            return Err("buffer quorum must be at least 1".into());
+        }
+        if !(self.staleness_decay.is_finite() && self.staleness_decay >= 0.0) {
+            return Err(format!(
+                "staleness decay {} must be finite and non-negative",
+                self.staleness_decay
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The staleness multiplier applied to an update `staleness` rounds old:
+/// `(1 + s)^-decay`. Exactly `1.0` at zero staleness, strictly positive,
+/// and monotone non-increasing in `s`.
+pub fn staleness_factor(staleness: u64, decay: f64) -> f64 {
+    (1.0 + staleness as f64).powf(-decay)
+}
+
+/// Normalized commit weights for a buffered merge: each base weight is
+/// scaled by its [`staleness_factor`] and the result normalized to sum to
+/// one. Returns an empty vector for empty input.
+///
+/// # Panics
+/// Panics if `base_weights` and `staleness` differ in length.
+pub fn staleness_weights(base_weights: &[f64], staleness: &[u64], decay: f64) -> Vec<f64> {
+    assert_eq!(
+        base_weights.len(),
+        staleness.len(),
+        "weight/staleness length mismatch"
+    );
+    let scaled: Vec<f64> = base_weights
+        .iter()
+        .zip(staleness)
+        .map(|(&w, &s)| w * staleness_factor(s, decay))
+        .collect();
+    let total: f64 = scaled.iter().sum();
+    if total <= 0.0 {
+        return scaled;
+    }
+    scaled.into_iter().map(|w| w / total).collect()
+}
+
+/// One update waiting in the buffer. `arrival_round` models transport
+/// delay: a straggler that finished its round late is scheduled to arrive
+/// in a future round instead of being dropped (the synchronous deadline
+/// path) — it commits with the staleness discount instead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BufferedUpdate {
+    /// Sender.
+    pub client_id: u32,
+    /// Round the update's local training started from.
+    pub origin_round: u64,
+    /// Round the update reaches the aggregator (>= origin_round).
+    pub arrival_round: u64,
+    /// The client's aggregation weight before staleness scaling.
+    pub base_weight: f64,
+    /// The client's reported mean local loss (steers the watchdog).
+    pub mean_loss: f32,
+    /// Flat pseudo-gradient.
+    pub delta: Vec<f32>,
+}
+
+impl BufferedUpdate {
+    /// Rounds this update will have waited when committed at `round`.
+    pub fn staleness_at(&self, round: u64) -> u64 {
+        round.saturating_sub(self.origin_round)
+    }
+}
+
+/// A committed merge batch, ready for guard screening and aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitBatch {
+    /// Sender ids, parallel to `updates` (duplicates possible: a client
+    /// may have several rounds' updates in one commit).
+    pub client_ids: Vec<u32>,
+    /// Origin rounds, parallel to `updates`.
+    pub origin_rounds: Vec<u64>,
+    /// Staleness-weighted updates in deterministic
+    /// `(origin_round, client_id)` order.
+    pub updates: Vec<ClientUpdate>,
+    /// Reported mean losses, parallel to `updates`.
+    pub losses: Vec<f32>,
+    /// How many committed updates were stale (origin before the commit
+    /// round).
+    pub stale: usize,
+}
+
+/// The aggregator-side update buffer for semi-synchronous rounds.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct UpdateBuffer {
+    entries: Vec<BufferedUpdate>,
+}
+
+impl UpdateBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        UpdateBuffer::default()
+    }
+
+    /// Enqueues an update (immediately pending if `arrival_round` is the
+    /// current round, deferred otherwise).
+    pub fn push(&mut self, update: BufferedUpdate) {
+        self.entries.push(update);
+    }
+
+    /// Updates that have arrived by `round` (deferred stragglers excluded).
+    pub fn pending(&self, round: u64) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.arrival_round <= round)
+            .count()
+    }
+
+    /// Updates still in flight after `round`.
+    pub fn deferred(&self, round: u64) -> usize {
+        self.entries.len() - self.pending(round)
+    }
+
+    /// Whether the pending set reaches the commit quorum at `round`.
+    pub fn quorum_reached(&self, round: u64, quorum: usize) -> bool {
+        self.pending(round) >= quorum
+    }
+
+    /// Drains every update that has arrived by `round` into a
+    /// deterministic [`CommitBatch`], scaling each base weight by its
+    /// [`staleness_factor`]. Returns `None` when nothing is pending.
+    ///
+    /// Weights are intentionally **unnormalized** (the aggregation rules
+    /// normalize internally): at zero staleness they are exactly the base
+    /// weights, which makes a full-quorum zero-staleness commit bitwise
+    /// identical to the synchronous merge.
+    pub fn commit(&mut self, round: u64, decay: f64) -> Option<CommitBatch> {
+        let mut batch: Vec<BufferedUpdate> = Vec::new();
+        self.entries.retain_mut(|e| {
+            if e.arrival_round <= round {
+                batch.push(std::mem::replace(
+                    e,
+                    BufferedUpdate {
+                        client_id: 0,
+                        origin_round: 0,
+                        arrival_round: 0,
+                        base_weight: 0.0,
+                        mean_loss: 0.0,
+                        delta: Vec::new(),
+                    },
+                ));
+                false
+            } else {
+                true
+            }
+        });
+        if batch.is_empty() {
+            return None;
+        }
+        batch.sort_by_key(|e| (e.origin_round, e.client_id));
+        let mut out = CommitBatch {
+            client_ids: Vec::with_capacity(batch.len()),
+            origin_rounds: Vec::with_capacity(batch.len()),
+            updates: Vec::with_capacity(batch.len()),
+            losses: Vec::with_capacity(batch.len()),
+            stale: 0,
+        };
+        for entry in batch {
+            let s = entry.staleness_at(round);
+            if s > 0 {
+                out.stale += 1;
+            }
+            let weight = entry.base_weight * staleness_factor(s, decay);
+            // base_weight was validated at arrival and the factor is in
+            // (0, 1], so the product stays positive and finite.
+            let update = ClientUpdate::new(entry.delta, weight)
+                .expect("staleness scaling preserves weight validity");
+            out.client_ids.push(entry.client_id);
+            out.origin_rounds.push(entry.origin_round);
+            out.updates.push(update);
+            out.losses.push(entry.mean_loss);
+        }
+        Some(out)
+    }
+
+    /// Total buffered updates (pending plus deferred).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer holds nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The raw entries, for checkpointing.
+    pub fn entries(&self) -> &[BufferedUpdate] {
+        &self.entries
+    }
+
+    /// Rebuilds a buffer from checkpointed entries.
+    pub fn from_entries(entries: Vec<BufferedUpdate>) -> Self {
+        UpdateBuffer { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate_deltas;
+
+    fn entry(client: u32, origin: u64, arrival: u64, delta: Vec<f32>) -> BufferedUpdate {
+        BufferedUpdate {
+            client_id: client,
+            origin_round: origin,
+            arrival_round: arrival,
+            base_weight: 1.0,
+            mean_loss: 2.0,
+            delta,
+        }
+    }
+
+    #[test]
+    fn factor_is_one_at_zero_staleness() {
+        for decay in [0.0, 0.5, 1.0, 3.0] {
+            assert_eq!(staleness_factor(0, decay), 1.0);
+        }
+        assert!(staleness_factor(3, 0.5) < 1.0);
+        assert_eq!(staleness_factor(3, 0.0), 1.0);
+    }
+
+    #[test]
+    fn weights_normalize_and_decay() {
+        let w = staleness_weights(&[1.0, 1.0, 1.0], &[0, 1, 4], 1.0);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w[0] > w[1] && w[1] > w[2]);
+        assert!(staleness_weights(&[], &[], 1.0).is_empty());
+    }
+
+    #[test]
+    fn quorum_counts_only_arrived_updates() {
+        let mut buf = UpdateBuffer::new();
+        buf.push(entry(0, 3, 3, vec![1.0]));
+        buf.push(entry(1, 3, 5, vec![2.0])); // straggler, lands at round 5
+        assert_eq!(buf.pending(3), 1);
+        assert_eq!(buf.deferred(3), 1);
+        assert!(!buf.quorum_reached(3, 2));
+        assert!(buf.quorum_reached(5, 2));
+    }
+
+    #[test]
+    fn commit_drains_in_deterministic_order_and_keeps_deferred() {
+        let mut buf = UpdateBuffer::new();
+        buf.push(entry(2, 4, 4, vec![2.0]));
+        buf.push(entry(0, 3, 4, vec![0.0])); // stale: one round old
+        buf.push(entry(1, 4, 4, vec![1.0]));
+        buf.push(entry(3, 4, 9, vec![3.0])); // still in flight
+        let batch = buf.commit(4, 0.5).unwrap();
+        assert_eq!(batch.client_ids, vec![0, 1, 2]);
+        assert_eq!(batch.origin_rounds, vec![3, 4, 4]);
+        assert_eq!(batch.stale, 1);
+        assert!(batch.updates[0].weight < batch.updates[1].weight);
+        assert_eq!(buf.len(), 1, "deferred straggler survives the commit");
+        assert!(buf.commit(4, 0.5).is_none(), "nothing pending after drain");
+    }
+
+    #[test]
+    fn zero_staleness_full_quorum_matches_synchronous_mean_bitwise() {
+        let deltas = [vec![1.0f32, -2.0, 0.5], vec![-0.25, 4.0, 1.5]];
+        let weights = [1.0f64, 3.0];
+        let sync: Vec<ClientUpdate> = deltas
+            .iter()
+            .zip(weights)
+            .map(|(d, w)| ClientUpdate::new(d.clone(), w).unwrap())
+            .collect();
+        let mut buf = UpdateBuffer::new();
+        for (i, (d, w)) in deltas.iter().zip(weights).enumerate() {
+            buf.push(BufferedUpdate {
+                client_id: i as u32,
+                origin_round: 7,
+                arrival_round: 7,
+                base_weight: w,
+                mean_loss: 1.0,
+                delta: d.clone(),
+            });
+        }
+        let batch = buf.commit(7, 0.9).unwrap();
+        assert_eq!(batch.stale, 0);
+        assert_eq!(
+            aggregate_deltas(&batch.updates),
+            aggregate_deltas(&sync),
+            "buffered zero-staleness commit must be bitwise synchronous"
+        );
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(BufferConfig::default().validate().is_ok());
+        assert!(BufferConfig {
+            quorum: 0,
+            staleness_decay: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(BufferConfig {
+            quorum: 2,
+            staleness_decay: -1.0
+        }
+        .validate()
+        .is_err());
+        assert!(BufferConfig {
+            quorum: 2,
+            staleness_decay: f64::NAN
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -28,6 +28,7 @@
 
 mod aggregate;
 mod availability;
+mod buffer;
 mod guard;
 mod robust;
 mod sampler;
@@ -36,8 +37,11 @@ mod ties;
 
 pub use aggregate::{aggregate_deltas, delta_from, AggregationKind, ClientUpdate};
 pub use availability::{AvailabilityModel, AvailabilitySampler, AvailabilityTraces};
+pub use buffer::{
+    staleness_factor, staleness_weights, BufferConfig, BufferedUpdate, CommitBatch, UpdateBuffer,
+};
 pub use guard::{GuardConfig, GuardDecision, GuardReport, UpdateGuard};
 pub use robust::{median_aggregate, norm_clipped_aggregate, trimmed_mean_aggregate};
-pub use sampler::{ClientSampler, FullParticipation, UniformSampler};
+pub use sampler::{sample_live, ClientSampler, FullParticipation, UniformSampler};
 pub use server::{DiLoCo, FedAdam, FedAvg, FedMom, ServerOpt, ServerOptKind, ServerOptState};
 pub use ties::{ties_aggregate, TiesConfig};

@@ -57,6 +57,27 @@ impl UniformSampler {
     }
 }
 
+/// Round-keyed uniform draw of up to `k` clients from an explicit *live
+/// member* list (elastic membership replaces the fixed `0..population`
+/// universe with whatever the registry says is alive this round). The
+/// draw forks `rng` per round, so it is a pure function of `(rng, round,
+/// live)` — restored runs and replays sample identical cohorts.
+///
+/// Returns the members sorted ascending; the full list when `k >= len`.
+pub fn sample_live(live: &[u32], k: usize, rng: &SeedStream, round: u64) -> Vec<u32> {
+    if live.len() <= k {
+        let mut all = live.to_vec();
+        all.sort_unstable();
+        return all;
+    }
+    let picked = rng
+        .fork(&format!("round-{round}"))
+        .sample_indices(live.len(), k);
+    let mut cohort: Vec<u32> = picked.into_iter().map(|i| live[i]).collect();
+    cohort.sort_unstable();
+    cohort
+}
+
 impl ClientSampler for UniformSampler {
     fn sample(&mut self, population: usize, round: u64) -> Vec<usize> {
         let k = self.k.min(population);
@@ -151,5 +172,22 @@ mod tests {
     #[should_panic(expected = "fraction must be in")]
     fn invalid_fraction_panics() {
         UniformSampler::from_fraction(0.0, 16, SeedStream::new(1));
+    }
+
+    #[test]
+    fn sample_live_draws_only_live_members() {
+        let live = vec![2u32, 5, 9, 11, 40];
+        let rng = SeedStream::new(8);
+        let cohort = sample_live(&live, 3, &rng, 4);
+        assert_eq!(cohort.len(), 3);
+        assert!(cohort.windows(2).all(|w| w[0] < w[1]));
+        assert!(cohort.iter().all(|c| live.contains(c)));
+        // Small populations are taken whole.
+        assert_eq!(sample_live(&live, 10, &rng, 4), vec![2, 5, 9, 11, 40]);
+        // Pure in the rng: the draw is round-keyed, not call-order keyed.
+        assert_eq!(cohort, sample_live(&live, 3, &rng, 4));
+        // Different rounds eventually differ.
+        let other: Vec<_> = (0..8).map(|r| sample_live(&live, 3, &rng, r)).collect();
+        assert!(other.windows(2).any(|w| w[0] != w[1]));
     }
 }

@@ -1,8 +1,9 @@
 //! Property-based tests for federated aggregation and server optimizers.
 
 use photon_fedopt::{
-    aggregate_deltas, delta_from, median_aggregate, trimmed_mean_aggregate, ClientSampler,
-    ClientUpdate, FullParticipation, ServerOptKind, UniformSampler,
+    aggregate_deltas, delta_from, median_aggregate, staleness_factor, staleness_weights,
+    trimmed_mean_aggregate, BufferedUpdate, ClientSampler, ClientUpdate, FullParticipation,
+    ServerOptKind, UniformSampler, UpdateBuffer,
 };
 use photon_tensor::SeedStream;
 use proptest::prelude::*;
@@ -214,5 +215,75 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Staleness weights over a committed buffer are non-negative, sum to
+    /// 1.0, and are monotone non-increasing in staleness when base weights
+    /// are equal.
+    #[test]
+    fn staleness_weights_are_a_valid_decaying_distribution(
+        n in 1usize..10,
+        decay in 0.0f64..4.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SeedStream::new(seed);
+        let base: Vec<f64> = (0..n).map(|_| rng.next_f64() + 0.1).collect();
+        let staleness: Vec<u64> = (0..n).map(|_| rng.next_below(20) as u64).collect();
+        let w = staleness_weights(&base, &staleness, decay);
+        prop_assert_eq!(w.len(), n);
+        prop_assert!(w.iter().all(|&x| x >= 0.0 && x.is_finite()));
+        prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // With equal base weights, more staleness never means more weight.
+        let equal = staleness_weights(&vec![1.0; n], &staleness, decay);
+        for i in 0..n {
+            for j in 0..n {
+                if staleness[i] <= staleness[j] {
+                    prop_assert!(
+                        equal[i] >= equal[j] - 1e-12,
+                        "staleness {} got weight {} < staleness {} weight {}",
+                        staleness[i], equal[i], staleness[j], equal[j]
+                    );
+                }
+            }
+        }
+        // The factor itself is monotone non-increasing and 1.0 at zero.
+        prop_assert_eq!(staleness_factor(0, decay), 1.0);
+        for s in 0..19u64 {
+            prop_assert!(staleness_factor(s + 1, decay) <= staleness_factor(s, decay));
+        }
+    }
+
+    /// A buffered commit with zero staleness and full quorum is bitwise
+    /// identical to the synchronous weighted mean of the same updates.
+    #[test]
+    fn zero_staleness_buffered_commit_is_bitwise_synchronous(
+        n in 1usize..8,
+        dim in 1usize..16,
+        round in 0u64..100,
+        decay in 0.0f64..4.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SeedStream::new(seed);
+        let mut buf = UpdateBuffer::new();
+        let mut sync = Vec::new();
+        for c in 0..n {
+            let delta: Vec<f32> = (0..dim).map(|_| rng.next_normal()).collect();
+            let weight = rng.next_f64() + 0.1;
+            sync.push(ClientUpdate::new(delta.clone(), weight).unwrap());
+            buf.push(BufferedUpdate {
+                client_id: c as u32,
+                origin_round: round,
+                arrival_round: round,
+                base_weight: weight,
+                mean_loss: 1.0,
+                delta,
+            });
+        }
+        let batch = buf.commit(round, decay).unwrap();
+        prop_assert_eq!(batch.stale, 0);
+        prop_assert_eq!(batch.updates.len(), n);
+        // Bitwise, not approximately: the staleness factor is exactly 1.0
+        // at zero staleness, so the very same f64 weights reach the rule.
+        prop_assert_eq!(aggregate_deltas(&batch.updates), aggregate_deltas(&sync));
     }
 }
