@@ -67,8 +67,18 @@ OPTIONS:
                                       (implies --membership)
     --staleness-decay X               down-weight an update s rounds stale
                                       by (1+s)^-X          [0.5]
-    --metrics-json PATH               write per-round history plus fault
-                                      and churn counters as JSON";
+    --metrics-json PATH               live metrics JSON (history, fault and
+                                      churn counters, committed rounds,
+                                      compute threads, participation skew),
+                                      rewritten atomically every round
+    --trace-jsonl PATH                structured trace events as JSON lines
+                                      (chrome://tracing compatible); replays
+                                      byte-identically for a fixed seed
+    --metrics-text PATH               Prometheus-style text snapshot,
+                                      rewritten atomically every round
+    --trace-kernels                   also emit per-kernel spans (GEMM,
+                                      attention, layernorm) as trace events;
+                                      kernels always feed the phase profile";
 
 /// `photon train` / `photon resume`.
 pub fn train(args: &Args, resume: bool) -> Result<(), String> {
@@ -87,6 +97,21 @@ pub fn train(args: &Args, resume: bool) -> Result<(), String> {
     let ckpt_dir = args.get("checkpoint-dir").map(PathBuf::from);
     let rounds: u64 = args.get_parsed("rounds", 12)?;
     let eval_every: u64 = args.get_parsed("eval-every", 1)?;
+
+    // Observability sinks: any of them turns the recorder on; otherwise
+    // the hot paths pay one relaxed atomic load and nothing else.
+    let trace_jsonl = args.get("trace-jsonl").map(PathBuf::from);
+    let metrics_text = args.get("metrics-text").map(PathBuf::from);
+    let tracing_on = trace_jsonl.is_some() || metrics_text.is_some();
+    if tracing_on {
+        photon_trace::init(photon_trace::TraceConfig {
+            jsonl: trace_jsonl.clone(),
+            prometheus: metrics_text.clone(),
+            kernel_events: args.flag("trace-kernels"),
+            clock: photon_trace::ClockMode::Sim,
+        })
+        .map_err(|e| format!("cannot initialize tracing: {e}"))?;
+    }
 
     let cfg = if resume {
         let dir = ckpt_dir
@@ -162,6 +187,7 @@ pub fn train(args: &Args, resume: bool) -> Result<(), String> {
         checkpoint_every: args.get_parsed("checkpoint-every", 5)?,
         recovery_budget: args.get_parsed("recovery-budget", 3)?,
         resume,
+        metrics_json: args.get("metrics-json").map(PathBuf::from),
     };
     let outcome = run_training(
         || {
@@ -251,19 +277,64 @@ pub fn train(args: &Args, resume: bool) -> Result<(), String> {
         );
     }
     if let Some(path) = args.get("metrics-json") {
-        let counters = serde_json::to_string_pretty(&faults)
-            .map_err(|e| format!("cannot serialize fault counters: {e}"))?;
-        let json = format!(
-            "{{\n\"fault_counters\": {counters},\n\"history\": {}\n}}\n",
-            outcome.history.to_json()
-        );
-        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
-        println!("metrics written to {path}");
+        // The recovery driver rewrites the file atomically after every
+        // round (and once more after the final round), so it is already
+        // current here.
+        println!("live metrics written to {path}");
+    }
+    if tracing_on {
+        // Final drain: everything the last round recorded lands in the
+        // sinks, and the merged summary feeds the phase-profile report.
+        match photon_trace::flush() {
+            Ok(summary) => print_phase_report(&summary, rounds),
+            Err(e) => eprintln!("warning: final trace flush failed: {e}"),
+        }
+        if let Some(path) = &trace_jsonl {
+            println!("trace written to {}", path.display());
+        }
+        if let Some(path) = &metrics_text {
+            println!("metrics snapshot written to {}", path.display());
+        }
     }
     if let Some(dir) = ckpt_dir {
         println!("checkpoint saved to {}", dir.display());
     }
     Ok(())
+}
+
+/// The end-of-run observability summary: per-phase wall-time shares with
+/// per-phase p50/p95 latencies, plus round-level latency and wire-byte
+/// distributions from the recorder's histograms.
+fn print_phase_report(summary: &photon_trace::FlushSummary, rounds: u64) {
+    if summary.profile.is_empty() {
+        return;
+    }
+    println!();
+    print!("{}", summary.profile.render_report());
+    if let Some(stat) = summary.profile.get(photon_trace::Phase::Round) {
+        let h = &stat.hist;
+        println!(
+            "round wall time: p50 {:.1} ms, p95 {:.1} ms over {} span(s)",
+            h.quantile(0.5) as f64 / 1e6,
+            h.quantile(0.95) as f64 / 1e6,
+            h.count()
+        );
+    }
+    if let Some(h) = summary.hists.get("round.wire_bytes") {
+        println!(
+            "bytes on wire per round: p50 {:.1} KB, p95 {:.1} KB, total {:.1} KB",
+            h.quantile(0.5) as f64 / 1024.0,
+            h.quantile(0.95) as f64 / 1024.0,
+            h.sum() as f64 / 1024.0
+        );
+    }
+    if summary.events_dropped > 0 {
+        eprintln!(
+            "warning: {} trace event(s) dropped to ring-buffer overflow \
+             ({} written over {rounds} round(s))",
+            summary.events_dropped, summary.events_written
+        );
+    }
 }
 
 fn config_from_args(args: &Args) -> Result<FederationConfig, String> {

@@ -112,6 +112,36 @@ pub fn deliver(
     seed: u64,
     policy: &RetransmitPolicy,
 ) -> (Result<Bytes, LinkExhausted>, DeliveryReport) {
+    let mut link_span = photon_trace::span(photon_trace::Phase::LinkDeliver);
+    let (result, report) = deliver_inner(frame, corrupt_first, seed, policy);
+    link_span.set_arg("attempts", report.attempts as u64);
+    link_span.set_arg("wire_bytes", report.wire_bytes);
+    link_span.set_sim_dur_us(report.backoff_ms.saturating_mul(1_000));
+    photon_trace::counter_add("link.deliveries", 1);
+    photon_trace::counter_add("link.wire_bytes", report.wire_bytes);
+    photon_trace::observe("link.frame_bytes", frame.len() as u64);
+    if report.attempts > 1 {
+        photon_trace::counter_add("link.retransmits", (report.attempts - 1) as u64);
+        for retry in 1..report.attempts {
+            photon_trace::instant(
+                photon_trace::Phase::LinkRetransmit,
+                "link_retransmit",
+                &[
+                    ("retry", retry as u64),
+                    ("backoff_ms", policy.backoff_ms(retry)),
+                ],
+            );
+        }
+    }
+    (result, report)
+}
+
+fn deliver_inner(
+    frame: &Bytes,
+    corrupt_first: u32,
+    seed: u64,
+    policy: &RetransmitPolicy,
+) -> (Result<Bytes, LinkExhausted>, DeliveryReport) {
     let mut report = DeliveryReport::default();
     let mut last_error = WireError::Truncated;
     for attempt in 0..=policy.max_retries {

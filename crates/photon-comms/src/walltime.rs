@@ -31,6 +31,13 @@ impl SimClock {
         round.saturating_mul(self.round_ms)
     }
 
+    /// Simulated microseconds at the *start* of `round` — the value
+    /// federation drivers publish to `photon_trace::set_sim_time_us` so
+    /// trace timestamps replay bit-identically.
+    pub fn now_us(&self, round: u64) -> u64 {
+        self.now_ms(round).saturating_mul(1_000)
+    }
+
     /// How many whole rounds a lease of `lease_ms` spans from its grant.
     pub fn rounds_per_lease(&self, lease_ms: u64) -> u64 {
         lease_ms / self.round_ms

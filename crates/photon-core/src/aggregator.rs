@@ -299,6 +299,18 @@ impl Aggregator {
         clients: &mut [LlmClient],
         injector: Option<&FaultInjector>,
     ) -> Result<RoundRecord> {
+        // Observability: freeze the simulated clock at the round start so
+        // every event this round emits carries the same replayable
+        // timestamp, then open the round's root span on the driver lane.
+        let round_ms = self.cfg.membership.map_or(1_000, |m| m.round_ms);
+        if photon_trace::enabled() {
+            photon_trace::set_sim_time_us(photon_comms::SimClock::new(round_ms).now_us(self.round));
+            photon_trace::set_actor(0);
+        }
+        let mut round_span =
+            photon_trace::span(photon_trace::Phase::Round).arg("round", self.round);
+        round_span.set_sim_dur_us(round_ms.saturating_mul(1_000));
+
         // Elastic membership: apply this round's churn (joins, leaves,
         // lease renewals and expiries) before sampling, then draw the
         // cohort from the live roster instead of the static population.
@@ -377,12 +389,19 @@ impl Aggregator {
         let cohort_ids: Vec<u32> = cohort_idx.iter().map(|&i| clients[i].id()).collect();
 
         // L.5–6: broadcast and train in parallel, over real Link frames.
-        let broadcast = photon_comms::Message::ModelBroadcast {
-            round: self.round,
-            params: self.params.clone(),
-        }
-        .to_frame(self.cfg.compress_link);
+        let broadcast = {
+            let mut bspan = photon_trace::span(photon_trace::Phase::Broadcast)
+                .arg("cohort", cohort_idx.len() as u64);
+            let frame = photon_comms::Message::ModelBroadcast {
+                round: self.round,
+                params: self.params.clone(),
+            }
+            .to_frame(self.cfg.compress_link);
+            bspan.set_arg("frame_bytes", frame.len() as u64);
+            frame
+        };
         let broadcast_bytes = broadcast.len() as u64 * cohort_idx.len() as u64;
+        photon_trace::counter_add("round.broadcast_bytes", broadcast_bytes);
 
         let (tx, rx) = unbounded::<ClientReply>();
         let round = self.round;
@@ -412,14 +431,18 @@ impl Aggregator {
         // completion order; sort by client id so float accumulation is
         // bit-reproducible across runs.
         let buffered_mode = self.buffer.is_some();
-        let round_ms = self.cfg.membership.map_or(1_000, |m| m.round_ms);
         let mut collected = Vec::with_capacity(cohort_idx.len());
         let mut result_bytes = 0u64;
         let mut crashes = 0usize;
         let mut stragglers = 0usize;
         let mut link_dropouts = 0usize;
         let mut retransmits = 0u64;
-        for reply in rx.iter() {
+        // Replies arrive in thread-completion order; process them in
+        // client-id order so the aggregator-side Link deliveries (and the
+        // trace events they emit) replay in a deterministic sequence.
+        let mut replies: Vec<ClientReply> = rx.iter().collect();
+        replies.sort_by_key(ClientReply::client_id);
+        for reply in replies {
             let (client_id, frame, delay_ms, corrupt_attempts) = match reply {
                 ClientReply::Crash { .. } => {
                     crashes += 1;
@@ -487,13 +510,21 @@ impl Aggregator {
         collected.sort_by_key(|(id, _, _, _, _)| *id);
         let received = collected.len();
 
+        let wire_bytes = broadcast_bytes + result_bytes + handshake_bytes;
+        round_span.set_arg("cohort", cohort_ids.len() as u64);
+        round_span.set_arg("wire_bytes", wire_bytes);
+        round_span.set_arg("received", received as u64);
+        photon_trace::counter_add("round.wire_bytes", wire_bytes);
+        photon_trace::observe("round.wire_bytes", wire_bytes);
+        photon_trace::counter_add("rounds.total", 1);
+
         if buffered_mode {
             let acct = RoundAccounting {
                 crashes,
                 stragglers,
                 link_dropouts,
                 retransmits,
-                wire_bytes: broadcast_bytes + result_bytes + handshake_bytes,
+                wire_bytes,
                 joined: churn.joined.len(),
                 departed: churn.departed.len(),
                 lease_expired: churn.expired.len(),
@@ -607,8 +638,15 @@ impl Aggregator {
                 }
             }
             // L.9: apply the server optimization policy.
-            self.server_opt
-                .apply(&mut self.params, &avg_delta, self.round);
+            {
+                let _opt_span = photon_trace::span(photon_trace::Phase::ServerOpt)
+                    .arg("round", self.round)
+                    .arg("updates", updates.len() as u64);
+                self.server_opt
+                    .apply(&mut self.params, &avg_delta, self.round);
+            }
+            // The round's update stood: it is *committed*, not just seen.
+            self.telemetry.record_committed_round(self.round);
             let blend = |ema: Option<f64>, v: f64| match ema {
                 Some(e) => WATCHDOG_EMA_BETA * e + (1.0 - WATCHDOG_EMA_BETA) * v,
                 None => v,
@@ -625,7 +663,7 @@ impl Aggregator {
             retransmits,
             mean_client_loss,
             pseudo_grad_norm,
-            wire_bytes: broadcast_bytes + result_bytes + handshake_bytes,
+            wire_bytes,
             eval_ppl: None,
             guard_rejected,
             guard_clipped,
@@ -761,8 +799,15 @@ impl Aggregator {
                         }
                     }
                 }
-                self.server_opt
-                    .apply(&mut self.params, &avg_delta, self.round);
+                {
+                    let _opt_span = photon_trace::span(photon_trace::Phase::ServerOpt)
+                        .arg("round", self.round)
+                        .arg("updates", updates.len() as u64);
+                    self.server_opt
+                        .apply(&mut self.params, &avg_delta, self.round);
+                }
+                // A buffered commit that stood counts as a committed round.
+                self.telemetry.record_committed_round(self.round);
                 let blend = |ema: Option<f64>, v: f64| match ema {
                     Some(e) => WATCHDOG_EMA_BETA * e + (1.0 - WATCHDOG_EMA_BETA) * v,
                     None => v,
@@ -863,13 +908,21 @@ enum ClientReply {
         corrupt_attempts: u32,
     },
     /// Mid-round disconnect: no result frame will come.
-    Crash {
-        #[allow(dead_code)]
-        client_id: u32,
-    },
+    Crash { client_id: u32 },
     /// The client could not run the round (e.g. the broadcast frame failed
     /// to decode); surfaced as [`CoreError::ClientFailure`].
     Error { client_id: u32, message: String },
+}
+
+impl ClientReply {
+    /// The sender, for deterministic (id-ordered) reply processing.
+    fn client_id(&self) -> u32 {
+        match self {
+            ClientReply::Frame { client_id, .. }
+            | ClientReply::Crash { client_id }
+            | ClientReply::Error { client_id, .. } => *client_id,
+        }
+    }
 }
 
 /// One client's side of a round: decode the broadcast, honour any
@@ -884,6 +937,9 @@ fn client_round(
     fault: Option<ClientFault>,
 ) -> ClientReply {
     let client_id = client.id();
+    // Each client gets its own trace lane (`tid` = 1 + id; 0 is the
+    // aggregator/driver), so per-client spans never interleave.
+    photon_trace::set_actor(1 + client_id);
     let params = match photon_comms::Message::from_frame(broadcast) {
         Ok(photon_comms::Message::ModelBroadcast { round: r, params }) => {
             debug_assert_eq!(r, round);
@@ -906,7 +962,17 @@ fn client_round(
         // Simulated mid-round disconnect: no result frame.
         return ClientReply::Crash { client_id };
     }
-    let mut outcome = client.run_round(&params, round, cohort_ids, cfg);
+    let mut outcome = {
+        let mut step_span = photon_trace::span(photon_trace::Phase::LocalStep)
+            .arg("client", client_id as u64)
+            .arg("round", round);
+        let outcome = client.run_round(&params, round, cohort_ids, cfg);
+        step_span.set_arg("tokens", outcome.metrics.tokens);
+        step_span.set_arg("steps", outcome.metrics.steps);
+        photon_trace::counter_add("client.steps", outcome.metrics.steps);
+        photon_trace::counter_add("client.tokens", outcome.metrics.tokens);
+        outcome
+    };
     // Byzantine faults poison the result AFTER honest local training, so
     // the client's own state stays on the deterministic trajectory and
     // only the reported delta is adversarial.

@@ -35,6 +35,10 @@ pub struct TrainingOptions {
     /// Start by restoring the latest checkpoint in `checkpoint_dir`, when
     /// one exists (resuming an interrupted run).
     pub resume: bool,
+    /// Write a live metrics snapshot (JSON) here after every round,
+    /// atomically (temp file + rename), so an operator tailing the file
+    /// never observes a torn write. `None` disables the sink.
+    pub metrics_json: Option<PathBuf>,
 }
 
 impl Default for TrainingOptions {
@@ -45,6 +49,7 @@ impl Default for TrainingOptions {
             checkpoint_every: 5,
             recovery_budget: 3,
             resume: false,
+            metrics_json: None,
         }
     }
 }
@@ -102,6 +107,10 @@ where
         if let Some(dir) = &opts.checkpoint_dir {
             if dir.join("manifest.json").exists() {
                 restore_from(&mut fed, dir)?;
+                // A fresh process cannot know which prefix rounds a prior
+                // incarnation neutralized (that is not checkpointed), so
+                // the whole restored prefix counts as committed.
+                mark_committed_prefix(&fed, &neutralized);
             }
         }
     }
@@ -115,6 +124,9 @@ where
                     // A fresh stream per eval keeps evaluation a pure
                     // function of the round, so replayed rounds reproduce
                     // their records exactly.
+                    let _eval_span = photon_trace::span(photon_trace::Phase::Eval)
+                        .arg("round", round)
+                        .arg("windows", opts.run.eval_windows as u64);
                     let mut stream = EvalStream::new(&val, seq);
                     let model = fed.aggregator.global_model();
                     let report = evaluate_perplexity(&model, &mut stream, opts.run.eval_windows);
@@ -133,6 +145,9 @@ where
                     opts.checkpoint_every > 0 && (round + 1).is_multiple_of(opts.checkpoint_every);
                 if let Some(dir) = &opts.checkpoint_dir {
                     if due || reached || round + 1 == opts.run.rounds {
+                        let _save_span = photon_trace::span(photon_trace::Phase::CheckpointSave)
+                            .arg("round", fed.aggregator.round());
+                        photon_trace::counter_add("checkpoint.saves", 1);
                         save_checkpoint_full(
                             dir,
                             fed.aggregator.config(),
@@ -165,6 +180,12 @@ where
                 }
                 rollbacks += 1;
                 neutralized.insert(round);
+                photon_trace::instant(
+                    photon_trace::Phase::Rollback,
+                    "watchdog_rollback",
+                    &[("round", round), ("rollback", rollbacks as u64)],
+                );
+                photon_trace::counter_add("watchdog.rollbacks", 1);
                 eprintln!(
                     "round {round} diverged ({reason}); rolling back to the \
                      last-good checkpoint and neutralizing the round \
@@ -185,6 +206,7 @@ where
                 fed = recover(&mut build, opts, &mut history, &neutralized)?;
             }
         }
+        publish_round_metrics(&fed, &history, recoveries, rollbacks, opts);
     }
     for _ in 0..recoveries {
         fed.aggregator.telemetry().record_recovery();
@@ -192,6 +214,9 @@ where
     for _ in 0..rollbacks {
         fed.aggregator.telemetry().record_rollback();
     }
+    // A `stop_below` early exit breaks out before the in-loop publish;
+    // refresh the sinks once more so they reflect the final state.
+    publish_round_metrics(&fed, &history, recoveries, rollbacks, opts);
     Ok(TrainingOutcome {
         history,
         recoveries,
@@ -224,11 +249,96 @@ where
     for &round in neutralized {
         fed.aggregator.neutralize_round(round);
     }
+    // Every round baked into the restored parameters committed (except
+    // the neutralized ones, whose updates were skipped); seed the fresh
+    // telemetry so `rounds_committed` stays comparable across recoveries.
+    mark_committed_prefix(&fed, neutralized);
     history.rounds.truncate(fed.aggregator.round() as usize);
     Ok(fed)
 }
 
+/// Marks the restored checkpoint prefix `0..round()` as committed on a
+/// freshly rebuilt federation's telemetry, skipping neutralized rounds.
+fn mark_committed_prefix(fed: &Federation, neutralized: &BTreeSet<u64>) {
+    for round in 0..fed.aggregator.round() {
+        if !neutralized.contains(&round) {
+            fed.aggregator.telemetry().record_committed_round(round);
+        }
+    }
+}
+
+/// Refreshes the observability sinks after a round: publishes run-level
+/// gauges, drains the trace recorder into its sinks, and atomically
+/// rewrites the live metrics JSON. Sink failures warn and never fail
+/// training.
+fn publish_round_metrics(
+    fed: &Federation,
+    history: &TrainingHistory,
+    recoveries: u32,
+    rollbacks: u32,
+    opts: &TrainingOptions,
+) {
+    let telemetry = fed.aggregator.telemetry();
+    if photon_trace::enabled() {
+        photon_trace::gauge_set("rounds_seen", telemetry.rounds_seen() as f64);
+        photon_trace::gauge_set("rounds_committed", telemetry.rounds_committed() as f64);
+        let skew = telemetry.participation_skew();
+        if skew.is_finite() {
+            photon_trace::gauge_set("participation_skew", skew);
+        }
+        if let Err(e) = photon_trace::flush() {
+            eprintln!("warning: trace flush failed: {e}");
+        }
+    }
+    if let Some(path) = &opts.metrics_json {
+        if let Err(e) = write_metrics_json(path, fed, history, recoveries, rollbacks) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        }
+    }
+}
+
+/// The live metrics snapshot: run counters (including the committed-round
+/// count, the compute-thread budget and the participation skew — `null`
+/// when no client has trained yet) plus the per-round history. Written
+/// atomically so a concurrent reader never observes a torn file.
+fn write_metrics_json(
+    path: &std::path::Path,
+    fed: &Federation,
+    history: &TrainingHistory,
+    recoveries: u32,
+    rollbacks: u32,
+) -> std::io::Result<()> {
+    let telemetry = fed.aggregator.telemetry();
+    let faults = serde_json::to_string_pretty(&telemetry.fault_counters())
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let skew = telemetry.participation_skew();
+    let skew_json = if skew.is_finite() {
+        format!("{skew}")
+    } else {
+        "null".to_string()
+    };
+    let json = format!(
+        "{{\n\"round\": {},\n\"rounds_seen\": {},\n\"rounds_committed\": {},\n\
+         \"compute_threads\": {},\n\"participation_skew\": {},\n\
+         \"total_tokens\": {},\n\"recoveries\": {},\n\"rollbacks\": {},\n\
+         \"fault_counters\": {},\n\"history\": {}\n}}\n",
+        fed.aggregator.round(),
+        telemetry.rounds_seen(),
+        telemetry.rounds_committed(),
+        telemetry.compute_threads(),
+        skew_json,
+        telemetry.total_tokens(),
+        recoveries,
+        rollbacks,
+        faults,
+        history.to_json()
+    );
+    photon_trace::atomic_write(path, &json)
+}
+
 fn restore_from(fed: &mut Federation, dir: &std::path::Path) -> Result<()> {
+    let _restore_span = photon_trace::span(photon_trace::Phase::CheckpointRestore);
+    photon_trace::counter_add("checkpoint.restores", 1);
     let (manifest, params) = load_checkpoint(dir)?;
     let opt = load_server_opt_state(dir)?;
     fed.aggregator

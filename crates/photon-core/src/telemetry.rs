@@ -4,11 +4,19 @@
 //! thread-safe hub; operators (and the experiment harnesses) read
 //! aggregated summaries — per-client token counts, participation, loss
 //! trajectories — without touching the training loop.
+//!
+//! Since the observability pass, the hub's fault/guard/churn tallies are
+//! backed by a [`photon_trace::CounterSet`]: every `record_*` call bumps a
+//! named counter in the instance-local set **and** mirrors the same
+//! increment into the global trace recorder (a no-op when tracing is
+//! disabled), so the Prometheus snapshot and the CLI summary read from one
+//! source of truth. [`FaultCounters`] remains the stable serialized view,
+//! assembled from counter names on demand.
 
 use parking_lot::RwLock;
 use photon_comms::TrainMetrics;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Per-client aggregate statistics.
@@ -81,6 +89,52 @@ pub struct FaultCounters {
     pub stale_commits: u64,
 }
 
+/// Counter-name keys backing [`FaultCounters`] — the same names appear in
+/// the Prometheus snapshot (as `name` label values) and in trace flushes.
+mod key {
+    pub const CRASHES: &str = "faults.crashes";
+    pub const STRAGGLERS: &str = "faults.stragglers";
+    pub const RETRANSMITS: &str = "faults.retransmits";
+    pub const LINK_DROPOUTS: &str = "faults.link_dropouts";
+    pub const RECOVERIES: &str = "faults.recoveries";
+    pub const REJECTED_NONFINITE: &str = "guard.rejected_nonfinite";
+    pub const REJECTED_OUTLIERS: &str = "guard.rejected_outliers";
+    pub const NORM_CLIPPED: &str = "guard.norm_clipped";
+    pub const QUARANTINE_SKIPS: &str = "guard.quarantine_skips";
+    pub const ROLLBACKS: &str = "faults.rollbacks";
+    pub const JOINS: &str = "churn.joins";
+    pub const LEAVES: &str = "churn.leaves";
+    pub const LEASE_EXPIRIES: &str = "churn.lease_expiries";
+    pub const REJOINS: &str = "churn.rejoins";
+    pub const BUFFERED_COMMITS: &str = "buffer.commits";
+    pub const STALE_COMMITS: &str = "buffer.stale_commits";
+    pub const ROUNDS_COMMITTED: &str = "rounds.committed";
+}
+
+impl FaultCounters {
+    /// Assembles the serialized view from a named counter set.
+    fn from_counters(c: &photon_trace::CounterSet) -> Self {
+        FaultCounters {
+            crashes: c.get(key::CRASHES),
+            stragglers: c.get(key::STRAGGLERS),
+            retransmits: c.get(key::RETRANSMITS),
+            link_dropouts: c.get(key::LINK_DROPOUTS),
+            recoveries: c.get(key::RECOVERIES),
+            rejected_nonfinite: c.get(key::REJECTED_NONFINITE),
+            rejected_outliers: c.get(key::REJECTED_OUTLIERS),
+            norm_clipped: c.get(key::NORM_CLIPPED),
+            quarantine_skips: c.get(key::QUARANTINE_SKIPS),
+            rollbacks: c.get(key::ROLLBACKS),
+            joins: c.get(key::JOINS),
+            leaves: c.get(key::LEAVES),
+            lease_expiries: c.get(key::LEASE_EXPIRIES),
+            rejoins: c.get(key::REJOINS),
+            buffered_commits: c.get(key::BUFFERED_COMMITS),
+            stale_commits: c.get(key::STALE_COMMITS),
+        }
+    }
+}
+
 /// A cheaply clonable, thread-safe telemetry hub shared between the
 /// aggregator and observers.
 #[derive(Debug, Clone, Default)]
@@ -92,8 +146,24 @@ pub struct Telemetry {
 struct Inner {
     clients: BTreeMap<u32, ClientAccum>,
     rounds_seen: u64,
+    /// Distinct round indices whose aggregated update was actually
+    /// applied. A set (not a counter) so a post-rollback replay of the
+    /// same round is not double-counted within one federation instance.
+    committed: BTreeSet<u64>,
     compute_threads: usize,
-    faults: FaultCounters,
+    counters: photon_trace::CounterSet,
+}
+
+impl Inner {
+    /// Bumps a named counter locally and mirrors the increment into the
+    /// global trace recorder (no-op when tracing is disabled).
+    fn bump(&mut self, name: &'static str, by: u64) {
+        if by == 0 {
+            return;
+        }
+        self.counters.add(name, by);
+        photon_trace::counter_add(name, by);
+    }
 }
 
 #[derive(Debug, Default)]
@@ -140,6 +210,7 @@ impl Telemetry {
     /// by drivers so operators can correlate throughput with parallelism.
     pub fn record_compute_threads(&self, threads: usize) {
         self.inner.write().compute_threads = threads;
+        photon_trace::gauge_set("compute_threads", threads as f64);
     }
 
     /// The recorded compute-thread budget (0 if never recorded).
@@ -157,15 +228,15 @@ impl Telemetry {
         link_dropouts: u64,
     ) {
         let mut inner = self.inner.write();
-        inner.faults.crashes += crashes;
-        inner.faults.stragglers += stragglers;
-        inner.faults.retransmits += retransmits;
-        inner.faults.link_dropouts += link_dropouts;
+        inner.bump(key::CRASHES, crashes);
+        inner.bump(key::STRAGGLERS, stragglers);
+        inner.bump(key::RETRANSMITS, retransmits);
+        inner.bump(key::LINK_DROPOUTS, link_dropouts);
     }
 
     /// Records one checkpoint restore by the recovery driver.
     pub fn record_recovery(&self) {
-        self.inner.write().faults.recoveries += 1;
+        self.inner.write().bump(key::RECOVERIES, 1);
     }
 
     /// Accumulates one round's guard decisions (non-finite rejections,
@@ -178,44 +249,75 @@ impl Telemetry {
         quarantine_skips: u64,
     ) {
         let mut inner = self.inner.write();
-        inner.faults.rejected_nonfinite += rejected_nonfinite;
-        inner.faults.rejected_outliers += rejected_outliers;
-        inner.faults.norm_clipped += norm_clipped;
-        inner.faults.quarantine_skips += quarantine_skips;
+        inner.bump(key::REJECTED_NONFINITE, rejected_nonfinite);
+        inner.bump(key::REJECTED_OUTLIERS, rejected_outliers);
+        inner.bump(key::NORM_CLIPPED, norm_clipped);
+        inner.bump(key::QUARANTINE_SKIPS, quarantine_skips);
     }
 
     /// Records one watchdog-triggered rollback to the last-good
     /// checkpoint.
     pub fn record_rollback(&self) {
-        self.inner.write().faults.rollbacks += 1;
+        self.inner.write().bump(key::ROLLBACKS, 1);
     }
 
     /// Accumulates one round's membership churn (joins, permanent leaves,
     /// lease expiries, warm rejoins).
     pub fn record_churn(&self, joins: u64, leaves: u64, lease_expiries: u64, rejoins: u64) {
         let mut inner = self.inner.write();
-        inner.faults.joins += joins;
-        inner.faults.leaves += leaves;
-        inner.faults.lease_expiries += lease_expiries;
-        inner.faults.rejoins += rejoins;
+        inner.bump(key::JOINS, joins);
+        inner.bump(key::LEAVES, leaves);
+        inner.bump(key::LEASE_EXPIRIES, lease_expiries);
+        inner.bump(key::REJOINS, rejoins);
     }
 
     /// Records one buffered-aggregation commit, of which `stale` committed
     /// updates carried a staleness discount.
     pub fn record_commit(&self, stale: u64) {
         let mut inner = self.inner.write();
-        inner.faults.buffered_commits += 1;
-        inner.faults.stale_commits += stale;
+        inner.bump(key::BUFFERED_COMMITS, 1);
+        inner.bump(key::STALE_COMMITS, stale);
+    }
+
+    /// Marks `round` as *committed*: it completed and its aggregated
+    /// update was applied (not neutralized by a watchdog rollback).
+    /// Idempotent per round, so a replay after recovery counts once.
+    ///
+    /// Deliberately NOT mirrored into the global trace recorder: recovery
+    /// re-seeds the committed prefix on every rebuilt federation, which
+    /// would inflate a cumulative counter; the recovery driver publishes
+    /// the commit count as a gauge instead.
+    pub fn record_committed_round(&self, round: u64) {
+        let mut inner = self.inner.write();
+        if inner.committed.insert(round) {
+            inner.counters.add(key::ROUNDS_COMMITTED, 1);
+        }
     }
 
     /// The run's accumulated fault counters.
     pub fn fault_counters(&self) -> FaultCounters {
-        self.inner.read().faults
+        FaultCounters::from_counters(&self.inner.read().counters)
     }
 
-    /// Number of rounds observed so far.
+    /// A snapshot of the named counter set backing [`FaultCounters`]
+    /// (deterministically ordered; used by the metrics sinks).
+    pub fn counters(&self) -> photon_trace::CounterSet {
+        self.inner.read().counters.clone()
+    }
+
+    /// Number of rounds observed so far (including rounds later
+    /// neutralized by a watchdog rollback — see [`rounds_committed`]).
+    ///
+    /// [`rounds_committed`]: Telemetry::rounds_committed
     pub fn rounds_seen(&self) -> u64 {
         self.inner.read().rounds_seen
+    }
+
+    /// Number of distinct rounds whose update was actually applied.
+    /// Always `<= rounds_seen()`: a round the watchdog neutralized is
+    /// *seen* (its clients trained) but never *committed*.
+    pub fn rounds_committed(&self) -> u64 {
+        self.inner.read().committed.len() as u64
     }
 
     /// Total tokens consumed across the federation.
@@ -364,6 +466,38 @@ mod tests {
         assert_eq!(f.rejoins, 1);
         assert_eq!(f.buffered_commits, 2);
         assert_eq!(f.stale_commits, 3);
+    }
+
+    #[test]
+    fn counters_snapshot_uses_stable_names() {
+        let t = Telemetry::new();
+        t.record_round_faults(2, 0, 1, 0);
+        t.record_commit(1);
+        let c = t.counters();
+        assert_eq!(c.get("faults.crashes"), 2);
+        assert_eq!(c.get("faults.retransmits"), 1);
+        assert_eq!(c.get("buffer.commits"), 1);
+        assert_eq!(c.get("buffer.stale_commits"), 1);
+        assert_eq!(c.get("faults.stragglers"), 0);
+    }
+
+    #[test]
+    fn committed_rounds_lag_seen_rounds_after_neutralization() {
+        let t = Telemetry::new();
+        // Rounds 0..5 are observed; round 3 diverges and is neutralized on
+        // replay, so it is seen but never committed.
+        for r in 0..5u64 {
+            t.record(0, r, &metrics(1.0, 8));
+            if r != 3 {
+                t.record_committed_round(r);
+            }
+        }
+        assert_eq!(t.rounds_seen(), 5);
+        assert_eq!(t.rounds_committed(), 4);
+        // A replay of an already-committed round (recovery re-running the
+        // post-checkpoint suffix) must not double-count.
+        t.record_committed_round(4);
+        assert_eq!(t.rounds_committed(), 4);
     }
 
     #[test]

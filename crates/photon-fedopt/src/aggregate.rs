@@ -109,11 +109,30 @@ impl AggregationKind {
         Ok(())
     }
 
+    /// The rule's stable short name (used as the robust-merge span name in
+    /// traces).
+    pub fn rule_name(&self) -> &'static str {
+        match *self {
+            AggregationKind::Mean => "mean",
+            AggregationKind::Ties { .. } => "ties",
+            AggregationKind::TrimmedMean { .. } => "trimmed_mean",
+            AggregationKind::Median => "median",
+            AggregationKind::NormClipped { .. } => "norm_clipped",
+        }
+    }
+
     /// Applies the rule to a cohort's updates.
     ///
     /// # Panics
     /// Panics if `updates` is empty or delta lengths differ.
     pub fn aggregate(&self, updates: &[ClientUpdate]) -> Vec<f32> {
+        let _merge_span = photon_trace::span(photon_trace::Phase::RobustMerge)
+            .named(self.rule_name())
+            .arg("updates", updates.len() as u64)
+            .arg(
+                "params",
+                updates.first().map_or(0, |u| u.delta.len()) as u64,
+            );
         match *self {
             AggregationKind::Mean => aggregate_deltas(updates),
             AggregationKind::Ties { density } => {

@@ -205,6 +205,9 @@ impl UpdateBuffer {
         if batch.is_empty() {
             return None;
         }
+        let mut commit_span = photon_trace::span(photon_trace::Phase::BufferCommit)
+            .arg("round", round)
+            .arg("updates", batch.len() as u64);
         batch.sort_by_key(|e| (e.origin_round, e.client_id));
         let mut out = CommitBatch {
             client_ids: Vec::with_capacity(batch.len()),
@@ -228,6 +231,8 @@ impl UpdateBuffer {
             out.updates.push(update);
             out.losses.push(entry.mean_loss);
         }
+        commit_span.set_arg("stale", out.stale as u64);
+        photon_trace::counter_add("buffer.committed_updates", out.updates.len() as u64);
         Some(out)
     }
 

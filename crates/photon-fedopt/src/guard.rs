@@ -217,6 +217,9 @@ impl UpdateGuard {
         updates: &mut [ClientUpdate],
     ) -> GuardReport {
         assert_eq!(ids.len(), updates.len(), "ids/updates length mismatch");
+        let mut screen_span = photon_trace::span(photon_trace::Phase::GuardScreen)
+            .arg("round", round)
+            .arg("cohort", updates.len() as u64);
         let n = updates.len();
         let mut report = GuardReport {
             decisions: vec![GuardDecision::Admit; n],
@@ -329,6 +332,11 @@ impl UpdateGuard {
                 self.norm_history.push_back(norm);
             }
         }
+        screen_span.set_arg(
+            "rejected",
+            report.rejected_nonfinite + report.rejected_outliers + report.quarantine_skips,
+        );
+        screen_span.set_arg("clipped", report.clipped);
         report
     }
 

@@ -122,6 +122,9 @@ pub fn layernorm_forward(
     bt: usize,
     c: usize,
 ) {
+    let _kernel = photon_trace::span(photon_trace::Phase::KernelLayerNorm)
+        .arg("bt", bt as u64)
+        .arg("c", c as u64);
     let ranges = row_chunks(bt, grain_for(c, 2048));
     let out_chunks = pool::split_rows(&mut out[..bt * c], c, &ranges);
     let mean_chunks = pool::split_rows(&mut mean[..bt], 1, &ranges);
@@ -199,6 +202,9 @@ pub fn layernorm_backward(
     bt: usize,
     c: usize,
 ) {
+    let _kernel = photon_trace::span(photon_trace::Phase::KernelLayerNorm)
+        .arg("bt", bt as u64)
+        .arg("c", c as u64);
     let ranges = row_chunks(bt, grain_for(c, 2048));
     if ranges.len() <= 1 {
         layernorm_backward_rows(dinp, dweight, dbias, dout, inp, weight, mean, rstd, bt, c);
@@ -361,6 +367,10 @@ pub fn attention_forward(
     nh: usize,
     alibi: bool,
 ) {
+    let _kernel = photon_trace::span(photon_trace::Phase::KernelAttention)
+        .arg("b", b as u64)
+        .arg("t", t as u64)
+        .arg("nh", nh as u64);
     let hs = c / nh;
     let scale = 1.0 / (hs as f32).sqrt();
     let c3 = 3 * c;
@@ -478,6 +488,10 @@ pub fn attention_backward(
     c: usize,
     nh: usize,
 ) {
+    let _kernel = photon_trace::span(photon_trace::Phase::KernelAttention)
+        .arg("b", b as u64)
+        .arg("t", t as u64)
+        .arg("nh", nh as u64);
     let hs = c / nh;
     let scale = 1.0 / (hs as f32).sqrt();
     let c3 = 3 * c;

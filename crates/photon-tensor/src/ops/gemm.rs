@@ -370,6 +370,14 @@ fn par_gemm_split_k(spec: Gemm, a: &[f32], b: &[f32], c: &mut [f32], threads: us
 /// [`pool::with_parallelism`] regions and on pool workers. This is the entry
 /// point the `photon-nn` training kernels call.
 pub fn gemm_auto(spec: Gemm, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let _kernel = photon_trace::span(photon_trace::Phase::KernelGemm)
+        .arg("m", spec.m as u64)
+        .arg("k", spec.k as u64)
+        .arg("n", spec.n as u64);
+    photon_trace::counter_add(
+        "kernel.gemm_flops",
+        2 * (spec.m as u64) * (spec.k as u64) * (spec.n as u64),
+    );
     par_gemm(spec, a, b, c, pool::effective_parallelism());
 }
 

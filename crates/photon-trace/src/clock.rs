@@ -1,0 +1,72 @@
+//! The trace clock: simulated walltime (deterministic replay) or a real
+//! monotonic clock.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Which clock stamps trace events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClockMode {
+    /// Timestamps are the simulated federation walltime last published
+    /// through [`set_sim_time_us`] — a pure function of the round index,
+    /// so traces replay bit-identically. This is the default for every
+    /// simulation driver.
+    #[default]
+    Sim,
+    /// Timestamps are real microseconds since tracing was enabled.
+    Monotonic,
+}
+
+static SIM_MODE: AtomicBool = AtomicBool::new(true);
+static SIM_NOW_US: AtomicU64 = AtomicU64::new(0);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+pub(crate) fn set_mode(mode: ClockMode) {
+    SIM_MODE.store(mode == ClockMode::Sim, Ordering::SeqCst);
+    if mode == ClockMode::Monotonic {
+        // Re-anchor the epoch lazily on first read after enabling.
+        let _ = EPOCH.get_or_init(Instant::now);
+    }
+}
+
+pub(crate) fn is_sim() -> bool {
+    SIM_MODE.load(Ordering::Relaxed)
+}
+
+/// Publishes the current simulated walltime in microseconds. Federation
+/// drivers call this at every round boundary with
+/// `SimClock::now_ms(round) * 1000`; all events recorded until the next
+/// update are stamped with this value.
+pub fn set_sim_time_us(us: u64) {
+    SIM_NOW_US.store(us, Ordering::SeqCst);
+}
+
+/// The most recently published simulated walltime in microseconds.
+pub fn sim_time_us() -> u64 {
+    SIM_NOW_US.load(Ordering::Relaxed)
+}
+
+/// The timestamp for an event recorded right now, per the active mode.
+pub(crate) fn now_us() -> u64 {
+    if is_sim() {
+        sim_time_us()
+    } else {
+        EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_time_is_what_was_published() {
+        let _guard = crate::recorder::TEST_GUARD.lock();
+        set_mode(ClockMode::Sim);
+        set_sim_time_us(42_000);
+        assert_eq!(sim_time_us(), 42_000);
+        assert_eq!(now_us(), 42_000);
+        set_sim_time_us(0);
+    }
+}

@@ -1,0 +1,625 @@
+//! The global recorder: per-thread shards, a background drainer thread,
+//! and deterministic flush into the sinks.
+//!
+//! ## Hot path
+//!
+//! Every public entry point starts with one `Relaxed` load of a global
+//! `AtomicBool`. When tracing is disabled that is the entire cost — no
+//! clock read, no allocation, no lock. When enabled, a thread records
+//! into its own shard behind a mutex nothing else contends on (the
+//! drainer touches each shard for microseconds every ~25ms).
+//!
+//! ## Determinism
+//!
+//! Shards are drained in registry order into one collector, but the
+//! collector sorts pending events by their full field set (timestamp,
+//! actor lane, per-shard sequence, content) before writing, and counter/
+//! histogram/profile merging is commutative — so the flushed output is
+//! independent of thread scheduling and drain timing. With the Sim clock
+//! this makes trace files byte-identical across same-seed runs.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::io;
+use std::mem;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::clock::{self, ClockMode};
+use crate::counters::CounterSet;
+use crate::event::{Event, EventKind, Phase, MAX_ARGS};
+use crate::hist::LogHistogram;
+use crate::profile::PhaseProfile;
+use crate::sink::{atomic_write, render_prometheus, JsonlSink};
+
+/// Per-shard event ring capacity. Beyond this, events are counted as
+/// dropped rather than grown without bound; profile/counter accounting
+/// is never dropped.
+const SHARD_EVENT_CAP: usize = 1 << 18;
+
+/// How often the background drainer migrates shard data.
+const DRAIN_INTERVAL: Duration = Duration::from_millis(25);
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static KERNEL_EVENTS: AtomicBool = AtomicBool::new(false);
+static DRAINER_STARTED: AtomicBool = AtomicBool::new(false);
+
+struct ShardData {
+    events: Vec<Event>,
+    seq: u64,
+    profile: PhaseProfile,
+    counters: CounterSet,
+    hists: BTreeMap<&'static str, LogHistogram>,
+    dropped: u64,
+}
+
+struct Shard {
+    data: Mutex<ShardData>,
+}
+
+static REGISTRY: Mutex<Vec<Arc<Shard>>> = Mutex::new(Vec::new());
+
+struct Collector {
+    pending: Vec<Event>,
+    profile: PhaseProfile,
+    counters: CounterSet,
+    gauges: BTreeMap<&'static str, f64>,
+    hists: BTreeMap<&'static str, LogHistogram>,
+    written: u64,
+    dropped: u64,
+    jsonl: Option<JsonlSink>,
+    prometheus: Option<PathBuf>,
+}
+
+static COLLECTOR: Mutex<Option<Collector>> = Mutex::new(None);
+
+thread_local! {
+    static SHARD: RefCell<Option<Arc<Shard>>> = const { RefCell::new(None) };
+    static ACTOR: Cell<u32> = const { Cell::new(0) };
+    static CHILD_NS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Recorder configuration passed to [`init`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceConfig {
+    /// JSONL trace file path (`--trace-jsonl`); `None` disables the
+    /// trace sink (events are still collected for [`flush_to_string`]).
+    pub jsonl: Option<PathBuf>,
+    /// Prometheus text snapshot path (`--metrics-text`), rewritten
+    /// atomically on every [`flush`].
+    pub prometheus: Option<PathBuf>,
+    /// Emit per-kernel spans (GEMM/attention/layernorm) as JSONL events
+    /// too. They always feed the profiler; as events they dominate trace
+    /// volume, so this is opt-in (`--trace-kernels`).
+    pub kernel_events: bool,
+    /// Which clock stamps events. Defaults to [`ClockMode::Sim`].
+    pub clock: ClockMode,
+}
+
+/// Everything the recorder knows at a flush boundary.
+#[derive(Debug, Clone, Default)]
+pub struct FlushSummary {
+    /// Cumulative JSONL events written (or rendered) so far.
+    pub events_written: u64,
+    /// Cumulative events dropped to shard ring-buffer overflow.
+    pub events_dropped: u64,
+    /// Merged per-phase wall-time profile.
+    pub profile: PhaseProfile,
+    /// Merged named counters.
+    pub counters: CounterSet,
+    /// Last-set named gauges.
+    pub gauges: BTreeMap<&'static str, f64>,
+    /// Merged named histograms.
+    pub hists: BTreeMap<&'static str, LogHistogram>,
+}
+
+/// True when tracing is enabled (one relaxed atomic load).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enables tracing with the given sinks and clock. Idempotent per
+/// process in normal use; calling again replaces the sink configuration
+/// and keeps already-collected data.
+pub fn init(config: TraceConfig) -> io::Result<()> {
+    let jsonl = match &config.jsonl {
+        Some(path) => Some(JsonlSink::create(path)?),
+        None => None,
+    };
+    {
+        let mut guard = COLLECTOR.lock();
+        let collector = guard.get_or_insert_with(Collector::empty);
+        collector.jsonl = jsonl;
+        collector.prometheus = config.prometheus.clone();
+    }
+    clock::set_mode(config.clock);
+    KERNEL_EVENTS.store(config.kernel_events, Ordering::SeqCst);
+    ENABLED.store(true, Ordering::SeqCst);
+    if !DRAINER_STARTED.swap(true, Ordering::SeqCst) {
+        std::thread::Builder::new()
+            .name("photon-trace-drain".into())
+            .spawn(|| loop {
+                std::thread::sleep(DRAIN_INTERVAL);
+                if enabled() {
+                    drain_shards();
+                }
+            })
+            .map(|_| ())
+            .unwrap_or(());
+    }
+    Ok(())
+}
+
+/// Sets this thread's logical actor lane: 0 is the aggregator/driver,
+/// `1 + c` is client `c`. Events and spans recorded by the thread carry
+/// this lane as their `tid`.
+pub fn set_actor(actor: u32) {
+    ACTOR.with(|a| a.set(actor));
+}
+
+impl Collector {
+    fn empty() -> Self {
+        Self {
+            pending: Vec::new(),
+            profile: PhaseProfile::new(),
+            counters: CounterSet::new(),
+            gauges: BTreeMap::new(),
+            hists: BTreeMap::new(),
+            written: 0,
+            dropped: 0,
+            jsonl: None,
+            prometheus: None,
+        }
+    }
+
+    fn summary(&self) -> FlushSummary {
+        FlushSummary {
+            events_written: self.written,
+            events_dropped: self.dropped,
+            profile: self.profile.clone(),
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            hists: self.hists.clone(),
+        }
+    }
+}
+
+fn with_shard<R>(f: impl FnOnce(&mut ShardData) -> R) -> R {
+    SHARD.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if slot.is_none() {
+            let shard = Arc::new(Shard {
+                data: Mutex::new(ShardData {
+                    events: Vec::new(),
+                    seq: 0,
+                    profile: PhaseProfile::new(),
+                    counters: CounterSet::new(),
+                    hists: BTreeMap::new(),
+                    dropped: 0,
+                }),
+            });
+            REGISTRY.lock().push(Arc::clone(&shard));
+            *slot = Some(shard);
+        }
+        let shard = slot.as_ref().map(Arc::clone);
+        drop(slot);
+        let shard = shard.unwrap_or_else(|| unreachable!("shard installed above"));
+        let mut data = shard.data.lock();
+        f(&mut data)
+    })
+}
+
+/// Migrates every shard's data into the collector. Dead threads' shards
+/// (only referenced by the registry, fully drained) are pruned.
+fn drain_shards() {
+    let shards: Vec<Arc<Shard>> = REGISTRY.lock().iter().map(Arc::clone).collect();
+    let mut events: Vec<Event> = Vec::new();
+    let mut profile = PhaseProfile::new();
+    let mut counters = CounterSet::new();
+    let mut hists: BTreeMap<&'static str, LogHistogram> = BTreeMap::new();
+    let mut dropped = 0u64;
+    for shard in &shards {
+        let mut data = shard.data.lock();
+        events.append(&mut data.events);
+        profile.merge(&data.profile);
+        data.profile = PhaseProfile::new();
+        counters.merge(&data.counters);
+        data.counters.clear();
+        for (name, hist) in mem::take(&mut data.hists) {
+            hists.entry(name).or_default().merge(&hist);
+        }
+        dropped += mem::take(&mut data.dropped);
+    }
+    {
+        let mut guard = COLLECTOR.lock();
+        let collector = guard.get_or_insert_with(Collector::empty);
+        collector.pending.append(&mut events);
+        collector.profile.merge(&profile);
+        collector.counters.merge(&counters);
+        for (name, hist) in hists {
+            collector.hists.entry(name).or_default().merge(&hist);
+        }
+        collector.dropped += dropped;
+    }
+    REGISTRY
+        .lock()
+        .retain(|shard| Arc::strong_count(shard) > 1 || !shard_is_empty(shard));
+}
+
+fn shard_is_empty(shard: &Shard) -> bool {
+    let data = shard.data.lock();
+    data.events.is_empty()
+        && data.counters.is_empty()
+        && data.hists.is_empty()
+        && data.profile.is_empty()
+        && data.dropped == 0
+}
+
+/// An in-flight span. Records its phase timing (and, for event-emitting
+/// phases, a JSONL event) when dropped. Must be dropped on the thread
+/// that created it — self-time accounting is thread-local.
+#[must_use = "a span records on drop; binding it to `_` ends it immediately"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    phase: Phase,
+    name: &'static str,
+    ts_us: u64,
+    start: Instant,
+    sim_dur_us: u64,
+    args: [(&'static str, u64); MAX_ARGS],
+    nargs: usize,
+}
+
+/// Opens a span for `phase`. No-op (and allocation-free) when tracing is
+/// disabled.
+#[inline]
+pub fn span(phase: Phase) -> Span {
+    if !enabled() {
+        return Span { inner: None };
+    }
+    CHILD_NS.with(|stack| stack.borrow_mut().push(0));
+    Span {
+        inner: Some(SpanInner {
+            phase,
+            name: phase.name(),
+            ts_us: clock::now_us(),
+            start: Instant::now(),
+            sim_dur_us: 0,
+            args: [("", 0); MAX_ARGS],
+            nargs: 0,
+        }),
+    }
+}
+
+impl Span {
+    /// Overrides the event name (defaults to the phase name).
+    pub fn named(mut self, name: &'static str) -> Self {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.name = name;
+        }
+        self
+    }
+
+    /// Attaches a numeric arg (builder form; capped at 4 args).
+    pub fn arg(mut self, key: &'static str, value: u64) -> Self {
+        self.set_arg(key, value);
+        self
+    }
+
+    /// Attaches a numeric arg after creation (capped at 4 args).
+    pub fn set_arg(&mut self, key: &'static str, value: u64) {
+        if let Some(inner) = self.inner.as_mut() {
+            if inner.nargs < MAX_ARGS {
+                inner.args[inner.nargs] = (key, value);
+                inner.nargs += 1;
+            }
+        }
+    }
+
+    /// Sets the deterministic simulated duration (µs) this span reports
+    /// in Sim-clock traces. Without it, Sim-mode events have `dur: 0`;
+    /// measured wall time always feeds the profiler either way.
+    pub fn set_sim_dur_us(&mut self, us: u64) {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.sim_dur_us = us;
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let elapsed_ns = inner.start.elapsed().as_nanos() as u64;
+        let child_ns = CHILD_NS.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let child = stack.pop().unwrap_or(0);
+            if let Some(parent) = stack.last_mut() {
+                *parent = parent.saturating_add(elapsed_ns);
+            }
+            child
+        });
+        let self_ns = elapsed_ns.saturating_sub(child_ns);
+        let emit = inner
+            .phase
+            .emits_event(KERNEL_EVENTS.load(Ordering::Relaxed));
+        let actor = ACTOR.with(|a| a.get());
+        let dur_us = if clock::is_sim() {
+            inner.sim_dur_us
+        } else {
+            elapsed_ns / 1_000
+        };
+        with_shard(|data| {
+            data.profile.record_span(inner.phase, elapsed_ns, self_ns);
+            if emit {
+                if data.events.len() < SHARD_EVENT_CAP {
+                    let seq = data.seq;
+                    data.seq += 1;
+                    data.events.push(Event {
+                        ts_us: inner.ts_us,
+                        actor,
+                        seq,
+                        phase: inner.phase,
+                        name: inner.name,
+                        kind: EventKind::Span,
+                        dur_us,
+                        args: inner.args,
+                    });
+                } else {
+                    data.dropped += 1;
+                }
+            }
+        });
+    }
+}
+
+/// Records an instantaneous marker event with up to 4 numeric args.
+#[inline]
+pub fn instant(phase: Phase, name: &'static str, args: &[(&'static str, u64)]) {
+    if !enabled() {
+        return;
+    }
+    let ts_us = clock::now_us();
+    let actor = ACTOR.with(|a| a.get());
+    let mut packed = [("", 0u64); MAX_ARGS];
+    for (slot, kv) in packed.iter_mut().zip(args.iter()) {
+        *slot = *kv;
+    }
+    with_shard(|data| {
+        if data.events.len() < SHARD_EVENT_CAP {
+            let seq = data.seq;
+            data.seq += 1;
+            data.events.push(Event {
+                ts_us,
+                actor,
+                seq,
+                phase,
+                name,
+                kind: EventKind::Instant,
+                dur_us: 0,
+                args: packed,
+            });
+        } else {
+            data.dropped += 1;
+        }
+    });
+}
+
+/// Adds `delta` to the named global counter.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_shard(|data| data.counters.add(name, delta));
+}
+
+/// Sets a named gauge (last write wins; call from the driver thread for
+/// deterministic snapshots).
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut guard = COLLECTOR.lock();
+    guard
+        .get_or_insert_with(Collector::empty)
+        .gauges
+        .insert(name, value);
+}
+
+/// Records one sample into the named global histogram.
+#[inline]
+pub fn observe(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    with_shard(|data| {
+        data.hists.entry(name).or_default().record(value);
+    });
+}
+
+/// Drains all shards into the collector and returns the merged state
+/// without touching any sink.
+pub fn drain_now() -> FlushSummary {
+    drain_shards();
+    COLLECTOR
+        .lock()
+        .get_or_insert_with(Collector::empty)
+        .summary()
+}
+
+/// Drains all shards, writes pending events to the JSONL sink (sorted
+/// deterministically), rewrites the Prometheus snapshot atomically, and
+/// returns the merged state. Called by drivers at every round boundary.
+pub fn flush() -> io::Result<FlushSummary> {
+    if !enabled() {
+        return Ok(FlushSummary::default());
+    }
+    drain_shards();
+    let mut guard = COLLECTOR.lock();
+    let collector = guard.get_or_insert_with(Collector::empty);
+    let mut batch = mem::take(&mut collector.pending);
+    batch.sort();
+    collector.written += batch.len() as u64;
+    if let Some(sink) = collector.jsonl.as_mut() {
+        for event in &batch {
+            sink.write_line(&event.to_json_line())?;
+        }
+        sink.flush()?;
+    }
+    if let Some(path) = collector.prometheus.clone() {
+        let text = render_prometheus(
+            &collector.counters,
+            &collector.gauges,
+            &collector.hists,
+            &collector.profile,
+        );
+        atomic_write(&path, &text)?;
+    }
+    Ok(collector.summary())
+}
+
+/// Drains all shards and renders every pending event as sorted JSONL
+/// into a string (consuming them), without touching file sinks. Intended
+/// for determinism tests.
+pub fn flush_to_string() -> String {
+    drain_shards();
+    let mut guard = COLLECTOR.lock();
+    let collector = guard.get_or_insert_with(Collector::empty);
+    let mut batch = mem::take(&mut collector.pending);
+    batch.sort();
+    collector.written += batch.len() as u64;
+    let mut out = String::new();
+    for event in &batch {
+        out.push_str(&event.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Disables tracing and discards all recorder state (shards, collector,
+/// sinks, sim clock). Tests that exercise the global recorder must
+/// serialize on their own lock, call this first, and not hold spans
+/// across the reset.
+pub fn reset_for_tests() {
+    ENABLED.store(false, Ordering::SeqCst);
+    KERNEL_EVENTS.store(false, Ordering::SeqCst);
+    let shards: Vec<Arc<Shard>> = mem::take(&mut *REGISTRY.lock());
+    for shard in shards {
+        let mut data = shard.data.lock();
+        data.events.clear();
+        data.profile = PhaseProfile::new();
+        data.counters.clear();
+        data.hists.clear();
+        data.dropped = 0;
+        data.seq = 0;
+    }
+    SHARD.with(|slot| *slot.borrow_mut() = None);
+    *COLLECTOR.lock() = None;
+    clock::set_sim_time_us(0);
+    clock::set_mode(ClockMode::Sim);
+}
+
+#[cfg(test)]
+pub(crate) static TEST_GUARD: Mutex<()> = Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let _guard = TEST_GUARD.lock();
+        reset_for_tests();
+        counter_add("never", 1);
+        observe("never_hist", 5);
+        let s = span(Phase::Round).arg("round", 1);
+        drop(s);
+        let summary = drain_now();
+        assert_eq!(summary.counters.len(), 0);
+        assert_eq!(summary.events_written, 0);
+        assert!(summary.profile.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_with_self_time_accounting() {
+        let _guard = TEST_GUARD.lock();
+        reset_for_tests();
+        init(TraceConfig::default()).expect("init");
+        set_actor(0);
+        clock::set_sim_time_us(1_000_000);
+        {
+            let mut outer = span(Phase::Round).arg("round", 3);
+            {
+                let _inner = span(Phase::GuardScreen);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            outer.set_sim_dur_us(500);
+        }
+        let text = flush_to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "two span events: {text}");
+        // Sorted output: both share ts/actor, guard_screen closed first.
+        assert!(lines[0].contains("guard_screen"));
+        assert!(lines[1].contains("\"name\":\"round\""));
+        assert!(lines[1].contains("\"dur\":500"));
+        assert!(lines[1].contains("\"ts\":1000000"));
+        let summary = drain_now();
+        let round = summary.profile.get(Phase::Round).expect("round stat");
+        let guard = summary.profile.get(Phase::GuardScreen).expect("guard stat");
+        assert!(guard.total_ns >= 2_000_000);
+        assert!(round.total_ns >= guard.total_ns);
+        assert!(round.self_ns <= round.total_ns - guard.total_ns + 1_000_000);
+        reset_for_tests();
+    }
+
+    #[test]
+    fn counters_and_hists_merge_across_threads() {
+        let _guard = TEST_GUARD.lock();
+        reset_for_tests();
+        init(TraceConfig::default()).expect("init");
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    set_actor(1 + i);
+                    counter_add("work.items", 10);
+                    observe("work.latency_ns", 1_000 * (i as u64 + 1));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker");
+        }
+        let summary = drain_now();
+        assert_eq!(summary.counters.get("work.items"), 40);
+        let hist = summary.hists.get("work.latency_ns").expect("hist");
+        assert_eq!(hist.count(), 4);
+        assert_eq!(hist.max(), 4_000);
+        reset_for_tests();
+    }
+
+    #[test]
+    fn kernel_spans_are_profile_only_by_default() {
+        let _guard = TEST_GUARD.lock();
+        reset_for_tests();
+        init(TraceConfig::default()).expect("init");
+        drop(span(Phase::KernelGemm));
+        drop(span(Phase::PoolDispatch));
+        let text = flush_to_string();
+        assert!(text.is_empty(), "no kernel events expected: {text}");
+        let summary = drain_now();
+        assert!(summary.profile.get(Phase::KernelGemm).is_some());
+        assert!(summary.profile.get(Phase::PoolDispatch).is_some());
+        reset_for_tests();
+    }
+}

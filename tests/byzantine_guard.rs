@@ -137,6 +137,7 @@ fn forced_divergence_rolls_back_exactly_once() {
         checkpoint_every: 1,
         recovery_budget: 2,
         resume: false,
+        metrics_json: None,
     };
     let outcome = run_training(
         || build_iid_federation(&cfg, TOKENS),

@@ -265,6 +265,7 @@ fn aggregator_crash_recovery_matches_uninterrupted_run() {
             checkpoint_every: 2,
             recovery_budget: budget,
             resume: false,
+            metrics_json: None,
         };
         run_training(|| build_iid_federation(&cfg, 3_000), &opts, Some(injector)).unwrap()
     };
@@ -300,6 +301,7 @@ fn driver_resume_matches_uninterrupted_run() {
         checkpoint_every: 3,
         recovery_budget: 0,
         resume,
+        metrics_json: None,
     };
 
     let full = run_training(

@@ -211,6 +211,7 @@ fn recovery_driver_replays_churn_through_an_aggregator_crash() {
         checkpoint_every: 2,
         recovery_budget: 5,
         resume: false,
+        metrics_json: None,
     };
     let outcome = run_training(|| build_iid_federation(&cfg, 3_000), &opts, Some(&inj)).unwrap();
     assert!(outcome.recoveries > 0, "the seeded agg crash must fire");
