@@ -1,9 +1,10 @@
 //! Criterion micro-benchmarks for the compute substrate: GEMM, attention,
 //! and a full training step of the tiny proxy model.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use photon_data::Batch;
 use photon_nn::{kernels, Activations, Gpt, ModelConfig};
+use photon_tensor::backend::{set_backend, simd_available, BackendKind};
 use photon_tensor::{ops, SeedStream};
 use std::hint::black_box;
 use std::time::Duration;
@@ -73,6 +74,7 @@ fn bench_gemm(c: &mut Criterion) {
         let a: Vec<f32> = (0..m * k).map(|_| rng.next_normal()).collect();
         let b: Vec<f32> = (0..k * n).map(|_| rng.next_normal()).collect();
         let mut out = vec![0.0f32; m * n];
+        group.throughput(Throughput::Flops((2 * m * k * n) as u64));
         for (tag, spec) in [
             ("", ops::Gemm::new(m, k, n)),
             ("-ta", ops::Gemm::new(m, k, n).transpose_a()),
@@ -82,39 +84,52 @@ fn bench_gemm(c: &mut Criterion) {
                 bch.iter(|| seed_gemm(spec, black_box(&a), black_box(&b), &mut out));
             });
         }
-        group.bench_function(format!("{m}x{k}x{n}"), |bch| {
-            bch.iter(|| {
-                ops::gemm(
-                    ops::Gemm::new(m, k, n),
-                    black_box(&a),
-                    black_box(&b),
-                    &mut out,
-                )
+        // Per-backend entries: `-scalar` pins the reference path, `-simd`
+        // the vectorized one (only when the host supports it); unsuffixed
+        // names run whatever dispatch resolved, matching production.
+        let mut backends = vec![(Some(BackendKind::Scalar), "-scalar"), (None, "")];
+        if simd_available() {
+            backends.insert(1, (Some(BackendKind::Simd), "-simd"));
+        }
+        for (kind, suffix) in backends {
+            if let Some(kind) = kind {
+                set_backend(kind);
+            }
+            group.bench_function(format!("{m}x{k}x{n}{suffix}"), |bch| {
+                bch.iter(|| {
+                    ops::gemm(
+                        ops::Gemm::new(m, k, n),
+                        black_box(&a),
+                        black_box(&b),
+                        &mut out,
+                    )
+                });
             });
-        });
-        group.bench_function(format!("{m}x{k}x{n}-par4"), |bch| {
-            bch.iter(|| {
-                ops::par_gemm(
-                    ops::Gemm::new(m, k, n),
-                    black_box(&a),
-                    black_box(&b),
-                    &mut out,
-                    4,
-                )
+            group.bench_function(format!("{m}x{k}x{n}{suffix}-par4"), |bch| {
+                bch.iter(|| {
+                    ops::par_gemm(
+                        ops::Gemm::new(m, k, n),
+                        black_box(&a),
+                        black_box(&b),
+                        &mut out,
+                        4,
+                    )
+                });
             });
-        });
-        // Transposed variants as the training kernels use them: trans_b is
-        // the matmul forward layout, trans_a is the dweight (split-k) path.
-        for (tag, spec) in [
-            ("ta", ops::Gemm::new(m, k, n).transpose_a()),
-            ("tb", ops::Gemm::new(m, k, n).transpose_b()),
-        ] {
-            group.bench_function(format!("{m}x{k}x{n}-{tag}"), |bch| {
-                bch.iter(|| ops::gemm(spec, black_box(&a), black_box(&b), &mut out));
-            });
-            group.bench_function(format!("{m}x{k}x{n}-{tag}-par4"), |bch| {
-                bch.iter(|| ops::par_gemm(spec, black_box(&a), black_box(&b), &mut out, 4));
-            });
+            // Transposed variants as the training kernels use them: trans_b
+            // is the matmul forward layout, trans_a is the dweight (split-k)
+            // path.
+            for (tag, spec) in [
+                ("ta", ops::Gemm::new(m, k, n).transpose_a()),
+                ("tb", ops::Gemm::new(m, k, n).transpose_b()),
+            ] {
+                group.bench_function(format!("{m}x{k}x{n}{suffix}-{tag}"), |bch| {
+                    bch.iter(|| ops::gemm(spec, black_box(&a), black_box(&b), &mut out));
+                });
+                group.bench_function(format!("{m}x{k}x{n}{suffix}-{tag}-par4"), |bch| {
+                    bch.iter(|| ops::par_gemm(spec, black_box(&a), black_box(&b), &mut out, 4));
+                });
+            }
         }
     }
     group.finish();

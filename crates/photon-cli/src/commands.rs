@@ -32,6 +32,11 @@ OPTIONS:
     --seed N                          root seed                [42]
     --eval-every N                    eval cadence in rounds   [1]
     --threads N                       kernel worker threads (0 = serial) [auto]
+    --backend scalar|simd             compute backend (also PHOTON_BACKEND;
+                                      simd falls back to scalar when the CPU
+                                      lacks AVX2/FMA)            [auto]
+    --dtype f32|bf16                  storage precision for checkpoints and
+                                      wire payloads; compute stays f32 [f32]
     --checkpoint-dir DIR              save (and resume) here
     --checkpoint-every N              checkpoint cadence in rounds [5]
     --recovery-budget N               max crash recoveries     [3]
@@ -93,6 +98,16 @@ pub fn train(args: &Args, resume: bool) -> Result<(), String> {
         photon_tensor::ops::pool::set_max_threads(if t == 0 { 1 } else { t });
     }
     let threads = photon_tensor::ops::pool::max_threads();
+    // Pin the compute backend before any kernel runs. An explicit request
+    // for simd on a host without AVX2/FMA falls back to scalar (reported
+    // by the effective name below); absent means PHOTON_BACKEND env, else
+    // CPU detection.
+    if let Some(name) = args.get("backend") {
+        let kind = photon_tensor::backend::BackendKind::parse(name)
+            .ok_or_else(|| format!("unknown --backend {name:?} (scalar|simd)"))?;
+        photon_tensor::backend::set_backend(kind);
+    }
+    let backend = photon_tensor::backend::active_name();
 
     let ckpt_dir = args.get("checkpoint-dir").map(PathBuf::from);
     let rounds: u64 = args.get_parsed("rounds", 12)?;
@@ -138,7 +153,8 @@ pub fn train(args: &Args, resume: bool) -> Result<(), String> {
     };
 
     println!(
-        "training {} | {} clients | tau = {} | B_l = {} | B_g = {} | {} | {} worker thread(s)",
+        "training {} | {} clients | tau = {} | B_l = {} | B_g = {} | {} | \
+         {} worker thread(s) | {} backend | {} storage",
         cfg.model,
         cfg.population,
         cfg.local_steps,
@@ -150,7 +166,9 @@ pub fn train(args: &Args, resume: bool) -> Result<(), String> {
             ServerOptKind::FedAdam { .. } => "fedadam",
             ServerOptKind::DiLoCo { .. } => "diloco",
         },
-        threads
+        threads,
+        backend,
+        cfg.dtype.as_str()
     );
     if let Some(inj) = &injector {
         println!(
@@ -351,6 +369,10 @@ fn config_from_args(args: &Args) -> Result<FederationConfig, String> {
     cfg.seed = args.get_parsed("seed", 42)?;
     cfg.compress_link = args.flag("compress");
     cfg.secure_agg = args.flag("secure");
+    if let Some(name) = args.get("dtype") {
+        cfg.dtype = photon_tensor::Dtype::parse(name)
+            .ok_or_else(|| format!("unknown --dtype {name:?} (f32|bf16)"))?;
+    }
     cfg.allow_partial_results = args.flag("partial-ok");
     if let Some(rule) = args.get("aggregation") {
         cfg.aggregation =

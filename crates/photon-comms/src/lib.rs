@@ -44,10 +44,12 @@ pub use collective::{ring_allreduce_group, RingWorker};
 pub use compress::{compress_f32s, decompress_f32s};
 pub use crc::crc32;
 pub use link::{corrupt_frame, deliver, DeliveryReport, LinkExhausted, RetransmitPolicy};
-pub use message::{Message, TrainMetrics};
+pub use message::{Message, TrainMetrics, WireOpts};
 pub use quant::{dequantize_i8, quantization_error_bound, quantize_i8, QUANT_BLOCK};
 pub use secure::{mask_update, pairwise_seed, SecureAggError};
 pub use sparse::{densify, retained_mass, sparsify_top_k};
 pub use topology::{aggregation_time_seconds, bytes_on_wire, comm_time_seconds, Topology};
 pub use walltime::{RoundTime, SimClock, WallTimeModel};
-pub use wire::{decode_frame, encode_frame, WireError};
+pub use wire::{
+    decode_frame, decode_frame_flags, encode_frame, encode_frame_with, FrameFlags, WireError,
+};

@@ -1,6 +1,33 @@
-use crate::{compress_f32s, decode_frame, decompress_f32s, encode_frame, WireError};
+use crate::{
+    compress_f32s, decode_frame_flags, decompress_f32s, encode_frame_with, FrameFlags, WireError,
+};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use photon_tensor::Dtype;
 use serde::{Deserialize, Serialize};
+
+/// Encoding options for float payloads on the Link.
+///
+/// `dtype = Bf16` stores update vectors as 2-byte bf16 on the wire (the
+/// receiver widens back to f32 before any arithmetic — accumulation stays
+/// f32). Compression and bf16 are carried as independent frame flags, but
+/// config validation rejects enabling both: the byte-shuffle codec is
+/// specified over 4-byte lanes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireOpts {
+    /// Run float payloads through the byte-shuffle/zero-RLE codec.
+    pub compress: bool,
+    /// Storage precision for float payloads.
+    pub dtype: Dtype,
+}
+
+impl WireOpts {
+    fn flags(self) -> FrameFlags {
+        FrameFlags {
+            compressed: self.compress,
+            bf16: self.dtype == Dtype::Bf16,
+        }
+    }
+}
 
 /// Training metadata carried alongside model payloads ("message payloads
 /// carry metadata, including training and evaluation instructions,
@@ -68,14 +95,25 @@ const TAG_HELLO: u8 = 4;
 const TAG_LEASE_GRANT: u8 = 5;
 
 impl Message {
-    /// Serializes into a Link frame, optionally compressing float payloads.
+    /// Serializes into a Link frame, optionally compressing float payloads
+    /// (f32 storage; see [`Message::to_frame_opts`] for bf16).
     pub fn to_frame(&self, compress: bool) -> Bytes {
+        self.to_frame_opts(WireOpts {
+            compress,
+            dtype: Dtype::F32,
+        })
+    }
+
+    /// Serializes into a Link frame with explicit [`WireOpts`]; the chosen
+    /// encoding is recorded in the frame flags so [`Message::from_frame`]
+    /// decodes any mode without out-of-band context.
+    pub fn to_frame_opts(&self, opts: WireOpts) -> Bytes {
         let mut body = BytesMut::new();
         match self {
             Message::ModelBroadcast { round, params } => {
                 body.put_u8(TAG_BROADCAST);
                 body.put_u64_le(*round);
-                put_floats(&mut body, params, compress);
+                put_floats(&mut body, params, opts);
             }
             Message::ClientResult {
                 round,
@@ -91,7 +129,7 @@ impl Message {
                 body.put_f32_le(metrics.mean_loss);
                 body.put_u64_le(metrics.tokens);
                 body.put_u64_le(metrics.steps);
-                put_floats(&mut body, delta, compress);
+                put_floats(&mut body, delta, opts);
             }
             Message::Shutdown => {
                 body.put_u8(TAG_SHUTDOWN);
@@ -113,7 +151,7 @@ impl Message {
                 body.put_u64_le(*expires_ms);
             }
         }
-        encode_frame(&body, compress)
+        encode_frame_with(&body, opts.flags())
     }
 
     /// Parses a Link frame.
@@ -122,7 +160,7 @@ impl Message {
     /// Returns a [`WireError`] on framing/corruption errors or an unknown
     /// message tag.
     pub fn from_frame(frame: Bytes) -> Result<Message, WireError> {
-        let (mut body, compressed) = decode_frame(frame)?;
+        let (mut body, flags) = decode_frame_flags(frame)?;
         if body.remaining() < 1 {
             return Err(WireError::Truncated);
         }
@@ -132,7 +170,7 @@ impl Message {
                     return Err(WireError::Truncated);
                 }
                 let round = body.get_u64_le();
-                let params = get_floats(&mut body, compressed)?;
+                let params = get_floats(&mut body, flags)?;
                 Ok(Message::ModelBroadcast { round, params })
             }
             TAG_RESULT => {
@@ -147,7 +185,7 @@ impl Message {
                     tokens: body.get_u64_le(),
                     steps: body.get_u64_le(),
                 };
-                let delta = get_floats(&mut body, compressed)?;
+                let delta = get_floats(&mut body, flags)?;
                 Ok(Message::ClientResult {
                     round,
                     client_id,
@@ -184,20 +222,28 @@ impl Message {
     pub fn wire_bytes(&self, compress: bool) -> usize {
         self.to_frame(compress).len()
     }
+
+    /// [`Message::wire_bytes`] under explicit [`WireOpts`].
+    pub fn wire_bytes_opts(&self, opts: WireOpts) -> usize {
+        self.to_frame_opts(opts).len()
+    }
 }
 
-fn put_floats(out: &mut BytesMut, xs: &[f32], compress: bool) {
-    if compress {
+fn put_floats(out: &mut BytesMut, xs: &[f32], opts: WireOpts) {
+    if opts.compress {
         let c = compress_f32s(xs);
         out.put_u64_le(c.len() as u64);
         out.put_slice(&c);
     } else {
-        photon_tensor::write_f32_slice(out, xs);
+        match opts.dtype {
+            Dtype::F32 => photon_tensor::write_f32_slice(out, xs),
+            Dtype::Bf16 => photon_tensor::write_bf16_slice(out, xs),
+        }
     }
 }
 
-fn get_floats(body: &mut Bytes, compressed: bool) -> Result<Vec<f32>, WireError> {
-    if compressed {
+fn get_floats(body: &mut Bytes, flags: FrameFlags) -> Result<Vec<f32>, WireError> {
+    if flags.compressed {
         if body.remaining() < 8 {
             return Err(WireError::Truncated);
         }
@@ -208,6 +254,8 @@ fn get_floats(body: &mut Bytes, compressed: bool) -> Result<Vec<f32>, WireError>
         let c = body.slice(..len);
         body.advance(len);
         decompress_f32s(c).map_err(WireError::BadCompression)
+    } else if flags.bf16 {
+        photon_tensor::read_bf16_slice(body).map_err(|e| WireError::BadCompression(e.to_string()))
     } else {
         photon_tensor::read_f32_slice(body).map_err(|e| WireError::BadCompression(e.to_string()))
     }
@@ -280,6 +328,43 @@ mod tests {
         }
         // Handshake frames are control-plane small: no float payload.
         assert!(hello.wire_bytes(false) < 64);
+    }
+
+    #[test]
+    fn bf16_wire_roundtrip_and_size() {
+        // Values exactly representable in bf16 round-trip bit-exactly.
+        let params: Vec<f32> = (0..512).map(|i| (i as f32 - 256.0) * 0.25).collect();
+        let msg = Message::ModelBroadcast { round: 5, params };
+        let opts = WireOpts {
+            compress: false,
+            dtype: Dtype::Bf16,
+        };
+        let decoded = Message::from_frame(msg.to_frame_opts(opts)).unwrap();
+        assert_eq!(decoded, msg);
+
+        // Arbitrary floats roundtrip within bf16's relative-error bound, and
+        // the frame shrinks ~2x vs f32 storage.
+        let msg = Message::ModelBroadcast {
+            round: 5,
+            params: sample_params(4096),
+        };
+        let f32_bytes = msg.wire_bytes(false);
+        let bf16_bytes = msg.wire_bytes_opts(opts);
+        assert!(
+            (bf16_bytes as f64) < 0.55 * f32_bytes as f64,
+            "bf16 {bf16_bytes} vs f32 {f32_bytes}"
+        );
+        let Message::ModelBroadcast { params: got, .. } =
+            Message::from_frame(msg.to_frame_opts(opts)).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        let Message::ModelBroadcast { params: want, .. } = msg else {
+            panic!("wrong variant");
+        };
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() <= w.abs() / 256.0 + 1e-12);
+        }
     }
 
     #[test]

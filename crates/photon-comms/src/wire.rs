@@ -5,6 +5,42 @@ use std::fmt;
 const MAGIC: &[u8; 8] = b"PHTNLNK1";
 const VERSION: u16 = 1;
 const FLAG_COMPRESSED: u16 = 0b1;
+const FLAG_BF16: u16 = 0b10;
+
+/// Per-frame flags carried in the Link header.
+///
+/// `bf16` marks float payloads stored as bf16 (2 bytes per element, see
+/// `photon_tensor::dtype`); the decoder widens to f32. The two flags are
+/// mutually exclusive in practice — config validation rejects bf16 wire
+/// mode combined with the compressed-floats codec — but the format carries
+/// them independently.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameFlags {
+    /// Payload floats went through the byte-shuffle/zero-RLE codec.
+    pub compressed: bool,
+    /// Payload floats are stored as bf16.
+    pub bf16: bool,
+}
+
+impl FrameFlags {
+    fn encode(self) -> u16 {
+        let mut bits = 0;
+        if self.compressed {
+            bits |= FLAG_COMPRESSED;
+        }
+        if self.bf16 {
+            bits |= FLAG_BF16;
+        }
+        bits
+    }
+
+    fn decode(bits: u16) -> FrameFlags {
+        FrameFlags {
+            compressed: bits & FLAG_COMPRESSED != 0,
+            bf16: bits & FLAG_BF16 != 0,
+        }
+    }
+}
 
 /// Errors from frame decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,10 +90,21 @@ impl std::error::Error for WireError {}
 /// this flag simply records that the payload is a compressed-floats stream
 /// so the receiver knows to decode it).
 pub fn encode_frame(payload: &[u8], compressed: bool) -> Bytes {
+    encode_frame_with(
+        payload,
+        FrameFlags {
+            compressed,
+            bf16: false,
+        },
+    )
+}
+
+/// [`encode_frame`] with the full flag set (bf16 float payloads included).
+pub fn encode_frame_with(payload: &[u8], flags: FrameFlags) -> Bytes {
     let mut out = BytesMut::with_capacity(payload.len() + 24);
     out.put_slice(MAGIC);
     out.put_u16_le(VERSION);
-    out.put_u16_le(if compressed { FLAG_COMPRESSED } else { 0 });
+    out.put_u16_le(flags.encode());
     out.put_u32_le(crc32(payload));
     out.put_u64_le(payload.len() as u64);
     out.put_slice(payload);
@@ -70,7 +117,17 @@ pub fn encode_frame(payload: &[u8], compressed: bool) -> Bytes {
 /// # Errors
 /// Returns a [`WireError`] on truncation, bad magic/version, or checksum
 /// mismatch.
-pub fn decode_frame(mut frame: Bytes) -> Result<(Bytes, bool), WireError> {
+pub fn decode_frame(frame: Bytes) -> Result<(Bytes, bool), WireError> {
+    let (payload, flags) = decode_frame_flags(frame)?;
+    Ok((payload, flags.compressed))
+}
+
+/// [`decode_frame`] returning the full [`FrameFlags`] set.
+///
+/// # Errors
+/// Returns a [`WireError`] on truncation, bad magic/version, or checksum
+/// mismatch.
+pub fn decode_frame_flags(mut frame: Bytes) -> Result<(Bytes, FrameFlags), WireError> {
     if frame.remaining() < 24 {
         return Err(WireError::Truncated);
     }
@@ -97,7 +154,7 @@ pub fn decode_frame(mut frame: Bytes) -> Result<(Bytes, bool), WireError> {
             declared: declared_crc,
         });
     }
-    Ok((payload, flags & FLAG_COMPRESSED != 0))
+    Ok((payload, FrameFlags::decode(flags)))
 }
 
 #[cfg(test)]
@@ -118,6 +175,20 @@ mod tests {
         let frame = encode_frame(b"x", true);
         let (_, compressed) = decode_frame(frame).unwrap();
         assert!(compressed);
+    }
+
+    #[test]
+    fn bf16_flag_roundtrips() {
+        let flags = FrameFlags {
+            compressed: false,
+            bf16: true,
+        };
+        let frame = encode_frame_with(b"x", flags);
+        let (_, got) = decode_frame_flags(frame).unwrap();
+        assert_eq!(got, flags);
+        // The legacy decoder still reports the compressed bit only.
+        let (_, compressed) = decode_frame(encode_frame_with(b"x", flags)).unwrap();
+        assert!(!compressed);
     }
 
     #[test]

@@ -333,12 +333,12 @@ impl Aggregator {
                     client_id: id,
                     birth_round: reg.birth_round(id).unwrap_or(self.round),
                 }
-                .to_frame(self.cfg.compress_link);
+                .to_frame_opts(self.cfg.wire_opts());
                 let grant = photon_comms::Message::LeaseGrant {
                     client_id: id,
                     expires_ms,
                 }
-                .to_frame(self.cfg.compress_link);
+                .to_frame_opts(self.cfg.wire_opts());
                 handshake_bytes += hello.len() as u64 + grant.len() as u64;
             }
             let live = reg.live_members();
@@ -396,7 +396,7 @@ impl Aggregator {
                 round: self.round,
                 params: self.params.clone(),
             }
-            .to_frame(self.cfg.compress_link);
+            .to_frame_opts(self.cfg.wire_opts());
             bspan.set_arg("frame_bytes", frame.len() as u64);
             frame
         };
@@ -997,7 +997,7 @@ fn client_round(
         weight: outcome.weight,
         metrics: outcome.metrics,
     }
-    .to_frame(cfg.compress_link);
+    .to_frame_opts(cfg.wire_opts());
     let (delay_ms, corrupt_attempts) = match fault {
         Some(ClientFault::Straggle { delay_ms }) => (delay_ms, 0),
         Some(ClientFault::Corrupt { attempts }) => (0, attempts),

@@ -13,11 +13,18 @@
 //! updates, so a restore resumes with the exact roster and buffer the
 //! crashed run had. Version-2 (and version-1) checkpoints still load;
 //! elastic state is simply absent.
+//!
+//! Format version 4 adds a `dtype` manifest field selecting the storage
+//! precision of `params.bin` (f32 or bf16). Manifests without the field —
+//! every v1–v3 checkpoint — decode as f32, so old checkpoints restore
+//! unchanged. Loaded parameters are always widened to f32 master weights
+//! in memory regardless of storage precision.
 
 use crate::membership::MembershipSnapshot;
 use crate::{FederationConfig, Result};
 use photon_comms::crc32;
 use photon_fedopt::{BufferedUpdate, ServerOptState};
+use photon_tensor::{bf16_from_f32, bf16_to_f32, Dtype};
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io::Write;
@@ -29,7 +36,7 @@ const MEM_MAGIC: &[u8; 8] = b"PHTNMEM3";
 
 /// Current checkpoint format version. Version-1 manifests predate the
 /// field and deserialize as 0.
-pub const CHECKPOINT_FORMAT_VERSION: u32 = 3;
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 4;
 
 /// The elastic-membership side state carried by checkpoint v3: the roster
 /// at save time plus any updates still waiting in the aggregation buffer.
@@ -60,6 +67,10 @@ pub struct CheckpointManifest {
     /// Whether `membership.bin` (elastic roster + buffer) was saved.
     #[serde(default)]
     pub has_membership: bool,
+    /// Storage precision of `params.bin` (v4+). Manifests without the
+    /// field — every pre-v4 checkpoint — decode as f32.
+    #[serde(default)]
+    pub dtype: Dtype,
 }
 
 /// Saves a checkpoint into `dir` (created if missing): `manifest.json` and
@@ -108,6 +119,7 @@ pub fn save_checkpoint_full(
     elastic: Option<&ElasticState>,
 ) -> Result<()> {
     fs::create_dir_all(dir)?;
+    let dtype = cfg.dtype;
     let manifest = CheckpointManifest {
         round,
         config: cfg.clone(),
@@ -115,15 +127,25 @@ pub fn save_checkpoint_full(
         format_version: CHECKPOINT_FORMAT_VERSION,
         has_server_opt: server_opt.is_some(),
         has_membership: elastic.is_some(),
+        dtype,
     };
     let manifest_json =
         serde_json::to_string_pretty(&manifest).expect("manifest serialization cannot fail");
 
-    let mut bin = Vec::with_capacity(16 + params.len() * 4);
+    let mut bin = Vec::with_capacity(16 + params.len() * dtype.bytes_per_param());
     bin.extend_from_slice(PARAMS_MAGIC);
     bin.extend_from_slice(&(params.len() as u64).to_le_bytes());
-    for &p in params {
-        bin.extend_from_slice(&p.to_le_bytes());
+    match dtype {
+        Dtype::F32 => {
+            for &p in params {
+                bin.extend_from_slice(&p.to_le_bytes());
+            }
+        }
+        Dtype::Bf16 => {
+            for &p in params {
+                bin.extend_from_slice(&bf16_from_f32(p).to_le_bytes());
+            }
+        }
     }
     let crc = crc32(&bin);
     bin.extend_from_slice(&crc.to_le_bytes());
@@ -401,15 +423,21 @@ pub fn load_checkpoint(dir: &Path) -> Result<(CheckpointManifest, Vec<f32>)> {
         ));
     }
     let n = u64::from_le_bytes(body[8..16].try_into().expect("8 bytes")) as usize;
-    if n != manifest.param_count || body.len() != 16 + n * 4 {
+    if n != manifest.param_count || body.len() != 16 + n * manifest.dtype.bytes_per_param() {
         return Err(crate::CoreError::InvalidConfig(
             "checkpoint length disagrees with manifest".into(),
         ));
     }
-    let params = body[16..]
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
-        .collect();
+    let params = match manifest.dtype {
+        Dtype::F32 => body[16..]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect(),
+        Dtype::Bf16 => body[16..]
+            .chunks_exact(2)
+            .map(|c| bf16_to_f32(u16::from_le_bytes(c.try_into().expect("2 bytes"))))
+            .collect(),
+    };
     Ok((manifest, params))
 }
 
@@ -506,7 +534,7 @@ mod tests {
         save_checkpoint_full(&dir, &cfg(), 5, &[1.0, 2.0], None, Some(&elastic)).unwrap();
         let (manifest, _) = load_checkpoint(&dir).unwrap();
         assert!(manifest.has_membership);
-        assert_eq!(manifest.format_version, 3);
+        assert_eq!(manifest.format_version, CHECKPOINT_FORMAT_VERSION);
         let loaded = load_elastic_state(&dir).unwrap().unwrap();
         assert_eq!(loaded.membership, elastic.membership);
         let (a, b) = (
@@ -538,7 +566,7 @@ mod tests {
         let path = dir.join("manifest.json");
         let json = fs::read_to_string(&path)
             .unwrap()
-            .replace("\"format_version\": 3", "\"format_version\": 2")
+            .replace("\"format_version\": 4", "\"format_version\": 2")
             .lines()
             .filter(|l| !l.contains("has_membership"))
             .collect::<Vec<_>>()
@@ -594,6 +622,28 @@ mod tests {
         raw[mid] ^= 0xFF;
         fs::write(&path, &raw).unwrap();
         assert!(load_server_opt_state(&dir).is_err());
+    }
+
+    #[test]
+    fn bf16_checkpoint_roundtrips_and_halves_storage() {
+        let dir = tmp_dir("bf16");
+        let mut cfg_bf16 = cfg();
+        cfg_bf16.dtype = Dtype::Bf16;
+        // Values exactly representable in bf16 restore bit-exactly.
+        let params: Vec<f32> = (0..256).map(|i| (i as f32 - 128.0) * 0.25).collect();
+        save_checkpoint(&dir, &cfg_bf16, 9, &params).unwrap();
+        let (manifest, loaded) = load_checkpoint(&dir).unwrap();
+        assert_eq!(manifest.dtype, Dtype::Bf16);
+        assert_eq!(loaded, params);
+
+        let bf16_size = fs::metadata(dir.join("params.bin")).unwrap().len();
+        let dir_f32 = tmp_dir("bf16-vs-f32");
+        save_checkpoint(&dir_f32, &cfg(), 9, &params).unwrap();
+        let f32_size = fs::metadata(dir_f32.join("params.bin")).unwrap().len();
+        assert!(
+            (bf16_size as f64) < 0.6 * f32_size as f64,
+            "bf16 {bf16_size} vs f32 {f32_size}"
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@ use photon_comms::RetransmitPolicy;
 use photon_fedopt::{AggregationKind, AvailabilityModel, BufferConfig, GuardConfig, ServerOptKind};
 use photon_nn::{ModelConfig, PosEncoding};
 use photon_optim::{AdamWConfig, LrSchedule};
+use photon_tensor::Dtype;
 use serde::{Deserialize, Serialize};
 
 /// Cohort selection policy (Algorithm 1, L.4).
@@ -115,6 +116,13 @@ pub struct FederationConfig {
     /// Requires `membership`.
     #[serde(default)]
     pub buffer: Option<BufferConfig>,
+    /// Storage precision for parameters at rest (checkpoints) and float
+    /// payloads on the Link. Compute and accumulation stay f32 (master
+    /// weights); bf16 halves checkpoint and wire bytes. Incompatible with
+    /// `compress_link` (the codec is specified over 4-byte lanes) and
+    /// `secure_agg` (pairwise masks only cancel under exact arithmetic).
+    #[serde(default)]
+    pub dtype: Dtype,
     /// Root seed for the whole run.
     pub seed: u64,
 }
@@ -148,6 +156,7 @@ impl FederationConfig {
             retransmit: RetransmitPolicy::default(),
             membership: None,
             buffer: None,
+            dtype: Dtype::F32,
             seed: 42,
         }
     }
@@ -163,6 +172,15 @@ impl FederationConfig {
     /// Effective global batch size `B_g = N · B_l` (§5.3).
     pub fn global_batch(&self) -> usize {
         self.cohort_size() * self.local_batch
+    }
+
+    /// Link encoding options derived from this config (compression flag
+    /// plus wire storage precision).
+    pub fn wire_opts(&self) -> photon_comms::WireOpts {
+        photon_comms::WireOpts {
+            compress: self.compress_link,
+            dtype: self.dtype,
+        }
     }
 
     /// Validates cross-field consistency.
@@ -261,6 +279,22 @@ impl FederationConfig {
                 ));
             }
         }
+        if self.dtype == Dtype::Bf16 {
+            if self.compress_link {
+                // The byte-shuffle/zero-RLE codec is specified over 4-byte
+                // f32 lanes; layering it over bf16 would silently misframe.
+                return Err(crate::CoreError::InvalidConfig(
+                    "bf16 wire mode is incompatible with compress_link (pick one)".into(),
+                ));
+            }
+            if self.secure_agg {
+                // Pairwise masks cancel only under exact arithmetic; bf16
+                // rounding of masked values would leave residual noise.
+                return Err(crate::CoreError::InvalidConfig(
+                    "bf16 wire mode is incompatible with secure aggregation".into(),
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -327,6 +361,15 @@ mod tests {
             clip_norm_mult: 0.5,
             ..GuardConfig::on()
         };
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 4);
+        cfg.dtype = Dtype::Bf16;
+        cfg.compress_link = true;
+        assert!(cfg.validate().is_err());
+        cfg.compress_link = false;
+        cfg.validate().unwrap();
+        cfg.secure_agg = true;
         assert!(cfg.validate().is_err());
     }
 
@@ -403,8 +446,10 @@ mod tests {
         let json = serde_json::to_string(&plain)
             .unwrap()
             .replace("\"membership\":null,", "")
-            .replace("\"buffer\":null,", "");
+            .replace("\"buffer\":null,", "")
+            .replace("\"dtype\":\"F32\",", "");
         assert!(!json.contains("membership"), "field not stripped: {json}");
+        assert!(!json.contains("dtype"), "dtype not stripped: {json}");
         let back: FederationConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, plain);
     }

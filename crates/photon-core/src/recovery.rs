@@ -319,13 +319,16 @@ fn write_metrics_json(
     };
     let json = format!(
         "{{\n\"round\": {},\n\"rounds_seen\": {},\n\"rounds_committed\": {},\n\
-         \"compute_threads\": {},\n\"participation_skew\": {},\n\
+         \"compute_threads\": {},\n\"backend\": \"{}\",\n\"dtype\": \"{}\",\n\
+         \"participation_skew\": {},\n\
          \"total_tokens\": {},\n\"recoveries\": {},\n\"rollbacks\": {},\n\
          \"fault_counters\": {},\n\"history\": {}\n}}\n",
         fed.aggregator.round(),
         telemetry.rounds_seen(),
         telemetry.rounds_committed(),
         telemetry.compute_threads(),
+        photon_tensor::backend::active_name(),
+        fed.aggregator.config().dtype.as_str(),
         skew_json,
         telemetry.total_tokens(),
         recoveries,

@@ -16,6 +16,7 @@
 //! (layernorm/matmul weight and bias gradients) accumulate into per-chunk
 //! partial buffers and reduce them in deterministic chunk order.
 
+use photon_tensor::backend;
 use photon_tensor::ops::{add_bias_rows, gemm_auto, pool, Gemm};
 use std::ops::Range;
 
@@ -90,20 +91,15 @@ fn layernorm_rows(
     bias: &[f32],
     c: usize,
 ) {
-    const EPS: f32 = 1e-5;
+    let bk = backend::active();
     for (i, (x, o)) in inp_rows
         .chunks_exact(c)
         .zip(out.chunks_exact_mut(c))
         .enumerate()
     {
-        let m = x.iter().sum::<f32>() / c as f32;
-        let var = x.iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / c as f32;
-        let rs = 1.0 / (var + EPS).sqrt();
+        let (m, rs) = bk.layernorm_row(o, x, weight, bias);
         mean[i] = m;
         rstd[i] = rs;
-        for j in 0..c {
-            o[j] = (x[j] - m) * rs * weight[j] + bias[j];
-        }
     }
 }
 
@@ -124,7 +120,8 @@ pub fn layernorm_forward(
 ) {
     let _kernel = photon_trace::span(photon_trace::Phase::KernelLayerNorm)
         .arg("bt", bt as u64)
-        .arg("c", c as u64);
+        .arg("c", c as u64)
+        .arg("backend", backend::active_kind().id());
     let ranges = row_chunks(bt, grain_for(c, 2048));
     let out_chunks = pool::split_rows(&mut out[..bt * c], c, &ranges);
     let mean_chunks = pool::split_rows(&mut mean[..bt], 1, &ranges);
@@ -155,32 +152,12 @@ fn layernorm_backward_rows(
     rows: usize,
     c: usize,
 ) {
+    let bk = backend::active();
     for i in 0..rows {
         let x = &inp[i * c..(i + 1) * c];
         let dy = &dout[i * c..(i + 1) * c];
-        let m = mean[i];
-        let rs = rstd[i];
-
-        // Two reductions over the row.
-        let mut dnorm_mean = 0.0f32;
-        let mut dnorm_norm_mean = 0.0f32;
-        for j in 0..c {
-            let norm = (x[j] - m) * rs;
-            let dnorm = weight[j] * dy[j];
-            dnorm_mean += dnorm;
-            dnorm_norm_mean += dnorm * norm;
-        }
-        dnorm_mean /= c as f32;
-        dnorm_norm_mean /= c as f32;
-
         let di = &mut dinp[i * c..(i + 1) * c];
-        for j in 0..c {
-            let norm = (x[j] - m) * rs;
-            let dnorm = weight[j] * dy[j];
-            dbias[j] += dy[j];
-            dweight[j] += norm * dy[j];
-            di[j] += (dnorm - dnorm_mean - norm * dnorm_norm_mean) * rs;
-        }
+        bk.layernorm_grad_row(di, dweight, dbias, dy, x, weight, mean[i], rstd[i]);
     }
 }
 
@@ -204,7 +181,8 @@ pub fn layernorm_backward(
 ) {
     let _kernel = photon_trace::span(photon_trace::Phase::KernelLayerNorm)
         .arg("bt", bt as u64)
-        .arg("c", c as u64);
+        .arg("c", c as u64)
+        .arg("backend", backend::active_kind().id());
     let ranges = row_chunks(bt, grain_for(c, 2048));
     if ranges.len() <= 1 {
         layernorm_backward_rows(dinp, dweight, dbias, dout, inp, weight, mean, rstd, bt, c);
@@ -370,7 +348,9 @@ pub fn attention_forward(
     let _kernel = photon_trace::span(photon_trace::Phase::KernelAttention)
         .arg("b", b as u64)
         .arg("t", t as u64)
-        .arg("nh", nh as u64);
+        .arg("nh", nh as u64)
+        .arg("backend", backend::active_kind().id());
+    let bk = backend::active();
     let hs = c / nh;
     let scale = 1.0 / (hs as f32).sqrt();
     let c3 = 3 * c;
@@ -403,10 +383,7 @@ pub fn attention_forward(
                         let mut maxv = f32::NEG_INFINITY;
                         for t2 in 0..=ti {
                             let k = &inp[bi * t * c3 + t2 * c3 + c + h * hs..][..hs];
-                            let mut dotv = 0.0f32;
-                            for i in 0..hs {
-                                dotv += q[i] * k[i];
-                            }
+                            let dotv = bk.dot(q, k);
                             let val = dotv * scale - slope * (ti - t2) as f32;
                             pre_u[row_off + t2] = val;
                             if val > maxv {
@@ -456,9 +433,7 @@ pub fn attention_forward(
                         let o = &mut o_row[h * hs..(h + 1) * hs];
                         for (t2, &a) in att_row[..=ti].iter().enumerate() {
                             let v = &inp[bi * t * c3 + t2 * c3 + 2 * c + h * hs..][..hs];
-                            for i in 0..hs {
-                                o[i] += a * v[i];
-                            }
+                            bk.axpy(a, v, o);
                         }
                     }
                 }
@@ -491,7 +466,9 @@ pub fn attention_backward(
     let _kernel = photon_trace::span(photon_trace::Phase::KernelAttention)
         .arg("b", b as u64)
         .arg("t", t as u64)
-        .arg("nh", nh as u64);
+        .arg("nh", nh as u64)
+        .arg("backend", backend::active_kind().id());
+    let bk = backend::active();
     let hs = c / nh;
     let scale = 1.0 / (hs as f32).sqrt();
     let c3 = 3 * c;
@@ -527,19 +504,15 @@ pub fn attention_backward(
                                 let v = &inp[bi * t * c3 + t2 * c3 + 2 * c + h * hs..][..hs];
                                 let a = att[att_off + t2];
                                 let dv = &mut dinp_c[base + t2 * c3 + 2 * c + h * hs..][..hs];
-                                let mut da = 0.0f32;
-                                for i in 0..hs {
-                                    da += v[i] * d_out_h[i];
-                                    dv[i] += a * d_out_h[i];
-                                }
-                                datt_c[datt_off + t2] += da;
+                                datt_c[datt_off + t2] += bk.dot(v, d_out_h);
+                                bk.axpy(a, d_out_h, dv);
                             }
 
                             // Backward through softmax.
-                            let mut dot = 0.0f32;
-                            for t2 in 0..=ti {
-                                dot += att[att_off + t2] * datt_c[datt_off + t2];
-                            }
+                            let dot = bk.dot(
+                                &att[att_off..att_off + ti + 1],
+                                &datt_c[datt_off..datt_off + ti + 1],
+                            );
                             for t2 in 0..=ti {
                                 dpre_c[datt_off + t2] =
                                     att[att_off + t2] * (datt_c[datt_off + t2] - dot);
@@ -551,12 +524,12 @@ pub fn attention_backward(
                             for t2 in 0..=ti {
                                 let k = &inp[bi * t * c3 + t2 * c3 + c + h * hs..][..hs];
                                 let dp = dpre_c[datt_off + t2] * scale;
-                                for i in 0..hs {
-                                    // dq and dk live in disjoint channel
-                                    // slices of dinp.
-                                    dinp_c[base + ti * c3 + h * hs + i] += dp * k[i];
-                                    dinp_c[base + t2 * c3 + c + h * hs + i] += dp * q[i];
-                                }
+                                // dq and dk live in disjoint channel slices
+                                // of dinp (sequential borrows).
+                                let dq = &mut dinp_c[base + ti * c3 + h * hs..][..hs];
+                                bk.axpy(dp, k, dq);
+                                let dk = &mut dinp_c[base + t2 * c3 + c + h * hs..][..hs];
+                                bk.axpy(dp, q, dk);
                             }
                         }
                     }
@@ -567,9 +540,10 @@ pub fn attention_backward(
     pool::run_tasks(tasks);
 }
 
-/// GELU forward (tanh approximation, as in GPT-2/MPT). Element-chunked.
+/// GELU forward (tanh approximation, as in GPT-2/MPT). Element-chunked,
+/// each chunk routed through the active backend.
 pub fn gelu_forward(out: &mut [f32], inp: &[f32]) {
-    const S: f32 = 0.797_884_6; // sqrt(2/pi)
+    let bk = backend::active();
     let n = out.len();
     let ranges = row_chunks(n, 4096);
     let chunks = pool::split_rows(out, 1, &ranges);
@@ -578,12 +552,7 @@ pub fn gelu_forward(out: &mut [f32], inp: &[f32]) {
         .zip(&ranges)
         .map(|(chunk, r)| {
             let x_chunk = &inp[r.start..r.end];
-            Box::new(move || {
-                for (o, &x) in chunk.iter_mut().zip(x_chunk) {
-                    let cube = 0.044715 * x * x * x;
-                    *o = 0.5 * x * (1.0 + (S * (x + cube)).tanh());
-                }
-            }) as pool::Task
+            Box::new(move || bk.gelu(chunk, x_chunk)) as pool::Task
         })
         .collect();
     pool::run_tasks(tasks);
@@ -591,7 +560,7 @@ pub fn gelu_forward(out: &mut [f32], inp: &[f32]) {
 
 /// Backward of [`gelu_forward`]. Accumulates into `dinp`. Element-chunked.
 pub fn gelu_backward(dinp: &mut [f32], inp: &[f32], dout: &[f32]) {
-    const S: f32 = 0.797_884_6;
+    let bk = backend::active();
     let n = dinp.len();
     let ranges = row_chunks(n, 4096);
     let chunks = pool::split_rows(dinp, 1, &ranges);
@@ -601,17 +570,7 @@ pub fn gelu_backward(dinp: &mut [f32], inp: &[f32], dout: &[f32]) {
         .map(|(chunk, r)| {
             let x_chunk = &inp[r.start..r.end];
             let dy_chunk = &dout[r.start..r.end];
-            Box::new(move || {
-                for ((di, &x), &dy) in chunk.iter_mut().zip(x_chunk).zip(dy_chunk) {
-                    let cube = 0.044715 * x * x * x;
-                    let tanh_arg = S * (x + cube);
-                    let tanh_out = tanh_arg.tanh();
-                    let sech2 = 1.0 - tanh_out * tanh_out;
-                    let local = 0.5 * (1.0 + tanh_out)
-                        + x * 0.5 * sech2 * S * (1.0 + 3.0 * 0.044715 * x * x);
-                    *di += local * dy;
-                }
-            }) as pool::Task
+            Box::new(move || bk.gelu_grad(chunk, x_chunk, dy_chunk)) as pool::Task
         })
         .collect();
     pool::run_tasks(tasks);
@@ -619,6 +578,7 @@ pub fn gelu_backward(dinp: &mut [f32], inp: &[f32], dout: &[f32]) {
 
 /// Residual connection: `out = a + b`. Element-chunked.
 pub fn residual_forward(out: &mut [f32], a: &[f32], b: &[f32]) {
+    let bk = backend::active();
     let n = out.len();
     let ranges = row_chunks(n, 8192);
     let chunks = pool::split_rows(out, 1, &ranges);
@@ -628,11 +588,7 @@ pub fn residual_forward(out: &mut [f32], a: &[f32], b: &[f32]) {
         .map(|(chunk, r)| {
             let a_chunk = &a[r.start..r.end];
             let b_chunk = &b[r.start..r.end];
-            Box::new(move || {
-                for ((o, &av), &bv) in chunk.iter_mut().zip(a_chunk).zip(b_chunk) {
-                    *o = av + bv;
-                }
-            }) as pool::Task
+            Box::new(move || bk.add(chunk, a_chunk, b_chunk)) as pool::Task
         })
         .collect();
     pool::run_tasks(tasks);
@@ -641,6 +597,7 @@ pub fn residual_forward(out: &mut [f32], a: &[f32], b: &[f32]) {
 /// Backward of the residual: both inputs receive the output gradient.
 /// Element-chunked (both gradient buffers split on the same ranges).
 pub fn residual_backward(da: &mut [f32], db: &mut [f32], dout: &[f32]) {
+    let bk = backend::active();
     let n = dout.len();
     let ranges = row_chunks(n, 8192);
     let da_chunks = pool::split_rows(&mut da[..n], 1, &ranges);
@@ -652,10 +609,8 @@ pub fn residual_backward(da: &mut [f32], db: &mut [f32], dout: &[f32]) {
         .map(|((dac, dbc), r)| {
             let dy = &dout[r.start..r.end];
             Box::new(move || {
-                for ((a, b), &d) in dac.iter_mut().zip(dbc).zip(dy) {
-                    *a += d;
-                    *b += d;
-                }
+                bk.axpy(1.0, dy, dac);
+                bk.axpy(1.0, dy, dbc);
             }) as pool::Task
         })
         .collect();
@@ -676,6 +631,7 @@ pub fn cross_entropy_forward(
     bt: usize,
     v: usize,
 ) -> f32 {
+    let bk = backend::active();
     let ranges = row_chunks(bt, 1);
     let prob_chunks = pool::split_rows(&mut probs[..bt * v], v, &ranges);
     let loss_chunks = pool::split_rows(&mut losses[..bt], 1, &ranges);
@@ -692,15 +648,7 @@ pub fn cross_entropy_forward(
                     .zip(r.clone())
                 {
                     let row = &logits[i * v..(i + 1) * v];
-                    let maxv = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
-                    let mut sum = 0.0f32;
-                    for j in 0..v {
-                        let e = (row[j] - maxv).exp();
-                        p[j] = e;
-                        sum += e;
-                    }
-                    let inv = 1.0 / sum;
-                    p.iter_mut().for_each(|x| *x *= inv);
+                    bk.softmax_row(p, row);
                     let target = targets[i] as usize;
                     *l = -(p[target].max(1e-30)).ln();
                 }

@@ -1,0 +1,306 @@
+//! Pluggable compute backends: a scalar reference implementation and a
+//! SIMD microkernel path, selected once at runtime.
+//!
+//! Every hot kernel in the stack (GEMM in all transpose layouts, the
+//! attention dot/axpy primitives, layernorm, GELU, residual adds and the
+//! cross-entropy softmax) routes through the [`Backend`] trait, so the
+//! persistent worker pool in [`crate::ops::pool`] composes with either
+//! implementation: the pool decides *how work is split*, the backend
+//! decides *how each chunk is computed*.
+//!
+//! ## Selection
+//!
+//! The active backend is resolved once per process, in priority order:
+//!
+//! 1. an explicit [`set_backend`] call (the CLI `--backend` flag);
+//! 2. the `PHOTON_BACKEND` environment variable (`scalar` or `simd`);
+//! 3. CPU feature detection: AVX2+FMA on x86-64
+//!    (`is_x86_feature_detected!`), NEON on aarch64 (baseline), otherwise
+//!    scalar.
+//!
+//! Requesting `simd` on a host without the required features falls back to
+//! scalar — runtime dispatch never regresses a host that cannot vectorize.
+//!
+//! ## Determinism contract
+//!
+//! Results are bit-identical across runs *within* a fixed backend (kernels
+//! are pure functions of their inputs and the pool chunk count). Across
+//! backends only tolerance-bounded parity holds: the SIMD path reassociates
+//! reductions (8-wide accumulator trees) and uses a polynomial `exp`, so
+//! replay comparisons must pin `PHOTON_BACKEND`.
+
+use crate::ops::Gemm;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+mod scalar;
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+mod simd;
+
+pub use scalar::ScalarBackend;
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+pub use simd::SimdBackend;
+
+/// A compute backend: the set of inner-loop kernels everything above the
+/// worker pool dispatches through.
+///
+/// GEMM kernels accumulate `C += alpha * op(A) op(B)` — the caller applies
+/// `beta` (see `ops::gemm`) and decides packing/splitting. Row kernels
+/// operate on one logical row so pool chunking stays in the caller.
+pub trait Backend: Send + Sync {
+    /// Short stable name (`"scalar"` / `"simd"`), used for trace tags and
+    /// metrics attribution.
+    fn name(&self) -> &'static str;
+
+    /// `C += alpha * A B` with row-major `A: (m, k)`, `B: (k, n)`.
+    fn gemm_nn(&self, spec: Gemm, a: &[f32], b: &[f32], c: &mut [f32]);
+
+    /// `C += alpha * A B^T` with physical `B: (n, k)` (each output is a dot
+    /// of two contiguous rows). Large problems are repacked to `gemm_nn` by
+    /// the caller; this path handles the small/unpacked cases.
+    fn gemm_nt(&self, spec: Gemm, a: &[f32], b: &[f32], c: &mut [f32]);
+
+    /// `C += alpha * A^T B` with physical `A: (k, m)`, `B: (k, n)`.
+    fn gemm_tn(&self, spec: Gemm, a: &[f32], b: &[f32], c: &mut [f32]);
+
+    /// `C += alpha * A^T B^T` for logical rows `i0..i0 + rows`, indexing the
+    /// full physical buffers absolutely (the row window cannot be expressed
+    /// as a sub-slice of `a`). Rare outside tests.
+    fn gemm_tt_rows(
+        &self,
+        spec: Gemm,
+        i0: usize,
+        rows: usize,
+        a: &[f32],
+        b: &[f32],
+        c_rows: &mut [f32],
+    );
+
+    /// Dot product with single-precision accumulation (the attention q·k
+    /// inner product; for the f64-accumulated reduction see
+    /// [`crate::ops::dot`]).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    fn dot(&self, a: &[f32], b: &[f32]) -> f32;
+
+    /// `dst[i] += alpha * src[i]`.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    fn axpy(&self, alpha: f32, src: &[f32], dst: &mut [f32]);
+
+    /// Element-wise `out[i] = a[i] + b[i]` (the residual connection).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    fn add(&self, out: &mut [f32], a: &[f32], b: &[f32]);
+
+    /// GELU forward (tanh approximation) over a chunk.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    fn gelu(&self, out: &mut [f32], inp: &[f32]);
+
+    /// GELU backward over a chunk: `dinp[i] += gelu'(inp[i]) * dout[i]`.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    fn gelu_grad(&self, dinp: &mut [f32], inp: &[f32], dout: &[f32]);
+
+    /// LayerNorm over one row (`eps = 1e-5`): writes the normalized row and
+    /// returns `(mean, rstd)` for the backward pass.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    fn layernorm_row(&self, out: &mut [f32], x: &[f32], weight: &[f32], bias: &[f32])
+        -> (f32, f32);
+
+    /// LayerNorm backward over one row. Accumulates into `dinp_row`,
+    /// `dweight` and `dbias` (callers hand per-chunk partial buffers for the
+    /// latter two).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    #[allow(clippy::too_many_arguments)]
+    fn layernorm_grad_row(
+        &self,
+        dinp_row: &mut [f32],
+        dweight: &mut [f32],
+        dbias: &mut [f32],
+        dout_row: &[f32],
+        x: &[f32],
+        weight: &[f32],
+        mean: f32,
+        rstd: f32,
+    );
+
+    /// Numerically-stable softmax over one row:
+    /// `probs[j] = exp(logits[j] - max) / sum`.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    fn softmax_row(&self, probs: &mut [f32], logits: &[f32]);
+}
+
+/// Which backend implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Portable scalar reference kernels.
+    Scalar,
+    /// 8-wide f32 FMA register tiles (AVX2+FMA on x86-64, NEON on aarch64).
+    Simd,
+}
+
+impl BackendKind {
+    /// Parses a backend name as accepted by `PHOTON_BACKEND` / `--backend`.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(BackendKind::Scalar),
+            "simd" => Some(BackendKind::Simd),
+            _ => None,
+        }
+    }
+
+    /// Stable identifier for trace args (0 = scalar, 1 = simd).
+    pub fn id(self) -> u64 {
+        match self {
+            BackendKind::Scalar => 0,
+            BackendKind::Simd => 1,
+        }
+    }
+}
+
+/// Whether this host can run the SIMD backend (AVX2+FMA on x86-64; always
+/// true on aarch64 where NEON is baseline; false elsewhere).
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        true
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        false
+    }
+}
+
+static SCALAR: ScalarBackend = ScalarBackend;
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+static SIMD: SimdBackend = SimdBackend;
+
+/// Returns a specific backend implementation regardless of the active
+/// selection (parity tests and benchmarks compare backends side by side).
+/// `Simd` on an unsupported *architecture* returns the scalar backend; on a
+/// supported architecture the caller must gate on [`simd_available`].
+pub fn by_kind(kind: BackendKind) -> &'static dyn Backend {
+    match kind {
+        BackendKind::Scalar => &SCALAR,
+        #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+        BackendKind::Simd => &SIMD,
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        BackendKind::Simd => &SCALAR,
+    }
+}
+
+const KIND_UNSET: u8 = 0;
+const KIND_SCALAR: u8 = 1;
+const KIND_SIMD: u8 = 2;
+
+static ACTIVE_KIND: AtomicU8 = AtomicU8::new(KIND_UNSET);
+
+fn resolve_default() -> BackendKind {
+    let requested = std::env::var("PHOTON_BACKEND")
+        .ok()
+        .as_deref()
+        .and_then(BackendKind::parse);
+    match requested {
+        Some(BackendKind::Scalar) => BackendKind::Scalar,
+        // An explicit `simd` request on an unsupported host falls back to
+        // scalar rather than failing: zero regression on non-SIMD hosts.
+        Some(BackendKind::Simd) | None => {
+            if simd_available() {
+                BackendKind::Simd
+            } else {
+                BackendKind::Scalar
+            }
+        }
+    }
+}
+
+/// The kind of the active backend, resolving the selection on first use.
+pub fn active_kind() -> BackendKind {
+    match ACTIVE_KIND.load(Ordering::Relaxed) {
+        KIND_SCALAR => BackendKind::Scalar,
+        KIND_SIMD => BackendKind::Simd,
+        _ => {
+            let kind = resolve_default();
+            let encoded = match kind {
+                BackendKind::Scalar => KIND_SCALAR,
+                BackendKind::Simd => KIND_SIMD,
+            };
+            // A concurrent first resolution reaches the same answer, so a
+            // plain store is fine.
+            ACTIVE_KIND.store(encoded, Ordering::Relaxed);
+            kind
+        }
+    }
+}
+
+/// The active backend every kernel dispatches through.
+pub fn active() -> &'static dyn Backend {
+    by_kind(active_kind())
+}
+
+/// Name of the active backend (`"scalar"` / `"simd"`), for metrics and
+/// trace attribution.
+pub fn active_name() -> &'static str {
+    active().name()
+}
+
+/// Overrides the backend selection (the CLI `--backend` flag). Returns the
+/// kind actually in effect: requesting `Simd` on a host without AVX2/NEON
+/// resolves to `Scalar`.
+pub fn set_backend(kind: BackendKind) -> BackendKind {
+    let resolved = match kind {
+        BackendKind::Simd if !simd_available() => BackendKind::Scalar,
+        other => other,
+    };
+    let encoded = match resolved {
+        BackendKind::Scalar => KIND_SCALAR,
+        BackendKind::Simd => KIND_SIMD,
+    };
+    ACTIVE_KIND.store(encoded, Ordering::Relaxed);
+    resolved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_known_names() {
+        assert_eq!(BackendKind::parse("scalar"), Some(BackendKind::Scalar));
+        assert_eq!(BackendKind::parse(" SIMD "), Some(BackendKind::Simd));
+        assert_eq!(BackendKind::parse("avx512"), None);
+    }
+
+    #[test]
+    fn by_kind_names_are_stable() {
+        assert_eq!(by_kind(BackendKind::Scalar).name(), "scalar");
+        if simd_available() {
+            assert_eq!(by_kind(BackendKind::Simd).name(), "simd");
+        }
+    }
+
+    #[test]
+    fn active_backend_resolves() {
+        // Whatever the environment says, the resolution must terminate and
+        // agree with the reported name.
+        let kind = active_kind();
+        assert_eq!(active().name(), by_kind(kind).name());
+        assert_eq!(active_name(), active().name());
+    }
+}

@@ -1,0 +1,317 @@
+//! The scalar reference backend: portable, allocation-free inner loops.
+//!
+//! These are the kernels every other backend is checked against (the parity
+//! proptests bound SIMD-vs-scalar divergence). The GEMM kernels are cache-
+//! blocked and register-tiled but use no explicit vector intrinsics — the
+//! compiler's autovectorizer is welcome to do what it can.
+
+use super::Backend;
+use crate::ops::Gemm;
+
+/// k-dimension block size: one block of B rows (`KC * n` floats) stays hot
+/// in L2 while a row tile of C streams over it.
+pub(crate) const KC: usize = 256;
+/// Register tile height: rows of C updated together so each loaded B value
+/// feeds `MR` fused multiply-adds.
+pub(crate) const MR: usize = 4;
+
+/// `C += alpha * A B` with `A: (m, k)`, `B: (k, n)`, both row-major.
+///
+/// k-blocked so each `(KC, n)` panel of B is reused across every row tile,
+/// with an `MR`-row register tile on the `ipj` path. No value-dependent
+/// skips: a zero in A must still propagate NaN/Inf from B.
+fn kernel_nn(m: usize, k: usize, n: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let mut p0 = 0;
+    while p0 < k {
+        let pe = (p0 + KC).min(k);
+        let mut rows = &mut c[..m * n];
+        let mut i = 0usize;
+        while i + MR <= m {
+            let (tile, rest) = rows.split_at_mut(MR * n);
+            rows = rest;
+            let (r0, tail) = tile.split_at_mut(n);
+            let (r1, tail) = tail.split_at_mut(n);
+            let (r2, r3) = tail.split_at_mut(n);
+            for p in p0..pe {
+                let s0 = alpha * a[i * k + p];
+                let s1 = alpha * a[(i + 1) * k + p];
+                let s2 = alpha * a[(i + 2) * k + p];
+                let s3 = alpha * a[(i + 3) * k + p];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (j, &bv) in b_row.iter().enumerate() {
+                    r0[j] += s0 * bv;
+                    r1[j] += s1 * bv;
+                    r2[j] += s2 * bv;
+                    r3[j] += s3 * bv;
+                }
+            }
+            i += MR;
+        }
+        while i < m {
+            let (row, rest) = rows.split_at_mut(n);
+            rows = rest;
+            for p in p0..pe {
+                let s = alpha * a[i * k + p];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (cv, &bv) in row.iter_mut().zip(b_row) {
+                    *cv += s * bv;
+                }
+            }
+            i += 1;
+        }
+        p0 = pe;
+    }
+}
+
+/// Four-accumulator dot product; the split accumulators expose instruction-
+/// level parallelism the single-chain version cannot.
+fn dot4(x: &[f32], y: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let mut xs = x.chunks_exact(4);
+    let mut ys = y.chunks_exact(4);
+    for (xc, yc) in xs.by_ref().zip(ys.by_ref()) {
+        acc[0] += xc[0] * yc[0];
+        acc[1] += xc[1] * yc[1];
+        acc[2] += xc[2] * yc[2];
+        acc[3] += xc[3] * yc[3];
+    }
+    let mut tail = 0.0f32;
+    for (&xv, &yv) in xs.remainder().iter().zip(ys.remainder()) {
+        tail += xv * yv;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// `C += alpha * A B^T` with `A: (m, k)`, physical `B: (n, k)`: every output
+/// is a dot of two contiguous rows.
+fn kernel_nt(m: usize, k: usize, n: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            *cv += alpha * dot4(a_row, b_row);
+        }
+    }
+}
+
+/// `C += alpha * A^T B` with physical `A: (k, m)`, `B: (k, n)`: an `MR`-row
+/// tile of C accumulates across the whole contraction so each streamed row
+/// of B is reused `MR` times.
+fn kernel_tn(m: usize, k: usize, n: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let mut rows = &mut c[..m * n];
+    let mut i = 0usize;
+    while i + MR <= m {
+        let (tile, rest) = rows.split_at_mut(MR * n);
+        rows = rest;
+        let (r0, tail) = tile.split_at_mut(n);
+        let (r1, tail) = tail.split_at_mut(n);
+        let (r2, r3) = tail.split_at_mut(n);
+        for p in 0..k {
+            let s0 = alpha * a[p * m + i];
+            let s1 = alpha * a[p * m + i + 1];
+            let s2 = alpha * a[p * m + i + 2];
+            let s3 = alpha * a[p * m + i + 3];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (j, &bv) in b_row.iter().enumerate() {
+                r0[j] += s0 * bv;
+                r1[j] += s1 * bv;
+                r2[j] += s2 * bv;
+                r3[j] += s3 * bv;
+            }
+        }
+        i += MR;
+    }
+    while i < m {
+        let (row, rest) = rows.split_at_mut(n);
+        rows = rest;
+        for p in 0..k {
+            let s = alpha * a[p * m + i];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in row.iter_mut().zip(b_row) {
+                *cv += s * bv;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// `C += alpha * A^T B^T` for logical rows `i0..i0 + rows`; see
+/// [`Backend::gemm_tt_rows`].
+pub(crate) fn kernel_tt_rows(
+    spec: Gemm,
+    i0: usize,
+    rows: usize,
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+) {
+    let (m, k, n, alpha) = (spec.m, spec.k, spec.n, spec.alpha);
+    for (di, c_row) in c_rows.chunks_exact_mut(n).take(rows).enumerate() {
+        let i = i0 + di;
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[p * m + i] * b[j * k + p];
+            }
+            *cv += alpha * acc;
+        }
+    }
+}
+
+pub(crate) const GELU_S: f32 = 0.797_884_6; // sqrt(2/pi)
+pub(crate) const LN_EPS: f32 = 1e-5;
+
+/// The scalar reference backend (unit struct — all state lives in the
+/// slices it operates on).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ScalarBackend;
+
+impl Backend for ScalarBackend {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn gemm_nn(&self, spec: Gemm, a: &[f32], b: &[f32], c: &mut [f32]) {
+        kernel_nn(spec.m, spec.k, spec.n, spec.alpha, a, b, c);
+    }
+
+    fn gemm_nt(&self, spec: Gemm, a: &[f32], b: &[f32], c: &mut [f32]) {
+        kernel_nt(spec.m, spec.k, spec.n, spec.alpha, a, b, c);
+    }
+
+    fn gemm_tn(&self, spec: Gemm, a: &[f32], b: &[f32], c: &mut [f32]) {
+        kernel_tn(spec.m, spec.k, spec.n, spec.alpha, a, b, c);
+    }
+
+    fn gemm_tt_rows(
+        &self,
+        spec: Gemm,
+        i0: usize,
+        rows: usize,
+        a: &[f32],
+        b: &[f32],
+        c_rows: &mut [f32],
+    ) {
+        kernel_tt_rows(spec, i0, rows, a, b, c_rows);
+    }
+
+    fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "dot length mismatch");
+        let mut acc = 0.0f32;
+        for (&x, &y) in a.iter().zip(b) {
+            acc += x * y;
+        }
+        acc
+    }
+
+    fn axpy(&self, alpha: f32, src: &[f32], dst: &mut [f32]) {
+        assert_eq!(dst.len(), src.len(), "axpy length mismatch");
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d += alpha * s;
+        }
+    }
+
+    fn add(&self, out: &mut [f32], a: &[f32], b: &[f32]) {
+        assert_eq!(out.len(), a.len(), "add length mismatch");
+        assert_eq!(out.len(), b.len(), "add length mismatch");
+        for ((o, &av), &bv) in out.iter_mut().zip(a).zip(b) {
+            *o = av + bv;
+        }
+    }
+
+    fn gelu(&self, out: &mut [f32], inp: &[f32]) {
+        assert_eq!(out.len(), inp.len(), "gelu length mismatch");
+        for (o, &x) in out.iter_mut().zip(inp) {
+            let cube = 0.044715 * x * x * x;
+            *o = 0.5 * x * (1.0 + (GELU_S * (x + cube)).tanh());
+        }
+    }
+
+    fn gelu_grad(&self, dinp: &mut [f32], inp: &[f32], dout: &[f32]) {
+        assert_eq!(dinp.len(), inp.len(), "gelu_grad length mismatch");
+        assert_eq!(dinp.len(), dout.len(), "gelu_grad length mismatch");
+        for ((di, &x), &dy) in dinp.iter_mut().zip(inp).zip(dout) {
+            let cube = 0.044715 * x * x * x;
+            let tanh_arg = GELU_S * (x + cube);
+            let tanh_out = tanh_arg.tanh();
+            let sech2 = 1.0 - tanh_out * tanh_out;
+            let local =
+                0.5 * (1.0 + tanh_out) + x * 0.5 * sech2 * GELU_S * (1.0 + 3.0 * 0.044715 * x * x);
+            *di += local * dy;
+        }
+    }
+
+    fn layernorm_row(
+        &self,
+        out: &mut [f32],
+        x: &[f32],
+        weight: &[f32],
+        bias: &[f32],
+    ) -> (f32, f32) {
+        let c = x.len();
+        assert_eq!(out.len(), c, "layernorm_row length mismatch");
+        assert_eq!(weight.len(), c, "layernorm_row length mismatch");
+        assert_eq!(bias.len(), c, "layernorm_row length mismatch");
+        let m = x.iter().sum::<f32>() / c as f32;
+        let var = x.iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / c as f32;
+        let rs = 1.0 / (var + LN_EPS).sqrt();
+        for j in 0..c {
+            out[j] = (x[j] - m) * rs * weight[j] + bias[j];
+        }
+        (m, rs)
+    }
+
+    fn layernorm_grad_row(
+        &self,
+        dinp_row: &mut [f32],
+        dweight: &mut [f32],
+        dbias: &mut [f32],
+        dout_row: &[f32],
+        x: &[f32],
+        weight: &[f32],
+        mean: f32,
+        rstd: f32,
+    ) {
+        let c = x.len();
+        assert_eq!(dinp_row.len(), c, "layernorm_grad_row length mismatch");
+        assert_eq!(dweight.len(), c, "layernorm_grad_row length mismatch");
+        assert_eq!(dbias.len(), c, "layernorm_grad_row length mismatch");
+        assert_eq!(dout_row.len(), c, "layernorm_grad_row length mismatch");
+        assert_eq!(weight.len(), c, "layernorm_grad_row length mismatch");
+
+        // Two reductions over the row.
+        let mut dnorm_mean = 0.0f32;
+        let mut dnorm_norm_mean = 0.0f32;
+        for j in 0..c {
+            let norm = (x[j] - mean) * rstd;
+            let dnorm = weight[j] * dout_row[j];
+            dnorm_mean += dnorm;
+            dnorm_norm_mean += dnorm * norm;
+        }
+        dnorm_mean /= c as f32;
+        dnorm_norm_mean /= c as f32;
+
+        for j in 0..c {
+            let norm = (x[j] - mean) * rstd;
+            let dnorm = weight[j] * dout_row[j];
+            dbias[j] += dout_row[j];
+            dweight[j] += norm * dout_row[j];
+            dinp_row[j] += (dnorm - dnorm_mean - norm * dnorm_norm_mean) * rstd;
+        }
+    }
+
+    fn softmax_row(&self, probs: &mut [f32], logits: &[f32]) {
+        let v = logits.len();
+        assert_eq!(probs.len(), v, "softmax_row length mismatch");
+        let maxv = logits.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        let mut sum = 0.0f32;
+        for j in 0..v {
+            let e = (logits[j] - maxv).exp();
+            probs[j] = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        probs.iter_mut().for_each(|x| *x *= inv);
+    }
+}

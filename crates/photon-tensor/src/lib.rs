@@ -25,6 +25,8 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod backend;
+pub mod dtype;
 mod error;
 mod init;
 pub mod ops;
@@ -32,9 +34,12 @@ mod ser;
 mod shape;
 mod tensor;
 
+pub use dtype::{bf16_from_f32, bf16_to_f32, Dtype};
 pub use error::TensorError;
 pub use init::{normal_fill, trunc_normal_fill, uniform_fill, SeedStream};
-pub use ser::{read_f32_slice, read_tensor, write_f32_slice, write_tensor};
+pub use ser::{
+    read_bf16_slice, read_f32_slice, read_tensor, write_bf16_slice, write_f32_slice, write_tensor,
+};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

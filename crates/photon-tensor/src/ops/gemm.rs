@@ -1,4 +1,5 @@
 use super::pool;
+use crate::backend::{self, Backend};
 
 /// Specification for a general matrix multiply `C = alpha * op(A) op(B) + beta * C`.
 ///
@@ -85,13 +86,6 @@ impl Gemm {
     }
 }
 
-/// k-dimension block size: one block of B rows (`KC * n` floats) stays hot
-/// in L2 while a row tile of C streams over it.
-const KC: usize = 256;
-/// Register tile height: rows of C updated together so each loaded B value
-/// feeds `MR` fused multiply-adds.
-const MR: usize = 4;
-
 /// Scales `c` by `beta` with the overwrite special case (`beta == 0` stores
 /// zeros even over NaN/Inf garbage, matching BLAS semantics).
 fn scale_beta(c: &mut [f32], beta: f32) {
@@ -102,147 +96,46 @@ fn scale_beta(c: &mut [f32], beta: f32) {
     }
 }
 
-/// `C += alpha * A B` with `A: (m, k)`, `B: (k, n)`, both row-major.
-///
-/// k-blocked so each `(KC, n)` panel of B is reused across every row tile,
-/// with an `MR`-row register tile on the `ipj` path. No value-dependent
-/// skips: a zero in A must still propagate NaN/Inf from B.
-fn kernel_nn(m: usize, k: usize, n: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
-    let mut p0 = 0;
-    while p0 < k {
-        let pe = (p0 + KC).min(k);
-        let mut rows = &mut c[..m * n];
-        let mut i = 0usize;
-        while i + MR <= m {
-            let (tile, rest) = rows.split_at_mut(MR * n);
-            rows = rest;
-            let (r0, tail) = tile.split_at_mut(n);
-            let (r1, tail) = tail.split_at_mut(n);
-            let (r2, r3) = tail.split_at_mut(n);
-            for p in p0..pe {
-                let s0 = alpha * a[i * k + p];
-                let s1 = alpha * a[(i + 1) * k + p];
-                let s2 = alpha * a[(i + 2) * k + p];
-                let s3 = alpha * a[(i + 3) * k + p];
-                let b_row = &b[p * n..(p + 1) * n];
-                for (j, &bv) in b_row.iter().enumerate() {
-                    r0[j] += s0 * bv;
-                    r1[j] += s1 * bv;
-                    r2[j] += s2 * bv;
-                    r3[j] += s3 * bv;
-                }
-            }
-            i += MR;
+/// Problems below this many flops (`2 m k n`) run the strided `nt` kernel
+/// directly: the `O(k n)` repack only pays for itself once the `O(m k n)`
+/// kernel re-reads each B element at least a few times.
+const PACK_MIN_FLOPS: usize = 1 << 16;
+
+fn should_pack_b(spec: &Gemm) -> bool {
+    spec.trans_b && !spec.trans_a && spec.m >= 8 && 2 * spec.m * spec.k * spec.n >= PACK_MIN_FLOPS
+}
+
+/// Packs physical `B: (n, k)` into a contiguous `(k, n)` row-major panel so
+/// the `trans_b` layout runs through the streaming `nn` kernel (unit-stride
+/// B rows) instead of column-strided dots.
+fn pack_b(k: usize, n: usize, b: &[f32]) -> Vec<f32> {
+    let mut packed = Vec::with_capacity(k * n);
+    for p in 0..k {
+        for j in 0..n {
+            packed.push(b[j * k + p]);
         }
-        while i < m {
-            let (row, rest) = rows.split_at_mut(n);
-            rows = rest;
-            for p in p0..pe {
-                let s = alpha * a[i * k + p];
-                let b_row = &b[p * n..(p + 1) * n];
-                for (cv, &bv) in row.iter_mut().zip(b_row) {
-                    *cv += s * bv;
-                }
-            }
-            i += 1;
-        }
-        p0 = pe;
+    }
+    packed
+}
+
+/// Runs a spec on the calling thread through one backend: applies `beta`,
+/// then dispatches the accumulate kernel for the transpose layout.
+fn gemm_serial(bk: &dyn Backend, spec: Gemm, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let (m, n) = (spec.m, spec.n);
+    scale_beta(&mut c[..m * n], spec.beta);
+    match (spec.trans_a, spec.trans_b) {
+        (false, false) => bk.gemm_nn(spec, a, b, c),
+        (false, true) => bk.gemm_nt(spec, a, b, c),
+        (true, false) => bk.gemm_tn(spec, a, b, c),
+        (true, true) => bk.gemm_tt_rows(spec, 0, m, a, b, c),
     }
 }
 
-/// Four-accumulator dot product; the split accumulators expose instruction-
-/// level parallelism the single-chain version cannot.
-fn dot4(x: &[f32], y: &[f32]) -> f32 {
-    let mut acc = [0.0f32; 4];
-    let mut xs = x.chunks_exact(4);
-    let mut ys = y.chunks_exact(4);
-    for (xc, yc) in xs.by_ref().zip(ys.by_ref()) {
-        acc[0] += xc[0] * yc[0];
-        acc[1] += xc[1] * yc[1];
-        acc[2] += xc[2] * yc[2];
-        acc[3] += xc[3] * yc[3];
-    }
-    let mut tail = 0.0f32;
-    for (&xv, &yv) in xs.remainder().iter().zip(ys.remainder()) {
-        tail += xv * yv;
-    }
-    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
-}
-
-/// `C += alpha * A B^T` with `A: (m, k)`, physical `B: (n, k)`: every output
-/// is a dot of two contiguous rows.
-fn kernel_nt(m: usize, k: usize, n: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (j, cv) in c_row.iter_mut().enumerate() {
-            let b_row = &b[j * k..(j + 1) * k];
-            *cv += alpha * dot4(a_row, b_row);
-        }
-    }
-}
-
-/// `C += alpha * A^T B` with physical `A: (k, m)`, `B: (k, n)`: an `MR`-row
-/// tile of C accumulates across the whole contraction so each streamed row
-/// of B is reused `MR` times.
-fn kernel_tn(m: usize, k: usize, n: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
-    let mut rows = &mut c[..m * n];
-    let mut i = 0usize;
-    while i + MR <= m {
-        let (tile, rest) = rows.split_at_mut(MR * n);
-        rows = rest;
-        let (r0, tail) = tile.split_at_mut(n);
-        let (r1, tail) = tail.split_at_mut(n);
-        let (r2, r3) = tail.split_at_mut(n);
-        for p in 0..k {
-            let s0 = alpha * a[p * m + i];
-            let s1 = alpha * a[p * m + i + 1];
-            let s2 = alpha * a[p * m + i + 2];
-            let s3 = alpha * a[p * m + i + 3];
-            let b_row = &b[p * n..(p + 1) * n];
-            for (j, &bv) in b_row.iter().enumerate() {
-                r0[j] += s0 * bv;
-                r1[j] += s1 * bv;
-                r2[j] += s2 * bv;
-                r3[j] += s3 * bv;
-            }
-        }
-        i += MR;
-    }
-    while i < m {
-        let (row, rest) = rows.split_at_mut(n);
-        rows = rest;
-        for p in 0..k {
-            let s = alpha * a[p * m + i];
-            let b_row = &b[p * n..(p + 1) * n];
-            for (cv, &bv) in row.iter_mut().zip(b_row) {
-                *cv += s * bv;
-            }
-        }
-        i += 1;
-    }
-}
-
-/// `C += alpha * A^T B^T` for logical rows `i0..i0 + rows`, with physical
-/// `A: (k, m)` and `B: (n, k)` indexed absolutely (the row window cannot be
-/// expressed as a sub-slice of `a`). Rare outside tests.
-fn kernel_tt_rows(spec: Gemm, i0: usize, rows: usize, a: &[f32], b: &[f32], c_rows: &mut [f32]) {
-    let (m, k, n, alpha) = (spec.m, spec.k, spec.n, spec.alpha);
-    for (di, c_row) in c_rows.chunks_exact_mut(n).take(rows).enumerate() {
-        let i = i0 + di;
-        for (j, cv) in c_row.iter_mut().enumerate() {
-            let mut acc = 0.0f32;
-            for p in 0..k {
-                acc += a[p * m + i] * b[j * k + p];
-            }
-            *cv += alpha * acc;
-        }
-    }
-}
-
-/// Executes a [`Gemm`] spec on the calling thread with cache-blocked,
-/// register-tiled kernels (see [`kernel_nn`]'s blocking scheme). For the
-/// pool-parallel entry points use [`par_gemm`] or [`gemm_auto`].
+/// Executes a [`Gemm`] spec on the calling thread through the active
+/// [`crate::backend`] (scalar reference or SIMD register tiles). Large
+/// `trans_b` problems are first repacked into a contiguous panel (see
+/// [`pack_b`]). For the pool-parallel entry points use [`par_gemm`] or
+/// [`gemm_auto`].
 ///
 /// # Panics
 /// Panics if any slice is shorter than the spec requires.
@@ -250,19 +143,27 @@ pub fn gemm(spec: Gemm, a: &[f32], b: &[f32], c: &mut [f32]) {
     assert!(a.len() >= spec.a_len(), "gemm: a too short");
     assert!(b.len() >= spec.b_len(), "gemm: b too short");
     assert!(c.len() >= spec.c_len(), "gemm: c too short");
-    let (m, k, n) = (spec.m, spec.k, spec.n);
-    scale_beta(&mut c[..m * n], spec.beta);
-    match (spec.trans_a, spec.trans_b) {
-        (false, false) => kernel_nn(m, k, n, spec.alpha, a, b, c),
-        (false, true) => kernel_nt(m, k, n, spec.alpha, a, b, c),
-        (true, false) => kernel_tn(m, k, n, spec.alpha, a, b, c),
-        (true, true) => kernel_tt_rows(spec, 0, m, a, b, c),
+    let bk = backend::active();
+    if should_pack_b(&spec) {
+        let packed = pack_b(spec.k, spec.n, b);
+        let nn = Gemm {
+            trans_b: false,
+            ..spec
+        };
+        gemm_serial(bk, nn, a, &packed, c);
+        return;
     }
+    gemm_serial(bk, spec, a, b, c);
 }
 
 /// Problems below this many flops (`2 m k n`) are not worth a trip through
 /// the pool barrier.
-const PAR_THRESHOLD_FLOPS: usize = 1 << 18;
+const PAR_THRESHOLD_FLOPS: usize = 1 << 20;
+
+/// Minimum flops per pool task: below this, waking another worker costs
+/// more than it computes, so the task count is capped at
+/// `flops / MIN_TASK_FLOPS` even when more threads are available.
+const MIN_TASK_FLOPS: usize = 1 << 23;
 
 /// Pool-parallel [`gemm`] with an explicit thread budget.
 ///
@@ -271,7 +172,11 @@ const PAR_THRESHOLD_FLOPS: usize = 1 << 18;
 /// and `n` are small but `k = B*T` is large) instead splits the
 /// *contraction* dimension: each worker accumulates into a private
 /// `(m, n)` partial buffer and the partials are reduced into `C` in
-/// deterministic chunk order after the barrier. Small problems run serially.
+/// deterministic chunk order after the barrier. Small problems run
+/// serially, and the task count is sized so each task gets at least
+/// [`MIN_TASK_FLOPS`] of work (per-task overhead must amortize). A
+/// `trans_b` panel is packed *once*, before splitting, so all row tasks
+/// share it.
 ///
 /// # Panics
 /// Panics if any slice is shorter than the spec requires.
@@ -285,15 +190,31 @@ pub fn par_gemm(spec: Gemm, a: &[f32], b: &[f32], c: &mut [f32], threads: usize)
         gemm(spec, a, b, c);
         return;
     }
+    let bk = backend::active();
     if spec.trans_a && !spec.trans_b {
-        par_gemm_split_k(spec, a, b, c, threads);
+        par_gemm_split_k(bk, spec, a, b, c, threads, flops);
         return;
     }
 
+    // Pack the trans_b panel once so every row task shares it.
+    let packed_storage;
+    let (spec, b): (Gemm, &[f32]) = if should_pack_b(&spec) {
+        packed_storage = pack_b(spec.k, spec.n, b);
+        (
+            Gemm {
+                trans_b: false,
+                ..spec
+            },
+            &packed_storage,
+        )
+    } else {
+        (spec, b)
+    };
+
     let (m, k, n) = (spec.m, spec.k, spec.n);
-    let parts = threads.min(m);
+    let parts = threads.min(m).min((flops / MIN_TASK_FLOPS).max(1));
     if parts <= 1 {
-        gemm(spec, a, b, c);
+        gemm_serial(bk, spec, a, b, c);
         return;
     }
     let ranges = pool::chunk_ranges(m, parts);
@@ -309,9 +230,9 @@ pub fn par_gemm(spec: Gemm, a: &[f32], b: &[f32], c: &mut [f32], threads: usize)
                     // tt: the row window of A^T is column-strided, so the
                     // kernel indexes the full buffers absolutely.
                     scale_beta(c_chunk, spec.beta);
-                    kernel_tt_rows(spec, r.start, r.len(), a, b, c_chunk);
+                    bk.gemm_tt_rows(spec, r.start, r.len(), a, b, c_chunk);
                 } else {
-                    gemm(sub, &a[r.start * k..r.end * k], b, c_chunk);
+                    gemm_serial(bk, sub, &a[r.start * k..r.end * k], b, c_chunk);
                 }
             }) as pool::Task
         })
@@ -324,11 +245,19 @@ pub fn par_gemm(spec: Gemm, a: &[f32], b: &[f32], c: &mut [f32], threads: usize)
 /// `(m, n)` accumulator, so the hot loops are write-disjoint without locks.
 /// The reduce runs on the caller in ascending chunk order — results depend
 /// only on the chunk count, never on scheduling.
-fn par_gemm_split_k(spec: Gemm, a: &[f32], b: &[f32], c: &mut [f32], threads: usize) {
+fn par_gemm_split_k(
+    bk: &dyn Backend,
+    spec: Gemm,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    threads: usize,
+    flops: usize,
+) {
     let (m, k, n) = (spec.m, spec.k, spec.n);
-    let parts = threads.min(k);
+    let parts = threads.min(k).min((flops / MIN_TASK_FLOPS).max(1));
     if parts <= 1 {
-        gemm(spec, a, b, c);
+        gemm_serial(bk, spec, a, b, c);
         return;
     }
     let ranges = pool::chunk_ranges(k, parts);
@@ -344,7 +273,8 @@ fn par_gemm_split_k(spec: Gemm, a: &[f32], b: &[f32], c: &mut [f32], threads: us
                     beta: 0.0,
                     ..spec
                 };
-                gemm(
+                gemm_serial(
+                    bk,
                     sub,
                     &a[r.start * m..r.end * m],
                     &b[r.start * n..r.end * n],
@@ -373,7 +303,8 @@ pub fn gemm_auto(spec: Gemm, a: &[f32], b: &[f32], c: &mut [f32]) {
     let _kernel = photon_trace::span(photon_trace::Phase::KernelGemm)
         .arg("m", spec.m as u64)
         .arg("k", spec.k as u64)
-        .arg("n", spec.n as u64);
+        .arg("n", spec.n as u64)
+        .arg("backend", backend::active_kind().id());
     photon_trace::counter_add(
         "kernel.gemm_flops",
         2 * (spec.m as u64) * (spec.k as u64) * (spec.n as u64),
@@ -422,7 +353,16 @@ mod tests {
     #[test]
     fn all_transpose_variants_match_naive() {
         let mut rng = SeedStream::new(1);
-        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (8, 16, 8), (7, 3, 9), (5, 300, 2)] {
+        // (32, 64, 48) crosses PACK_MIN_FLOPS so the packed trans_b path
+        // gets correctness coverage alongside the small strided cases.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 4, 5),
+            (8, 16, 8),
+            (7, 3, 9),
+            (5, 300, 2),
+            (32, 64, 48),
+        ] {
             let a = rand_vec(m * k, &mut rng);
             let b = rand_vec(k * n, &mut rng);
             let want = naive(m, k, n, &a, &b);
@@ -468,7 +408,9 @@ mod tests {
     #[test]
     fn par_gemm_matches_serial() {
         let mut rng = SeedStream::new(2);
-        let (m, k, n) = (64, 96, 80);
+        // 2 m k n = 2^24 = 2 * MIN_TASK_FLOPS, so the row-split path really
+        // runs with two tasks under the task-sizing cap.
+        let (m, k, n) = (128, 512, 128);
         let a = rand_vec(m * k, &mut rng);
         let b = rand_vec(k * n, &mut rng);
         let mut c1 = vec![0.0; m * n];
@@ -479,10 +421,26 @@ mod tests {
     }
 
     #[test]
+    fn par_gemm_small_problem_skips_pool() {
+        // Below MIN_TASK_FLOPS the split must collapse to a single serial
+        // call (identical result regardless of the thread budget).
+        let mut rng = SeedStream::new(7);
+        let (m, k, n) = (64, 96, 80);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        gemm(Gemm::new(m, k, n), &a, &b, &mut c1);
+        par_gemm(Gemm::new(m, k, n), &a, &b, &mut c2, 8);
+        assert_eq!(c1, c2, "sub-threshold par_gemm must match serial exactly");
+    }
+
+    #[test]
     fn par_gemm_split_k_matches_serial() {
         let mut rng = SeedStream::new(3);
         // Weight-gradient shape: small (m, n), long contraction, beta = 1.
-        let (m, k, n) = (24, 512, 40);
+        // 2 m k n = 2^24 keeps two split-k tasks under the sizing cap.
+        let (m, k, n) = (32, 4096, 64);
         let at = rand_vec(k * m, &mut rng);
         let b = rand_vec(k * n, &mut rng);
         let seed = rand_vec(m * n, &mut rng);
@@ -491,6 +449,20 @@ mod tests {
         let spec = Gemm::new(m, k, n).transpose_a().beta(1.0).alpha(0.5);
         gemm(spec, &at, &b, &mut c1);
         par_gemm(spec, &at, &b, &mut c2, 4);
+        assert_close(&c1, &c2);
+    }
+
+    #[test]
+    fn par_gemm_packed_trans_b_matches_serial() {
+        let mut rng = SeedStream::new(8);
+        let (m, k, n) = (128, 512, 128);
+        let a = rand_vec(m * k, &mut rng);
+        let bt = rand_vec(n * k, &mut rng);
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        let spec = Gemm::new(m, k, n).transpose_b();
+        gemm(spec, &a, &bt, &mut c1);
+        par_gemm(spec, &a, &bt, &mut c2, 4);
         assert_close(&c1, &c2);
     }
 

@@ -2,6 +2,7 @@
 //! tensors. This is the payload format used by the Photon `Link` wire
 //! protocol (`photon-comms`) and by checkpoint files (`photon-core`).
 
+use crate::dtype::{bf16_from_f32, bf16_to_f32};
 use crate::{Result, Tensor, TensorError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -32,6 +33,40 @@ pub fn read_f32_slice(buf: &mut Bytes) -> Result<Vec<f32>> {
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         out.push(buf.get_f32_le());
+    }
+    Ok(out)
+}
+
+/// Appends a length-prefixed slice in bf16 storage (u64 count + LE u16
+/// bf16 bits, round-to-nearest-even). Half the bytes of
+/// [`write_f32_slice`]; lossy (see [`crate::dtype`]).
+pub fn write_bf16_slice(out: &mut BytesMut, xs: &[f32]) {
+    out.put_u64_le(xs.len() as u64);
+    for &v in xs {
+        out.put_u16_le(bf16_from_f32(v));
+    }
+}
+
+/// Reads a length-prefixed bf16 slice written by [`write_bf16_slice`],
+/// widening to f32 (exact).
+///
+/// # Errors
+/// Returns [`TensorError::Deserialize`] if the buffer is truncated or the
+/// declared length is implausibly large for the remaining bytes.
+pub fn read_bf16_slice(buf: &mut Bytes) -> Result<Vec<f32>> {
+    if buf.remaining() < 8 {
+        return Err(TensorError::Deserialize("missing bf16 slice length".into()));
+    }
+    let n = buf.get_u64_le() as usize;
+    if buf.remaining() < n.saturating_mul(2) {
+        return Err(TensorError::Deserialize(format!(
+            "bf16 slice declares {n} elements but only {} bytes remain",
+            buf.remaining()
+        )));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(bf16_to_f32(buf.get_u16_le()));
     }
     Ok(out)
 }
@@ -115,6 +150,31 @@ mod tests {
         out.put_u32_le(1000);
         let mut buf = out.freeze();
         assert!(read_tensor(&mut buf).is_err());
+    }
+
+    #[test]
+    fn bf16_slice_roundtrip_is_half_size() {
+        let xs = vec![1.0f32, -2.5, 3.25, 0.0, -1024.0];
+        let mut f32_buf = BytesMut::new();
+        write_f32_slice(&mut f32_buf, &xs);
+        let mut bf_buf = BytesMut::new();
+        write_bf16_slice(&mut bf_buf, &xs);
+        assert_eq!(bf_buf.len() - 8, (f32_buf.len() - 8) / 2);
+        let mut buf = bf_buf.freeze();
+        // These values are exactly representable in bf16.
+        assert_eq!(read_bf16_slice(&mut buf).unwrap(), xs);
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn bf16_truncated_buffers_error() {
+        let mut out = BytesMut::new();
+        write_bf16_slice(&mut out, &[1.0, 2.0, 3.0]);
+        let full = out.freeze();
+        for cut in [0, 4, 9, full.len() - 1] {
+            let mut buf = full.slice(..cut);
+            assert!(read_bf16_slice(&mut buf).is_err(), "cut={cut}");
+        }
     }
 
     #[test]

@@ -12,8 +12,8 @@ use std::time::{Duration, Instant};
 pub use std::hint::black_box;
 
 /// Measurements recorded by every `bench_function` call in this process.
-fn registry() -> &'static Mutex<Vec<(String, f64)>> {
-    static REGISTRY: OnceLock<Mutex<Vec<(String, f64)>>> = OnceLock::new();
+fn registry() -> &'static Mutex<Vec<(String, f64, Option<f64>)>> {
+    static REGISTRY: OnceLock<Mutex<Vec<(String, f64, Option<f64>)>>> = OnceLock::new();
     REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
 }
 
@@ -28,6 +28,9 @@ pub enum BatchSize {
 pub enum Throughput {
     Bytes(u64),
     Elements(u64),
+    /// Floating-point operations per iteration; reported as GFLOP/s and
+    /// recorded in the JSON report as a `gflops` field.
+    Flops(u64),
 }
 
 #[derive(Debug, Clone)]
@@ -82,11 +85,16 @@ impl Criterion {
         };
         let results = registry().lock().unwrap_or_else(|p| p.into_inner());
         let mut out = String::from("{\n");
-        for (i, (name, ns)) in results.iter().enumerate() {
+        for (i, (name, ns, gflops)) in results.iter().enumerate() {
+            let rate = match gflops {
+                Some(g) => format!(", \"gflops\": {g:.2}"),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "  \"{}\": {{ \"mean_ns\": {:.1} }}{}\n",
+                "  \"{}\": {{ \"mean_ns\": {:.1}{} }}{}\n",
                 name.replace('"', "'"),
                 ns,
+                rate,
                 if i + 1 < results.len() { "," } else { "" }
             ));
         }
@@ -146,10 +154,14 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: String, config: &GroupConfig, mut f
     };
     f(&mut bencher);
     let mean = bencher.mean_ns;
+    let gflops = match config.throughput {
+        Some(Throughput::Flops(f)) if mean > 0.0 => Some(f as f64 / mean),
+        _ => None,
+    };
     registry()
         .lock()
         .unwrap_or_else(|p| p.into_inner())
-        .push((id.clone(), mean));
+        .push((id.clone(), mean, gflops));
     let throughput = match config.throughput {
         Some(Throughput::Bytes(b)) if mean > 0.0 => {
             format!(
@@ -159,6 +171,9 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: String, config: &GroupConfig, mut f
         }
         Some(Throughput::Elements(n)) if mean > 0.0 => {
             format!("  thrpt: {:.3e} elem/s", n as f64 / (mean * 1e-9))
+        }
+        Some(Throughput::Flops(f)) if mean > 0.0 => {
+            format!("  thrpt: {:.2} GFLOP/s", f as f64 / mean)
         }
         _ => String::new(),
     };
@@ -300,7 +315,7 @@ mod tests {
         });
         group.finish();
         let reg = registry().lock().unwrap();
-        assert!(reg.iter().any(|(n, _)| n == "stub/noop"));
-        assert!(reg.iter().any(|(n, _)| n == "stub/batched"));
+        assert!(reg.iter().any(|(n, _, _)| n == "stub/noop"));
+        assert!(reg.iter().any(|(n, _, _)| n == "stub/batched"));
     }
 }
