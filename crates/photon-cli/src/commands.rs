@@ -5,8 +5,9 @@ use photon_core::experiments::{
     build_heterogeneous_federation, build_iid_federation, downstream_report, RunOptions,
 };
 use photon_core::{
-    load_checkpoint, run_training, CohortSpec, CoreError, FaultInjector, FaultSpec, Federation,
-    FederationConfig, MembershipConfig, TrainingOptions,
+    load_checkpoint, run_training, AdaptiveDeadlineConfig, CohortSpec, CoreError, FaultInjector,
+    FaultSpec, Federation, FederationConfig, LinkProfile, MembershipConfig, NetworkConfig,
+    TrainingOptions,
 };
 use photon_fedopt::{AggregationKind, BufferConfig, GuardConfig, ServerOptKind};
 use photon_nn::{generate as sample_tokens, Gpt, ModelConfig, SampleConfig};
@@ -43,6 +44,10 @@ OPTIONS:
     --deadline-ms N                   round deadline; late results dropped
                                       into the partial-update path
     --retransmit-budget N             link retries for corrupt frames [3]
+    --link-jitter-pct P               jitter each retransmit backoff by up
+                                      to P percent (seeded, deterministic)
+    --link-timeout-ms N               per-delivery timeout; a link that
+                                      exceeds it counts as a dropout
     --faults SPEC                     seeded fault injection, e.g.
                                       crash=0.05,straggle=0.1,straggle-ms=500,
                                       corrupt=0.05,agg=0.02,seed=9
@@ -51,7 +56,34 @@ OPTIONS:
                                       scale-factor=; churn rates join=,leave=;
                                       targeted entries kind@rNcM, e.g.
                                       sign-flip@r3c1, plus join@rN and
-                                      leave@rNcM
+                                      leave@rNcM; network chaos: lossy=RATE
+                                      per-cell transmission loss,
+                                      slowlink@rNcM pins a link slow, and
+                                      partition@rN[-rM]:a.b|c.d severs the
+                                      right side from the left (`~` instead
+                                      of `|` hears broadcasts but loses
+                                      results; `*` = everyone else)
+    --net-latency-ms N                simulated network: per-link base
+                                      latency (any --net-* flag enables
+                                      the deterministic link model)  [0]
+    --net-jitter-ms N                 per-delivery latency jitter      [0]
+    --net-bw-kbps N                   link bandwidth; payload size adds
+                                      transfer time (0 = infinite)    [0]
+    --net-loss X                      per-attempt loss probability     [0]
+    --net-dup X                       duplicate-delivery probability   [0]
+    --net-reorder-ms N                reorder window for late duplicate
+                                      arrivals                        [0]
+    --net-quorum X                    reachable fraction below which a
+                                      round runs degraded (deadline
+                                      lifted, server opt skipped)   [0.5]
+    --net-slow-factor N               latency multiplier applied by
+                                      slowlink@ faults                [10]
+    --adaptive-deadline               derive the round deadline from a
+                                      percentile of observed delivery
+                                      latencies (replaces --deadline-ms)
+    --deadline-percentile X           adaptive deadline percentile  [0.95]
+    --deadline-floor-ms N             adaptive deadline floor        [100]
+    --deadline-ceiling-ms N           adaptive deadline ceiling    [10000]
     --aggregation RULE                mean|ties[:density]|trimmed-mean[:r]|
                                       median|norm-clipped[:mult]   [mean]
     --guard                           screen updates before merging
@@ -179,6 +211,18 @@ pub fn train(args: &Args, resume: bool) -> Result<(), String> {
             inj.plan().join_count(),
             inj.plan().leave_count()
         );
+        let chaos = inj.plan().partition_count()
+            + inj.plan().slowlink_count()
+            + inj.plan().link_loss_count();
+        if chaos > 0 {
+            println!(
+                "network chaos: {} partition window(s), {} slow link(s), \
+                 {} lossy cell(s)",
+                inj.plan().partition_count(),
+                inj.plan().slowlink_count(),
+                inj.plan().link_loss_count()
+            );
+        }
     }
     if let Some(membership) = cfg.membership {
         let buffered = match cfg.buffer {
@@ -238,6 +282,11 @@ pub fn train(args: &Args, resume: bool) -> Result<(), String> {
         } else if r.buffered > 0 {
             turbulence.push_str(&format!(" | buffer {}", r.buffered));
         }
+        if r.degraded {
+            turbulence.push_str(&format!(" | DEGRADED ({} unreachable)", r.unreachable));
+        } else if r.unreachable > 0 {
+            turbulence.push_str(&format!(" | unreachable {}", r.unreachable));
+        }
         match r.eval_ppl {
             Some(p) => println!(
                 "round {:>4} | loss {:.4} | val ppl {:>8.2} | wire {:>7.1} KB{turbulence}",
@@ -292,6 +341,26 @@ pub fn train(args: &Args, resume: bool) -> Result<(), String> {
         println!(
             "buffered aggregation: {} commit(s), {} stale update(s) down-weighted",
             faults.buffered_commits, faults.stale_commits
+        );
+    }
+    let telemetry = outcome.federation.aggregator.telemetry();
+    if let (Some(p50), Some(p99)) = (
+        telemetry.link_latency_quantile(0.5),
+        telemetry.link_latency_quantile(0.99),
+    ) {
+        println!(
+            "network: {} delivery(ies), latency p50 {p50} ms / p99 {p99} ms, \
+             {} loss(es), {} duplicate(s) dropped, {} partition drop(s)",
+            telemetry.link_latency_count(),
+            faults.link_losses,
+            faults.dup_drops,
+            faults.partition_drops
+        );
+    }
+    if faults.degraded_rounds > 0 {
+        println!(
+            "degraded mode: {} round(s) below quorum, {} recovery(ies)",
+            faults.degraded_rounds, faults.degraded_recoveries
         );
     }
     if let Some(path) = args.get("metrics-json") {
@@ -387,6 +456,63 @@ fn config_from_args(args: &Args) -> Result<FederationConfig, String> {
     cfg.round_deadline_ms = args.get_opt_parsed::<u64>("deadline-ms")?;
     if let Some(retries) = args.get_opt_parsed::<u32>("retransmit-budget")? {
         cfg.retransmit.max_retries = retries;
+    }
+    if let Some(pct) = args.get_opt_parsed::<u32>("link-jitter-pct")? {
+        cfg.retransmit.jitter_pct = pct;
+    }
+    if let Some(ms) = args.get_opt_parsed::<u64>("link-timeout-ms")? {
+        cfg.retransmit.timeout_ms = ms;
+    }
+    // Simulated network: any --net-* flag switches the link model on;
+    // unset knobs keep their defaults.
+    let net_latency = args.get_opt_parsed::<u64>("net-latency-ms")?;
+    let net_jitter = args.get_opt_parsed::<u64>("net-jitter-ms")?;
+    let net_bw = args.get_opt_parsed::<u64>("net-bw-kbps")?;
+    let net_loss = args.get_opt_parsed::<f64>("net-loss")?;
+    let net_dup = args.get_opt_parsed::<f64>("net-dup")?;
+    let net_reorder = args.get_opt_parsed::<u64>("net-reorder-ms")?;
+    let net_quorum = args.get_opt_parsed::<f64>("net-quorum")?;
+    let net_slow = args.get_opt_parsed::<u64>("net-slow-factor")?;
+    if net_latency.is_some()
+        || net_jitter.is_some()
+        || net_bw.is_some()
+        || net_loss.is_some()
+        || net_dup.is_some()
+        || net_reorder.is_some()
+        || net_quorum.is_some()
+        || net_slow.is_some()
+    {
+        let defaults = NetworkConfig::default();
+        cfg.network = Some(NetworkConfig {
+            profile: LinkProfile {
+                base_latency_ms: net_latency.unwrap_or(0),
+                jitter_ms: net_jitter.unwrap_or(0),
+                bandwidth_kbps: net_bw.unwrap_or(0),
+                loss_rate: net_loss.unwrap_or(0.0),
+                dup_rate: net_dup.unwrap_or(0.0),
+                reorder_window_ms: net_reorder.unwrap_or(0),
+            },
+            min_quorum_frac: net_quorum.unwrap_or(defaults.min_quorum_frac),
+            slow_factor: net_slow.unwrap_or(defaults.slow_factor),
+        });
+    }
+    // Adaptive deadline: the flag or any of its knobs enables it; config
+    // validation rejects combining it with a fixed --deadline-ms.
+    let dl_pct = args.get_opt_parsed::<f64>("deadline-percentile")?;
+    let dl_floor = args.get_opt_parsed::<u64>("deadline-floor-ms")?;
+    let dl_ceiling = args.get_opt_parsed::<u64>("deadline-ceiling-ms")?;
+    if args.flag("adaptive-deadline")
+        || dl_pct.is_some()
+        || dl_floor.is_some()
+        || dl_ceiling.is_some()
+    {
+        let d = AdaptiveDeadlineConfig::default();
+        cfg.adaptive_deadline = Some(AdaptiveDeadlineConfig {
+            percentile: dl_pct.unwrap_or(d.percentile),
+            floor_ms: dl_floor.unwrap_or(d.floor_ms),
+            ceiling_ms: dl_ceiling.unwrap_or(d.ceiling_ms),
+            window: d.window,
+        });
     }
     // Elastic membership: --lease-ms and --buffer-quorum imply it, since
     // both are meaningless without the lease state machine.

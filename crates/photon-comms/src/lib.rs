@@ -33,6 +33,7 @@ mod compress;
 mod crc;
 mod link;
 mod message;
+mod network;
 mod quant;
 mod secure;
 mod sparse;
@@ -43,8 +44,14 @@ mod wire;
 pub use collective::{ring_allreduce_group, RingWorker};
 pub use compress::{compress_f32s, decompress_f32s};
 pub use crc::crc32;
-pub use link::{corrupt_frame, deliver, DeliveryReport, LinkExhausted, RetransmitPolicy};
+pub use link::{
+    corrupt_frame, deliver, deliver_chaos, DeliveryReport, LinkExhausted, RetransmitPolicy,
+};
 pub use message::{Message, TrainMetrics, WireOpts};
+pub use network::{
+    AdaptiveDeadlineConfig, LinkOutcome, LinkProfile, NetworkConfig, NetworkModel, PartitionKind,
+    PartitionSchedule, PartitionSpec,
+};
 pub use quant::{dequantize_i8, quantization_error_bound, quantize_i8, QUANT_BLOCK};
 pub use secure::{mask_update, pairwise_seed, SecureAggError};
 pub use sparse::{densify, retained_mass, sparsify_top_k};

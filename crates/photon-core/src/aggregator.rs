@@ -45,6 +45,15 @@ pub struct Aggregator {
     /// construction; [`sample_live`] forks a round-keyed child per round,
     /// so warm joiners and restores replay identical cohorts.
     member_rng: Option<SeedStream>,
+    /// Simulated chaos network, present when `cfg.network` is set.
+    network: Option<photon_comms::NetworkModel>,
+    /// Whether the previous round left the aggregator degraded (below the
+    /// reachability quorum); lifts the deadline until quorum returns.
+    degraded: bool,
+    /// Observed per-delivery simulated latencies feeding the adaptive
+    /// deadline. Window-bounded; not checkpointed — like the watchdog
+    /// EMAs it re-warms deterministically from the replayed rounds.
+    latency_obs: Vec<u64>,
 }
 
 impl std::fmt::Debug for Aggregator {
@@ -97,6 +106,9 @@ impl Aggregator {
             .map(|m| MembershipRegistry::new(m, cfg.population));
         let member_rng = membership.is_some().then(|| rng.split("member-sampler"));
         let buffer = cfg.buffer.map(|_| UpdateBuffer::new());
+        let network = cfg
+            .network
+            .map(|n| photon_comms::NetworkModel::new(n.profile, cfg.seed));
         Ok(Aggregator {
             cfg,
             params,
@@ -111,6 +123,9 @@ impl Aggregator {
             membership,
             buffer,
             member_rng,
+            network,
+            degraded: false,
+            latency_obs: Vec::new(),
         })
     }
 
@@ -207,6 +222,10 @@ impl Aggregator {
             .then(|| UpdateGuard::new(self.cfg.guard, self.cfg.seed));
         self.loss_ema = None;
         self.norm_ema = None;
+        // Degraded mode and the adaptive-deadline window likewise re-warm
+        // from the replayed rounds rather than being checkpointed.
+        self.degraded = false;
+        self.latency_obs.clear();
         // Roster and buffer reset to the founding state; a v3 checkpoint's
         // [`Aggregator::restore_elastic`] overwrites them with the exact
         // image the crashed run had.
@@ -388,6 +407,31 @@ impl Aggregator {
         }
         let cohort_ids: Vec<u32> = cohort_idx.iter().map(|&i| clients[i].id()).collect();
 
+        // Active partitions: fully severed clients exchange no traffic this
+        // round (no broadcast charged, result dropped); asymmetrically
+        // severed ones hear the broadcast but lose the result on the way
+        // back.
+        let severed_full = injector.map_or(0, |inj| {
+            cohort_ids
+                .iter()
+                .filter(|&&id| {
+                    inj.partition_state(self.round, id) == Some(photon_comms::PartitionKind::Full)
+                })
+                .count()
+        });
+
+        // The straggler deadline this round: adaptive (a percentile of the
+        // observed latency window) when configured, the static knob
+        // otherwise — and lifted entirely while the aggregator is degraded,
+        // so a healing partition's late results are not re-dropped.
+        let effective_deadline_ms = if self.degraded {
+            None
+        } else if let Some(ad) = self.cfg.adaptive_deadline {
+            Some(ad.effective_deadline_ms(&self.latency_obs))
+        } else {
+            self.cfg.round_deadline_ms
+        };
+
         // L.5–6: broadcast and train in parallel, over real Link frames.
         let broadcast = {
             let mut bspan = photon_trace::span(photon_trace::Phase::Broadcast)
@@ -400,7 +444,7 @@ impl Aggregator {
             bspan.set_arg("frame_bytes", frame.len() as u64);
             frame
         };
-        let broadcast_bytes = broadcast.len() as u64 * cohort_idx.len() as u64;
+        let broadcast_bytes = broadcast.len() as u64 * (cohort_idx.len() - severed_full) as u64;
         photon_trace::counter_add("round.broadcast_bytes", broadcast_bytes);
 
         let (tx, rx) = unbounded::<ClientReply>();
@@ -437,6 +481,11 @@ impl Aggregator {
         let mut stragglers = 0usize;
         let mut link_dropouts = 0usize;
         let mut retransmits = 0u64;
+        let mut partition_drops = 0usize;
+        let mut net_losses = 0u64;
+        let mut net_duplicates = 0u64;
+        let mut net_reorders = 0u64;
+        let mut round_latencies: Vec<u64> = Vec::new();
         // Replies arrive in thread-completion order; process them in
         // client-id order so the aggregator-side Link deliveries (and the
         // trace events they emit) replay in a deterministic sequence.
@@ -460,29 +509,77 @@ impl Aggregator {
                     corrupt_attempts,
                 } => (client_id, frame, delay_ms, corrupt_attempts),
             };
-            // The result frame crosses the lossy Link: CRC-failed attempts
-            // are retransmitted (deterministically) up to the budget.
+            // A severed client's result never reaches the aggregator (it
+            // still trained, keeping its local state deterministic across
+            // the heal).
+            if let Some(kind) = injector.and_then(|inj| inj.partition_state(self.round, client_id))
+            {
+                partition_drops += 1;
+                photon_trace::instant(
+                    photon_trace::Phase::NetPartition,
+                    "net_partition",
+                    &[
+                        ("client", client_id as u64),
+                        ("full", u64::from(kind == photon_comms::PartitionKind::Full)),
+                    ],
+                );
+                continue;
+            }
+            // The chaos network decides what the link does to this
+            // delivery; the fault plan can pile scheduled losses and a
+            // pinned-slow link on top.
+            let frame_len = frame.len() as u64;
+            let outcome = self
+                .network
+                .as_ref()
+                .map(|net| net.link_outcome(self.round, client_id, frame.len()))
+                .unwrap_or_default();
+            let mut latency_ms = outcome.latency_ms;
+            if injector.is_some_and(|inj| inj.slowlink_at(self.round, client_id)) {
+                let factor = self.cfg.network.map_or(10, |n| n.slow_factor);
+                latency_ms = latency_ms.saturating_mul(factor).max(1_000);
+            }
+            let lost_attempts = outcome.lost_attempts
+                + injector.map_or(0, |inj| inj.link_loss(self.round, client_id));
+            net_losses += lost_attempts as u64;
+            net_duplicates += outcome.duplicates as u64;
+            net_reorders += u64::from(outcome.reorder_ms > 0);
+            // The result frame crosses the lossy Link: CRC-failed and lost
+            // attempts are retransmitted (deterministically) up to the
+            // budget, each paying the link's one-way latency.
             let link_seed = mix_link_seed(self.cfg.seed, self.round, client_id);
-            let (delivered, report) =
-                photon_comms::deliver(&frame, corrupt_attempts, link_seed, &self.cfg.retransmit);
+            let (delivered, report) = photon_comms::deliver_chaos(
+                &frame,
+                corrupt_attempts,
+                lost_attempts,
+                latency_ms,
+                link_seed,
+                &self.cfg.retransmit,
+            );
             result_bytes += report.wire_bytes;
             retransmits += u64::from(report.attempts.saturating_sub(1));
             let frame = match delivered {
                 Ok(f) => f,
                 Err(_) => {
-                    // Budget exhausted: the client counts as dropped out.
+                    // Budget (or delivery timeout) exhausted: the client
+                    // counts as dropped out.
                     link_dropouts += 1;
                     continue;
                 }
             };
             // Straggler policy: simulated lateness is the injected delay
-            // plus whatever backoff the link retries added. Synchronous
-            // rounds drop late results; buffered rounds defer them to the
-            // simulated round their lateness lands them in, where they
-            // commit with a staleness discount instead.
+            // plus the delivery's in-flight time, retry backoff and any
+            // reorder delay. Synchronous rounds drop late results; buffered
+            // rounds defer them to the simulated round their lateness lands
+            // them in, where they commit with a staleness discount instead.
+            let lateness = delay_ms + report.backoff_ms + report.latency_ms + outcome.reorder_ms;
+            if self.network.is_some() {
+                self.telemetry.record_link_latency(lateness);
+                photon_trace::observe("net.latency_ms", lateness);
+            }
+            round_latencies.push(lateness);
             let mut arrival_round = self.round;
-            if let Some(deadline) = self.cfg.round_deadline_ms {
-                let lateness = delay_ms + report.backoff_ms;
+            if let Some(deadline) = effective_deadline_ms {
                 if lateness > deadline {
                     stragglers += 1;
                     if buffered_mode {
@@ -499,7 +596,15 @@ impl Aggregator {
                     weight,
                     metrics,
                     ..
-                } => collected.push((client_id, delta, weight, metrics, arrival_round)),
+                } => {
+                    // A duplicating link re-delivers the decoded frame; the
+                    // copy is charged to the wire and discarded by dedup.
+                    for _ in 0..outcome.duplicates {
+                        result_bytes += frame_len;
+                        collected.push((client_id, delta.clone(), weight, metrics, arrival_round));
+                    }
+                    collected.push((client_id, delta, weight, metrics, arrival_round));
+                }
                 other => {
                     return Err(CoreError::ClientFailure(format!(
                         "unexpected message from client: {other:?}"
@@ -508,7 +613,23 @@ impl Aggregator {
             }
         }
         collected.sort_by_key(|(id, _, _, _, _)| *id);
+        // Dedup: a duplicating link must never double-apply one client's
+        // update. Within a round each client legitimately appears once, so
+        // id-adjacent equals are exactly the link's duplicate deliveries.
+        let before_dedup = collected.len();
+        collected.dedup_by(|a, b| a.0 == b.0);
+        let dup_drops = (before_dedup - collected.len()) as u64;
         let received = collected.len();
+
+        // Feed the adaptive-deadline window (bounded, deterministic: the
+        // replies were processed in client-id order).
+        if let Some(ad) = self.cfg.adaptive_deadline {
+            self.latency_obs.extend(&round_latencies);
+            if self.latency_obs.len() > ad.window {
+                let excess = self.latency_obs.len() - ad.window;
+                self.latency_obs.drain(..excess);
+            }
+        }
 
         let wire_bytes = broadcast_bytes + result_bytes + handshake_bytes;
         round_span.set_arg("cohort", cohort_ids.len() as u64);
@@ -529,8 +650,96 @@ impl Aggregator {
                 departed: churn.departed.len(),
                 lease_expired: churn.expired.len(),
                 rejoined: churn.rejoined.len(),
+                unreachable: partition_drops,
+                effective_deadline_ms,
+                net_losses,
+                net_duplicates,
+                net_reorders,
+                dup_drops,
             };
             return self.finish_buffered_round(collected, cohort_idx, acct);
+        }
+
+        if net_losses + net_duplicates + net_reorders + dup_drops > 0 || partition_drops > 0 {
+            self.telemetry.record_network(
+                net_losses,
+                net_duplicates,
+                net_reorders,
+                dup_drops,
+                partition_drops as u64,
+            );
+        }
+
+        // Graceful degradation: when an active partition (or mass loss)
+        // leaves the round below the reachability quorum, committing the
+        // minority slice would skew the model toward whoever stayed
+        // connected. The round records its telemetry but commits nothing;
+        // the deadline stays lifted until a round reaches quorum again, at
+        // which point the aggregator recovers automatically.
+        let mut degraded_round = false;
+        if let Some(net) = self.cfg.network {
+            let quorum = (((cohort_idx.len() as f64) * net.min_quorum_frac).ceil() as usize).max(1);
+            if received < quorum {
+                degraded_round = true;
+                self.degraded = true;
+                self.telemetry.record_degraded_round();
+                photon_trace::instant(
+                    photon_trace::Phase::DegradedRound,
+                    "degraded_round",
+                    &[
+                        ("round", self.round),
+                        ("received", received as u64),
+                        ("quorum", quorum as u64),
+                    ],
+                );
+            } else if self.degraded {
+                self.degraded = false;
+                self.telemetry.record_degraded_recovery();
+            }
+        }
+        if degraded_round {
+            self.telemetry.record_round_faults(
+                crashes as u64,
+                stragglers as u64,
+                retransmits,
+                link_dropouts as u64,
+            );
+            let mut losses = Vec::with_capacity(collected.len());
+            for (id, _, _, metrics, _) in &collected {
+                self.telemetry.record(*id, self.round, metrics);
+                losses.push(metrics.mean_loss);
+            }
+            let mean_client_loss = if losses.is_empty() {
+                0.0
+            } else {
+                losses.iter().sum::<f32>() / losses.len() as f32
+            };
+            let record = RoundRecord {
+                round: self.round,
+                cohort: cohort_idx,
+                dropouts: crashes + link_dropouts,
+                stragglers,
+                retransmits,
+                mean_client_loss,
+                pseudo_grad_norm: 0.0,
+                wire_bytes,
+                eval_ppl: None,
+                guard_rejected: 0,
+                guard_clipped: 0,
+                quarantined: 0,
+                neutralized: self.neutralized.contains(&self.round),
+                joined: churn.joined.len(),
+                departed: churn.departed.len(),
+                lease_expired: churn.expired.len(),
+                rejoined: churn.rejoined.len(),
+                buffered: 0,
+                commit_deferred: false,
+                degraded: true,
+                unreachable: partition_drops,
+                effective_deadline_ms,
+            };
+            self.round += 1;
+            return Ok(record);
         }
 
         // Construct updates; a malformed aggregation weight surfaces as a
@@ -675,6 +884,9 @@ impl Aggregator {
             rejoined: churn.rejoined.len(),
             buffered: 0,
             commit_deferred: false,
+            degraded: false,
+            unreachable: partition_drops,
+            effective_deadline_ms,
         };
         self.round += 1;
         Ok(record)
@@ -699,6 +911,7 @@ impl Aggregator {
             .expect("buffered mode implies buffer config");
         let mcfg = self.cfg.membership.expect("buffering requires membership");
         let mut guard_rejected = 0usize;
+        let mut dup_drops = acct.dup_drops;
         let mut arrival_losses = Vec::new();
         for (id, delta, weight, metrics, arrival_round) in collected {
             // Weight validity is enforced at arrival (mirroring the
@@ -714,9 +927,8 @@ impl Aggregator {
                 self.telemetry.record_guard(1, 0, 0, 0);
                 continue;
             }
-            self.telemetry.record(id, self.round, &metrics);
-            arrival_losses.push(metrics.mean_loss);
-            self.buffer
+            let accepted = self
+                .buffer
                 .as_mut()
                 .expect("buffered mode implies a buffer")
                 .push(BufferedUpdate {
@@ -727,6 +939,25 @@ impl Aggregator {
                     mean_loss: metrics.mean_loss,
                     delta,
                 });
+            if accepted {
+                self.telemetry.record(id, self.round, &metrics);
+                arrival_losses.push(metrics.mean_loss);
+            } else {
+                // A duplicating link re-delivered an already-buffered
+                // client round; the copy is discarded.
+                dup_drops += 1;
+            }
+        }
+        if acct.net_losses + acct.net_duplicates + acct.net_reorders + dup_drops > 0
+            || acct.unreachable > 0
+        {
+            self.telemetry.record_network(
+                acct.net_losses,
+                acct.net_duplicates,
+                acct.net_reorders,
+                dup_drops,
+                acct.unreachable as u64,
+            );
         }
         self.telemetry.record_round_faults(
             acct.crashes as u64,
@@ -838,6 +1069,9 @@ impl Aggregator {
             rejoined: acct.rejoined,
             buffered,
             commit_deferred: !committed,
+            degraded: false,
+            unreachable: acct.unreachable,
+            effective_deadline_ms: acct.effective_deadline_ms,
         };
         self.round += 1;
         Ok(record)
@@ -879,7 +1113,8 @@ impl Aggregator {
     }
 }
 
-/// Per-round fault and churn counters threaded into the buffered tail.
+/// Per-round fault, churn and network counters threaded into the
+/// buffered tail.
 struct RoundAccounting {
     crashes: usize,
     stragglers: usize,
@@ -890,6 +1125,12 @@ struct RoundAccounting {
     departed: usize,
     lease_expired: usize,
     rejoined: usize,
+    unreachable: usize,
+    effective_deadline_ms: Option<u64>,
+    net_losses: u64,
+    net_duplicates: u64,
+    net_reorders: u64,
+    dup_drops: u64,
 }
 
 /// What one client thread reports back to the aggregator's collect loop.

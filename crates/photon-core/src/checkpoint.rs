@@ -150,26 +150,46 @@ pub fn save_checkpoint_full(
     let crc = crc32(&bin);
     bin.extend_from_slice(&crc.to_le_bytes());
 
-    // Write-then-rename so an interrupted save never corrupts the previous
-    // checkpoint. The manifest goes last: it is the commit point that
-    // declares which side files are valid.
-    let tmp_params = dir.join("params.bin.tmp");
-    fs::File::create(&tmp_params)?.write_all(&bin)?;
-    fs::rename(&tmp_params, dir.join("params.bin"))?;
+    // Write-then-fsync-then-rename so an interrupted save never corrupts
+    // the previous checkpoint, and a power cut after the rename cannot
+    // surface a renamed-but-unflushed (torn) file as the checkpoint. The
+    // manifest goes last: it is the commit point that declares which side
+    // files are valid.
+    write_durably(dir, "params.bin", &bin)?;
     if let Some(state) = server_opt {
-        let tmp_opt = dir.join("server_opt.bin.tmp");
-        fs::File::create(&tmp_opt)?.write_all(&encode_opt_state(state))?;
-        fs::rename(&tmp_opt, dir.join("server_opt.bin"))?;
+        write_durably(dir, "server_opt.bin", &encode_opt_state(state))?;
     }
     if let Some(state) = elastic {
-        let tmp_mem = dir.join("membership.bin.tmp");
-        fs::File::create(&tmp_mem)?.write_all(&encode_elastic_state(state))?;
-        fs::rename(&tmp_mem, dir.join("membership.bin"))?;
+        write_durably(dir, "membership.bin", &encode_elastic_state(state))?;
     }
-    let tmp_manifest = dir.join("manifest.json.tmp");
-    fs::File::create(&tmp_manifest)?.write_all(manifest_json.as_bytes())?;
-    fs::rename(&tmp_manifest, dir.join("manifest.json"))?;
+    write_durably(dir, "manifest.json", manifest_json.as_bytes())?;
+    sync_dir(dir);
     Ok(())
+}
+
+/// Writes `bytes` to `dir/<name>` durably: into a temp file, fsynced, then
+/// renamed over the target. The fsync before the rename guarantees the
+/// rename never publishes a file whose data blocks are still in the page
+/// cache only.
+fn write_durably(dir: &Path, name: &str, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    let mut file = fs::File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp, dir.join(name))
+}
+
+/// Fsyncs the checkpoint directory so the renames themselves (directory
+/// entries) are durable. Best-effort: platforms where a directory cannot
+/// be opened for sync skip it quietly.
+fn sync_dir(dir: &Path) {
+    #[cfg(unix)]
+    if let Ok(handle) = fs::File::open(dir) {
+        let _ = handle.sync_all();
+    }
+    #[cfg(not(unix))]
+    let _ = dir;
 }
 
 fn encode_elastic_state(state: &ElasticState) -> Vec<u8> {
@@ -670,6 +690,42 @@ mod tests {
     #[test]
     fn missing_checkpoint_errors() {
         assert!(load_checkpoint(Path::new("/nonexistent/ckpt")).is_err());
+    }
+
+    #[test]
+    fn torn_params_write_is_detected() {
+        // A crash can leave params.bin truncated mid-write; the length and
+        // CRC checks must reject it instead of restoring garbage.
+        let dir = tmp_dir("torn-params");
+        save_checkpoint(&dir, &cfg(), 2, &[1.0; 64]).unwrap();
+        let path = dir.join("params.bin");
+        let raw = fs::read(&path).unwrap();
+        fs::write(&path, &raw[..raw.len() / 2]).unwrap();
+        assert!(load_checkpoint(&dir).is_err());
+    }
+
+    #[test]
+    fn torn_manifest_write_is_detected() {
+        let dir = tmp_dir("torn-manifest");
+        save_checkpoint(&dir, &cfg(), 2, &[1.0; 16]).unwrap();
+        let path = dir.join("manifest.json");
+        let json = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &json[..json.len() / 2]).unwrap();
+        assert!(load_checkpoint(&dir).is_err());
+    }
+
+    #[test]
+    fn stale_tmp_files_do_not_affect_loading() {
+        // A crash between write and rename leaves a *.tmp behind; the
+        // published checkpoint must load as if it were not there.
+        let dir = tmp_dir("stale-tmp");
+        let params: Vec<f32> = (0..32).map(|i| i as f32).collect();
+        save_checkpoint(&dir, &cfg(), 6, &params).unwrap();
+        fs::write(dir.join("params.bin.tmp"), b"torn garbage").unwrap();
+        fs::write(dir.join("manifest.json.tmp"), b"{\"round\":").unwrap();
+        let (manifest, loaded) = load_checkpoint(&dir).unwrap();
+        assert_eq!(manifest.round, 6);
+        assert_eq!(loaded, params);
     }
 
     #[test]

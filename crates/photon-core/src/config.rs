@@ -1,5 +1,5 @@
 use crate::membership::MembershipConfig;
-use photon_comms::RetransmitPolicy;
+use photon_comms::{AdaptiveDeadlineConfig, NetworkConfig, RetransmitPolicy};
 use photon_fedopt::{AggregationKind, AvailabilityModel, BufferConfig, GuardConfig, ServerOptKind};
 use photon_nn::{ModelConfig, PosEncoding};
 use photon_optim::{AdamWConfig, LrSchedule};
@@ -105,6 +105,16 @@ pub struct FederationConfig {
     /// Link retransmission budget for CRC-failed result frames.
     #[serde(default)]
     pub retransmit: RetransmitPolicy,
+    /// Deterministic simulated network: per-link latency/jitter/bandwidth,
+    /// loss, duplication and reordering, plus the quorum threshold for
+    /// partition-aware graceful degradation. `None` keeps links ideal.
+    #[serde(default)]
+    pub network: Option<NetworkConfig>,
+    /// Adaptive round deadline: a percentile of observed per-client
+    /// delivery latencies with a floor/ceiling, replacing the static
+    /// `round_deadline_ms` (set only one).
+    #[serde(default)]
+    pub adaptive_deadline: Option<AdaptiveDeadlineConfig>,
     /// Elastic membership: when set, the fixed population becomes a
     /// *founding* roster managed by a lease-based membership registry —
     /// clients join, leave and expire mid-run, driven by the fault plan.
@@ -154,6 +164,8 @@ impl FederationConfig {
             allow_partial_results: false,
             round_deadline_ms: None,
             retransmit: RetransmitPolicy::default(),
+            network: None,
+            adaptive_deadline: None,
             membership: None,
             buffer: None,
             dtype: Dtype::F32,
@@ -279,6 +291,33 @@ impl FederationConfig {
                 ));
             }
         }
+        if let Some(network) = &self.network {
+            network
+                .validate()
+                .map_err(crate::CoreError::InvalidConfig)?;
+            if self.secure_agg {
+                // Loss, partitions and degraded rounds all drop results,
+                // which the simplified secure aggregation cannot survive.
+                return Err(crate::CoreError::InvalidConfig(
+                    "secure aggregation cannot run over a chaotic network (disable one)".into(),
+                ));
+            }
+        }
+        if let Some(adaptive) = &self.adaptive_deadline {
+            adaptive
+                .validate()
+                .map_err(crate::CoreError::InvalidConfig)?;
+            if self.round_deadline_ms.is_some() {
+                return Err(crate::CoreError::InvalidConfig(
+                    "adaptive_deadline replaces round_deadline_ms (set only one)".into(),
+                ));
+            }
+            if self.secure_agg {
+                return Err(crate::CoreError::InvalidConfig(
+                    "secure aggregation cannot drop stragglers (disable adaptive_deadline)".into(),
+                ));
+            }
+        }
         if self.dtype == Dtype::Bf16 {
             if self.compress_link {
                 // The byte-shuffle/zero-RLE codec is specified over 4-byte
@@ -387,17 +426,70 @@ mod tests {
         let cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 4);
         assert_eq!(cfg.round_deadline_ms, None);
         assert_eq!(cfg.retransmit, RetransmitPolicy::default());
+        assert_eq!(cfg.network, None);
+        assert_eq!(cfg.adaptive_deadline, None);
         // Configs serialized before these fields existed still load.
         let json = serde_json::to_string(&cfg)
             .unwrap()
             .replace("\"round_deadline_ms\":null,", "")
             .replace(
-                "\"retransmit\":{\"max_retries\":3,\"backoff_base_ms\":10},",
+                "\"retransmit\":{\"max_retries\":3,\"backoff_base_ms\":10,\
+                 \"jitter_pct\":0,\"max_backoff_ms\":0,\"timeout_ms\":0},",
                 "",
-            );
+            )
+            .replace("\"network\":null,", "")
+            .replace("\"adaptive_deadline\":null,", "");
         assert!(!json.contains("retransmit"), "field not stripped: {json}");
+        assert!(!json.contains("network"), "field not stripped: {json}");
         let back: FederationConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn network_and_adaptive_deadline_validation() {
+        use photon_comms::LinkProfile;
+        let mut cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 4);
+        cfg.network = Some(NetworkConfig {
+            profile: LinkProfile {
+                base_latency_ms: 20,
+                jitter_ms: 10,
+                loss_rate: 0.1,
+                ..LinkProfile::default()
+            },
+            ..NetworkConfig::default()
+        });
+        cfg.allow_partial_results = true;
+        cfg.validate().unwrap();
+
+        // Chaotic links drop results; secure aggregation cannot survive that.
+        let mut secure = cfg.clone();
+        secure.allow_partial_results = false;
+        secure.secure_agg = true;
+        assert!(secure.validate().is_err());
+
+        // Bad profile knobs are caught.
+        let mut bad = cfg.clone();
+        bad.network = Some(NetworkConfig {
+            profile: LinkProfile {
+                loss_rate: 1.5,
+                ..LinkProfile::default()
+            },
+            ..NetworkConfig::default()
+        });
+        assert!(bad.validate().is_err());
+
+        // Adaptive deadline validates and excludes the static deadline.
+        cfg.adaptive_deadline = Some(AdaptiveDeadlineConfig::default());
+        cfg.validate().unwrap();
+        let mut both = cfg.clone();
+        both.round_deadline_ms = Some(500);
+        assert!(both.validate().is_err());
+        let mut bad_ad = cfg.clone();
+        bad_ad.adaptive_deadline = Some(AdaptiveDeadlineConfig {
+            percentile: 2.0,
+            ..AdaptiveDeadlineConfig::default()
+        });
+        assert!(bad_ad.validate().is_err());
     }
 
     #[test]

@@ -222,6 +222,9 @@ pub fn run_centralized(
             rejoined: 0,
             buffered: 0,
             commit_deferred: false,
+            degraded: false,
+            unreachable: 0,
+            effective_deadline_ms: None,
         });
         if stop_below.is_some_and(|t| report.perplexity <= t) {
             break;

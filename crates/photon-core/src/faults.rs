@@ -10,9 +10,17 @@
 //! rounds)` that is independent of thread budgets and query order, so
 //! every chaos run replays bit-identically.
 
+use photon_comms::{PartitionKind, PartitionSchedule, PartitionSpec};
 use photon_tensor::SeedStream;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Salt separating the link-loss draw column from the client fault chain,
+/// so `lossy=` rates never perturb a legacy plan.
+const LINK_LOSS_SALT: u64 = 0x6c6f_7373_7921; // "lossy!"
+
+/// Leading transmission attempts a single `lossy=` firing may swallow.
+const LINK_LOSS_BURST: usize = 2;
 
 /// A fault injected into one client for one round.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -171,6 +179,21 @@ pub struct FaultSpec {
     /// of (and overriding) the probabilistic draws.
     #[serde(default)]
     pub targeted: Vec<TargetedFault>,
+    /// Per-(round, client) probability the link *loses* leading result
+    /// transmissions (`lossy=` grammar). Drawn from its own salted column,
+    /// never the client fault chain — loss is a link property, and a spec
+    /// with `lossy=0` expands to the exact legacy plan.
+    #[serde(default)]
+    pub p_link_loss: f64,
+    /// Links pinned slow for one round (`slowlink@rNcM` grammar): the
+    /// network model multiplies that delivery's latency by the configured
+    /// slow factor.
+    #[serde(default)]
+    pub targeted_slowlinks: Vec<(u64, u32)>,
+    /// Partition windows (`partition@rN[-rM]:a|b` grammar, `.`-separated
+    /// client ids, `~` marking the severed group asymmetric).
+    #[serde(default)]
+    pub partitions: Vec<PartitionSpec>,
     /// Seed for the fault schedule (independent of the training seed).
     pub seed: u64,
 }
@@ -198,6 +221,9 @@ impl FaultSpec {
             targeted_joins: Vec::new(),
             targeted_leaves: Vec::new(),
             targeted: Vec::new(),
+            p_link_loss: 0.0,
+            targeted_slowlinks: Vec::new(),
+            partitions: Vec::new(),
             seed,
         }
     }
@@ -205,9 +231,12 @@ impl FaultSpec {
     /// Parses a compact CLI spec: comma-separated entries that are either
     /// `key=value` rate pairs — keys `crash`, `straggle`, `straggle-ms`,
     /// `corrupt`, `corrupt-attempts`, `agg`, `nan`, `sign-flip`, `scale`,
-    /// `scale-factor`, `join`, `leave`, `seed` — or targeted entries:
-    /// `kind@rNcM` faults, `join@rN` admissions, `leave@rNcM` departures,
-    /// e.g. `crash=0.05,sign-flip@r3c1,join@r4,leave=0.01,seed=9`.
+    /// `scale-factor`, `join`, `leave`, `lossy`, `seed` — or targeted
+    /// entries: `kind@rNcM` faults, `join@rN` admissions, `leave@rNcM`
+    /// departures, `slowlink@rNcM` slow links, and partition windows
+    /// `partition@rN[-rM]:a|b` (client ids `.`-separated; `~` before the
+    /// severed group makes the partition asymmetric), e.g.
+    /// `crash=0.05,lossy=0.1,partition@r2-r5:0|1.2,slowlink@r3c0,seed=9`.
     ///
     /// # Errors
     /// Returns a message naming the offending entry or value.
@@ -215,6 +244,20 @@ impl FaultSpec {
         let mut spec = FaultSpec::none(0);
         for pair in s.split(',').filter(|p| !p.trim().is_empty()) {
             let pair = pair.trim();
+            if let Some(window) = pair.strip_prefix("partition@") {
+                spec.partitions.push(parse_partition(window)?);
+                continue;
+            }
+            if let Some(cell) = pair.strip_prefix("slowlink@") {
+                let parsed = cell
+                    .strip_prefix('r')
+                    .and_then(|rest| rest.split_once('c'))
+                    .and_then(|(r, c)| Some((r.parse().ok()?, c.parse().ok()?)));
+                let (round, client) = parsed
+                    .ok_or_else(|| format!("targeted slowlink {pair:?} is not slowlink@rNcM"))?;
+                spec.targeted_slowlinks.push((round, client));
+                continue;
+            }
             if let Some(cell) = pair.strip_prefix("join@") {
                 let round = cell
                     .strip_prefix('r')
@@ -256,6 +299,7 @@ impl FaultSpec {
                 "scale-factor" => spec.scale_factor = value.parse().map_err(|_| bad())?,
                 "join" => spec.p_join = value.parse().map_err(|_| bad())?,
                 "leave" => spec.p_leave = value.parse().map_err(|_| bad())?,
+                "lossy" => spec.p_link_loss = value.parse().map_err(|_| bad())?,
                 "seed" => spec.seed = value.parse().map_err(|_| bad())?,
                 other => return Err(format!("unknown fault spec key {other:?}")),
             }
@@ -301,7 +345,13 @@ impl FaultSpec {
         if !self.scale_factor.is_finite() {
             return Err(format!("scale factor {} must be finite", self.scale_factor));
         }
-        Ok(())
+        if !self.p_link_loss.is_finite() || !(0.0..=1.0).contains(&self.p_link_loss) {
+            return Err(format!(
+                "fault probability lossy={} outside [0, 1]",
+                self.p_link_loss
+            ));
+        }
+        self.partitions.iter().try_for_each(PartitionSpec::validate)
     }
 
     /// Expands the rates into a concrete schedule over `population`
@@ -391,14 +441,79 @@ impl FaultSpec {
                 leaves.insert((round, client));
             }
         }
+        // Link losses draw from their own salted column (never the client
+        // fault chain), so `lossy=0` leaves legacy plans bit-identical.
+        let mut link_losses = BTreeMap::new();
+        if self.p_link_loss > 0.0 {
+            for round in 0..rounds {
+                for client in 0..population as u32 {
+                    let mut rng = cell_stream(self.seed ^ LINK_LOSS_SALT, round, client);
+                    if rng.next_f64() < self.p_link_loss {
+                        let burst = 1 + rng.next_below(LINK_LOSS_BURST) as u32;
+                        link_losses.insert((round, client), burst);
+                    }
+                }
+            }
+        }
+        // Slow links, like targeted leaves, may name clients admitted
+        // mid-run, so they are bounded only by the round horizon.
+        let slow_links = self
+            .targeted_slowlinks
+            .iter()
+            .filter(|&&(round, _)| round < rounds)
+            .copied()
+            .collect();
         FaultPlan {
             client_faults,
             agg_crashes,
             joins,
             leaves,
+            link_losses,
+            slow_links,
+            partitions: PartitionSchedule::new(self.partitions.clone()),
             rounds,
         }
     }
+}
+
+/// Parses a partition window `rN[-rM]:a|b` (after the `partition@`
+/// prefix): client ids `.`-separated, `a` the side documented as staying
+/// connected (may be empty or `*`), `b` the severed side, `~` before `b`
+/// marking the partition asymmetric (severed clients still receive
+/// broadcasts but their results are lost).
+fn parse_partition(s: &str) -> Result<PartitionSpec, String> {
+    let bad = |what: &str| format!("invalid {what} in partition window {s:?}");
+    let (span, groups) = s.split_once(':').ok_or_else(|| bad("shape (rN:a|b)"))?;
+    let span = span.strip_prefix('r').ok_or_else(|| bad("round span"))?;
+    let (start_round, heal_round) = match span.split_once("-r") {
+        Some((start, heal)) => (
+            start.parse().map_err(|_| bad("start round"))?,
+            Some(heal.parse().map_err(|_| bad("heal round"))?),
+        ),
+        None => (span.parse().map_err(|_| bad("start round"))?, None),
+    };
+    let (a, b) = groups.split_once('|').ok_or_else(|| bad("groups (a|b)"))?;
+    let (b, asymmetric) = match b.strip_prefix('~') {
+        Some(rest) => (rest, true),
+        None => (b, false),
+    };
+    let parse_ids = |side: &str| -> Result<Vec<u32>, String> {
+        if side.is_empty() || side == "*" {
+            return Ok(Vec::new());
+        }
+        side.split('.')
+            .map(|id| id.parse().map_err(|_| bad("client id")))
+            .collect()
+    };
+    let spec = PartitionSpec {
+        start_round,
+        heal_round,
+        connected: parse_ids(a)?,
+        severed: parse_ids(b)?,
+        asymmetric,
+    };
+    spec.validate()?;
+    Ok(spec)
 }
 
 /// Derives the independent stream for one (round, client) cell.
@@ -419,6 +534,9 @@ pub struct FaultPlan {
     agg_crashes: BTreeSet<u64>,
     joins: BTreeMap<u64, u32>,
     leaves: BTreeSet<(u64, u32)>,
+    link_losses: BTreeMap<(u64, u32), u32>,
+    slow_links: BTreeSet<(u64, u32)>,
+    partitions: PartitionSchedule,
     rounds: u64,
 }
 
@@ -467,6 +585,37 @@ impl FaultPlan {
         self.leaves.len()
     }
 
+    /// Leading result transmissions lost on `client`'s link at `round`
+    /// (0 = the link delivers normally).
+    pub fn link_loss(&self, round: u64, client: u32) -> u32 {
+        self.link_losses.get(&(round, client)).copied().unwrap_or(0)
+    }
+
+    /// Whether `client`'s link is pinned slow at `round`.
+    pub fn slowlink_at(&self, round: u64, client: u32) -> bool {
+        self.slow_links.contains(&(round, client))
+    }
+
+    /// The scheduled partition windows.
+    pub fn partitions(&self) -> &PartitionSchedule {
+        &self.partitions
+    }
+
+    /// Number of cells scheduled to lose transmissions.
+    pub fn link_loss_count(&self) -> usize {
+        self.link_losses.len()
+    }
+
+    /// Number of cells pinned slow.
+    pub fn slowlink_count(&self) -> usize {
+        self.slow_links.len()
+    }
+
+    /// Number of scheduled partition windows.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
     /// The planning horizon in rounds.
     pub fn rounds(&self) -> u64 {
         self.rounds
@@ -509,6 +658,26 @@ impl FaultInjector {
     /// The clients permanently departing at `round`.
     pub fn leaves_at(&self, round: u64) -> Vec<u32> {
         self.plan.leaves_at(round)
+    }
+
+    /// Leading result transmissions lost on `client`'s link at `round`.
+    pub fn link_loss(&self, round: u64, client: u32) -> u32 {
+        self.plan.link_loss(round, client)
+    }
+
+    /// Whether `client`'s link is pinned slow at `round`.
+    pub fn slowlink_at(&self, round: u64, client: u32) -> bool {
+        self.plan.slowlink_at(round, client)
+    }
+
+    /// The severing in effect for `client` at `round`, if any.
+    pub fn partition_state(&self, round: u64, client: u32) -> Option<PartitionKind> {
+        self.plan.partitions().state(round, client)
+    }
+
+    /// Whether a partition window heals exactly at `round`.
+    pub fn partition_heals_at(&self, round: u64) -> bool {
+        self.plan.partitions().heals_at(round)
     }
 
     /// The underlying schedule.
@@ -774,6 +943,100 @@ mod tests {
         assert!(FaultSpec::parse("leave@r6").is_err());
         assert!(FaultSpec::parse("join=1.5").is_err());
         assert!(FaultSpec::parse("crash=0.6,leave=0.5").is_err(), "sum cap");
+    }
+
+    #[test]
+    fn network_grammar_parses_and_expands() {
+        let spec = FaultSpec::parse(
+            "lossy=0.2,partition@r2-r5:0|1.2,partition@r6:*|~3,slowlink@r3c0,seed=9",
+        )
+        .unwrap();
+        assert_eq!(spec.p_link_loss, 0.2);
+        assert_eq!(spec.targeted_slowlinks, vec![(3, 0)]);
+        assert_eq!(spec.partitions.len(), 2);
+        assert_eq!(spec.partitions[0].start_round, 2);
+        assert_eq!(spec.partitions[0].heal_round, Some(5));
+        assert_eq!(spec.partitions[0].severed, vec![1, 2]);
+        assert!(!spec.partitions[0].asymmetric);
+        assert_eq!(spec.partitions[1].heal_round, None);
+        assert!(spec.partitions[1].asymmetric);
+
+        let plan = spec.plan(8, 10);
+        assert!(plan.link_loss_count() > 0, "lossy=0.2 scheduled nothing");
+        assert_eq!(plan.slowlink_count(), 1);
+        assert!(plan.slowlink_at(3, 0));
+        assert!(!plan.slowlink_at(3, 1));
+        assert_eq!(plan.partition_count(), 2);
+        assert_eq!(
+            plan.partitions().state(3, 1),
+            Some(PartitionKind::Full),
+            "client 1 severed during the window"
+        );
+        assert_eq!(plan.partitions().state(5, 1), None, "healed");
+        assert_eq!(
+            plan.partitions().state(7, 3),
+            Some(PartitionKind::Asymmetric)
+        );
+        // Loss bursts stay within the configured burst cap.
+        for round in 0..10 {
+            for client in 0..8 {
+                let burst = plan.link_loss(round, client);
+                assert!(burst <= 1 + LINK_LOSS_BURST as u32);
+            }
+        }
+        // Malformed windows are rejected.
+        assert!(FaultSpec::parse("partition@r2").is_err());
+        assert!(
+            FaultSpec::parse("partition@r2:0|").is_err(),
+            "empty severed"
+        );
+        assert!(
+            FaultSpec::parse("partition@r5-r2:0|1").is_err(),
+            "heal<start"
+        );
+        assert!(FaultSpec::parse("partition@r2:1|1").is_err(), "overlap");
+        assert!(FaultSpec::parse("slowlink@r3").is_err());
+        assert!(FaultSpec::parse("lossy=1.5").is_err());
+    }
+
+    #[test]
+    fn zero_network_rates_leave_legacy_plans_unchanged() {
+        // `lossy=` draws from its own salted column and partitions ride in
+        // separate fields, so a network-free spec expands to the exact
+        // legacy plan.
+        let legacy = chaos_spec(7).plan(16, 50);
+        let extended = FaultSpec {
+            p_link_loss: 0.0,
+            targeted_slowlinks: Vec::new(),
+            partitions: Vec::new(),
+            ..chaos_spec(7)
+        }
+        .plan(16, 50);
+        assert_eq!(legacy, extended);
+        assert_eq!(legacy.link_loss_count(), 0);
+        assert_eq!(legacy.partition_count(), 0);
+    }
+
+    #[test]
+    fn link_loss_column_is_independent_of_the_fault_chain() {
+        // Turning `lossy=` on must not move a single client fault: the
+        // loss draw lives in a disjoint salted column.
+        let base = chaos_spec(7);
+        let lossy = FaultSpec {
+            p_link_loss: 0.5,
+            ..chaos_spec(7)
+        };
+        let a = base.plan(16, 50);
+        let b = lossy.plan(16, 50);
+        assert!(b.link_loss_count() > 0);
+        for round in 0..50 {
+            for client in 0..16 {
+                assert_eq!(a.client_fault(round, client), b.client_fault(round, client));
+            }
+        }
+        assert_eq!(a.agg_crash_count(), b.agg_crash_count());
+        // Loss plans themselves replay bit-identically.
+        assert_eq!(b, lossy.plan(16, 50));
     }
 
     #[test]

@@ -62,6 +62,10 @@ pub use membership::{
     ChurnEvents, MemberPhase, MembershipConfig, MembershipRegistry, MembershipSnapshot,
 };
 pub use metrics::{RoundRecord, TrainingHistory};
+pub use photon_comms::{
+    AdaptiveDeadlineConfig, LinkProfile, NetworkConfig, PartitionKind, PartitionSchedule,
+    PartitionSpec,
+};
 pub use recovery::{run_training, TrainingOptions, TrainingOutcome};
 pub use telemetry::{ClientStats, FaultCounters, Telemetry};
 

@@ -61,6 +61,19 @@ pub struct RoundRecord {
     /// is right for synchronous rounds and legacy records).
     #[serde(default)]
     pub commit_deferred: bool,
+    /// Whether this round ran in degraded mode: received results fell
+    /// below the reachability quorum, so the deadline was lifted and the
+    /// server-opt step skipped until the partition heals.
+    #[serde(default)]
+    pub degraded: bool,
+    /// Sampled clients whose deliveries were severed by an active network
+    /// partition this round.
+    #[serde(default)]
+    pub unreachable: usize,
+    /// The straggler deadline enforced this round (static or adaptive);
+    /// `None` when no deadline applied (including degraded rounds).
+    #[serde(default)]
+    pub effective_deadline_ms: Option<u64>,
 }
 
 /// The full record of a training run, with helpers used by the
@@ -154,6 +167,9 @@ mod tests {
             rejoined: 0,
             buffered: 0,
             commit_deferred: false,
+            degraded: false,
+            unreachable: 0,
+            effective_deadline_ms: None,
         }
     }
 
@@ -168,7 +184,10 @@ mod tests {
             .replace("\"lease_expired\": 0,", "")
             .replace("\"rejoined\": 0,", "")
             .replace("\"buffered\": 0,", "")
-            .replace("\"commit_deferred\": false", "\"neutralized\": false");
+            .replace("\"commit_deferred\": false,", "")
+            .replace("\"degraded\": false,", "")
+            .replace("\"unreachable\": 0,", "")
+            .replace("\"effective_deadline_ms\": null", "\"neutralized\": false");
         let back: TrainingHistory = serde_json::from_str(&json).unwrap();
         assert_eq!(back, h, "serde defaults must reconstruct the record");
     }

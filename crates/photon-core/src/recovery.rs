@@ -106,11 +106,24 @@ where
     if opts.resume {
         if let Some(dir) = &opts.checkpoint_dir {
             if dir.join("manifest.json").exists() {
-                restore_from(&mut fed, dir)?;
-                // A fresh process cannot know which prefix rounds a prior
-                // incarnation neutralized (that is not checkpointed), so
-                // the whole restored prefix counts as committed.
-                mark_committed_prefix(&fed, &neutralized);
+                match restore_from(&mut fed, dir) {
+                    // A fresh process cannot know which prefix rounds a
+                    // prior incarnation neutralized (that is not
+                    // checkpointed), so the whole restored prefix counts
+                    // as committed.
+                    Ok(()) => mark_committed_prefix(&fed, &neutralized),
+                    Err(e) => {
+                        // A torn or corrupt checkpoint must not kill the
+                        // resume: fall back to a clean start instead.
+                        eprintln!(
+                            "warning: checkpoint in {} is unusable ({e}); \
+                             restarting from round 0",
+                            dir.display()
+                        );
+                        let (fresh, _) = build()?;
+                        fed = fresh;
+                    }
+                }
             }
         }
     }
@@ -240,7 +253,18 @@ where
     let (mut fed, _) = build()?;
     if let Some(dir) = &opts.checkpoint_dir {
         if dir.join("manifest.json").exists() {
-            restore_from(&mut fed, dir)?;
+            if let Err(e) = restore_from(&mut fed, dir) {
+                // The latest checkpoint itself is torn or corrupt: falling
+                // back to round 0 (bounded by the shared recovery budget)
+                // beats failing the whole run on a bad disk block.
+                eprintln!(
+                    "warning: checkpoint in {} is unusable ({e}); \
+                     recovering from round 0",
+                    dir.display()
+                );
+                let (fresh, _) = build()?;
+                fed = fresh;
+            }
         }
     }
     // The rebuilt aggregator starts with a clean slate; re-arm the
@@ -317,11 +341,18 @@ fn write_metrics_json(
     } else {
         "null".to_string()
     };
+    let quantile = |q: f64| {
+        telemetry
+            .link_latency_quantile(q)
+            .map_or("null".to_string(), |v| v.to_string())
+    };
     let json = format!(
         "{{\n\"round\": {},\n\"rounds_seen\": {},\n\"rounds_committed\": {},\n\
          \"compute_threads\": {},\n\"backend\": \"{}\",\n\"dtype\": \"{}\",\n\
          \"participation_skew\": {},\n\
          \"total_tokens\": {},\n\"recoveries\": {},\n\"rollbacks\": {},\n\
+         \"network\": {{\"deliveries\": {}, \"latency_p50_ms\": {}, \
+         \"latency_p99_ms\": {}}},\n\
          \"fault_counters\": {},\n\"history\": {}\n}}\n",
         fed.aggregator.round(),
         telemetry.rounds_seen(),
@@ -333,6 +364,9 @@ fn write_metrics_json(
         telemetry.total_tokens(),
         recoveries,
         rollbacks,
+        telemetry.link_latency_count(),
+        quantile(0.5),
+        quantile(0.99),
         faults,
         history.to_json()
     );

@@ -141,6 +141,9 @@ proptest! {
                 rejoined: 0,
                 buffered: 0,
                 commit_deferred: false,
+                degraded: false,
+                unreachable: 0,
+                effective_deadline_ms: None,
             });
         }
         let expected = ppls

@@ -151,9 +151,20 @@ impl UpdateBuffer {
     }
 
     /// Enqueues an update (immediately pending if `arrival_round` is the
-    /// current round, deferred otherwise).
-    pub fn push(&mut self, update: BufferedUpdate) {
+    /// current round, deferred otherwise). Returns `false` — rejecting the
+    /// update — when an entry with the same `(client_id, origin_round)` is
+    /// already buffered: a duplicating link must never double-apply one
+    /// client round, and legitimate arrivals are unique on that key.
+    pub fn push(&mut self, update: BufferedUpdate) -> bool {
+        let duplicate = self
+            .entries
+            .iter()
+            .any(|e| e.client_id == update.client_id && e.origin_round == update.origin_round);
+        if duplicate {
+            return false;
+        }
         self.entries.push(update);
+        true
     }
 
     /// Updates that have arrived by `round` (deferred stragglers excluded).
@@ -299,6 +310,25 @@ mod tests {
         assert_eq!(buf.deferred(3), 1);
         assert!(!buf.quorum_reached(3, 2));
         assert!(buf.quorum_reached(5, 2));
+    }
+
+    #[test]
+    fn push_rejects_duplicate_client_round_pairs() {
+        let mut buf = UpdateBuffer::new();
+        assert!(buf.push(entry(0, 3, 3, vec![1.0])));
+        assert!(
+            !buf.push(entry(0, 3, 4, vec![1.0])),
+            "a duplicated frame of the same client round must be dropped"
+        );
+        assert!(
+            buf.push(entry(0, 4, 4, vec![1.0])),
+            "the same client's next round is not a duplicate"
+        );
+        assert!(
+            buf.push(entry(1, 3, 3, vec![1.0])),
+            "another client's update for the same round is not a duplicate"
+        );
+        assert_eq!(buf.len(), 3);
     }
 
     #[test]

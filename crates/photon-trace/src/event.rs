@@ -43,6 +43,10 @@ pub enum Phase {
     Rollback,
     /// Validation-perplexity evaluation.
     Eval,
+    /// A delivery severed by an active network partition.
+    NetPartition,
+    /// A round run in degraded mode (below the reachability quorum).
+    DegradedRound,
 }
 
 /// Coarse roll-up groups for the phase-profile report.
@@ -64,7 +68,7 @@ pub enum PhaseGroup {
 
 impl Phase {
     /// Every phase, in report order.
-    pub const ALL: [Phase; 17] = [
+    pub const ALL: [Phase; 19] = [
         Phase::Round,
         Phase::LocalStep,
         Phase::KernelGemm,
@@ -82,6 +86,8 @@ impl Phase {
         Phase::CheckpointRestore,
         Phase::Rollback,
         Phase::Eval,
+        Phase::NetPartition,
+        Phase::DegradedRound,
     ];
 
     /// Stable snake_case name (used as the JSONL `name` default, the
@@ -105,19 +111,23 @@ impl Phase {
             Phase::CheckpointRestore => "checkpoint_restore",
             Phase::Rollback => "rollback",
             Phase::Eval => "eval",
+            Phase::NetPartition => "net_partition",
+            Phase::DegradedRound => "degraded_round",
         }
     }
 
     /// The roll-up group this phase reports under.
     pub fn group(self) -> PhaseGroup {
         match self {
-            Phase::Round => PhaseGroup::Orchestration,
+            Phase::Round | Phase::DegradedRound => PhaseGroup::Orchestration,
             Phase::LocalStep
             | Phase::KernelGemm
             | Phase::KernelAttention
             | Phase::KernelLayerNorm
             | Phase::PoolDispatch => PhaseGroup::Compute,
-            Phase::Broadcast | Phase::LinkDeliver | Phase::LinkRetransmit => PhaseGroup::Comms,
+            Phase::Broadcast | Phase::LinkDeliver | Phase::LinkRetransmit | Phase::NetPartition => {
+                PhaseGroup::Comms
+            }
             Phase::GuardScreen | Phase::RobustMerge | Phase::BufferCommit | Phase::ServerOpt => {
                 PhaseGroup::Aggregation
             }
