@@ -698,3 +698,129 @@ fn load_model(args: &Args) -> Result<Gpt, String> {
         load_checkpoint(dir).map_err(|e| format!("cannot load checkpoint: {e}"))?;
     Ok(Gpt::from_params(manifest.config.model, params))
 }
+
+const SERVE_HELP: &str = "photon serve — multi-process coordinator
+
+Listens for `photon client` processes, runs the federated rounds, and
+survives kills: every commit is checkpointed, and `--resume` restores
+the state machine from the checkpoint while live clients re-sync.
+
+OPTIONS:
+    --addr HOST:PORT           listen address        [127.0.0.1:7700]
+    --rounds N                 federated rounds      [12]
+    --min-clients N            connections required before rounds start
+                               [--clients]
+    --checkpoint-dir DIR       checkpoint every commit here; required
+                               for crash-restart
+    --resume                   restore from --checkpoint-dir if a
+                               checkpoint exists
+    --warmup-ms N              settle delay before round 0   [200]
+    --cooldown-ms N            grace window after the last round [200]
+    --round-timeout-ms N       per-round result deadline     [30000]
+    --heartbeat-timeout-ms N   quiet-connection miss window  [500]
+    --metrics-json PATH        metrics snapshot after every commit
+    --faults SPEC              process faults: netcrash@rNcM (client
+                               severs its socket mid-round),
+                               nethang@rNcM (client goes silent),
+                               coordkill@rN (coordinator exits after
+                               committing round N)
+    plus the model/optimizer options of `photon train` (--model,
+    --clients, --local-steps, --batch, --seed, --tokens-per-client, ...)";
+
+/// `photon serve`.
+pub fn serve(args: &Args) -> Result<(), String> {
+    if args.flag("help") {
+        println!("{SERVE_HELP}");
+        return Ok(());
+    }
+    let mut cfg = config_from_args(args)?;
+    // Multi-process rounds always tolerate partial cohorts: a client can
+    // die mid-round and the deadline path must still commit.
+    cfg.allow_partial_results = true;
+    cfg.validate().map_err(|e| e.to_string())?;
+    let rounds: u64 = args.get_parsed("rounds", 12)?;
+    let faults = match args.get("faults") {
+        Some(spec) => Some(FaultSpec::parse(spec)?),
+        None => None,
+    };
+    let min_clients = args.get_parsed("min-clients", cfg.population)?;
+    let plan = photon_net::RunPlan {
+        tokens_per_client: args.get_parsed("tokens-per-client", 20_000)?,
+        rounds,
+        faults,
+        cfg,
+    };
+    let opts = photon_net::ServeOptions {
+        addr: args.get_or("addr", "127.0.0.1:7700").to_string(),
+        plan,
+        min_clients,
+        checkpoint_dir: args.get("checkpoint-dir").map(PathBuf::from),
+        resume: args.flag("resume"),
+        warmup_ms: args.get_parsed("warmup-ms", 200)?,
+        cooldown_ms: args.get_parsed("cooldown-ms", 200)?,
+        round_timeout_ms: args.get_parsed("round-timeout-ms", 30_000)?,
+        heartbeat_timeout_ms: args.get_parsed("heartbeat-timeout-ms", 500)?,
+        metrics_json: args.get("metrics-json").map(PathBuf::from),
+        stop_after_rounds: None,
+    };
+    let report = photon_net::serve(&opts).map_err(|e| e.to_string())?;
+    if let Some(from) = report.resumed_from {
+        println!("resumed from checkpointed round {from}");
+    }
+    for (i, loss) in report.round_losses.iter().enumerate() {
+        println!(
+            "round {:>3}  mean client loss {loss:.4}",
+            report.final_round as usize - report.round_losses.len() + i
+        );
+    }
+    println!(
+        "serve done: {} rounds committed (final round {}), {} session resumes",
+        report.rounds_run, report.final_round, report.session_resumes
+    );
+    Ok(())
+}
+
+const CLIENT_HELP: &str = "photon client — one training participant
+
+Connects to a `photon serve` coordinator, receives the run plan, and
+trains every broadcast round. Rides out crashes on either side: it
+reconnects with capped-exponential backoff, resumes its session by
+token, and re-delivers un-acked results (the coordinator deduplicates).
+
+OPTIONS:
+    --addr HOST:PORT        coordinator address    [127.0.0.1:7700]
+    --heartbeat-ms N        heartbeat cadence      [100]
+    --reconnect-base-ms N   backoff base delay     [50]
+    --reconnect-cap-ms N    backoff cap            [2000]
+    --max-attempts N        reconnect budget       [120]
+    --hang-ms N             nethang silence length [1500]
+    --session-file PATH     persist the session identity so a killed
+                            and restarted client process resumes its
+                            session instead of re-joining";
+
+/// `photon client`.
+pub fn client(args: &Args) -> Result<(), String> {
+    if args.flag("help") {
+        println!("{CLIENT_HELP}");
+        return Ok(());
+    }
+    let opts = photon_net::ClientOptions {
+        addr: args.get_or("addr", "127.0.0.1:7700").to_string(),
+        heartbeat_interval_ms: args.get_parsed("heartbeat-ms", 100)?,
+        reconnect_base_ms: args.get_parsed("reconnect-base-ms", 50)?,
+        reconnect_cap_ms: args.get_parsed("reconnect-cap-ms", 2_000)?,
+        max_connect_attempts: args.get_parsed("max-attempts", 120)?,
+        hang_ms: args.get_parsed("hang-ms", 1_500)?,
+        session_file: args.get("session-file").map(PathBuf::from),
+    };
+    let report = photon_net::run_client(&opts).map_err(|e| e.to_string())?;
+    println!(
+        "client {} done: {} rounds trained, {} reconnects ({} resumed), clean shutdown: {}",
+        report.client_id,
+        report.rounds_trained,
+        report.reconnects,
+        report.resumed_sessions,
+        report.clean_shutdown
+    );
+    Ok(())
+}

@@ -3,6 +3,8 @@
 //! Subcommands:
 //! * `train`      — run a federated pre-training job (IID or Pile-style data)
 //! * `resume`     — continue training from a checkpoint directory
+//! * `serve`      — multi-process coordinator over TCP
+//! * `client`     — one training participant connecting to `serve`
 //! * `plan`       — hardware planning for the paper's deployments
 //! * `generate`   — sample text from a checkpointed model
 //! * `downstream` — run the synthetic in-context evaluation suite
@@ -21,6 +23,8 @@ USAGE:
 COMMANDS:
     train       run a federated pre-training job
     resume      continue training from --checkpoint-dir
+    serve       multi-process coordinator: listen for `photon client`s
+    client      one training participant, connects to a `serve`
     plan        hardware planning for a paper model size
     generate    sample text from a checkpointed model
     downstream  score a checkpointed model on the synthetic eval suite
@@ -43,6 +47,8 @@ fn main() -> ExitCode {
     let result = match args.command.as_str() {
         "train" => commands::train(&args, false),
         "resume" => commands::train(&args, true),
+        "serve" => commands::serve(&args),
+        "client" => commands::client(&args),
         "plan" => commands::plan(&args),
         "generate" => commands::generate(&args),
         "downstream" => commands::downstream(&args),

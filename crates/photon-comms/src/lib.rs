@@ -38,6 +38,7 @@ mod quant;
 mod secure;
 mod sparse;
 mod topology;
+mod transport;
 mod walltime;
 mod wire;
 
@@ -56,7 +57,9 @@ pub use quant::{dequantize_i8, quantization_error_bound, quantize_i8, QUANT_BLOC
 pub use secure::{mask_update, pairwise_seed, SecureAggError};
 pub use sparse::{densify, retained_mass, sparsify_top_k};
 pub use topology::{aggregation_time_seconds, bytes_on_wire, comm_time_seconds, Topology};
+pub use transport::{ChannelLink, Link, LinkError};
 pub use walltime::{RoundTime, SimClock, WallTimeModel};
 pub use wire::{
-    decode_frame, decode_frame_flags, encode_frame, encode_frame_with, FrameFlags, WireError,
+    decode_frame, decode_frame_flags, encode_frame, encode_frame_with, FrameFlags, FrameHeader,
+    WireError, FRAME_HEADER_LEN, MAX_FRAME_BYTES,
 };

@@ -86,6 +86,69 @@ pub enum Message {
         /// Absolute simulated-walltime expiry of the lease.
         expires_ms: u64,
     },
+    /// Client -> coordinator (multi-process transport handshake): open or
+    /// resume a session. A fresh client sends `client_id = u32::MAX` and
+    /// `token = 0`; a reconnecting client presents the id and token from
+    /// its previous [`Message::SessionGrant`] so the coordinator resumes
+    /// its lease and in-flight round instead of re-admitting it.
+    SessionHello {
+        /// Previously granted client id, or `u32::MAX` for a new client.
+        client_id: u32,
+        /// Previously granted session token, or 0 for a new session.
+        token: u64,
+        /// Highest round whose result the coordinator has acknowledged
+        /// (`u64::MAX` if none) — lets the coordinator spot in-flight
+        /// results that need re-delivery.
+        last_acked_round: u64,
+    },
+    /// Coordinator -> client: session opened (or resumed after a
+    /// reconnect). The token is the client's proof of identity across
+    /// reconnects and coordinator restarts.
+    SessionGrant {
+        /// Assigned client id.
+        client_id: u32,
+        /// Session token to present on every future [`Message::SessionHello`].
+        token: u64,
+        /// The coordinator's current round, so a resumed client rejoins
+        /// the in-flight round instead of waiting for the next broadcast.
+        round: u64,
+        /// True when an existing session was resumed (lease carried over)
+        /// rather than a new member admitted.
+        resumed: bool,
+    },
+    /// Either direction: transport liveness heartbeat. A peer that misses
+    /// enough consecutive heartbeats is declared dead and its connection
+    /// torn down (the session survives for a later resume).
+    Heartbeat {
+        /// Sender's client id (`u32::MAX` from the coordinator).
+        client_id: u32,
+        /// Monotonic heartbeat sequence number per connection.
+        seq: u64,
+    },
+    /// Coordinator -> client: the client's result for `round` was applied
+    /// (or deduplicated away) — the client may drop its retained copy.
+    /// Until this arrives the client re-sends the result on every
+    /// reconnect; the coordinator's `(client, round)` dedup keys make the
+    /// re-delivery idempotent.
+    ResultAck {
+        /// Client whose result is acknowledged.
+        client_id: u32,
+        /// Round the acknowledged result belongs to.
+        round: u64,
+    },
+    /// Coordinator -> client: authoritative state re-synchronization, sent
+    /// at admission and after a coordinator crash-restart. `state` is the
+    /// coordinator state machine's discriminant; `config_json` carries the
+    /// run configuration as opaque JSON bytes (opaque here so the wire
+    /// format does not depend on higher-layer config types).
+    RunSync {
+        /// The coordinator's current round (post-restore).
+        round: u64,
+        /// Coordinator state machine discriminant.
+        state: u8,
+        /// Run configuration, JSON-encoded.
+        config_json: Vec<u8>,
+    },
 }
 
 const TAG_BROADCAST: u8 = 1;
@@ -93,6 +156,11 @@ const TAG_RESULT: u8 = 2;
 const TAG_SHUTDOWN: u8 = 3;
 const TAG_HELLO: u8 = 4;
 const TAG_LEASE_GRANT: u8 = 5;
+const TAG_SESSION_HELLO: u8 = 6;
+const TAG_SESSION_GRANT: u8 = 7;
+const TAG_HEARTBEAT: u8 = 8;
+const TAG_RESULT_ACK: u8 = 9;
+const TAG_RUN_SYNC: u8 = 10;
 
 impl Message {
     /// Serializes into a Link frame, optionally compressing float payloads
@@ -149,6 +217,49 @@ impl Message {
                 body.put_u8(TAG_LEASE_GRANT);
                 body.put_u32_le(*client_id);
                 body.put_u64_le(*expires_ms);
+            }
+            Message::SessionHello {
+                client_id,
+                token,
+                last_acked_round,
+            } => {
+                body.put_u8(TAG_SESSION_HELLO);
+                body.put_u32_le(*client_id);
+                body.put_u64_le(*token);
+                body.put_u64_le(*last_acked_round);
+            }
+            Message::SessionGrant {
+                client_id,
+                token,
+                round,
+                resumed,
+            } => {
+                body.put_u8(TAG_SESSION_GRANT);
+                body.put_u32_le(*client_id);
+                body.put_u64_le(*token);
+                body.put_u64_le(*round);
+                body.put_u8(u8::from(*resumed));
+            }
+            Message::Heartbeat { client_id, seq } => {
+                body.put_u8(TAG_HEARTBEAT);
+                body.put_u32_le(*client_id);
+                body.put_u64_le(*seq);
+            }
+            Message::ResultAck { client_id, round } => {
+                body.put_u8(TAG_RESULT_ACK);
+                body.put_u32_le(*client_id);
+                body.put_u64_le(*round);
+            }
+            Message::RunSync {
+                round,
+                state,
+                config_json,
+            } => {
+                body.put_u8(TAG_RUN_SYNC);
+                body.put_u64_le(*round);
+                body.put_u8(*state);
+                body.put_u64_le(config_json.len() as u64);
+                body.put_slice(config_json);
             }
         }
         encode_frame_with(&body, opts.flags())
@@ -211,6 +322,63 @@ impl Message {
                 Ok(Message::LeaseGrant {
                     client_id: body.get_u32_le(),
                     expires_ms: body.get_u64_le(),
+                })
+            }
+            TAG_SESSION_HELLO => {
+                if body.remaining() < 4 + 8 + 8 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(Message::SessionHello {
+                    client_id: body.get_u32_le(),
+                    token: body.get_u64_le(),
+                    last_acked_round: body.get_u64_le(),
+                })
+            }
+            TAG_SESSION_GRANT => {
+                if body.remaining() < 4 + 8 + 8 + 1 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(Message::SessionGrant {
+                    client_id: body.get_u32_le(),
+                    token: body.get_u64_le(),
+                    round: body.get_u64_le(),
+                    resumed: body.get_u8() != 0,
+                })
+            }
+            TAG_HEARTBEAT => {
+                if body.remaining() < 4 + 8 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(Message::Heartbeat {
+                    client_id: body.get_u32_le(),
+                    seq: body.get_u64_le(),
+                })
+            }
+            TAG_RESULT_ACK => {
+                if body.remaining() < 4 + 8 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(Message::ResultAck {
+                    client_id: body.get_u32_le(),
+                    round: body.get_u64_le(),
+                })
+            }
+            TAG_RUN_SYNC => {
+                if body.remaining() < 8 + 1 + 8 {
+                    return Err(WireError::Truncated);
+                }
+                let round = body.get_u64_le();
+                let state = body.get_u8();
+                let len = body.get_u64_le() as usize;
+                if body.remaining() < len {
+                    return Err(WireError::Truncated);
+                }
+                let config_json = body.slice(..len).to_vec();
+                body.advance(len);
+                Ok(Message::RunSync {
+                    round,
+                    state,
+                    config_json,
                 })
             }
             tag => Err(WireError::BadCompression(format!("unknown tag {tag}"))),
@@ -328,6 +496,52 @@ mod tests {
         }
         // Handshake frames are control-plane small: no float payload.
         assert!(hello.wire_bytes(false) < 64);
+    }
+
+    #[test]
+    fn session_control_plane_roundtrips() {
+        let msgs = [
+            Message::SessionHello {
+                client_id: u32::MAX,
+                token: 0,
+                last_acked_round: u64::MAX,
+            },
+            Message::SessionHello {
+                client_id: 3,
+                token: 0xDEAD_BEEF_CAFE_F00D,
+                last_acked_round: 12,
+            },
+            Message::SessionGrant {
+                client_id: 3,
+                token: 0xDEAD_BEEF_CAFE_F00D,
+                round: 13,
+                resumed: true,
+            },
+            Message::Heartbeat {
+                client_id: 3,
+                seq: 999,
+            },
+            Message::ResultAck {
+                client_id: 3,
+                round: 13,
+            },
+            Message::RunSync {
+                round: 13,
+                state: 2,
+                config_json: br#"{"rounds":16}"#.to_vec(),
+            },
+        ];
+        for msg in &msgs {
+            for compress in [false, true] {
+                assert_eq!(
+                    Message::from_frame(msg.to_frame(compress)).unwrap(),
+                    *msg,
+                    "roundtrip failed for {msg:?} (compress={compress})"
+                );
+            }
+            // Control-plane frames stay small (no float payload).
+            assert!(msg.wire_bytes(false) < 128);
+        }
     }
 
     #[test]

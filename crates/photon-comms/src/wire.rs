@@ -7,6 +7,17 @@ const VERSION: u16 = 1;
 const FLAG_COMPRESSED: u16 = 0b1;
 const FLAG_BF16: u16 = 0b10;
 
+/// Size of the fixed Link frame header in bytes:
+/// `magic(8) | version(2) | flags(2) | crc32(4) | len(8)`.
+pub const FRAME_HEADER_LEN: usize = 24;
+
+/// Default ceiling a streaming transport imposes on the declared payload
+/// length before allocating a receive buffer (1 GiB). A hostile header can
+/// declare any 64-bit length; honouring it blindly would let one bad frame
+/// allocate the machine away. In-memory decoding ([`decode_frame_flags`])
+/// needs no such cap — it only slices bytes it already holds.
+pub const MAX_FRAME_BYTES: u64 = 1 << 30;
+
 /// Per-frame flags carried in the Link header.
 ///
 /// `bf16` marks float payloads stored as bf16 (2 bytes per element, see
@@ -60,6 +71,14 @@ pub enum WireError {
     },
     /// The compressed payload failed to decompress.
     BadCompression(String),
+    /// A streaming transport refused the declared payload length (hostile
+    /// or corrupt header) before allocating a receive buffer.
+    FrameTooLarge {
+        /// Payload length the header declared.
+        declared: u64,
+        /// The transport's configured ceiling.
+        max: u64,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -75,11 +94,75 @@ impl fmt::Display for WireError {
                 )
             }
             WireError::BadCompression(msg) => write!(f, "payload decompression failed: {msg}"),
+            WireError::FrameTooLarge { declared, max } => {
+                write!(f, "frame declares {declared} payload bytes (cap {max})")
+            }
         }
     }
 }
 
 impl std::error::Error for WireError {}
+
+/// A parsed Link frame header — the fixed [`FRAME_HEADER_LEN`]-byte prefix
+/// validated *before* any payload bytes are read. Streaming transports
+/// (`photon-net`) parse this first so a hostile length field is rejected
+/// before it can size an allocation; in-memory decoding goes straight
+/// through [`decode_frame_flags`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Per-frame payload flags.
+    pub flags: FrameFlags,
+    /// CRC32 declared over the payload.
+    pub crc: u32,
+    /// Declared payload length in bytes.
+    pub len: u64,
+}
+
+impl FrameHeader {
+    /// Parses and validates a header prefix (magic, version, and the
+    /// payload-length cap `max_len`).
+    ///
+    /// # Errors
+    /// Returns a [`WireError`] on bad magic/version or a declared length
+    /// past `max_len`.
+    pub fn parse(header: &[u8; FRAME_HEADER_LEN], max_len: u64) -> Result<FrameHeader, WireError> {
+        let mut buf = &header[..];
+        let mut magic = [0u8; 8];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let flags = FrameFlags::decode(buf.get_u16_le());
+        let crc = buf.get_u32_le();
+        let len = buf.get_u64_le();
+        if len > max_len {
+            return Err(WireError::FrameTooLarge {
+                declared: len,
+                max: max_len,
+            });
+        }
+        Ok(FrameHeader { flags, crc, len })
+    }
+
+    /// Verifies `payload` against the declared CRC.
+    ///
+    /// # Errors
+    /// Returns [`WireError::BadChecksum`] on a mismatch.
+    pub fn check_payload(&self, payload: &[u8]) -> Result<(), WireError> {
+        let computed = crc32(payload);
+        if computed != self.crc {
+            return Err(WireError::BadChecksum {
+                computed,
+                declared: self.crc,
+            });
+        }
+        Ok(())
+    }
+}
 
 /// Encodes a payload into a Link frame:
 /// `magic(8) | version(2) | flags(2) | crc32(4) | len(8) | payload`.
@@ -233,5 +316,42 @@ mod tests {
     fn empty_payload_ok() {
         let (p, _) = decode_frame(encode_frame(&[], false)).unwrap();
         assert!(p.is_empty());
+    }
+
+    #[test]
+    fn header_parse_matches_frame_decode() {
+        let frame = encode_frame(b"streaming payload", true);
+        let mut prefix = [0u8; FRAME_HEADER_LEN];
+        prefix.copy_from_slice(&frame[..FRAME_HEADER_LEN]);
+        let header = FrameHeader::parse(&prefix, MAX_FRAME_BYTES).unwrap();
+        assert_eq!(header.len as usize, frame.len() - FRAME_HEADER_LEN);
+        assert!(header.flags.compressed);
+        header.check_payload(&frame[FRAME_HEADER_LEN..]).unwrap();
+        assert!(matches!(
+            header.check_payload(b"not the payload"),
+            Err(WireError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn header_rejects_hostile_length_before_allocation() {
+        let frame = encode_frame(b"x", false);
+        let mut prefix = [0u8; FRAME_HEADER_LEN];
+        prefix.copy_from_slice(&frame[..FRAME_HEADER_LEN]);
+        // Overwrite the length field (offset 16) with u64::MAX.
+        prefix[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        match FrameHeader::parse(&prefix, MAX_FRAME_BYTES) {
+            Err(WireError::FrameTooLarge { declared, max }) => {
+                assert_eq!(declared, u64::MAX);
+                assert_eq!(max, MAX_FRAME_BYTES);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+        // Bad magic and version are caught before the length check.
+        prefix[0] = b'X';
+        assert_eq!(
+            FrameHeader::parse(&prefix, MAX_FRAME_BYTES).unwrap_err(),
+            WireError::BadMagic
+        );
     }
 }

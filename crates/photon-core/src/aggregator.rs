@@ -639,34 +639,52 @@ impl Aggregator {
         photon_trace::observe("round.wire_bytes", wire_bytes);
         photon_trace::counter_add("rounds.total", 1);
 
+        let acct = RoundAccounting {
+            crashes,
+            stragglers,
+            link_dropouts,
+            retransmits,
+            wire_bytes,
+            joined: churn.joined.len(),
+            departed: churn.departed.len(),
+            lease_expired: churn.expired.len(),
+            rejoined: churn.rejoined.len(),
+            unreachable: partition_drops,
+            effective_deadline_ms,
+            net_losses,
+            net_duplicates,
+            net_reorders,
+            dup_drops,
+        };
         if buffered_mode {
-            let acct = RoundAccounting {
-                crashes,
-                stragglers,
-                link_dropouts,
-                retransmits,
-                wire_bytes,
-                joined: churn.joined.len(),
-                departed: churn.departed.len(),
-                lease_expired: churn.expired.len(),
-                rejoined: churn.rejoined.len(),
-                unreachable: partition_drops,
-                effective_deadline_ms,
-                net_losses,
-                net_duplicates,
-                net_reorders,
-                dup_drops,
-            };
             return self.finish_buffered_round(collected, cohort_idx, acct);
         }
+        self.finish_round(collected, cohort_idx, acct)
+    }
 
-        if net_losses + net_duplicates + net_reorders + dup_drops > 0 || partition_drops > 0 {
+    /// The synchronous commit tail of a round, shared verbatim between the
+    /// in-process simulator ([`Aggregator::run_round_with`]) and the
+    /// multi-process TCP deployment ([`Aggregator::commit_external_round`]):
+    /// network telemetry, the degraded-quorum gate, guard screening, the
+    /// partial-results gate, the loss-spike watchdog, robust aggregation,
+    /// and the server-optimizer step. Keeping one tail means both backends
+    /// apply results with identical semantics — bit-identical in sim mode.
+    fn finish_round(
+        &mut self,
+        collected: Vec<(u32, Vec<f32>, f64, photon_comms::TrainMetrics, u64)>,
+        cohort_idx: Vec<usize>,
+        acct: RoundAccounting,
+    ) -> Result<RoundRecord> {
+        let received = collected.len();
+        if acct.net_losses + acct.net_duplicates + acct.net_reorders + acct.dup_drops > 0
+            || acct.unreachable > 0
+        {
             self.telemetry.record_network(
-                net_losses,
-                net_duplicates,
-                net_reorders,
-                dup_drops,
-                partition_drops as u64,
+                acct.net_losses,
+                acct.net_duplicates,
+                acct.net_reorders,
+                acct.dup_drops,
+                acct.unreachable as u64,
             );
         }
 
@@ -699,10 +717,10 @@ impl Aggregator {
         }
         if degraded_round {
             self.telemetry.record_round_faults(
-                crashes as u64,
-                stragglers as u64,
-                retransmits,
-                link_dropouts as u64,
+                acct.crashes as u64,
+                acct.stragglers as u64,
+                acct.retransmits,
+                acct.link_dropouts as u64,
             );
             let mut losses = Vec::with_capacity(collected.len());
             for (id, _, _, metrics, _) in &collected {
@@ -717,26 +735,26 @@ impl Aggregator {
             let record = RoundRecord {
                 round: self.round,
                 cohort: cohort_idx,
-                dropouts: crashes + link_dropouts,
-                stragglers,
-                retransmits,
+                dropouts: acct.crashes + acct.link_dropouts,
+                stragglers: acct.stragglers,
+                retransmits: acct.retransmits,
                 mean_client_loss,
                 pseudo_grad_norm: 0.0,
-                wire_bytes,
+                wire_bytes: acct.wire_bytes,
                 eval_ppl: None,
                 guard_rejected: 0,
                 guard_clipped: 0,
                 quarantined: 0,
                 neutralized: self.neutralized.contains(&self.round),
-                joined: churn.joined.len(),
-                departed: churn.departed.len(),
-                lease_expired: churn.expired.len(),
-                rejoined: churn.rejoined.len(),
+                joined: acct.joined,
+                departed: acct.departed,
+                lease_expired: acct.lease_expired,
+                rejoined: acct.rejoined,
                 buffered: 0,
                 commit_deferred: false,
                 degraded: true,
-                unreachable: partition_drops,
-                effective_deadline_ms,
+                unreachable: acct.unreachable,
+                effective_deadline_ms: acct.effective_deadline_ms,
             };
             self.round += 1;
             return Ok(record);
@@ -792,7 +810,7 @@ impl Aggregator {
             survivor_metrics.retain(|_| keep3.next().unwrap());
         }
 
-        let dropouts = crashes + link_dropouts;
+        let dropouts = acct.crashes + acct.link_dropouts;
         // Guard rejections are deliberate exclusions, not transport
         // failures: the partial-results gate only counts clients that never
         // delivered a usable frame.
@@ -812,10 +830,10 @@ impl Aggregator {
             ));
         }
         self.telemetry.record_round_faults(
-            crashes as u64,
-            stragglers as u64,
-            retransmits,
-            link_dropouts as u64,
+            acct.crashes as u64,
+            acct.stragglers as u64,
+            acct.retransmits,
+            acct.link_dropouts as u64,
         );
         let mut losses = Vec::with_capacity(updates.len());
         for (id, metrics) in survivor_ids.iter().zip(&survivor_metrics) {
@@ -868,28 +886,94 @@ impl Aggregator {
             round: self.round,
             cohort: cohort_idx,
             dropouts,
-            stragglers,
-            retransmits,
+            stragglers: acct.stragglers,
+            retransmits: acct.retransmits,
             mean_client_loss,
             pseudo_grad_norm,
-            wire_bytes,
+            wire_bytes: acct.wire_bytes,
             eval_ppl: None,
             guard_rejected,
             guard_clipped,
             quarantined,
             neutralized,
-            joined: churn.joined.len(),
-            departed: churn.departed.len(),
-            lease_expired: churn.expired.len(),
-            rejoined: churn.rejoined.len(),
+            joined: acct.joined,
+            departed: acct.departed,
+            lease_expired: acct.lease_expired,
+            rejoined: acct.rejoined,
             buffered: 0,
             commit_deferred: false,
             degraded: false,
-            unreachable: partition_drops,
-            effective_deadline_ms,
+            unreachable: acct.unreachable,
+            effective_deadline_ms: acct.effective_deadline_ms,
         };
         self.round += 1;
         Ok(record)
+    }
+
+    /// Commits one federated round from results gathered by an external
+    /// transport (the `photon-net` TCP coordinator) instead of in-process
+    /// client threads. `results` carries `(client_id, delta, weight,
+    /// metrics)` tuples exactly as decoded from `ClientResult` frames;
+    /// `cohort_ids` is the set of clients the round was assigned to, and
+    /// `wire_bytes` what the transport actually moved.
+    ///
+    /// Re-deliveries are removed by the same `(client_id)`-keyed sort +
+    /// dedup the simulated Link uses, results from clients outside the
+    /// cohort are dropped, and the commit runs through the identical
+    /// shared tail (guard screening, degraded-quorum gate, watchdog,
+    /// robust aggregation, server optimizer) as
+    /// [`Aggregator::run_round_with`] — so a retried frame can never
+    /// double-apply and both backends converge identically.
+    ///
+    /// # Errors
+    /// Same failure surface as [`Aggregator::run_round_with`]: partial
+    /// results without `allow_partial_results`, an empty post-guard
+    /// cohort, or a watchdog trip.
+    pub fn commit_external_round(
+        &mut self,
+        results: Vec<(u32, Vec<f32>, f64, photon_comms::TrainMetrics)>,
+        cohort_ids: &[u32],
+        wire_bytes: u64,
+    ) -> Result<RoundRecord> {
+        let round = self.round;
+        let mut round_span = photon_trace::span(photon_trace::Phase::Round).arg("round", round);
+        let mut collected: Vec<(u32, Vec<f32>, f64, photon_comms::TrainMetrics, u64)> = results
+            .into_iter()
+            .filter(|(id, _, _, _)| cohort_ids.contains(id))
+            .map(|(id, delta, weight, metrics)| (id, delta, weight, metrics, round))
+            .collect();
+        collected.sort_by_key(|(id, _, _, _, _)| *id);
+        let before_dedup = collected.len();
+        collected.dedup_by(|a, b| a.0 == b.0);
+        let dup_drops = (before_dedup - collected.len()) as u64;
+        let received = collected.len();
+        round_span.set_arg("cohort", cohort_ids.len() as u64);
+        round_span.set_arg("wire_bytes", wire_bytes);
+        round_span.set_arg("received", received as u64);
+        photon_trace::counter_add("round.wire_bytes", wire_bytes);
+        photon_trace::observe("round.wire_bytes", wire_bytes);
+        photon_trace::counter_add("rounds.total", 1);
+        let acct = RoundAccounting {
+            crashes: 0,
+            stragglers: 0,
+            // A cohort member that never delivered a usable result is a
+            // transport dropout from the aggregator's point of view.
+            link_dropouts: cohort_ids.len().saturating_sub(received),
+            retransmits: 0,
+            wire_bytes,
+            joined: 0,
+            departed: 0,
+            lease_expired: 0,
+            rejoined: 0,
+            unreachable: 0,
+            effective_deadline_ms: None,
+            net_losses: 0,
+            net_duplicates: 0,
+            net_reorders: 0,
+            dup_drops,
+        };
+        let cohort_idx = cohort_ids.iter().map(|&id| id as usize).collect();
+        self.finish_round(collected, cohort_idx, acct)
     }
 
     /// The buffered (semi-synchronous) tail of a round: every arrived
@@ -1345,6 +1429,59 @@ fn provision_joiner(cfg: &FederationConfig, id: u32, tokens: usize) -> LlmClient
         None,
         base.fork(&format!("join-client-{id}")),
     )
+}
+
+/// Builds exactly one client's local state — data shard plus training RNG
+/// — without constructing the rest of the federation. This is what a
+/// `photon client` OS process calls at startup: founding members
+/// (`id < cfg.population`) replay [`build_federation`]'s seed-split
+/// sequence so the standalone client is bit-identical to its in-process
+/// twin, and joiners (`id >= cfg.population`) use the warm-join
+/// derivation, which is already keyed by id alone.
+///
+/// # Errors
+/// Returns an error if the configuration is invalid.
+pub fn build_client(
+    cfg: &FederationConfig,
+    id: u32,
+    tokens_per_client: usize,
+) -> Result<LlmClient> {
+    cfg.validate()?;
+    if (id as usize) >= cfg.population {
+        return Ok(provision_joiner(cfg, id, tokens_per_client));
+    }
+    let mut rng = SeedStream::new(cfg.seed);
+    let tokenizer = ByteTokenizer::new();
+    let mut data_rng = rng.split("data");
+    let domain = SyntheticDomain::preset(DomainKind::Web, &mut data_rng);
+    let corpus = TokenCorpus::from_domain(
+        &domain,
+        &tokenizer,
+        tokens_per_client * cfg.population,
+        &mut data_rng,
+    );
+    let block = (cfg.model.seq_len + 1).max(32);
+    let shards = partition_iid(&corpus, cfg.population, block, &mut data_rng);
+    // `rng.split` advances shared state, so earlier siblings' splits must
+    // be replayed in order for client `id` to receive the same stream it
+    // gets in `build_federation`.
+    let mut client_rng = None;
+    for i in 0..=(id as usize) {
+        let r = rng.split(&format!("client-{i}"));
+        if i == id as usize {
+            client_rng = Some(r);
+        }
+    }
+    let shard = shards
+        .into_iter()
+        .nth(id as usize)
+        .expect("partition_iid returns population shards");
+    Ok(LlmClient::new(
+        id,
+        DataSource::new(format!("ds-{id}"), shard),
+        None,
+        client_rng.expect("loop covers id"),
+    ))
 }
 
 /// Builds a federation over IID shards of a synthetic web corpus — the

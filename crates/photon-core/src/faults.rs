@@ -194,6 +194,23 @@ pub struct FaultSpec {
     /// client ids, `~` marking the severed group asymmetric).
     #[serde(default)]
     pub partitions: Vec<PartitionSpec>,
+    /// Process-level connection severs (`netcrash@rNcM` grammar): the
+    /// client's transport connection is killed mid-round, forcing a
+    /// reconnect with capped backoff and a session resume. Injected at the
+    /// transport layer only — the in-process simulator has no connection
+    /// to sever, so sim plans are unaffected.
+    #[serde(default)]
+    pub targeted_netcrashes: Vec<(u64, u32)>,
+    /// Process-level silent hangs (`nethang@rNcM` grammar): the client
+    /// keeps its connection open but goes mute (heartbeats included) for
+    /// the round, exercising heartbeat-miss detection.
+    #[serde(default)]
+    pub targeted_nethangs: Vec<(u64, u32)>,
+    /// Coordinator kills (`coordkill@rN` grammar): the serve process
+    /// exits right after committing round N; a restart must restore the
+    /// state machine from the checkpoint and re-sync live clients.
+    #[serde(default)]
+    pub targeted_coordkills: Vec<u64>,
     /// Seed for the fault schedule (independent of the training seed).
     pub seed: u64,
 }
@@ -224,6 +241,9 @@ impl FaultSpec {
             p_link_loss: 0.0,
             targeted_slowlinks: Vec::new(),
             partitions: Vec::new(),
+            targeted_netcrashes: Vec::new(),
+            targeted_nethangs: Vec::new(),
+            targeted_coordkills: Vec::new(),
             seed,
         }
     }
@@ -264,6 +284,34 @@ impl FaultSpec {
                     .and_then(|r| r.parse().ok())
                     .ok_or_else(|| format!("targeted join {pair:?} is not join@rN"))?;
                 spec.targeted_joins.push(round);
+                continue;
+            }
+            if let Some(cell) = pair.strip_prefix("netcrash@") {
+                let parsed = cell
+                    .strip_prefix('r')
+                    .and_then(|rest| rest.split_once('c'))
+                    .and_then(|(r, c)| Some((r.parse().ok()?, c.parse().ok()?)));
+                let (round, client) = parsed
+                    .ok_or_else(|| format!("targeted netcrash {pair:?} is not netcrash@rNcM"))?;
+                spec.targeted_netcrashes.push((round, client));
+                continue;
+            }
+            if let Some(cell) = pair.strip_prefix("nethang@") {
+                let parsed = cell
+                    .strip_prefix('r')
+                    .and_then(|rest| rest.split_once('c'))
+                    .and_then(|(r, c)| Some((r.parse().ok()?, c.parse().ok()?)));
+                let (round, client) = parsed
+                    .ok_or_else(|| format!("targeted nethang {pair:?} is not nethang@rNcM"))?;
+                spec.targeted_nethangs.push((round, client));
+                continue;
+            }
+            if let Some(cell) = pair.strip_prefix("coordkill@") {
+                let round = cell
+                    .strip_prefix('r')
+                    .and_then(|r| r.parse().ok())
+                    .ok_or_else(|| format!("targeted coordkill {pair:?} is not coordkill@rN"))?;
+                spec.targeted_coordkills.push(round);
                 continue;
             }
             if let Some(cell) = pair.strip_prefix("leave@") {
@@ -463,6 +511,26 @@ impl FaultSpec {
             .filter(|&&(round, _)| round < rounds)
             .copied()
             .collect();
+        // Process faults are targeted-only (no probabilistic column), so
+        // legacy specs expand to bit-identical plans with empty sets.
+        let netcrashes = self
+            .targeted_netcrashes
+            .iter()
+            .filter(|&&(round, _)| round < rounds)
+            .copied()
+            .collect();
+        let nethangs = self
+            .targeted_nethangs
+            .iter()
+            .filter(|&&(round, _)| round < rounds)
+            .copied()
+            .collect();
+        let coordkills = self
+            .targeted_coordkills
+            .iter()
+            .filter(|&&round| round < rounds)
+            .copied()
+            .collect();
         FaultPlan {
             client_faults,
             agg_crashes,
@@ -471,6 +539,9 @@ impl FaultSpec {
             link_losses,
             slow_links,
             partitions: PartitionSchedule::new(self.partitions.clone()),
+            netcrashes,
+            nethangs,
+            coordkills,
             rounds,
         }
     }
@@ -537,6 +608,9 @@ pub struct FaultPlan {
     link_losses: BTreeMap<(u64, u32), u32>,
     slow_links: BTreeSet<(u64, u32)>,
     partitions: PartitionSchedule,
+    netcrashes: BTreeSet<(u64, u32)>,
+    nethangs: BTreeSet<(u64, u32)>,
+    coordkills: BTreeSet<u64>,
     rounds: u64,
 }
 
@@ -616,6 +690,39 @@ impl FaultPlan {
         self.partitions.len()
     }
 
+    /// Whether `client`'s transport connection is scheduled to be severed
+    /// mid-round at `round` (reconnect + session resume expected).
+    pub fn netcrash_at(&self, round: u64, client: u32) -> bool {
+        self.netcrashes.contains(&(round, client))
+    }
+
+    /// Whether `client` is scheduled to go silent (socket open, no frames
+    /// or heartbeats) at `round`.
+    pub fn nethang_at(&self, round: u64, client: u32) -> bool {
+        self.nethangs.contains(&(round, client))
+    }
+
+    /// Whether the coordinator process is scheduled to die right after
+    /// committing `round`.
+    pub fn coordkill_after(&self, round: u64) -> bool {
+        self.coordkills.contains(&round)
+    }
+
+    /// Number of scheduled transport connection severs.
+    pub fn netcrash_count(&self) -> usize {
+        self.netcrashes.len()
+    }
+
+    /// Number of scheduled transport hangs.
+    pub fn nethang_count(&self) -> usize {
+        self.nethangs.len()
+    }
+
+    /// Number of scheduled coordinator kills.
+    pub fn coordkill_count(&self) -> usize {
+        self.coordkills.len()
+    }
+
     /// The planning horizon in rounds.
     pub fn rounds(&self) -> u64 {
         self.rounds
@@ -678,6 +785,21 @@ impl FaultInjector {
     /// Whether a partition window heals exactly at `round`.
     pub fn partition_heals_at(&self, round: u64) -> bool {
         self.plan.partitions().heals_at(round)
+    }
+
+    /// Whether `client`'s transport connection is severed at `round`.
+    pub fn netcrash_at(&self, round: u64, client: u32) -> bool {
+        self.plan.netcrash_at(round, client)
+    }
+
+    /// Whether `client` goes silent at `round`.
+    pub fn nethang_at(&self, round: u64, client: u32) -> bool {
+        self.plan.nethang_at(round, client)
+    }
+
+    /// Whether the coordinator process dies after committing `round`.
+    pub fn coordkill_after(&self, round: u64) -> bool {
+        self.plan.coordkill_after(round)
     }
 
     /// The underlying schedule.
@@ -878,6 +1000,50 @@ mod tests {
         assert!(TargetedFault::parse("warp@r1c1").is_err());
         assert!(ClientFault::parse_kind("scale:inf").is_err());
         assert!(FaultSpec::parse("nan=0.5,sign-flip=0.4,scale=0.3").is_err());
+    }
+
+    #[test]
+    fn process_fault_grammar_parses_and_plans() {
+        let spec =
+            FaultSpec::parse("netcrash@r2c1,nethang@r3c0,coordkill@r4,crash=0.05,seed=9").unwrap();
+        assert_eq!(spec.targeted_netcrashes, vec![(2, 1)]);
+        assert_eq!(spec.targeted_nethangs, vec![(3, 0)]);
+        assert_eq!(spec.targeted_coordkills, vec![4]);
+        let plan = spec.plan(4, 8);
+        assert!(plan.netcrash_at(2, 1));
+        assert!(!plan.netcrash_at(2, 0));
+        assert!(plan.nethang_at(3, 0));
+        assert!(plan.coordkill_after(4));
+        assert!(!plan.coordkill_after(3));
+        assert_eq!(plan.netcrash_count(), 1);
+        assert_eq!(plan.nethang_count(), 1);
+        assert_eq!(plan.coordkill_count(), 1);
+        // Out-of-horizon targets are dropped, like every other targeted kind.
+        let short = spec.plan(4, 2);
+        assert_eq!(short.netcrash_count(), 0);
+        assert_eq!(short.coordkill_count(), 0);
+        // Malformed cells are named in the error.
+        assert!(FaultSpec::parse("netcrash@r2").is_err());
+        assert!(FaultSpec::parse("nethang@x2c1").is_err());
+        assert!(FaultSpec::parse("coordkill@c1").is_err());
+    }
+
+    #[test]
+    fn process_faults_leave_legacy_plans_unchanged() {
+        // Process faults are targeted-only: a spec without them expands to
+        // the exact legacy plan, so sim-mode runs stay bit-identical.
+        let legacy = chaos_spec(7).plan(16, 50);
+        let extended = FaultSpec {
+            targeted_netcrashes: Vec::new(),
+            targeted_nethangs: Vec::new(),
+            targeted_coordkills: Vec::new(),
+            ..chaos_spec(7)
+        }
+        .plan(16, 50);
+        assert_eq!(legacy, extended);
+        assert_eq!(legacy.netcrash_count(), 0);
+        assert_eq!(legacy.nethang_count(), 0);
+        assert_eq!(legacy.coordkill_count(), 0);
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod metrics;
 mod recovery;
 mod telemetry;
 
-pub use aggregator::{build_federation, Aggregator, Federation};
+pub use aggregator::{build_client, build_federation, Aggregator, Federation};
 pub use centralized::CentralizedTrainer;
 pub use checkpoint::{
     load_checkpoint, load_elastic_state, load_server_opt_state, save_checkpoint,

@@ -346,6 +346,13 @@ fn write_metrics_json(
             .link_latency_quantile(q)
             .map_or("null".to_string(), |v| v.to_string())
     };
+    let counters = telemetry.fault_counters();
+    let reconnects_json = telemetry
+        .reconnects_by_client()
+        .iter()
+        .map(|(id, n)| format!("\"{id}\": {n}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
         "{{\n\"round\": {},\n\"rounds_seen\": {},\n\"rounds_committed\": {},\n\
          \"compute_threads\": {},\n\"backend\": \"{}\",\n\"dtype\": \"{}\",\n\
@@ -353,6 +360,9 @@ fn write_metrics_json(
          \"total_tokens\": {},\n\"recoveries\": {},\n\"rollbacks\": {},\n\
          \"network\": {{\"deliveries\": {}, \"latency_p50_ms\": {}, \
          \"latency_p99_ms\": {}}},\n\
+         \"transport\": {{\"reconnects\": {}, \"heartbeat_misses\": {}, \
+         \"session_resumes\": {}, \"coordinator_restarts\": {}, \
+         \"reconnects_by_client\": {{{}}}}},\n\
          \"fault_counters\": {},\n\"history\": {}\n}}\n",
         fed.aggregator.round(),
         telemetry.rounds_seen(),
@@ -367,6 +377,11 @@ fn write_metrics_json(
         telemetry.link_latency_count(),
         quantile(0.5),
         quantile(0.99),
+        counters.transport_reconnects,
+        counters.heartbeat_misses,
+        counters.session_resumes,
+        counters.coordinator_restarts,
+        reconnects_json,
         faults,
         history.to_json()
     );

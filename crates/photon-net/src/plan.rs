@@ -1,0 +1,68 @@
+//! The run plan shipped from coordinator to clients at admission.
+
+use photon_core::{FaultSpec, FederationConfig};
+use serde::{Deserialize, Serialize};
+
+/// Everything a client process needs to participate in a run: the
+/// federation configuration (model shape, optimizer, seed — the seed
+/// drives deterministic client provisioning and session tokens), its
+/// data budget, the round horizon, and the shared fault plan so client
+/// and coordinator inject the same process faults at the same rounds.
+///
+/// Serialized as JSON into [`photon_comms::Message::RunSync`], which
+/// treats it as opaque bytes — the wire format does not depend on these
+/// types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunPlan {
+    /// Federation configuration (identical on every process).
+    pub cfg: FederationConfig,
+    /// Tokens each client provisions from its data source.
+    pub tokens_per_client: usize,
+    /// Rounds the run will commit.
+    pub rounds: u64,
+    /// Process-fault schedule (netcrash/nethang/coordkill), if any.
+    #[serde(default)]
+    pub faults: Option<FaultSpec>,
+}
+
+impl RunPlan {
+    /// Serializes for the `RunSync` payload.
+    ///
+    /// # Panics
+    /// Serialization of these plain-data types cannot fail.
+    pub fn to_json_bytes(&self) -> Vec<u8> {
+        serde_json::to_string(self)
+            .expect("RunPlan serialization cannot fail")
+            .into_bytes()
+    }
+
+    /// Parses a `RunSync` payload.
+    ///
+    /// # Errors
+    /// A human-readable message when the bytes are not a valid plan.
+    pub fn from_json_bytes(bytes: &[u8]) -> Result<RunPlan, String> {
+        let text = std::str::from_utf8(bytes).map_err(|e| format!("plan not utf-8: {e}"))?;
+        serde_json::from_str(text).map_err(|e| format!("plan not valid json: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photon_nn::ModelConfig;
+
+    #[test]
+    fn plan_roundtrips_through_json() {
+        let plan = RunPlan {
+            cfg: FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 3),
+            tokens_per_client: 4_096,
+            rounds: 5,
+            faults: Some(FaultSpec::parse("netcrash@r1c0,coordkill@r2").unwrap()),
+        };
+        let bytes = plan.to_json_bytes();
+        let back = RunPlan::from_json_bytes(&bytes).unwrap();
+        assert_eq!(back, plan);
+        assert!(RunPlan::from_json_bytes(b"{nope").is_err());
+        assert!(RunPlan::from_json_bytes(&[0xff, 0xfe]).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! End-to-end multi-process-shaped tests over TCP loopback: one serve
+//! loop and N client loops on their own threads, real sockets between
+//! them. Covers the fault-free path, client netcrash + session resume,
+//! and coordinator crash-restart from the checkpoint.
+
+use photon_core::FederationConfig;
+use photon_net::{run_client, serve, ClientOptions, RunPlan, ServeOptions};
+use photon_nn::ModelConfig;
+use std::net::TcpListener;
+
+/// Reserves a localhost port (bind, read, release). The tiny race
+/// between release and serve's bind is irrelevant at test scale.
+fn free_addr() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    format!("127.0.0.1:{}", addr.port())
+}
+
+fn demo_plan(n_clients: usize, rounds: u64, faults: Option<&str>) -> RunPlan {
+    let mut cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), n_clients);
+    cfg.local_steps = 4;
+    cfg.allow_partial_results = true;
+    RunPlan {
+        cfg,
+        tokens_per_client: 2_000,
+        rounds,
+        faults: faults.map(|s| photon_core::FaultSpec::parse(s).unwrap()),
+    }
+}
+
+fn serve_opts(addr: &str, plan: RunPlan, min_clients: usize) -> ServeOptions {
+    ServeOptions {
+        addr: addr.to_string(),
+        plan,
+        min_clients,
+        checkpoint_dir: None,
+        resume: false,
+        warmup_ms: 100,
+        cooldown_ms: 100,
+        round_timeout_ms: 20_000,
+        heartbeat_timeout_ms: 500,
+        metrics_json: None,
+        stop_after_rounds: None,
+    }
+}
+
+fn client_opts(addr: &str) -> ClientOptions {
+    ClientOptions {
+        addr: addr.to_string(),
+        heartbeat_interval_ms: 100,
+        reconnect_base_ms: 50,
+        reconnect_cap_ms: 500,
+        max_connect_attempts: 100,
+        hang_ms: 1_200,
+        session_file: None,
+    }
+}
+
+/// Spawns `n` client threads against `addr`.
+fn spawn_clients(
+    addr: &str,
+    n: usize,
+) -> Vec<std::thread::JoinHandle<photon_net::Result<photon_net::ClientReport>>> {
+    (0..n)
+        .map(|_| {
+            let opts = client_opts(addr);
+            std::thread::spawn(move || run_client(&opts))
+        })
+        .collect()
+}
+
+#[test]
+fn fault_free_run_trains_all_rounds() {
+    let addr = free_addr();
+    let plan = demo_plan(3, 3, None);
+    let opts = serve_opts(&addr, plan, 3);
+    let server = std::thread::spawn(move || serve(&opts));
+    let clients = spawn_clients(&addr, 3);
+
+    let report = server.join().unwrap().unwrap();
+    assert_eq!(report.rounds_run, 3);
+    assert_eq!(report.final_round, 3);
+    assert_eq!(report.round_losses.len(), 3);
+    assert!(report.round_losses.iter().all(|l| l.is_finite()));
+    assert_eq!(report.session_resumes, 0);
+    for handle in clients {
+        let c = handle.join().unwrap().unwrap();
+        assert!(c.clean_shutdown);
+        assert_eq!(c.rounds_trained, 3);
+        assert_eq!(c.reconnects, 0);
+    }
+}
+
+#[test]
+fn netcrash_client_resumes_and_run_converges() {
+    // Baseline without faults.
+    let addr = free_addr();
+    let opts = serve_opts(&addr, demo_plan(3, 3, None), 3);
+    let server = std::thread::spawn(move || serve(&opts));
+    let clients = spawn_clients(&addr, 3);
+    let baseline = server.join().unwrap().unwrap();
+    for handle in clients {
+        handle.join().unwrap().unwrap();
+    }
+
+    // Same run shape with a client-1 transport crash in round 1.
+    let addr = free_addr();
+    let opts = serve_opts(&addr, demo_plan(3, 3, Some("netcrash@r1c1")), 3);
+    let server = std::thread::spawn(move || serve(&opts));
+    let clients = spawn_clients(&addr, 3);
+    let faulted = server.join().unwrap().unwrap();
+    let mut resumed_total = 0;
+    for handle in clients {
+        let c = handle.join().unwrap().unwrap();
+        assert!(c.clean_shutdown);
+        resumed_total += c.resumed_sessions;
+    }
+
+    assert_eq!(faulted.rounds_run, 3);
+    assert!(
+        faulted.session_resumes >= 1,
+        "the crashed client must resume"
+    );
+    assert!(resumed_total >= 1);
+    // The crashed client's retained result is re-delivered after the
+    // resume; dedup keys mean the run converges like the baseline (the
+    // acceptance bound is 10%).
+    let base = baseline.round_losses.last().unwrap();
+    let fault = faulted.round_losses.last().unwrap();
+    assert!(
+        (fault - base).abs() <= 0.10 * base.abs(),
+        "faulted final loss {fault} deviates more than 10% from baseline {base}"
+    );
+}
+
+#[test]
+fn coordinator_restart_resumes_from_checkpoint() {
+    let addr = free_addr();
+    let ckpt = std::env::temp_dir().join(format!(
+        "photon-net-restart-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&ckpt).unwrap();
+
+    // Phase 1: the coordinator "crashes" (stops cold, sockets slammed
+    // shut, no Shutdown) after committing 2 of 4 rounds.
+    let mut opts = serve_opts(&addr, demo_plan(3, 4, None), 3);
+    opts.checkpoint_dir = Some(ckpt.clone());
+    opts.stop_after_rounds = Some(2);
+    let server = std::thread::spawn(move || serve(&opts));
+    // Clients have a generous reconnect budget: they must ride out the
+    // coordinator's death and resume into its successor.
+    let clients = spawn_clients(&addr, 3);
+    let first = server.join().unwrap().unwrap();
+    assert_eq!(first.rounds_run, 2);
+    assert_eq!(first.final_round, 2);
+
+    // Phase 2: a new coordinator process restores from the checkpoint
+    // and finishes the run with the surviving clients.
+    let mut opts = serve_opts(&addr, demo_plan(3, 4, None), 3);
+    opts.checkpoint_dir = Some(ckpt.clone());
+    opts.resume = true;
+    let server = std::thread::spawn(move || serve(&opts));
+    let second = server.join().unwrap().unwrap();
+
+    assert_eq!(second.resumed_from, Some(2));
+    assert_eq!(second.rounds_run, 2, "rounds 2 and 3 run after restore");
+    assert_eq!(second.final_round, 4);
+    assert!(
+        second.session_resumes >= 3,
+        "all three clients must resume their sessions, got {}",
+        second.session_resumes
+    );
+    for handle in clients {
+        let c = handle.join().unwrap().unwrap();
+        assert!(c.clean_shutdown);
+        assert!(c.reconnects >= 1, "every client rode through the restart");
+        assert!(c.resumed_sessions >= 1);
+        assert_eq!(c.rounds_trained, 4);
+    }
+    std::fs::remove_dir_all(&ckpt).ok();
+}

@@ -47,6 +47,12 @@ pub enum Phase {
     NetPartition,
     /// A round run in degraded mode (below the reachability quorum).
     DegradedRound,
+    /// A reconnecting client resumed its session (lease and in-flight
+    /// round carried over instead of re-admission).
+    SessionResume,
+    /// A coordinator crash-restart: state machine restored from the
+    /// checkpoint and live clients re-synchronized.
+    CoordRestart,
 }
 
 /// Coarse roll-up groups for the phase-profile report.
@@ -68,7 +74,7 @@ pub enum PhaseGroup {
 
 impl Phase {
     /// Every phase, in report order.
-    pub const ALL: [Phase; 19] = [
+    pub const ALL: [Phase; 21] = [
         Phase::Round,
         Phase::LocalStep,
         Phase::KernelGemm,
@@ -88,6 +94,8 @@ impl Phase {
         Phase::Eval,
         Phase::NetPartition,
         Phase::DegradedRound,
+        Phase::SessionResume,
+        Phase::CoordRestart,
     ];
 
     /// Stable snake_case name (used as the JSONL `name` default, the
@@ -113,6 +121,8 @@ impl Phase {
             Phase::Eval => "eval",
             Phase::NetPartition => "net_partition",
             Phase::DegradedRound => "degraded_round",
+            Phase::SessionResume => "session_resume",
+            Phase::CoordRestart => "coord_restart",
         }
     }
 
@@ -125,15 +135,18 @@ impl Phase {
             | Phase::KernelAttention
             | Phase::KernelLayerNorm
             | Phase::PoolDispatch => PhaseGroup::Compute,
-            Phase::Broadcast | Phase::LinkDeliver | Phase::LinkRetransmit | Phase::NetPartition => {
-                PhaseGroup::Comms
-            }
+            Phase::Broadcast
+            | Phase::LinkDeliver
+            | Phase::LinkRetransmit
+            | Phase::NetPartition
+            | Phase::SessionResume => PhaseGroup::Comms,
             Phase::GuardScreen | Phase::RobustMerge | Phase::BufferCommit | Phase::ServerOpt => {
                 PhaseGroup::Aggregation
             }
-            Phase::CheckpointSave | Phase::CheckpointRestore | Phase::Rollback => {
-                PhaseGroup::Durability
-            }
+            Phase::CheckpointSave
+            | Phase::CheckpointRestore
+            | Phase::Rollback
+            | Phase::CoordRestart => PhaseGroup::Durability,
             Phase::Eval => PhaseGroup::Eval,
         }
     }

@@ -106,6 +106,15 @@ fn minority_partition_converges_near_fault_free() {
         "\"latency_p50_ms\"",
         "\"latency_p99_ms\"",
         "\"deliveries\"",
+        // Transport health counters ride in the same snapshot. A pure
+        // Sim-mode run keeps them present-but-zero: the schema is shared
+        // with `photon serve`, which fills them in for real.
+        "\"transport\"",
+        "\"reconnects\"",
+        "\"heartbeat_misses\"",
+        "\"session_resumes\"",
+        "\"coordinator_restarts\"",
+        "\"reconnects_by_client\"",
     ] {
         assert!(metrics.contains(field), "metrics json misses {field}");
     }
