@@ -6,8 +6,8 @@ use photon_core::experiments::{
 };
 use photon_core::{
     load_checkpoint, run_training, AdaptiveDeadlineConfig, CohortSpec, CoreError, FaultInjector,
-    FaultSpec, Federation, FederationConfig, LinkProfile, MembershipConfig, NetworkConfig,
-    TrainingOptions,
+    FaultSpec, Federation, FederationConfig, HierarchyConfig, LinkProfile, MembershipConfig,
+    NetworkConfig, TrainingOptions,
 };
 use photon_fedopt::{AggregationKind, BufferConfig, GuardConfig, ServerOptKind};
 use photon_nn::{generate as sample_tokens, Gpt, ModelConfig, SampleConfig};
@@ -62,7 +62,11 @@ OPTIONS:
                                       partition@rN[-rM]:a.b|c.d severs the
                                       right side from the left (`~` instead
                                       of `|` hears broadcasts but loses
-                                      results; `*` = everyone else)
+                                      results; `*` = everyone else);
+                                      shard faults: shardcrash=RATE,
+                                      shardhang=RATE, shards=N (defaults
+                                      to --shards), plus pinned
+                                      shardcrash@rNsM / shardhang@rNsM
     --net-latency-ms N                simulated network: per-link base
                                       latency (any --net-* flag enables
                                       the deterministic link model)  [0]
@@ -102,6 +106,17 @@ OPTIONS:
     --buffer-quorum M                 buffered semi-sync aggregation:
                                       commit once M updates are pending
                                       (implies --membership)
+    --shards N                        hierarchical aggregation: route the
+                                      cohort through N crash-tolerant
+                                      sub-aggregator shards (the K-ary
+                                      tree's fan-in at the root)
+    --shard-quorum-frac X             fraction of a shard's slice that
+                                      must arrive before the shard commits
+                                      upward (implies --shards)    [0.5]
+    --max-resident N                  residency bound of each shard's
+                                      streaming merge: at most N full
+                                      update vectors held at once
+                                      (implies --shards)            [64]
     --staleness-decay X               down-weight an update s rounds stale
                                       by (1+s)^-X          [0.5]
     --metrics-json PATH               live metrics JSON (history, fault and
@@ -178,7 +193,14 @@ pub fn train(args: &Args, resume: bool) -> Result<(), String> {
 
     let injector = match args.get("faults") {
         Some(spec) => {
-            let spec = FaultSpec::parse(spec).map_err(|e| format!("--faults: {e}"))?;
+            let mut spec = FaultSpec::parse(spec).map_err(|e| format!("--faults: {e}"))?;
+            // The probabilistic shard columns need a shard count; default
+            // it from the aggregation tree unless the spec pinned one.
+            if spec.shards == 0 {
+                if let Some(h) = &cfg.hierarchy {
+                    spec.shards = h.shards;
+                }
+            }
             Some(FaultInjector::from_spec(&spec, cfg.population, rounds))
         }
         None => None,
@@ -237,6 +259,15 @@ pub fn train(args: &Args, resume: bool) -> Result<(), String> {
             membership.lease_ms, membership.round_ms
         );
     }
+    if let Some(h) = &cfg.hierarchy {
+        println!(
+            "hierarchical aggregation: {} shard(s), shard quorum {:.0}%, \
+             max {} resident update(s) per shard",
+            h.shards,
+            h.shard_quorum_frac * 100.0,
+            h.max_resident
+        );
+    }
 
     let opts = TrainingOptions {
         run: RunOptions {
@@ -281,6 +312,15 @@ pub fn train(args: &Args, resume: bool) -> Result<(), String> {
             turbulence.push_str(&format!(" | buffering ({} pending)", r.buffered));
         } else if r.buffered > 0 {
             turbulence.push_str(&format!(" | buffer {}", r.buffered));
+        }
+        if r.shard_crashes + r.shard_hangs + r.shard_degraded > 0 {
+            turbulence.push_str(&format!(
+                " | shards: {} crash {} hang {} degraded",
+                r.shard_crashes, r.shard_hangs, r.shard_degraded
+            ));
+        }
+        if r.reparented > 0 {
+            turbulence.push_str(&format!(" | reparented {}", r.reparented));
         }
         if r.degraded {
             turbulence.push_str(&format!(" | DEGRADED ({} unreachable)", r.unreachable));
@@ -341,6 +381,13 @@ pub fn train(args: &Args, resume: bool) -> Result<(), String> {
         println!(
             "buffered aggregation: {} commit(s), {} stale update(s) down-weighted",
             faults.buffered_commits, faults.stale_commits
+        );
+    }
+    if faults.shard_crashes + faults.shard_hangs + faults.shard_degraded + faults.reparented > 0 {
+        println!(
+            "shard faults: {} crash(es), {} hang(s), {} degraded commit(s), \
+             {} orphan(s) re-parented",
+            faults.shard_crashes, faults.shard_hangs, faults.shard_degraded, faults.reparented
         );
     }
     let telemetry = outcome.federation.aggregator.telemetry();
@@ -538,6 +585,24 @@ fn config_from_args(args: &Args) -> Result<FederationConfig, String> {
             buffer.staleness_decay = decay;
         }
         cfg.buffer = Some(buffer);
+    }
+    // Hierarchical aggregation: --shards enables the sub-aggregator tree;
+    // its two knobs imply it.
+    let shards = args.get_opt_parsed::<usize>("shards")?;
+    let shard_quorum = args.get_opt_parsed::<f64>("shard-quorum-frac")?;
+    let max_resident = args.get_opt_parsed::<usize>("max-resident")?;
+    if shards.is_some() || shard_quorum.is_some() || max_resident.is_some() {
+        let mut hierarchy = HierarchyConfig::default();
+        if let Some(n) = shards {
+            hierarchy.shards = n;
+        }
+        if let Some(frac) = shard_quorum {
+            hierarchy.shard_quorum_frac = frac;
+        }
+        if let Some(n) = max_resident {
+            hierarchy.max_resident = n;
+        }
+        cfg.hierarchy = Some(hierarchy);
     }
     if let Some(k) = args.get("sample") {
         cfg.cohort = CohortSpec::Sample {

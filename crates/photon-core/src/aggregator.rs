@@ -1,12 +1,14 @@
 use crate::checkpoint::ElasticState;
 use crate::faults::{ClientFault, FaultInjector};
+use crate::hierarchy::{HierarchyState, ShardTree};
 use crate::membership::MembershipRegistry;
 use crate::{CohortSpec, CoreError, DataSource, FederationConfig, LlmClient, Result, RoundRecord};
 use crossbeam::channel::unbounded;
 use photon_data::{partition_iid, DomainKind, SyntheticDomain, TokenCorpus};
 use photon_fedopt::{
-    sample_live, AvailabilitySampler, AvailabilityTraces, BufferedUpdate, ClientSampler,
-    ClientUpdate, FullParticipation, ServerOpt, UniformSampler, UpdateBuffer, UpdateGuard,
+    canonical_fold, sample_live, AggregationKind, AvailabilitySampler, AvailabilityTraces,
+    BufferedUpdate, ClientSampler, ClientUpdate, FullParticipation, ServerOpt, StreamingMerge,
+    UniformSampler, UpdateBuffer, UpdateGuard,
 };
 use photon_nn::Gpt;
 use photon_tensor::SeedStream;
@@ -17,6 +19,11 @@ use std::collections::BTreeSet;
 /// enough to ignore single-round noise, fresh enough to track the loss
 /// curve's natural decay.
 const WATCHDOG_EMA_BETA: f64 = 0.7;
+
+/// Pseudo-client id base for shard aggregates entering the root guard
+/// screen: high enough that no real client id collides, so a shard that
+/// repeatedly emits poisoned aggregates earns its own quarantine sentence.
+const SHARD_GUARD_BASE: u32 = 0x8000_0000;
 
 /// The Photon Aggregator (Agg, §3.1): owns the global model, orchestrates
 /// rounds over real Link frames, aggregates pseudo-gradients and applies
@@ -54,6 +61,9 @@ pub struct Aggregator {
     /// deadline. Window-bounded; not checkpointed — like the watchdog
     /// EMAs it re-warms deterministically from the replayed rounds.
     latency_obs: Vec<u64>,
+    /// Sub-aggregator tree, present when `cfg.hierarchy` is set. Its dead
+    /// set is the only hierarchical state and rides in checkpoint v5.
+    hierarchy: Option<ShardTree>,
 }
 
 impl std::fmt::Debug for Aggregator {
@@ -109,6 +119,7 @@ impl Aggregator {
         let network = cfg
             .network
             .map(|n| photon_comms::NetworkModel::new(n.profile, cfg.seed));
+        let hierarchy = cfg.hierarchy.map(|h| ShardTree::new(h, cfg.seed));
         Ok(Aggregator {
             cfg,
             params,
@@ -126,6 +137,7 @@ impl Aggregator {
             network,
             degraded: false,
             latency_obs: Vec::new(),
+            hierarchy,
         })
     }
 
@@ -234,6 +246,45 @@ impl Aggregator {
             .membership
             .map(|m| MembershipRegistry::new(m, self.cfg.population));
         self.buffer = self.cfg.buffer.map(|_| UpdateBuffer::new());
+        // The shard tree resets to fully live; a v5 checkpoint's
+        // [`Aggregator::restore_hierarchy`] overwrites the dead set with
+        // the exact image the crashed run had.
+        self.hierarchy = self.cfg.hierarchy.map(|h| ShardTree::new(h, self.cfg.seed));
+        Ok(())
+    }
+
+    /// The hierarchical-aggregation image to carry in a v5 checkpoint:
+    /// the set of crashed shards. `None` when the run has no hierarchy
+    /// config.
+    pub fn hierarchy_state(&self) -> Option<HierarchyState> {
+        self.hierarchy.as_ref().map(ShardTree::state)
+    }
+
+    /// Restores the shard tree's dead set from a v5 checkpoint, so the
+    /// resumed run re-derives the identical routing — including the
+    /// deterministic re-parenting of every orphaned client — the crashed
+    /// run had.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidConfig`] if the run has no hierarchy
+    /// config or the dead set references shards outside the tree.
+    pub fn restore_hierarchy(&mut self, state: &HierarchyState) -> Result<()> {
+        let Some(hcfg) = self.cfg.hierarchy else {
+            return Err(CoreError::InvalidConfig(
+                "checkpoint carries hierarchy state but the run has no hierarchy config".into(),
+            ));
+        };
+        if let Some(&bad) = state
+            .dead_shards
+            .iter()
+            .find(|&&s| s as usize >= hcfg.shards)
+        {
+            return Err(CoreError::InvalidConfig(format!(
+                "checkpoint marks shard {bad} dead but the tree has {} shards",
+                hcfg.shards
+            )));
+        }
+        self.hierarchy = Some(ShardTree::from_state(hcfg, self.cfg.seed, state));
         Ok(())
     }
 
@@ -451,9 +502,14 @@ impl Aggregator {
         let round = self.round;
         let cfg = &self.cfg;
         let cohort_ids_ref = &cohort_ids;
+        // Membership test via sorted lookup: the provisioned roster can be
+        // 10^5+ clients while the cohort is thousands, so a linear
+        // `contains` per client would make the spawn loop O(pop × cohort).
+        let mut cohort_sorted = cohort_idx.clone();
+        cohort_sorted.sort_unstable();
         crossbeam::thread::scope(|scope| {
             for (i, client) in clients.iter_mut().enumerate() {
-                if !cohort_idx.contains(&i) {
+                if cohort_sorted.binary_search(&i).is_err() {
                     continue;
                 }
                 let tx = tx.clone();
@@ -639,6 +695,25 @@ impl Aggregator {
         photon_trace::observe("round.wire_bytes", wire_bytes);
         photon_trace::counter_add("rounds.total", 1);
 
+        // Shard faults are drawn from the salted fault-plan columns for
+        // the shards still alive this round (a dead shard cannot crash or
+        // hang again).
+        let (shard_crashes, shard_hangs) = match (&self.hierarchy, injector) {
+            (Some(tree), Some(inj)) => {
+                let live = tree.live_shards();
+                (
+                    live.iter()
+                        .copied()
+                        .filter(|&s| inj.shardcrash_at(self.round, s))
+                        .collect(),
+                    live.iter()
+                        .copied()
+                        .filter(|&s| inj.shardhang_at(self.round, s))
+                        .collect(),
+                )
+            }
+            _ => (Vec::new(), Vec::new()),
+        };
         let acct = RoundAccounting {
             crashes,
             stragglers,
@@ -655,6 +730,8 @@ impl Aggregator {
             net_duplicates,
             net_reorders,
             dup_drops,
+            shard_crashes,
+            shard_hangs,
         };
         if buffered_mode {
             return self.finish_buffered_round(collected, cohort_idx, acct);
@@ -675,6 +752,9 @@ impl Aggregator {
         cohort_idx: Vec<usize>,
         acct: RoundAccounting,
     ) -> Result<RoundRecord> {
+        if self.hierarchy.is_some() {
+            return self.finish_hierarchy_round(collected, cohort_idx, acct);
+        }
         let received = collected.len();
         if acct.net_losses + acct.net_duplicates + acct.net_reorders + acct.dup_drops > 0
             || acct.unreachable > 0
@@ -755,6 +835,12 @@ impl Aggregator {
                 degraded: true,
                 unreachable: acct.unreachable,
                 effective_deadline_ms: acct.effective_deadline_ms,
+                shards: 0,
+                shard_degraded: 0,
+                shard_crashes: 0,
+                shard_hangs: 0,
+                reparented: 0,
+                peak_resident: 0,
             };
             self.round += 1;
             return Ok(record);
@@ -905,9 +991,422 @@ impl Aggregator {
             degraded: false,
             unreachable: acct.unreachable,
             effective_deadline_ms: acct.effective_deadline_ms,
+            shards: 0,
+            shard_degraded: 0,
+            shard_crashes: 0,
+            shard_hangs: 0,
+            reparented: 0,
+            peak_resident: 0,
         };
         self.round += 1;
         Ok(record)
+    }
+
+    /// The hierarchical commit tail: the cohort is partitioned onto the
+    /// live sub-aggregator shards (`id % shards`, with orphans of dead
+    /// shards deterministically fostered), each shard folds its arrived
+    /// slice through a streaming memory-bounded merge, and the shard
+    /// aggregates reduce at the root through the same canonical fold —
+    /// after the root guard screen and under the same degraded-quorum
+    /// gate, watchdog and server-optimizer step as the flat tail.
+    ///
+    /// Failure domains compose per level: a `shardcrash`/`shardhang`
+    /// loses only that shard's slice this round (a crash additionally
+    /// kills the shard, so its clients re-parent from the next round), a
+    /// shard missing its `ceil(shard_quorum_frac × slice)` quorum
+    /// degrades alone, and a round where *every* slice is lost commits
+    /// nothing — recorded as degraded, never a rollback.
+    fn finish_hierarchy_round(
+        &mut self,
+        collected: Vec<(u32, Vec<f32>, f64, photon_comms::TrainMetrics, u64)>,
+        cohort_idx: Vec<usize>,
+        acct: RoundAccounting,
+    ) -> Result<RoundRecord> {
+        let tree = self
+            .hierarchy
+            .clone()
+            .expect("hierarchy tail requires a shard tree");
+        let hcfg = tree.config();
+        let received = collected.len();
+        if acct.net_losses + acct.net_duplicates + acct.net_reorders + acct.dup_drops > 0
+            || acct.unreachable > 0
+        {
+            self.telemetry.record_network(
+                acct.net_losses,
+                acct.net_duplicates,
+                acct.net_reorders,
+                acct.dup_drops,
+                acct.unreachable as u64,
+            );
+        }
+        self.telemetry.record_round_faults(
+            acct.crashes as u64,
+            acct.stragglers as u64,
+            acct.retransmits,
+            acct.link_dropouts as u64,
+        );
+
+        // Route the assigned cohort (not just the arrivals) onto the live
+        // tree: per-shard quorum denominators come from the slice a shard
+        // was responsible for, so silent losses count against it.
+        let cohort_ids: Vec<u32> = cohort_idx.iter().map(|&i| i as u32).collect();
+        let part = tree.partition(&cohort_ids);
+        self.telemetry.record_reparented(part.reparented as u64);
+        // This round's routing is already fixed; a crash takes effect on
+        // the *next* partition, which every exit path below must see.
+        if let Some(live_tree) = self.hierarchy.as_mut() {
+            for &s in &acct.shard_crashes {
+                live_tree.mark_crashed(s);
+            }
+        }
+
+        // The root-level degraded gate (network reachability quorum) is
+        // unchanged by the tree: a partitioned round commits nothing.
+        let mut degraded_round = false;
+        if let Some(net) = self.cfg.network {
+            let quorum = (((cohort_idx.len() as f64) * net.min_quorum_frac).ceil() as usize).max(1);
+            if received < quorum {
+                degraded_round = true;
+                self.degraded = true;
+                self.telemetry.record_degraded_round();
+                photon_trace::instant(
+                    photon_trace::Phase::DegradedRound,
+                    "degraded_round",
+                    &[
+                        ("round", self.round),
+                        ("received", received as u64),
+                        ("quorum", quorum as u64),
+                    ],
+                );
+            } else if self.degraded {
+                self.degraded = false;
+                self.telemetry.record_degraded_recovery();
+            }
+        }
+        if degraded_round {
+            self.telemetry.record_shard_faults(
+                acct.shard_crashes.len() as u64,
+                acct.shard_hangs.len() as u64,
+                0,
+            );
+            let mut losses = Vec::with_capacity(collected.len());
+            for (id, _, _, metrics, _) in &collected {
+                self.telemetry.record(*id, self.round, metrics);
+                losses.push(metrics.mean_loss);
+            }
+            let mean_client_loss = if losses.is_empty() {
+                0.0
+            } else {
+                losses.iter().sum::<f32>() / losses.len() as f32
+            };
+            let record = self.hierarchy_record(
+                cohort_idx,
+                &acct,
+                &part,
+                mean_client_loss,
+                0.0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                true,
+            );
+            self.round += 1;
+            return Ok(record);
+        }
+
+        // Group arrivals by the shard they report to; arrivals with no
+        // live shard to report to are lost.
+        type ShardArrivals = Vec<(u32, Vec<f32>, f64, photon_comms::TrainMetrics)>;
+        let mut routed: std::collections::BTreeMap<u32, ShardArrivals> =
+            std::collections::BTreeMap::new();
+        for (id, delta, weight, metrics, _) in collected {
+            if let Some(s) = tree.shard_of(id) {
+                routed
+                    .entry(s)
+                    .or_default()
+                    .push((id, delta, weight, metrics));
+            }
+        }
+
+        // Per-shard streaming merges, ascending shard id so the reduce
+        // replays bit-identically.
+        let mut shard_ids: Vec<u32> = Vec::new();
+        let mut shard_updates: Vec<ClientUpdate> = Vec::new();
+        let mut shard_degraded = 0usize;
+        let mut peak_resident = 0usize;
+        let mut guard_rejected = 0usize;
+        let mut quarantined = 0usize;
+        let mut losses: Vec<f32> = Vec::new();
+        for (&shard, slice) in &part.shards {
+            if slice.is_empty() {
+                continue;
+            }
+            if acct.shard_crashes.contains(&shard) || acct.shard_hangs.contains(&shard) {
+                // The sub-aggregator died or stalled mid-round: its whole
+                // slice is lost; siblings are unaffected.
+                photon_trace::instant(
+                    photon_trace::Phase::ShardDegraded,
+                    "shard_degraded",
+                    &[
+                        ("shard", shard as u64),
+                        ("round", self.round),
+                        ("crash", u64::from(acct.shard_crashes.contains(&shard))),
+                        ("slice", slice.len() as u64),
+                    ],
+                );
+                continue;
+            }
+            let arrivals = routed.remove(&shard).unwrap_or_default();
+            let quorum = hcfg.shard_quorum(slice.len());
+            let mut merge_span = photon_trace::span(photon_trace::Phase::ShardMerge)
+                .arg("shard", shard as u64)
+                .arg("round", self.round)
+                .arg("slice", slice.len() as u64)
+                .arg("arrived", arrivals.len() as u64);
+            // Leaf admission mirrors the flat path's arrival checks:
+            // quarantined senders are skipped and a malformed weight
+            // quarantines (or fails the round when unguarded). Outlier
+            // screening runs at the root, over shard aggregates.
+            let mut admitted: Vec<(u32, ClientUpdate, photon_comms::TrainMetrics)> = Vec::new();
+            for (id, delta, weight, metrics) in arrivals {
+                if self
+                    .guard
+                    .as_ref()
+                    .is_some_and(|g| g.is_quarantined(id, self.round))
+                {
+                    quarantined += 1;
+                    self.telemetry.record_guard(0, 0, 0, 1);
+                    continue;
+                }
+                match ClientUpdate::new(delta, weight) {
+                    Ok(update) => admitted.push((id, update, metrics)),
+                    Err(e) => {
+                        let Some(guard) = self.guard.as_mut() else {
+                            return Err(CoreError::ClientFailure(format!("client {id}: {e}")));
+                        };
+                        guard.quarantine(self.round, id);
+                        guard_rejected += 1;
+                        self.telemetry.record_guard(1, 0, 0, 0);
+                    }
+                }
+            }
+            // Arrivals were processed in ascending client-id order, so the
+            // expected key set is already strictly ascending and each push
+            // folds at the frontier; out-of-order arrival permutations are
+            // covered by the streaming-merge property tests.
+            let expected: Vec<(u64, u32)> = admitted
+                .iter()
+                .map(|(id, _, _)| (self.round, *id))
+                .collect();
+            let mut merge = StreamingMerge::new(expected, hcfg.max_resident);
+            let mut member_meta: Vec<(u32, photon_comms::TrainMetrics)> =
+                Vec::with_capacity(admitted.len());
+            for (id, update, metrics) in admitted {
+                merge.push((self.round, id), update);
+                member_meta.push((id, metrics));
+            }
+            peak_resident = peak_resident.max(merge.peak_resident());
+            let folded = merge.folded();
+            merge_span.set_arg("folded", folded as u64);
+            merge_span.set_arg("peak_resident", merge.peak_resident() as u64);
+            let commit = if folded >= quorum && folded > 0 {
+                merge
+                    .finish()
+                    .and_then(|(merged, weight)| ClientUpdate::new(merged, weight).ok())
+            } else {
+                None
+            };
+            match commit {
+                Some(update) => {
+                    shard_ids.push(SHARD_GUARD_BASE + shard);
+                    shard_updates.push(update);
+                    for (id, metrics) in member_meta {
+                        self.telemetry.record(id, self.round, &metrics);
+                        losses.push(metrics.mean_loss);
+                    }
+                }
+                None => {
+                    // Quorum miss (or a degenerate fold): the slice is
+                    // dropped without affecting the siblings.
+                    shard_degraded += 1;
+                    photon_trace::instant(
+                        photon_trace::Phase::ShardDegraded,
+                        "shard_degraded",
+                        &[
+                            ("shard", shard as u64),
+                            ("round", self.round),
+                            ("crash", 0),
+                            ("slice", slice.len() as u64),
+                        ],
+                    );
+                }
+            }
+        }
+        self.telemetry.record_shard_faults(
+            acct.shard_crashes.len() as u64,
+            acct.shard_hangs.len() as u64,
+            shard_degraded as u64,
+        );
+
+        let mean_client_loss = if losses.is_empty() {
+            0.0
+        } else {
+            losses.iter().sum::<f32>() / losses.len() as f32
+        };
+        if shard_updates.is_empty() {
+            // Every slice was lost (crashes, hangs, quorum misses, or all
+            // shards dead). Committing nothing and carrying on is the
+            // whole point of the tree: no rollback, no error.
+            let record = self.hierarchy_record(
+                cohort_idx,
+                &acct,
+                &part,
+                mean_client_loss,
+                0.0,
+                guard_rejected,
+                0,
+                quarantined,
+                shard_degraded,
+                peak_resident,
+                true,
+            );
+            self.round += 1;
+            return Ok(record);
+        }
+
+        // The transport-level partial gate is unchanged: shard-level
+        // drops are deliberate exclusions, not missing deliveries.
+        let missing = cohort_idx.len() - received;
+        if missing > 0 && (!self.cfg.allow_partial_results || received == 0) {
+            return Err(CoreError::ClientFailure(format!(
+                "expected {} results, got {} (enable allow_partial_results \
+                 to aggregate survivors)",
+                cohort_idx.len(),
+                received
+            )));
+        }
+
+        // The guard's full screen (finiteness, norm clipping, outlier
+        // rejection) runs at the root over the shard aggregates, under
+        // pseudo-ids so a repeatedly-poisoned shard earns quarantine.
+        let mut guard_clipped = 0usize;
+        if let Some(guard) = self.guard.as_mut() {
+            let report = guard.screen_round(self.round, &shard_ids, &mut shard_updates);
+            self.telemetry.record_guard(
+                report.rejected_nonfinite,
+                report.rejected_outliers,
+                report.clipped,
+                report.quarantine_skips,
+            );
+            guard_rejected += (report.rejected_nonfinite + report.rejected_outliers) as usize;
+            guard_clipped = report.clipped as usize;
+            quarantined += report.quarantine_skips as usize;
+            let mut keep = report.decisions.iter().map(|d| d.admitted());
+            let mut keep2 = report.decisions.iter().map(|d| d.admitted());
+            shard_ids.retain(|_| keep.next().unwrap());
+            shard_updates.retain(|_| keep2.next().unwrap());
+        }
+        if shard_updates.is_empty() {
+            return Err(CoreError::ClientFailure(
+                "the guard rejected every shard aggregate".into(),
+            ));
+        }
+
+        let neutralized = self.neutralized.contains(&self.round);
+        // The root reduce: for the weighted mean the canonical fold makes
+        // the whole tree a pure re-bracketing of one summation order;
+        // robust rules aggregate the shard pseudo-updates directly.
+        let avg_delta = match self.cfg.aggregation {
+            AggregationKind::Mean => canonical_fold(&shard_updates)
+                .map(|(delta, _)| delta)
+                .expect("root reduce over a non-empty shard set"),
+            _ => self.cfg.aggregation.aggregate(&shard_updates),
+        };
+        let pseudo_grad_norm = photon_tensor::ops::l2_norm(&avg_delta);
+        if !neutralized {
+            self.check_watchdog(mean_client_loss, pseudo_grad_norm)?;
+            {
+                let _opt_span = photon_trace::span(photon_trace::Phase::ServerOpt)
+                    .arg("round", self.round)
+                    .arg("updates", shard_updates.len() as u64);
+                self.server_opt
+                    .apply(&mut self.params, &avg_delta, self.round);
+            }
+            self.telemetry.record_committed_round(self.round);
+            let blend = |ema: Option<f64>, v: f64| match ema {
+                Some(e) => WATCHDOG_EMA_BETA * e + (1.0 - WATCHDOG_EMA_BETA) * v,
+                None => v,
+            };
+            self.loss_ema = Some(blend(self.loss_ema, mean_client_loss as f64));
+            self.norm_ema = Some(blend(self.norm_ema, pseudo_grad_norm as f64));
+        }
+
+        let record = self.hierarchy_record(
+            cohort_idx,
+            &acct,
+            &part,
+            mean_client_loss,
+            pseudo_grad_norm,
+            guard_rejected,
+            guard_clipped,
+            quarantined,
+            shard_degraded,
+            peak_resident,
+            false,
+        );
+        self.round += 1;
+        Ok(record)
+    }
+
+    /// Assembles the [`RoundRecord`] of a hierarchical round; shared by
+    /// the committed, all-slices-lost and degraded exits.
+    #[allow(clippy::too_many_arguments)]
+    fn hierarchy_record(
+        &self,
+        cohort_idx: Vec<usize>,
+        acct: &RoundAccounting,
+        part: &crate::hierarchy::ShardPartition,
+        mean_client_loss: f32,
+        pseudo_grad_norm: f32,
+        guard_rejected: usize,
+        guard_clipped: usize,
+        quarantined: usize,
+        shard_degraded: usize,
+        peak_resident: usize,
+        degraded: bool,
+    ) -> RoundRecord {
+        RoundRecord {
+            round: self.round,
+            cohort: cohort_idx,
+            dropouts: acct.crashes + acct.link_dropouts,
+            stragglers: acct.stragglers,
+            retransmits: acct.retransmits,
+            mean_client_loss,
+            pseudo_grad_norm,
+            wire_bytes: acct.wire_bytes,
+            eval_ppl: None,
+            guard_rejected,
+            guard_clipped,
+            quarantined,
+            neutralized: self.neutralized.contains(&self.round),
+            joined: acct.joined,
+            departed: acct.departed,
+            lease_expired: acct.lease_expired,
+            rejoined: acct.rejoined,
+            buffered: 0,
+            commit_deferred: false,
+            degraded,
+            unreachable: acct.unreachable,
+            effective_deadline_ms: acct.effective_deadline_ms,
+            shards: part.shards.len(),
+            shard_degraded,
+            shard_crashes: acct.shard_crashes.len(),
+            shard_hangs: acct.shard_hangs.len(),
+            reparented: part.reparented,
+            peak_resident,
+        }
     }
 
     /// Commits one federated round from results gathered by an external
@@ -971,6 +1470,8 @@ impl Aggregator {
             net_duplicates: 0,
             net_reorders: 0,
             dup_drops,
+            shard_crashes: Vec::new(),
+            shard_hangs: Vec::new(),
         };
         let cohort_idx = cohort_ids.iter().map(|&id| id as usize).collect();
         self.finish_round(collected, cohort_idx, acct)
@@ -994,10 +1495,30 @@ impl Aggregator {
             .buffer
             .expect("buffered mode implies buffer config");
         let mcfg = self.cfg.membership.expect("buffering requires membership");
+        // Hierarchy mode: every arrival passes through its sub-aggregator
+        // shard on the way to the buffer, so shard faults drop the slice
+        // at arrival time and orphans of dead shards are fostered.
+        let tree = self.hierarchy.clone();
+        let mut reparented = 0usize;
         let mut guard_rejected = 0usize;
         let mut dup_drops = acct.dup_drops;
         let mut arrival_losses = Vec::new();
         for (id, delta, weight, metrics, arrival_round) in collected {
+            if let Some(tree) = &tree {
+                match tree.shard_of(id) {
+                    Some(s) if acct.shard_crashes.contains(&s) || acct.shard_hangs.contains(&s) => {
+                        // The sub-aggregator died or stalled: the arrival
+                        // never reaches the buffer.
+                        continue;
+                    }
+                    Some(s) => {
+                        if s != tree.home_shard(id) {
+                            reparented += 1;
+                        }
+                    }
+                    None => continue,
+                }
+            }
             // Weight validity is enforced at arrival (mirroring the
             // synchronous path) so a later commit cannot fail on it.
             if !(weight.is_finite() && weight > 0.0) {
@@ -1049,17 +1570,27 @@ impl Aggregator {
             acct.retransmits,
             acct.link_dropouts as u64,
         );
+        if tree.is_some() {
+            self.telemetry.record_shard_faults(
+                acct.shard_crashes.len() as u64,
+                acct.shard_hangs.len() as u64,
+                0,
+            );
+            self.telemetry.record_reparented(reparented as u64);
+            // A crash takes effect from the next round's routing on.
+            if let Some(live_tree) = self.hierarchy.as_mut() {
+                for &s in &acct.shard_crashes {
+                    live_tree.mark_crashed(s);
+                }
+            }
+        }
 
         let buffer = self.buffer.as_mut().expect("buffered mode has a buffer");
         let overdue = buffer.entries().iter().any(|e| {
             e.arrival_round <= self.round
                 && e.staleness_at(self.round).saturating_mul(mcfg.round_ms) >= mcfg.lease_ms
         });
-        let batch = if buffer.quorum_reached(self.round, bcfg.quorum) || overdue {
-            buffer.commit(self.round, bcfg.staleness_decay)
-        } else {
-            None
-        };
+        let commit_ready = buffer.quorum_reached(self.round, bcfg.quorum) || overdue;
 
         let neutralized = self.neutralized.contains(&self.round);
         let mut guard_clipped = 0usize;
@@ -1070,7 +1601,90 @@ impl Aggregator {
             arrival_losses.iter().sum::<f32>() / arrival_losses.len() as f32
         };
         let mut pseudo_grad_norm = 0.0f32;
-        let committed = batch.is_some();
+        let mut peak_resident = 0usize;
+        let committed;
+
+        if let Some(tree) = &tree {
+            // Streaming commit: the pending set folds through a
+            // memory-bounded merge in canonical order instead of
+            // materializing a sorted batch — bitwise the same aggregate.
+            // The guard's per-update screen cannot run on a pre-folded
+            // stream; arrival-time weight checks and the watchdog stand
+            // in for it (config validation pins the aggregation to Mean).
+            let commit = if commit_ready {
+                buffer.commit_streaming(
+                    self.round,
+                    bcfg.staleness_decay,
+                    tree.config().max_resident,
+                )
+            } else {
+                None
+            };
+            committed = commit.is_some();
+            if let Some(commit) = commit {
+                peak_resident = commit.peak_resident;
+                self.telemetry.record_commit(commit.stale as u64);
+                pseudo_grad_norm = photon_tensor::ops::l2_norm(&commit.merged);
+                mean_client_loss = commit.losses.iter().sum::<f32>() / commit.losses.len() as f32;
+                if !neutralized {
+                    self.check_watchdog(mean_client_loss, pseudo_grad_norm)?;
+                    {
+                        let _opt_span = photon_trace::span(photon_trace::Phase::ServerOpt)
+                            .arg("round", self.round)
+                            .arg("updates", commit.client_ids.len() as u64);
+                        self.server_opt
+                            .apply(&mut self.params, &commit.merged, self.round);
+                    }
+                    self.telemetry.record_committed_round(self.round);
+                    let blend = |ema: Option<f64>, v: f64| match ema {
+                        Some(e) => WATCHDOG_EMA_BETA * e + (1.0 - WATCHDOG_EMA_BETA) * v,
+                        None => v,
+                    };
+                    self.loss_ema = Some(blend(self.loss_ema, mean_client_loss as f64));
+                    self.norm_ema = Some(blend(self.norm_ema, pseudo_grad_norm as f64));
+                }
+            }
+            let buffered = self.buffer.as_ref().map_or(0, |b| b.len());
+            let record = RoundRecord {
+                round: self.round,
+                cohort: cohort_idx,
+                dropouts: acct.crashes + acct.link_dropouts,
+                stragglers: acct.stragglers,
+                retransmits: acct.retransmits,
+                mean_client_loss,
+                pseudo_grad_norm,
+                wire_bytes: acct.wire_bytes,
+                eval_ppl: None,
+                guard_rejected,
+                guard_clipped,
+                quarantined,
+                neutralized,
+                joined: acct.joined,
+                departed: acct.departed,
+                lease_expired: acct.lease_expired,
+                rejoined: acct.rejoined,
+                buffered,
+                commit_deferred: !committed,
+                degraded: false,
+                unreachable: acct.unreachable,
+                effective_deadline_ms: acct.effective_deadline_ms,
+                shards: tree.live_count(),
+                shard_degraded: 0,
+                shard_crashes: acct.shard_crashes.len(),
+                shard_hangs: acct.shard_hangs.len(),
+                reparented,
+                peak_resident,
+            };
+            self.round += 1;
+            return Ok(record);
+        }
+
+        let batch = if commit_ready {
+            buffer.commit(self.round, bcfg.staleness_decay)
+        } else {
+            None
+        };
+        committed = batch.is_some();
         if let Some(batch) = batch {
             let mut survivor_ids = batch.client_ids;
             let mut updates = batch.updates;
@@ -1156,6 +1770,12 @@ impl Aggregator {
             degraded: false,
             unreachable: acct.unreachable,
             effective_deadline_ms: acct.effective_deadline_ms,
+            shards: 0,
+            shard_degraded: 0,
+            shard_crashes: 0,
+            shard_hangs: 0,
+            reparented: 0,
+            peak_resident: 0,
         };
         self.round += 1;
         Ok(record)
@@ -1215,6 +1835,12 @@ struct RoundAccounting {
     net_duplicates: u64,
     net_reorders: u64,
     dup_drops: u64,
+    /// Live shards scheduled to crash this round (hierarchy mode only;
+    /// the slice is lost and the shard is dead from the next round on).
+    shard_crashes: Vec<u32>,
+    /// Live shards scheduled to hang this round (the slice is lost, the
+    /// shard recovers next round).
+    shard_hangs: Vec<u32>,
 }
 
 /// What one client thread reports back to the aggregator's collect loop.
@@ -1291,7 +1917,15 @@ fn client_round(
         let mut step_span = photon_trace::span(photon_trace::Phase::LocalStep)
             .arg("client", client_id as u64)
             .arg("round", round);
-        let outcome = client.run_round(&params, round, cohort_ids, cfg);
+        let outcome = match client.run_round(&params, round, cohort_ids, cfg) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                return ClientReply::Error {
+                    client_id,
+                    message: e.to_string(),
+                }
+            }
+        };
         step_span.set_arg("tokens", outcome.metrics.tokens);
         step_span.set_arg("steps", outcome.metrics.steps);
         photon_trace::counter_add("client.steps", outcome.metrics.steps);

@@ -19,7 +19,14 @@
 //! every v1–v3 checkpoint — decode as f32, so old checkpoints restore
 //! unchanged. Loaded parameters are always widened to f32 master weights
 //! in memory regardless of storage precision.
+//!
+//! Format version 5 adds an optional `hierarchy.bin` carrying the
+//! aggregation tree's dead-shard set, so an aggregator crash-restart
+//! re-derives the identical shard routing — including the deterministic
+//! re-parenting of every orphaned client — the crashed run had. Pre-v5
+//! checkpoints still load; the tree simply restores fully live.
 
+use crate::hierarchy::HierarchyState;
 use crate::membership::MembershipSnapshot;
 use crate::{FederationConfig, Result};
 use photon_comms::crc32;
@@ -33,10 +40,11 @@ use std::path::Path;
 const PARAMS_MAGIC: &[u8; 8] = b"PHTNCKP1";
 const OPT_MAGIC: &[u8; 8] = b"PHTNOPT2";
 const MEM_MAGIC: &[u8; 8] = b"PHTNMEM3";
+const HIER_MAGIC: &[u8; 8] = b"PHTNHIE5";
 
 /// Current checkpoint format version. Version-1 manifests predate the
 /// field and deserialize as 0.
-pub const CHECKPOINT_FORMAT_VERSION: u32 = 4;
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 5;
 
 /// The elastic-membership side state carried by checkpoint v3: the roster
 /// at save time plus any updates still waiting in the aggregation buffer.
@@ -71,6 +79,10 @@ pub struct CheckpointManifest {
     /// field — every pre-v4 checkpoint — decode as f32.
     #[serde(default)]
     pub dtype: Dtype,
+    /// Whether `hierarchy.bin` (the aggregation tree's dead-shard set)
+    /// was saved (v5+).
+    #[serde(default)]
+    pub has_hierarchy: bool,
 }
 
 /// Saves a checkpoint into `dir` (created if missing): `manifest.json` and
@@ -101,12 +113,13 @@ pub fn save_checkpoint_with_opt(
     params: &[f32],
     server_opt: Option<&ServerOptState>,
 ) -> Result<()> {
-    save_checkpoint_full(dir, cfg, round, params, server_opt, None)
+    save_checkpoint_full(dir, cfg, round, params, server_opt, None, None)
 }
 
-/// Saves a full checkpoint: parameters, server optimizer state, and (when
-/// the run is elastic) the membership roster plus any in-flight buffered
-/// updates.
+/// Saves a full checkpoint: parameters, server optimizer state, (when the
+/// run is elastic) the membership roster plus any in-flight buffered
+/// updates, and (when the run is hierarchical) the aggregation tree's
+/// dead-shard set.
 ///
 /// # Errors
 /// Propagates filesystem errors.
@@ -117,6 +130,7 @@ pub fn save_checkpoint_full(
     params: &[f32],
     server_opt: Option<&ServerOptState>,
     elastic: Option<&ElasticState>,
+    hierarchy: Option<&HierarchyState>,
 ) -> Result<()> {
     fs::create_dir_all(dir)?;
     let dtype = cfg.dtype;
@@ -128,6 +142,7 @@ pub fn save_checkpoint_full(
         has_server_opt: server_opt.is_some(),
         has_membership: elastic.is_some(),
         dtype,
+        has_hierarchy: hierarchy.is_some(),
     };
     let manifest_json =
         serde_json::to_string_pretty(&manifest).expect("manifest serialization cannot fail");
@@ -161,6 +176,9 @@ pub fn save_checkpoint_full(
     }
     if let Some(state) = elastic {
         write_durably(dir, "membership.bin", &encode_elastic_state(state))?;
+    }
+    if let Some(state) = hierarchy {
+        write_durably(dir, "hierarchy.bin", &encode_hierarchy_state(state))?;
     }
     write_durably(dir, "manifest.json", manifest_json.as_bytes())?;
     sync_dir(dir);
@@ -334,6 +352,61 @@ pub fn load_elastic_state(dir: &Path) -> Result<Option<ElasticState>> {
     }
     let bin = fs::read(dir.join("membership.bin"))?;
     decode_elastic_state(&bin)
+        .map(Some)
+        .map_err(crate::CoreError::InvalidConfig)
+}
+
+fn encode_hierarchy_state(state: &HierarchyState) -> Vec<u8> {
+    let mut bin = Vec::with_capacity(16 + state.dead_shards.len() * 4);
+    bin.extend_from_slice(HIER_MAGIC);
+    bin.extend_from_slice(&(state.dead_shards.len() as u32).to_le_bytes());
+    for &shard in &state.dead_shards {
+        bin.extend_from_slice(&shard.to_le_bytes());
+    }
+    let crc = crc32(&bin);
+    bin.extend_from_slice(&crc.to_le_bytes());
+    bin
+}
+
+fn decode_hierarchy_state(bin: &[u8]) -> std::result::Result<HierarchyState, String> {
+    if bin.len() < 16 || &bin[..8] != HIER_MAGIC {
+        return Err("hierarchy.bin is not a photon hierarchy state".into());
+    }
+    let (body, crc_bytes) = bin.split_at(bin.len() - 4);
+    let declared = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if crc32(body) != declared {
+        return Err("hierarchy.bin failed its integrity check".into());
+    }
+    let n = u32::from_le_bytes(body[8..12].try_into().expect("4 bytes")) as usize;
+    if body.len() != 12 + n * 4 {
+        return Err("hierarchy.bin length disagrees with its header".into());
+    }
+    let dead_shards: Vec<u32> = body[12..]
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect();
+    if dead_shards.windows(2).any(|w| w[0] >= w[1]) {
+        return Err("hierarchy.bin dead set is not strictly ascending".into());
+    }
+    Ok(HierarchyState { dead_shards })
+}
+
+/// Loads the aggregation tree's dead-shard set saved with a checkpoint,
+/// if the manifest declares one (`None` for pre-v5 checkpoints and flat
+/// runs).
+///
+/// # Errors
+/// Returns an error if the manifest is unreadable or a declared
+/// `hierarchy.bin` is missing or corrupt.
+pub fn load_hierarchy_state(dir: &Path) -> Result<Option<HierarchyState>> {
+    let manifest_json = fs::read_to_string(dir.join("manifest.json"))?;
+    let manifest: CheckpointManifest = serde_json::from_str(&manifest_json)
+        .map_err(|e| crate::CoreError::InvalidConfig(format!("bad manifest: {e}")))?;
+    if !manifest.has_hierarchy {
+        return Ok(None);
+    }
+    let bin = fs::read(dir.join("hierarchy.bin"))?;
+    decode_hierarchy_state(&bin)
         .map(Some)
         .map_err(crate::CoreError::InvalidConfig)
 }
@@ -551,7 +624,7 @@ mod tests {
                 delta: vec![0.5, -1.0, f32::NAN], // NaN must survive byte-exact
             }]),
         };
-        save_checkpoint_full(&dir, &cfg(), 5, &[1.0, 2.0], None, Some(&elastic)).unwrap();
+        save_checkpoint_full(&dir, &cfg(), 5, &[1.0, 2.0], None, Some(&elastic), None).unwrap();
         let (manifest, _) = load_checkpoint(&dir).unwrap();
         assert!(manifest.has_membership);
         assert_eq!(manifest.format_version, CHECKPOINT_FORMAT_VERSION);
@@ -581,14 +654,14 @@ mod tests {
             slots: vec![vec![0.5; 4]],
         };
         save_checkpoint_with_opt(&dir, &cfg(), 7, &[2.0; 4], Some(&state)).unwrap();
-        // Rewrite the manifest as a v2 manifest: no has_membership field,
-        // format_version 2.
+        // Rewrite the manifest as a v2 manifest: no has_membership or
+        // has_hierarchy fields, format_version 2.
         let path = dir.join("manifest.json");
         let json = fs::read_to_string(&path)
             .unwrap()
-            .replace("\"format_version\": 4", "\"format_version\": 2")
+            .replace("\"format_version\": 5", "\"format_version\": 2")
             .lines()
-            .filter(|l| !l.contains("has_membership"))
+            .filter(|l| !l.contains("has_membership") && !l.contains("has_hierarchy"))
             .collect::<Vec<_>>()
             .join("\n");
         let json = {
@@ -608,6 +681,77 @@ mod tests {
     }
 
     #[test]
+    fn hierarchy_state_roundtrips() {
+        let dir = tmp_dir("hierarchy");
+        let state = HierarchyState {
+            dead_shards: vec![1, 5, 6],
+        };
+        save_checkpoint_full(&dir, &cfg(), 9, &[1.0, 2.0], None, None, Some(&state)).unwrap();
+        let (manifest, _) = load_checkpoint(&dir).unwrap();
+        assert!(manifest.has_hierarchy);
+        assert_eq!(manifest.format_version, CHECKPOINT_FORMAT_VERSION);
+        assert_eq!(load_hierarchy_state(&dir).unwrap(), Some(state));
+
+        // A fully-live tree round-trips too (empty dead set).
+        let dir = tmp_dir("hierarchy-live");
+        let live = HierarchyState::default();
+        save_checkpoint_full(&dir, &cfg(), 1, &[1.0], None, None, Some(&live)).unwrap();
+        assert_eq!(load_hierarchy_state(&dir).unwrap(), Some(live));
+    }
+
+    #[test]
+    fn v4_checkpoints_without_hierarchy_still_load() {
+        let dir = tmp_dir("legacy-v4");
+        save_checkpoint(&dir, &cfg(), 3, &[1.0; 4]).unwrap();
+        // Rewrite the manifest as a v4 manifest: no has_hierarchy field,
+        // format_version 4.
+        let path = dir.join("manifest.json");
+        let json = fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"format_version\": 5", "\"format_version\": 4")
+            .lines()
+            .filter(|l| !l.contains("has_hierarchy"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let json = {
+            // Un-comma the new final field so the manifest stays valid.
+            let mut lines: Vec<String> = json.lines().map(String::from).collect();
+            let last_field = lines.len() - 2;
+            lines[last_field] = lines[last_field].trim_end_matches(',').to_string();
+            lines.join("\n")
+        };
+        fs::write(&path, json).unwrap();
+        let (manifest, params) = load_checkpoint(&dir).unwrap();
+        assert_eq!(manifest.format_version, 4);
+        assert!(!manifest.has_hierarchy);
+        assert_eq!(params, vec![1.0; 4]);
+        assert!(load_hierarchy_state(&dir).unwrap().is_none());
+    }
+
+    #[test]
+    fn hierarchy_state_corruption_detected() {
+        let dir = tmp_dir("hierarchy-corrupt");
+        let state = HierarchyState {
+            dead_shards: vec![0, 3],
+        };
+        save_checkpoint_full(&dir, &cfg(), 1, &[1.0], None, None, Some(&state)).unwrap();
+        let path = dir.join("hierarchy.bin");
+        let mut raw = fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        fs::write(&path, &raw).unwrap();
+        assert!(load_hierarchy_state(&dir).is_err());
+
+        // Truncation is caught too.
+        let dir = tmp_dir("hierarchy-torn");
+        save_checkpoint_full(&dir, &cfg(), 1, &[1.0], None, None, Some(&state)).unwrap();
+        let path = dir.join("hierarchy.bin");
+        let raw = fs::read(&path).unwrap();
+        fs::write(&path, &raw[..raw.len() - 6]).unwrap();
+        assert!(load_hierarchy_state(&dir).is_err());
+    }
+
+    #[test]
     fn elastic_state_corruption_detected() {
         let dir = tmp_dir("elastic-corrupt");
         let reg = crate::membership::MembershipRegistry::new(
@@ -618,7 +762,7 @@ mod tests {
             membership: reg.snapshot(),
             buffer: None,
         };
-        save_checkpoint_full(&dir, &cfg(), 1, &[1.0], None, Some(&elastic)).unwrap();
+        save_checkpoint_full(&dir, &cfg(), 1, &[1.0], None, Some(&elastic), None).unwrap();
         let path = dir.join("membership.bin");
         let mut raw = fs::read(&path).unwrap();
         let mid = raw.len() / 2;

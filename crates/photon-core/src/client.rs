@@ -33,6 +33,11 @@ pub struct LlmClient {
     /// Rounds on which this client simulates a mid-round failure
     /// (disconnect before returning a result).
     fail_rounds: Vec<u64>,
+    /// Rounds on which one sub-federation node thread panics mid-train —
+    /// exercising the path that surfaces a node panic as a
+    /// [`CoreError::ClientFailure`](crate::CoreError::ClientFailure)
+    /// instead of aborting the whole client.
+    panic_node_rounds: Vec<u64>,
 }
 
 impl LlmClient {
@@ -46,6 +51,7 @@ impl LlmClient {
             rng,
             opt_state: None,
             fail_rounds: Vec::new(),
+            panic_node_rounds: Vec::new(),
         }
     }
 
@@ -60,6 +66,13 @@ impl LlmClient {
     /// Whether this client is scheduled to fail on `round`.
     pub fn fails_on(&self, round: u64) -> bool {
         self.fail_rounds.contains(&round)
+    }
+
+    /// Schedules a deterministic panic inside one sub-federation node
+    /// thread on the given rounds (only meaningful for clients whose
+    /// strategy selects the sub-federation branch).
+    pub fn panic_node_on_rounds(&mut self, rounds: Vec<u64>) {
+        self.panic_node_rounds = rounds;
     }
 
     /// Client identifier.
@@ -86,6 +99,12 @@ impl LlmClient {
     /// participating client ids this round (needed for secure-aggregation
     /// masking).
     ///
+    /// # Errors
+    /// Returns [`CoreError::ClientFailure`](crate::CoreError::ClientFailure)
+    /// when a sub-federation node thread panics: the node's loss is
+    /// contained to this client's round result, exactly like a client
+    /// thread panic is contained to the aggregator's round.
+    ///
     /// # Panics
     /// Panics if `global` has the wrong length for the configured model,
     /// or secure aggregation is enabled and this client is missing from
@@ -96,7 +115,7 @@ impl LlmClient {
         round: u64,
         cohort: &[u32],
         cfg: &FederationConfig,
-    ) -> ClientOutcome {
+    ) -> crate::Result<ClientOutcome> {
         let strategy = self.strategy(cfg);
         let workers = match strategy {
             TrainingStrategy::SubFederation { partitions } => partitions,
@@ -110,7 +129,7 @@ impl LlmClient {
         let mut round_rng = self.rng.fork(&format!("round-{round}"));
 
         let (local_params, metrics) = if let TrainingStrategy::SubFederation { .. } = strategy {
-            self.run_sub_federation(global, round, workers, cfg, &mut round_rng)
+            self.run_sub_federation(global, round, workers, cfg, &mut round_rng)?
         } else if workers == 1 && !cfg.stateless_local {
             self.run_single_stateful(global, round, cfg, &mut round_rng)
         } else {
@@ -135,11 +154,11 @@ impl LlmClient {
 
         let mut delta = photon_fedopt::delta_from(global, &local_params);
         self.post_process(&mut delta, round, cohort, cfg, &mut round_rng);
-        ClientOutcome {
+        Ok(ClientOutcome {
             delta,
             weight: 1.0,
             metrics,
-        }
+        })
     }
 
     fn ddp_config(&self, round: u64, workers: usize, cfg: &FederationConfig) -> DdpConfig {
@@ -167,29 +186,54 @@ impl LlmClient {
         partitions: usize,
         cfg: &FederationConfig,
         rng: &mut SeedStream,
-    ) -> (Vec<f32>, TrainMetrics) {
+    ) -> crate::Result<(Vec<f32>, TrainMetrics)> {
         let ddp_cfg = self.ddp_config(round, 1, cfg);
         let streams = self.ds.partition_streams(partitions, rng);
         // Like DDP replicas, concurrent sub-federation nodes split the
         // caller's kernel-thread budget rather than oversubscribing it.
         let kernel_threads =
             (photon_tensor::ops::pool::effective_parallelism() / partitions.max(1)).max(1);
+        let panic_scheduled = self.panic_node_rounds.contains(&round);
+        let client_id = self.id;
         let handles: Vec<_> = streams
             .into_iter()
-            .map(|stream| {
+            .enumerate()
+            .map(|(node, stream)| {
                 let ddp_cfg = ddp_cfg.clone();
                 let global = global.to_vec();
                 std::thread::spawn(move || {
+                    if panic_scheduled && node == 0 {
+                        panic!("injected sub-federation node fault (client {client_id}, round {round})");
+                    }
                     photon_tensor::ops::pool::with_parallelism(kernel_threads, move || {
                         crate::ddp_train(&global, &ddp_cfg, vec![stream])
                     })
                 })
             })
             .collect();
-        let results: Vec<_> = handles
-            .into_iter()
-            .map(|h| h.join().expect("sub-federation node panicked"))
-            .collect();
+        // Join every node before surfacing a failure, so a panicking node
+        // never leaves siblings running detached into the next round.
+        let mut results = Vec::with_capacity(handles.len());
+        let mut failure: Option<String> = None;
+        for (node, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(result) => results.push(result),
+                Err(payload) => {
+                    let reason = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    failure.get_or_insert(format!(
+                        "sub-federation node {node} of client {client_id} \
+                         panicked in round {round}: {reason}"
+                    ));
+                }
+            }
+        }
+        if let Some(message) = failure {
+            return Err(crate::CoreError::ClientFailure(message));
+        }
 
         // L.24: θ_k = (1/|I|) Σ θ_i.
         let n = results.len();
@@ -201,14 +245,14 @@ impl LlmClient {
             loss += report.mean_loss / n as f32;
             tokens += report.tokens;
         }
-        (
+        Ok((
             avg,
             TrainMetrics {
                 mean_loss: loss,
                 tokens,
                 steps: cfg.local_steps,
             },
-        )
+        ))
     }
 
     /// Single-worker path with a persistent local optimizer (used when
@@ -333,7 +377,7 @@ mod tests {
         let cfg = test_cfg();
         let global = global_params(&cfg);
         let mut c = client(0, 300);
-        let out = c.run_round(&global, 0, &[0], &cfg);
+        let out = c.run_round(&global, 0, &[0], &cfg).unwrap();
         assert_eq!(out.delta.len(), global.len());
         assert!(photon_tensor::ops::l2_norm(&out.delta) > 0.0);
         assert_eq!(out.metrics.steps, 4);
@@ -347,9 +391,9 @@ mod tests {
         cfg.stateless_local = false;
         let global = global_params(&cfg);
         let mut c = client(0, 300);
-        let first = c.run_round(&global, 0, &[0], &cfg);
+        let first = c.run_round(&global, 0, &[0], &cfg).unwrap();
         assert!(c.opt_state.is_some());
-        let second = c.run_round(&global, 1, &[0], &cfg);
+        let second = c.run_round(&global, 1, &[0], &cfg).unwrap();
         // With warm momenta the second round's update differs from a cold
         // restart producing the identical first-round update.
         assert_ne!(first.delta, second.delta);
@@ -364,11 +408,11 @@ mod tests {
         cfg.post.dp_noise_std = Some(0.01); // exercise in-round randomness
         let global = global_params(&cfg);
         let mut walked = client(0, 300);
-        walked.run_round(&global, 0, &[0], &cfg);
-        walked.run_round(&global, 1, &[0], &cfg);
-        let third = walked.run_round(&global, 2, &[0], &cfg);
+        walked.run_round(&global, 0, &[0], &cfg).unwrap();
+        walked.run_round(&global, 1, &[0], &cfg).unwrap();
+        let third = walked.run_round(&global, 2, &[0], &cfg).unwrap();
         let mut fresh = client(0, 300);
-        let replayed = fresh.run_round(&global, 2, &[0], &cfg);
+        let replayed = fresh.run_round(&global, 2, &[0], &cfg).unwrap();
         assert_eq!(third.delta, replayed.delta);
     }
 
@@ -378,7 +422,7 @@ mod tests {
         cfg.post.clip_update_norm = Some(0.01);
         let global = global_params(&cfg);
         let mut c = client(0, 300);
-        let out = c.run_round(&global, 0, &[0], &cfg);
+        let out = c.run_round(&global, 0, &[0], &cfg).unwrap();
         assert!(photon_tensor::ops::l2_norm(&out.delta) <= 0.0101);
     }
 
@@ -388,8 +432,10 @@ mod tests {
         let mut noisy_cfg = cfg.clone();
         noisy_cfg.post.dp_noise_std = Some(0.1);
         let global = global_params(&cfg);
-        let clean = client(0, 300).run_round(&global, 0, &[0], &cfg);
-        let noisy = client(0, 300).run_round(&global, 0, &[0], &noisy_cfg);
+        let clean = client(0, 300).run_round(&global, 0, &[0], &cfg).unwrap();
+        let noisy = client(0, 300)
+            .run_round(&global, 0, &[0], &noisy_cfg)
+            .unwrap();
         assert_ne!(clean.delta, noisy.delta);
     }
 
@@ -425,9 +471,51 @@ mod tests {
             TrainingStrategy::SubFederation { partitions: 2 }
         );
         let global = global_params(&cfg);
-        let out = c.run_round(&global, 0, &[0], &cfg);
+        let out = c.run_round(&global, 0, &[0], &cfg).unwrap();
         assert!(photon_tensor::ops::l2_norm(&out.delta) > 0.0);
         // Both partitions' tokens are counted.
         assert_eq!(out.metrics.tokens, 2 * 4 * 2 * 8);
+    }
+
+    #[test]
+    fn sub_federation_node_panic_surfaces_as_client_failure() {
+        use photon_cluster::{GpuSpec, Interconnect, NodeSpec, Region};
+        let cfg = test_cfg();
+        let silo = SiloSpec {
+            name: "slow-cluster".into(),
+            nodes: vec![
+                NodeSpec::nvlink(GpuSpec::h100(), 1),
+                NodeSpec::nvlink(GpuSpec::h100(), 1),
+            ],
+            inter_node: Interconnect::Ethernet { gbps: 1.0 },
+            region: Region::Quebec,
+        };
+        let shard = Shard::from_range("c", Arc::new((0..600u32).map(|i| i % 17).collect()), 0, 600);
+        let mut c = LlmClient::new(
+            7,
+            DataSource::new("ds", shard),
+            Some(silo),
+            SeedStream::new(5),
+        );
+        assert_eq!(
+            c.strategy(&cfg),
+            TrainingStrategy::SubFederation { partitions: 2 }
+        );
+        c.panic_node_on_rounds(vec![1]);
+        let global = global_params(&cfg);
+        // Round 0 is clean.
+        assert!(c.run_round(&global, 0, &[7], &cfg).is_ok());
+        // Round 1's node panic is contained: an error, not an abort, with
+        // the panic payload preserved in the message.
+        let err = c.run_round(&global, 1, &[7], &cfg).unwrap_err();
+        match err {
+            crate::CoreError::ClientFailure(msg) => {
+                assert!(msg.contains("node 0 of client 7"), "{msg}");
+                assert!(msg.contains("injected sub-federation node fault"), "{msg}");
+            }
+            other => panic!("expected ClientFailure, got {other:?}"),
+        }
+        // The client is still usable afterwards.
+        assert!(c.run_round(&global, 2, &[7], &cfg).is_ok());
     }
 }

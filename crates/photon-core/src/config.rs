@@ -1,3 +1,4 @@
+use crate::hierarchy::HierarchyConfig;
 use crate::membership::MembershipConfig;
 use photon_comms::{AdaptiveDeadlineConfig, NetworkConfig, RetransmitPolicy};
 use photon_fedopt::{AggregationKind, AvailabilityModel, BufferConfig, GuardConfig, ServerOptKind};
@@ -126,6 +127,13 @@ pub struct FederationConfig {
     /// Requires `membership`.
     #[serde(default)]
     pub buffer: Option<BufferConfig>,
+    /// Hierarchical aggregation: leaf clients report to sub-aggregator
+    /// shards that fold their cohort slice through a streaming,
+    /// memory-bounded merge and reduce upward to the root. A shard crash
+    /// degrades that shard (its orphans are re-parented next round)
+    /// instead of the round. `None` keeps the flat single-level merge.
+    #[serde(default)]
+    pub hierarchy: Option<HierarchyConfig>,
     /// Storage precision for parameters at rest (checkpoints) and float
     /// payloads on the Link. Compute and accumulation stay f32 (master
     /// weights); bf16 halves checkpoint and wire bytes. Incompatible with
@@ -168,6 +176,7 @@ impl FederationConfig {
             adaptive_deadline: None,
             membership: None,
             buffer: None,
+            hierarchy: None,
             dtype: Dtype::F32,
             seed: 42,
         }
@@ -315,6 +324,28 @@ impl FederationConfig {
             if self.secure_agg {
                 return Err(crate::CoreError::InvalidConfig(
                     "secure aggregation cannot drop stragglers (disable adaptive_deadline)".into(),
+                ));
+            }
+        }
+        if let Some(hierarchy) = &self.hierarchy {
+            hierarchy
+                .validate()
+                .map_err(crate::CoreError::InvalidConfig)?;
+            if self.secure_agg {
+                // Sub-aggregators would have to sum masked slices whose
+                // pairwise masks span shard boundaries; nothing cancels.
+                return Err(crate::CoreError::InvalidConfig(
+                    "secure aggregation cannot run through sub-aggregator shards".into(),
+                ));
+            }
+            if self.buffer.is_some() && self.aggregation != AggregationKind::Mean {
+                // The buffered hierarchical commit streams through the
+                // canonical fold; a robust rule needs the materialized
+                // batch the streaming path exists to avoid.
+                return Err(crate::CoreError::InvalidConfig(
+                    "buffered hierarchical aggregation streams a weighted mean; \
+                     robust aggregation rules require the flat batch path"
+                        .into(),
                 ));
             }
         }
@@ -542,6 +573,41 @@ mod tests {
             .replace("\"dtype\":\"F32\",", "");
         assert!(!json.contains("membership"), "field not stripped: {json}");
         assert!(!json.contains("dtype"), "dtype not stripped: {json}");
+        let back: FederationConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plain);
+    }
+
+    #[test]
+    fn hierarchy_validation_rules() {
+        let mut cfg = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 8);
+        cfg.hierarchy = Some(HierarchyConfig::default());
+        cfg.validate().unwrap();
+
+        // Bad tree shapes are caught.
+        let mut bad = cfg.clone();
+        bad.hierarchy = Some(HierarchyConfig {
+            shards: 1,
+            ..HierarchyConfig::default()
+        });
+        assert!(bad.validate().is_err());
+        let mut bad = cfg.clone();
+        bad.hierarchy = Some(HierarchyConfig {
+            max_resident: 1,
+            ..HierarchyConfig::default()
+        });
+        assert!(bad.validate().is_err());
+
+        // Sub-aggregators cannot sum masked slices.
+        let mut secure = cfg.clone();
+        secure.secure_agg = true;
+        assert!(secure.validate().is_err());
+
+        // Configs serialized before hierarchy existed still load.
+        let plain = FederationConfig::quick_demo(ModelConfig::proxy_tiny(), 8);
+        let json = serde_json::to_string(&plain)
+            .unwrap()
+            .replace("\"hierarchy\":null,", "");
+        assert!(!json.contains("hierarchy"), "field not stripped: {json}");
         let back: FederationConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, plain);
     }

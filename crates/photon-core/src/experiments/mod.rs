@@ -225,6 +225,12 @@ pub fn run_centralized(
             degraded: false,
             unreachable: 0,
             effective_deadline_ms: None,
+            shards: 0,
+            shard_degraded: 0,
+            shard_crashes: 0,
+            shard_hangs: 0,
+            reparented: 0,
+            peak_resident: 0,
         });
         if stop_below.is_some_and(|t| report.perplexity <= t) {
             break;

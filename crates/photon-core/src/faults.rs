@@ -22,6 +22,10 @@ const LINK_LOSS_SALT: u64 = 0x6c6f_7373_7921; // "lossy!"
 /// Leading transmission attempts a single `lossy=` firing may swallow.
 const LINK_LOSS_BURST: usize = 2;
 
+/// Salt separating the sub-aggregator shard fault column from every other
+/// draw, so `shardcrash=`/`shardhang=` rates never perturb a legacy plan.
+const SHARD_FAULT_SALT: u64 = 0x7368_6172_6421; // "shard!"
+
 /// A fault injected into one client for one round.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ClientFault {
@@ -211,6 +215,27 @@ pub struct FaultSpec {
     /// state machine from the checkpoint and re-sync live clients.
     #[serde(default)]
     pub targeted_coordkills: Vec<u64>,
+    /// Per-(round, shard) probability a sub-aggregator shard *crashes*
+    /// mid-round: its slice of the cohort is lost that round, the shard is
+    /// permanently dead, and its orphans are re-parented to siblings from
+    /// the next round on. Drawn from its own salted column over
+    /// [`FaultSpec::shards`] shards.
+    #[serde(default)]
+    pub p_shard_crash: f64,
+    /// Per-(round, shard) probability a sub-aggregator shard *hangs* for
+    /// one round: its slice is lost that round but the shard recovers.
+    #[serde(default)]
+    pub p_shard_hang: f64,
+    /// How many sub-aggregator shards the probabilistic shard columns
+    /// cover (set from the hierarchy config; 0 disables the columns).
+    #[serde(default)]
+    pub shards: usize,
+    /// Pinned shard crashes (`shardcrash@rNsM` grammar).
+    #[serde(default)]
+    pub targeted_shardcrashes: Vec<(u64, u32)>,
+    /// Pinned shard hangs (`shardhang@rNsM` grammar).
+    #[serde(default)]
+    pub targeted_shardhangs: Vec<(u64, u32)>,
     /// Seed for the fault schedule (independent of the training seed).
     pub seed: u64,
 }
@@ -244,6 +269,11 @@ impl FaultSpec {
             targeted_netcrashes: Vec::new(),
             targeted_nethangs: Vec::new(),
             targeted_coordkills: Vec::new(),
+            p_shard_crash: 0.0,
+            p_shard_hang: 0.0,
+            shards: 0,
+            targeted_shardcrashes: Vec::new(),
+            targeted_shardhangs: Vec::new(),
             seed,
         }
     }
@@ -314,6 +344,27 @@ impl FaultSpec {
                 spec.targeted_coordkills.push(round);
                 continue;
             }
+            if let Some(cell) = pair.strip_prefix("shardcrash@") {
+                let parsed = cell
+                    .strip_prefix('r')
+                    .and_then(|rest| rest.split_once('s'))
+                    .and_then(|(r, s)| Some((r.parse().ok()?, s.parse().ok()?)));
+                let (round, shard) = parsed.ok_or_else(|| {
+                    format!("targeted shardcrash {pair:?} is not shardcrash@rNsM")
+                })?;
+                spec.targeted_shardcrashes.push((round, shard));
+                continue;
+            }
+            if let Some(cell) = pair.strip_prefix("shardhang@") {
+                let parsed = cell
+                    .strip_prefix('r')
+                    .and_then(|rest| rest.split_once('s'))
+                    .and_then(|(r, s)| Some((r.parse().ok()?, s.parse().ok()?)));
+                let (round, shard) = parsed
+                    .ok_or_else(|| format!("targeted shardhang {pair:?} is not shardhang@rNsM"))?;
+                spec.targeted_shardhangs.push((round, shard));
+                continue;
+            }
             if let Some(cell) = pair.strip_prefix("leave@") {
                 let parsed = cell
                     .strip_prefix('r')
@@ -348,6 +399,9 @@ impl FaultSpec {
                 "join" => spec.p_join = value.parse().map_err(|_| bad())?,
                 "leave" => spec.p_leave = value.parse().map_err(|_| bad())?,
                 "lossy" => spec.p_link_loss = value.parse().map_err(|_| bad())?,
+                "shardcrash" => spec.p_shard_crash = value.parse().map_err(|_| bad())?,
+                "shardhang" => spec.p_shard_hang = value.parse().map_err(|_| bad())?,
+                "shards" => spec.shards = value.parse().map_err(|_| bad())?,
                 "seed" => spec.seed = value.parse().map_err(|_| bad())?,
                 other => return Err(format!("unknown fault spec key {other:?}")),
             }
@@ -398,6 +452,17 @@ impl FaultSpec {
                 "fault probability lossy={} outside [0, 1]",
                 self.p_link_loss
             ));
+        }
+        for (name, p) in [
+            ("shardcrash", self.p_shard_crash),
+            ("shardhang", self.p_shard_hang),
+        ] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(format!("fault probability {name}={p} outside [0, 1]"));
+            }
+        }
+        if self.p_shard_crash + self.p_shard_hang > 1.0 {
+            return Err("shard fault probabilities sum past 1.0".into());
         }
         self.partitions.iter().try_for_each(PartitionSpec::validate)
     }
@@ -531,6 +596,33 @@ impl FaultSpec {
             .filter(|&&round| round < rounds)
             .copied()
             .collect();
+        // Shard faults draw from their own salted (round, shard) column,
+        // gated on the rates, so legacy specs expand bit-identically.
+        let mut shardcrashes = BTreeSet::new();
+        let mut shardhangs = BTreeSet::new();
+        if (self.p_shard_crash > 0.0 || self.p_shard_hang > 0.0) && self.shards > 0 {
+            for round in 0..rounds {
+                for shard in 0..self.shards as u32 {
+                    let mut rng = cell_stream(self.seed ^ SHARD_FAULT_SALT, round, shard);
+                    let u = rng.next_f64();
+                    if u < self.p_shard_crash {
+                        shardcrashes.insert((round, shard));
+                    } else if u < self.p_shard_crash + self.p_shard_hang {
+                        shardhangs.insert((round, shard));
+                    }
+                }
+            }
+        }
+        for &(round, shard) in &self.targeted_shardcrashes {
+            if round < rounds {
+                shardcrashes.insert((round, shard));
+            }
+        }
+        for &(round, shard) in &self.targeted_shardhangs {
+            if round < rounds {
+                shardhangs.insert((round, shard));
+            }
+        }
         FaultPlan {
             client_faults,
             agg_crashes,
@@ -542,6 +634,8 @@ impl FaultSpec {
             netcrashes,
             nethangs,
             coordkills,
+            shardcrashes,
+            shardhangs,
             rounds,
         }
     }
@@ -611,6 +705,8 @@ pub struct FaultPlan {
     netcrashes: BTreeSet<(u64, u32)>,
     nethangs: BTreeSet<(u64, u32)>,
     coordkills: BTreeSet<u64>,
+    shardcrashes: BTreeSet<(u64, u32)>,
+    shardhangs: BTreeSet<(u64, u32)>,
     rounds: u64,
 }
 
@@ -723,6 +819,28 @@ impl FaultPlan {
         self.coordkills.len()
     }
 
+    /// Whether sub-aggregator `shard` is scheduled to crash mid-round at
+    /// `round` (permanent death; orphans re-parent next round).
+    pub fn shardcrash_at(&self, round: u64, shard: u32) -> bool {
+        self.shardcrashes.contains(&(round, shard))
+    }
+
+    /// Whether sub-aggregator `shard` is scheduled to hang for `round`
+    /// (its slice is lost that round only).
+    pub fn shardhang_at(&self, round: u64, shard: u32) -> bool {
+        self.shardhangs.contains(&(round, shard))
+    }
+
+    /// Number of scheduled shard crashes.
+    pub fn shardcrash_count(&self) -> usize {
+        self.shardcrashes.len()
+    }
+
+    /// Number of scheduled shard hangs.
+    pub fn shardhang_count(&self) -> usize {
+        self.shardhangs.len()
+    }
+
     /// The planning horizon in rounds.
     pub fn rounds(&self) -> u64 {
         self.rounds
@@ -800,6 +918,16 @@ impl FaultInjector {
     /// Whether the coordinator process dies after committing `round`.
     pub fn coordkill_after(&self, round: u64) -> bool {
         self.plan.coordkill_after(round)
+    }
+
+    /// Whether sub-aggregator `shard` crashes mid-round at `round`.
+    pub fn shardcrash_at(&self, round: u64, shard: u32) -> bool {
+        self.plan.shardcrash_at(round, shard)
+    }
+
+    /// Whether sub-aggregator `shard` hangs for `round`.
+    pub fn shardhang_at(&self, round: u64, shard: u32) -> bool {
+        self.plan.shardhang_at(round, shard)
     }
 
     /// The underlying schedule.
@@ -1203,6 +1331,88 @@ mod tests {
         assert_eq!(a.agg_crash_count(), b.agg_crash_count());
         // Loss plans themselves replay bit-identically.
         assert_eq!(b, lossy.plan(16, 50));
+    }
+
+    #[test]
+    fn shard_fault_grammar_parses_and_plans() {
+        let spec = FaultSpec::parse(
+            "shardcrash=0.1,shardhang=0.2,shards=8,shardcrash@r3s2,shardhang@r1s0",
+        )
+        .unwrap();
+        assert_eq!(spec.p_shard_crash, 0.1);
+        assert_eq!(spec.p_shard_hang, 0.2);
+        assert_eq!(spec.shards, 8);
+        assert_eq!(spec.targeted_shardcrashes, vec![(3, 2)]);
+        assert_eq!(spec.targeted_shardhangs, vec![(1, 0)]);
+        let plan = spec.plan(16, 10);
+        assert!(plan.shardcrash_at(3, 2));
+        assert!(plan.shardhang_at(1, 0));
+        assert!(plan.shardcrash_count() + plan.shardhang_count() >= 2);
+        // The probabilistic columns replay bit-identically.
+        assert_eq!(plan, spec.plan(16, 10));
+        // Malformed cells are rejected.
+        assert!(FaultSpec::parse("shardcrash@r3c2").is_err());
+        assert!(FaultSpec::parse("shardhang@s2").is_err());
+        assert!(FaultSpec::parse("shardcrash=1.5").is_err());
+    }
+
+    #[test]
+    fn zero_shard_rates_leave_legacy_plans_unchanged() {
+        // Shard faults draw from their own salted (round, shard) column
+        // and are gated on the rates, so a shard-free spec expands to the
+        // exact legacy plan — and turning them on moves no client fault.
+        let legacy = chaos_spec(7).plan(16, 50);
+        let extended = FaultSpec {
+            p_shard_crash: 0.0,
+            p_shard_hang: 0.0,
+            shards: 4,
+            ..chaos_spec(7)
+        }
+        .plan(16, 50);
+        assert_eq!(legacy, extended);
+        let sharded = FaultSpec {
+            p_shard_crash: 0.3,
+            p_shard_hang: 0.3,
+            shards: 4,
+            ..chaos_spec(7)
+        }
+        .plan(16, 50);
+        assert!(sharded.shardcrash_count() > 0);
+        assert!(sharded.shardhang_count() > 0);
+        for round in 0..50 {
+            for client in 0..16 {
+                assert_eq!(
+                    legacy.client_fault(round, client),
+                    sharded.client_fault(round, client)
+                );
+            }
+        }
+        assert_eq!(legacy.agg_crash_count(), sharded.agg_crash_count());
+    }
+
+    #[test]
+    fn shard_injector_delegates_to_plan() {
+        let spec = FaultSpec {
+            p_shard_crash: 0.2,
+            shards: 4,
+            targeted_shardhangs: vec![(2, 1)],
+            ..FaultSpec::none(5)
+        };
+        let injector = FaultInjector::from_spec(&spec, 8, 10);
+        let plan = spec.plan(8, 10);
+        for round in 0..10 {
+            for shard in 0..4 {
+                assert_eq!(
+                    injector.shardcrash_at(round, shard),
+                    plan.shardcrash_at(round, shard)
+                );
+                assert_eq!(
+                    injector.shardhang_at(round, shard),
+                    plan.shardhang_at(round, shard)
+                );
+            }
+        }
+        assert!(injector.shardhang_at(2, 1));
     }
 
     #[test]

@@ -31,7 +31,8 @@
 use crate::faults::FaultInjector;
 use photon_comms::SimClock;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 /// Knobs for the elastic membership runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -135,13 +136,40 @@ pub struct MembershipSnapshot {
 
 /// The aggregator's membership registry: who exists, who is live, and who
 /// may be sampled this round.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Per-round cost is O(active) + O(expiring), not O(ever admitted): the
+/// active and expired id sets are indexed, and lease expiries come off a
+/// min-heap instead of a full-map scan. Departed members (which only
+/// accumulate over a long run) are never touched again by `begin_round`.
+#[derive(Debug, Clone)]
 pub struct MembershipRegistry {
     cfg: MembershipConfig,
     clock: SimClock,
     members: BTreeMap<u32, Member>,
     next_id: u32,
+    /// Ids in [`MemberPhase::Active`] — the renewal scan's universe.
+    active: BTreeSet<u32>,
+    /// Ids in [`MemberPhase::Expired`] — the rejoin scan's universe.
+    expired: BTreeSet<u32>,
+    /// Lazy lease-expiry min-heap over `(lease_expires_ms, id)`. An entry
+    /// is pushed whenever a member misses a heartbeat (its lease then
+    /// stops moving), and validated against the member's current lease on
+    /// pop — stale entries (renewed or already-expired members) are
+    /// discarded. A member can only expire on a round it also crashes
+    /// (renewal precedes the expiry check), so crash-time pushes cover
+    /// every expiry, including replays after a checkpoint restore.
+    expiry_heap: BinaryHeap<Reverse<(u64, u32)>>,
 }
+
+impl PartialEq for MembershipRegistry {
+    fn eq(&self, other: &Self) -> bool {
+        // The index structures are derived state (and the lazy heap admits
+        // many equivalent shapes); logical equality is the member map.
+        self.cfg == other.cfg && self.members == other.members && self.next_id == other.next_id
+    }
+}
+
+impl Eq for MembershipRegistry {}
 
 impl MembershipRegistry {
     /// Founds a registry with `population` members, all active with leases
@@ -172,6 +200,9 @@ impl MembershipRegistry {
             clock,
             members,
             next_id: population as u32,
+            active: (0..population as u32).collect(),
+            expired: BTreeSet::new(),
+            expiry_heap: BinaryHeap::new(),
         }
     }
 
@@ -209,12 +240,15 @@ impl MembershipRegistry {
                         phase: MemberPhase::Active,
                     },
                 );
+                self.active.insert(id);
                 events.joined.push(id);
             }
             for id in inj.leaves_at(round) {
                 if let Some(m) = self.members.get_mut(&id) {
                     if m.phase != MemberPhase::Departed {
                         m.phase = MemberPhase::Departed;
+                        self.active.remove(&id);
+                        self.expired.remove(&id);
                         events.departed.push(id);
                     }
                 }
@@ -227,48 +261,77 @@ impl MembershipRegistry {
                 .map(|f| f == crate::faults::ClientFault::Crash)
                 .unwrap_or(false)
         };
-        for (&id, m) in self.members.iter_mut() {
-            match m.phase {
-                MemberPhase::Expired if !crashed(id) => {
-                    // Warm rejoin: the client is reachable again; it
-                    // re-handshakes and resumes with a fresh lease.
-                    m.phase = MemberPhase::Active;
-                    m.lease_expires_ms = lease;
-                    events.rejoined.push(id);
-                }
-                MemberPhase::Active if !crashed(id) => {
-                    m.lease_expires_ms = lease;
-                }
-                _ => {}
+        // Warm rejoins: O(expired), ascending id (matching the order the
+        // old full-map scan produced).
+        let rejoining: Vec<u32> = self
+            .expired
+            .iter()
+            .copied()
+            .filter(|&id| !crashed(id))
+            .collect();
+        for id in rejoining {
+            let m = self
+                .members
+                .get_mut(&id)
+                .expect("expired index out of sync");
+            m.phase = MemberPhase::Active;
+            m.lease_expires_ms = lease;
+            self.expired.remove(&id);
+            self.active.insert(id);
+            events.rejoined.push(id);
+        }
+        // Heartbeat renewals: O(active). A member that crashes misses its
+        // heartbeat — its lease stops moving, so it enters the expiry heap
+        // with the lease it will still hold when (if) it lapses.
+        for &id in &self.active {
+            let m = self.members.get_mut(&id).expect("active index out of sync");
+            if crashed(id) {
+                self.expiry_heap.push(Reverse((m.lease_expires_ms, id)));
+            } else {
+                m.lease_expires_ms = lease;
             }
         }
-        for (&id, m) in self.members.iter_mut() {
-            if m.phase == MemberPhase::Active && now > m.lease_expires_ms {
-                m.phase = MemberPhase::Expired;
-                events.expired.push(id);
+        // Lease expiries: O(expiring), off the heap instead of a second
+        // full-map scan. Entries whose lease no longer matches (the member
+        // renewed, already expired, or departed since the push) are stale
+        // and discarded.
+        let mut expiring = Vec::new();
+        while let Some(&Reverse((expires_ms, id))) = self.expiry_heap.peek() {
+            if expires_ms >= now {
+                break;
+            }
+            self.expiry_heap.pop();
+            if let Some(m) = self.members.get_mut(&id) {
+                if m.phase == MemberPhase::Active && m.lease_expires_ms == expires_ms {
+                    m.phase = MemberPhase::Expired;
+                    self.active.remove(&id);
+                    self.expired.insert(id);
+                    expiring.push(id);
+                }
             }
         }
+        // The old path reported expiries in ascending id order; the heap
+        // yields (lease, id) order. Restore the contract.
+        expiring.sort_unstable();
+        events.expired = expiring;
         events
     }
 
     /// Active members, ascending — the universe the cohort sampler draws
-    /// from this round.
+    /// from this round. O(active), straight off the index.
     pub fn live_members(&self) -> Vec<u32> {
-        self.members
-            .iter()
-            .filter(|(_, m)| m.phase == MemberPhase::Active)
-            .map(|(&id, _)| id)
-            .collect()
+        self.active.iter().copied().collect()
+    }
+
+    /// Number of active members, without materializing them.
+    pub fn live_count(&self) -> usize {
+        self.active.len()
     }
 
     /// Every non-departed member, ascending — the fallback universe when
     /// every live member happens to be expired at once.
     pub fn reachable_members(&self) -> Vec<u32> {
-        self.members
-            .iter()
-            .filter(|(_, m)| m.phase != MemberPhase::Departed)
-            .map(|(&id, _)| id)
-            .collect()
+        self.active.union(&self.expired).copied().collect()
     }
 
     /// The member's phase, if it was ever admitted.
@@ -328,11 +391,27 @@ impl MembershipRegistry {
                 },
             );
         }
+        let active = members
+            .iter()
+            .filter(|(_, m)| m.phase == MemberPhase::Active)
+            .map(|(&id, _)| id)
+            .collect();
+        let expired = members
+            .iter()
+            .filter(|(_, m)| m.phase == MemberPhase::Expired)
+            .map(|(&id, _)| id)
+            .collect();
         Ok(MembershipRegistry {
             cfg: snap.config,
             clock: snap.config.clock(),
             members,
             next_id: snap.next_id,
+            active,
+            expired,
+            // Empty is correct: a member can only expire on a round it
+            // also crashes, and the deterministic fault plan re-pushes its
+            // entry when that round replays.
+            expiry_heap: BinaryHeap::new(),
         })
     }
 }
@@ -471,6 +550,122 @@ mod tests {
         let mut snap = reg.snapshot();
         snap.next_id = 1;
         assert!(MembershipRegistry::from_snapshot(&snap).is_err());
+    }
+
+    /// A faithful reimplementation of the pre-heap `begin_round`: two full
+    /// scans over every member ever admitted. The indexed path must
+    /// produce byte-for-byte identical churn events against it.
+    struct ShadowRegistry {
+        cfg: MembershipConfig,
+        clock: SimClock,
+        members: BTreeMap<u32, Member>,
+        next_id: u32,
+    }
+
+    impl ShadowRegistry {
+        fn new(cfg: MembershipConfig, population: usize) -> Self {
+            let clock = cfg.clock();
+            let lease = clock.now_ms(0) + cfg.lease_ms;
+            let members = (0..population as u32)
+                .map(|id| {
+                    (
+                        id,
+                        Member {
+                            birth_round: 0,
+                            lease_expires_ms: lease,
+                            phase: MemberPhase::Active,
+                        },
+                    )
+                })
+                .collect();
+            ShadowRegistry {
+                cfg,
+                clock,
+                members,
+                next_id: population as u32,
+            }
+        }
+
+        fn begin_round(&mut self, round: u64, injector: Option<&FaultInjector>) -> ChurnEvents {
+            let now = self.clock.now_ms(round);
+            let lease = now + self.cfg.lease_ms;
+            let mut events = ChurnEvents::default();
+            if let Some(inj) = injector {
+                for _ in 0..inj.joins_at(round) {
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.members.insert(
+                        id,
+                        Member {
+                            birth_round: round,
+                            lease_expires_ms: lease,
+                            phase: MemberPhase::Active,
+                        },
+                    );
+                    events.joined.push(id);
+                }
+                for id in inj.leaves_at(round) {
+                    if let Some(m) = self.members.get_mut(&id) {
+                        if m.phase != MemberPhase::Departed {
+                            m.phase = MemberPhase::Departed;
+                            events.departed.push(id);
+                        }
+                    }
+                }
+            }
+            let crashed = |id: u32| {
+                injector
+                    .and_then(|inj| inj.client_fault(round, id))
+                    .map(|f| f == crate::faults::ClientFault::Crash)
+                    .unwrap_or(false)
+            };
+            for (&id, m) in self.members.iter_mut() {
+                match m.phase {
+                    MemberPhase::Expired if !crashed(id) => {
+                        m.phase = MemberPhase::Active;
+                        m.lease_expires_ms = lease;
+                        events.rejoined.push(id);
+                    }
+                    MemberPhase::Active if !crashed(id) => {
+                        m.lease_expires_ms = lease;
+                    }
+                    _ => {}
+                }
+            }
+            for (&id, m) in self.members.iter_mut() {
+                if m.phase == MemberPhase::Active && now > m.lease_expires_ms {
+                    m.phase = MemberPhase::Expired;
+                    events.expired.push(id);
+                }
+            }
+            events
+        }
+    }
+
+    #[test]
+    fn heap_path_matches_old_double_scan_exactly() {
+        // A churny plan: random crashes (driving expiries and rejoins in
+        // overlapping waves), joins and permanent leaves, over enough
+        // rounds for leases to lapse repeatedly.
+        let spec = FaultSpec {
+            p_crash: 0.45,
+            targeted_joins: vec![3, 7, 12, 18, 25],
+            targeted_leaves: vec![(4, 2), (10, 5), (16, 21), (22, 0), (28, 9)],
+            ..FaultSpec::none(0xC0FFEE)
+        };
+        let rounds = 40;
+        let population = 24;
+        let inj = FaultInjector::from_spec(&spec, population, rounds);
+        let mut fast = MembershipRegistry::new(cfg(), population);
+        let mut shadow = ShadowRegistry::new(cfg(), population);
+        for round in 0..rounds {
+            let a = fast.begin_round(round, Some(&inj));
+            let b = shadow.begin_round(round, Some(&inj));
+            assert_eq!(a, b, "churn events diverged at round {round}");
+        }
+        // And the full lease state agrees, not just the event stream.
+        assert_eq!(fast.members, shadow.members);
+        assert_eq!(fast.next_id, shadow.next_id);
     }
 
     #[test]

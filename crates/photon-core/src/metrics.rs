@@ -74,6 +74,27 @@ pub struct RoundRecord {
     /// `None` when no deadline applied (including degraded rounds).
     #[serde(default)]
     pub effective_deadline_ms: Option<u64>,
+    /// Live sub-aggregator shards the cohort was partitioned over this
+    /// round (0 = flat single-level aggregation).
+    #[serde(default)]
+    pub shards: usize,
+    /// Shards whose slice was dropped for missing the per-shard quorum.
+    #[serde(default)]
+    pub shard_degraded: usize,
+    /// Sub-aggregator crashes this round (each kills its shard for good).
+    #[serde(default)]
+    pub shard_crashes: usize,
+    /// Sub-aggregator hangs this round (the slice is lost, shard recovers).
+    #[serde(default)]
+    pub shard_hangs: usize,
+    /// Cohort members routed to a foster shard because their home shard
+    /// is dead (crash re-parenting).
+    #[serde(default)]
+    pub reparented: usize,
+    /// Peak update vectors resident in any shard's streaming merge
+    /// (accumulator included); bounded by `max_resident`.
+    #[serde(default)]
+    pub peak_resident: usize,
 }
 
 /// The full record of a training run, with helpers used by the
@@ -170,6 +191,12 @@ mod tests {
             degraded: false,
             unreachable: 0,
             effective_deadline_ms: None,
+            shards: 0,
+            shard_degraded: 0,
+            shard_crashes: 0,
+            shard_hangs: 0,
+            reparented: 0,
+            peak_resident: 0,
         }
     }
 
@@ -187,7 +214,13 @@ mod tests {
             .replace("\"commit_deferred\": false,", "")
             .replace("\"degraded\": false,", "")
             .replace("\"unreachable\": 0,", "")
-            .replace("\"effective_deadline_ms\": null", "\"neutralized\": false");
+            .replace("\"shards\": 0,", "")
+            .replace("\"shard_degraded\": 0,", "")
+            .replace("\"shard_crashes\": 0,", "")
+            .replace("\"shard_hangs\": 0,", "")
+            .replace("\"reparented\": 0,", "")
+            .replace("\"peak_resident\": 0", "\"buffered\": 0")
+            .replace("\"effective_deadline_ms\": null,", "");
         let back: TrainingHistory = serde_json::from_str(&json).unwrap();
         assert_eq!(back, h, "serde defaults must reconstruct the record");
     }

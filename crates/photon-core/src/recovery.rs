@@ -168,6 +168,7 @@ where
                             fed.aggregator.params(),
                             Some(&fed.aggregator.server_opt_state()),
                             fed.aggregator.elastic_state().as_ref(),
+                            fed.aggregator.hierarchy_state().as_ref(),
                         )?;
                     }
                 }
@@ -347,6 +348,32 @@ fn write_metrics_json(
             .map_or("null".to_string(), |v| v.to_string())
     };
     let counters = telemetry.fault_counters();
+    // Live view of the sub-aggregator tree: `null` for flat runs, else the
+    // shard count, the permanently dead shards and the cumulative shard
+    // fault counters.
+    let hierarchy_json = match (
+        fed.aggregator.config().hierarchy.as_ref(),
+        fed.aggregator.hierarchy_state(),
+    ) {
+        (Some(hcfg), Some(state)) => format!(
+            "{{\"shards\": {}, \"max_resident\": {}, \"dead_shards\": [{}], \
+             \"shard_crashes\": {}, \"shard_hangs\": {}, \
+             \"shard_degraded\": {}, \"reparented\": {}}}",
+            hcfg.shards,
+            hcfg.max_resident,
+            state
+                .dead_shards
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            counters.shard_crashes,
+            counters.shard_hangs,
+            counters.shard_degraded,
+            counters.reparented,
+        ),
+        _ => "null".to_string(),
+    };
     let reconnects_json = telemetry
         .reconnects_by_client()
         .iter()
@@ -363,6 +390,7 @@ fn write_metrics_json(
          \"transport\": {{\"reconnects\": {}, \"heartbeat_misses\": {}, \
          \"session_resumes\": {}, \"coordinator_restarts\": {}, \
          \"reconnects_by_client\": {{{}}}}},\n\
+         \"hierarchy\": {},\n\
          \"fault_counters\": {},\n\"history\": {}\n}}\n",
         fed.aggregator.round(),
         telemetry.rounds_seen(),
@@ -382,6 +410,7 @@ fn write_metrics_json(
         counters.session_resumes,
         counters.coordinator_restarts,
         reconnects_json,
+        hierarchy_json,
         faults,
         history.to_json()
     );
@@ -401,6 +430,12 @@ fn restore_from(fed: &mut Federation, dir: &std::path::Path) -> Result<()> {
     // re-provisions deterministically from the run seed).
     if let Some(elastic) = load_elastic_state(dir)? {
         fed.aggregator.restore_elastic(&elastic)?;
+    }
+    // v5 checkpoints carry the sub-aggregator tree's dead-shard set; a
+    // resumed hierarchical run replays with the exact routing (including
+    // crash re-parenting) the crashed run had.
+    if let Some(hier) = crate::load_hierarchy_state(dir)? {
+        fed.aggregator.restore_hierarchy(&hier)?;
     }
     fed.sync_roster()
 }

@@ -144,6 +144,12 @@ proptest! {
                 degraded: false,
                 unreachable: 0,
                 effective_deadline_ms: None,
+                shards: 0,
+                shard_degraded: 0,
+                shard_crashes: 0,
+                shard_hangs: 0,
+                reparented: 0,
+                peak_resident: 0,
             });
         }
         let expected = ppls
@@ -157,5 +163,146 @@ proptest! {
                 prop_assert!(best <= *p + 1e-12);
             }
         }
+    }
+}
+
+// ---- Hierarchical aggregation properties -------------------------------
+
+use photon_core::{HierarchyConfig, ShardTree};
+use photon_fedopt::{canonical_fold, BufferedUpdate, ClientUpdate, UpdateBuffer};
+
+/// A pending buffer entry with a unique `(origin_round, client_id)` key.
+fn arb_entries() -> impl Strategy<Value = Vec<BufferedUpdate>> {
+    (1usize..12, 2usize..10).prop_flat_map(|(n, dim)| {
+        proptest::collection::vec(
+            (
+                0u64..4,
+                0.1f64..5.0,
+                proptest::collection::vec(-10.0f32..10.0, dim),
+            ),
+            n,
+        )
+        .prop_map(|rows| {
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, (origin, weight, delta))| BufferedUpdate {
+                    client_id: i as u32,
+                    origin_round: origin,
+                    arrival_round: origin,
+                    base_weight: weight,
+                    mean_loss: 1.0,
+                    delta,
+                })
+                .collect()
+        })
+    })
+}
+
+proptest! {
+    /// The streaming memory-bounded commit is bitwise identical to the
+    /// batch commit's canonical fold, for ANY permutation of arrival
+    /// order (as long as the residency bound admits every update).
+    #[test]
+    fn streaming_commit_matches_batch_commit_bitwise(
+        entries in arb_entries().prop_shuffle(),
+        decay in 0.0f64..2.0,
+    ) {
+        let n = entries.len();
+        let round = 4u64; // every entry has arrived by now
+        let mut batch_buf = UpdateBuffer::from_entries(entries.clone());
+        let mut stream_buf = UpdateBuffer::from_entries(entries);
+        let batch = batch_buf.commit(round, decay).expect("entries pending");
+        let (expect_delta, expect_weight) =
+            canonical_fold(&batch.updates).expect("non-empty batch");
+        let commit = stream_buf
+            .commit_streaming(round, decay, n + 1)
+            .expect("entries pending");
+        prop_assert!(commit.peak_resident <= n + 1);
+        prop_assert_eq!(commit.weight.to_bits(), expect_weight.to_bits());
+        prop_assert_eq!(commit.merged.len(), expect_delta.len());
+        for (i, (a, b)) in commit.merged.iter().zip(&expect_delta).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "coordinate {} differs", i);
+        }
+    }
+
+    /// On a homogeneous cohort (every client reports the same update with
+    /// the same weight), the two-level shard reduce is bitwise identical
+    /// to the flat mean — dead shards and re-parenting included, since a
+    /// mean of identical vectors is that vector at every tree level.
+    #[test]
+    fn shard_tree_reduce_matches_flat_mean_when_homogeneous(
+        shards in 2usize..8,
+        seed in any::<u64>(),
+        cohort_n in 1usize..64,
+        delta in proptest::collection::vec(-5.0f32..5.0, 2..12),
+        dead_picks in proptest::collection::vec(any::<u32>(), 0..3),
+    ) {
+        let cfg = HierarchyConfig { shards, ..HierarchyConfig::default() };
+        let mut tree = ShardTree::new(cfg, seed);
+        // Kill a strict subset of shards so every client still routes.
+        for pick in dead_picks {
+            if tree.live_count() > 1 {
+                tree.mark_crashed(pick % shards as u32);
+            }
+        }
+        let cohort: Vec<u32> = (0..cohort_n as u32).collect();
+        let part = tree.partition(&cohort);
+        prop_assert!(part.unrouted.is_empty());
+
+        let update = |_: u32| ClientUpdate::new(delta.clone(), 1.0).unwrap();
+        // Per-shard fold, then root fold over the shard aggregates.
+        let mut shard_updates = Vec::new();
+        for members in part.shards.values() {
+            if members.is_empty() {
+                continue;
+            }
+            let ups: Vec<ClientUpdate> = members.iter().map(|&m| update(m)).collect();
+            let (merged, weight) = canonical_fold(&ups).unwrap();
+            shard_updates.push(ClientUpdate::new(merged, weight).unwrap());
+        }
+        let (root, root_w) = canonical_fold(&shard_updates).unwrap();
+        // Flat mean over the whole cohort.
+        let flat_ups: Vec<ClientUpdate> = cohort.iter().map(|&m| update(m)).collect();
+        let (flat, flat_w) = canonical_fold(&flat_ups).unwrap();
+        prop_assert_eq!(root_w.to_bits(), flat_w.to_bits());
+        for (a, b) in root.iter().zip(&flat) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Re-parenting is a pure function of `(seed, dead set)`: a tree
+    /// rebuilt from checkpointed state — or one whose crashes were marked
+    /// in any other order — routes every client identically.
+    #[test]
+    fn reparenting_is_deterministic_in_seed_and_dead_set(
+        shards in 2usize..16,
+        seed in any::<u64>(),
+        dead in proptest::collection::vec(any::<u32>(), 1..5),
+    ) {
+        let cfg = HierarchyConfig { shards, ..HierarchyConfig::default() };
+        let mut tree = ShardTree::new(cfg, seed);
+        for &d in &dead {
+            if tree.live_count() > 1 {
+                tree.mark_crashed(d % shards as u32);
+            }
+        }
+        // The same final dead set, marked in reverse order.
+        let mut final_dead = tree.state().dead_shards;
+        final_dead.reverse();
+        let mut reversed = ShardTree::new(cfg, seed);
+        for d in final_dead {
+            reversed.mark_crashed(d);
+        }
+        prop_assert_eq!(reversed.state(), tree.state());
+        let rebuilt = ShardTree::from_state(cfg, seed, &tree.state());
+        let cohort: Vec<u32> = (0..200).collect();
+        for &id in &cohort {
+            prop_assert_eq!(tree.shard_of(id), reversed.shard_of(id));
+            prop_assert_eq!(tree.shard_of(id), rebuilt.shard_of(id));
+        }
+        let a = tree.partition(&cohort);
+        let b = rebuilt.partition(&cohort);
+        prop_assert_eq!(a.shards, b.shards);
+        prop_assert_eq!(a.reparented, b.reparented);
     }
 }

@@ -247,6 +247,83 @@ impl UpdateBuffer {
         Some(out)
     }
 
+    /// Streaming variant of [`commit`](UpdateBuffer::commit): drains the
+    /// same pending set, but instead of materializing a sorted batch it
+    /// feeds each entry — in arrival (insertion) order — through a
+    /// memory-bounded [`StreamingMerge`] and returns the folded aggregate
+    /// directly. The merge folds in canonical `(origin_round, client_id)`
+    /// order, so the result is **bitwise identical** to
+    /// [`canonical_fold`] over the batch [`commit`](UpdateBuffer::commit)
+    /// would have produced, for any arrival permutation that fits within
+    /// `max_resident`.
+    pub fn commit_streaming(
+        &mut self,
+        round: u64,
+        decay: f64,
+        max_resident: usize,
+    ) -> Option<StreamingCommit> {
+        let mut batch: Vec<BufferedUpdate> = Vec::new();
+        self.entries.retain_mut(|e| {
+            if e.arrival_round <= round {
+                batch.push(std::mem::replace(
+                    e,
+                    BufferedUpdate {
+                        client_id: 0,
+                        origin_round: 0,
+                        arrival_round: 0,
+                        base_weight: 0.0,
+                        mean_loss: 0.0,
+                        delta: Vec::new(),
+                    },
+                ));
+                false
+            } else {
+                true
+            }
+        });
+        if batch.is_empty() {
+            return None;
+        }
+        let mut commit_span = photon_trace::span(photon_trace::Phase::BufferCommit)
+            .arg("round", round)
+            .arg("updates", batch.len() as u64);
+        let mut expected: Vec<(u64, u32)> = batch
+            .iter()
+            .map(|e| (e.origin_round, e.client_id))
+            .collect();
+        expected.sort_unstable();
+        let mut merge = StreamingMerge::new(expected, max_resident);
+        let mut out = StreamingCommit {
+            client_ids: Vec::with_capacity(batch.len()),
+            origin_rounds: Vec::with_capacity(batch.len()),
+            losses: Vec::with_capacity(batch.len()),
+            stale: 0,
+            merged: Vec::new(),
+            weight: 0.0,
+            peak_resident: 0,
+        };
+        for entry in batch {
+            let s = entry.staleness_at(round);
+            if s > 0 {
+                out.stale += 1;
+            }
+            let weight = entry.base_weight * staleness_factor(s, decay);
+            let update = ClientUpdate::new(entry.delta, weight)
+                .expect("staleness scaling preserves weight validity");
+            out.client_ids.push(entry.client_id);
+            out.origin_rounds.push(entry.origin_round);
+            out.losses.push(entry.mean_loss);
+            merge.push((entry.origin_round, entry.client_id), update);
+        }
+        commit_span.set_arg("stale", out.stale as u64);
+        photon_trace::counter_add("buffer.committed_updates", out.client_ids.len() as u64);
+        out.peak_resident = merge.peak_resident();
+        let (merged, weight) = merge.finish()?;
+        out.merged = merged;
+        out.weight = weight;
+        Some(out)
+    }
+
     /// Total buffered updates (pending plus deferred).
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -265,6 +342,238 @@ impl UpdateBuffer {
     /// Rebuilds a buffer from checkpointed entries.
     pub fn from_entries(entries: Vec<BufferedUpdate>) -> Self {
         UpdateBuffer { entries }
+    }
+}
+
+/// The result of a streaming commit: the same metadata a [`CommitBatch`]
+/// carries, with the updates already folded into one aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingCommit {
+    /// Sender ids, in arrival order.
+    pub client_ids: Vec<u32>,
+    /// Origin rounds, parallel to `client_ids`.
+    pub origin_rounds: Vec<u64>,
+    /// Reported mean losses, parallel to `client_ids`.
+    pub losses: Vec<f32>,
+    /// How many committed updates were stale.
+    pub stale: usize,
+    /// The folded weighted mean (canonical summation order).
+    pub merged: Vec<f32>,
+    /// Total (staleness-scaled) weight behind `merged`.
+    pub weight: f64,
+    /// Most full update vectors the merge held at once.
+    pub peak_resident: usize,
+}
+
+/// The canonical reference fold the streaming merge reproduces: weights
+/// and weighted deltas are accumulated in f64 **in slice order**, then the
+/// sum is normalized once and cast to f32. Hierarchical shard merges and
+/// the root reduce both use this fold, so a shard tree over a canonically
+/// sorted cohort is a pure re-bracketing of the same f64 operations.
+/// Returns `(weighted_mean, total_weight)`, or `None` for an empty slice.
+pub fn canonical_fold(updates: &[ClientUpdate]) -> Option<(Vec<f32>, f64)> {
+    let first = updates.first()?;
+    let mut acc = vec![0.0f64; first.delta.len()];
+    let mut total_w = 0.0f64;
+    for u in updates {
+        assert_eq!(u.delta.len(), acc.len(), "delta length mismatch");
+        total_w += u.weight;
+        for (a, &d) in acc.iter_mut().zip(&u.delta) {
+            *a += u.weight * d as f64;
+        }
+    }
+    Some((
+        acc.into_iter().map(|v| (v / total_w) as f32).collect(),
+        total_w,
+    ))
+}
+
+/// The outcome of offering one update to a [`StreamingMerge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamPush {
+    /// Folded into the accumulator (possibly unblocking held residents).
+    Folded,
+    /// Held resident, waiting for canonically earlier arrivals.
+    Held,
+    /// Dropped: its canonical slot is behind the fold frontier (already
+    /// folded, or abandoned to keep residency bounded).
+    LateDropped,
+    /// Rejected: key not expected, or a duplicate of a held resident.
+    Unexpected,
+}
+
+/// A streaming, memory-bounded weighted merge with a canonical summation
+/// order — the per-shard fold of the hierarchical aggregation tree.
+///
+/// Updates are declared up front as a sorted set of expected
+/// `(origin_round, client_id)` keys and may then arrive in any order. An
+/// arrival matching the fold frontier is folded immediately (and unblocks
+/// any held successors); an out-of-order arrival is held resident. The
+/// fold therefore consumes updates in exactly the canonical sorted order,
+/// making the result bitwise identical to [`canonical_fold`] over the
+/// sorted batch — while never holding more than `max_resident` full
+/// update vectors (the running accumulator counts as one).
+///
+/// When an arrival would exceed the bound, the merge *abandons* the
+/// missing keys before its canonically-smallest resident and folds that
+/// resident instead; an abandoned key that later arrives is counted and
+/// dropped. Abandonment is deterministic in the arrival order, so runs
+/// replay bit-identically.
+#[derive(Debug, Clone)]
+pub struct StreamingMerge {
+    expected: Vec<(u64, u32)>,
+    next: usize,
+    held: std::collections::BTreeMap<(u64, u32), ClientUpdate>,
+    acc: Vec<f64>,
+    weight_sum: f64,
+    folded: usize,
+    abandoned: usize,
+    late_drops: usize,
+    peak_resident: usize,
+    max_resident: usize,
+}
+
+impl StreamingMerge {
+    /// Creates a merge over a **sorted, duplicate-free** expected key set.
+    /// `max_resident` is clamped to at least 2 (accumulator + one held
+    /// vector).
+    ///
+    /// # Panics
+    /// Panics if `expected` is not strictly ascending.
+    pub fn new(expected: Vec<(u64, u32)>, max_resident: usize) -> Self {
+        assert!(
+            expected.windows(2).all(|w| w[0] < w[1]),
+            "expected keys must be strictly ascending"
+        );
+        StreamingMerge {
+            expected,
+            next: 0,
+            held: std::collections::BTreeMap::new(),
+            acc: Vec::new(),
+            weight_sum: 0.0,
+            folded: 0,
+            abandoned: 0,
+            late_drops: 0,
+            peak_resident: 1,
+            max_resident: max_resident.max(2),
+        }
+    }
+
+    /// Offers one update for `key`.
+    pub fn push(&mut self, key: (u64, u32), update: ClientUpdate) -> StreamPush {
+        if self.expected.binary_search(&key).is_err() {
+            return StreamPush::Unexpected;
+        }
+        if self.next >= self.expected.len() || key < self.expected[self.next] {
+            self.late_drops += 1;
+            return StreamPush::LateDropped;
+        }
+        if key == self.expected[self.next] {
+            self.fold(update);
+            self.next += 1;
+            self.drain_held();
+            return StreamPush::Folded;
+        }
+        if self.held.contains_key(&key) {
+            return StreamPush::Unexpected;
+        }
+        // Out of canonical order: hold, evicting through abandonment if
+        // the residency bound (held vectors + the accumulator) is hit.
+        if self.held.len() + 1 >= self.max_resident {
+            self.make_room();
+            // The frontier may have advanced past this key's slot (or past
+            // the whole expected set).
+            if self.next >= self.expected.len() || key < self.expected[self.next] {
+                self.late_drops += 1;
+                return StreamPush::LateDropped;
+            }
+            if key == self.expected[self.next] {
+                self.fold(update);
+                self.next += 1;
+                self.drain_held();
+                return StreamPush::Folded;
+            }
+        }
+        self.held.insert(key, update);
+        self.peak_resident = self.peak_resident.max(self.held.len() + 1);
+        StreamPush::Held
+    }
+
+    /// Folds everything still held (in canonical order) and returns the
+    /// weighted mean plus the total folded weight; `None` if nothing was
+    /// ever folded.
+    pub fn finish(mut self) -> Option<(Vec<f32>, f64)> {
+        while let Some((key, update)) = self.held.pop_first() {
+            while self.expected[self.next] != key {
+                self.abandoned += 1;
+                self.next += 1;
+            }
+            self.fold(update);
+            self.next += 1;
+        }
+        if self.folded == 0 {
+            return None;
+        }
+        let w = self.weight_sum;
+        Some((self.acc.into_iter().map(|v| (v / w) as f32).collect(), w))
+    }
+
+    /// Number of updates folded so far.
+    pub fn folded(&self) -> usize {
+        self.folded
+    }
+
+    /// Most full update vectors resident at once (held + accumulator).
+    pub fn peak_resident(&self) -> usize {
+        self.peak_resident
+    }
+
+    /// Expected keys abandoned to keep residency bounded.
+    pub fn abandoned(&self) -> usize {
+        self.abandoned
+    }
+
+    /// Arrivals dropped because their canonical slot was already behind
+    /// the fold frontier.
+    pub fn late_drops(&self) -> usize {
+        self.late_drops
+    }
+
+    fn fold(&mut self, update: ClientUpdate) {
+        if self.acc.is_empty() {
+            self.acc = vec![0.0f64; update.delta.len()];
+        }
+        assert_eq!(update.delta.len(), self.acc.len(), "delta length mismatch");
+        self.weight_sum += update.weight;
+        for (a, &d) in self.acc.iter_mut().zip(&update.delta) {
+            *a += update.weight * d as f64;
+        }
+        self.folded += 1;
+    }
+
+    fn drain_held(&mut self) {
+        while self.next < self.expected.len() {
+            match self.held.remove(&self.expected[self.next]) {
+                Some(update) => {
+                    self.fold(update);
+                    self.next += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Folds the canonically-smallest held resident, abandoning the
+    /// not-yet-arrived expected keys before it.
+    fn make_room(&mut self) {
+        let (key, update) = self.held.pop_first().expect("make_room on empty held set");
+        while self.expected[self.next] != key {
+            self.abandoned += 1;
+            self.next += 1;
+        }
+        self.fold(update);
+        self.next += 1;
+        self.drain_held();
     }
 }
 
@@ -374,6 +683,98 @@ mod tests {
             aggregate_deltas(&sync),
             "buffered zero-staleness commit must be bitwise synchronous"
         );
+    }
+
+    #[test]
+    fn streaming_merge_matches_canonical_fold_for_any_arrival_order() {
+        let keys: Vec<(u64, u32)> = (0u32..6).map(|c| (4u64, c)).collect();
+        let updates: Vec<ClientUpdate> = (0..6)
+            .map(|i| {
+                ClientUpdate::new(
+                    vec![0.1 + i as f32 * 0.37, -1.5 * i as f32, i as f32 * 0.001],
+                    1.0 + i as f64 * 0.25,
+                )
+                .unwrap()
+            })
+            .collect();
+        let (want, want_w) = canonical_fold(&updates).unwrap();
+        // Several arrival permutations, all with enough residency.
+        for order in [
+            vec![0usize, 1, 2, 3, 4, 5],
+            vec![5, 4, 3, 2, 1, 0],
+            vec![2, 0, 5, 1, 4, 3],
+            vec![3, 5, 0, 4, 2, 1],
+        ] {
+            let mut m = StreamingMerge::new(keys.clone(), 16);
+            for &i in &order {
+                assert_ne!(m.push(keys[i], updates[i].clone()), StreamPush::Unexpected);
+            }
+            let (got, got_w) = m.finish().unwrap();
+            assert_eq!(got, want, "order {order:?}");
+            assert_eq!(got_w, want_w);
+        }
+    }
+
+    #[test]
+    fn streaming_merge_enforces_the_residency_bound() {
+        let keys: Vec<(u64, u32)> = (0u32..8).map(|c| (0u64, c)).collect();
+        let u = |v: f32| ClientUpdate::new(vec![v], 1.0).unwrap();
+        // Worst case: reverse arrival order with a tight bound.
+        let mut m = StreamingMerge::new(keys.clone(), 3);
+        for c in (0u32..8).rev() {
+            m.push((0, c), u(c as f32));
+        }
+        assert!(m.peak_resident() <= 3, "peak {}", m.peak_resident());
+        assert!(m.folded() > 0, "eviction must fold, not drop");
+        let late = m.late_drops();
+        let folded = m.folded();
+        let (got, w) = m.finish().unwrap();
+        assert_eq!(got.len(), 1);
+        // Every arrival was either folded or deterministically dropped as
+        // late (its slot abandoned by an earlier eviction), and the folded
+        // weight counts exactly the folded arrivals.
+        assert_eq!(folded + late, 8);
+        assert_eq!(w, folded as f64);
+    }
+
+    #[test]
+    fn streaming_merge_late_and_duplicate_arrivals_are_counted() {
+        let keys = vec![(0u64, 0u32), (0, 1), (0, 2)];
+        let u = |v: f32| ClientUpdate::new(vec![v], 1.0).unwrap();
+        let mut m = StreamingMerge::new(keys, 8);
+        assert_eq!(m.push((0, 1), u(1.0)), StreamPush::Held);
+        assert_eq!(m.push((0, 1), u(1.0)), StreamPush::Unexpected);
+        assert_eq!(m.push((0, 0), u(0.0)), StreamPush::Folded);
+        assert_eq!(m.folded(), 2, "held successor drained");
+        assert_eq!(m.push((0, 0), u(9.0)), StreamPush::LateDropped);
+        assert_eq!(m.push((9, 9), u(9.0)), StreamPush::Unexpected);
+        assert_eq!(m.late_drops(), 1);
+        let (_, w) = m.finish().unwrap();
+        assert_eq!(w, 2.0);
+    }
+
+    #[test]
+    fn commit_streaming_matches_batch_commit_bitwise() {
+        let mk = |buf: &mut UpdateBuffer| {
+            // Mixed origins and arrival order: entries 2, 0, 1 with one
+            // stale update, committed at round 5.
+            buf.push(entry(2, 5, 5, vec![2.0, -0.5]));
+            buf.push(entry(0, 4, 5, vec![0.25, 1.0]));
+            buf.push(entry(1, 5, 5, vec![-1.0, 3.0]));
+            buf.push(entry(3, 5, 9, vec![9.0, 9.0])); // deferred
+        };
+        let mut batch_buf = UpdateBuffer::new();
+        mk(&mut batch_buf);
+        let mut stream_buf = batch_buf.clone();
+        let batch = batch_buf.commit(5, 0.7).unwrap();
+        let (want, want_w) = canonical_fold(&batch.updates).unwrap();
+        let got = stream_buf.commit_streaming(5, 0.7, 8).unwrap();
+        assert_eq!(got.merged, want);
+        assert_eq!(got.weight, want_w);
+        assert_eq!(got.stale, batch.stale);
+        assert!(got.peak_resident <= 8);
+        assert_eq!(stream_buf.len(), 1, "deferred entry survives");
+        assert!(stream_buf.commit_streaming(5, 0.7, 8).is_none());
     }
 
     #[test]

@@ -347,7 +347,16 @@ fn connection_loop(
                     std::thread::sleep(Duration::from_millis(opts.hang_ms));
                     hb_hang.store(false, Ordering::SeqCst);
                 }
-                let outcome = client.run_round(&params, round, &[me], &p.cfg);
+                let outcome = match client.run_round(&params, round, &[me], &p.cfg) {
+                    Ok(outcome) => outcome,
+                    Err(e) => {
+                        // Local compute is broken (a sub-federation node
+                        // died); reconnecting would only re-fail. Bow out
+                        // and let the coordinator's quorum absorb it.
+                        eprintln!("client {me}: round {round} failed locally: {e}");
+                        return ConnOutcome::Shutdown;
+                    }
+                };
                 report.rounds_trained += 1;
                 let result = Message::ClientResult {
                     round,

@@ -674,6 +674,7 @@ fn commit_round(
             agg.params(),
             Some(&agg.server_opt_state()),
             None,
+            agg.hierarchy_state().as_ref(),
         )?;
     }
     // Ack-after-commit: the results are durable now.

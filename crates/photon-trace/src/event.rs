@@ -53,6 +53,10 @@ pub enum Phase {
     /// A coordinator crash-restart: state machine restored from the
     /// checkpoint and live clients re-synchronized.
     CoordRestart,
+    /// One sub-aggregator shard's streaming merge of its cohort slice.
+    ShardMerge,
+    /// A shard slice dropped this round (crash, hang or quorum miss).
+    ShardDegraded,
 }
 
 /// Coarse roll-up groups for the phase-profile report.
@@ -74,7 +78,7 @@ pub enum PhaseGroup {
 
 impl Phase {
     /// Every phase, in report order.
-    pub const ALL: [Phase; 21] = [
+    pub const ALL: [Phase; 23] = [
         Phase::Round,
         Phase::LocalStep,
         Phase::KernelGemm,
@@ -96,6 +100,8 @@ impl Phase {
         Phase::DegradedRound,
         Phase::SessionResume,
         Phase::CoordRestart,
+        Phase::ShardMerge,
+        Phase::ShardDegraded,
     ];
 
     /// Stable snake_case name (used as the JSONL `name` default, the
@@ -123,6 +129,8 @@ impl Phase {
             Phase::DegradedRound => "degraded_round",
             Phase::SessionResume => "session_resume",
             Phase::CoordRestart => "coord_restart",
+            Phase::ShardMerge => "shard_merge",
+            Phase::ShardDegraded => "shard_degraded",
         }
     }
 
@@ -140,9 +148,12 @@ impl Phase {
             | Phase::LinkRetransmit
             | Phase::NetPartition
             | Phase::SessionResume => PhaseGroup::Comms,
-            Phase::GuardScreen | Phase::RobustMerge | Phase::BufferCommit | Phase::ServerOpt => {
-                PhaseGroup::Aggregation
-            }
+            Phase::GuardScreen
+            | Phase::RobustMerge
+            | Phase::BufferCommit
+            | Phase::ServerOpt
+            | Phase::ShardMerge
+            | Phase::ShardDegraded => PhaseGroup::Aggregation,
             Phase::CheckpointSave
             | Phase::CheckpointRestore
             | Phase::Rollback

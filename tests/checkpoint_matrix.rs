@@ -77,6 +77,7 @@ fn make_checkpoint(name: &str, version: u32) -> PathBuf {
         &params,
         (version >= 2).then_some(&opt),
         elastic.as_ref(),
+        None,
     )
     .unwrap();
 
@@ -180,7 +181,7 @@ fn v4_bf16_storage_restores_within_half_precision() {
     let (fed, _) = build_iid_federation(&cfg, 2_000).unwrap();
     let params: Vec<f32> = fed.aggregator.params().to_vec();
     let dir = tmp_dir("v4-bf16");
-    save_checkpoint_full(&dir, &cfg, 2, &params, None, None).unwrap();
+    save_checkpoint_full(&dir, &cfg, 2, &params, None, None, None).unwrap();
 
     let (manifest, loaded) = load_checkpoint(&dir).unwrap();
     assert_eq!(manifest.dtype, photon_tensor::Dtype::Bf16);

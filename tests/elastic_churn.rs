@@ -145,6 +145,7 @@ fn restore_resumes_with_a_roster_that_changed_since_the_checkpoint() {
                 straight.aggregator.params(),
                 Some(&straight.aggregator.server_opt_state()),
                 straight.aggregator.elastic_state().as_ref(),
+                None,
             )
             .unwrap();
         }

@@ -107,6 +107,21 @@ pub mod strategy {
             Map { inner: self, f }
         }
 
+        fn prop_flat_map<O: Strategy, F: Fn(Self::Value) -> O>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Fisher–Yates shuffle of a `Vec`-valued strategy's output.
+        fn prop_shuffle(self) -> Shuffle<Self>
+        where
+            Self: Sized,
+        {
+            Shuffle { inner: self }
+        }
+
         fn prop_filter<F: Fn(&Self::Value) -> bool>(
             self,
             reason: impl Into<String>,
@@ -321,6 +336,37 @@ pub mod strategy {
         type Value = O;
         fn sample(&self, rng: &mut TestRng) -> O {
             (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+        type Value = O::Value;
+        fn sample(&self, rng: &mut TestRng) -> O::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    pub struct Shuffle<S> {
+        pub(crate) inner: S,
+    }
+
+    impl<S, T> Strategy for Shuffle<S>
+    where
+        S: Strategy<Value = Vec<T>>,
+    {
+        type Value = Vec<T>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<T> {
+            let mut v = self.inner.sample(rng);
+            for i in (1..v.len()).rev() {
+                let j = rng.below(i as u64 + 1) as usize;
+                v.swap(i, j);
+            }
+            v
         }
     }
 
