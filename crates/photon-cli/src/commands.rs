@@ -784,6 +784,17 @@ OPTIONS:
     --round-timeout-ms N       per-round result deadline     [30000]
     --heartbeat-timeout-ms N   quiet-connection miss window  [500]
     --metrics-json PATH        metrics snapshot after every commit
+    --health-port N            serve GET /metrics (Prometheus text) and
+                               GET /health (JSON) on 127.0.0.1:N for the
+                               lifetime of the run (0 = ephemeral port)
+    --trace-jsonl PATH         this process's trace shard as JSON lines;
+                               frames to/from clients carry span contexts
+                               so `photon trace merge` can join the
+                               per-process shards into one timeline
+    --metrics-text PATH        Prometheus text snapshot per commit
+    --flight-dir DIR           crash flight recorder: on panic or an
+                               injected coordkill, dump the last spans
+                               to DIR/flight-<pid>.jsonl
     --faults SPEC              process faults: netcrash@rNcM (client
                                severs its socket mid-round),
                                nethang@rNcM (client goes silent),
@@ -792,12 +803,44 @@ OPTIONS:
     plus the model/optimizer options of `photon train` (--model,
     --clients, --local-steps, --batch, --seed, --tokens-per-client, ...)";
 
+/// Switches the recorder on for a multi-process entry point (real
+/// monotonic clock — shards from different processes are aligned later
+/// by `photon trace merge` via the handshake offset estimate) and arms
+/// the crash flight recorder when `--flight-dir` asks for one.
+fn init_process_observability(args: &Args) -> Result<bool, String> {
+    let trace_jsonl = args.get("trace-jsonl").map(PathBuf::from);
+    let metrics_text = args.get("metrics-text").map(PathBuf::from);
+    let tracing_on = trace_jsonl.is_some() || metrics_text.is_some();
+    if tracing_on {
+        photon_trace::init(photon_trace::TraceConfig {
+            jsonl: trace_jsonl,
+            prometheus: metrics_text,
+            kernel_events: args.flag("trace-kernels"),
+            clock: photon_trace::ClockMode::Monotonic,
+        })
+        .map_err(|e| format!("cannot initialize tracing: {e}"))?;
+    }
+    if let Some(dir) = args.get("flight-dir") {
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create --flight-dir {}: {e}", dir.display()))?;
+        let path = dir.join(format!("flight-{}.jsonl", std::process::id()));
+        photon_trace::flight_init(&path);
+        photon_trace::flight_install_panic_hook();
+    }
+    Ok(tracing_on)
+}
+
 /// `photon serve`.
 pub fn serve(args: &Args) -> Result<(), String> {
     if args.flag("help") {
         println!("{SERVE_HELP}");
         return Ok(());
     }
+    let tracing_on = init_process_observability(args)?;
+    // Flush the shard even when serve() errors or an injected fault cuts
+    // the run short mid-round.
+    let _flush = tracing_on.then(photon_trace::flush_guard);
     let mut cfg = config_from_args(args)?;
     // Multi-process rounds always tolerate partial cohorts: a client can
     // die mid-round and the deadline path must still commit.
@@ -827,6 +870,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
         heartbeat_timeout_ms: args.get_parsed("heartbeat-timeout-ms", 500)?,
         metrics_json: args.get("metrics-json").map(PathBuf::from),
         stop_after_rounds: None,
+        health_port: args.get_opt_parsed("health-port")?,
     };
     let report = photon_net::serve(&opts).map_err(|e| e.to_string())?;
     if let Some(from) = report.resumed_from {
@@ -861,7 +905,13 @@ OPTIONS:
     --hang-ms N             nethang silence length [1500]
     --session-file PATH     persist the session identity so a killed
                             and restarted client process resumes its
-                            session instead of re-joining";
+                            session instead of re-joining
+    --trace-jsonl PATH      this process's trace shard as JSON lines,
+                            mergeable with the coordinator's shard via
+                            `photon trace merge`
+    --metrics-text PATH     Prometheus text snapshot on flush
+    --flight-dir DIR        dump the last spans to
+                            DIR/flight-<pid>.jsonl on panic";
 
 /// `photon client`.
 pub fn client(args: &Args) -> Result<(), String> {
@@ -869,6 +919,8 @@ pub fn client(args: &Args) -> Result<(), String> {
         println!("{CLIENT_HELP}");
         return Ok(());
     }
+    let tracing_on = init_process_observability(args)?;
+    let _flush = tracing_on.then(photon_trace::flush_guard);
     let opts = photon_net::ClientOptions {
         addr: args.get_or("addr", "127.0.0.1:7700").to_string(),
         heartbeat_interval_ms: args.get_parsed("heartbeat-ms", 100)?,
@@ -886,6 +938,91 @@ pub fn client(args: &Args) -> Result<(), String> {
         report.reconnects,
         report.resumed_sessions,
         report.clean_shutdown
+    );
+    Ok(())
+}
+
+const TRACE_HELP: &str = "photon trace — distributed-trace tooling
+
+ACTIONS:
+    merge    join per-process trace shards into one timeline
+
+`photon trace merge` aligns every shard onto the coordinator's clock
+(each shard's process_meta line carries the offset its process estimated
+during the session handshake), interleaves the events into one
+chrome://tracing-compatible JSONL stream, and reports how many
+cross-process send/recv edges found both endpoints.
+
+OPTIONS:
+    --inputs A,B,...   comma-separated shard paths
+    --dir DIR          also merge every *.jsonl in DIR
+                       (flight-*.jsonl crash dumps are skipped)
+    --out PATH         write the merged timeline here [stdout]";
+
+/// `photon trace <action>`.
+pub fn trace(args: &Args, action: Option<&str>) -> Result<(), String> {
+    if args.flag("help") || action.is_none() {
+        println!("{TRACE_HELP}");
+        return match action {
+            None if !args.flag("help") => Err("missing trace action (try `merge`)".into()),
+            _ => Ok(()),
+        };
+    }
+    match action.unwrap() {
+        "merge" => trace_merge(args),
+        other => Err(format!("unknown trace action {other:?}\n\n{TRACE_HELP}")),
+    }
+}
+
+/// `photon trace merge`.
+fn trace_merge(args: &Args) -> Result<(), String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    if let Some(list) = args.get("inputs") {
+        paths.extend(list.split(',').filter(|p| !p.is_empty()).map(PathBuf::from));
+    }
+    if let Some(dir) = args.get("dir") {
+        let mut found: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| format!("cannot read --dir {dir}: {e}"))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| {
+                let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                name.ends_with(".jsonl") && !name.starts_with("flight-")
+            })
+            .collect();
+        found.sort();
+        paths.extend(found);
+    }
+    if paths.is_empty() {
+        return Err("no shards: pass --inputs and/or --dir".into());
+    }
+    let mut shards = Vec::with_capacity(paths.len());
+    for path in &paths {
+        shards.push(
+            std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read shard {}: {e}", path.display()))?,
+        );
+    }
+    let merged =
+        photon_trace::merge_shards(&shards).map_err(|e| format!("cannot merge shards: {e}"))?;
+    let stats = photon_trace::net_edge_stats(&merged);
+    match args.get("out") {
+        Some(out) => {
+            photon_trace::atomic_write(Path::new(out), &merged)
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
+            eprintln!(
+                "merged {} shard(s), {} event(s) -> {out}",
+                shards.len(),
+                merged.lines().count()
+            );
+        }
+        None => print!("{merged}"),
+    }
+    eprintln!(
+        "net edges: {} send(s), {} recv(s), {} matched ({:.1}%)",
+        stats.sends,
+        stats.recvs,
+        stats.matched,
+        stats.matched_frac() * 100.0
     );
     Ok(())
 }

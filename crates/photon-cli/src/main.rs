@@ -8,6 +8,8 @@
 //! * `plan`       — hardware planning for the paper's deployments
 //! * `generate`   — sample text from a checkpointed model
 //! * `downstream` — run the synthetic in-context evaluation suite
+//! * `trace`      — distributed-trace tooling (`trace merge` joins
+//!   per-process JSONL shards into one chrome://tracing timeline)
 //!
 //! Run `photon --help` or `photon <command> --help` for options.
 
@@ -28,14 +30,22 @@ COMMANDS:
     plan        hardware planning for a paper model size
     generate    sample text from a checkpointed model
     downstream  score a checkpointed model on the synthetic eval suite
+    trace       distributed-trace tooling (`photon trace merge`)
 
 Run `photon <command> --help` for command options.";
 
 fn main() -> ExitCode {
-    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() || raw[0] == "--help" || raw[0] == "help" {
         println!("{USAGE}");
         return ExitCode::SUCCESS;
+    }
+    // `photon trace <action> [options]`: peel the action positional off
+    // before the option parser (which only accepts `--key` tokens after
+    // the subcommand).
+    let mut action = None;
+    if raw[0] == "trace" && raw.len() > 1 && !raw[1].starts_with("--") {
+        action = Some(raw.remove(1));
     }
     let args = match Args::parse(raw) {
         Ok(a) => a,
@@ -52,6 +62,7 @@ fn main() -> ExitCode {
         "plan" => commands::plan(&args),
         "generate" => commands::generate(&args),
         "downstream" => commands::downstream(&args),
+        "trace" => commands::trace(&args, action.as_deref()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     };
     match result {

@@ -1,0 +1,358 @@
+//! End-to-end distributed observability: a real 1-coordinator /
+//! N-client run over localhost TCP with injected faults, whose
+//! per-process trace shards must merge into one chrome://tracing
+//! timeline with paired send/recv edges; whose live health endpoint
+//! must serve lint-clean Prometheus text mid-run; and whose coordinator,
+//! killed by an injected `coordkill`, must leave a parseable flight
+//! recorder dump behind.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_photon");
+
+/// Reserves a localhost port (bind, read, release).
+fn free_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+        .port()
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "photon-dtrace-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Waits for a child and returns (success, stdout+stderr).
+fn finish(child: Child) -> (bool, String) {
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    (out.status.success(), format!("{stdout}\n{stderr}"))
+}
+
+/// Extracts `"key":<integer>` from a JSONL event line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let digits: String = line[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// One retrying HTTP/1.0 GET against the health endpoint; returns the
+/// body once a 200 arrives within the budget.
+fn http_get(port: u16, path: &str, budget: Duration) -> String {
+    let start = Instant::now();
+    loop {
+        if let Ok(mut stream) = TcpStream::connect(("127.0.0.1", port)) {
+            let _ = stream.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes());
+            let mut response = String::new();
+            if stream.read_to_string(&mut response).is_ok() && response.starts_with("HTTP/1.0 200")
+            {
+                if let Some(at) = response.find("\r\n\r\n") {
+                    return response[at + 4..].to_string();
+                }
+            }
+        }
+        assert!(
+            start.elapsed() < budget,
+            "no 200 from 127.0.0.1:{port}{path} within {budget:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Prometheus text-format lint: every non-empty line is a `# HELP`, a
+/// `# TYPE`, or a `name[{labels}] value` sample whose value parses.
+fn lint_prometheus(text: &str) {
+    assert!(!text.trim().is_empty(), "empty metrics body");
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        if let Some(rest) = line.strip_prefix("# ") {
+            assert!(
+                rest.starts_with("HELP ") || rest.starts_with("TYPE "),
+                "bad comment line: {line}"
+            );
+            continue;
+        }
+        let (name_part, value) = line.rsplit_once(' ').expect("sample must have a value");
+        let name = name_part.split('{').next().unwrap();
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.'),
+            "bad metric name in: {line}"
+        );
+        if name_part.contains('{') {
+            assert!(name_part.ends_with('}'), "unterminated labels: {line}");
+        }
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable sample value in: {line}"
+        );
+    }
+}
+
+fn spawn_client(addr: &str, trace: &Path, session: &Path) -> Child {
+    let mut cmd = Command::new(BIN);
+    cmd.args(["client", "--addr", addr, "--max-attempts", "200"])
+        .arg("--trace-jsonl")
+        .arg(trace)
+        .arg("--session-file")
+        .arg(session)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    cmd.spawn().unwrap()
+}
+
+#[test]
+fn traced_run_merges_with_paired_edges_and_live_health() {
+    let dir = scratch_dir("merge");
+    let port = free_port();
+    let health_port = free_port();
+    let addr = format!("127.0.0.1:{port}");
+
+    let mut serve = Command::new(BIN);
+    serve
+        .args([
+            "serve",
+            "--addr",
+            &addr,
+            "--clients",
+            "3",
+            "--rounds",
+            "4",
+            "--local-steps",
+            "4",
+            "--tokens-per-client",
+            "2000",
+            // A long warmup guarantees a scrape window while the health
+            // endpoint is provably live and the run has not finished.
+            "--warmup-ms",
+            "1500",
+            "--cooldown-ms",
+            "100",
+            "--round-timeout-ms",
+            "8000",
+            "--health-port",
+            &health_port.to_string(),
+            "--faults",
+            "netcrash@r1c0",
+        ])
+        .arg("--trace-jsonl")
+        .arg(dir.join("serve.jsonl"))
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    let serve = serve.spawn().unwrap();
+
+    let clients: Vec<Child> = (0..3)
+        .map(|i| {
+            spawn_client(
+                &addr,
+                &dir.join(format!("client{i}.jsonl")),
+                &dir.join(format!("session-{i}")),
+            )
+        })
+        .collect();
+
+    // Mid-run health scrape: Prometheus text must lint clean and the
+    // JSON snapshot must parse as far as our field scanner needs.
+    let metrics = http_get(health_port, "/metrics", Duration::from_secs(30));
+    lint_prometheus(&metrics);
+    assert!(
+        metrics.contains("photon_coord_round"),
+        "coordinator gauges missing:\n{metrics}"
+    );
+    let health = http_get(health_port, "/health", Duration::from_secs(10));
+    assert!(
+        health.trim_start().starts_with('{') && health.trim_end().ends_with('}'),
+        "health JSON malformed:\n{health}"
+    );
+
+    let (ok, serve_out) = finish(serve);
+    assert!(ok, "serve failed:\n{serve_out}");
+    for c in clients {
+        let (ok, out) = finish(c);
+        assert!(ok && out.contains("clean shutdown: true"), "{out}");
+    }
+
+    // Merge the shards through the CLI and validate the timeline.
+    let merged_path = dir.join("merged.jsonl");
+    let merge = Command::new(BIN)
+        .args(["trace", "merge"])
+        .arg("--dir")
+        .arg(&dir)
+        .arg("--out")
+        .arg(&merged_path)
+        .output()
+        .unwrap();
+    assert!(
+        merge.status.success(),
+        "trace merge failed: {}",
+        String::from_utf8_lossy(&merge.stderr)
+    );
+    let merged = std::fs::read_to_string(&merged_path).unwrap();
+
+    // Every line is a JSON object with the chrome://tracing fields, and
+    // timestamps are sorted.
+    let mut last_ts = -1i64;
+    let mut metas = 0usize;
+    for line in merged.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not a JSON object: {line}"
+        );
+        for key in ["\"name\":", "\"ph\":", "\"ts\":", "\"pid\":"] {
+            assert!(line.contains(key), "missing {key} in: {line}");
+        }
+        if line.contains("\"name\":\"process_meta\"") {
+            metas += 1;
+            continue;
+        }
+        let ts = field_u64(line, "ts").expect("event ts") as i64;
+        assert!(ts >= last_ts, "timestamps not sorted: {ts} after {last_ts}");
+        last_ts = ts;
+    }
+    assert_eq!(
+        metas, 4,
+        "one process_meta per process (1 serve + 3 clients)"
+    );
+
+    // >= 95% of send edges must have found their recv endpoint.
+    let mut sends = Vec::new();
+    let mut recvs = Vec::new();
+    for line in merged.lines() {
+        let key = (field_u64(line, "origin"), field_u64(line, "seq"));
+        if line.contains("\"name\":\"net_send\"") {
+            sends.push(key);
+        } else if line.contains("\"name\":\"net_recv\"") {
+            recvs.push(key);
+        }
+    }
+    assert!(
+        !sends.is_empty(),
+        "no net_send edges in the merged timeline"
+    );
+    let matched = sends.iter().filter(|k| recvs.contains(k)).count();
+    assert!(
+        matched * 100 >= sends.len() * 95,
+        "only {matched}/{} send edges paired",
+        sends.len()
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn coordkill_leaves_a_parseable_flight_dump() {
+    let dir = scratch_dir("flight");
+    let port = free_port();
+    let addr = format!("127.0.0.1:{port}");
+    let flights = dir.join("flights");
+
+    let mut serve = Command::new(BIN);
+    serve
+        .args([
+            "serve",
+            "--addr",
+            &addr,
+            "--clients",
+            "2",
+            "--rounds",
+            "4",
+            "--local-steps",
+            "4",
+            "--tokens-per-client",
+            "2000",
+            "--warmup-ms",
+            "100",
+            "--cooldown-ms",
+            "100",
+            "--round-timeout-ms",
+            "8000",
+            "--faults",
+            "coordkill@r1",
+        ])
+        .arg("--trace-jsonl")
+        .arg(dir.join("serve.jsonl"))
+        .arg("--flight-dir")
+        .arg(&flights)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    let mut serve = serve.spawn().unwrap();
+
+    let mut clients: Vec<Child> = (0..2)
+        .map(|i| {
+            spawn_client(
+                &addr,
+                &dir.join(format!("client{i}.jsonl")),
+                &dir.join(format!("session-{i}")),
+            )
+        })
+        .collect();
+
+    let status = serve.wait().unwrap();
+    assert_eq!(
+        status.code(),
+        Some(41),
+        "coordkill must exit with the designated code"
+    );
+    for c in &mut clients {
+        c.kill().ok();
+        c.wait().ok();
+    }
+
+    // Exactly one flight dump, named for the dead coordinator's pid,
+    // opening with its process metadata and holding the final round's
+    // spans (the kill fires right after the round-1 commit).
+    let dumps: Vec<PathBuf> = std::fs::read_dir(&flights)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    assert_eq!(dumps.len(), 1, "expected one flight dump: {dumps:?}");
+    let name = dumps[0].file_name().unwrap().to_str().unwrap();
+    assert!(
+        name.starts_with("flight-") && name.ends_with(".jsonl"),
+        "bad dump name {name}"
+    );
+    let dump = std::fs::read_to_string(&dumps[0]).unwrap();
+    let mut lines = dump.lines();
+    let first = lines.next().expect("dump must not be empty");
+    assert!(
+        first.contains("\"name\":\"process_meta\"") && field_u64(first, "trace_id").is_some(),
+        "dump must open with process metadata: {first}"
+    );
+    let mut net_sends = 0usize;
+    let mut transitions = 0usize;
+    for line in dump.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not a JSON object: {line}"
+        );
+        net_sends += usize::from(line.contains("\"name\":\"net_send\""));
+        transitions += usize::from(line.contains("\"name\":\"coord_transition\""));
+    }
+    assert!(
+        net_sends > 0 && transitions > 0,
+        "flight dump must hold the final round's spans \
+         ({net_sends} sends, {transitions} transitions)"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -61,5 +61,5 @@ pub use transport::{ChannelLink, Link, LinkError};
 pub use walltime::{RoundTime, SimClock, WallTimeModel};
 pub use wire::{
     decode_frame, decode_frame_flags, encode_frame, encode_frame_with, FrameFlags, FrameHeader,
-    WireError, FRAME_HEADER_LEN, MAX_FRAME_BYTES,
+    TraceCtx, WireError, FRAME_HEADER_LEN, MAX_FRAME_BYTES, TRACE_CTX_LEN,
 };

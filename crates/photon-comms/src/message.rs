@@ -1,5 +1,6 @@
 use crate::{
-    compress_f32s, decode_frame_flags, decompress_f32s, encode_frame_with, FrameFlags, WireError,
+    compress_f32s, decode_frame_flags, decompress_f32s, encode_frame_with, FrameFlags, TraceCtx,
+    WireError, TRACE_CTX_LEN,
 };
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use photon_tensor::Dtype;
@@ -25,6 +26,7 @@ impl WireOpts {
         FrameFlags {
             compressed: self.compress,
             bf16: self.dtype == Dtype::Bf16,
+            trace: false,
         }
     }
 }
@@ -176,6 +178,23 @@ impl Message {
     /// encoding is recorded in the frame flags so [`Message::from_frame`]
     /// decodes any mode without out-of-band context.
     pub fn to_frame_opts(&self, opts: WireOpts) -> Bytes {
+        let body = self.encode_body(opts);
+        encode_frame_with(&body, opts.flags())
+    }
+
+    /// [`Message::to_frame_opts`] with a [`TraceCtx`] span-context trailer
+    /// appended to the payload (CRC-covered) and the trace flag set, so the
+    /// receiver can recover the sender's causal edge via
+    /// [`Message::from_frame_traced`].
+    pub fn to_frame_traced(&self, opts: WireOpts, ctx: TraceCtx) -> Bytes {
+        let mut body = self.encode_body(opts);
+        body.put_slice(&ctx.encode());
+        let mut flags = opts.flags();
+        flags.trace = true;
+        encode_frame_with(&body, flags)
+    }
+
+    fn encode_body(&self, opts: WireOpts) -> BytesMut {
         let mut body = BytesMut::new();
         match self {
             Message::ModelBroadcast { round, params } => {
@@ -262,16 +281,43 @@ impl Message {
                 body.put_slice(config_json);
             }
         }
-        encode_frame_with(&body, opts.flags())
+        body
     }
 
-    /// Parses a Link frame.
+    /// Parses a Link frame, discarding any trace-context trailer.
     ///
     /// # Errors
     /// Returns a [`WireError`] on framing/corruption errors or an unknown
     /// message tag.
     pub fn from_frame(frame: Bytes) -> Result<Message, WireError> {
+        Self::from_frame_traced(frame).map(|(msg, _)| msg)
+    }
+
+    /// Parses a Link frame, returning the [`TraceCtx`] trailer when the
+    /// sender set the trace flag (`None` for an untraced frame).
+    ///
+    /// # Errors
+    /// Returns a [`WireError`] on framing/corruption errors, an unknown
+    /// message tag, or a trace-flagged payload too short to hold the
+    /// trailer.
+    pub fn from_frame_traced(frame: Bytes) -> Result<(Message, Option<TraceCtx>), WireError> {
         let (mut body, flags) = decode_frame_flags(frame)?;
+        let ctx = if flags.trace {
+            if body.remaining() < TRACE_CTX_LEN {
+                return Err(WireError::Truncated);
+            }
+            let split = body.len() - TRACE_CTX_LEN;
+            let mut raw = [0u8; TRACE_CTX_LEN];
+            raw.copy_from_slice(&body.slice(split..));
+            body = body.slice(..split);
+            Some(TraceCtx::decode(&raw))
+        } else {
+            None
+        };
+        Self::decode_body(body, flags).map(|msg| (msg, ctx))
+    }
+
+    fn decode_body(mut body: Bytes, flags: FrameFlags) -> Result<Message, WireError> {
         if body.remaining() < 1 {
             return Err(WireError::Truncated);
         }
@@ -579,6 +625,70 @@ mod tests {
         for (g, w) in got.iter().zip(&want) {
             assert!((g - w).abs() <= w.abs() / 256.0 + 1e-12);
         }
+    }
+
+    #[test]
+    fn traced_frame_roundtrips_and_legacy_decoder_ignores_ctx() {
+        let ctx = TraceCtx {
+            trace_id: 0x1234_5678_9abc_def0,
+            origin: 3,
+            seq: 42,
+            ts_us: 1_000_000,
+        };
+        let msgs = [
+            Message::ModelBroadcast {
+                round: 2,
+                params: sample_params(129),
+            },
+            Message::Heartbeat {
+                client_id: 2,
+                seq: 7,
+            },
+            Message::Shutdown,
+        ];
+        for msg in &msgs {
+            for opts in [
+                WireOpts::default(),
+                WireOpts {
+                    compress: true,
+                    dtype: Dtype::F32,
+                },
+                WireOpts {
+                    compress: false,
+                    dtype: Dtype::Bf16,
+                },
+            ] {
+                // bf16 storage perturbs floats; compare against the bf16
+                // roundtrip of the untraced path instead of the original.
+                let want = Message::from_frame(msg.to_frame_opts(opts)).unwrap();
+                let frame = msg.to_frame_traced(opts, ctx);
+                let (got, got_ctx) = Message::from_frame_traced(frame.clone()).unwrap();
+                assert_eq!(got, want);
+                assert_eq!(got_ctx, Some(ctx));
+                // The trailer is invisible to the legacy decoder.
+                assert_eq!(Message::from_frame(frame).unwrap(), want);
+                // Untraced frames report no context.
+                let (_, none_ctx) = Message::from_frame_traced(msg.to_frame_opts(opts)).unwrap();
+                assert_eq!(none_ctx, None);
+            }
+        }
+    }
+
+    #[test]
+    fn traced_frame_costs_exactly_the_trailer() {
+        let msg = Message::Heartbeat {
+            client_id: 0,
+            seq: 1,
+        };
+        let ctx = TraceCtx {
+            trace_id: 1,
+            origin: 1,
+            seq: 1,
+            ts_us: 1,
+        };
+        let plain = msg.to_frame_opts(WireOpts::default()).len();
+        let traced = msg.to_frame_traced(WireOpts::default(), ctx).len();
+        assert_eq!(traced, plain + TRACE_CTX_LEN);
     }
 
     #[test]

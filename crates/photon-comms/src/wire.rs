@@ -6,6 +6,7 @@ const MAGIC: &[u8; 8] = b"PHTNLNK1";
 const VERSION: u16 = 1;
 const FLAG_COMPRESSED: u16 = 0b1;
 const FLAG_BF16: u16 = 0b10;
+const FLAG_TRACE: u16 = 0b100;
 
 /// Size of the fixed Link frame header in bytes:
 /// `magic(8) | version(2) | flags(2) | crc32(4) | len(8)`.
@@ -31,6 +32,9 @@ pub struct FrameFlags {
     pub compressed: bool,
     /// Payload floats are stored as bf16.
     pub bf16: bool,
+    /// The last [`TRACE_CTX_LEN`] payload bytes are a [`TraceCtx`]
+    /// span-context trailer (CRC-covered like the rest of the payload).
+    pub trace: bool,
 }
 
 impl FrameFlags {
@@ -42,6 +46,9 @@ impl FrameFlags {
         if self.bf16 {
             bits |= FLAG_BF16;
         }
+        if self.trace {
+            bits |= FLAG_TRACE;
+        }
         bits
     }
 
@@ -49,6 +56,56 @@ impl FrameFlags {
         FrameFlags {
             compressed: bits & FLAG_COMPRESSED != 0,
             bf16: bits & FLAG_BF16 != 0,
+            trace: bits & FLAG_TRACE != 0,
+        }
+    }
+}
+
+/// Size of an encoded [`TraceCtx`] trailer in bytes:
+/// `trace_id(8) | origin(4) | seq(8) | ts_us(8)`.
+pub const TRACE_CTX_LEN: usize = 28;
+
+/// Per-frame span context for distributed tracing, appended to the payload
+/// (inside the CRC) when [`FrameFlags::trace`] is set.
+///
+/// `trace_id` is derived from the run seed so every process in one run
+/// agrees on it without coordination; `origin` is the sending actor id
+/// (coordinator = 0, client `c` = `c + 1`); `seq` is a per-process
+/// monotonically increasing frame counter; `ts_us` is the sender's trace
+/// clock at send time, letting the receiver estimate a clock offset from
+/// the handshake round trip. A receiver that does not understand the flag
+/// still decodes the frame — the trailer is ordinary payload bytes to it —
+/// which keeps mixed-version links working.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Run-wide trace id (derived from the run seed).
+    pub trace_id: u64,
+    /// Sending actor: 0 for the coordinator, client id + 1 otherwise.
+    pub origin: u32,
+    /// Per-process frame sequence number (monotonic).
+    pub seq: u64,
+    /// Sender's trace-clock microseconds at send time.
+    pub ts_us: u64,
+}
+
+impl TraceCtx {
+    /// Serializes the context into its fixed [`TRACE_CTX_LEN`]-byte form.
+    pub fn encode(&self) -> [u8; TRACE_CTX_LEN] {
+        let mut out = [0u8; TRACE_CTX_LEN];
+        out[0..8].copy_from_slice(&self.trace_id.to_le_bytes());
+        out[8..12].copy_from_slice(&self.origin.to_le_bytes());
+        out[12..20].copy_from_slice(&self.seq.to_le_bytes());
+        out[20..28].copy_from_slice(&self.ts_us.to_le_bytes());
+        out
+    }
+
+    /// Deserializes a fixed [`TRACE_CTX_LEN`]-byte trailer.
+    pub fn decode(raw: &[u8; TRACE_CTX_LEN]) -> TraceCtx {
+        TraceCtx {
+            trace_id: u64::from_le_bytes(raw[0..8].try_into().unwrap()),
+            origin: u32::from_le_bytes(raw[8..12].try_into().unwrap()),
+            seq: u64::from_le_bytes(raw[12..20].try_into().unwrap()),
+            ts_us: u64::from_le_bytes(raw[20..28].try_into().unwrap()),
         }
     }
 }
@@ -177,7 +234,7 @@ pub fn encode_frame(payload: &[u8], compressed: bool) -> Bytes {
         payload,
         FrameFlags {
             compressed,
-            bf16: false,
+            ..FrameFlags::default()
         },
     )
 }
@@ -263,8 +320,8 @@ mod tests {
     #[test]
     fn bf16_flag_roundtrips() {
         let flags = FrameFlags {
-            compressed: false,
             bf16: true,
+            ..FrameFlags::default()
         };
         let frame = encode_frame_with(b"x", flags);
         let (_, got) = decode_frame_flags(frame).unwrap();
@@ -272,6 +329,33 @@ mod tests {
         // The legacy decoder still reports the compressed bit only.
         let (_, compressed) = decode_frame(encode_frame_with(b"x", flags)).unwrap();
         assert!(!compressed);
+    }
+
+    #[test]
+    fn trace_flag_roundtrips() {
+        let flags = FrameFlags {
+            trace: true,
+            ..FrameFlags::default()
+        };
+        let frame = encode_frame_with(b"x", flags);
+        let (_, got) = decode_frame_flags(frame).unwrap();
+        assert_eq!(got, flags);
+        // The legacy decoder still reports the compressed bit only.
+        let (_, compressed) = decode_frame(encode_frame_with(b"x", flags)).unwrap();
+        assert!(!compressed);
+    }
+
+    #[test]
+    fn trace_ctx_byte_roundtrip() {
+        let ctx = TraceCtx {
+            trace_id: 0xdead_beef_cafe_f00d,
+            origin: 7,
+            seq: u64::MAX - 3,
+            ts_us: 123_456_789,
+        };
+        let raw = ctx.encode();
+        assert_eq!(raw.len(), TRACE_CTX_LEN);
+        assert_eq!(TraceCtx::decode(&raw), ctx);
     }
 
     #[test]

@@ -311,6 +311,23 @@ fn publish_round_metrics(
         if skew.is_finite() {
             photon_trace::gauge_set("participation_skew", skew);
         }
+        // Hierarchical-aggregation health: the shard topology from the
+        // config, the crash/re-parent tallies from the live tree, and
+        // the streaming-merge residency high-water mark from the last
+        // committed round — all surfaced in the Prometheus text sink.
+        if let Some(hcfg) = &fed.aggregator.config().hierarchy {
+            photon_trace::gauge_set("hierarchy.shards", hcfg.shards as f64);
+            photon_trace::gauge_set("hierarchy.shard_quorum_frac", hcfg.shard_quorum_frac);
+            photon_trace::gauge_set("hierarchy.max_resident", hcfg.max_resident as f64);
+            if let Some(state) = fed.aggregator.hierarchy_state() {
+                photon_trace::gauge_set("hierarchy.dead_shards", state.dead_shards.len() as f64);
+            }
+            if let Some(last) = history.rounds.last() {
+                photon_trace::gauge_set("hierarchy.peak_resident", last.peak_resident as f64);
+                photon_trace::gauge_set("hierarchy.shard_crashes", last.shard_crashes as f64);
+                photon_trace::gauge_set("hierarchy.reparented_clients", last.reparented as f64);
+            }
+        }
         if let Err(e) = photon_trace::flush() {
             eprintln!("warning: trace flush failed: {e}");
         }

@@ -17,6 +17,7 @@
 use crate::backoff::ReconnectBackoff;
 use crate::plan::RunPlan;
 use crate::tcp::TcpLink;
+use crate::tracectx::{init_trace_scope, recv_traced, run_trace_id, send_traced};
 use crate::{NetError, Result};
 use photon_comms::{Link, LinkError, Message, WireOpts};
 use photon_core::{build_client, FaultInjector, LlmClient};
@@ -187,17 +188,21 @@ pub fn run_client(opts: &ClientOptions) -> Result<ClientReport> {
             token: hello_token,
             last_acked_round: hello_acked,
         };
+        let hello_sent_us = photon_trace::now_us();
         if link.send_message(&hello, handshake_wire()).is_err() {
             std::thread::sleep(backoff.next_delay());
             continue;
         }
-        let grant = match link.recv_message(Duration::from_secs(5)) {
-            Ok(Message::SessionGrant {
-                client_id,
-                token,
-                resumed,
-                ..
-            }) => {
+        let grant = match recv_traced(link.as_ref(), Duration::from_secs(5)) {
+            Ok((
+                Message::SessionGrant {
+                    client_id,
+                    token,
+                    resumed,
+                    ..
+                },
+                grant_ctx,
+            )) => {
                 if identity.is_some() {
                     report.reconnects += 1;
                     if resumed {
@@ -213,6 +218,19 @@ pub fn run_client(opts: &ClientOptions) -> Result<ClientReport> {
                 identity = Some(id);
                 report.client_id = client_id;
                 backoff.reset();
+                if photon_trace::enabled() {
+                    photon_trace::set_actor(client_id + 1);
+                    if let Some(ctx) = grant_ctx {
+                        // The grant carried the coordinator's send
+                        // timestamp: halve the hello->grant round trip to
+                        // estimate our trace-clock offset from its clock.
+                        let grant_recv_us = photon_trace::now_us();
+                        let rtt = grant_recv_us.saturating_sub(hello_sent_us);
+                        let offset = ctx.ts_us as i64 + (rtt / 2) as i64 - grant_recv_us as i64;
+                        init_trace_scope(ctx.trace_id, client_id + 1);
+                        photon_trace::set_clock_offset_us(offset);
+                    }
+                }
                 client_id
             }
             _ => {
@@ -244,7 +262,7 @@ pub fn run_client(opts: &ClientOptions) -> Result<ClientReport> {
         // Re-deliver the retained (un-acked) result from before the
         // reconnect; the coordinator's dedup keys make this idempotent.
         if let Some((_, msg)) = &retained {
-            let _ = link.send_message(msg, wire);
+            let _ = send_traced(link.as_ref(), msg, wire);
         }
 
         // --- training loop for this connection ------------------------
@@ -266,6 +284,7 @@ pub fn run_client(opts: &ClientOptions) -> Result<ClientReport> {
         match outcome {
             ConnOutcome::Shutdown => {
                 report.clean_shutdown = true;
+                let _ = photon_trace::flush();
                 return Ok(report);
             }
             ConnOutcome::Reconnect => {
@@ -295,8 +314,8 @@ fn connection_loop(
     hb_hang: &Arc<AtomicBool>,
 ) -> ConnOutcome {
     loop {
-        let msg = match link.recv_message(Duration::from_millis(250)) {
-            Ok(msg) => msg,
+        let msg = match recv_traced(link.as_ref(), Duration::from_millis(250)) {
+            Ok((msg, _)) => msg,
             Err(LinkError::TimedOut) => {
                 if link.is_connected() {
                     continue;
@@ -321,6 +340,14 @@ fn connection_loop(
                             Ok(client) => *llm = Some(client),
                             Err(_) => return ConnOutcome::Reconnect,
                         }
+                        if photon_trace::enabled() {
+                            // Fallback scope for a grant that carried no
+                            // trace context: the trace id is a pure
+                            // function of the shared seed, so the lanes
+                            // still join (first init wins, so this is a
+                            // no-op after a handshake-derived scope).
+                            init_trace_scope(run_trace_id(p.cfg.seed), me + 1);
+                        }
                         *plan = Some(p);
                     }
                     Err(_) => return ConnOutcome::Reconnect,
@@ -335,7 +362,7 @@ fn connection_loop(
                 // the retained result instead of re-training.
                 if let Some((r, msg)) = retained {
                     if *r == round {
-                        let _ = link.send_message(msg, wire);
+                        let _ = send_traced(link.as_ref(), msg, wire);
                         continue;
                     }
                 }
@@ -366,7 +393,7 @@ fn connection_loop(
                     metrics: outcome.metrics,
                 };
                 *retained = Some((round, result.clone()));
-                let send_res = link.send_message(&result, wire);
+                let send_res = send_traced(link.as_ref(), &result, wire);
                 if injector.as_ref().is_some_and(|i| i.netcrash_at(round, me)) {
                     // Crash the transport right behind the result: the
                     // first copy may or may not have landed, and the
@@ -389,6 +416,10 @@ fn connection_loop(
                         store_identity(opts, id);
                     }
                 }
+                // The round is durable on the coordinator; make its spans
+                // durable in our shard too, so a kill between rounds loses
+                // nothing that mattered.
+                let _ = photon_trace::flush();
             }
             Message::Shutdown => return ConnOutcome::Shutdown,
             // Late grants, coordinator heartbeats and anything else on
@@ -408,13 +439,17 @@ fn spawn_heartbeats(
     hang: Arc<AtomicBool>,
 ) -> std::thread::JoinHandle<()> {
     std::thread::spawn(move || {
+        photon_trace::set_actor(client_id + 1);
         let interval = Duration::from_millis(interval_ms.max(10));
         let mut seq = 0u64;
         while !stop.load(Ordering::SeqCst) && link.is_connected() {
             if !hang.load(Ordering::SeqCst) {
-                if link
-                    .send_message(&Message::Heartbeat { client_id, seq }, handshake_wire())
-                    .is_err()
+                if send_traced(
+                    link.as_ref(),
+                    &Message::Heartbeat { client_id, seq },
+                    handshake_wire(),
+                )
+                .is_err()
                 {
                     return;
                 }

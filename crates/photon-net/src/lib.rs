@@ -34,18 +34,22 @@ mod backoff;
 mod client;
 mod coordinator;
 pub mod frame_io;
+mod health;
 mod plan;
 mod server;
 pub mod session;
 mod tcp;
+mod tracectx;
 
 pub use backoff::ReconnectBackoff;
 pub use client::{run_client, ClientOptions, ClientReport};
 pub use coordinator::{CoordState, Coordinator, RoundSlot, ROUND_RING};
+pub use health::{spawn_health_server, ClientSlo, HealthRegistry, HealthServer};
 pub use plan::RunPlan;
 pub use server::{serve, ServeOptions, ServeReport, COORDKILL_EXIT_CODE};
 pub use session::{session_token, Admission, SessionError, SessionTable};
 pub use tcp::TcpLink;
+pub use tracectx::{init_trace_scope, run_trace_id};
 
 /// Errors surfaced by the serve / client entry points.
 #[derive(Debug)]

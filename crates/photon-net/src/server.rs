@@ -22,9 +22,11 @@
 //!   re-synchronized via `RunSync`.
 
 use crate::coordinator::{CoordState, Coordinator};
+use crate::health::{spawn_health_server, HealthRegistry};
 use crate::plan::RunPlan;
 use crate::session::SessionTable;
 use crate::tcp::TcpLink;
+use crate::tracectx::{init_trace_scope, run_trace_id, send_traced};
 use crate::{NetError, Result};
 use photon_comms::{Link, LinkError, Message, TrainMetrics, WireOpts};
 use photon_core::{
@@ -82,6 +84,10 @@ pub struct ServeOptions {
     /// after this many commits in this process, exactly as if the
     /// coordinator died post-checkpoint. `None` runs to completion.
     pub stop_after_rounds: Option<u64>,
+    /// Serve the live health endpoint (`GET /metrics` Prometheus text,
+    /// `GET /health` JSON) on `127.0.0.1:<port>` for the lifetime of the
+    /// run. 0 binds an ephemeral port; `None` disables the endpoint.
+    pub health_port: Option<u16>,
 }
 
 /// What a completed [`serve`] run did.
@@ -109,6 +115,7 @@ struct Registry {
     plan_json: Vec<u8>,
     wire: WireOpts,
     events: Sender<Event>,
+    health: HealthRegistry,
 }
 
 enum Event {
@@ -152,6 +159,12 @@ pub fn serve(opts: &ServeOptions) -> Result<ServeReport> {
         return Err(NetError::Protocol(
             "multi-process serve manages membership itself; disable membership/buffer".into(),
         ));
+    }
+
+    if photon_trace::enabled() {
+        // Actor 0 is the coordinator lane; the trace id is a pure
+        // function of the seed, so clients derive the same one.
+        init_trace_scope(run_trace_id(plan.cfg.seed), 0);
     }
 
     let mut agg = Aggregator::new(plan.cfg.clone())?;
@@ -202,7 +215,13 @@ pub fn serve(opts: &ServeOptions) -> Result<ServeReport> {
         plan_json: plan.to_json_bytes(),
         wire: plan.cfg.wire_opts(),
         events: events_tx,
+        health: HealthRegistry::new(),
     });
+
+    let health_server = match opts.health_port {
+        Some(port) => Some(spawn_health_server(port, registry.health.clone())?),
+        None => None,
+    };
 
     let listener = bind_with_retry(&opts.addr)?;
     let local_addr = listener.local_addr()?;
@@ -228,6 +247,10 @@ pub fn serve(opts: &ServeOptions) -> Result<ServeReport> {
     // can rebind the port.
     accepting.store(false, Ordering::SeqCst);
     let _ = std::net::TcpStream::connect(local_addr);
+    if let Some(server) = health_server {
+        server.shutdown();
+    }
+    let _ = photon_trace::flush();
     result
 }
 
@@ -298,8 +321,11 @@ fn handshake(link: Arc<TcpLink>, registry: &Registry, hb_timeout_ms: u64) {
         state,
         config_json: registry.plan_json.clone(),
     };
-    if link.send_message(&grant, registry.wire).is_err()
-        || link.send_message(&sync, registry.wire).is_err()
+    // The grant's trace context doubles as the clock-offset probe: the
+    // client halves the hello->grant round trip against our send
+    // timestamp to estimate its offset from the coordinator clock.
+    if send_traced(link.as_ref(), &grant, registry.wire).is_err()
+        || send_traced(link.as_ref(), &sync, registry.wire).is_err()
     {
         return;
     }
@@ -321,13 +347,17 @@ fn handshake(link: Arc<TcpLink>, registry: &Registry, hb_timeout_ms: u64) {
 /// the link dies.
 fn spawn_reader(link: Arc<TcpLink>, client: u32, events: Sender<Event>, hb_timeout_ms: u64) {
     std::thread::spawn(move || {
+        photon_trace::set_actor(0);
         let poll = Duration::from_millis(hb_timeout_ms.max(10));
         loop {
             match link.recv_frame(poll) {
                 Ok(frame) => {
                     let frame_len = frame.len() as u64;
-                    match Message::from_frame(frame) {
-                        Ok(msg) => {
+                    match Message::from_frame_traced(frame) {
+                        Ok((msg, ctx)) => {
+                            if let Some(ctx) = ctx {
+                                crate::tracectx::note_recv(&ctx, frame_len);
+                            }
                             if events
                                 .send(Event::Frame {
                                     client,
@@ -361,6 +391,9 @@ struct InFlight {
     pending: Vec<(u32, Vec<f32>, f64, TrainMetrics)>,
     wire_bytes: u64,
     deadline: Instant,
+    /// When the round was broadcast — client result latency is measured
+    /// from here, so it includes the model download and the local step.
+    opened: Instant,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -391,6 +424,11 @@ fn main_loop(
             registry
                 .state
                 .store(coord.state().discriminant(), Ordering::SeqCst);
+            registry.health.set_coordinator(
+                coord.round(),
+                coord.state().discriminant(),
+                coord.committed(),
+            );
             photon_trace::instant(
                 photon_trace::Phase::Round,
                 "coord_transition",
@@ -454,7 +492,9 @@ fn main_loop(
                         strikes: 0,
                     },
                 );
+                registry.health.set_connected(client, true);
                 if resumed {
+                    registry.health.note_reconnect(client);
                     agg.telemetry().record_reconnect(client, true);
                     photon_trace::instant(
                         photon_trace::Phase::SessionResume,
@@ -483,6 +523,7 @@ fn main_loop(
                     conns.remove(&client);
                     drop(conns);
                     liveness.remove(&client);
+                    registry.health.set_connected(client, false);
                 }
             }
             Err(RecvTimeoutError::Timeout) => {}
@@ -499,6 +540,7 @@ fn main_loop(
                 live.last_seen = Instant::now();
                 live.strikes += 1;
                 agg.telemetry().record_heartbeat_misses(1);
+                registry.health.note_heartbeat_miss(*client);
                 if live.strikes >= HEARTBEAT_STRIKES {
                     to_sever.push(*client);
                 }
@@ -525,8 +567,11 @@ fn main_loop(
             let committed_round = coord.round().saturating_sub(1);
             if injector.is_some_and(|i| i.coordkill_after(committed_round)) {
                 // The injected coordinator kill: the checkpoint for this
-                // commit is already on disk; die without any goodbye.
+                // commit is already on disk; die without any goodbye. The
+                // flight recorder preserves the final round's spans.
                 write_metrics(opts, agg, coord, registry, resumed_from);
+                let _ = photon_trace::flush();
+                let _ = photon_trace::flight_dump();
                 std::process::exit(COORDKILL_EXIT_CODE);
             }
             if opts
@@ -559,7 +604,7 @@ fn main_loop(
     let conns: Vec<Arc<TcpLink>> = registry.conns.lock().unwrap().values().cloned().collect();
     for link in conns {
         if graceful {
-            let _ = link.send_message(&Message::Shutdown, wire);
+            let _ = send_traced(link.as_ref(), &Message::Shutdown, wire);
         } else {
             link.sever();
         }
@@ -581,6 +626,7 @@ fn open_round(agg: &Aggregator, registry: &Registry, round_timeout: Duration) ->
     let cohort: Vec<u32> = registry.conns.lock().unwrap().keys().copied().collect();
     let msg = broadcast_msg(agg);
     for &client in &cohort {
+        registry.health.note_participation(client, agg.round());
         send_to(registry, client, &msg, registry.wire);
     }
     InFlight {
@@ -588,6 +634,7 @@ fn open_round(agg: &Aggregator, registry: &Registry, round_timeout: Duration) ->
         pending: Vec::new(),
         wire_bytes: 0,
         deadline: Instant::now() + round_timeout,
+        opened: Instant::now(),
     }
 }
 
@@ -601,7 +648,7 @@ fn broadcast_msg(agg: &Aggregator) -> Message {
 fn send_to(registry: &Registry, client: u32, msg: &Message, wire: WireOpts) {
     let link = registry.conns.lock().unwrap().get(&client).cloned();
     if let Some(link) = link {
-        let _ = link.send_message(msg, wire);
+        let _ = send_traced(link.as_ref(), msg, wire);
     }
 }
 
@@ -641,6 +688,12 @@ fn handle_result(
         return; // a future round or a non-cohort member: ignore
     }
     applied.insert((round, client_id));
+    registry
+        .health
+        .note_result(client_id, round, fl.opened.elapsed().as_millis() as u64);
+    if Instant::now() >= fl.deadline {
+        registry.health.note_straggler(client_id);
+    }
     fl.pending.push((client_id, delta, weight, metrics));
     fl.wire_bytes += frame_len;
 }
@@ -660,12 +713,22 @@ fn commit_round(
     let round = coord.round();
     let contributors: Vec<u32> = fl.pending.iter().map(|(id, _, _, _)| *id).collect();
     let received = fl.pending.len() as u32;
+    // A cohort member whose result never arrived is this round's straggler
+    // (partial-results commit superseded it).
+    for &client in &fl.cohort {
+        if !contributors.contains(&client) {
+            registry.health.note_straggler(client);
+        }
+    }
     let record = agg.commit_external_round(fl.pending, &fl.cohort, fl.wire_bytes)?;
     coord.on_round_committed(received, fl.cohort.len() as u32, 0, now_ms);
     registry.round.store(agg.round(), Ordering::SeqCst);
     registry
         .state
         .store(coord.state().discriminant(), Ordering::SeqCst);
+    registry
+        .health
+        .set_coordinator(agg.round(), coord.state().discriminant(), coord.committed());
     if let Some(dir) = &opts.checkpoint_dir {
         save_checkpoint_full(
             dir,

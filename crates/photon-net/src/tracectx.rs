@@ -1,0 +1,149 @@
+//! Per-process distributed-trace scope and traced frame I/O helpers.
+//!
+//! Every process in a run derives the same [`run_trace_id`] from the run
+//! seed — no coordination needed — and registers its scope (trace id +
+//! actor lane) once via [`init_trace_scope`]. From then on every frame
+//! sent through [`send_traced`] carries a [`TraceCtx`] trailer (origin
+//! actor, per-process sequence number, sender trace-clock timestamp)
+//! behind the wire trace flag, and every receive decoded with
+//! [`recv_traced`] records the matching `net_recv` event — so send/recv
+//! pairs across processes become causal edges `photon trace merge` can
+//! join. When tracing is disabled (or the scope was never initialized)
+//! all of this collapses to the plain untraced path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use photon_comms::{Link, LinkError, Message, TraceCtx, WireOpts};
+
+use crate::backoff::splitmix;
+
+/// The run-wide trace id: a pure function of the run seed, so every
+/// process in one run agrees on it without coordination. Never 0 (0
+/// means "no trace").
+pub fn run_trace_id(run_seed: u64) -> u64 {
+    let mixed = splitmix(run_seed ^ 0x7ace_1d00);
+    if mixed == 0 {
+        1
+    } else {
+        mixed
+    }
+}
+
+struct Scope {
+    trace_id: u64,
+    actor: u32,
+}
+
+static SCOPE: OnceLock<Scope> = OnceLock::new();
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Declares this process's trace scope: the run trace id and its actor
+/// lane (0 for the coordinator, client id + 1 for clients). Also
+/// publishes the process metadata (trace id + OS pid) to the recorder so
+/// its JSONL shard self-describes for `photon trace merge`. First call
+/// wins; later calls (e.g. a client re-handshaking after reconnect) are
+/// no-ops, keeping the per-process frame sequence monotonic.
+pub fn init_trace_scope(trace_id: u64, actor: u32) {
+    let mut fresh = false;
+    SCOPE.get_or_init(|| {
+        fresh = true;
+        Scope { trace_id, actor }
+    });
+    if fresh {
+        photon_trace::set_process_meta(trace_id, std::process::id());
+    }
+}
+
+/// The next span context to stamp on an outgoing frame, or `None` when
+/// tracing is off or the scope was never initialized.
+pub(crate) fn next_ctx() -> Option<TraceCtx> {
+    if !photon_trace::enabled() {
+        return None;
+    }
+    let scope = SCOPE.get()?;
+    Some(TraceCtx {
+        trace_id: scope.trace_id,
+        origin: scope.actor,
+        seq: SEQ.fetch_add(1, Ordering::Relaxed),
+        ts_us: photon_trace::now_us(),
+    })
+}
+
+/// Sends `msg` with a span-context trailer when this process has a trace
+/// scope and tracing is enabled; otherwise sends the plain frame. Records
+/// a `net_send` instant carrying the `(origin, seq)` edge key.
+///
+/// # Errors
+/// Propagates [`LinkError`] from the underlying send.
+pub(crate) fn send_traced<L: Link + ?Sized>(
+    link: &L,
+    msg: &Message,
+    wire: WireOpts,
+) -> std::result::Result<(), LinkError> {
+    match next_ctx() {
+        Some(ctx) => {
+            let frame = msg.to_frame_traced(wire, ctx);
+            photon_trace::instant(
+                photon_trace::Phase::NetSend,
+                "net_send",
+                &[
+                    ("origin", u64::from(ctx.origin)),
+                    ("seq", ctx.seq),
+                    ("bytes", frame.len() as u64),
+                ],
+            );
+            link.send_frame(frame)
+        }
+        None => link.send_message(msg, wire),
+    }
+}
+
+/// Receives one frame and decodes it with its optional span context,
+/// recording the matching `net_recv` instant so the sender's edge has its
+/// receive endpoint.
+///
+/// # Errors
+/// Propagates [`LinkError`] from the underlying receive; a frame that
+/// decodes but fails message parsing is [`LinkError::Wire`].
+pub(crate) fn recv_traced<L: Link + ?Sized>(
+    link: &L,
+    timeout: Duration,
+) -> std::result::Result<(Message, Option<TraceCtx>), LinkError> {
+    let frame = link.recv_frame(timeout)?;
+    let bytes = frame.len() as u64;
+    let (msg, ctx) = Message::from_frame_traced(frame).map_err(LinkError::Wire)?;
+    if let Some(ctx) = ctx {
+        note_recv(&ctx, bytes);
+    }
+    Ok((msg, ctx))
+}
+
+/// Records the receive endpoint of a traced frame.
+pub(crate) fn note_recv(ctx: &TraceCtx, bytes: u64) {
+    photon_trace::instant(
+        photon_trace::Phase::NetRecv,
+        "net_recv",
+        &[
+            ("origin", u64::from(ctx.origin)),
+            ("seq", ctx.seq),
+            ("bytes", bytes),
+        ],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_deterministic_and_nonzero() {
+        for seed in [0u64, 7, 42, u64::MAX] {
+            let id = run_trace_id(seed);
+            assert_ne!(id, 0);
+            assert_eq!(id, run_trace_id(seed));
+        }
+        assert_ne!(run_trace_id(1), run_trace_id(2));
+    }
+}

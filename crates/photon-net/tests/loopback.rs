@@ -41,6 +41,7 @@ fn serve_opts(addr: &str, plan: RunPlan, min_clients: usize) -> ServeOptions {
         heartbeat_timeout_ms: 500,
         metrics_json: None,
         stop_after_rounds: None,
+        health_port: None,
     }
 }
 

@@ -47,8 +47,12 @@ pub fn sim_time_us() -> u64 {
     SIM_NOW_US.load(Ordering::Relaxed)
 }
 
-/// The timestamp for an event recorded right now, per the active mode.
-pub(crate) fn now_us() -> u64 {
+/// The timestamp for an event recorded right now, per the active mode:
+/// the published simulated walltime under [`ClockMode::Sim`], real
+/// microseconds since tracing was enabled under [`ClockMode::Monotonic`].
+/// Distributed callers (photon-net) stamp wire-frame trace contexts with
+/// this so the receiver can estimate a cross-process clock offset.
+pub fn now_us() -> u64 {
     if is_sim() {
         sim_time_us()
     } else {

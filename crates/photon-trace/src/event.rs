@@ -57,6 +57,10 @@ pub enum Phase {
     ShardMerge,
     /// A shard slice dropped this round (crash, hang or quorum miss).
     ShardDegraded,
+    /// A traced wire frame leaving this process (`photon-net` send).
+    NetSend,
+    /// A traced wire frame arriving at this process (`photon-net` recv).
+    NetRecv,
 }
 
 /// Coarse roll-up groups for the phase-profile report.
@@ -78,7 +82,7 @@ pub enum PhaseGroup {
 
 impl Phase {
     /// Every phase, in report order.
-    pub const ALL: [Phase; 23] = [
+    pub const ALL: [Phase; 25] = [
         Phase::Round,
         Phase::LocalStep,
         Phase::KernelGemm,
@@ -102,6 +106,8 @@ impl Phase {
         Phase::CoordRestart,
         Phase::ShardMerge,
         Phase::ShardDegraded,
+        Phase::NetSend,
+        Phase::NetRecv,
     ];
 
     /// Stable snake_case name (used as the JSONL `name` default, the
@@ -131,6 +137,8 @@ impl Phase {
             Phase::CoordRestart => "coord_restart",
             Phase::ShardMerge => "shard_merge",
             Phase::ShardDegraded => "shard_degraded",
+            Phase::NetSend => "net_send",
+            Phase::NetRecv => "net_recv",
         }
     }
 
@@ -147,7 +155,9 @@ impl Phase {
             | Phase::LinkDeliver
             | Phase::LinkRetransmit
             | Phase::NetPartition
-            | Phase::SessionResume => PhaseGroup::Comms,
+            | Phase::SessionResume
+            | Phase::NetSend
+            | Phase::NetRecv => PhaseGroup::Comms,
             Phase::GuardScreen
             | Phase::RobustMerge
             | Phase::BufferCommit
@@ -247,8 +257,16 @@ pub struct Event {
 
 impl Event {
     /// Serializes the event as one chrome://tracing JSON object line
-    /// (no trailing newline).
+    /// (no trailing newline) with `pid: 0` — single-process traces keep
+    /// their historical byte-identical shape.
     pub fn to_json_line(&self) -> String {
+        self.to_json_line_with_pid(0)
+    }
+
+    /// [`Event::to_json_line`] with an explicit `pid` field, so each
+    /// process in a multi-process run writes shard lines under its own
+    /// OS pid and `photon trace merge` can lane the merged timeline.
+    pub fn to_json_line_with_pid(&self, pid: u32) -> String {
         let mut line = String::with_capacity(128);
         line.push_str("{\"name\":\"");
         line.push_str(self.name);
@@ -262,7 +280,9 @@ impl Event {
             line.push_str(",\"dur\":");
             line.push_str(&self.dur_us.to_string());
         }
-        line.push_str(",\"pid\":0,\"tid\":");
+        line.push_str(",\"pid\":");
+        line.push_str(&pid.to_string());
+        line.push_str(",\"tid\":");
         line.push_str(&self.actor.to_string());
         let mut first = true;
         for (k, v) in self.args.iter().filter(|(k, _)| !k.is_empty()) {
@@ -302,6 +322,27 @@ mod tests {
             "{\"name\":\"local_step\",\"cat\":\"compute\",\"ph\":\"X\",\"ts\":1000,\
              \"dur\":250,\"pid\":0,\"tid\":3,\"args\":{\"tokens\":2048,\"steps\":16}}"
         );
+    }
+
+    #[test]
+    fn pid_aware_line_differs_only_in_pid() {
+        let e = Event {
+            ts_us: 9,
+            actor: 1,
+            seq: 0,
+            phase: Phase::NetSend,
+            name: "net_send",
+            kind: EventKind::Instant,
+            dur_us: 0,
+            args: [("seq", 4), ("", 0), ("", 0), ("", 0)],
+        };
+        let with_pid = e.to_json_line_with_pid(4242);
+        assert!(with_pid.contains("\"pid\":4242"));
+        assert_eq!(
+            with_pid.replace("\"pid\":4242", "\"pid\":0"),
+            e.to_json_line()
+        );
+        assert!(e.to_json_line().contains("\"cat\":\"comms\""));
     }
 
     #[test]

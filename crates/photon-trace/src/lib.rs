@@ -54,18 +54,23 @@
 mod clock;
 mod counters;
 mod event;
+mod flight;
 mod hist;
+mod merge;
 mod profile;
 mod recorder;
 mod sink;
 
-pub use clock::{set_sim_time_us, sim_time_us, ClockMode};
+pub use clock::{now_us, set_sim_time_us, sim_time_us, ClockMode};
 pub use counters::CounterSet;
 pub use event::{Event, EventKind, Phase, PhaseGroup};
+pub use flight::{flight_dump, flight_init, flight_install_panic_hook, FLIGHT_RING_CAP};
 pub use hist::LogHistogram;
+pub use merge::{merge_shards, net_edge_stats, NetEdgeStats};
 pub use profile::{PhaseProfile, PhaseStat};
 pub use recorder::{
-    counter_add, drain_now, enabled, flush, flush_to_string, gauge_set, init, instant, observe,
-    reset_for_tests, set_actor, span, FlushSummary, Span, TraceConfig,
+    counter_add, drain_now, enabled, flush, flush_guard, flush_to_string, gauge_set, init, instant,
+    observe, reset_for_tests, set_actor, set_clock_offset_us, set_process_meta, span, FlushGuard,
+    FlushSummary, Span, TraceConfig,
 };
 pub use sink::{atomic_write, lint_prometheus, render_prometheus};

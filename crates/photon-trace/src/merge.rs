@@ -1,0 +1,207 @@
+//! Merging per-process trace shards into one chrome://tracing timeline.
+//!
+//! Each process in a multi-process run writes its own JSONL shard whose
+//! `process_meta` metadata line carries the process pid, the run trace id
+//! and the process's estimated clock offset from the coordinator (the
+//! session-handshake estimate; 0 under the Sim clock, where every process
+//! already shares the simulated timeline). [`merge_shards`] shifts every
+//! event timestamp by its shard's offset and sorts the union with a key
+//! that is independent of shard input order, so the merged timeline is
+//! deterministic. [`net_edge_stats`] then pairs `net_send`/`net_recv`
+//! events by `(origin, seq)` to measure how many wire-frame spans have
+//! both endpoints in the merged view.
+
+/// Send/recv endpoint pairing statistics over a merged timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetEdgeStats {
+    /// `net_send` events in the timeline.
+    pub sends: usize,
+    /// `net_recv` events in the timeline.
+    pub recvs: usize,
+    /// Sends whose `(origin, seq)` key also appears on a recv.
+    pub matched: usize,
+}
+
+impl NetEdgeStats {
+    /// Fraction of sends with a matching recv endpoint (1.0 when there
+    /// are no sends at all).
+    pub fn matched_frac(&self) -> f64 {
+        if self.sends == 0 {
+            1.0
+        } else {
+            self.matched as f64 / self.sends as f64
+        }
+    }
+}
+
+/// Extracts the integer value of `"key":<digits>` from a JSON line
+/// (first occurrence; the writer emits unescaped fixed-shape lines, so
+/// textual scanning is exact).
+fn field_i64(line: &str, key: &str) -> Option<i64> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let rest = &line.as_bytes()[at..];
+    let mut end = 0;
+    if rest.first() == Some(&b'-') {
+        end = 1;
+    }
+    while end < rest.len() && rest[end].is_ascii_digit() {
+        end += 1;
+    }
+    line[at..at + end].parse().ok()
+}
+
+/// Rewrites the first `"ts":<n>` field of `line` to `new_ts`.
+fn rewrite_ts(line: &str, new_ts: i64) -> String {
+    let needle = "\"ts\":";
+    let Some(at) = line.find(needle).map(|i| i + needle.len()) else {
+        return line.to_string();
+    };
+    let rest = &line.as_bytes()[at..];
+    let mut end = 0;
+    if rest.first() == Some(&b'-') {
+        end = 1;
+    }
+    while end < rest.len() && rest[end].is_ascii_digit() {
+        end += 1;
+    }
+    format!("{}{}{}", &line[..at], new_ts, &line[at + end..])
+}
+
+/// Merges per-process JSONL trace shards (file *contents*, one string per
+/// shard) into a single chrome://tracing timeline.
+///
+/// Each shard's `process_meta` line (when present) supplies a clock
+/// offset added to every event timestamp in that shard, aligning all
+/// shards to the coordinator's clock; shards without metadata (single
+/// process, Sim clock) pass through unshifted, so merging one sim shard
+/// reproduces it byte-identically. The merged output is sorted by
+/// (aligned timestamp, pid, position within the shard, line content) —
+/// a key independent of the order shards are passed in.
+///
+/// # Errors
+/// Returns a description of the first malformed line (an event line with
+/// no parsable `"ts"` field).
+pub fn merge_shards(shards: &[String]) -> Result<String, String> {
+    // (ts, pid, idx_in_shard, line)
+    let mut entries: Vec<(i64, i64, usize, String)> = Vec::new();
+    for shard in shards {
+        // The offset and pid come from the shard's last process_meta line
+        // (a later handshake refines the estimate).
+        let mut offset = 0i64;
+        let mut pid = 0i64;
+        let mut meta: Option<String> = None;
+        for line in shard.lines() {
+            if line.contains("\"name\":\"process_meta\"") {
+                offset = field_i64(line, "clock_offset_us").unwrap_or(0);
+                pid = field_i64(line, "pid").unwrap_or(0);
+                meta = Some(line.to_string());
+            }
+        }
+        if let Some(meta) = meta {
+            entries.push((i64::MIN, pid, 0, meta));
+        }
+        for (idx, line) in shard.lines().enumerate() {
+            if line.is_empty() || line.contains("\"name\":\"process_meta\"") {
+                continue;
+            }
+            let ts = field_i64(line, "ts")
+                .ok_or_else(|| format!("shard line has no \"ts\" field: {line}"))?;
+            let aligned = ts.saturating_add(offset).max(0);
+            let line = if aligned == ts {
+                line.to_string()
+            } else {
+                rewrite_ts(line, aligned)
+            };
+            entries.push((aligned, pid, idx, line));
+        }
+    }
+    entries.sort();
+    let mut out = String::new();
+    for (_, _, _, line) in entries {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Scans a merged timeline for `net_send`/`net_recv` events and pairs
+/// them by their `(origin, seq)` args.
+pub fn net_edge_stats(merged: &str) -> NetEdgeStats {
+    let mut sends: Vec<(i64, i64)> = Vec::new();
+    let mut recvs: Vec<(i64, i64)> = Vec::new();
+    for line in merged.lines() {
+        let bucket = if line.contains("\"name\":\"net_send\"") {
+            &mut sends
+        } else if line.contains("\"name\":\"net_recv\"") {
+            &mut recvs
+        } else {
+            continue;
+        };
+        if let (Some(origin), Some(seq)) = (field_i64(line, "origin"), field_i64(line, "seq")) {
+            bucket.push((origin, seq));
+        }
+    }
+    let recv_set: std::collections::BTreeSet<(i64, i64)> = recvs.iter().copied().collect();
+    let matched = sends.iter().filter(|k| recv_set.contains(k)).count();
+    NetEdgeStats {
+        sends: sends.len(),
+        recvs: recvs.len(),
+        matched,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_extraction_handles_negative_and_missing() {
+        let line = r#"{"name":"process_meta","ts":0,"pid":77,"args":{"clock_offset_us":-1250}}"#;
+        assert_eq!(field_i64(line, "clock_offset_us"), Some(-1250));
+        assert_eq!(field_i64(line, "pid"), Some(77));
+        assert_eq!(field_i64(line, "absent"), None);
+    }
+
+    #[test]
+    fn single_sim_shard_merges_byte_identically() {
+        let shard = "{\"name\":\"round\",\"cat\":\"orchestration\",\"ph\":\"X\",\"ts\":10,\
+                     \"dur\":5,\"pid\":0,\"tid\":0}\n\
+                     {\"name\":\"round\",\"cat\":\"orchestration\",\"ph\":\"X\",\"ts\":20,\
+                     \"dur\":5,\"pid\":0,\"tid\":0}\n"
+            .to_string();
+        assert_eq!(merge_shards(std::slice::from_ref(&shard)).unwrap(), shard);
+    }
+
+    #[test]
+    fn offsets_shift_and_order_is_input_invariant() {
+        let coord = "{\"name\":\"process_meta\",\"cat\":\"orchestration\",\"ph\":\"M\",\"ts\":0,\
+                     \"pid\":100,\"tid\":0,\"args\":{\"trace_id\":9,\"clock_offset_us\":0}}\n\
+                     {\"name\":\"a\",\"cat\":\"comms\",\"ph\":\"i\",\"ts\":500,\"pid\":100,\"tid\":0}\n"
+            .to_string();
+        let client = "{\"name\":\"process_meta\",\"cat\":\"orchestration\",\"ph\":\"M\",\"ts\":0,\
+                      \"pid\":200,\"tid\":1,\"args\":{\"trace_id\":9,\"clock_offset_us\":400}}\n\
+                      {\"name\":\"b\",\"cat\":\"comms\",\"ph\":\"i\",\"ts\":50,\"pid\":200,\"tid\":1}\n"
+            .to_string();
+        let ab = merge_shards(&[coord.clone(), client.clone()]).unwrap();
+        let ba = merge_shards(&[client, coord]).unwrap();
+        assert_eq!(ab, ba);
+        // Client event shifted to ts 450, so it sorts before the coordinator's 500.
+        let events: Vec<&str> = ab.lines().filter(|l| !l.contains("process_meta")).collect();
+        assert!(events[0].contains("\"name\":\"b\"") && events[0].contains("\"ts\":450"));
+        assert!(events[1].contains("\"name\":\"a\""));
+    }
+
+    #[test]
+    fn edge_stats_pair_by_origin_seq() {
+        let merged = "{\"name\":\"net_send\",\"ts\":1,\"args\":{\"origin\":0,\"seq\":1,\"bytes\":8}}\n\
+                      {\"name\":\"net_send\",\"ts\":2,\"args\":{\"origin\":0,\"seq\":2,\"bytes\":8}}\n\
+                      {\"name\":\"net_recv\",\"ts\":3,\"args\":{\"origin\":0,\"seq\":1,\"bytes\":8}}\n";
+        let stats = net_edge_stats(merged);
+        assert_eq!(stats.sends, 2);
+        assert_eq!(stats.recvs, 1);
+        assert_eq!(stats.matched, 1);
+        assert!((stats.matched_frac() - 0.5).abs() < 1e-12);
+        assert!((NetEdgeStats::default().matched_frac() - 1.0).abs() < 1e-12);
+    }
+}

@@ -73,6 +73,20 @@ struct Collector {
     dropped: u64,
     jsonl: Option<JsonlSink>,
     prometheus: Option<PathBuf>,
+    /// OS pid stamped on JSONL lines; 0 until [`set_process_meta`] is
+    /// called, which keeps single-process traces byte-identical to the
+    /// historical shape.
+    pid: u32,
+    /// Run-wide trace id ([`set_process_meta`]).
+    trace_id: u64,
+    /// Estimated offset of this process's trace clock from the
+    /// coordinator's, in microseconds ([`set_clock_offset_us`]).
+    clock_offset_us: i64,
+    /// Process metadata has been set and the next flush should (re)write
+    /// the `process_meta` line.
+    meta_dirty: bool,
+    /// Process metadata was ever set (controls pid stamping).
+    meta_set: bool,
 }
 
 static COLLECTOR: Mutex<Option<Collector>> = Mutex::new(None);
@@ -162,6 +176,55 @@ pub fn set_actor(actor: u32) {
     ACTOR.with(|a| a.set(actor));
 }
 
+/// Declares this process's identity in a distributed run: the run-wide
+/// trace id (derived from the run seed) and the OS pid to stamp on JSONL
+/// lines. Until this is called, lines carry `pid: 0` and no metadata line
+/// is written — single-process traces keep their historical byte-identical
+/// shape. The next [`flush`] after this call writes a `process_meta`
+/// metadata line that `photon trace merge` uses to align shards.
+pub fn set_process_meta(trace_id: u64, pid: u32) {
+    let mut guard = COLLECTOR.lock();
+    let collector = guard.get_or_insert_with(Collector::empty);
+    collector.trace_id = trace_id;
+    collector.pid = pid;
+    collector.meta_set = true;
+    collector.meta_dirty = true;
+}
+
+/// Publishes this process's estimated trace-clock offset from the
+/// coordinator's clock (microseconds; positive means the coordinator's
+/// clock reads ahead of ours). Clients derive it from the session
+/// handshake round trip; `photon trace merge` adds it to every timestamp
+/// in this process's shard. No-op until [`set_process_meta`] declares the
+/// process.
+pub fn set_clock_offset_us(offset_us: i64) {
+    let mut guard = COLLECTOR.lock();
+    let collector = guard.get_or_insert_with(Collector::empty);
+    collector.clock_offset_us = offset_us;
+    if collector.meta_set {
+        collector.meta_dirty = true;
+    }
+}
+
+/// An RAII guard that flushes the recorder when dropped, so a process
+/// exiting between round flushes (early return, error path, end of main)
+/// never loses its final events. Obtain one with [`flush_guard`].
+#[must_use = "the guard flushes on drop; binding it to `_` drops it immediately"]
+pub struct FlushGuard {
+    _private: (),
+}
+
+impl Drop for FlushGuard {
+    fn drop(&mut self) {
+        let _ = flush();
+    }
+}
+
+/// Returns a [`FlushGuard`] that flushes all sinks when dropped.
+pub fn flush_guard() -> FlushGuard {
+    FlushGuard { _private: () }
+}
+
 impl Collector {
     fn empty() -> Self {
         Self {
@@ -174,7 +237,22 @@ impl Collector {
             dropped: 0,
             jsonl: None,
             prometheus: None,
+            pid: 0,
+            trace_id: 0,
+            clock_offset_us: 0,
+            meta_dirty: false,
+            meta_set: false,
         }
+    }
+
+    /// The `process_meta` metadata line `photon trace merge` reads to
+    /// learn this shard's pid, trace id and clock offset.
+    fn meta_line(&self) -> String {
+        format!(
+            "{{\"name\":\"process_meta\",\"cat\":\"orchestration\",\"ph\":\"M\",\"ts\":0,\
+             \"pid\":{},\"tid\":0,\"args\":{{\"trace_id\":{},\"clock_offset_us\":{}}}}}",
+            self.pid, self.trace_id, self.clock_offset_us
+        )
     }
 
     fn summary(&self) -> FlushSummary {
@@ -471,12 +549,22 @@ pub fn flush() -> io::Result<FlushSummary> {
     let mut batch = mem::take(&mut collector.pending);
     batch.sort();
     collector.written += batch.len() as u64;
+    let pid = collector.pid;
+    if collector.meta_dirty {
+        collector.meta_dirty = false;
+        let meta = collector.meta_line();
+        if let Some(sink) = collector.jsonl.as_mut() {
+            sink.write_line(&meta)?;
+        }
+        crate::flight::note_meta(meta);
+    }
     if let Some(sink) = collector.jsonl.as_mut() {
         for event in &batch {
-            sink.write_line(&event.to_json_line())?;
+            sink.write_line(&event.to_json_line_with_pid(pid))?;
         }
         sink.flush()?;
     }
+    crate::flight::note_events(&batch);
     if let Some(path) = collector.prometheus.clone() {
         let text = render_prometheus(
             &collector.counters,
@@ -526,8 +614,23 @@ pub fn reset_for_tests() {
     }
     SHARD.with(|slot| *slot.borrow_mut() = None);
     *COLLECTOR.lock() = None;
+    crate::flight::reset_for_tests();
     clock::set_sim_time_us(0);
     clock::set_mode(ClockMode::Sim);
+}
+
+/// Snapshot used by the flight recorder: the process pid, the metadata
+/// line (when process identity was declared) and a clone of every event
+/// drained but not yet flushed. Non-consuming, so a dump never steals
+/// events from a later flush.
+pub(crate) fn flight_snapshot() -> (u32, Option<String>, Vec<Event>) {
+    drain_shards();
+    let mut guard = COLLECTOR.lock();
+    let collector = guard.get_or_insert_with(Collector::empty);
+    let mut pending = collector.pending.clone();
+    pending.sort();
+    let meta = collector.meta_set.then(|| collector.meta_line());
+    (collector.pid, meta, pending)
 }
 
 #[cfg(test)]

@@ -28,15 +28,29 @@ impl JsonlSink {
         })
     }
 
-    /// Writes one event line (adds the trailing newline).
+    /// Writes one event line (adds the trailing newline). The line and
+    /// its newline go to the writer in a single call, so even an abort
+    /// mid-stream leaves only whole lines behind the `BufWriter` boundary.
     pub(crate) fn write_line(&mut self, line: &str) -> io::Result<()> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")
+        let mut buf = String::with_capacity(line.len() + 1);
+        buf.push_str(line);
+        buf.push('\n');
+        self.writer.write_all(buf.as_bytes())
     }
 
     /// Flushes buffered lines to disk.
     pub(crate) fn flush(&mut self) -> io::Result<()> {
         self.writer.flush()
+    }
+}
+
+impl Drop for JsonlSink {
+    /// Last-chance flush so a sink dropped between round flushes (process
+    /// exit, recorder reset) never truncates its final events mid-line.
+    /// (`BufWriter` also flushes on drop, but silently; doing it here
+    /// keeps the guarantee explicit and ahead of the file close.)
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
     }
 }
 

@@ -1,0 +1,145 @@
+//! Property tests for `merge_shards`: merge order-invariance, clock-offset
+//! alignment, idempotence of re-merging, and send/recv edge pairing over
+//! synthetic multi-process shard sets.
+
+use photon_trace::{merge_shards, net_edge_stats};
+use proptest::prelude::*;
+
+/// Builds a synthetic shard for one process: a `process_meta` line plus
+/// interleaved net_send/net_recv/span lines at local timestamps. `sends`
+/// lists `(seq, local_ts)` frames this process sent; `recvs` lists
+/// `(origin, seq, local_ts)` frames it received.
+fn shard(
+    pid: u32,
+    actor: u32,
+    offset_us: i64,
+    sends: &[(u64, u64)],
+    recvs: &[(u32, u64, u64)],
+) -> String {
+    let mut out = format!(
+        "{{\"name\":\"process_meta\",\"cat\":\"orchestration\",\"ph\":\"M\",\"ts\":0,\
+         \"pid\":{pid},\"tid\":0,\"args\":{{\"trace_id\":7,\"clock_offset_us\":{offset_us}}}}}\n"
+    );
+    for &(seq, ts) in sends {
+        out.push_str(&format!(
+            "{{\"name\":\"net_send\",\"cat\":\"comms\",\"ph\":\"i\",\"ts\":{ts},\"pid\":{pid},\
+             \"tid\":{actor},\"args\":{{\"origin\":{actor},\"seq\":{seq},\"bytes\":64}}}}\n"
+        ));
+    }
+    for &(origin, seq, ts) in recvs {
+        out.push_str(&format!(
+            "{{\"name\":\"net_recv\",\"cat\":\"comms\",\"ph\":\"i\",\"ts\":{ts},\"pid\":{pid},\
+             \"tid\":{actor},\"args\":{{\"origin\":{origin},\"seq\":{seq},\"bytes\":64}}}}\n"
+        ));
+    }
+    out
+}
+
+/// Deterministic synthetic run: a coordinator (actor 0) plus `clients`
+/// client processes exchanging `frames` frames each way. Every send on
+/// one side appears as a recv on the other, so pairing must be complete.
+fn synthetic_shards(clients: u32, frames: u64, skews: &[i64]) -> Vec<String> {
+    let mut shards = Vec::new();
+    let mut coord_sends = Vec::new();
+    let mut coord_recvs = Vec::new();
+    let mut seq = 0u64;
+    for c in 0..clients {
+        let actor = c + 1;
+        let skew = skews[c as usize % skews.len()];
+        let mut client_sends = Vec::new();
+        let mut client_recvs = Vec::new();
+        for f in 0..frames {
+            let coord_ts = 1_000 + u64::from(c) * 10 + f * 100;
+            // Coordinator -> client frame.
+            coord_sends.push((seq, coord_ts));
+            client_recvs.push((0u32, seq, (coord_ts as i64 + 5 - skew).max(0) as u64));
+            seq += 1;
+            // Client -> coordinator frame (client-local send timestamp).
+            let local_send = (coord_ts as i64 + 20 - skew).max(0) as u64;
+            client_sends.push((seq, local_send));
+            coord_recvs.push((actor, seq, coord_ts + 30));
+            seq += 1;
+        }
+        shards.push(shard(
+            2000 + actor,
+            actor,
+            skew,
+            &client_sends,
+            &client_recvs,
+        ));
+    }
+    shards.insert(0, shard(1000, 0, 0, &coord_sends, &coord_recvs));
+    shards
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Merging is invariant to the order shards are passed in.
+    #[test]
+    fn merge_is_input_order_invariant(
+        clients in 1u32..5,
+        frames in 1u64..8,
+        skews in proptest::collection::vec(-50_000i64..50_000, 1..4),
+        rotate in 0usize..5,
+    ) {
+        let shards = synthetic_shards(clients, frames, &skews);
+        let forward = merge_shards(&shards).unwrap();
+        let mut rotated = shards.clone();
+        let by = rotate % rotated.len();
+        rotated.rotate_left(by);
+        prop_assert_eq!(&forward, &merge_shards(&rotated).unwrap());
+        let mut reversed = shards;
+        reversed.reverse();
+        prop_assert_eq!(&forward, &merge_shards(&reversed).unwrap());
+    }
+
+    /// Every send has its recv endpoint after the merge, and clock skew
+    /// (absorbed by the per-shard offset) never breaks the pairing.
+    #[test]
+    fn every_edge_pairs_after_merge(
+        clients in 1u32..5,
+        frames in 1u64..8,
+        skews in proptest::collection::vec(-50_000i64..50_000, 1..4),
+    ) {
+        let shards = synthetic_shards(clients, frames, &skews);
+        let merged = merge_shards(&shards).unwrap();
+        let stats = net_edge_stats(&merged);
+        let expect = (clients as usize) * (frames as usize) * 2;
+        prop_assert_eq!(stats.sends, expect);
+        prop_assert_eq!(stats.recvs, expect);
+        prop_assert_eq!(stats.matched, expect);
+        prop_assert!((stats.matched_frac() - 1.0).abs() < 1e-12);
+    }
+
+    /// A merged timeline is a fixed point: re-merging it changes nothing,
+    /// and its timestamps are sorted.
+    #[test]
+    fn merge_is_idempotent_and_sorted(
+        clients in 1u32..4,
+        frames in 1u64..6,
+        skew in -20_000i64..20_000,
+    ) {
+        let shards = synthetic_shards(clients, frames, &[skew]);
+        let merged = merge_shards(&shards).unwrap();
+        // Offsets were already applied; the merged file's meta lines keep
+        // their offset args but every ts is aligned, so re-merging must
+        // not shift anything twice — strip metas first to model a pure
+        // timeline re-merge.
+        let timeline: String = merged
+            .lines()
+            .filter(|l| !l.contains("process_meta"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        prop_assert_eq!(&merge_shards(std::slice::from_ref(&timeline)).unwrap(), &timeline);
+        let ts: Vec<i64> = timeline
+            .lines()
+            .map(|l| {
+                let at = l.find("\"ts\":").unwrap() + 5;
+                l[at..].chars().take_while(|c| c.is_ascii_digit() || *c == '-')
+                    .collect::<String>().parse().unwrap()
+            })
+            .collect();
+        prop_assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+}
